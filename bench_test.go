@@ -1,0 +1,419 @@
+// Benchmarks regenerating every experiment in EXPERIMENTS.md (one bench
+// family per experiment id), plus micro-benchmarks of the engine kernels
+// the experiments rest on. Run with:
+//
+//	go test -bench=. -benchmem
+package nexus_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nexus"
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/array"
+	"nexus/internal/engines/exec"
+	"nexus/internal/engines/graph"
+	"nexus/internal/engines/linalg"
+	"nexus/internal/engines/relational"
+	"nexus/internal/experiments"
+	"nexus/internal/expr"
+	"nexus/internal/federation"
+	"nexus/internal/planner"
+	"nexus/internal/provider"
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+// --- E1: coverage (plan building + classification + verification) -------
+
+func BenchmarkE1Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E1Coverage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: translatability matrix -----------------------------------------
+
+func BenchmarkE2Translate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E2Translatability(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: intent preservation --------------------------------------------
+
+func BenchmarkE3IntentMatMul(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		rel := relational.New("rel")
+		la := linalg.New("la")
+		a := datagen.Matrix(int64(n), n, n, "i", "k")
+		bm := datagen.Matrix(int64(n)+1, n, n, "k", "j")
+		for _, eng := range []provider.Provider{rel, la} {
+			if err := eng.Store("A", a); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Store("B", bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		joinAgg := func() core.Node {
+			as, _ := core.NewScan("A", a.Schema().DropDims())
+			bs, _ := core.NewScan("B", bm.Schema().DropDims())
+			j, _ := core.NewJoin(as, bs, core.JoinInner, []string{"k"}, []string{"k"}, nil)
+			ga, err := core.NewGroupAgg(j, []string{"i", "j"}, []core.AggSpec{
+				{Func: core.AggSum, Arg: expr.Mul(expr.Column("v"), expr.Column("v_r")), As: "c"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ga
+		}
+		b.Run(fmt.Sprintf("JoinAgg/n=%d", n), func(b *testing.B) {
+			plan := joinAgg()
+			for i := 0; i < b.N; i++ {
+				if _, err := rel.Execute(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Recognized/n=%d", n), func(b *testing.B) {
+			plan, err := planner.Optimize(joinAgg(), planner.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := la.Execute(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E4: server interoperation --------------------------------------------
+
+func BenchmarkE4Interop(b *testing.B) {
+	const rows = 50000
+	siteA := relational.New("siteA")
+	if err := siteA.Store("sales", datagen.Sales(1, rows, rows/10, 50)); err != nil {
+		b.Fatal(err)
+	}
+	siteB := relational.New("siteB")
+	if err := siteB.Store("customers", datagen.Customers(2, rows/10)); err != nil {
+		b.Fatal(err)
+	}
+	reg := provider.NewRegistry()
+	if err := reg.Add(siteA); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Add(siteB); err != nil {
+		b.Fatal(err)
+	}
+	sales, _ := core.NewScan("sales", datagen.SalesSchema())
+	cust, _ := core.NewScan("customers", datagen.CustomersSchema())
+	f, _ := core.NewFilter(sales, expr.Gt(expr.Column("qty"), expr.CInt(3)))
+	j, _ := core.NewJoin(cust, f, core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, nil)
+	ga, err := core.NewGroupAgg(j, []string{"segment"}, []core.AggSpec{
+		{Func: core.AggSum, Arg: expr.Mul(expr.Column("price"), expr.Column("qty")), As: "rev"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, err := planner.Optimize(ga, planner.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp, err := planner.Partition(opt, reg, planner.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord := federation.NewCoordinator(federation.NewInProc(siteA), federation.NewInProc(siteB))
+	for _, mode := range []federation.Mode{federation.ModeDirect, federation.ModeRouted} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var via int64
+			for i := 0; i < b.N; i++ {
+				_, m, err := coord.Run(pp, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				via = m.IntermediateViaClient
+			}
+			b.ReportMetric(float64(via), "intermediate-bytes-via-client")
+		})
+	}
+}
+
+// --- E5: control iteration ------------------------------------------------
+
+func BenchmarkE5Iterate(b *testing.B) {
+	const (
+		n, m, iters = 2000, 10000, 10
+		damping     = 0.85
+	)
+	edges := datagen.ZipfGraph(3, n, m)
+	plan, err := graph.PageRankPlan("edges", datagen.EdgeSchema(), "vertices", graph.VerticesSchema(), n, damping, iters, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("InEngineGeneric", func(b *testing.B) {
+		rel := relational.New("rel")
+		if err := rel.Store("edges", edges); err != nil {
+			b.Fatal(err)
+		}
+		if err := rel.Store("vertices", graph.VerticesTable(n)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.Execute(plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NativeKernel", func(b *testing.B) {
+		gr := graph.New("gr")
+		if err := gr.Store("edges", edges); err != nil {
+			b.Fatal(err)
+		}
+		if err := gr.Store("vertices", graph.VerticesTable(n)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gr.Execute(plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E6: portability --------------------------------------------------------
+
+func BenchmarkE6Portability(b *testing.B) {
+	sales := datagen.Sales(4, 20000, 500, 50)
+	plan := func() core.Node {
+		s, _ := core.NewScan("sales", sales.Schema())
+		ga, err := core.NewGroupAgg(s, []string{"region"}, []core.AggSpec{
+			{Func: core.AggSum, Arg: expr.Mul(expr.Column("price"), expr.Column("qty")), As: "rev"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ga
+	}()
+	engines := map[string]provider.Provider{
+		"Relational": relational.New("r"),
+		"Array":      array.New("a"),
+	}
+	for name, eng := range engines {
+		if err := eng.Store("sales", sales); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: expression-tree shipping -------------------------------------------
+
+func BenchmarkE7Shipping(b *testing.B) {
+	for _, depth := range []int{4, 16} {
+		b.Run(fmt.Sprintf("Tree/depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.E7Shipping([]int{depth}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E8: optimizer ablation ---------------------------------------------------
+
+func BenchmarkE8Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Ablation(20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Engine micro-benchmarks (the kernels the experiments stand on) ---------
+
+func BenchmarkHashJoin(b *testing.B) {
+	for _, rows := range []int{10000, 100000} {
+		sales := datagen.Sales(5, rows, rows/10, 50)
+		cust := datagen.Customers(6, rows/10)
+		sc, _ := core.NewScan("sales", sales.Schema())
+		cc, _ := core.NewScan("customers", cust.Schema())
+		j, err := core.NewJoin(sc, cc, core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := &exec.Runtime{Datasets: func(n string) (*table.Table, bool) {
+			switch n {
+			case "sales":
+				return sales, true
+			case "customers":
+				return cust, true
+			}
+			return nil, false
+		}}
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Run(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashAggregate(b *testing.B) {
+	sales := datagen.Sales(7, 100000, 1000, 100)
+	sc, _ := core.NewScan("sales", sales.Schema())
+	ga, err := core.NewGroupAgg(sc, []string{"cust_id"}, []core.AggSpec{
+		{Func: core.AggSum, Arg: expr.Mul(expr.Column("price"), expr.Column("qty")), As: "rev"},
+		{Func: core.AggCount, As: "n"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := &exec.Runtime{Datasets: func(string) (*table.Table, bool) { return sales, true }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(ga); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulKernel(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		da, err := array.FromTable(datagen.Matrix(8, n, n, "i", "k"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := array.FromTable(datagen.Matrix(9, n, n, "k", "j"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.MatMulDense(da, db, "v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDenseWindow(b *testing.B) {
+	grid := datagen.Grid(10, 256, 256)
+	ae := array.New("a")
+	if err := ae.Store("grid", grid); err != nil {
+		b.Fatal(err)
+	}
+	sc, _ := core.NewScan("grid", grid.Schema())
+	w, err := core.NewWindow(sc, []core.DimExtent{
+		{Dim: "x", Before: 1, After: 1}, {Dim: "y", Before: 1, After: 1},
+	}, core.AggSum, "v", "s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ae.Execute(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankKernel(b *testing.B) {
+	edges := datagen.ZipfGraph(11, 10000, 50000)
+	csr, err := graph.BuildCSR(edges, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.PageRankNative(csr, 0.85, 20, 0)
+	}
+}
+
+func BenchmarkWireTableRoundTrip(b *testing.B) {
+	sales := datagen.Sales(12, 50000, 1000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := wire.EncodeTable(sales)
+		if _, err := wire.DecodeTable(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWirePlanRoundTrip(b *testing.B) {
+	plan, err := graph.PageRankPlan("edges", datagen.EdgeSchema(), "vertices", graph.VerticesSchema(), 1000, 0.85, 20, 1e-9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := wire.EncodePlan(plan)
+		if _, err := wire.DecodePlan(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurfaceCompile(b *testing.B) {
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Demo(); err != nil {
+		b.Fatal(err)
+	}
+	const src = `load sales | where qty > 3 | join (load customers) on cust_id == cust_id | group by segment agg rev = sum(price*qty) | sort rev desc | limit 5`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Query(src).Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizer(b *testing.B) {
+	sales := datagen.Sales(13, 100, 10, 5)
+	cust := datagen.Customers(14, 10)
+	sc, _ := core.NewScan("sales", sales.Schema())
+	cc, _ := core.NewScan("customers", cust.Schema())
+	j, _ := core.NewJoin(sc, cc, core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, nil)
+	f, _ := core.NewFilter(j, expr.And(
+		expr.Gt(expr.Column("qty"), expr.CInt(2)),
+		expr.Eq(expr.Column("segment"), expr.CStr("consumer")),
+	))
+	ga, err := core.NewGroupAgg(f, []string{"region"}, []core.AggSpec{
+		{Func: core.AggSum, Arg: expr.Mul(expr.Column("price"), expr.Column("qty")), As: "rev"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Optimize(ga, planner.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// nexus-server hosts one provider engine behind the nexus wire protocol.
+// Clients connect with Session.ConnectTCP (or cmd/nexus-shell -connect);
+// peer servers push intermediates to it directly in federated plans.
+//
+// Usage:
+//
+//	nexus-server -engine relational -addr 127.0.0.1:7701 -demo
+//	nexus-server -engine array      -addr 127.0.0.1:7702
+//	nexus-server -engine linalg     -addr 127.0.0.1:7703
+//	nexus-server -engine graph      -addr 127.0.0.1:7704
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"nexus/internal/datagen"
+	"nexus/internal/engines/array"
+	"nexus/internal/engines/graph"
+	"nexus/internal/engines/linalg"
+	"nexus/internal/engines/relational"
+	"nexus/internal/provider"
+	"nexus/internal/server"
+)
+
+func main() {
+	engine := flag.String("engine", "relational", "engine kind: relational, array, linalg, graph")
+	name := flag.String("name", "", "provider name (defaults to the engine kind)")
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	demo := flag.Bool("demo", false, "preload synthetic demo datasets")
+	flag.Parse()
+
+	var prov provider.Provider
+	switch *engine {
+	case "relational":
+		prov = relational.New(*name)
+	case "array":
+		prov = array.New(*name)
+	case "linalg":
+		prov = linalg.New(*name)
+	case "graph":
+		prov = graph.New(*name)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q (want relational, array, linalg or graph)\n", *engine)
+		os.Exit(2)
+	}
+
+	if *demo {
+		if err := loadDemo(prov, *engine); err != nil {
+			log.Fatalf("demo data: %v", err)
+		}
+	}
+
+	srv, err := server.Serve(prov, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("nexus %s server %q listening on %s", *engine, prov.Name(), srv.Addr())
+	for _, ds := range prov.Datasets() {
+		log.Printf("  dataset %s: %d rows %v", ds.Name, ds.Rows, ds.Schema)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+}
+
+func loadDemo(p provider.Provider, engine string) error {
+	switch engine {
+	case "relational":
+		if err := p.Store("sales", datagen.Sales(1, 50000, 2000, 200)); err != nil {
+			return err
+		}
+		if err := p.Store("customers", datagen.Customers(2, 2000)); err != nil {
+			return err
+		}
+		return p.Store("products", datagen.Products(3, 200))
+	case "array", "linalg":
+		if err := p.Store("A", datagen.Matrix(4, 128, 128, "i", "k")); err != nil {
+			return err
+		}
+		if err := p.Store("B", datagen.Matrix(5, 128, 128, "k", "j")); err != nil {
+			return err
+		}
+		if err := p.Store("series", datagen.Series(6, 5000)); err != nil {
+			return err
+		}
+		return p.Store("grid", datagen.Grid(7, 128, 128))
+	case "graph":
+		if err := p.Store("edges", datagen.ZipfGraph(8, 5000, 25000)); err != nil {
+			return err
+		}
+		return p.Store("vertices", graph.VerticesTable(5000))
+	}
+	return nil
+}

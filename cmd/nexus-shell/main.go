@@ -1,0 +1,127 @@
+// nexus-shell is an interactive REPL for the nexus surface language.
+// It can run self-contained (in-process engines with demo data) or attach
+// to remote nexus servers.
+//
+//	nexus-shell -demo                           # local engines + demo data
+//	nexus-shell -connect 127.0.0.1:7701,127.0.0.1:7702
+//
+// Shell commands:
+//
+//	\datasets            list datasets across providers
+//	\providers           list providers
+//	\explain <query>     show the optimized plan and fragment assignment
+//	\mode direct|routed  switch intermediate shipping
+//	\quit                exit
+//
+// Anything else is parsed as a surface-language query, e.g.:
+//
+//	load sales | where qty > 3 | group by region agg rev = sum(price*qty)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nexus"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "create local engines and load demo data")
+	connect := flag.String("connect", "", "comma-separated server addresses to attach")
+	flag.Parse()
+
+	s := nexus.NewSession()
+	if *connect != "" {
+		for _, addr := range strings.Split(*connect, ",") {
+			name, err := s.ConnectTCP(strings.TrimSpace(addr))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "connect %s: %v\n", addr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("connected to %s (%s)\n", addr, name)
+		}
+	}
+	if *connect == "" || *demo {
+		for _, k := range []nexus.EngineKind{nexus.Relational, nexus.Array, nexus.LinAlg, nexus.Graph} {
+			if _, err := s.AddEngine(k, ""); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := s.Demo(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("local engines ready (relational, array, linalg, graph) with demo data")
+	}
+	fmt.Println(`nexus shell — surface-language queries, \datasets, \explain <q>, \quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("nexus> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\providers`:
+			for _, p := range s.Providers() {
+				fmt.Println(" ", p)
+			}
+		case line == `\datasets`:
+			printDatasets(s)
+		case strings.HasPrefix(line, `\mode`):
+			switch strings.TrimSpace(strings.TrimPrefix(line, `\mode`)) {
+			case "direct":
+				s.SetShipMode(nexus.Direct)
+				fmt.Println("shipping: direct (server→server)")
+			case "routed":
+				s.SetShipMode(nexus.Routed)
+				fmt.Println("shipping: routed (via client)")
+			default:
+				fmt.Println("usage: \\mode direct|routed")
+			}
+		case strings.HasPrefix(line, `\explain`):
+			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
+			out, err := s.Query(src).Explain()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(out)
+		case strings.HasPrefix(line, `\`):
+			fmt.Println("unknown command; try \\datasets, \\providers, \\explain <q>, \\mode, \\quit")
+		default:
+			t0 := time.Now()
+			res, m, err := s.Query(line).CollectWithMetrics()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(res.Format(25))
+			fmt.Printf("(%d rows, %v, %d fragment(s))\n", res.NumRows(), time.Since(t0).Round(time.Microsecond), m.Fragments)
+		}
+	}
+}
+
+func printDatasets(s *nexus.Session) {
+	infos := s.Datasets()
+	if len(infos) == 0 {
+		fmt.Println("  (no datasets)")
+		return
+	}
+	for _, ds := range infos {
+		fmt.Printf("  %-12s %8d rows  on %-12s %s\n", ds.Name, ds.Rows, ds.Provider, ds.Schema)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: one session, two engines, relational and array queries
+// through both the fluent API and the pipeline surface language.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nexus"
+)
+
+func main() {
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.AddEngine(nexus.Array, "arr"); err != nil {
+		log.Fatal(err)
+	}
+	// Demo loads a synthetic star schema on "db" and matrices/series/grid
+	// on "arr".
+	if err := s.Demo(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Revenue by region (fluent API) ==")
+	res, err := s.Scan("sales").
+		Where(nexus.Gt(nexus.Col("qty"), nexus.Int(2))).
+		GroupBy("region").
+		Agg(
+			nexus.Sum("revenue", nexus.Mul(nexus.Col("price"), nexus.Col("qty"))),
+			nexus.Count("orders"),
+		).
+		OrderBy(nexus.Desc("revenue")).
+		Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	fmt.Println("== Top customer segments (surface language) ==")
+	res, err = s.Query(`
+		load sales
+		| join (load customers) on cust_id == cust_id
+		| group by segment agg revenue = sum(price * qty), n = count()
+		| sort revenue desc
+		| limit 3
+	`).Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	fmt.Println("== Smoothed sensor series (array windows) ==")
+	res, err = s.Scan("series").
+		Window([]nexus.DimExtent{{Dim: "t", Before: 5, After: 5}}, nexus.AggAvg, "temp", "smooth").
+		Dice(nexus.DimBound{Dim: "t", Lo: 0, Hi: 8}).
+		Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	fmt.Println("== Explain: where does each operator run? ==")
+	explain, err := s.Scan("sales").
+		Where(nexus.Eq(nexus.Col("region"), nexus.Str("EU"))).
+		GroupBy("prod_id").
+		Agg(nexus.Sum("rev", nexus.Mul(nexus.Col("price"), nexus.Col("qty")))).
+		Explain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(explain)
+}

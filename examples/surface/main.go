@@ -1,0 +1,98 @@
+// Surface-language tour: the paper treats client syntax as sugar over
+// the algebraic core. This example runs a set of pipeline queries —
+// relational, array and control iteration — and shows the algebra each
+// compiles to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nexus"
+)
+
+var queries = []struct {
+	title string
+	src   string
+}{
+	{
+		"Filtered revenue by product category",
+		`load sales
+		 | join (load products) on prod_id == prod_id
+		 | where qty >= 3
+		 | group by category agg rev = sum(price * qty), items = sum(qty)
+		 | sort rev desc`,
+	},
+	{
+		"Region × segment matrix of order counts",
+		`load sales
+		 | join (load customers) on cust_id == cust_id
+		 | group by region, segment agg n = count()
+		 | sort region, segment`,
+	},
+	{
+		"Grid hot spots: 3×3 neighbourhood means over a slab",
+		`load grid
+		 | dice x[8:24], y[8:24]
+		 | window x(1,1), y(1,1) agg hot = avg(v)
+		 | dropdims
+		 | sort hot desc
+		 | limit 5`,
+	},
+	{
+		"Matrix product A·B, then one row of the result",
+		`load A
+		 | matmul (load B) as c
+		 | slice i = 0
+		 | dropdims
+		 | sort c desc
+		 | limit 5`,
+	},
+	{
+		"Fixpoint: damped averaging until convergence",
+		`iterate s
+		 from (load vertices | where v < 8 | extend x = 100.0)
+		 step ($s | extend x2 = x * 0.5 | select v, x2 | rename x2 as x)
+		 until linf(x) <= 0.001 max 64`,
+	},
+	{
+		"Shared subquery via let",
+		`let eu = (load sales | where region == "EU")
+		 in ($eu
+		     | group by prod_id agg n = count()
+		     | join ($eu | group by prod_id agg rev = sum(price * qty)) on prod_id == prod_id
+		     | sort rev desc
+		     | limit 5)`,
+	},
+}
+
+func main() {
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.AddEngine(nexus.Array, "arr"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.AddEngine(nexus.LinAlg, "la"); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Demo(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range queries {
+		fmt.Printf("== %s ==\n%s\n\n", q.title, q.src)
+		query := s.Query(q.src)
+		explain, err := query.Explain()
+		if err != nil {
+			log.Fatalf("%s: %v", q.title, err)
+		}
+		fmt.Println(explain)
+		res, err := query.Collect()
+		if err != nil {
+			log.Fatalf("%s: %v", q.title, err)
+		}
+		fmt.Println(res.Format(8))
+	}
+}

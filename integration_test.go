@@ -1,0 +1,305 @@
+package nexus_test
+
+import (
+	"strings"
+	"testing"
+
+	"nexus"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/graph"
+	"nexus/internal/engines/linalg"
+	"nexus/internal/engines/relational"
+	"nexus/internal/server"
+)
+
+// End-to-end over real sockets through the public API: remote providers
+// behave exactly like local engines from the session's point of view.
+func TestSessionOverTCP(t *testing.T) {
+	rel := relational.New("remote-rel")
+	if err := rel.Store("sales", datagen.Sales(1, 2000, 100, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Store("customers", datagen.Customers(2, 100)); err != nil {
+		t.Fatal(err)
+	}
+	la := linalg.New("remote-la")
+	if err := la.Store("A", datagen.Matrix(3, 16, 16, "i", "k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Store("B", datagen.Matrix(4, 16, 16, "k", "j")); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := server.Serve(rel, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := server.Serve(la, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s1.Logf = t.Logf
+	s2.Logf = t.Logf
+
+	s := nexus.NewSession()
+	if _, err := s.ConnectTCP(s1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ConnectTCP(s2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Providers(); len(got) != 2 || got[0] != "remote-rel" {
+		t.Fatalf("providers = %v", got)
+	}
+	// Catalog discovery across the wire.
+	if _, ok := s.DatasetSchema("A"); !ok {
+		t.Fatal("remote dataset not discovered")
+	}
+	infos := s.Datasets()
+	if len(infos) != 4 {
+		t.Fatalf("expected 4 remote datasets, got %d", len(infos))
+	}
+
+	// A relational query against the remote server.
+	res, err := s.Query(`
+		load sales
+		| join (load customers) on cust_id == cust_id
+		| group by segment agg rev = sum(price * qty)
+		| sort rev desc
+	`).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("segments = %d", res.NumRows())
+	}
+
+	// A federated matmul: the join+agg spelling over matrices hosted on
+	// the remote linalg server, recognized and executed there.
+	q := s.Scan("A").
+		Join(s.Scan("B"), nexus.Inner, nexus.On("k", "k")).
+		GroupBy("i", "j").
+		Agg(nexus.Sum("c", nexus.Mul(nexus.Col("v"), nexus.Col("v_r"))))
+	mm, metrics, err := q.CollectWithMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.NumRows() != 16*16 {
+		t.Fatalf("matmul cells = %d", mm.NumRows())
+	}
+	if metrics.RoundTrips == 0 {
+		t.Fatal("TCP execution should count round trips")
+	}
+
+	// Errors surface cleanly and the connection stays usable.
+	if _, err := s.Scan("nothere").Collect(); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+	if _, err := s.Query(`load sales | limit 1`).Collect(); err != nil {
+		t.Fatalf("session unusable after error: %v", err)
+	}
+}
+
+// Storing through the session to a remote provider and querying it back.
+func TestSessionStoreToRemote(t *testing.T) {
+	rel := relational.New("r")
+	srv, err := server.Serve(rel, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Logf = t.Logf
+
+	s := nexus.NewSession()
+	name, err := s.ConnectTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "x", Type: nexus.Int64},
+	).Append(int64(1)).Append(int64(2)).Append(int64(3)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(name, "nums", tab); err != nil {
+		t.Fatal(err)
+	}
+	// The remote hello was taken at connect time; the underlying engine
+	// definitely has the data.
+	got, ok := rel.Dataset("nums")
+	if !ok || got.NumRows() != 3 {
+		t.Fatal("store did not reach the remote engine")
+	}
+}
+
+// The federated PageRank pipeline through the public API: data on a
+// relational engine, kernels on a graph engine, one Collect.
+func TestFederatedPageRankPublicAPI(t *testing.T) {
+	const n = 300
+	s := nexus.NewSession()
+	relName, err := s.AddEngine(nexus.Relational, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEngine(nexus.Graph, "analytics"); err != nil {
+		t.Fatal(err)
+	}
+	edges := datagen.UniformGraph(7, n, 1500)
+	eb := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "src", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "dst", Type: nexus.Int64},
+	)
+	src := edges.ColByName("src").Ints()
+	dst := edges.ColByName("dst").Ints()
+	for i := range src {
+		eb.Append(src[i], dst[i])
+	}
+	et, err := eb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := nexus.NewTableBuilder(nexus.ColumnDef{Name: "v", Type: nexus.Int64})
+	for i := int64(0); i < n; i++ {
+		vb.Append(i)
+	}
+	vt, err := vb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(relName, "edges", et); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(relName, "vertices", vt); err != nil {
+		t.Fatal(err)
+	}
+
+	deg := s.Scan("edges").GroupBy("src").Agg(nexus.Count("deg"))
+	init := s.Scan("vertices").Extend("rank", nexus.Float(1.0/n))
+	q := s.Let("deg", deg, func(degRef *nexus.Query) *nexus.Query {
+		return s.Iterate("state", init, func(loop *nexus.Query) *nexus.Query {
+			withdeg := loop.Join(degRef, nexus.Left, nexus.On("v", "src"))
+			contrib := withdeg.Extend("share",
+				nexus.Div(nexus.Col("rank"), nexus.Call("float", nexus.Col("deg"))))
+			perEdge := s.Scan("edges").Join(contrib, nexus.Inner, nexus.On("src", "v"))
+			insums := perEdge.GroupBy("dst").Agg(nexus.Sum("insum", nexus.Col("share")))
+			dang := withdeg.Where(nexus.IsNull(nexus.Col("deg"))).
+				Agg(nexus.Sum("dmass", nexus.Col("rank")))
+			upd := nexus.Add(
+				nexus.Float((1-0.85)/n),
+				nexus.Mul(nexus.Float(0.85),
+					nexus.Add(
+						nexus.Call("coalesce", nexus.Col("insum"), nexus.Float(0)),
+						nexus.Div(nexus.Call("coalesce", nexus.Col("dmass"), nexus.Float(0)), nexus.Float(n)))))
+			return loop.
+				Join(insums, nexus.Left, nexus.On("v", "dst")).
+				Product(dang).
+				Extend("nrank", upd).
+				Select("v", "nrank").
+				Rename("nrank", "rank")
+		}, 20, &nexus.Convergence{Metric: nexus.L1, Col: "rank", Tol: 1e-12})
+	})
+
+	explain, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "on analytics") {
+		t.Fatalf("iterate not routed to the graph engine:\n%s", explain)
+	}
+	res, err := q.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != n {
+		t.Fatalf("ranks = %d", res.NumRows())
+	}
+	ranks, err := res.Floats("rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ranks sum to %g", sum)
+	}
+	// Oracle agreement confirms the kernel computed real PageRank.
+	oracle := ref32(edgesToAdj(src, dst, n), n)
+	vs, _ := res.Ints("v")
+	for i := range vs {
+		if d := ranks[i] - oracle[vs[i]]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("rank[%d] = %g, oracle %g", vs[i], ranks[i], oracle[vs[i]])
+		}
+	}
+}
+
+func edgesToAdj(src, dst []int64, n int) [][]int {
+	adj := make([][]int, n)
+	for i := range src {
+		adj[src[i]] = append(adj[src[i]], int(dst[i]))
+	}
+	return adj
+}
+
+// ref32 is a tiny local PageRank oracle (20 iterations, matching the
+// query's convergence-off behaviour closely enough for 1e-6 agreement).
+func ref32(adj [][]int, n int) []float64 {
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < 20; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if len(adj[u]) == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := rank[u] / float64(len(adj[u]))
+			for _, v := range adj[u] {
+				next[v] += share
+			}
+		}
+		base := (1-0.85)/float64(n) + 0.85*dangling/float64(n)
+		for i := range next {
+			next[i] = base + 0.85*next[i]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// The graph example's recognizer path must also fire for CC and SSSP
+// built through internal plan builders executed via a session engine.
+func TestKernelCountersThroughSession(t *testing.T) {
+	gr := graph.New("g")
+	if err := gr.Store("edges", datagen.UniformGraph(9, 100, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.Store("vertices", graph.VerticesTable(100)); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := graph.ConnectedComponentsPlan("edges", datagen.EdgeSchema(), "vertices", graph.VerticesSchema(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gr.Execute(cc); err != nil {
+		t.Fatal(err)
+	}
+	sssp, err := graph.SSSPPlan("edges", datagen.EdgeSchema(), "vertices", graph.VerticesSchema(), 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gr.Execute(sssp); err != nil {
+		t.Fatal(err)
+	}
+	if gr.KernelCalls() != 2 {
+		t.Fatalf("kernel calls = %d, want 2", gr.KernelCalls())
+	}
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+func salesSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "id", Kind: value.KindInt64},
+		schema.Attribute{Name: "region", Kind: value.KindString},
+		schema.Attribute{Name: "qty", Kind: value.KindInt64},
+		schema.Attribute{Name: "price", Kind: value.KindFloat64},
+	)
+}
+
+func matSchema(d1, d2 string) schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: d1, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: d2, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: "v", Kind: value.KindFloat64},
+	)
+}
+
+func TestSchemaInferenceChain(t *testing.T) {
+	s, err := NewScan("sales", salesSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFilter(s, expr.Gt(expr.Column("qty"), expr.CInt(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Schema().Equal(s.Schema()) {
+		t.Fatal("filter changed schema")
+	}
+	e, err := NewExtend(f, []ColDef{{Name: "rev", E: expr.Mul(expr.Column("price"), expr.Column("qty"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Schema().Len() != 5 || e.Schema().At(4).Kind != value.KindFloat64 {
+		t.Fatalf("extend schema %v", e.Schema())
+	}
+	g, err := NewGroupAgg(e, []string{"region"}, []AggSpec{
+		{Func: AggSum, Arg: expr.Column("rev"), As: "total"},
+		{Func: AggAvg, Arg: expr.Column("qty"), As: "mean_qty"},
+		{Func: AggCount, As: "n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(region:string, total:float64, mean_qty:float64, n:int64)"
+	if g.Schema().String() != want {
+		t.Fatalf("groupagg schema %v, want %s", g.Schema(), want)
+	}
+}
+
+func TestTypeErrorsAtConstruction(t *testing.T) {
+	s, _ := NewScan("sales", salesSchema())
+	if _, err := NewFilter(s, expr.Add(expr.Column("qty"), expr.CInt(1))); err == nil {
+		t.Error("non-bool filter accepted")
+	}
+	if _, err := NewFilter(s, expr.Gt(expr.Column("ghost"), expr.CInt(1))); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := NewProject(s, nil); err == nil {
+		t.Error("empty project accepted")
+	}
+	if _, err := NewProject(s, []string{"ghost"}); err == nil {
+		t.Error("projecting missing column accepted")
+	}
+	if _, err := NewGroupAgg(s, []string{"region"}, []AggSpec{{Func: AggSum, Arg: expr.Column("region"), As: "x"}}); err == nil {
+		t.Error("sum over string accepted")
+	}
+	if _, err := NewGroupAgg(s, nil, []AggSpec{{Func: AggMin, As: "x"}}); err == nil {
+		t.Error("min without argument accepted")
+	}
+	if _, err := NewLimit(s, -1, 0); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if _, err := NewSort(s, nil); err == nil {
+		t.Error("empty sort accepted")
+	}
+}
+
+func TestJoinSchemas(t *testing.T) {
+	l, _ := NewScan("sales", salesSchema())
+	r, _ := NewScan("sales2", salesSchema())
+	j, err := NewJoin(l, r, JoinInner, []string{"id"}, []string{"id"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All right names collide and get suffixed.
+	if !j.Schema().Has("id_r") || !j.Schema().Has("region_r") {
+		t.Fatalf("join schema %v", j.Schema())
+	}
+	semi, err := NewJoin(l, r, JoinSemi, []string{"id"}, []string{"id"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semi.Schema().Equal(l.Schema()) {
+		t.Fatal("semi join must keep only left schema")
+	}
+	if _, err := NewJoin(l, r, JoinInner, []string{"id"}, []string{"id", "qty"}, nil); err == nil {
+		t.Error("mismatched key lists accepted")
+	}
+	if _, err := NewJoin(l, r, JoinInner, []string{"region"}, []string{"qty"}, nil); err == nil {
+		t.Error("string==int join keys accepted")
+	}
+}
+
+func TestArrayNodeValidation(t *testing.T) {
+	m, _ := NewScan("A", matSchema("i", "j"))
+	if _, err := NewSliceDim(m, "v", 0); err == nil {
+		t.Error("slicing a non-dimension accepted")
+	}
+	if _, err := NewDice(m, []DimBound{{Dim: "i", Lo: 5, Hi: 2}}); err == nil {
+		t.Error("empty dice range accepted")
+	}
+	if _, err := NewTranspose(m, []string{"i"}); err == nil {
+		t.Error("partial transpose accepted")
+	}
+	if _, err := NewTranspose(m, []string{"i", "i"}); err == nil {
+		t.Error("duplicate transpose accepted")
+	}
+	if _, err := NewWindow(m, []DimExtent{{Dim: "i", Before: -1}}, AggSum, "v", "w"); err == nil {
+		t.Error("negative extent accepted")
+	}
+	if _, err := NewWindow(m, []DimExtent{{Dim: "i", Before: 1, After: 1}}, AggSum, "i", "w"); err == nil {
+		t.Error("windowing a dimension accepted")
+	}
+	if _, err := NewReduceDims(m, nil, []AggSpec{{Func: AggSum, Arg: expr.Column("v"), As: "s"}}); err == nil {
+		t.Error("reduce over nothing accepted")
+	}
+	rel, _ := NewScan("sales", salesSchema())
+	if _, err := NewFill(rel, value.NewFloat(0)); err == nil {
+		t.Error("fill without dimensions accepted")
+	}
+	if _, err := NewAsArray(rel, []string{"region"}); err == nil {
+		t.Error("string dimension accepted")
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	a, _ := NewScan("A", matSchema("i", "k"))
+	b, _ := NewScan("B", matSchema("k", "j"))
+	mm, err := NewMatMul(a, b, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mm.Schema().String(); got != "(i:int64#, j:int64#, c:float64)" {
+		t.Fatalf("matmul schema %s", got)
+	}
+	bad, _ := NewScan("C", matSchema("x", "y"))
+	if _, err := NewMatMul(a, bad, "c"); err == nil {
+		t.Error("inner-dimension mismatch accepted")
+	}
+	rel, _ := NewScan("sales", salesSchema())
+	if _, err := NewMatMul(rel, b, "c"); err == nil {
+		t.Error("non-array matmul operand accepted")
+	}
+	// Same outer dims: output disambiguates.
+	sq1, _ := NewScan("S", matSchema("i", "k"))
+	sq2t, _ := NewScan("S2", matSchema("k", "i"))
+	mm2, err := NewMatMul(sq1, sq2t, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm2.Schema().Has("i_r") {
+		t.Fatalf("colliding output dims not suffixed: %v", mm2.Schema())
+	}
+}
+
+func TestIterateValidation(t *testing.T) {
+	sch := schema.New(
+		schema.Attribute{Name: "k", Kind: value.KindInt64},
+		schema.Attribute{Name: "x", Kind: value.KindFloat64},
+	)
+	init, _ := NewLiteral(table.Empty(sch))
+	loop, _ := NewVar("s", sch)
+	if _, err := NewIterate(init, loop, "s", 0, nil); err == nil {
+		t.Error("zero max iterations accepted")
+	}
+	if _, err := NewIterate(init, loop, "", 5, nil); err == nil {
+		t.Error("empty loop var accepted")
+	}
+	// Body schema mismatch.
+	narrow, _ := NewProject(loop, []string{"k"})
+	if _, err := NewIterate(init, narrow, "s", 5, nil); err == nil {
+		t.Error("body schema mismatch accepted")
+	}
+	// Var with wrong schema inside body.
+	wrongVar, _ := NewVar("s", schema.New(schema.Attribute{Name: "z", Kind: value.KindInt64}))
+	if _, err := NewIterate(init, wrongVar, "s", 5, nil); err == nil {
+		t.Error("var schema mismatch accepted")
+	}
+	// Convergence on a string column.
+	strSch := schema.New(schema.Attribute{Name: "name", Kind: value.KindString})
+	sInit, _ := NewLiteral(table.Empty(strSch))
+	sLoop, _ := NewVar("s", strSch)
+	if _, err := NewIterate(sInit, sLoop, "s", 5, &Convergence{Metric: MetricL1, Col: "name"}); err == nil {
+		t.Error("L1 over string accepted")
+	}
+	// RowDelta needs no column.
+	if _, err := NewIterate(sInit, sLoop, "s", 5, &Convergence{Metric: MetricRowDelta}); err != nil {
+		t.Errorf("rowdelta rejected: %v", err)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	sch := salesSchema()
+	v, _ := NewVar("free", sch)
+	if fv := FreeVars(v); len(fv) != 1 || fv[0] != "free" {
+		t.Fatalf("FreeVars = %v", fv)
+	}
+	lit, _ := NewLiteral(table.Empty(sch))
+	let, _ := NewLet("free", lit, v)
+	if fv := FreeVars(let); len(fv) != 0 {
+		t.Fatalf("let-bound var reported free: %v", fv)
+	}
+	// Iterate binds its loop var in the body only.
+	loop, _ := NewVar("st", sch)
+	it, _ := NewIterate(lit, loop, "st", 3, nil)
+	if fv := FreeVars(it); len(fv) != 0 {
+		t.Fatalf("iterate loop var reported free: %v", fv)
+	}
+}
+
+func TestWalkRewriteAndCounts(t *testing.T) {
+	s, _ := NewScan("sales", salesSchema())
+	f, _ := NewFilter(s, expr.Gt(expr.Column("qty"), expr.CInt(2)))
+	l, _ := NewLimit(f, 10, 0)
+	if CountNodes(l) != 3 || Depth(l) != 3 {
+		t.Fatalf("count=%d depth=%d", CountNodes(l), Depth(l))
+	}
+	// Rewrite: replace the limit bound.
+	out, err := Rewrite(l, func(n Node) (Node, error) {
+		if lim, ok := n.(*Limit); ok {
+			return NewLimit(lim.Children()[0], 5, 0)
+		}
+		return n, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(*Limit).N != 5 {
+		t.Fatal("rewrite did not apply")
+	}
+	if l.N != 10 {
+		t.Fatal("rewrite mutated the original")
+	}
+}
+
+func TestEqualAndHashPlan(t *testing.T) {
+	build := func(qty int64) Node {
+		s, _ := NewScan("sales", salesSchema())
+		f, _ := NewFilter(s, expr.Gt(expr.Column("qty"), expr.CInt(qty)))
+		g, _ := NewGroupAgg(f, []string{"region"}, []AggSpec{{Func: AggCount, As: "n"}})
+		return g
+	}
+	a, b, c := build(2), build(2), build(3)
+	if !Equal(a, b) {
+		t.Fatal("equal plans differ")
+	}
+	if Equal(a, c) {
+		t.Fatal("different plans equal")
+	}
+	if HashPlan(a) != HashPlan(b) {
+		t.Fatal("hash of equal plans differs")
+	}
+	if HashPlan(a) == HashPlan(c) {
+		t.Fatal("hash collision on different plans (parameter not hashed)")
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	s, _ := NewScan("sales", salesSchema())
+	f, _ := NewFilter(s, expr.Eq(expr.Column("region"), expr.CStr("EU")))
+	srt, _ := NewSort(f, []SortSpec{{Col: "price", Desc: true}})
+	out := Explain(srt)
+	for _, want := range []string{"sort price desc", "filter", "scan sales", "region:string"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation: scan is two levels deep.
+	if !strings.Contains(out, "    scan") {
+		t.Fatalf("explain indentation broken:\n%s", out)
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	a, _ := NewScan("zeta", salesSchema())
+	b, _ := NewScan("alpha", salesSchema())
+	u, _ := NewUnion(a, b, true)
+	got := DatasetNames(u)
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("DatasetNames = %v (want sorted unique)", got)
+	}
+}
+
+func TestAggFuncParsing(t *testing.T) {
+	for _, name := range []string{"sum", "count", "min", "max", "avg", "countd"} {
+		f, err := ParseAggFunc(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.String() != name {
+			t.Fatalf("%s round trip -> %s", name, f)
+		}
+	}
+	if _, err := ParseAggFunc("median"); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+}
+
+func TestOpKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range AllOpKinds() {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "opkind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate op name %s", name)
+		}
+		seen[name] = true
+		if !k.Valid() {
+			t.Fatalf("%s invalid", name)
+		}
+	}
+	if len(seen) != 29 {
+		t.Fatalf("expected 29 operators, got %d", len(seen))
+	}
+}
+
+func TestWithChildrenArityChecks(t *testing.T) {
+	s, _ := NewScan("sales", salesSchema())
+	f, _ := NewFilter(s, expr.Gt(expr.Column("qty"), expr.CInt(1)))
+	if _, err := f.WithChildren(nil); err == nil {
+		t.Fatal("filter with 0 children accepted")
+	}
+	if _, err := s.WithChildren([]Node{f}); err == nil {
+		t.Fatal("scan with a child accepted")
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nexus/internal/expr"
+	"nexus/internal/value"
+)
+
+// Explain renders the plan as an indented operator tree, one node per
+// line, with schemas. This is the human-readable form of the algebraic
+// intermediate form; the shell's `explain` command prints it.
+func Explain(n Node) string {
+	var b strings.Builder
+	explainInto(&b, n, 0)
+	return b.String()
+}
+
+func explainInto(b *strings.Builder, n Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Describe())
+	fmt.Fprintf(b, "  → %v\n", n.Schema())
+	for _, c := range n.Children() {
+		explainInto(b, c, depth+1)
+	}
+}
+
+// Equal reports structural equality of two plans: same operators, same
+// parameters, same children. Literal tables compare by content.
+func Equal(a, b Node) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	ac, bc := a.Children(), b.Children()
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		if !Equal(ac[i], bc[i]) {
+			return false
+		}
+	}
+	return paramsEqual(a, b)
+}
+
+func paramsEqual(a, b Node) bool {
+	switch x := a.(type) {
+	case *Scan:
+		y := b.(*Scan)
+		return x.Dataset == y.Dataset && x.Schema().Equal(y.Schema())
+	case *Literal:
+		y := b.(*Literal)
+		return x.Table.Schema().Equal(y.Table.Schema()) &&
+			x.Table.OrderedChecksum() == y.Table.OrderedChecksum()
+	case *Var:
+		y := b.(*Var)
+		return x.Name == y.Name && x.Schema().Equal(y.Schema())
+	case *Filter:
+		y := b.(*Filter)
+		return expr.Equal(x.Pred, y.Pred)
+	case *Project:
+		y := b.(*Project)
+		return strsEqual(x.Cols, y.Cols)
+	case *Rename:
+		y := b.(*Rename)
+		return strsEqual(x.From, y.From) && strsEqual(x.To, y.To)
+	case *Extend:
+		y := b.(*Extend)
+		if len(x.Defs) != len(y.Defs) {
+			return false
+		}
+		for i := range x.Defs {
+			if x.Defs[i].Name != y.Defs[i].Name || !expr.Equal(x.Defs[i].E, y.Defs[i].E) {
+				return false
+			}
+		}
+		return true
+	case *Join:
+		y := b.(*Join)
+		return x.Type == y.Type && strsEqual(x.LeftKeys, y.LeftKeys) &&
+			strsEqual(x.RightKeys, y.RightKeys) && expr.Equal(x.Residual, y.Residual)
+	case *Product:
+		return true
+	case *GroupAgg:
+		y := b.(*GroupAgg)
+		return strsEqual(x.Keys, y.Keys) && aggsEqual(x.Aggs, y.Aggs)
+	case *Distinct:
+		return true
+	case *Sort:
+		y := b.(*Sort)
+		if len(x.Specs) != len(y.Specs) {
+			return false
+		}
+		for i := range x.Specs {
+			if x.Specs[i] != y.Specs[i] {
+				return false
+			}
+		}
+		return true
+	case *Limit:
+		y := b.(*Limit)
+		return x.N == y.N && x.Offset == y.Offset
+	case *Union:
+		y := b.(*Union)
+		return x.All == y.All
+	case *Except, *Intersect, *DropDims:
+		return true
+	case *AsArray:
+		y := b.(*AsArray)
+		return strsEqual(x.Dims, y.Dims)
+	case *SliceDim:
+		y := b.(*SliceDim)
+		return x.Dim == y.Dim && x.At == y.At
+	case *Dice:
+		y := b.(*Dice)
+		if len(x.Bounds) != len(y.Bounds) {
+			return false
+		}
+		for i := range x.Bounds {
+			if x.Bounds[i] != y.Bounds[i] {
+				return false
+			}
+		}
+		return true
+	case *Transpose:
+		y := b.(*Transpose)
+		return strsEqual(x.Perm, y.Perm)
+	case *Window:
+		y := b.(*Window)
+		if len(x.Extents) != len(y.Extents) {
+			return false
+		}
+		for i := range x.Extents {
+			if x.Extents[i] != y.Extents[i] {
+				return false
+			}
+		}
+		return x.Agg == y.Agg && x.Arg == y.Arg && x.As == y.As
+	case *ReduceDims:
+		y := b.(*ReduceDims)
+		return strsEqual(x.Over, y.Over) && aggsEqual(x.Aggs, y.Aggs)
+	case *Fill:
+		y := b.(*Fill)
+		return value.Equal(x.Default, y.Default) && x.Default.Kind() == y.Default.Kind()
+	case *Shift:
+		y := b.(*Shift)
+		return x.Dim == y.Dim && x.Offset == y.Offset
+	case *MatMul:
+		y := b.(*MatMul)
+		return x.As == y.As
+	case *ElemWise:
+		y := b.(*ElemWise)
+		return x.Op == y.Op && x.As == y.As
+	case *Iterate:
+		y := b.(*Iterate)
+		if x.LoopVar != y.LoopVar || x.MaxIters != y.MaxIters {
+			return false
+		}
+		if (x.Conv == nil) != (y.Conv == nil) {
+			return false
+		}
+		return x.Conv == nil || *x.Conv == *y.Conv
+	case *Let:
+		y := b.(*Let)
+		return x.Name == y.Name
+	}
+	return false
+}
+
+func strsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func aggsEqual(a, b []AggSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Func != b[i].Func || a[i].As != b[i].As || !expr.Equal(a[i].Arg, b[i].Arg) {
+			return false
+		}
+	}
+	return true
+}
+
+// HashPlan returns a structural hash consistent with Equal, used by the
+// planner's memo and by servers caching prepared fragments.
+func HashPlan(n Node) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(u uint64) { h = (h ^ u) * 1099511628211 }
+	mixs := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+		mix(0xff)
+	}
+	if n == nil {
+		return h
+	}
+	mix(uint64(n.Kind()))
+	switch x := n.(type) {
+	case *Scan:
+		mixs(x.Dataset)
+	case *Literal:
+		mix(x.Table.OrderedChecksum())
+	case *Var:
+		mixs(x.Name)
+	case *Filter:
+		mix(expr.Hash(x.Pred))
+	case *Project:
+		for _, c := range x.Cols {
+			mixs(c)
+		}
+	case *Rename:
+		for i := range x.From {
+			mixs(x.From[i])
+			mixs(x.To[i])
+		}
+	case *Extend:
+		for _, d := range x.Defs {
+			mixs(d.Name)
+			mix(expr.Hash(d.E))
+		}
+	case *Join:
+		mix(uint64(x.Type))
+		for i := range x.LeftKeys {
+			mixs(x.LeftKeys[i])
+			mixs(x.RightKeys[i])
+		}
+		if x.Residual != nil {
+			mix(expr.Hash(x.Residual))
+		}
+	case *GroupAgg:
+		for _, k := range x.Keys {
+			mixs(k)
+		}
+		for _, a := range x.Aggs {
+			mix(uint64(a.Func))
+			mixs(a.As)
+			if a.Arg != nil {
+				mix(expr.Hash(a.Arg))
+			}
+		}
+	case *Sort:
+		for _, s := range x.Specs {
+			mixs(s.Col)
+			if s.Desc {
+				mix(1)
+			}
+		}
+	case *Limit:
+		mix(uint64(x.N))
+		mix(uint64(x.Offset))
+	case *Union:
+		if x.All {
+			mix(1)
+		}
+	case *AsArray:
+		for _, d := range x.Dims {
+			mixs(d)
+		}
+	case *SliceDim:
+		mixs(x.Dim)
+		mix(uint64(x.At))
+	case *Dice:
+		for _, b := range x.Bounds {
+			mixs(b.Dim)
+			mix(uint64(b.Lo))
+			mix(uint64(b.Hi))
+		}
+	case *Transpose:
+		for _, p := range x.Perm {
+			mixs(p)
+		}
+	case *Window:
+		for _, e := range x.Extents {
+			mixs(e.Dim)
+			mix(uint64(e.Before))
+			mix(uint64(e.After))
+		}
+		mix(uint64(x.Agg))
+		mixs(x.Arg)
+		mixs(x.As)
+	case *ReduceDims:
+		for _, d := range x.Over {
+			mixs(d)
+		}
+		for _, a := range x.Aggs {
+			mix(uint64(a.Func))
+			mixs(a.As)
+			if a.Arg != nil {
+				mix(expr.Hash(a.Arg))
+			}
+		}
+	case *Fill:
+		mix(value.Hash(x.Default))
+	case *Shift:
+		mixs(x.Dim)
+		mix(uint64(x.Offset))
+	case *MatMul:
+		mixs(x.As)
+	case *ElemWise:
+		mix(uint64(x.Op))
+		mixs(x.As)
+	case *Iterate:
+		mixs(x.LoopVar)
+		mix(uint64(x.MaxIters))
+		if x.Conv != nil {
+			mix(uint64(x.Conv.Metric))
+			mixs(x.Conv.Col)
+		}
+	case *Let:
+		mixs(x.Name)
+	}
+	for _, c := range n.Children() {
+		mix(HashPlan(c))
+	}
+	return h
+}

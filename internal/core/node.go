@@ -1,0 +1,240 @@
+// Package core implements the paper's central abstraction: the Big Data
+// algebra, an algebraic intermediate form whose operators span standard
+// relational algebra, dimension-aware array operations over the fused
+// tabular/array model, and control iteration (repeated execution of an
+// expression until a convergence criterion is met).
+//
+// Plans are immutable trees of Node values. Every node infers and caches
+// its output schema at construction time, so an ill-typed plan cannot be
+// built; rewrites (internal/planner) rebuild nodes via WithChildren and
+// re-run inference. Plans serialize to expression trees on the wire
+// (internal/wire) — the LINQ property the paper highlights: queries
+// travel as one tree, not as a series of remote calls.
+package core
+
+import (
+	"fmt"
+
+	"nexus/internal/schema"
+)
+
+// OpKind identifies an operator for capability checks (internal/provider)
+// and wire encoding. The numbering is part of the wire format; append
+// only.
+type OpKind uint8
+
+// Operator kinds of the Big Data algebra.
+const (
+	KInvalid OpKind = iota
+
+	// Leaves.
+	KScan    // named dataset
+	KLiteral // inline table
+	KVar     // loop / let variable reference
+
+	// Relational core.
+	KFilter
+	KProject
+	KRename
+	KExtend
+	KJoin
+	KProduct
+	KGroupAgg
+	KDistinct
+	KSort
+	KLimit
+	KUnion
+	KExcept
+	KIntersect
+
+	// Dimension-aware array operations.
+	KAsArray
+	KDropDims
+	KSlice
+	KDice
+	KTranspose
+	KWindow
+	KReduceDims
+	KFill
+	KShift
+	KMatMul
+	KElemWise
+
+	// Control iteration.
+	KIterate
+	KLet
+
+	numOpKinds
+)
+
+var opNames = [...]string{
+	KInvalid:    "invalid",
+	KScan:       "scan",
+	KLiteral:    "literal",
+	KVar:        "var",
+	KFilter:     "filter",
+	KProject:    "project",
+	KRename:     "rename",
+	KExtend:     "extend",
+	KJoin:       "join",
+	KProduct:    "product",
+	KGroupAgg:   "groupagg",
+	KDistinct:   "distinct",
+	KSort:       "sort",
+	KLimit:      "limit",
+	KUnion:      "union",
+	KExcept:     "except",
+	KIntersect:  "intersect",
+	KAsArray:    "asarray",
+	KDropDims:   "dropdims",
+	KSlice:      "slice",
+	KDice:       "dice",
+	KTranspose:  "transpose",
+	KWindow:     "window",
+	KReduceDims: "reducedims",
+	KFill:       "fill",
+	KShift:      "shift",
+	KMatMul:     "matmul",
+	KElemWise:   "elemwise",
+	KIterate:    "iterate",
+	KLet:        "let",
+}
+
+// String returns the operator's lower-case name.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) && opNames[k] != "" {
+		return opNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// Valid reports whether k names a defined operator.
+func (k OpKind) Valid() bool { return k > KInvalid && k < numOpKinds }
+
+// AllOpKinds returns every defined operator kind, in wire order. Used by
+// the translatability experiment (E2) to enumerate the operator axis.
+func AllOpKinds() []OpKind {
+	out := make([]OpKind, 0, int(numOpKinds)-1)
+	for k := KScan; k < numOpKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Node is one operator of the Big Data algebra. Nodes are immutable and
+// carry their inferred output schema.
+type Node interface {
+	// Kind returns the operator kind.
+	Kind() OpKind
+	// Schema returns the node's output schema, inferred at construction.
+	Schema() schema.Schema
+	// Children returns the node's inputs in order. The returned slice
+	// must not be mutated.
+	Children() []Node
+	// WithChildren rebuilds the node with new children, re-running
+	// schema inference. len(children) must match Children().
+	WithChildren(children []Node) (Node, error)
+	// Describe renders the node's own parameters (one line, no children).
+	Describe() string
+}
+
+// Walk visits n and its descendants pre-order; fn returning false prunes.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Rewrite rebuilds the plan bottom-up: children are rewritten first, the
+// node is rebuilt if any child changed, then fn maps the node. fn may
+// return its argument unchanged.
+func Rewrite(n Node, fn func(Node) (Node, error)) (Node, error) {
+	if n == nil {
+		return nil, nil
+	}
+	kids := n.Children()
+	if len(kids) > 0 {
+		newKids := kids
+		changed := false
+		for i, c := range kids {
+			rc, err := Rewrite(c, fn)
+			if err != nil {
+				return nil, err
+			}
+			if rc != c {
+				if !changed {
+					newKids = make([]Node, len(kids))
+					copy(newKids, kids)
+					changed = true
+				}
+				newKids[i] = rc
+			}
+		}
+		if changed {
+			var err error
+			n, err = n.WithChildren(newKids)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fn(n)
+}
+
+// CountNodes returns the number of operators in the plan.
+func CountNodes(n Node) int {
+	c := 0
+	Walk(n, func(Node) bool { c++; return true })
+	return c
+}
+
+// Depth returns the height of the plan tree.
+func Depth(n Node) int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, c := range n.Children() {
+		if cd := Depth(c); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// DatasetNames returns the sorted set of dataset names scanned by the
+// plan; the planner uses this for data-locality placement.
+func DatasetNames(n Node) []string {
+	set := map[string]bool{}
+	Walk(n, func(x Node) bool {
+		if s, ok := x.(*Scan); ok {
+			set[s.Dataset] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// checkArity validates a WithChildren call.
+func checkArity(k OpKind, got, want int) error {
+	if got != want {
+		return fmt.Errorf("core: %v takes %d children, got %d", k, want, got)
+	}
+	return nil
+}

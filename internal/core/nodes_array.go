@@ -1,0 +1,715 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/value"
+)
+
+// ---------------------------------------------------------------------------
+// Dimension-aware array operators. These realize the paper's proposed
+// "fusion of tabular and array models, with 0 or more attributes in a
+// table structure being tagged as dimensions, and operators being
+// dimension-aware".
+
+// AsArray tags the named int64 attributes as dimensions, turning a table
+// into a (sparse) array whose cells are the remaining attributes.
+type AsArray struct {
+	Dims  []string
+	child Node
+	sch   schema.Schema
+}
+
+// NewAsArray validates that the named attributes exist and are int64.
+func NewAsArray(child Node, dims []string) (*AsArray, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("core: asarray with no dimensions")
+	}
+	sch, err := child.Schema().WithDims(dims...)
+	if err != nil {
+		return nil, fmt.Errorf("core: asarray: %w", err)
+	}
+	return &AsArray{Dims: append([]string(nil), dims...), child: child, sch: sch}, nil
+}
+
+// Kind implements Node.
+func (n *AsArray) Kind() OpKind { return KAsArray }
+
+// Schema implements Node.
+func (n *AsArray) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *AsArray) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *AsArray) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KAsArray, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewAsArray(c[0], n.Dims)
+}
+
+// Describe implements Node.
+func (n *AsArray) Describe() string { return "asarray " + strings.Join(n.Dims, ", ") }
+
+// DropDims clears every dimension tag, turning an array back into a plain
+// relation (coordinates become ordinary attributes).
+type DropDims struct {
+	child Node
+	sch   schema.Schema
+}
+
+// NewDropDims builds the tag-clearing node.
+func NewDropDims(child Node) (*DropDims, error) {
+	return &DropDims{child: child, sch: child.Schema().DropDims()}, nil
+}
+
+// Kind implements Node.
+func (n *DropDims) Kind() OpKind { return KDropDims }
+
+// Schema implements Node.
+func (n *DropDims) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *DropDims) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *DropDims) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KDropDims, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewDropDims(c[0])
+}
+
+// Describe implements Node.
+func (n *DropDims) Describe() string { return "dropdims" }
+
+// requireDim returns an error unless the child schema has the named
+// dimension attribute.
+func requireDim(op OpKind, child Node, dim string) error {
+	s := child.Schema()
+	i := s.IndexOf(dim)
+	if i < 0 {
+		return fmt.Errorf("core: %v: no attribute %q", op, dim)
+	}
+	if !s.At(i).Dim {
+		return fmt.Errorf("core: %v: attribute %q is not a dimension", op, dim)
+	}
+	return nil
+}
+
+// SliceDim fixes one dimension at a coordinate and removes it from the
+// schema (SciDB's slice).
+type SliceDim struct {
+	Dim   string
+	At    int64
+	child Node
+	sch   schema.Schema
+}
+
+// NewSliceDim validates the dimension and computes the reduced schema.
+func NewSliceDim(child Node, dim string, at int64) (*SliceDim, error) {
+	if err := requireDim(KSlice, child, dim); err != nil {
+		return nil, err
+	}
+	cs := child.Schema()
+	var keep []int
+	for i := 0; i < cs.Len(); i++ {
+		if cs.At(i).Name != dim {
+			keep = append(keep, i)
+		}
+	}
+	return &SliceDim{Dim: dim, At: at, child: child, sch: cs.Project(keep)}, nil
+}
+
+// Kind implements Node.
+func (n *SliceDim) Kind() OpKind { return KSlice }
+
+// Schema implements Node.
+func (n *SliceDim) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *SliceDim) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *SliceDim) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KSlice, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewSliceDim(c[0], n.Dim, n.At)
+}
+
+// Describe implements Node.
+func (n *SliceDim) Describe() string { return fmt.Sprintf("slice %s = %d", n.Dim, n.At) }
+
+// DimBound restricts one dimension to the half-open range [Lo, Hi).
+type DimBound struct {
+	Dim    string
+	Lo, Hi int64
+}
+
+// Dice restricts dimensions to a box (SciDB's subarray/between). The
+// schema is unchanged; coordinates are preserved.
+type Dice struct {
+	Bounds []DimBound
+	child  Node
+	sch    schema.Schema
+}
+
+// NewDice validates each bound's dimension and range.
+func NewDice(child Node, bounds []DimBound) (*Dice, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("core: dice with no bounds")
+	}
+	for _, b := range bounds {
+		if err := requireDim(KDice, child, b.Dim); err != nil {
+			return nil, err
+		}
+		if b.Hi < b.Lo {
+			return nil, fmt.Errorf("core: dice: empty range [%d, %d) on %q", b.Lo, b.Hi, b.Dim)
+		}
+	}
+	return &Dice{Bounds: append([]DimBound(nil), bounds...), child: child, sch: child.Schema()}, nil
+}
+
+// Kind implements Node.
+func (n *Dice) Kind() OpKind { return KDice }
+
+// Schema implements Node.
+func (n *Dice) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *Dice) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *Dice) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KDice, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewDice(c[0], n.Bounds)
+}
+
+// Describe implements Node.
+func (n *Dice) Describe() string {
+	parts := make([]string, len(n.Bounds))
+	for i, b := range n.Bounds {
+		parts[i] = fmt.Sprintf("%s ∈ [%d, %d)", b.Dim, b.Lo, b.Hi)
+	}
+	return "dice " + strings.Join(parts, ", ")
+}
+
+// Transpose reorders the dimension attributes to the given permutation
+// (the value attributes keep their relative order). For a 2-D array with
+// one value attribute this is matrix transposition.
+type Transpose struct {
+	Perm  []string
+	child Node
+	sch   schema.Schema
+}
+
+// NewTranspose validates that Perm is a permutation of the child's
+// dimensions and computes the reordered schema.
+func NewTranspose(child Node, perm []string) (*Transpose, error) {
+	cs := child.Schema()
+	dims := cs.DimNames()
+	if len(perm) != len(dims) {
+		return nil, fmt.Errorf("core: transpose: %d dims given, child has %d", len(perm), len(dims))
+	}
+	seen := map[string]bool{}
+	for _, p := range perm {
+		if err := requireDim(KTranspose, child, p); err != nil {
+			return nil, err
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("core: transpose: duplicate dimension %q", p)
+		}
+		seen[p] = true
+	}
+	// New attribute order: permuted dims first, then non-dims in child order.
+	var attrs []schema.Attribute
+	for _, p := range perm {
+		attrs = append(attrs, cs.At(cs.IndexOf(p)))
+	}
+	for i := 0; i < cs.Len(); i++ {
+		if !cs.At(i).Dim {
+			attrs = append(attrs, cs.At(i))
+		}
+	}
+	sch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: transpose: %w", err)
+	}
+	return &Transpose{Perm: append([]string(nil), perm...), child: child, sch: sch}, nil
+}
+
+// Kind implements Node.
+func (n *Transpose) Kind() OpKind { return KTranspose }
+
+// Schema implements Node.
+func (n *Transpose) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *Transpose) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *Transpose) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KTranspose, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewTranspose(c[0], n.Perm)
+}
+
+// Describe implements Node.
+func (n *Transpose) Describe() string { return "transpose " + strings.Join(n.Perm, ", ") }
+
+// DimExtent is a window extent along one dimension: Before cells below
+// and After cells above the center, inclusive.
+type DimExtent struct {
+	Dim    string
+	Before int64
+	After  int64
+}
+
+// Window is a moving-window (stencil) aggregate over the dimension box:
+// for each cell, aggregate Arg over the neighbourhood defined by the
+// extents. Dimensions not listed default to extent 0 (that cell only).
+type Window struct {
+	Extents []DimExtent
+	Agg     AggFunc
+	Arg     string // value attribute to aggregate
+	As      string // output attribute name
+	child   Node
+	sch     schema.Schema
+}
+
+// NewWindow validates extents and the aggregated attribute.
+func NewWindow(child Node, extents []DimExtent, agg AggFunc, arg, as string) (*Window, error) {
+	if len(extents) == 0 {
+		return nil, fmt.Errorf("core: window with no extents")
+	}
+	cs := child.Schema()
+	for _, e := range extents {
+		if err := requireDim(KWindow, child, e.Dim); err != nil {
+			return nil, err
+		}
+		if e.Before < 0 || e.After < 0 {
+			return nil, fmt.Errorf("core: window: negative extent on %q", e.Dim)
+		}
+	}
+	ai := cs.IndexOf(arg)
+	if ai < 0 {
+		return nil, fmt.Errorf("core: window: no attribute %q", arg)
+	}
+	if cs.At(ai).Dim {
+		return nil, fmt.Errorf("core: window: cannot aggregate dimension %q", arg)
+	}
+	rk, err := agg.ResultKind(cs.At(ai).Kind)
+	if err != nil {
+		return nil, fmt.Errorf("core: window: %w", err)
+	}
+	if as == "" {
+		return nil, fmt.Errorf("core: window without output name")
+	}
+	// Output: dimensions + the windowed aggregate.
+	var attrs []schema.Attribute
+	for _, i := range cs.DimIndexes() {
+		attrs = append(attrs, cs.At(i))
+	}
+	attrs = append(attrs, schema.Attribute{Name: as, Kind: rk})
+	sch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: window: %w", err)
+	}
+	return &Window{
+		Extents: append([]DimExtent(nil), extents...),
+		Agg:     agg, Arg: arg, As: as,
+		child: child, sch: sch,
+	}, nil
+}
+
+// Kind implements Node.
+func (n *Window) Kind() OpKind { return KWindow }
+
+// Schema implements Node.
+func (n *Window) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *Window) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *Window) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KWindow, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewWindow(c[0], n.Extents, n.Agg, n.Arg, n.As)
+}
+
+// Describe implements Node.
+func (n *Window) Describe() string {
+	parts := make([]string, len(n.Extents))
+	for i, e := range n.Extents {
+		parts[i] = fmt.Sprintf("%s±(%d,%d)", e.Dim, e.Before, e.After)
+	}
+	return fmt.Sprintf("window %s %s = %s(%s)", strings.Join(parts, " "), n.As, n.Agg, n.Arg)
+}
+
+// ReduceDims aggregates away the listed dimensions, grouping by the
+// remaining ones (SciDB's aggregate-over-dimensions). It is semantically
+// a GroupAgg keyed on the surviving dimensions — the planner uses exactly
+// that desugaring to run it on engines without array support, which is
+// the paper's "translatable to ... a combination of such systems".
+type ReduceDims struct {
+	Over  []string
+	Aggs  []AggSpec
+	child Node
+	sch   schema.Schema
+}
+
+// NewReduceDims validates the reduced dimensions and aggregate specs.
+func NewReduceDims(child Node, over []string, aggs []AggSpec) (*ReduceDims, error) {
+	if len(over) == 0 {
+		return nil, fmt.Errorf("core: reducedims with no dimensions")
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("core: reducedims with no aggregates")
+	}
+	cs := child.Schema()
+	reduced := map[string]bool{}
+	for _, d := range over {
+		if err := requireDim(KReduceDims, child, d); err != nil {
+			return nil, err
+		}
+		reduced[d] = true
+	}
+	var attrs []schema.Attribute
+	for _, i := range cs.DimIndexes() {
+		if !reduced[cs.At(i).Name] {
+			attrs = append(attrs, cs.At(i))
+		}
+	}
+	for _, a := range aggs {
+		if a.As == "" {
+			return nil, fmt.Errorf("core: reducedims: aggregate without output name")
+		}
+		argKind := value.KindNull
+		if a.Arg != nil {
+			k, err := expr.InferKind(a.Arg, cs)
+			if err != nil {
+				return nil, fmt.Errorf("core: reducedims %q: %w", a.As, err)
+			}
+			argKind = k
+		} else if a.Func != AggCount {
+			return nil, fmt.Errorf("core: reducedims: %v requires an argument", a.Func)
+		}
+		rk, err := a.Func.ResultKind(argKind)
+		if err != nil {
+			return nil, fmt.Errorf("core: reducedims %q: %w", a.As, err)
+		}
+		attrs = append(attrs, schema.Attribute{Name: a.As, Kind: rk})
+	}
+	sch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: reducedims: %w", err)
+	}
+	return &ReduceDims{
+		Over:  append([]string(nil), over...),
+		Aggs:  append([]AggSpec(nil), aggs...),
+		child: child, sch: sch,
+	}, nil
+}
+
+// Kind implements Node.
+func (n *ReduceDims) Kind() OpKind { return KReduceDims }
+
+// Schema implements Node.
+func (n *ReduceDims) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *ReduceDims) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *ReduceDims) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KReduceDims, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewReduceDims(c[0], n.Over, n.Aggs)
+}
+
+// Describe implements Node.
+func (n *ReduceDims) Describe() string {
+	parts := make([]string, len(n.Aggs))
+	for i, a := range n.Aggs {
+		parts[i] = a.String()
+	}
+	return "reduce over " + strings.Join(n.Over, ", ") + " agg " + strings.Join(parts, ", ")
+}
+
+// Fill densifies the dimension box: every coordinate combination within
+// the data's bounding box appears in the output, with missing cells'
+// value attributes set to Default. Required before Window/MatMul on
+// sparse inputs.
+type Fill struct {
+	Default value.Value
+	child   Node
+	sch     schema.Schema
+}
+
+// NewFill validates that the child has dimensions and that Default is
+// compatible with every non-dimension attribute (or NULL).
+func NewFill(child Node, def value.Value) (*Fill, error) {
+	cs := child.Schema()
+	if cs.NumDims() == 0 {
+		return nil, fmt.Errorf("core: fill on input without dimensions")
+	}
+	if !def.IsNull() {
+		for i := 0; i < cs.Len(); i++ {
+			a := cs.At(i)
+			if a.Dim {
+				continue
+			}
+			if a.Kind != def.Kind() && !(a.Kind.Numeric() && def.Kind().Numeric()) {
+				return nil, fmt.Errorf("core: fill default %v incompatible with %s:%v", def, a.Name, a.Kind)
+			}
+		}
+	}
+	return &Fill{Default: def, child: child, sch: cs}, nil
+}
+
+// Kind implements Node.
+func (n *Fill) Kind() OpKind { return KFill }
+
+// Schema implements Node.
+func (n *Fill) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *Fill) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *Fill) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KFill, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewFill(c[0], n.Default)
+}
+
+// Describe implements Node.
+func (n *Fill) Describe() string { return "fill " + n.Default.String() }
+
+// Shift translates one dimension's coordinates by a constant offset.
+type Shift struct {
+	Dim    string
+	Offset int64
+	child  Node
+	sch    schema.Schema
+}
+
+// NewShift validates the dimension.
+func NewShift(child Node, dim string, offset int64) (*Shift, error) {
+	if err := requireDim(KShift, child, dim); err != nil {
+		return nil, err
+	}
+	return &Shift{Dim: dim, Offset: offset, child: child, sch: child.Schema()}, nil
+}
+
+// Kind implements Node.
+func (n *Shift) Kind() OpKind { return KShift }
+
+// Schema implements Node.
+func (n *Shift) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *Shift) Children() []Node { return []Node{n.child} }
+
+// WithChildren implements Node.
+func (n *Shift) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KShift, len(c), 1); err != nil {
+		return nil, err
+	}
+	return NewShift(c[0], n.Dim, n.Offset)
+}
+
+// Describe implements Node.
+func (n *Shift) Describe() string { return fmt.Sprintf("shift %s by %+d", n.Dim, n.Offset) }
+
+// MatMul multiplies two matrices: the left child must be a 2-D array with
+// dims (i, k) and one numeric value attribute; the right child dims
+// (k, j) likewise, where the left's second dimension name matches the
+// right's first. The output has dims (i, j) and value attribute As.
+//
+// MatMul exists as a first-class node precisely for the paper's intent-
+// preservation desideratum: "if the original function is matrix multiply,
+// it should be recognizable as such at a server that has a direct
+// implementation of matrix multiply". The fluent API can write it
+// directly, and the planner recognizes the join+group-sum idiom and
+// rewrites it to this node.
+type MatMul struct {
+	As          string
+	left, right Node
+	sch         schema.Schema
+}
+
+// matrixShape extracts (rowDim, colDim, valueAttr) from a 2-D array
+// schema with exactly one numeric value attribute.
+func matrixShape(s schema.Schema) (rowDim, colDim string, val schema.Attribute, err error) {
+	dims := s.DimNames()
+	if len(dims) != 2 {
+		return "", "", schema.Attribute{}, fmt.Errorf("need a 2-D array, got %d dims in %v", len(dims), s)
+	}
+	var vals []schema.Attribute
+	for i := 0; i < s.Len(); i++ {
+		if !s.At(i).Dim {
+			vals = append(vals, s.At(i))
+		}
+	}
+	if len(vals) != 1 {
+		return "", "", schema.Attribute{}, fmt.Errorf("need exactly one value attribute, got %d in %v", len(vals), s)
+	}
+	if !vals[0].Kind.Numeric() {
+		return "", "", schema.Attribute{}, fmt.Errorf("value attribute %q must be numeric, got %v", vals[0].Name, vals[0].Kind)
+	}
+	return dims[0], dims[1], vals[0], nil
+}
+
+// NewMatMul validates both operand shapes and the shared inner dimension.
+func NewMatMul(left, right Node, as string) (*MatMul, error) {
+	if as == "" {
+		as = "v"
+	}
+	li, lk, _, err := matrixShape(left.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("core: matmul left: %w", err)
+	}
+	rk, rj, _, err := matrixShape(right.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("core: matmul right: %w", err)
+	}
+	if lk != rk {
+		return nil, fmt.Errorf("core: matmul inner dimension mismatch: left %q vs right %q", lk, rk)
+	}
+	outI, outJ := li, rj
+	if outI == outJ {
+		outJ = outJ + "_r"
+	}
+	sch, err := schema.TryNew(
+		schema.Attribute{Name: outI, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: outJ, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: as, Kind: value.KindFloat64},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("core: matmul: %w", err)
+	}
+	return &MatMul{As: as, left: left, right: right, sch: sch}, nil
+}
+
+// Kind implements Node.
+func (n *MatMul) Kind() OpKind { return KMatMul }
+
+// Schema implements Node.
+func (n *MatMul) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *MatMul) Children() []Node { return []Node{n.left, n.right} }
+
+// WithChildren implements Node.
+func (n *MatMul) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KMatMul, len(c), 2); err != nil {
+		return nil, err
+	}
+	return NewMatMul(c[0], c[1], n.As)
+}
+
+// Describe implements Node.
+func (n *MatMul) Describe() string { return "matmul as " + n.As }
+
+// ElemWise aligns two arrays on their (identical) dimension lists and
+// applies a binary operator to their single value attributes, producing
+// value attribute As. Cells present in only one input are dropped (inner
+// alignment); use Fill to densify first for outer behaviour.
+type ElemWise struct {
+	Op          value.BinOp
+	As          string
+	left, right Node
+	sch         schema.Schema
+}
+
+// NewElemWise validates dimension alignment and operand kinds.
+func NewElemWise(left, right Node, op value.BinOp, as string) (*ElemWise, error) {
+	if as == "" {
+		as = "v"
+	}
+	ls, rs := left.Schema(), right.Schema()
+	ld, rd := ls.DimNames(), rs.DimNames()
+	if len(ld) == 0 {
+		return nil, fmt.Errorf("core: elemwise: left input has no dimensions")
+	}
+	if len(ld) != len(rd) {
+		return nil, fmt.Errorf("core: elemwise: dimension count mismatch: %v vs %v", ld, rd)
+	}
+	for i := range ld {
+		if ld[i] != rd[i] {
+			return nil, fmt.Errorf("core: elemwise: dimension mismatch at %d: %q vs %q", i, ld[i], rd[i])
+		}
+	}
+	_, _, lval, err := valueAttr1(ls)
+	if err != nil {
+		return nil, fmt.Errorf("core: elemwise left: %w", err)
+	}
+	_, _, rval, err := valueAttr1(rs)
+	if err != nil {
+		return nil, fmt.Errorf("core: elemwise right: %w", err)
+	}
+	rk, err := op.ResultKind(lval.Kind, rval.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("core: elemwise: %w", err)
+	}
+	var attrs []schema.Attribute
+	for _, i := range ls.DimIndexes() {
+		attrs = append(attrs, ls.At(i))
+	}
+	attrs = append(attrs, schema.Attribute{Name: as, Kind: rk})
+	sch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: elemwise: %w", err)
+	}
+	return &ElemWise{Op: op, As: as, left: left, right: right, sch: sch}, nil
+}
+
+// valueAttr1 returns the single non-dimension attribute of a schema with
+// any number of dims.
+func valueAttr1(s schema.Schema) (nDims int, idx int, attr schema.Attribute, err error) {
+	var vals []int
+	for i := 0; i < s.Len(); i++ {
+		if !s.At(i).Dim {
+			vals = append(vals, i)
+		}
+	}
+	if len(vals) != 1 {
+		return 0, 0, schema.Attribute{}, fmt.Errorf("need exactly one value attribute, got %d in %v", len(vals), s)
+	}
+	return s.NumDims(), vals[0], s.At(vals[0]), nil
+}
+
+// Kind implements Node.
+func (n *ElemWise) Kind() OpKind { return KElemWise }
+
+// Schema implements Node.
+func (n *ElemWise) Schema() schema.Schema { return n.sch }
+
+// Children implements Node.
+func (n *ElemWise) Children() []Node { return []Node{n.left, n.right} }
+
+// WithChildren implements Node.
+func (n *ElemWise) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KElemWise, len(c), 2); err != nil {
+		return nil, err
+	}
+	return NewElemWise(c[0], c[1], n.Op, n.As)
+}
+
+// Describe implements Node.
+func (n *ElemWise) Describe() string {
+	return fmt.Sprintf("elemwise %s = l %s r", n.As, n.Op)
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"nexus/internal/schema"
+)
+
+// ---------------------------------------------------------------------------
+// Control iteration. The paper: "Data algebras rightly encapsulate 'data
+// iteration', but many areas, such as graph analytics and data mining,
+// require repeated execution of an expression until some convergence
+// criterion is met."
+
+// MetricKind selects the convergence metric of an Iterate.
+type MetricKind uint8
+
+// Convergence metrics: norms of the per-key delta of a numeric column
+// between successive iterations, or the count of changed rows.
+const (
+	MetricL1 MetricKind = iota
+	MetricL2
+	MetricLInf
+	MetricRowDelta
+)
+
+// String returns the metric's name.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricL1:
+		return "l1"
+	case MetricL2:
+		return "l2"
+	case MetricLInf:
+		return "linf"
+	case MetricRowDelta:
+		return "rowdelta"
+	}
+	return fmt.Sprintf("metric(%d)", uint8(m))
+}
+
+// ParseMetric parses a metric name.
+func ParseMetric(s string) (MetricKind, error) {
+	switch s {
+	case "l1":
+		return MetricL1, nil
+	case "l2":
+		return MetricL2, nil
+	case "linf":
+		return MetricLInf, nil
+	case "rowdelta":
+		return MetricRowDelta, nil
+	}
+	return MetricL1, fmt.Errorf("core: unknown convergence metric %q", s)
+}
+
+// Convergence is the stopping rule of an Iterate: stop when the metric of
+// column Col between iteration t and t-1 drops to Tol or below. For the
+// norm metrics the inputs are matched positionally after sorting by all
+// non-Col columns, so the state relation must have a stable key.
+type Convergence struct {
+	Metric MetricKind
+	Col    string
+	Tol    float64
+}
+
+// String renders the rule.
+func (c Convergence) String() string {
+	return fmt.Sprintf("%s(Δ%s) <= %g", c.Metric, c.Col, c.Tol)
+}
+
+// Iterate repeatedly evaluates Body, in which Var(LoopVar) denotes the
+// previous iteration's result, starting from Init, until the convergence
+// rule fires or MaxIters is reached. The schema of the loop is Init's
+// schema; Body must produce the same schema (so the loop is well-typed at
+// every step).
+type Iterate struct {
+	LoopVar  string
+	MaxIters int
+	Conv     *Convergence // nil = run exactly MaxIters
+	init     Node
+	body     Node
+	sch      schema.Schema
+}
+
+// NewIterate validates the loop: body schema must match init schema
+// (ignoring dimension tags), the loop variable must be referenced with
+// the right schema, and the convergence column (if any) must be numeric.
+func NewIterate(init, body Node, loopVar string, maxIters int, conv *Convergence) (*Iterate, error) {
+	if loopVar == "" {
+		return nil, fmt.Errorf("core: iterate with empty loop variable")
+	}
+	if maxIters <= 0 {
+		return nil, fmt.Errorf("core: iterate with non-positive max iterations %d", maxIters)
+	}
+	is, bs := init.Schema(), body.Schema()
+	if !is.EqualIgnoreDims(bs) {
+		return nil, fmt.Errorf("core: iterate body schema %v does not match init schema %v", bs, is)
+	}
+	// Every Var(loopVar) inside body must carry the init schema. Vars with
+	// other names are allowed (enclosing Let bindings).
+	var varErr error
+	Walk(body, func(n Node) bool {
+		if v, ok := n.(*Var); ok && v.Name == loopVar {
+			if !v.Schema().EqualIgnoreDims(is) {
+				varErr = fmt.Errorf("core: iterate: var %q has schema %v, want %v", loopVar, v.Schema(), is)
+				return false
+			}
+		}
+		return true
+	})
+	if varErr != nil {
+		return nil, varErr
+	}
+	if conv != nil {
+		i := is.IndexOf(conv.Col)
+		if conv.Metric != MetricRowDelta {
+			if i < 0 {
+				return nil, fmt.Errorf("core: iterate: no convergence column %q", conv.Col)
+			}
+			if !is.At(i).Kind.Numeric() {
+				return nil, fmt.Errorf("core: iterate: convergence column %q must be numeric, got %v", conv.Col, is.At(i).Kind)
+			}
+		}
+		if conv.Tol < 0 {
+			return nil, fmt.Errorf("core: iterate: negative tolerance %g", conv.Tol)
+		}
+	}
+	return &Iterate{
+		LoopVar: loopVar, MaxIters: maxIters, Conv: conv,
+		init: init, body: body, sch: is,
+	}, nil
+}
+
+// Kind implements Node.
+func (n *Iterate) Kind() OpKind { return KIterate }
+
+// Schema implements Node.
+func (n *Iterate) Schema() schema.Schema { return n.sch }
+
+// Children implements Node. Children are [init, body].
+func (n *Iterate) Children() []Node { return []Node{n.init, n.body} }
+
+// Init returns the initial-state plan.
+func (n *Iterate) Init() Node { return n.init }
+
+// Body returns the loop-body plan.
+func (n *Iterate) Body() Node { return n.body }
+
+// WithChildren implements Node.
+func (n *Iterate) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KIterate, len(c), 2); err != nil {
+		return nil, err
+	}
+	return NewIterate(c[0], c[1], n.LoopVar, n.MaxIters, n.Conv)
+}
+
+// Describe implements Node.
+func (n *Iterate) Describe() string {
+	s := fmt.Sprintf("iterate %s max %d", n.LoopVar, n.MaxIters)
+	if n.Conv != nil {
+		s += " until " + n.Conv.String()
+	}
+	return s
+}
+
+// Let binds a sub-plan to a name: In may reference it via Var(Name). The
+// binding is evaluated once (common subexpression / DAG support).
+type Let struct {
+	Name  string
+	bound Node
+	in    Node
+	sch   schema.Schema
+}
+
+// NewLet validates that Vars named Name inside In carry the bound plan's
+// schema.
+func NewLet(name string, bound, in Node) (*Let, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: let with empty name")
+	}
+	bs := bound.Schema()
+	var varErr error
+	Walk(in, func(n Node) bool {
+		if v, ok := n.(*Var); ok && v.Name == name {
+			if !v.Schema().EqualIgnoreDims(bs) {
+				varErr = fmt.Errorf("core: let: var %q has schema %v, want %v", name, v.Schema(), bs)
+				return false
+			}
+		}
+		return true
+	})
+	if varErr != nil {
+		return nil, varErr
+	}
+	return &Let{Name: name, bound: bound, in: in, sch: in.Schema()}, nil
+}
+
+// Kind implements Node.
+func (n *Let) Kind() OpKind { return KLet }
+
+// Schema implements Node.
+func (n *Let) Schema() schema.Schema { return n.sch }
+
+// Children implements Node. Children are [bound, in].
+func (n *Let) Children() []Node { return []Node{n.bound, n.in} }
+
+// Bound returns the bound plan.
+func (n *Let) Bound() Node { return n.bound }
+
+// In returns the plan that consumes the binding.
+func (n *Let) In() Node { return n.in }
+
+// WithChildren implements Node.
+func (n *Let) WithChildren(c []Node) (Node, error) {
+	if err := checkArity(KLet, len(c), 2); err != nil {
+		return nil, err
+	}
+	return NewLet(n.Name, c[0], c[1])
+}
+
+// Describe implements Node.
+func (n *Let) Describe() string { return "let " + n.Name }
+
+// FreeVars returns the names of Var nodes in the plan that are not bound
+// by an enclosing Iterate or Let; a shippable plan must have none.
+func FreeVars(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var visit func(n Node, bound map[string]bool)
+	visit = func(n Node, bound map[string]bool) {
+		switch x := n.(type) {
+		case *Var:
+			if !bound[x.Name] && !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+			return
+		case *Iterate:
+			visit(x.init, bound)
+			b2 := withName(bound, x.LoopVar)
+			visit(x.body, b2)
+			return
+		case *Let:
+			visit(x.bound, bound)
+			b2 := withName(bound, x.Name)
+			visit(x.in, b2)
+			return
+		}
+		for _, c := range n.Children() {
+			visit(c, bound)
+		}
+	}
+	visit(n, map[string]bool{})
+	sortStrings(out)
+	return out
+}
+
+func withName(m map[string]bool, name string) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	out[name] = true
+	return out
+}

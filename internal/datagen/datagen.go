@@ -1,0 +1,286 @@
+// Package datagen generates the deterministic synthetic workloads used
+// by the examples, tests and the experiment harness: a small star-schema
+// of sales facts with customer and product dimensions, dense random
+// matrices, uniform and power-law (Zipf) random graphs, and time-series
+// grids for stencil queries. All generators are seeded and reproducible.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Regions used by the sales schema.
+var Regions = []string{"EU", "NA", "APAC", "LATAM", "MEA"}
+
+// Categories used by the product dimension.
+var Categories = []string{"tools", "books", "games", "garden", "audio"}
+
+// SalesSchema returns the schema of the sales fact table:
+// (sale_id, cust_id, prod_id, qty, price, region).
+func SalesSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "sale_id", Kind: value.KindInt64},
+		schema.Attribute{Name: "cust_id", Kind: value.KindInt64},
+		schema.Attribute{Name: "prod_id", Kind: value.KindInt64},
+		schema.Attribute{Name: "qty", Kind: value.KindInt64},
+		schema.Attribute{Name: "price", Kind: value.KindFloat64},
+		schema.Attribute{Name: "region", Kind: value.KindString},
+	)
+}
+
+// Sales generates n sales facts over nCust customers and nProd products.
+func Sales(seed int64, n, nCust, nProd int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int64, n)
+	cust := make([]int64, n)
+	prod := make([]int64, n)
+	qty := make([]int64, n)
+	price := make([]float64, n)
+	region := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		cust[i] = int64(rng.Intn(nCust))
+		prod[i] = int64(rng.Intn(nProd))
+		qty[i] = int64(1 + rng.Intn(9))
+		price[i] = math.Round(rng.Float64()*9900+100) / 100.0
+		region[i] = Regions[rng.Intn(len(Regions))]
+	}
+	return table.MustNew(SalesSchema(), []*table.Column{
+		table.IntColumn(ids),
+		table.IntColumn(cust),
+		table.IntColumn(prod),
+		table.IntColumn(qty),
+		table.FloatColumn(price),
+		table.StringColumn(region),
+	})
+}
+
+// CustomersSchema returns (cust_id, name, region, segment).
+func CustomersSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "cust_id", Kind: value.KindInt64},
+		schema.Attribute{Name: "name", Kind: value.KindString},
+		schema.Attribute{Name: "region", Kind: value.KindString},
+		schema.Attribute{Name: "segment", Kind: value.KindString},
+	)
+}
+
+// Customers generates the customer dimension.
+func Customers(seed int64, n int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	segments := []string{"consumer", "corporate", "public"}
+	ids := make([]int64, n)
+	names := make([]string, n)
+	region := make([]string, n)
+	segment := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		names[i] = fmt.Sprintf("cust-%05d", i)
+		region[i] = Regions[rng.Intn(len(Regions))]
+		segment[i] = segments[rng.Intn(len(segments))]
+	}
+	return table.MustNew(CustomersSchema(), []*table.Column{
+		table.IntColumn(ids),
+		table.StringColumn(names),
+		table.StringColumn(region),
+		table.StringColumn(segment),
+	})
+}
+
+// ProductsSchema returns (prod_id, category, cost).
+func ProductsSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "prod_id", Kind: value.KindInt64},
+		schema.Attribute{Name: "category", Kind: value.KindString},
+		schema.Attribute{Name: "cost", Kind: value.KindFloat64},
+	)
+}
+
+// Products generates the product dimension.
+func Products(seed int64, n int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int64, n)
+	cat := make([]string, n)
+	cost := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		cat[i] = Categories[rng.Intn(len(Categories))]
+		cost[i] = math.Round(rng.Float64()*4900+100) / 100.0
+	}
+	return table.MustNew(ProductsSchema(), []*table.Column{
+		table.IntColumn(ids),
+		table.StringColumn(cat),
+		table.FloatColumn(cost),
+	})
+}
+
+// MatrixSchema returns the sparse-table schema of a matrix with the given
+// dimension names: (i#, j#, v).
+func MatrixSchema(iName, jName string) schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: iName, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: jName, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: "v", Kind: value.KindFloat64},
+	)
+}
+
+// Matrix generates a dense rows×cols matrix in sparse-table form with
+// values in [-1, 1).
+func Matrix(seed int64, rows, cols int, iName, jName string) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	is := make([]int64, n)
+	js := make([]int64, n)
+	vs := make([]float64, n)
+	idx := 0
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			is[idx] = int64(i)
+			js[idx] = int64(j)
+			vs[idx] = rng.Float64()*2 - 1
+			idx++
+		}
+	}
+	return table.MustNew(MatrixSchema(iName, jName), []*table.Column{
+		table.IntColumn(is),
+		table.IntColumn(js),
+		table.FloatColumn(vs),
+	})
+}
+
+// MatrixDense generates the same matrix as Matrix but as a row-major
+// dense slice, for oracle comparisons (same seed ⇒ same values).
+func MatrixDense(seed int64, rows, cols int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, rows*cols)
+	for i := range out {
+		out[i] = rng.Float64()*2 - 1
+	}
+	return out
+}
+
+// EdgeSchema returns the edge-list schema (src, dst).
+func EdgeSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "src", Kind: value.KindInt64},
+		schema.Attribute{Name: "dst", Kind: value.KindInt64},
+	)
+}
+
+// UniformGraph generates a directed graph with n vertices and m edges
+// chosen uniformly (self-loops excluded, duplicates allowed).
+func UniformGraph(seed int64, n, m int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	src := make([]int64, m)
+	dst := make([]int64, m)
+	for i := 0; i < m; i++ {
+		s := rng.Intn(n)
+		d := rng.Intn(n)
+		for d == s {
+			d = rng.Intn(n)
+		}
+		src[i] = int64(s)
+		dst[i] = int64(d)
+	}
+	return table.MustNew(EdgeSchema(), []*table.Column{
+		table.IntColumn(src),
+		table.IntColumn(dst),
+	})
+}
+
+// ZipfGraph generates a directed graph whose in-degree distribution is
+// power-law: destination vertices are drawn from a Zipf distribution
+// (exponent s≈1.1), sources uniformly. This mimics web/social graphs,
+// the motivating workloads for the paper's graph-analytics iteration.
+func ZipfGraph(seed int64, n, m int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 1.0, uint64(n-1))
+	src := make([]int64, m)
+	dst := make([]int64, m)
+	for i := 0; i < m; i++ {
+		s := rng.Intn(n)
+		d := int(zipf.Uint64())
+		for d == s {
+			d = int(zipf.Uint64())
+		}
+		src[i] = int64(s)
+		dst[i] = int64(d)
+	}
+	return table.MustNew(EdgeSchema(), []*table.Column{
+		table.IntColumn(src),
+		table.IntColumn(dst),
+	})
+}
+
+// AdjacencyList converts an edge table to adjacency-list form for the
+// reference oracles.
+func AdjacencyList(edges *table.Table, n int) [][]int {
+	adj := make([][]int, n)
+	src := edges.ColByName("src").Ints()
+	dst := edges.ColByName("dst").Ints()
+	for i := range src {
+		adj[src[i]] = append(adj[src[i]], int(dst[i]))
+	}
+	return adj
+}
+
+// SeriesSchema returns the 1-D time-series schema (t#, temp).
+func SeriesSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "t", Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: "temp", Kind: value.KindFloat64},
+	)
+}
+
+// Series generates a dense 1-D series of length n: a slow sinusoid plus
+// noise, the classic sensor-feed shape for window queries.
+func Series(seed int64, n int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]int64, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = int64(i)
+		vals[i] = 20 + 5*math.Sin(float64(i)/50) + rng.NormFloat64()*0.5
+	}
+	return table.MustNew(SeriesSchema(), []*table.Column{
+		table.IntColumn(ts),
+		table.FloatColumn(vals),
+	})
+}
+
+// GridSchema returns the 2-D grid schema (x#, y#, v).
+func GridSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "x", Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: "y", Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: "v", Kind: value.KindFloat64},
+	)
+}
+
+// Grid generates a dense rows×cols grid of floats in [0, 1).
+func Grid(seed int64, rows, cols int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]int64, rows*cols)
+	ys := make([]int64, rows*cols)
+	vs := make([]float64, rows*cols)
+	idx := 0
+	for x := 0; x < rows; x++ {
+		for y := 0; y < cols; y++ {
+			xs[idx] = int64(x)
+			ys[idx] = int64(y)
+			vs[idx] = rng.Float64()
+			idx++
+		}
+	}
+	return table.MustNew(GridSchema(), []*table.Column{
+		table.IntColumn(xs),
+		table.IntColumn(ys),
+		table.FloatColumn(vs),
+	})
+}

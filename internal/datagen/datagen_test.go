@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"nexus/internal/table"
+)
+
+func TestDeterminism(t *testing.T) {
+	if !table.EqualRows(Sales(7, 500, 50, 20), Sales(7, 500, 50, 20)) {
+		t.Fatal("Sales not deterministic")
+	}
+	if table.EqualRows(Sales(7, 500, 50, 20), Sales(8, 500, 50, 20)) {
+		t.Fatal("seed ignored")
+	}
+	if !table.EqualRows(ZipfGraph(3, 100, 400), ZipfGraph(3, 100, 400)) {
+		t.Fatal("ZipfGraph not deterministic")
+	}
+}
+
+func TestSalesRanges(t *testing.T) {
+	s := Sales(1, 1000, 50, 20)
+	if s.NumRows() != 1000 {
+		t.Fatal("row count")
+	}
+	qty := s.ColByName("qty").Ints()
+	price := s.ColByName("price").Floats()
+	cust := s.ColByName("cust_id").Ints()
+	for i := range qty {
+		if qty[i] < 1 || qty[i] > 9 {
+			t.Fatalf("qty out of range: %d", qty[i])
+		}
+		if price[i] < 1 || price[i] > 100 {
+			t.Fatalf("price out of range: %g", price[i])
+		}
+		if cust[i] < 0 || cust[i] >= 50 {
+			t.Fatalf("cust_id out of range: %d", cust[i])
+		}
+	}
+}
+
+func TestMatrixMatchesDense(t *testing.T) {
+	const rows, cols = 9, 7
+	sparse := Matrix(5, rows, cols, "i", "j")
+	dense := MatrixDense(5, rows, cols)
+	if sparse.NumRows() != rows*cols {
+		t.Fatal("matrix cardinality")
+	}
+	is := sparse.ColByName("i").Ints()
+	js := sparse.ColByName("j").Ints()
+	vs := sparse.ColByName("v").Floats()
+	for r := range is {
+		if math.Abs(vs[r]-dense[is[r]*cols+js[r]]) > 1e-15 {
+			t.Fatalf("cell (%d,%d) differs between representations", is[r], js[r])
+		}
+	}
+	if sparse.Schema().NumDims() != 2 {
+		t.Fatal("matrix schema must be dimension-tagged")
+	}
+}
+
+func TestGraphsExcludeSelfLoops(t *testing.T) {
+	for _, g := range []*table.Table{UniformGraph(2, 50, 500), ZipfGraph(2, 50, 500)} {
+		src := g.ColByName("src").Ints()
+		dst := g.ColByName("dst").Ints()
+		for i := range src {
+			if src[i] == dst[i] {
+				t.Fatal("self loop generated")
+			}
+			if src[i] < 0 || src[i] >= 50 || dst[i] < 0 || dst[i] >= 50 {
+				t.Fatal("vertex out of range")
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := ZipfGraph(4, 1000, 20000)
+	indeg := make([]int, 1000)
+	for _, d := range g.ColByName("dst").Ints() {
+		indeg[d]++
+	}
+	maxDeg := 0
+	for _, d := range indeg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Power-law in-degree: the hottest vertex should dominate the mean
+	// (mean is 20 here) by a wide margin.
+	if maxDeg < 200 {
+		t.Fatalf("zipf graph not skewed: max in-degree %d", maxDeg)
+	}
+}
+
+func TestAdjacencyList(t *testing.T) {
+	g := UniformGraph(6, 20, 60)
+	adj := AdjacencyList(g, 20)
+	total := 0
+	for _, out := range adj {
+		total += len(out)
+	}
+	if total != 60 {
+		t.Fatalf("adjacency lost edges: %d", total)
+	}
+}
+
+func TestSeriesAndGridShapes(t *testing.T) {
+	s := Series(1, 500)
+	if s.NumRows() != 500 || s.Schema().NumDims() != 1 {
+		t.Fatal("series shape")
+	}
+	temps := s.ColByName("temp").Floats()
+	for _, v := range temps {
+		if v < 10 || v > 30 {
+			t.Fatalf("temperature out of plausible band: %g", v)
+		}
+	}
+	g := Grid(1, 8, 9)
+	if g.NumRows() != 72 || g.Schema().NumDims() != 2 {
+		t.Fatal("grid shape")
+	}
+}

@@ -1,0 +1,244 @@
+// Package array implements the SciDB-class provider of the nexus
+// framework: an n-dimensional dense array engine over the fused
+// tabular/array model. Dimension-tagged tables convert to dense buffers
+// (with presence masks for sparse inputs); window (stencil), fill,
+// element-wise and transpose run as dense kernels, while the rest of the
+// algebra falls back to the generic runtime.
+package array
+
+import (
+	"fmt"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Dense is an n-dimensional dense array of float64 cells: the physical
+// representation the engine uses for dimension-tagged tables with one
+// numeric value attribute. Cells absent from the sparse input are marked
+// in the presence mask.
+type Dense struct {
+	DimNames []string
+	Lo       []int64 // inclusive lower bound per dimension
+	Shape    []int64 // extent per dimension
+	Vals     []float64
+	Present  []bool // nil = all present
+	ValName  string
+}
+
+// NumCells returns the dense cell count.
+func (d *Dense) NumCells() int64 {
+	n := int64(1)
+	for _, s := range d.Shape {
+		n *= s
+	}
+	return n
+}
+
+// offset computes the row-major offset of the coordinates.
+func (d *Dense) offset(coords []int64) int64 {
+	off := int64(0)
+	for i := range coords {
+		off = off*d.Shape[i] + (coords[i] - d.Lo[i])
+	}
+	return off
+}
+
+// At returns the value at coordinates and whether the cell is present.
+func (d *Dense) At(coords []int64) (float64, bool) {
+	for i, c := range coords {
+		if c < d.Lo[i] || c >= d.Lo[i]+d.Shape[i] {
+			return 0, false
+		}
+	}
+	off := d.offset(coords)
+	if d.Present != nil && !d.Present[off] {
+		return 0, false
+	}
+	return d.Vals[off], true
+}
+
+// maxDenseCells bounds materialization so that a sparse table with two
+// far-apart coordinates cannot allocate unbounded memory.
+const maxDenseCells = 64 << 20
+
+// FromTable converts a dimension-tagged table with exactly one numeric
+// value attribute to dense form. The bounding box is derived from the
+// data.
+func FromTable(t *table.Table) (*Dense, error) {
+	sch := t.Schema()
+	dimPos := sch.DimIndexes()
+	if len(dimPos) == 0 {
+		return nil, fmt.Errorf("array: input has no dimensions: %v", sch)
+	}
+	valPos := -1
+	for i := 0; i < sch.Len(); i++ {
+		if sch.At(i).Dim {
+			continue
+		}
+		if valPos >= 0 {
+			return nil, fmt.Errorf("array: more than one value attribute in %v", sch)
+		}
+		if !sch.At(i).Kind.Numeric() {
+			return nil, fmt.Errorf("array: value attribute %q is %v, need numeric", sch.At(i).Name, sch.At(i).Kind)
+		}
+		valPos = i
+	}
+	if valPos < 0 {
+		return nil, fmt.Errorf("array: no value attribute in %v", sch)
+	}
+
+	d := &Dense{ValName: sch.At(valPos).Name}
+	for _, p := range dimPos {
+		d.DimNames = append(d.DimNames, sch.At(p).Name)
+	}
+	if t.NumRows() == 0 {
+		d.Lo = make([]int64, len(dimPos))
+		d.Shape = make([]int64, len(dimPos))
+		return d, nil
+	}
+	d.Lo = make([]int64, len(dimPos))
+	d.Shape = make([]int64, len(dimPos))
+	hi := make([]int64, len(dimPos))
+	for i, p := range dimPos {
+		col := t.Col(p).Ints()
+		d.Lo[i], hi[i] = col[0], col[0]
+		for _, v := range col {
+			if v < d.Lo[i] {
+				d.Lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+		d.Shape[i] = hi[i] - d.Lo[i] + 1
+	}
+	if n := d.NumCells(); n > maxDenseCells {
+		return nil, fmt.Errorf("array: dense box of %d cells exceeds the %d-cell bound", n, int64(maxDenseCells))
+	}
+	d.Vals = make([]float64, d.NumCells())
+	present := make([]bool, d.NumCells())
+	allPresent := int64(t.NumRows()) == d.NumCells()
+	coords := make([]int64, len(dimPos))
+	for row := 0; row < t.NumRows(); row++ {
+		for i, p := range dimPos {
+			coords[i] = t.Col(p).Ints()[row]
+		}
+		f, ok := t.Value(row, valPos).AsFloat()
+		off := d.offset(coords)
+		if ok {
+			d.Vals[off] = f
+			present[off] = true
+		}
+	}
+	if !allPresent {
+		d.Present = present
+	} else {
+		// Even with a full box, NULL values leave gaps.
+		for _, p := range present {
+			if !p {
+				d.Present = present
+				break
+			}
+		}
+	}
+	return d, nil
+}
+
+// ToTable converts back to the sparse table representation, emitting only
+// present cells in row-major order.
+func (d *Dense) ToTable() (*table.Table, error) {
+	attrs := make([]schema.Attribute, 0, len(d.DimNames)+1)
+	for _, n := range d.DimNames {
+		attrs = append(attrs, schema.Attribute{Name: n, Kind: value.KindInt64, Dim: true})
+	}
+	attrs = append(attrs, schema.Attribute{Name: d.ValName, Kind: value.KindFloat64})
+	sch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("array: %w", err)
+	}
+	n := d.NumCells()
+	dimCols := make([][]int64, len(d.DimNames))
+	for i := range dimCols {
+		dimCols[i] = make([]int64, 0, n)
+	}
+	vals := make([]float64, 0, n)
+	coords := make([]int64, len(d.DimNames))
+	copy(coords, d.Lo)
+	if n > 0 && len(d.Vals) > 0 {
+		for off := int64(0); off < n; off++ {
+			if d.Present == nil || d.Present[off] {
+				for i := range coords {
+					dimCols[i] = append(dimCols[i], coords[i])
+				}
+				vals = append(vals, d.Vals[off])
+			}
+			// Row-major odometer.
+			for k := len(coords) - 1; k >= 0; k-- {
+				coords[k]++
+				if coords[k] < d.Lo[k]+d.Shape[k] {
+					break
+				}
+				coords[k] = d.Lo[k]
+			}
+		}
+	}
+	cols := make([]*table.Column, 0, len(dimCols)+1)
+	for _, dc := range dimCols {
+		cols = append(cols, table.IntColumn(dc))
+	}
+	cols = append(cols, table.FloatColumn(vals))
+	return table.New(sch, cols)
+}
+
+// Transpose returns the array with dimensions permuted per perm, where
+// perm[i] is the index of the source dimension that becomes output
+// dimension i.
+func (d *Dense) Transpose(perm []int) *Dense {
+	out := &Dense{ValName: d.ValName}
+	for _, p := range perm {
+		out.DimNames = append(out.DimNames, d.DimNames[p])
+		out.Lo = append(out.Lo, d.Lo[p])
+		out.Shape = append(out.Shape, d.Shape[p])
+	}
+	n := d.NumCells()
+	out.Vals = make([]float64, n)
+	if d.Present != nil {
+		out.Present = make([]bool, n)
+	}
+	src := make([]int64, len(d.Shape))
+	dst := make([]int64, len(d.Shape))
+	copy(src, d.Lo)
+	for off := int64(0); off < n && n > 0; off++ {
+		for i, p := range perm {
+			dst[i] = src[p]
+		}
+		doff := out.offset(dst)
+		out.Vals[doff] = d.Vals[off]
+		if d.Present != nil {
+			out.Present[doff] = d.Present[off]
+		}
+		for k := len(src) - 1; k >= 0; k-- {
+			src[k]++
+			if src[k] < d.Lo[k]+d.Shape[k] {
+				break
+			}
+			src[k] = d.Lo[k]
+		}
+	}
+	return out
+}
+
+// FillValue replaces absent cells with v and clears the presence mask.
+func (d *Dense) FillValue(v float64) {
+	if d.Present == nil {
+		return
+	}
+	for off, p := range d.Present {
+		if !p {
+			d.Vals[off] = v
+		}
+	}
+	d.Present = nil
+}

@@ -1,0 +1,324 @@
+package array
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/exec"
+	"nexus/internal/ref"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+func scanOf(t *testing.T, e *Engine, name string) *core.Scan {
+	t.Helper()
+	sch, ok := e.DatasetSchema(name)
+	if !ok {
+		t.Fatalf("no dataset %q", name)
+	}
+	s, err := core.NewScan(name, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	grid := datagen.Grid(1, 7, 9)
+	d, err := FromTable(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCells() != 63 {
+		t.Fatalf("cells = %d, want 63", d.NumCells())
+	}
+	if d.Present != nil {
+		t.Fatal("fully dense grid should have nil presence mask")
+	}
+	back, err := d.ToTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualUnordered(grid, back) {
+		t.Fatal("dense round trip lost data")
+	}
+}
+
+func TestDenseSparseRoundTrip(t *testing.T) {
+	sch := datagen.GridSchema()
+	b := table.NewBuilder(sch, 3)
+	b.MustAppend(value.NewInt(5), value.NewInt(5), value.NewFloat(1.5))
+	b.MustAppend(value.NewInt(7), value.NewInt(6), value.NewFloat(2.5))
+	b.MustAppend(value.NewInt(5), value.NewInt(8), value.NewFloat(-1))
+	sparse := b.Build()
+	d, err := FromTable(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Present == nil {
+		t.Fatal("sparse input should carry a presence mask")
+	}
+	if d.Lo[0] != 5 || d.Lo[1] != 5 {
+		t.Fatalf("lo = %v", d.Lo)
+	}
+	back, err := d.ToTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualUnordered(sparse, back) {
+		t.Fatal("sparse round trip lost data")
+	}
+}
+
+func TestDenseTranspose(t *testing.T) {
+	grid := datagen.Grid(2, 4, 6)
+	d, _ := FromTable(grid)
+	tr := d.Transpose([]int{1, 0})
+	if tr.Shape[0] != 6 || tr.Shape[1] != 4 {
+		t.Fatalf("transposed shape = %v", tr.Shape)
+	}
+	for x := int64(0); x < 4; x++ {
+		for y := int64(0); y < 6; y++ {
+			a, _ := d.At([]int64{x, y})
+			b, _ := tr.At([]int64{y, x})
+			if a != b {
+				t.Fatalf("transpose mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+// genericRun executes a plan on the raw reference runtime (no dense
+// kernels), the semantic baseline for the array engine.
+func genericRun(t *testing.T, datasets map[string]*table.Table, plan core.Node) *table.Table {
+	t.Helper()
+	rt := &exec.Runtime{Datasets: func(name string) (*table.Table, bool) {
+		tab, ok := datasets[name]
+		return tab, ok
+	}}
+	out, err := rt.Run(plan)
+	if err != nil {
+		t.Fatalf("generic run: %v", err)
+	}
+	return out
+}
+
+// The dense window kernel must agree with the generic sparse
+// implementation run by the reference runtime.
+func TestDenseWindowMatchesGeneric(t *testing.T) {
+	series := datagen.Series(3, 300)
+	ae := New("array")
+	if err := ae.Store("s", series); err != nil {
+		t.Fatal(err)
+	}
+	ds := map[string]*table.Table{"s": series}
+	for _, agg := range []core.AggFunc{core.AggSum, core.AggAvg, core.AggMin, core.AggMax, core.AggCount} {
+		w, err := core.NewWindow(scanOf(t, ae, "s"), []core.DimExtent{{Dim: "t", Before: 3, After: 3}}, agg, "temp", "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ae.Execute(w)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		want := genericRun(t, ds, w)
+		if got.Checksum() != want.Checksum() {
+			// Floating aggregation order may differ; compare cell-wise.
+			if !windowsClose(got, want) {
+				t.Fatalf("%v: dense window disagrees with generic", agg)
+			}
+		}
+	}
+}
+
+func windowsClose(a, b *table.Table) bool {
+	if a.NumRows() != b.NumRows() {
+		return false
+	}
+	am := map[int64]float64{}
+	ts := a.ColByName("t").Ints()
+	for i := 0; i < a.NumRows(); i++ {
+		f, _ := a.Value(i, a.Schema().IndexOf("w")).AsFloat()
+		am[ts[i]] = f
+	}
+	bts := b.ColByName("t").Ints()
+	for i := 0; i < b.NumRows(); i++ {
+		f, _ := b.Value(i, b.Schema().IndexOf("w")).AsFloat()
+		if math.Abs(f-am[bts[i]]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDenseWindowAgainstOracle(t *testing.T) {
+	series := datagen.Series(4, 128)
+	ae := New("array")
+	if err := ae.Store("s", series); err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.NewWindow(scanOf(t, ae, "s"), []core.DimExtent{{Dim: "t", Before: 2, After: 1}}, core.AggSum, "temp", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ae.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 128)
+	vals := series.ColByName("temp").Floats()
+	for i := range vals {
+		for j := i - 2; j <= i+1; j++ {
+			if j >= 0 && j < len(vals) {
+				want[i] += vals[j]
+			}
+		}
+	}
+	ts := out.ColByName("t").Ints()
+	ws := out.ColByName("w").Floats()
+	for i := range ts {
+		if math.Abs(ws[i]-want[ts[i]]) > 1e-9 {
+			t.Fatalf("window at %d: %g want %g", ts[i], ws[i], want[ts[i]])
+		}
+	}
+}
+
+func TestDenseElemWiseMatchesGeneric(t *testing.T) {
+	a := datagen.Matrix(5, 8, 8, "i", "j")
+	b := datagen.Matrix(6, 8, 8, "i", "j")
+	ae := New("array")
+	if err := ae.Store("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ae.Store("B", b); err != nil {
+		t.Fatal(err)
+	}
+	ds := map[string]*table.Table{"A": a, "B": b}
+	for _, op := range []value.BinOp{value.OpAdd, value.OpSub, value.OpMul} {
+		ew, err := core.NewElemWise(scanOf(t, ae, "A"), scanOf(t, ae, "B"), op, "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ae.Execute(ew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := genericRun(t, ds, ew)
+		if !table.EqualUnordered(got, want) {
+			t.Fatalf("%v: dense elemwise disagrees with generic", op)
+		}
+	}
+}
+
+func TestFillKernel(t *testing.T) {
+	sch := datagen.GridSchema()
+	b := table.NewBuilder(sch, 2)
+	b.MustAppend(value.NewInt(0), value.NewInt(0), value.NewFloat(5))
+	b.MustAppend(value.NewInt(1), value.NewInt(2), value.NewFloat(7))
+	ae := New("array")
+	if err := ae.Store("g", b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFill(scanOf(t, ae, "g"), value.NewFloat(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ae.Execute(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 6 { // box 2x3
+		t.Fatalf("fill: %d rows, want 6", out.NumRows())
+	}
+	var negs int
+	for _, v := range out.ColByName("v").Floats() {
+		if v == -1 {
+			negs++
+		}
+	}
+	if negs != 4 {
+		t.Fatalf("fill: %d filled cells, want 4", negs)
+	}
+}
+
+func TestCapabilityRejection(t *testing.T) {
+	ae := New("array")
+	a := datagen.Matrix(7, 3, 3, "i", "k")
+	bm := datagen.Matrix(8, 3, 3, "k", "j")
+	if err := ae.Store("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ae.Store("B", bm); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := core.NewMatMul(scanOf(t, ae, "A"), scanOf(t, ae, "B"), "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Execute(mm); err == nil {
+		t.Fatal("array engine must reject MatMul (outside its capabilities)")
+	}
+}
+
+// Property: FromTable/ToTable round-trips arbitrary sparse 1-D arrays
+// with distinct coordinates.
+func TestDenseRoundTripProperty(t *testing.T) {
+	f := func(coords []int16, seed int64) bool {
+		seen := map[int64]bool{}
+		var cs []int64
+		for _, c := range coords {
+			v := int64(c % 500)
+			if !seen[v] {
+				seen[v] = true
+				cs = append(cs, v)
+			}
+		}
+		if len(cs) == 0 {
+			return true
+		}
+		vals := make([]float64, len(cs))
+		for i := range vals {
+			vals[i] = float64((seed+int64(i)*2654435761)%1000) / 7
+		}
+		tab := table.MustNew(datagen.SeriesSchema(), []*table.Column{
+			table.IntColumn(cs), table.FloatColumn(vals),
+		})
+		d, err := FromTable(tab)
+		if err != nil {
+			return false
+		}
+		back, err := d.ToTable()
+		if err != nil {
+			return false
+		}
+		return table.EqualUnordered(tab, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The reference window oracle and the dense kernel agree on dense series.
+func TestWindowOracleCrossCheck(t *testing.T) {
+	series := datagen.Series(11, 64)
+	want := ref.WindowSum1D(series.ColByName("temp").Floats(), 1, 1)
+	ae := New("array")
+	if err := ae.Store("s", series); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := core.NewWindow(scanOf(t, ae, "s"), []core.DimExtent{{Dim: "t", Before: 1, After: 1}}, core.AggSum, "temp", "w")
+	out, err := ae.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := out.ColByName("t").Ints()
+	ws := out.ColByName("w").Floats()
+	for i := range ts {
+		if math.Abs(ws[i]-want[ts[i]]) > 1e-9 {
+			t.Fatalf("t=%d: %g want %g", ts[i], ws[i], want[ts[i]])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Accumulator is the running state of one aggregate over one group. It is
+// exported for reuse by the array engine's window kernels.
+type Accumulator struct {
+	fn       core.AggFunc
+	count    int64
+	sumInt   int64
+	sumFloat float64
+	isFloat  bool
+	minmax   value.Value
+	distinct map[string]struct{}
+}
+
+// NewAccumulator returns an empty accumulator for the aggregate function.
+func NewAccumulator(fn core.AggFunc) *Accumulator {
+	a := &Accumulator{fn: fn, minmax: value.Null}
+	if fn == core.AggCountDistinct {
+		a.distinct = make(map[string]struct{})
+	}
+	return a
+}
+
+// Add folds one value into the accumulator. NULLs are ignored except by
+// count(*) (which is fed non-null markers by the caller).
+func (a *Accumulator) Add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	switch a.fn {
+	case core.AggCount:
+		a.count++
+	case core.AggCountDistinct:
+		a.distinct[string(value.AppendKey(nil, v))] = struct{}{}
+	case core.AggSum, core.AggAvg:
+		a.count++
+		switch v.Kind() {
+		case value.KindInt64:
+			a.sumInt += v.Int()
+		case value.KindFloat64:
+			a.isFloat = true
+			a.sumFloat += v.Float()
+		}
+	case core.AggMin:
+		if a.minmax.IsNull() || value.Less(v, a.minmax) {
+			a.minmax = v
+		}
+	case core.AggMax:
+		if a.minmax.IsNull() || value.Less(a.minmax, v) {
+			a.minmax = v
+		}
+	}
+}
+
+// Result returns the aggregate value, coerced to the statically inferred
+// kind.
+func (a *Accumulator) Result(want value.Kind) value.Value {
+	switch a.fn {
+	case core.AggCount:
+		return value.NewInt(a.count)
+	case core.AggCountDistinct:
+		return value.NewInt(int64(len(a.distinct)))
+	case core.AggSum:
+		if a.count == 0 {
+			return value.Null
+		}
+		if a.isFloat || want == value.KindFloat64 {
+			return value.NewFloat(a.sumFloat + float64(a.sumInt))
+		}
+		return value.NewInt(a.sumInt)
+	case core.AggAvg:
+		if a.count == 0 {
+			return value.Null
+		}
+		return value.NewFloat((a.sumFloat + float64(a.sumInt)) / float64(a.count))
+	case core.AggMin, core.AggMax:
+		return a.minmax
+	}
+	return value.Null
+}
+
+// groupAggregate is the hash-aggregation kernel: group the input by the
+// key columns and compute each aggregate spec per group. With no keys the
+// whole input forms one group (and an empty input still yields one row,
+// matching SQL's global aggregates).
+func groupAggregate(in *table.Table, keys []string, aggs []core.AggSpec, outSchema schema.Schema) (*table.Table, error) {
+	keyPos := make([]int, len(keys))
+	for i, k := range keys {
+		p := in.Schema().IndexOf(k)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: groupagg: no key column %q", k)
+		}
+		keyPos[i] = p
+	}
+
+	// Materialize argument columns once (vectorized where possible).
+	argCols := make([]*table.Column, len(aggs))
+	for i, a := range aggs {
+		if a.Arg == nil {
+			continue
+		}
+		c, err := expr.Compile(a.Arg, in.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("exec: groupagg %q: %w", a.As, err)
+		}
+		col, err := c.EvalBatch(in)
+		if err != nil {
+			return nil, fmt.Errorf("exec: groupagg %q: %w", a.As, err)
+		}
+		argCols[i] = col
+	}
+
+	type group struct {
+		firstRow int
+		accs     []*Accumulator
+	}
+	groups := make(map[string]*group, 64)
+	order := make([]*group, 0, 64)
+	buf := make([]byte, 0, 64)
+	newGroup := func(row int) *group {
+		g := &group{firstRow: row, accs: make([]*Accumulator, len(aggs))}
+		for i, a := range aggs {
+			g.accs[i] = NewAccumulator(a.Func)
+		}
+		return g
+	}
+	for row := 0; row < in.NumRows(); row++ {
+		buf = buf[:0]
+		for _, p := range keyPos {
+			buf = value.AppendKey(buf, in.Value(row, p))
+		}
+		g, ok := groups[string(buf)]
+		if !ok {
+			g = newGroup(row)
+			groups[string(buf)] = g
+			order = append(order, g)
+		}
+		for i, a := range aggs {
+			if a.Arg == nil {
+				// count(*): count the row unconditionally.
+				g.accs[i].Add(value.NewInt(1))
+				continue
+			}
+			g.accs[i].Add(argCols[i].Value(row))
+		}
+	}
+	if len(keys) == 0 && len(order) == 0 {
+		order = append(order, newGroup(-1))
+	}
+
+	b := table.NewBuilder(outSchema, len(order))
+	rowBuf := make([]value.Value, 0, outSchema.Len())
+	for _, g := range order {
+		rowBuf = rowBuf[:0]
+		for _, p := range keyPos {
+			rowBuf = append(rowBuf, in.Value(g.firstRow, p))
+		}
+		for i := range aggs {
+			want := outSchema.At(len(keyPos) + i).Kind
+			rowBuf = append(rowBuf, g.accs[i].Result(want))
+		}
+		if err := b.Append(rowBuf...); err != nil {
+			return nil, fmt.Errorf("exec: groupagg: %w", err)
+		}
+	}
+	return b.Build(), nil
+}

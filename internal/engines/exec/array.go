@@ -1,0 +1,505 @@
+package exec
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Generic (sparse, table-backed) implementations of the dimension-aware
+// operators. The array engine overrides these with dense kernels; this
+// code is the semantic reference and the fallback that makes the
+// operators executable on any provider.
+
+func (r *Runtime) evalSliceDim(x *core.SliceDim, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	p := in.Schema().IndexOf(x.Dim)
+	if p < 0 {
+		return nil, fmt.Errorf("exec: slice: no dimension %q", x.Dim)
+	}
+	col := in.Col(p)
+	idx := make([]int, 0, in.NumRows())
+	for i := 0; i < in.NumRows(); i++ {
+		if !col.IsNull(i) && col.Ints()[i] == x.At {
+			idx = append(idx, i)
+		}
+	}
+	sel := in.Gather(idx)
+	keep := make([]int, 0, in.NumCols()-1)
+	for i := 0; i < in.NumCols(); i++ {
+		if i != p {
+			keep = append(keep, i)
+		}
+	}
+	return sel.Project(keep).WithSchema(x.Schema())
+}
+
+func (r *Runtime) evalDice(x *core.Dice, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	type bound struct {
+		col    *table.Column
+		lo, hi int64
+	}
+	bounds := make([]bound, len(x.Bounds))
+	for i, b := range x.Bounds {
+		p := in.Schema().IndexOf(b.Dim)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: dice: no dimension %q", b.Dim)
+		}
+		bounds[i] = bound{col: in.Col(p), lo: b.Lo, hi: b.Hi}
+	}
+	idx := make([]int, 0, in.NumRows())
+rows:
+	for i := 0; i < in.NumRows(); i++ {
+		for _, b := range bounds {
+			if b.col.IsNull(i) {
+				continue rows
+			}
+			v := b.col.Ints()[i]
+			if v < b.lo || v >= b.hi {
+				continue rows
+			}
+		}
+		idx = append(idx, i)
+	}
+	return in.Gather(idx).WithSchema(x.Schema())
+}
+
+func (r *Runtime) evalTranspose(x *core.Transpose, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	// Reorder columns to match the output schema's attribute order.
+	positions := make([]int, x.Schema().Len())
+	for i := 0; i < x.Schema().Len(); i++ {
+		p := in.Schema().IndexOf(x.Schema().At(i).Name)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: transpose: no column %q", x.Schema().At(i).Name)
+		}
+		positions[i] = p
+	}
+	return in.Project(positions).WithSchema(x.Schema())
+}
+
+func (r *Runtime) evalShift(x *core.Shift, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	p := in.Schema().IndexOf(x.Dim)
+	if p < 0 {
+		return nil, fmt.Errorf("exec: shift: no dimension %q", x.Dim)
+	}
+	src := in.Col(p)
+	shifted := make([]int64, in.NumRows())
+	for i := 0; i < in.NumRows(); i++ {
+		if !src.IsNull(i) {
+			shifted[i] = src.Ints()[i] + x.Offset
+		}
+	}
+	cols := make([]*table.Column, in.NumCols())
+	for i := 0; i < in.NumCols(); i++ {
+		if i == p {
+			cols[i] = table.IntColumn(shifted)
+		} else {
+			cols[i] = in.Col(i)
+		}
+	}
+	return table.New(x.Schema(), cols)
+}
+
+// coordKey encodes the dimension coordinates of a row.
+func coordKey(buf []byte, t *table.Table, dimPos []int, row int) []byte {
+	for _, p := range dimPos {
+		buf = value.AppendKey(buf, t.Value(row, p))
+	}
+	return buf
+}
+
+// windowAggregate is the generic stencil: for every cell, aggregate Arg
+// over the neighbourhood box. Sparse cells absent from the input simply
+// do not contribute; the output contains one row per input cell.
+func windowAggregate(in *table.Table, x *core.Window) (*table.Table, error) {
+	dims := in.Schema().DimNames()
+	dimPos := make([]int, len(dims))
+	for i, d := range dims {
+		dimPos[i] = in.Schema().IndexOf(d)
+	}
+	argPos := in.Schema().IndexOf(x.Arg)
+	if argPos < 0 {
+		return nil, fmt.Errorf("exec: window: no attribute %q", x.Arg)
+	}
+
+	// Extent lookup per dimension; unlisted dims get (0, 0).
+	before := make([]int64, len(dims))
+	after := make([]int64, len(dims))
+	for _, e := range x.Extents {
+		for i, d := range dims {
+			if d == e.Dim {
+				before[i] = e.Before
+				after[i] = e.After
+			}
+		}
+	}
+
+	// Index cells by coordinates.
+	cells := make(map[string]int, in.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < in.NumRows(); i++ {
+		buf = coordKey(buf[:0], in, dimPos, i)
+		cells[string(buf)] = i
+	}
+
+	outKind := x.Schema().At(x.Schema().Len() - 1).Kind
+	b := table.NewBuilder(x.Schema(), in.NumRows())
+	coords := make([]int64, len(dims))
+	neighbour := make([]int64, len(dims))
+	rowVals := make([]value.Value, 0, len(dims)+1)
+	for i := 0; i < in.NumRows(); i++ {
+		for d, p := range dimPos {
+			coords[d] = in.Col(p).Ints()[i]
+		}
+		acc := NewAccumulator(x.Agg)
+		// Enumerate the neighbourhood box with an odometer.
+		copy(neighbour, coords)
+		for d := range neighbour {
+			neighbour[d] = coords[d] - before[d]
+		}
+		for {
+			buf = buf[:0]
+			for _, c := range neighbour {
+				buf = value.AppendKey(buf, value.NewInt(c))
+			}
+			if j, ok := cells[string(buf)]; ok {
+				if x.Agg == core.AggCount {
+					acc.Add(value.NewInt(1))
+				} else {
+					acc.Add(in.Col(argPos).Value(j))
+				}
+			}
+			// Odometer increment.
+			d := len(neighbour) - 1
+			for d >= 0 {
+				neighbour[d]++
+				if neighbour[d] <= coords[d]+after[d] {
+					break
+				}
+				neighbour[d] = coords[d] - before[d]
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+		rowVals = rowVals[:0]
+		for range dims {
+			rowVals = append(rowVals, value.Null)
+		}
+		for d := range dims {
+			rowVals[d] = value.NewInt(coords[d])
+		}
+		rowVals = append(rowVals, acc.Result(outKind))
+		if err := b.Append(rowVals...); err != nil {
+			return nil, fmt.Errorf("exec: window: %w", err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// fillDense densifies the dimension box of the input: every coordinate in
+// the bounding box appears exactly once; value attributes of missing
+// cells take def (coerced per column kind).
+func fillDense(in *table.Table, def value.Value) (*table.Table, error) {
+	sch := in.Schema()
+	dimPos := sch.DimIndexes()
+	if len(dimPos) == 0 {
+		return nil, fmt.Errorf("exec: fill: input has no dimensions")
+	}
+	if in.NumRows() == 0 {
+		return in, nil
+	}
+	lo := make([]int64, len(dimPos))
+	hi := make([]int64, len(dimPos))
+	for d, p := range dimPos {
+		col := in.Col(p).Ints()
+		lo[d], hi[d] = col[0], col[0]
+		for _, v := range col {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	total := int64(1)
+	for d := range dimPos {
+		span := hi[d] - lo[d] + 1
+		total *= span
+		const maxFillCells = 64 << 20
+		if total > maxFillCells {
+			return nil, fmt.Errorf("exec: fill: dense box of %d cells exceeds the %d-cell safety bound", total, int64(maxFillCells))
+		}
+	}
+
+	// Index existing cells.
+	cells := make(map[string]int, in.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < in.NumRows(); i++ {
+		buf = coordKey(buf[:0], in, dimPos, i)
+		cells[string(buf)] = i
+	}
+
+	// Default values per non-dim column.
+	defaults := make([]value.Value, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		a := sch.At(i)
+		if a.Dim {
+			continue
+		}
+		if def.IsNull() {
+			defaults[i] = value.Null
+			continue
+		}
+		switch a.Kind {
+		case value.KindFloat64:
+			f, _ := def.AsFloat()
+			defaults[i] = value.NewFloat(f)
+		case value.KindInt64:
+			iv, _ := def.AsInt()
+			defaults[i] = value.NewInt(iv)
+		default:
+			defaults[i] = def
+		}
+	}
+
+	b := table.NewBuilder(sch, int(total))
+	coords := make([]int64, len(dimPos))
+	copy(coords, lo)
+	rowVals := make([]value.Value, sch.Len())
+	for {
+		buf = buf[:0]
+		for _, c := range coords {
+			buf = value.AppendKey(buf, value.NewInt(c))
+		}
+		src, exists := cells[string(buf)]
+		d := 0
+		for i := 0; i < sch.Len(); i++ {
+			if sch.At(i).Dim {
+				rowVals[i] = value.NewInt(coords[dimIndexOf(dimPos, i)])
+				d++
+				continue
+			}
+			if exists {
+				rowVals[i] = in.Value(src, i)
+			} else {
+				rowVals[i] = defaults[i]
+			}
+		}
+		if err := b.Append(rowVals...); err != nil {
+			return nil, fmt.Errorf("exec: fill: %w", err)
+		}
+		// Odometer.
+		k := len(coords) - 1
+		for k >= 0 {
+			coords[k]++
+			if coords[k] <= hi[k] {
+				break
+			}
+			coords[k] = lo[k]
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return b.Build(), nil
+}
+
+func dimIndexOf(dimPos []int, col int) int {
+	for d, p := range dimPos {
+		if p == col {
+			return d
+		}
+	}
+	return -1
+}
+
+// evalMatMulSparse is the generic matrix multiply over the sparse table
+// representation: group left cells by row, right cells by column, and
+// accumulate products over the shared inner dimension. It exists so that
+// MatMul is translatable everywhere; the linalg engine's dense kernel is
+// the fast path.
+func (r *Runtime) evalMatMulSparse(x *core.MatMul, env *Env) (*table.Table, error) {
+	left, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := r.Eval(x.Children()[1], env)
+	if err != nil {
+		return nil, err
+	}
+	return MatMulSparse(left, right, x.Schema().DimNames()[0], x.Schema().DimNames()[1], x.As)
+}
+
+// MatMulSparse multiplies two matrices in their sparse (coordinate list)
+// form. Exported as the semantic reference for property tests.
+func MatMulSparse(left, right *table.Table, outI, outJ, as string) (*table.Table, error) {
+	li, lk, lv, err := matrixCols(left)
+	if err != nil {
+		return nil, fmt.Errorf("exec: matmul left: %w", err)
+	}
+	ri, rj, rv, err := matrixCols(right)
+	if err != nil {
+		return nil, fmt.Errorf("exec: matmul right: %w", err)
+	}
+	// Bucket right rows by inner coordinate.
+	byK := map[int64][]int{}
+	rks := right.Col(ri).Ints()
+	for row := 0; row < right.NumRows(); row++ {
+		byK[rks[row]] = append(byK[rks[row]], row)
+	}
+	type cell struct{ i, j int64 }
+	acc := map[cell]float64{}
+	var order []cell
+	lis := left.Col(li).Ints()
+	lks := left.Col(lk).Ints()
+	for row := 0; row < left.NumRows(); row++ {
+		lval, ok := left.Col(lv).Value(row).AsFloat()
+		if !ok {
+			continue
+		}
+		for _, rrow := range byK[lks[row]] {
+			rval, ok := right.Col(rv).Value(rrow).AsFloat()
+			if !ok {
+				continue
+			}
+			c := cell{i: lis[row], j: right.Col(rj).Ints()[rrow]}
+			if _, seen := acc[c]; !seen {
+				order = append(order, c)
+			}
+			acc[c] += lval * rval
+		}
+	}
+	sch, err := schema.TryNew(
+		schema.Attribute{Name: outI, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: outJ, Kind: value.KindInt64, Dim: true},
+		schema.Attribute{Name: as, Kind: value.KindFloat64},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("exec: matmul: %w", err)
+	}
+	b := table.NewBuilder(sch, len(order))
+	for _, c := range order {
+		if err := b.Append(value.NewInt(c.i), value.NewInt(c.j), value.NewFloat(acc[c])); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// matrixCols returns (rowDimPos, colDimPos, valuePos) for a 2-D array
+// table with one value attribute.
+func matrixCols(t *table.Table) (rowPos, colPos, valPos int, err error) {
+	dims := t.Schema().DimIndexes()
+	if len(dims) != 2 {
+		return 0, 0, 0, fmt.Errorf("need 2 dims, have %d in %v", len(dims), t.Schema())
+	}
+	valPos = -1
+	for i := 0; i < t.Schema().Len(); i++ {
+		if !t.Schema().At(i).Dim {
+			if valPos >= 0 {
+				return 0, 0, 0, fmt.Errorf("more than one value attribute in %v", t.Schema())
+			}
+			valPos = i
+		}
+	}
+	if valPos < 0 {
+		return 0, 0, 0, fmt.Errorf("no value attribute in %v", t.Schema())
+	}
+	return dims[0], dims[1], valPos, nil
+}
+
+// evalElemWise aligns two sparse arrays on their coordinates (inner
+// alignment) and applies the operator to their value attributes.
+func (r *Runtime) evalElemWise(x *core.ElemWise, env *Env) (*table.Table, error) {
+	left, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := r.Eval(x.Children()[1], env)
+	if err != nil {
+		return nil, err
+	}
+	ldims := left.Schema().DimIndexes()
+	rdims := right.Schema().DimIndexes()
+	lval, err := singleValuePos(left)
+	if err != nil {
+		return nil, fmt.Errorf("exec: elemwise left: %w", err)
+	}
+	rval, err := singleValuePos(right)
+	if err != nil {
+		return nil, fmt.Errorf("exec: elemwise right: %w", err)
+	}
+	rIndex := make(map[string]int, right.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < right.NumRows(); i++ {
+		buf = coordKey(buf[:0], right, rdims, i)
+		rIndex[string(buf)] = i
+	}
+	b := table.NewBuilder(x.Schema(), left.NumRows())
+	rowVals := make([]value.Value, 0, len(ldims)+1)
+	for i := 0; i < left.NumRows(); i++ {
+		buf = coordKey(buf[:0], left, ldims, i)
+		j, ok := rIndex[string(buf)]
+		if !ok {
+			continue
+		}
+		res, err := value.Apply(x.Op, left.Col(lval).Value(i), right.Col(rval).Value(j))
+		if err != nil {
+			return nil, fmt.Errorf("exec: elemwise: %w", err)
+		}
+		// Coerce to the declared output kind.
+		want := x.Schema().At(x.Schema().Len() - 1).Kind
+		if !res.IsNull() && res.Kind() != want && want == value.KindFloat64 {
+			if f, ok := res.AsFloat(); ok {
+				res = value.NewFloat(f)
+			}
+		}
+		rowVals = rowVals[:0]
+		for _, p := range ldims {
+			rowVals = append(rowVals, left.Value(i, p))
+		}
+		rowVals = append(rowVals, res)
+		if err := b.Append(rowVals...); err != nil {
+			return nil, fmt.Errorf("exec: elemwise: %w", err)
+		}
+	}
+	return b.Build(), nil
+}
+
+func singleValuePos(t *table.Table) (int, error) {
+	pos := -1
+	for i := 0; i < t.Schema().Len(); i++ {
+		if !t.Schema().At(i).Dim {
+			if pos >= 0 {
+				return 0, fmt.Errorf("more than one value attribute in %v", t.Schema())
+			}
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return 0, fmt.Errorf("no value attribute in %v", t.Schema())
+	}
+	return pos, nil
+}

@@ -1,0 +1,455 @@
+// Package exec implements the generic execution runtime shared by every
+// nexus engine: a recursive evaluator for the full Big Data algebra over
+// columnar tables. Engines specialize it through the Override hook — the
+// array engine substitutes dense-array kernels, the linear-algebra engine
+// substitutes blocked matmul, the graph engine substitutes native
+// iterative kernels — and fall back to this runtime for everything else.
+// That fallback is what makes every operator "translatable to a back-end
+// system (or a combination of such systems)" (desideratum D2).
+package exec
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Env carries variable bindings (Iterate loop variables and Let
+// bindings) during evaluation. Bindings shadow outward.
+type Env struct {
+	parent *Env
+	name   string
+	val    *table.Table
+}
+
+// Bind returns a child environment with one more binding.
+func (e *Env) Bind(name string, t *table.Table) *Env {
+	return &Env{parent: e, name: name, val: t}
+}
+
+// Lookup resolves a variable, innermost binding first.
+func (e *Env) Lookup(name string) (*table.Table, bool) {
+	for env := e; env != nil; env = env.parent {
+		if env.name == name {
+			return env.val, true
+		}
+	}
+	return nil, false
+}
+
+// RecFunc recursively evaluates a sub-plan in an environment; Override
+// implementations use it to evaluate their children.
+type RecFunc func(n core.Node, env *Env) (*table.Table, error)
+
+// Runtime executes algebra plans. Datasets resolves Scan leaves;
+// Override, when non-nil, is consulted for every node and may take over
+// its evaluation (handled=true).
+type Runtime struct {
+	Datasets func(name string) (*table.Table, bool)
+	Override func(n core.Node, env *Env, rec RecFunc) (t *table.Table, handled bool, err error)
+
+	// Stats accumulate across Run calls; callers may reset between runs.
+	Stats Stats
+}
+
+// Stats counts work done by the runtime, reported by the benchmark
+// harness.
+type Stats struct {
+	NodesExecuted int
+	RowsProduced  int64
+	Iterations    int
+}
+
+// Run evaluates a closed plan (no free variables).
+func (r *Runtime) Run(plan core.Node) (*table.Table, error) {
+	if fv := core.FreeVars(plan); len(fv) > 0 {
+		return nil, fmt.Errorf("exec: plan has free variables %v", fv)
+	}
+	return r.Eval(plan, nil)
+}
+
+// Eval evaluates a plan in an environment.
+func (r *Runtime) Eval(n core.Node, env *Env) (*table.Table, error) {
+	if n == nil {
+		return nil, fmt.Errorf("exec: nil plan")
+	}
+	if r.Override != nil {
+		t, handled, err := r.Override(n, env, r.Eval)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			r.Stats.NodesExecuted++
+			if t != nil {
+				r.Stats.RowsProduced += int64(t.NumRows())
+			}
+			return t, nil
+		}
+	}
+	t, err := r.evalGeneric(n, env)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.NodesExecuted++
+	r.Stats.RowsProduced += int64(t.NumRows())
+	return t, nil
+}
+
+func (r *Runtime) evalGeneric(n core.Node, env *Env) (*table.Table, error) {
+	switch x := n.(type) {
+	case *core.Scan:
+		if r.Datasets == nil {
+			return nil, fmt.Errorf("exec: no dataset resolver for scan %q", x.Dataset)
+		}
+		t, ok := r.Datasets(x.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown dataset %q", x.Dataset)
+		}
+		if !t.Schema().EqualIgnoreDims(x.Schema()) {
+			return nil, fmt.Errorf("exec: dataset %q schema %v does not match plan schema %v", x.Dataset, t.Schema(), x.Schema())
+		}
+		// Present the dataset under the plan's schema so dimension tags
+		// declared in the plan apply.
+		return t.WithSchema(x.Schema())
+	case *core.Literal:
+		return x.Table, nil
+	case *core.Var:
+		t, ok := env.Lookup(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("exec: unbound variable %q", x.Name)
+		}
+		return t, nil
+	case *core.Filter:
+		return r.evalFilter(x, env)
+	case *core.Project:
+		return r.evalProject(x, env)
+	case *core.Rename:
+		in, err := r.Eval(x.Children()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		return in.WithSchema(x.Schema())
+	case *core.Extend:
+		return r.evalExtend(x, env)
+	case *core.Join:
+		return r.evalJoin(x, env)
+	case *core.Product:
+		return r.evalProduct(x, env)
+	case *core.GroupAgg:
+		in, err := r.Eval(x.Children()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		return groupAggregate(in, x.Keys, x.Aggs, x.Schema())
+	case *core.Distinct:
+		return r.evalDistinct(x, env)
+	case *core.Sort:
+		return r.evalSort(x, env)
+	case *core.Limit:
+		in, err := r.Eval(x.Children()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		lo := int(x.Offset)
+		hi := lo + int(x.N)
+		return in.Slice(lo, hi), nil
+	case *core.Union:
+		return r.evalUnion(x, env)
+	case *core.Except:
+		return r.evalExcept(x, env)
+	case *core.Intersect:
+		return r.evalIntersect(x, env)
+	case *core.AsArray, *core.DropDims:
+		in, err := r.Eval(n.Children()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		return in.WithSchema(n.Schema())
+	case *core.SliceDim:
+		return r.evalSliceDim(x, env)
+	case *core.Dice:
+		return r.evalDice(x, env)
+	case *core.Transpose:
+		return r.evalTranspose(x, env)
+	case *core.Window:
+		in, err := r.Eval(x.Children()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		return windowAggregate(in, x)
+	case *core.ReduceDims:
+		in, err := r.Eval(x.Children()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		// Desugar: group by the surviving dimensions.
+		keys := x.Schema().DimNames()
+		out, err := groupAggregate(in, keys, x.Aggs, x.Schema().DropDims())
+		if err != nil {
+			return nil, err
+		}
+		return out.WithSchema(x.Schema())
+	case *core.Fill:
+		in, err := r.Eval(x.Children()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		return fillDense(in, x.Default)
+	case *core.Shift:
+		return r.evalShift(x, env)
+	case *core.MatMul:
+		return r.evalMatMulSparse(x, env)
+	case *core.ElemWise:
+		return r.evalElemWise(x, env)
+	case *core.Iterate:
+		return r.evalIterate(x, env)
+	case *core.Let:
+		bound, err := r.Eval(x.Bound(), env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Eval(x.In(), env.Bind(x.Name, bound))
+	}
+	return nil, fmt.Errorf("exec: unsupported operator %v", n.Kind())
+}
+
+func (r *Runtime) evalFilter(x *core.Filter, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	c, err := expr.Compile(x.Pred, in.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("exec: filter: %w", err)
+	}
+	col, err := c.EvalBatch(in)
+	if err != nil {
+		return nil, fmt.Errorf("exec: filter: %w", err)
+	}
+	idx := make([]int, 0, in.NumRows()/2+1)
+	for i := 0; i < in.NumRows(); i++ {
+		if !col.IsNull(i) && col.Kind() == value.KindBool && col.Bools()[i] {
+			idx = append(idx, i)
+		}
+	}
+	return in.Gather(idx), nil
+}
+
+func (r *Runtime) evalProject(x *core.Project, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	positions := make([]int, len(x.Cols))
+	for i, c := range x.Cols {
+		p := in.Schema().IndexOf(c)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: project: no column %q", c)
+		}
+		positions[i] = p
+	}
+	out := in.Project(positions)
+	return out.WithSchema(x.Schema())
+}
+
+func (r *Runtime) evalExtend(x *core.Extend, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*table.Column, 0, in.NumCols()+len(x.Defs))
+	for i := 0; i < in.NumCols(); i++ {
+		cols = append(cols, in.Col(i))
+	}
+	for di, d := range x.Defs {
+		c, err := expr.Compile(d.E, in.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("exec: extend %q: %w", d.Name, err)
+		}
+		col, err := c.EvalBatch(in)
+		if err != nil {
+			return nil, fmt.Errorf("exec: extend %q: %w", d.Name, err)
+		}
+		// The schema fixed the output kind at plan time; coerce numeric
+		// columns if the runtime produced the other numeric kind.
+		want := x.Schema().At(in.NumCols() + di).Kind
+		col, err = coerceColumn(col, want)
+		if err != nil {
+			return nil, fmt.Errorf("exec: extend %q: %w", d.Name, err)
+		}
+		cols = append(cols, col)
+	}
+	return table.New(x.Schema(), cols)
+}
+
+// coerceColumn converts between numeric column kinds when an expression's
+// runtime kind differs from the statically inferred one (e.g. NULL
+// literals typed as int64).
+func coerceColumn(c *table.Column, want value.Kind) (*table.Column, error) {
+	if c.Kind() == want {
+		return c, nil
+	}
+	out := table.NewColumn(want, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		v := c.Value(i)
+		if v.IsNull() {
+			if err := out.Append(value.Null); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch want {
+		case value.KindFloat64:
+			f, ok := v.AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("exec: cannot coerce %v to float64", v.Kind())
+			}
+			if err := out.Append(value.NewFloat(f)); err != nil {
+				return nil, err
+			}
+		case value.KindInt64:
+			iv, ok := v.AsInt()
+			if !ok {
+				return nil, fmt.Errorf("exec: cannot coerce %v to int64", v.Kind())
+			}
+			if err := out.Append(value.NewInt(iv)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("exec: cannot coerce %v to %v", v.Kind(), want)
+		}
+	}
+	return out, nil
+}
+
+func (r *Runtime) evalSort(x *core.Sort, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]table.SortKey, len(x.Specs))
+	for i, s := range x.Specs {
+		p := in.Schema().IndexOf(s.Col)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: sort: no column %q", s.Col)
+		}
+		keys[i] = table.SortKey{Col: p, Desc: s.Desc}
+	}
+	return in.Sort(keys), nil
+}
+
+func (r *Runtime) evalDistinct(x *core.Distinct, env *Env) (*table.Table, error) {
+	in, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	return distinctRows(in), nil
+}
+
+func distinctRows(in *table.Table) *table.Table {
+	seen := make(map[string]struct{}, in.NumRows())
+	idx := make([]int, 0, in.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < in.NumRows(); i++ {
+		buf = buf[:0]
+		for c := 0; c < in.NumCols(); c++ {
+			buf = value.AppendKey(buf, in.Value(i, c))
+		}
+		k := string(buf)
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			idx = append(idx, i)
+		}
+	}
+	return in.Gather(idx)
+}
+
+func (r *Runtime) evalUnion(x *core.Union, env *Env) (*table.Table, error) {
+	l, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := r.Eval(x.Children()[1], env)
+	if err != nil {
+		return nil, err
+	}
+	// Align the right input to the left schema (kinds already checked).
+	rt, err = rt.WithSchema(l.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("exec: union: %w", err)
+	}
+	out, err := l.Concat(rt)
+	if err != nil {
+		return nil, fmt.Errorf("exec: union: %w", err)
+	}
+	if !x.All {
+		out = distinctRows(out)
+	}
+	return out.WithSchema(x.Schema())
+}
+
+func rowKeySet(t *table.Table) map[string]struct{} {
+	set := make(map[string]struct{}, t.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < t.NumRows(); i++ {
+		buf = buf[:0]
+		for c := 0; c < t.NumCols(); c++ {
+			buf = value.AppendKey(buf, t.Value(i, c))
+		}
+		set[string(buf)] = struct{}{}
+	}
+	return set
+}
+
+func (r *Runtime) evalExcept(x *core.Except, env *Env) (*table.Table, error) {
+	l, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := r.Eval(x.Children()[1], env)
+	if err != nil {
+		return nil, err
+	}
+	right := rowKeySet(rt)
+	ld := distinctRows(l)
+	idx := make([]int, 0, ld.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < ld.NumRows(); i++ {
+		buf = buf[:0]
+		for c := 0; c < ld.NumCols(); c++ {
+			buf = value.AppendKey(buf, ld.Value(i, c))
+		}
+		if _, hit := right[string(buf)]; !hit {
+			idx = append(idx, i)
+		}
+	}
+	return ld.Gather(idx).WithSchema(x.Schema())
+}
+
+func (r *Runtime) evalIntersect(x *core.Intersect, env *Env) (*table.Table, error) {
+	l, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := r.Eval(x.Children()[1], env)
+	if err != nil {
+		return nil, err
+	}
+	right := rowKeySet(rt)
+	ld := distinctRows(l)
+	idx := make([]int, 0, ld.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < ld.NumRows(); i++ {
+		buf = buf[:0]
+		for c := 0; c < ld.NumCols(); c++ {
+			buf = value.AppendKey(buf, ld.Value(i, c))
+		}
+		if _, hit := right[string(buf)]; hit {
+			idx = append(idx, i)
+		}
+	}
+	return ld.Gather(idx).WithSchema(x.Schema())
+}

@@ -1,0 +1,722 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/expr"
+	"nexus/internal/ref"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+func runtimeFor(datasets map[string]*table.Table) *Runtime {
+	return &Runtime{Datasets: func(name string) (*table.Table, bool) {
+		t, ok := datasets[name]
+		return t, ok
+	}}
+}
+
+func mustScan(t *testing.T, name string, ds map[string]*table.Table) *core.Scan {
+	t.Helper()
+	s, err := core.NewScan(name, ds[name].Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func run(t *testing.T, rt *Runtime, plan core.Node) *table.Table {
+	t.Helper()
+	out, err := rt.Run(plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func TestFilterProjectExtend(t *testing.T) {
+	ds := map[string]*table.Table{"sales": datagen.Sales(1, 1000, 50, 20)}
+	rt := runtimeFor(ds)
+	scan := mustScan(t, "sales", ds)
+
+	f, err := core.NewFilter(scan, expr.Gt(expr.Column("qty"), expr.CInt(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := core.NewExtend(f, []core.ColDef{{Name: "total", E: expr.Mul(expr.Column("price"), expr.Column("qty"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProject(ex, []string{"sale_id", "total"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, p)
+
+	// Oracle: row-at-a-time.
+	want := 0
+	sales := ds["sales"]
+	qty := sales.ColByName("qty").Ints()
+	price := sales.ColByName("price").Floats()
+	var wantSum float64
+	for i := range qty {
+		if qty[i] > 5 {
+			want++
+			wantSum += price[i] * float64(qty[i])
+		}
+	}
+	if out.NumRows() != want {
+		t.Fatalf("filter kept %d rows, want %d", out.NumRows(), want)
+	}
+	var gotSum float64
+	for _, v := range out.ColByName("total").Floats() {
+		gotSum += v
+	}
+	if math.Abs(gotSum-wantSum) > 1e-6 {
+		t.Fatalf("total sum = %g, want %g", gotSum, wantSum)
+	}
+	if out.NumCols() != 2 {
+		t.Fatalf("project kept %d cols, want 2", out.NumCols())
+	}
+}
+
+func TestHashJoinAgainstNestedLoop(t *testing.T) {
+	ds := map[string]*table.Table{
+		"sales":     datagen.Sales(2, 500, 40, 15),
+		"customers": datagen.Customers(3, 40),
+	}
+	rt := runtimeFor(ds)
+	j, err := core.NewJoin(mustScan(t, "sales", ds), mustScan(t, "customers", ds),
+		core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, rt, j)
+	want := ref.NestedLoopJoin(ds["sales"], ds["customers"], []string{"cust_id"}, []string{"cust_id"})
+	if !table.EqualUnordered(got, want) {
+		t.Fatalf("hash join disagrees with nested loop: %d vs %d rows", got.NumRows(), want.NumRows())
+	}
+}
+
+func TestJoinVariants(t *testing.T) {
+	left := table.MustNew(schema.New(
+		schema.Attribute{Name: "k", Kind: value.KindInt64},
+		schema.Attribute{Name: "a", Kind: value.KindString},
+	), []*table.Column{
+		table.IntColumn([]int64{1, 2, 3, 4}),
+		table.StringColumn([]string{"w", "x", "y", "z"}),
+	})
+	right := table.MustNew(schema.New(
+		schema.Attribute{Name: "k", Kind: value.KindInt64},
+		schema.Attribute{Name: "b", Kind: value.KindInt64},
+	), []*table.Column{
+		table.IntColumn([]int64{2, 2, 3, 9}),
+		table.IntColumn([]int64{20, 21, 30, 90}),
+	})
+	ds := map[string]*table.Table{"l": left, "r": right}
+	rt := runtimeFor(ds)
+
+	cases := []struct {
+		typ      core.JoinType
+		wantRows int
+	}{
+		{core.JoinInner, 3},
+		{core.JoinLeft, 5}, // 1 and 4 padded, 2 matches twice
+		{core.JoinSemi, 2},
+		{core.JoinAnti, 2},
+	}
+	for _, tc := range cases {
+		j, err := core.NewJoin(mustScan(t, "l", ds), mustScan(t, "r", ds),
+			tc.typ, []string{"k"}, []string{"k"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := run(t, rt, j)
+		if out.NumRows() != tc.wantRows {
+			t.Errorf("%v join: got %d rows, want %d", tc.typ, out.NumRows(), tc.wantRows)
+		}
+	}
+
+	// Left join must pad with NULLs.
+	j, _ := core.NewJoin(mustScan(t, "l", ds), mustScan(t, "r", ds),
+		core.JoinLeft, []string{"k"}, []string{"k"}, nil)
+	out := run(t, rt, j)
+	nulls := 0
+	bcol := out.ColByName("b")
+	for i := 0; i < out.NumRows(); i++ {
+		if bcol.IsNull(i) {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Fatalf("left join padded %d rows, want 2", nulls)
+	}
+}
+
+func TestJoinResidual(t *testing.T) {
+	ds := map[string]*table.Table{
+		"sales":     datagen.Sales(4, 300, 30, 10),
+		"customers": datagen.Customers(5, 30),
+	}
+	rt := runtimeFor(ds)
+	// Join where the sale's region differs from the customer's region.
+	res := expr.Ne(expr.Column("region"), expr.Column("region_r"))
+	j, err := core.NewJoin(mustScan(t, "sales", ds), mustScan(t, "customers", ds),
+		core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, j)
+	ri := out.Schema().IndexOf("region")
+	rr := out.Schema().IndexOf("region_r")
+	for i := 0; i < out.NumRows(); i++ {
+		if value.Equal(out.Value(i, ri), out.Value(i, rr)) {
+			t.Fatalf("row %d violates residual", i)
+		}
+	}
+	full := ref.NestedLoopJoin(ds["sales"], ds["customers"], []string{"cust_id"}, []string{"cust_id"})
+	same := 0
+	fi := full.Schema().IndexOf("region")
+	fr := full.Schema().IndexOf("region_r")
+	for i := 0; i < full.NumRows(); i++ {
+		if !value.Equal(full.Value(i, fi), full.Value(i, fr)) {
+			same++
+		}
+	}
+	if out.NumRows() != same {
+		t.Fatalf("residual join kept %d rows, oracle says %d", out.NumRows(), same)
+	}
+}
+
+func TestGroupAggregateAgainstOracle(t *testing.T) {
+	ds := map[string]*table.Table{"sales": datagen.Sales(6, 2000, 60, 25)}
+	rt := runtimeFor(ds)
+	ga, err := core.NewGroupAgg(mustScan(t, "sales", ds), []string{"region"}, []core.AggSpec{
+		{Func: core.AggSum, Arg: expr.Mul(expr.Column("price"), expr.Column("qty")), As: "revenue"},
+		{Func: core.AggCount, As: "n"},
+		{Func: core.AggMin, Arg: expr.Column("price"), As: "cheapest"},
+		{Func: core.AggAvg, Arg: expr.Column("qty"), As: "avg_qty"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, ga)
+	if out.NumRows() != len(datagen.Regions) {
+		t.Fatalf("got %d groups, want %d", out.NumRows(), len(datagen.Regions))
+	}
+	// Oracle for revenue per region.
+	sales := ds["sales"]
+	oracle := map[string]float64{}
+	counts := map[string]int64{}
+	region := sales.ColByName("region").Strs()
+	price := sales.ColByName("price").Floats()
+	qty := sales.ColByName("qty").Ints()
+	for i := range region {
+		oracle[region[i]] += price[i] * float64(qty[i])
+		counts[region[i]]++
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		reg := out.ColByName("region").Strs()[i]
+		rev := out.ColByName("revenue").Floats()[i]
+		if math.Abs(rev-oracle[reg]) > 1e-6 {
+			t.Errorf("region %s revenue %g, want %g", reg, rev, oracle[reg])
+		}
+		if out.ColByName("n").Ints()[i] != counts[reg] {
+			t.Errorf("region %s count mismatch", reg)
+		}
+	}
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	empty := table.Empty(datagen.SalesSchema())
+	ds := map[string]*table.Table{"sales": empty}
+	rt := runtimeFor(ds)
+	ga, err := core.NewGroupAgg(mustScan(t, "sales", ds), nil, []core.AggSpec{
+		{Func: core.AggCount, As: "n"},
+		{Func: core.AggSum, Arg: expr.Column("price"), As: "s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, ga)
+	if out.NumRows() != 1 {
+		t.Fatalf("global aggregate over empty input: %d rows, want 1", out.NumRows())
+	}
+	if got := out.Value(0, 0); got.Int() != 0 {
+		t.Fatalf("count = %v, want 0", got)
+	}
+	if !out.Value(0, 1).IsNull() {
+		t.Fatalf("sum over empty = %v, want NULL", out.Value(0, 1))
+	}
+}
+
+func TestSortLimitDistinct(t *testing.T) {
+	ds := map[string]*table.Table{"sales": datagen.Sales(7, 500, 20, 10)}
+	rt := runtimeFor(ds)
+	s, err := core.NewSort(mustScan(t, "sales", ds), []core.SortSpec{{Col: "price", Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := core.NewLimit(s, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, l)
+	if out.NumRows() != 10 {
+		t.Fatalf("limit: %d rows", out.NumRows())
+	}
+	prices := out.ColByName("price").Floats()
+	for i := 1; i < len(prices); i++ {
+		if prices[i] > prices[i-1] {
+			t.Fatalf("not sorted desc at %d", i)
+		}
+	}
+
+	p, _ := core.NewProject(mustScan(t, "sales", ds), []string{"region"})
+	d, _ := core.NewDistinct(p)
+	out = run(t, rt, d)
+	if out.NumRows() != len(datagen.Regions) {
+		t.Fatalf("distinct regions: %d, want %d", out.NumRows(), len(datagen.Regions))
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	mk := func(vals ...int64) *table.Table {
+		return table.MustNew(schema.New(schema.Attribute{Name: "x", Kind: value.KindInt64}),
+			[]*table.Column{table.IntColumn(vals)})
+	}
+	ds := map[string]*table.Table{
+		"a": mk(1, 2, 2, 3, 4),
+		"b": mk(3, 4, 5),
+	}
+	rt := runtimeFor(ds)
+
+	u, _ := core.NewUnion(mustScan(t, "a", ds), mustScan(t, "b", ds), true)
+	if got := run(t, rt, u).NumRows(); got != 8 {
+		t.Fatalf("union all: %d rows, want 8", got)
+	}
+	u2, _ := core.NewUnion(mustScan(t, "a", ds), mustScan(t, "b", ds), false)
+	if got := run(t, rt, u2).NumRows(); got != 5 {
+		t.Fatalf("union: %d rows, want 5", got)
+	}
+	ex, _ := core.NewExcept(mustScan(t, "a", ds), mustScan(t, "b", ds))
+	if got := run(t, rt, ex).NumRows(); got != 2 {
+		t.Fatalf("except: %d rows, want 2 (1,2)", got)
+	}
+	in, _ := core.NewIntersect(mustScan(t, "a", ds), mustScan(t, "b", ds))
+	if got := run(t, rt, in).NumRows(); got != 2 {
+		t.Fatalf("intersect: %d rows, want 2 (3,4)", got)
+	}
+}
+
+func TestSliceDiceShift(t *testing.T) {
+	grid := datagen.Grid(8, 10, 10)
+	ds := map[string]*table.Table{"grid": grid}
+	rt := runtimeFor(ds)
+
+	sl, err := core.NewSliceDim(mustScan(t, "grid", ds), "x", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, sl)
+	if out.NumRows() != 10 {
+		t.Fatalf("slice x=3: %d rows, want 10", out.NumRows())
+	}
+	if out.Schema().Has("x") {
+		t.Fatal("slice should remove the sliced dimension")
+	}
+
+	di, err := core.NewDice(mustScan(t, "grid", ds), []core.DimBound{
+		{Dim: "x", Lo: 2, Hi: 5}, {Dim: "y", Lo: 0, Hi: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, rt, di)
+	if out.NumRows() != 3*4 {
+		t.Fatalf("dice: %d rows, want 12", out.NumRows())
+	}
+
+	sh, err := core.NewShift(mustScan(t, "grid", ds), "x", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, rt, sh)
+	xs := out.ColByName("x").Ints()
+	for _, x := range xs {
+		if x < 100 || x > 109 {
+			t.Fatalf("shift out of range: %d", x)
+		}
+	}
+}
+
+func TestWindowAgainstOracle(t *testing.T) {
+	series := datagen.Series(9, 200)
+	ds := map[string]*table.Table{"s": series}
+	rt := runtimeFor(ds)
+	w, err := core.NewWindow(mustScan(t, "s", ds), []core.DimExtent{{Dim: "t", Before: 2, After: 2}},
+		core.AggSum, "temp", "smooth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, w)
+	want := ref.WindowSum1D(series.ColByName("temp").Floats(), 2, 2)
+	if out.NumRows() != len(want) {
+		t.Fatalf("window rows: %d, want %d", out.NumRows(), len(want))
+	}
+	// Output may be in any order; index by t.
+	ts := out.ColByName("t").Ints()
+	sm := out.ColByName("smooth").Floats()
+	for i := range ts {
+		if math.Abs(sm[i]-want[ts[i]]) > 1e-9 {
+			t.Fatalf("window at t=%d: %g, want %g", ts[i], sm[i], want[ts[i]])
+		}
+	}
+}
+
+func TestReduceDims(t *testing.T) {
+	grid := datagen.Grid(10, 8, 6)
+	ds := map[string]*table.Table{"g": grid}
+	rt := runtimeFor(ds)
+	rd, err := core.NewReduceDims(mustScan(t, "g", ds), []string{"y"}, []core.AggSpec{
+		{Func: core.AggSum, Arg: expr.Column("v"), As: "rowsum"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, rd)
+	if out.NumRows() != 8 {
+		t.Fatalf("reduce over y: %d rows, want 8", out.NumRows())
+	}
+	if !out.Schema().At(0).Dim {
+		t.Fatal("surviving dimension should stay tagged")
+	}
+	// Oracle.
+	oracle := make([]float64, 8)
+	xs := grid.ColByName("x").Ints()
+	vs := grid.ColByName("v").Floats()
+	for i := range xs {
+		oracle[xs[i]] += vs[i]
+	}
+	ox := out.ColByName("x").Ints()
+	ov := out.ColByName("rowsum").Floats()
+	for i := range ox {
+		if math.Abs(ov[i]-oracle[ox[i]]) > 1e-9 {
+			t.Fatalf("rowsum x=%d: %g want %g", ox[i], ov[i], oracle[ox[i]])
+		}
+	}
+}
+
+func TestFillDensifies(t *testing.T) {
+	sch := datagen.GridSchema()
+	b := table.NewBuilder(sch, 3)
+	b.MustAppend(value.NewInt(0), value.NewInt(0), value.NewFloat(1))
+	b.MustAppend(value.NewInt(2), value.NewInt(2), value.NewFloat(2))
+	b.MustAppend(value.NewInt(0), value.NewInt(2), value.NewFloat(3))
+	sparse := b.Build()
+	ds := map[string]*table.Table{"g": sparse}
+	rt := runtimeFor(ds)
+	f, err := core.NewFill(mustScan(t, "g", ds), value.NewFloat(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, f)
+	if out.NumRows() != 9 { // box [0,2]x[0,2]
+		t.Fatalf("fill: %d rows, want 9", out.NumRows())
+	}
+	var sum float64
+	for _, v := range out.ColByName("v").Floats() {
+		sum += v
+	}
+	if math.Abs(sum-6) > 1e-9 {
+		t.Fatalf("fill sum: %g, want 6", sum)
+	}
+}
+
+func TestMatMulSparseAgainstDense(t *testing.T) {
+	const m, k, n = 7, 5, 6
+	a := datagen.Matrix(11, m, k, "i", "k")
+	bm := datagen.Matrix(12, k, n, "k", "j")
+	ds := map[string]*table.Table{"A": a, "B": bm}
+	rt := runtimeFor(ds)
+	mm, err := core.NewMatMul(mustScan(t, "A", ds), mustScan(t, "B", ds), "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, mm)
+	want := ref.MatMulDense(datagen.MatrixDense(11, m, k), datagen.MatrixDense(12, k, n), m, k, n)
+	if out.NumRows() != m*n {
+		t.Fatalf("matmul: %d cells, want %d", out.NumRows(), m*n)
+	}
+	is := out.ColByName("i").Ints()
+	js := out.ColByName("j").Ints()
+	vs := out.ColByName("v").Floats()
+	for r := range is {
+		if math.Abs(vs[r]-want[is[r]*n+js[r]]) > 1e-9 {
+			t.Fatalf("cell (%d,%d): %g want %g", is[r], js[r], vs[r], want[is[r]*n+js[r]])
+		}
+	}
+}
+
+func TestElemWise(t *testing.T) {
+	a := datagen.Matrix(13, 4, 4, "i", "j")
+	b := datagen.Matrix(14, 4, 4, "i", "j")
+	ds := map[string]*table.Table{"A": a, "B": b}
+	rt := runtimeFor(ds)
+	ew, err := core.NewElemWise(mustScan(t, "A", ds), mustScan(t, "B", ds), value.OpAdd, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, ew)
+	if out.NumRows() != 16 {
+		t.Fatalf("elemwise: %d rows, want 16", out.NumRows())
+	}
+	av := a.ColByName("v").Floats()
+	bv := b.ColByName("v").Floats()
+	// Both generators emit cells in the same (i,j) order.
+	idx := map[[2]int64]float64{}
+	ai := a.ColByName("i").Ints()
+	aj := a.ColByName("j").Ints()
+	for r := range av {
+		idx[[2]int64{ai[r], aj[r]}] = av[r] + bv[r]
+	}
+	oi := out.ColByName("i").Ints()
+	oj := out.ColByName("j").Ints()
+	ov := out.ColByName("s").Floats()
+	for r := range ov {
+		if math.Abs(ov[r]-idx[[2]int64{oi[r], oj[r]}]) > 1e-9 {
+			t.Fatalf("elemwise cell (%d,%d) mismatch", oi[r], oj[r])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := datagen.Matrix(15, 3, 5, "i", "j")
+	ds := map[string]*table.Table{"A": a}
+	rt := runtimeFor(ds)
+	tr, err := core.NewTranspose(mustScan(t, "A", ds), []string{"j", "i"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, tr)
+	if out.Schema().DimNames()[0] != "j" {
+		t.Fatalf("transpose dims: %v", out.Schema().DimNames())
+	}
+	if out.NumRows() != a.NumRows() {
+		t.Fatalf("transpose changed cardinality")
+	}
+}
+
+func TestIterateConvergence(t *testing.T) {
+	// state(k, x): x converges to 10 via x' = (x + 10) / 2.
+	sch := schema.New(
+		schema.Attribute{Name: "k", Kind: value.KindInt64},
+		schema.Attribute{Name: "x", Kind: value.KindFloat64},
+	)
+	b := table.NewBuilder(sch, 2)
+	b.MustAppend(value.NewInt(0), value.NewFloat(0))
+	b.MustAppend(value.NewInt(1), value.NewFloat(100))
+	init, err := core.NewLiteral(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopVar, err := core.NewVar("state", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := core.NewExtend(loopVar, []core.ColDef{
+		{Name: "xnew", E: expr.Div(expr.Add(expr.Column("x"), expr.CFloat(10)), expr.CFloat(2))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := core.NewProject(step, []string{"k", "xnew"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := core.NewRename(proj, []string{"xnew"}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := core.NewIterate(init, body, "state", 100, &core.Convergence{
+		Metric: core.MetricLInf, Col: "x", Tol: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := runtimeFor(nil)
+	out := run(t, rt, it)
+	for i := 0; i < out.NumRows(); i++ {
+		x := out.ColByName("x").Floats()[i]
+		if math.Abs(x-10) > 1e-6 {
+			t.Fatalf("row %d did not converge: %g", i, x)
+		}
+	}
+	if rt.Stats.Iterations >= 100 {
+		t.Fatalf("should converge well before 100 iterations, took %d", rt.Stats.Iterations)
+	}
+	if rt.Stats.Iterations < 10 {
+		t.Fatalf("converged suspiciously fast: %d iterations", rt.Stats.Iterations)
+	}
+}
+
+func TestIterateMaxItersWithoutConvergence(t *testing.T) {
+	sch := schema.New(schema.Attribute{Name: "x", Kind: value.KindInt64})
+	b := table.NewBuilder(sch, 1)
+	b.MustAppend(value.NewInt(0))
+	init, _ := core.NewLiteral(b.Build())
+	loopVar, _ := core.NewVar("s", sch)
+	step, _ := core.NewExtend(loopVar, []core.ColDef{{Name: "x2", E: expr.Add(expr.Column("x"), expr.CInt(1))}})
+	proj, _ := core.NewProject(step, []string{"x2"})
+	body, _ := core.NewRename(proj, []string{"x2"}, []string{"x"})
+	it, err := core.NewIterate(init, body, "s", 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := runtimeFor(nil)
+	out := run(t, rt, it)
+	if got := out.Value(0, 0).Int(); got != 7 {
+		t.Fatalf("x = %d after 7 iterations, want 7", got)
+	}
+}
+
+func TestLetBinding(t *testing.T) {
+	ds := map[string]*table.Table{"sales": datagen.Sales(16, 200, 10, 5)}
+	rt := runtimeFor(ds)
+	scan := mustScan(t, "sales", ds)
+	bound, err := core.NewFilter(scan, expr.Gt(expr.Column("qty"), expr.CInt(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := core.NewVar("big", bound.Schema())
+	u, err := core.NewUnion(v, v, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	let, err := core.NewLet("big", bound, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, rt, let)
+	single := run(t, rt, bound)
+	if out.NumRows() != 2*single.NumRows() {
+		t.Fatalf("let union: %d rows, want %d", out.NumRows(), 2*single.NumRows())
+	}
+}
+
+func TestFreeVarRejected(t *testing.T) {
+	sch := schema.New(schema.Attribute{Name: "x", Kind: value.KindInt64})
+	v, _ := core.NewVar("nowhere", sch)
+	rt := runtimeFor(nil)
+	if _, err := rt.Run(v); err == nil {
+		t.Fatal("expected error for free variable")
+	}
+}
+
+// Property: distinct is idempotent and never increases cardinality.
+func TestDistinctProperties(t *testing.T) {
+	f := func(xs []int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		tab := table.MustNew(schema.New(schema.Attribute{Name: "x", Kind: value.KindInt64}),
+			[]*table.Column{table.IntColumn(xs)})
+		d1 := distinctRows(tab)
+		d2 := distinctRows(d1)
+		return d1.NumRows() <= tab.NumRows() &&
+			d1.NumRows() == d2.NumRows() &&
+			d1.NumRows() == ref.Distinct(tab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hash join row count equals nested-loop row count on random
+// key data.
+func TestJoinCardinalityProperty(t *testing.T) {
+	f := func(lk, rk []uint8) bool {
+		l := make([]int64, len(lk))
+		for i, v := range lk {
+			l[i] = int64(v % 8)
+		}
+		r := make([]int64, len(rk))
+		for i, v := range rk {
+			r[i] = int64(v % 8)
+		}
+		sch := schema.New(schema.Attribute{Name: "k", Kind: value.KindInt64})
+		lt := table.MustNew(sch, []*table.Column{table.IntColumn(l)})
+		rt := table.MustNew(sch, []*table.Column{table.IntColumn(r)})
+		ls, _ := core.NewLiteral(lt)
+		rs, _ := core.NewLiteral(rt)
+		j, err := core.NewJoin(ls, rs, core.JoinInner, []string{"k"}, []string{"k"}, nil)
+		if err != nil {
+			return false
+		}
+		got, err := HashJoin(lt, rt, j)
+		if err != nil {
+			return false
+		}
+		want := ref.NestedLoopJoin(lt, rt, []string{"k"}, []string{"k"})
+		return got.NumRows() == want.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: group-by-sum per key equals the oracle on random data.
+func TestGroupSumProperty(t *testing.T) {
+	f := func(keys []uint8, vals []int16) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		ks := make([]int64, n)
+		vs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ks[i] = int64(keys[i] % 5)
+			vs[i] = float64(vals[i])
+		}
+		sch := schema.New(
+			schema.Attribute{Name: "k", Kind: value.KindInt64},
+			schema.Attribute{Name: "v", Kind: value.KindFloat64},
+		)
+		tab := table.MustNew(sch, []*table.Column{table.IntColumn(ks), table.FloatColumn(vs)})
+		lit, _ := core.NewLiteral(tab)
+		ga, err := core.NewGroupAgg(lit, []string{"k"}, []core.AggSpec{
+			{Func: core.AggSum, Arg: expr.Column("v"), As: "s"},
+		})
+		if err != nil {
+			return false
+		}
+		rt := runtimeFor(nil)
+		out, err := rt.Run(ga)
+		if err != nil {
+			return false
+		}
+		oracle := ref.GroupSum(tab, "k", "v")
+		if out.NumRows() != len(oracle) {
+			return false
+		}
+		for i := 0; i < out.NumRows(); i++ {
+			k := out.Value(i, 0).String()
+			s := out.ColByName("s").Floats()[i]
+			if math.Abs(s-oracle[k]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"nexus/internal/core"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// evalIterate runs the control-iteration loop inside the engine: state :=
+// init; repeat state := body(state) until the convergence metric fires or
+// MaxIters is reached. Running the loop *here* — rather than in the
+// client — is the paper's "control iteration" extension: one shipped
+// expression tree executes the whole fixpoint, instead of one round trip
+// per iteration.
+func (r *Runtime) evalIterate(x *core.Iterate, env *Env) (*table.Table, error) {
+	state, err := r.Eval(x.Init(), env)
+	if err != nil {
+		return nil, fmt.Errorf("exec: iterate init: %w", err)
+	}
+	state, err = state.WithSchema(x.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("exec: iterate init: %w", err)
+	}
+	for iter := 0; iter < x.MaxIters; iter++ {
+		next, err := r.Eval(x.Body(), env.Bind(x.LoopVar, state))
+		if err != nil {
+			return nil, fmt.Errorf("exec: iterate step %d: %w", iter+1, err)
+		}
+		next, err = next.WithSchema(x.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("exec: iterate step %d: %w", iter+1, err)
+		}
+		r.Stats.Iterations++
+		if x.Conv != nil {
+			delta, err := ConvergenceDelta(state, next, x.Conv)
+			if err != nil {
+				return nil, fmt.Errorf("exec: iterate step %d: %w", iter+1, err)
+			}
+			if delta <= x.Conv.Tol {
+				return next, nil
+			}
+		}
+		state = next
+	}
+	return state, nil
+}
+
+// ConvergenceDelta computes the convergence metric between successive
+// iteration states. For the norm metrics, rows are matched on the key
+// formed by every column except the metric column; unmatched rows
+// contribute their full magnitude. For MetricRowDelta it is the size of
+// the symmetric difference of the row multisets.
+func ConvergenceDelta(prev, next *table.Table, conv *core.Convergence) (float64, error) {
+	if conv.Metric == core.MetricRowDelta {
+		return rowDelta(prev, next), nil
+	}
+	col := prev.Schema().IndexOf(conv.Col)
+	if col < 0 {
+		return 0, fmt.Errorf("no convergence column %q", conv.Col)
+	}
+	prevVals := make(map[string]float64, prev.NumRows())
+	buf := make([]byte, 0, 64)
+	rowKey := func(t *table.Table, row int) string {
+		buf = buf[:0]
+		for c := 0; c < t.NumCols(); c++ {
+			if c == col {
+				continue
+			}
+			buf = value.AppendKey(buf, t.Value(row, c))
+		}
+		return string(buf)
+	}
+	colVal := func(t *table.Table, row int) float64 {
+		f, ok := t.Value(row, col).AsFloat()
+		if !ok {
+			return 0
+		}
+		return f
+	}
+	for i := 0; i < prev.NumRows(); i++ {
+		prevVals[rowKey(prev, i)] = colVal(prev, i)
+	}
+	var acc float64
+	accumulate := func(d float64) {
+		switch conv.Metric {
+		case core.MetricL1:
+			acc += math.Abs(d)
+		case core.MetricL2:
+			acc += d * d
+		case core.MetricLInf:
+			if a := math.Abs(d); a > acc {
+				acc = a
+			}
+		}
+	}
+	seen := make(map[string]bool, next.NumRows())
+	for i := 0; i < next.NumRows(); i++ {
+		k := rowKey(next, i)
+		seen[k] = true
+		accumulate(colVal(next, i) - prevVals[k])
+	}
+	for k, v := range prevVals {
+		if !seen[k] {
+			accumulate(v)
+		}
+	}
+	if conv.Metric == core.MetricL2 {
+		return math.Sqrt(acc), nil
+	}
+	return acc, nil
+}
+
+func rowDelta(prev, next *table.Table) float64 {
+	counts := make(map[string]int, prev.NumRows())
+	buf := make([]byte, 0, 64)
+	key := func(t *table.Table, row int) string {
+		buf = buf[:0]
+		for c := 0; c < t.NumCols(); c++ {
+			buf = value.AppendKey(buf, t.Value(row, c))
+		}
+		return string(buf)
+	}
+	for i := 0; i < prev.NumRows(); i++ {
+		counts[key(prev, i)]++
+	}
+	for i := 0; i < next.NumRows(); i++ {
+		counts[key(next, i)]--
+	}
+	diff := 0
+	for _, c := range counts {
+		if c < 0 {
+			c = -c
+		}
+		diff += c
+	}
+	return float64(diff)
+}

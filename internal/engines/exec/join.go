@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// evalJoin implements equijoins as a build/probe hash join with an
+// optional residual predicate evaluated over candidate pairs. The right
+// input is the build side.
+func (r *Runtime) evalJoin(x *core.Join, env *Env) (*table.Table, error) {
+	left, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := r.Eval(x.Children()[1], env)
+	if err != nil {
+		return nil, err
+	}
+	return HashJoin(left, right, x)
+}
+
+// HashJoin joins two materialized tables per the join node's parameters.
+// It is exported for reuse by the reference oracle tests and the array
+// engine's alignment paths.
+func HashJoin(left, right *table.Table, x *core.Join) (*table.Table, error) {
+	lk, err := keyPositions(left, x.LeftKeys)
+	if err != nil {
+		return nil, fmt.Errorf("exec: join: %w", err)
+	}
+	rk, err := keyPositions(right, x.RightKeys)
+	if err != nil {
+		return nil, fmt.Errorf("exec: join: %w", err)
+	}
+
+	// Build: hash the right side on its keys.
+	build := make(map[string][]int32, right.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < right.NumRows(); i++ {
+		buf = encodeKeys(buf[:0], right, rk, i)
+		build[string(buf)] = append(build[string(buf)], int32(i))
+	}
+
+	// Probe: candidate pairs.
+	var li, ri []int
+	for i := 0; i < left.NumRows(); i++ {
+		buf = encodeKeys(buf[:0], left, lk, i)
+		for _, j := range build[string(buf)] {
+			li = append(li, i)
+			ri = append(ri, int(j))
+		}
+	}
+
+	// Residual filtering over candidate pairs.
+	if x.Residual != nil && len(li) > 0 {
+		pairSchema := left.Schema().Concat(right.Schema())
+		lg := left.Gather(li)
+		rg := right.Gather(ri)
+		cols := make([]*table.Column, 0, lg.NumCols()+rg.NumCols())
+		for i := 0; i < lg.NumCols(); i++ {
+			cols = append(cols, lg.Col(i))
+		}
+		for i := 0; i < rg.NumCols(); i++ {
+			cols = append(cols, rg.Col(i))
+		}
+		pairs, err := table.New(pairSchema, cols)
+		if err != nil {
+			return nil, fmt.Errorf("exec: join residual: %w", err)
+		}
+		c, err := expr.Compile(x.Residual, pairSchema)
+		if err != nil {
+			return nil, fmt.Errorf("exec: join residual: %w", err)
+		}
+		keep, err := c.EvalBatch(pairs)
+		if err != nil {
+			return nil, fmt.Errorf("exec: join residual: %w", err)
+		}
+		fl := li[:0]
+		fr := ri[:0]
+		for i := range li {
+			if !keep.IsNull(i) && keep.Kind() == value.KindBool && keep.Bools()[i] {
+				fl = append(fl, li[i])
+				fr = append(fr, ri[i])
+			}
+		}
+		li, ri = fl, fr
+	}
+
+	switch x.Type {
+	case core.JoinInner:
+		return assembleJoin(left, right, li, ri, false)
+	case core.JoinLeft:
+		// Pad unmatched left rows with NULLs on the right.
+		matched := make([]bool, left.NumRows())
+		for _, i := range li {
+			matched[i] = true
+		}
+		for i := 0; i < left.NumRows(); i++ {
+			if !matched[i] {
+				li = append(li, i)
+				ri = append(ri, -1)
+			}
+		}
+		return assembleJoin(left, right, li, ri, true)
+	case core.JoinSemi, core.JoinAnti:
+		matched := make([]bool, left.NumRows())
+		for _, i := range li {
+			matched[i] = true
+		}
+		idx := make([]int, 0, left.NumRows())
+		want := x.Type == core.JoinSemi
+		for i := 0; i < left.NumRows(); i++ {
+			if matched[i] == want {
+				idx = append(idx, i)
+			}
+		}
+		out := left.Gather(idx)
+		return out.WithSchema(x.Schema())
+	}
+	return nil, fmt.Errorf("exec: join: unsupported type %v", x.Type)
+}
+
+func assembleJoin(left, right *table.Table, li, ri []int, pad bool) (*table.Table, error) {
+	lg := left.Gather(li)
+	cols := make([]*table.Column, 0, left.NumCols()+right.NumCols())
+	for i := 0; i < lg.NumCols(); i++ {
+		cols = append(cols, lg.Col(i))
+	}
+	for i := 0; i < right.NumCols(); i++ {
+		if pad {
+			cols = append(cols, right.Col(i).GatherPad(ri))
+		} else {
+			cols = append(cols, right.Col(i).Gather(ri))
+		}
+	}
+	outSchema := left.Schema().Concat(right.Schema())
+	return table.New(outSchema, cols)
+}
+
+func keyPositions(t *table.Table, keys []string) ([]int, error) {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		p := t.Schema().IndexOf(k)
+		if p < 0 {
+			return nil, fmt.Errorf("no key column %q in %v", k, t.Schema())
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func encodeKeys(buf []byte, t *table.Table, positions []int, row int) []byte {
+	for _, p := range positions {
+		buf = value.AppendKey(buf, t.Value(row, p))
+	}
+	return buf
+}
+
+// evalProduct is the cross product; the output size is the product of the
+// input sizes, guarded against accidental explosions.
+func (r *Runtime) evalProduct(x *core.Product, env *Env) (*table.Table, error) {
+	left, err := r.Eval(x.Children()[0], env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := r.Eval(x.Children()[1], env)
+	if err != nil {
+		return nil, err
+	}
+	const maxProductRows = 64 << 20
+	total := int64(left.NumRows()) * int64(right.NumRows())
+	if total > maxProductRows {
+		return nil, fmt.Errorf("exec: product of %d x %d rows exceeds the %d-row safety bound", left.NumRows(), right.NumRows(), maxProductRows)
+	}
+	li := make([]int, 0, total)
+	ri := make([]int, 0, total)
+	for i := 0; i < left.NumRows(); i++ {
+		for j := 0; j < right.NumRows(); j++ {
+			li = append(li, i)
+			ri = append(ri, j)
+		}
+	}
+	out, err := assembleJoin(left, right, li, ri, false)
+	if err != nil {
+		return nil, err
+	}
+	return out.WithSchema(x.Schema())
+}

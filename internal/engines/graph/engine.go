@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nexus/internal/core"
+	"nexus/internal/engines/exec"
+	"nexus/internal/provider"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+)
+
+// Kernel names advertised in the provider's capability set and targeted
+// by the planner's intent recognition.
+const (
+	KernelPageRank            = "pagerank"
+	KernelConnectedComponents = "cc"
+	KernelSSSP                = "sssp"
+)
+
+// Engine is the graph-analytics provider: relational core plus control
+// iteration, with native kernels substituted for recognized iterate
+// shapes.
+type Engine struct {
+	name string
+
+	mu       sync.RWMutex
+	datasets map[string]*table.Table
+
+	// KernelCalls counts native-kernel substitutions, observable by the
+	// intent-preservation experiment.
+	kernelCalls int64
+}
+
+var _ provider.Provider = (*Engine)(nil)
+
+// New returns an empty graph engine.
+func New(name string) *Engine {
+	if name == "" {
+		name = "graph"
+	}
+	return &Engine{name: name, datasets: map[string]*table.Table{}}
+}
+
+// Name implements provider.Provider.
+func (e *Engine) Name() string { return e.name }
+
+// Capabilities implements provider.Provider: the relational core and
+// control iteration (no array operators, no matmul), plus the native
+// kernels.
+func (e *Engine) Capabilities() provider.Capabilities {
+	return provider.NewCapabilities(
+		core.KScan, core.KLiteral, core.KVar, core.KLet,
+		core.KFilter, core.KProject, core.KRename, core.KExtend,
+		core.KJoin, core.KProduct, core.KGroupAgg, core.KDistinct,
+		core.KSort, core.KLimit, core.KUnion,
+		core.KIterate,
+	).WithKernels(KernelPageRank, KernelConnectedComponents, KernelSSSP)
+}
+
+// Store implements provider.Provider.
+func (e *Engine) Store(name string, t *table.Table) error {
+	if name == "" {
+		return fmt.Errorf("graph: empty dataset name")
+	}
+	if t == nil {
+		return fmt.Errorf("graph: nil table for %q", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.datasets[name] = t
+	return nil
+}
+
+// Drop implements provider.Provider.
+func (e *Engine) Drop(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.datasets, name)
+}
+
+// Dataset returns a hosted table.
+func (e *Engine) Dataset(name string) (*table.Table, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.datasets[name]
+	return t, ok
+}
+
+// DatasetSchema implements provider.Provider.
+func (e *Engine) DatasetSchema(name string) (schema.Schema, bool) {
+	t, ok := e.Dataset(name)
+	if !ok {
+		return schema.Schema{}, false
+	}
+	return t.Schema(), true
+}
+
+// Datasets implements provider.Provider.
+func (e *Engine) Datasets() []provider.DatasetInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]provider.DatasetInfo, 0, len(e.datasets))
+	for n, t := range e.datasets {
+		out = append(out, provider.DatasetInfo{Name: n, Schema: t.Schema(), Rows: int64(t.NumRows())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// KernelCalls returns how many plans were executed by native kernels.
+func (e *Engine) KernelCalls() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.kernelCalls
+}
+
+func (e *Engine) bumpKernelCalls() {
+	e.mu.Lock()
+	e.kernelCalls++
+	e.mu.Unlock()
+}
+
+// Execute implements provider.Provider. Recognized iterate shapes run on
+// the native kernels; everything else runs on the generic runtime.
+func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
+	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
+		return nil, fmt.Errorf("graph %q: operator %v not supported", e.name, missing)
+	}
+	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override}
+	t, err := rt.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("graph %q: %w", e.name, err)
+	}
+	return t, nil
+}
+
+// ExecuteGeneric runs the plan with kernel substitution disabled — the
+// baseline of the intent-preservation comparison.
+func (e *Engine) ExecuteGeneric(plan core.Node) (*table.Table, error) {
+	rt := &exec.Runtime{Datasets: e.Dataset}
+	t, err := rt.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("graph %q (generic): %w", e.name, err)
+	}
+	return t, nil
+}
+
+// override substitutes native kernels for recognized plan shapes. The
+// recognizers only fire on whole Let/Iterate subtrees, so partial matches
+// fall through to the generic loop untouched.
+func (e *Engine) override(n core.Node, env *exec.Env, rec exec.RecFunc) (*table.Table, bool, error) {
+	switch n.Kind() {
+	case core.KLet, core.KIterate:
+	default:
+		return nil, false, nil
+	}
+	if spec, ok := RecognizePageRank(n); ok {
+		t, err := e.runPageRank(spec)
+		if err != nil {
+			return nil, false, err
+		}
+		e.bumpKernelCalls()
+		return t, true, nil
+	}
+	if edges, vertices, ok := RecognizeConnectedComponents(n); ok {
+		t, err := e.runCC(edges, vertices, n.Schema())
+		if err != nil {
+			return nil, false, err
+		}
+		e.bumpKernelCalls()
+		return t, true, nil
+	}
+	if edges, vertices, src, ok := RecognizeSSSP(n); ok {
+		t, err := e.runSSSP(edges, vertices, src)
+		if err != nil {
+			return nil, false, err
+		}
+		e.bumpKernelCalls()
+		return t, true, nil
+	}
+	return nil, false, nil
+}
+
+func (e *Engine) csrFor(edgesName string, n int) (*CSR, error) {
+	edges, ok := e.Dataset(edgesName)
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown dataset %q", edgesName)
+	}
+	return BuildCSR(edges, n)
+}
+
+func (e *Engine) vertexCount(verticesName string) (int, error) {
+	v, ok := e.Dataset(verticesName)
+	if !ok {
+		return 0, fmt.Errorf("graph: unknown dataset %q", verticesName)
+	}
+	return v.NumRows(), nil
+}
+
+func (e *Engine) runPageRank(spec *PageRankSpec) (*table.Table, error) {
+	nv, err := e.vertexCount(spec.VerticesDataset)
+	if err != nil {
+		return nil, err
+	}
+	if nv != spec.N {
+		return nil, fmt.Errorf("graph: pagerank plan says %d vertices, dataset has %d", spec.N, nv)
+	}
+	csr, err := e.csrFor(spec.EdgesDataset, spec.N)
+	if err != nil {
+		return nil, err
+	}
+	rank, _ := PageRankNative(csr, spec.Damping, spec.MaxIters, spec.Tol)
+	return RankTable(rank), nil
+}
+
+func (e *Engine) runCC(edgesName, verticesName string, outSchema schema.Schema) (*table.Table, error) {
+	n, err := e.vertexCount(verticesName)
+	if err != nil {
+		return nil, err
+	}
+	csr, err := e.csrFor(edgesName, n)
+	if err != nil {
+		return nil, err
+	}
+	labels := ConnectedComponentsNative(csr)
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = int64(i)
+	}
+	t := table.MustNew(LabelSchema(), []*table.Column{
+		table.IntColumn(vs),
+		table.IntColumn(labels),
+	})
+	if !t.Schema().EqualIgnoreDims(outSchema) {
+		return nil, fmt.Errorf("graph: cc kernel schema %v does not match plan %v", t.Schema(), outSchema)
+	}
+	return t, nil
+}
+
+func (e *Engine) runSSSP(edgesName, verticesName string, src int64) (*table.Table, error) {
+	n, err := e.vertexCount(verticesName)
+	if err != nil {
+		return nil, err
+	}
+	csr, err := e.csrFor(edgesName, n)
+	if err != nil {
+		return nil, err
+	}
+	dist := BFSNative(csr, int(src))
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = int64(i)
+	}
+	return table.MustNew(DistSchema(), []*table.Column{
+		table.IntColumn(vs),
+		table.FloatColumn(dist),
+	}), nil
+}

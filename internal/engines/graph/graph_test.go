@@ -1,0 +1,327 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/relational"
+	"nexus/internal/ref"
+	"nexus/internal/table"
+)
+
+const (
+	testN = 200
+	testM = 800
+)
+
+func testGraphEngine(t *testing.T, seed int64) (*Engine, *table.Table) {
+	t.Helper()
+	edges := datagen.UniformGraph(seed, testN, testM)
+	e := New("graph")
+	if err := e.Store("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store("vertices", VerticesTable(testN)); err != nil {
+		t.Fatal(err)
+	}
+	return e, edges
+}
+
+func TestCSRConstruction(t *testing.T) {
+	edges := datagen.UniformGraph(1, 50, 200)
+	csr, err := BuildCSR(edges, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for v := 0; v < 50; v++ {
+		total += len(csr.Out(v))
+	}
+	if total != 200 {
+		t.Fatalf("CSR has %d edges, want 200", total)
+	}
+	// Reverse must preserve edge count and invert adjacency.
+	rev := csr.Reverse()
+	total = 0
+	for v := 0; v < 50; v++ {
+		total += len(rev.Out(v))
+	}
+	if total != 200 {
+		t.Fatalf("reverse CSR has %d edges", total)
+	}
+}
+
+func TestPageRankNativeAgainstOracle(t *testing.T) {
+	edges := datagen.UniformGraph(2, 100, 400)
+	csr, err := BuildCSR(edges, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := PageRankNative(csr, 0.85, 30, 0) // fixed 30 iterations
+	want := ref.PageRank(datagen.AdjacencyList(edges, 100), 100, 0.85, 30)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank[%d] = %g, oracle %g", i, got[i], want[i])
+		}
+	}
+	// Ranks must sum to 1.
+	var sum float64
+	for _, r := range got {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %g", sum)
+	}
+}
+
+func TestPageRankPlanRecognized(t *testing.T) {
+	e, _ := testGraphEngine(t, 3)
+	plan, err := PageRankPlan("edges", datagen.EdgeSchema(), "vertices", VerticesSchema(), testN, 0.85, 50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := RecognizePageRank(plan)
+	if !ok {
+		t.Fatal("canonical PageRank plan not recognized")
+	}
+	if spec.N != testN || math.Abs(spec.Damping-0.85) > 1e-12 || spec.EdgesDataset != "edges" {
+		t.Fatalf("recognized spec %+v", spec)
+	}
+	before := e.KernelCalls()
+	if _, err := e.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	if e.KernelCalls() != before+1 {
+		t.Fatal("native kernel was not used")
+	}
+}
+
+// The decisive correctness test: native kernel, generic in-engine loop,
+// and the textbook oracle must all agree on PageRank.
+func TestPageRankThreeWayAgreement(t *testing.T) {
+	const n, m, iters = 80, 320, 25
+	edges := datagen.UniformGraph(4, n, m)
+
+	e := New("graph")
+	if err := e.Store("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store("vertices", VerticesTable(n)); err != nil {
+		t.Fatal(err)
+	}
+	re := relational.New("rel")
+	if err := re.Store("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Store("vertices", VerticesTable(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fixed iteration count (tol=0 ⇒ never converges early) so all three
+	// strategies run the same number of steps.
+	plan, err := PageRankPlan("edges", datagen.EdgeSchema(), "vertices", VerticesSchema(), n, 0.85, iters, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	native, err := e.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, err := re.Execute(plan) // relational engine: no kernels
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ref.PageRank(datagen.AdjacencyList(edges, n), n, 0.85, iters)
+
+	nm := rankMap(native)
+	gm := rankMap(generic)
+	for v := 0; v < n; v++ {
+		if math.Abs(nm[int64(v)]-oracle[v]) > 1e-9 {
+			t.Fatalf("native rank[%d] = %g, oracle %g", v, nm[int64(v)], oracle[v])
+		}
+		if math.Abs(gm[int64(v)]-oracle[v]) > 1e-9 {
+			t.Fatalf("generic rank[%d] = %g, oracle %g", v, gm[int64(v)], oracle[v])
+		}
+	}
+}
+
+func rankMap(t *table.Table) map[int64]float64 {
+	vs := t.ColByName("v").Ints()
+	var col []float64
+	if c := t.ColByName("rank"); c != nil {
+		col = c.Floats()
+	} else {
+		col = t.ColByName("dist").Floats()
+	}
+	out := make(map[int64]float64, len(vs))
+	for i := range vs {
+		out[vs[i]] = col[i]
+	}
+	return out
+}
+
+func TestConnectedComponentsThreeWay(t *testing.T) {
+	const n, m = 60, 80 // sparse ⇒ several components
+	edges := datagen.UniformGraph(5, n, m)
+
+	e := New("graph")
+	if err := e.Store("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store("vertices", VerticesTable(n)); err != nil {
+		t.Fatal(err)
+	}
+	re := relational.New("rel")
+	if err := re.Store("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Store("vertices", VerticesTable(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := ConnectedComponentsPlan("edges", datagen.EdgeSchema(), "vertices", VerticesSchema(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := RecognizeConnectedComponents(plan); !ok {
+		t.Fatal("CC plan not recognized")
+	}
+	native, err := e.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, err := re.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle over the symmetrized edge list.
+	src := edges.ColByName("src").Ints()
+	dst := edges.ColByName("dst").Ints()
+	pairs := make([][2]int, len(src))
+	for i := range src {
+		pairs[i] = [2]int{int(src[i]), int(dst[i])}
+	}
+	oracle := ref.ConnectedComponents(n, pairs)
+
+	nm := labelMap(native)
+	gm := labelMap(generic)
+	for v := 0; v < n; v++ {
+		if nm[int64(v)] != int64(oracle[v]) {
+			t.Fatalf("native label[%d] = %d, oracle %d", v, nm[int64(v)], oracle[v])
+		}
+		if gm[int64(v)] != int64(oracle[v]) {
+			t.Fatalf("generic label[%d] = %d, oracle %d", v, gm[int64(v)], oracle[v])
+		}
+	}
+}
+
+func labelMap(t *table.Table) map[int64]int64 {
+	vs := t.ColByName("v").Ints()
+	ls := t.ColByName("label").Ints()
+	out := make(map[int64]int64, len(vs))
+	for i := range vs {
+		out[vs[i]] = ls[i]
+	}
+	return out
+}
+
+func TestSSSPThreeWay(t *testing.T) {
+	const n, m, src = 70, 250, 0
+	edges := datagen.UniformGraph(6, n, m)
+
+	e := New("graph")
+	if err := e.Store("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store("vertices", VerticesTable(n)); err != nil {
+		t.Fatal(err)
+	}
+	re := relational.New("rel")
+	if err := re.Store("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Store("vertices", VerticesTable(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := SSSPPlan("edges", datagen.EdgeSchema(), "vertices", VerticesSchema(), src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, gotSrc, ok := RecognizeSSSP(plan); !ok || gotSrc != src {
+		t.Fatalf("SSSP plan not recognized (src=%d ok=%v)", gotSrc, ok)
+	}
+	native, err := e.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, err := re.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ref.SSSP(datagen.AdjacencyList(edges, n), n, src)
+
+	nm := rankMap(native)
+	gm := rankMap(generic)
+	for v := 0; v < n; v++ {
+		nv, gv, ov := nm[int64(v)], gm[int64(v)], oracle[v]
+		if !floatEq(nv, ov) {
+			t.Fatalf("native dist[%d] = %g, oracle %g", v, nv, ov)
+		}
+		if !floatEq(gv, ov) {
+			t.Fatalf("generic dist[%d] = %g, oracle %g", v, gv, ov)
+		}
+	}
+}
+
+func floatEq(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestRecognizerRejectsOtherIterates(t *testing.T) {
+	// An arbitrary iterate must NOT be recognized as a kernel.
+	e, _ := testGraphEngine(t, 7)
+	sch := RankSchema()
+	init, err := core.NewScan("notranks", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := core.NewVar("s", sch)
+	it, err := core.NewIterate(init, v, "s", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := RecognizePageRank(it); ok {
+		t.Fatal("false positive pagerank recognition")
+	}
+	if _, _, ok := RecognizeConnectedComponents(it); ok {
+		t.Fatal("false positive cc recognition")
+	}
+	if _, _, _, ok := RecognizeSSSP(it); ok {
+		t.Fatal("false positive sssp recognition")
+	}
+	_ = e
+}
+
+func TestBFSNativeUnreachable(t *testing.T) {
+	// Two disconnected vertices: 1 unreachable from 0.
+	edges := table.MustNew(datagen.EdgeSchema(), []*table.Column{
+		table.IntColumn([]int64{0}),
+		table.IntColumn([]int64{2}),
+	})
+	csr, err := BuildCSR(edges, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := BFSNative(csr, 0)
+	if dist[0] != 0 || dist[2] != 1 || !math.IsInf(dist[1], 1) {
+		t.Fatalf("dist = %v", dist)
+	}
+}

@@ -1,0 +1,471 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+)
+
+// This file expresses the three iterative graph algorithms as *generic*
+// Big Data algebra plans — pure control iteration over joins and
+// aggregates, executable by any provider that supports the relational
+// core plus Iterate. The graph engine recognizes these shapes and swaps
+// in its native CSR kernels (intent preservation, desideratum D3); every
+// other engine runs them as written (translatability, D2).
+
+// PageRankPlan builds the canonical PageRank fixpoint:
+//
+//	let deg = group edges by src agg deg = count()
+//	iterate state from (vertices extended with rank = 1/n):
+//	    share   = rank / outdeg               (NULL for dangling nodes)
+//	    insum   = per-destination sum of shares
+//	    dmass   = total dangling rank
+//	    rank'   = (1-d)/n + d*(insum + dmass/n)
+//	until l1(Δrank) <= tol, max maxIters
+//
+// edgesName/verticesName are the datasets; their schemas must be
+// (src,dst int64) and (v int64).
+func PageRankPlan(edgesName string, edgesSchema schema.Schema, verticesName string, verticesSchema schema.Schema, n int, damping float64, maxIters int, tol float64) (core.Node, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: pagerank over %d vertices", n)
+	}
+	edges, err := core.NewScan(edgesName, edgesSchema)
+	if err != nil {
+		return nil, err
+	}
+	vertices, err := core.NewScan(verticesName, verticesSchema)
+	if err != nil {
+		return nil, err
+	}
+	degPlan, err := core.NewGroupAgg(edges, []string{"src"}, []core.AggSpec{
+		{Func: core.AggCount, As: "deg"},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	init, err := core.NewExtend(vertices, []core.ColDef{
+		{Name: "rank", E: expr.CFloat(1.0 / float64(n))},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	state, err := core.NewVar("state", init.Schema())
+	if err != nil {
+		return nil, err
+	}
+	deg, err := core.NewVar("deg", degPlan.Schema())
+	if err != nil {
+		return nil, err
+	}
+
+	withdeg, err := core.NewJoin(state, deg, core.JoinLeft, []string{"v"}, []string{"src"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	contrib, err := core.NewExtend(withdeg, []core.ColDef{
+		{Name: "share", E: expr.Div(expr.Column("rank"), expr.NewCall("float", expr.Column("deg")))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	perEdge, err := core.NewJoin(edges, contrib, core.JoinInner, []string{"src"}, []string{"v"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	insums, err := core.NewGroupAgg(perEdge, []string{"dst"}, []core.AggSpec{
+		{Func: core.AggSum, Arg: expr.Column("share"), As: "insum"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	danglingOnly, err := core.NewFilter(withdeg, expr.IsNull(expr.Column("deg")))
+	if err != nil {
+		return nil, err
+	}
+	dang, err := core.NewGroupAgg(danglingOnly, nil, []core.AggSpec{
+		{Func: core.AggSum, Arg: expr.Column("rank"), As: "dmass"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	st2, err := core.NewJoin(state, insums, core.JoinLeft, []string{"v"}, []string{"dst"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	st3, err := core.NewProduct(st2, dang)
+	if err != nil {
+		return nil, err
+	}
+	newRank := expr.Add(
+		expr.CFloat((1-damping)/float64(n)),
+		expr.Mul(
+			expr.CFloat(damping),
+			expr.Add(
+				expr.NewCall("coalesce", expr.Column("insum"), expr.CFloat(0)),
+				expr.Div(
+					expr.NewCall("coalesce", expr.Column("dmass"), expr.CFloat(0)),
+					expr.CFloat(float64(n)),
+				),
+			),
+		),
+	)
+	upd, err := core.NewExtend(st3, []core.ColDef{{Name: "nrank", E: newRank}})
+	if err != nil {
+		return nil, err
+	}
+	proj, err := core.NewProject(upd, []string{"v", "nrank"})
+	if err != nil {
+		return nil, err
+	}
+	body, err := core.NewRename(proj, []string{"nrank"}, []string{"rank"})
+	if err != nil {
+		return nil, err
+	}
+	it, err := core.NewIterate(init, body, "state", maxIters, &core.Convergence{
+		Metric: core.MetricL1, Col: "rank", Tol: tol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLet("deg", degPlan, it)
+}
+
+// PageRankSpec is the result of recognizing a PageRank-shaped plan.
+type PageRankSpec struct {
+	EdgesDataset    string
+	VerticesDataset string
+	N               int
+	Damping         float64
+	MaxIters        int
+	Tol             float64
+}
+
+// RecognizePageRank structurally matches a plan against the canonical
+// PageRank shape built by PageRankPlan, extracting its parameters. This
+// is the engine-side half of intent preservation: the algebra carried the
+// loop as plain joins and aggregates, and the recognizer recovers "this
+// is PageRank" without any out-of-band annotation.
+func RecognizePageRank(plan core.Node) (*PageRankSpec, bool) {
+	let, ok := plan.(*core.Let)
+	if !ok {
+		return nil, false
+	}
+	// Binding must be a per-source degree count over an edge scan.
+	degAgg, ok := let.Bound().(*core.GroupAgg)
+	if !ok || len(degAgg.Keys) != 1 || degAgg.Keys[0] != "src" ||
+		len(degAgg.Aggs) != 1 || degAgg.Aggs[0].Func != core.AggCount {
+		return nil, false
+	}
+	edgeScan, ok := degAgg.Children()[0].(*core.Scan)
+	if !ok {
+		return nil, false
+	}
+	it, ok := let.In().(*core.Iterate)
+	if !ok || it.Conv == nil || it.Conv.Col != "rank" {
+		return nil, false
+	}
+	// Init: vertices extended with a constant rank 1/n.
+	initExt, ok := it.Init().(*core.Extend)
+	if !ok || len(initExt.Defs) != 1 || initExt.Defs[0].Name != "rank" {
+		return nil, false
+	}
+	vertScan, ok := initExt.Children()[0].(*core.Scan)
+	if !ok {
+		return nil, false
+	}
+	initConst, ok := initExt.Defs[0].E.(*expr.Const)
+	if !ok {
+		return nil, false
+	}
+	invN, okF := initConst.Val.AsFloat()
+	if !okF || invN <= 0 {
+		return nil, false
+	}
+	n := int(math.Round(1 / invN))
+
+	// Body: rename(project(extend(product(join, globalagg)))).
+	ren, ok := it.Body().(*core.Rename)
+	if !ok {
+		return nil, false
+	}
+	proj, ok := ren.Children()[0].(*core.Project)
+	if !ok {
+		return nil, false
+	}
+	upd, ok := proj.Children()[0].(*core.Extend)
+	if !ok || len(upd.Defs) != 1 {
+		return nil, false
+	}
+	if _, ok := upd.Children()[0].(*core.Product); !ok {
+		return nil, false
+	}
+	// The update expression carries base and damping:
+	// base + d*(coalesce(insum,0) + coalesce(dmass,0)/n).
+	add, ok := upd.Defs[0].E.(*expr.Bin)
+	if !ok || add.Op.String() != "+" {
+		return nil, false
+	}
+	baseC, ok := add.L.(*expr.Const)
+	if !ok {
+		return nil, false
+	}
+	mul, ok := add.R.(*expr.Bin)
+	if !ok || mul.Op.String() != "*" {
+		return nil, false
+	}
+	dC, ok := mul.L.(*expr.Const)
+	if !ok {
+		return nil, false
+	}
+	base, _ := baseC.Val.AsFloat()
+	d, _ := dC.Val.AsFloat()
+	if d <= 0 || d >= 1 || n <= 0 {
+		return nil, false
+	}
+	if math.Abs(base-(1-d)/float64(n)) > 1e-9 {
+		return nil, false
+	}
+	return &PageRankSpec{
+		EdgesDataset:    edgeScan.Dataset,
+		VerticesDataset: vertScan.Dataset,
+		N:               n,
+		Damping:         d,
+		MaxIters:        it.MaxIters,
+		Tol:             it.Conv.Tol,
+	}, true
+}
+
+// ConnectedComponentsPlan builds min-label propagation over the
+// symmetrized edge relation:
+//
+//	let sym = edges ∪ reverse(edges)
+//	iterate state from (v, label = v):
+//	    nl     = per-destination min of source labels
+//	    label' = min(label, nl)
+//	until no row changes, max maxIters.
+func ConnectedComponentsPlan(edgesName string, edgesSchema schema.Schema, verticesName string, verticesSchema schema.Schema, maxIters int) (core.Node, error) {
+	edges, err := core.NewScan(edgesName, edgesSchema)
+	if err != nil {
+		return nil, err
+	}
+	vertices, err := core.NewScan(verticesName, verticesSchema)
+	if err != nil {
+		return nil, err
+	}
+	flippedProj, err := core.NewProject(edges, []string{"dst", "src"})
+	if err != nil {
+		return nil, err
+	}
+	flipped, err := core.NewRename(flippedProj, []string{"dst", "src"}, []string{"src", "dst"})
+	if err != nil {
+		return nil, err
+	}
+	sym, err := core.NewUnion(edges, flipped, true)
+	if err != nil {
+		return nil, err
+	}
+
+	init, err := core.NewExtend(vertices, []core.ColDef{
+		{Name: "label", E: expr.Column("v")},
+	})
+	if err != nil {
+		return nil, err
+	}
+	state, err := core.NewVar("state", init.Schema())
+	if err != nil {
+		return nil, err
+	}
+	symVar, err := core.NewVar("sym", sym.Schema())
+	if err != nil {
+		return nil, err
+	}
+	j, err := core.NewJoin(symVar, state, core.JoinInner, []string{"src"}, []string{"v"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewGroupAgg(j, []string{"dst"}, []core.AggSpec{
+		{Func: core.AggMin, Arg: expr.Column("label"), As: "nl"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	joined, err := core.NewJoin(state, m, core.JoinLeft, []string{"v"}, []string{"dst"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	upd, err := core.NewExtend(joined, []core.ColDef{
+		{Name: "l2", E: expr.NewCall("min", expr.Column("label"), expr.NewCall("coalesce", expr.Column("nl"), expr.Column("label")))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	proj, err := core.NewProject(upd, []string{"v", "l2"})
+	if err != nil {
+		return nil, err
+	}
+	body, err := core.NewRename(proj, []string{"l2"}, []string{"label"})
+	if err != nil {
+		return nil, err
+	}
+	it, err := core.NewIterate(init, body, "state", maxIters, &core.Convergence{
+		Metric: core.MetricRowDelta, Col: "label", Tol: 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLet("sym", sym, it)
+}
+
+// RecognizeConnectedComponents matches the shape built by
+// ConnectedComponentsPlan and extracts the datasets.
+func RecognizeConnectedComponents(plan core.Node) (edges, vertices string, ok bool) {
+	let, isLet := plan.(*core.Let)
+	if !isLet || let.Name != "sym" {
+		return "", "", false
+	}
+	union, isU := let.Bound().(*core.Union)
+	if !isU {
+		return "", "", false
+	}
+	edgeScan, isS := union.Children()[0].(*core.Scan)
+	if !isS {
+		return "", "", false
+	}
+	it, isIt := let.In().(*core.Iterate)
+	if !isIt || it.Conv == nil || it.Conv.Metric != core.MetricRowDelta {
+		return "", "", false
+	}
+	initExt, isE := it.Init().(*core.Extend)
+	if !isE || len(initExt.Defs) != 1 || initExt.Defs[0].Name != "label" {
+		return "", "", false
+	}
+	vertScan, isS := initExt.Children()[0].(*core.Scan)
+	if !isS {
+		return "", "", false
+	}
+	// The body must take per-destination minima.
+	found := false
+	core.Walk(it.Body(), func(n core.Node) bool {
+		if g, isG := n.(*core.GroupAgg); isG {
+			if len(g.Aggs) == 1 && g.Aggs[0].Func == core.AggMin {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		return "", "", false
+	}
+	return edgeScan.Dataset, vertScan.Dataset, true
+}
+
+// SSSPPlan builds BFS hop counts from src as a fixpoint:
+//
+//	iterate state from (v, dist = v==src ? 0 : +Inf):
+//	    nd    = per-destination min(dist(src) + 1)
+//	    dist' = min(dist, nd)
+//	until no row changes, max maxIters.
+func SSSPPlan(edgesName string, edgesSchema schema.Schema, verticesName string, verticesSchema schema.Schema, src int64, maxIters int) (core.Node, error) {
+	edges, err := core.NewScan(edgesName, edgesSchema)
+	if err != nil {
+		return nil, err
+	}
+	vertices, err := core.NewScan(verticesName, verticesSchema)
+	if err != nil {
+		return nil, err
+	}
+	init, err := core.NewExtend(vertices, []core.ColDef{
+		{Name: "dist", E: expr.NewCall("if",
+			expr.Eq(expr.Column("v"), expr.CInt(src)),
+			expr.CFloat(0),
+			expr.CFloat(math.Inf(1)))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	state, err := core.NewVar("state", init.Schema())
+	if err != nil {
+		return nil, err
+	}
+	j, err := core.NewJoin(edges, state, core.JoinInner, []string{"src"}, []string{"v"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewGroupAgg(j, []string{"dst"}, []core.AggSpec{
+		{Func: core.AggMin, Arg: expr.Add(expr.Column("dist"), expr.CFloat(1)), As: "nd"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	joined, err := core.NewJoin(state, m, core.JoinLeft, []string{"v"}, []string{"dst"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	upd, err := core.NewExtend(joined, []core.ColDef{
+		{Name: "d2", E: expr.NewCall("min", expr.Column("dist"), expr.NewCall("coalesce", expr.Column("nd"), expr.Column("dist")))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	proj, err := core.NewProject(upd, []string{"v", "d2"})
+	if err != nil {
+		return nil, err
+	}
+	body, err := core.NewRename(proj, []string{"d2"}, []string{"dist"})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewIterate(init, body, "state", maxIters, &core.Convergence{
+		Metric: core.MetricRowDelta, Col: "dist", Tol: 0,
+	})
+}
+
+// RecognizeSSSP matches the shape built by SSSPPlan, extracting the
+// datasets and source vertex.
+func RecognizeSSSP(plan core.Node) (edges, vertices string, src int64, ok bool) {
+	it, isIt := plan.(*core.Iterate)
+	if !isIt || it.Conv == nil || it.Conv.Metric != core.MetricRowDelta || it.Conv.Col != "dist" {
+		return "", "", 0, false
+	}
+	initExt, isE := it.Init().(*core.Extend)
+	if !isE || len(initExt.Defs) != 1 || initExt.Defs[0].Name != "dist" {
+		return "", "", 0, false
+	}
+	vertScan, isS := initExt.Children()[0].(*core.Scan)
+	if !isS {
+		return "", "", 0, false
+	}
+	call, isC := initExt.Defs[0].E.(*expr.Call)
+	if !isC || call.Name != "if" || len(call.Args) != 3 {
+		return "", "", 0, false
+	}
+	eq, isB := call.Args[0].(*expr.Bin)
+	if !isB {
+		return "", "", 0, false
+	}
+	srcC, isK := eq.R.(*expr.Const)
+	if !isK {
+		return "", "", 0, false
+	}
+	srcV, okI := srcC.Val.AsInt()
+	if !okI {
+		return "", "", 0, false
+	}
+	var edgeName string
+	core.Walk(it.Body(), func(n core.Node) bool {
+		if s, isScan := n.(*core.Scan); isScan && s.Schema().Has("src") && s.Schema().Has("dst") {
+			edgeName = s.Dataset
+			return false
+		}
+		return true
+	})
+	if edgeName == "" {
+		return "", "", 0, false
+	}
+	return edgeName, vertScan.Dataset, srcV, true
+}

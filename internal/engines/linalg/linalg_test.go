@@ -1,0 +1,225 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/array"
+	"nexus/internal/engines/exec"
+	"nexus/internal/ref"
+	"nexus/internal/table"
+)
+
+func scanOf(t *testing.T, e *Engine, name string) *core.Scan {
+	t.Helper()
+	sch, ok := e.DatasetSchema(name)
+	if !ok {
+		t.Fatalf("no dataset %q", name)
+	}
+	s, err := core.NewScan(name, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMatMulDenseAgainstNaive(t *testing.T) {
+	for _, dims := range [][3]int{{4, 4, 4}, {7, 3, 5}, {1, 9, 2}, {65, 67, 63}, {128, 64, 96}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		at := datagen.Matrix(100, m, k, "i", "k")
+		bt := datagen.Matrix(200, k, n, "k", "j")
+		da, err := array.FromTable(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := array.FromTable(bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatMulDense(da, db, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.MatMulDense(datagen.MatrixDense(100, m, k), datagen.MatrixDense(200, k, n), m, k, n)
+		for i := range want {
+			if math.Abs(got.Vals[i]-want[i]) > 1e-9*float64(k) {
+				t.Fatalf("dims %v: cell %d: %g want %g", dims, i, got.Vals[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatMulInnerMismatch(t *testing.T) {
+	da, _ := array.FromTable(datagen.Matrix(1, 3, 4, "i", "k"))
+	db, _ := array.FromTable(datagen.Matrix(2, 5, 3, "k", "j"))
+	if _, err := MatMulDense(da, db, "v"); err == nil {
+		t.Fatal("expected inner-extent mismatch error")
+	}
+}
+
+func TestEngineExecutesMatMulNode(t *testing.T) {
+	const m, k, n = 12, 9, 11
+	e := New("la")
+	if err := e.Store("A", datagen.Matrix(300, m, k, "i", "k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store("B", datagen.Matrix(301, k, n, "k", "j")); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := core.NewMatMul(scanOf(t, e, "A"), scanOf(t, e, "B"), "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Execute(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference result from the generic sparse path.
+	ds := map[string]*table.Table{
+		"A": datagen.Matrix(300, m, k, "i", "k"),
+		"B": datagen.Matrix(301, k, n, "k", "j"),
+	}
+	rt := &exec.Runtime{Datasets: func(name string) (*table.Table, bool) {
+		tab, ok := ds[name]
+		return tab, ok
+	}}
+	want, err := rt.Run(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("dense %d cells, sparse %d", got.NumRows(), want.NumRows())
+	}
+	gm := cellsOf(got)
+	wm := cellsOf(want)
+	for key, gv := range gm {
+		if math.Abs(gv-wm[key]) > 1e-9*float64(k) {
+			t.Fatalf("cell %v: dense %g sparse %g", key, gv, wm[key])
+		}
+	}
+}
+
+func cellsOf(t *table.Table) map[[2]int64]float64 {
+	is := t.ColByName("i").Ints()
+	js := t.ColByName("j").Ints()
+	vs := t.ColByName("v").Floats()
+	out := make(map[[2]int64]float64, len(is))
+	for r := range is {
+		out[[2]int64{is[r], js[r]}] = vs[r]
+	}
+	return out
+}
+
+func TestCapabilityRejectsJoins(t *testing.T) {
+	e := New("la")
+	if err := e.Store("s", datagen.Sales(1, 10, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	sc := scanOf(t, e, "s")
+	ga, err := core.NewGroupAgg(sc, []string{"region"}, []core.AggSpec{{Func: core.AggCount, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(ga); err == nil {
+		t.Fatal("linalg engine must reject GroupAgg")
+	}
+}
+
+func TestBlasHelpers(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if d := Dot(x, y); d != 32 {
+		t.Fatalf("dot = %g", d)
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Fatalf("axpy = %v", y)
+	}
+	if n := Norm2([]float64{3, 4}); n != 5 {
+		t.Fatalf("norm2 = %g", n)
+	}
+}
+
+// Property: (A·I) == A for random small matrices.
+func TestMatMulIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		m, k := int(seed%5)+2, int(seed%7)+2
+		at := datagen.Matrix(seed, m, k, "i", "k")
+		da, err := array.FromTable(at)
+		if err != nil {
+			return false
+		}
+		// Identity k×k.
+		idVals := make([]float64, k*k)
+		for i := 0; i < k; i++ {
+			idVals[i*k+i] = 1
+		}
+		id := &array.Dense{
+			DimNames: []string{"k", "j"},
+			Lo:       []int64{0, 0},
+			Shape:    []int64{int64(k), int64(k)},
+			Vals:     idVals,
+			ValName:  "v",
+		}
+		got, err := MatMulDense(da, id, "v")
+		if err != nil {
+			return false
+		}
+		for i := range got.Vals {
+			if math.Abs(got.Vals[i]-da.Vals[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over scalar doubling: (2A)·B == 2(A·B).
+func TestMatMulScalingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		m, k, n := int(seed%4)+2, int(seed%5)+2, int(seed%3)+2
+		a := datagen.MatrixDense(seed, m, k)
+		b := datagen.MatrixDense(seed+1, k, n)
+		a2 := make([]float64, len(a))
+		for i := range a {
+			a2[i] = 2 * a[i]
+		}
+		mk := func(vals []float64, rows, cols int, dn [2]string) *array.Dense {
+			return &array.Dense{
+				DimNames: []string{dn[0], dn[1]},
+				Lo:       []int64{0, 0},
+				Shape:    []int64{int64(rows), int64(cols)},
+				Vals:     vals, ValName: "v",
+			}
+		}
+		ab, err := MatMulDense(mk(a, m, k, [2]string{"i", "k"}), mk(b, k, n, [2]string{"k", "j"}), "v")
+		if err != nil {
+			return false
+		}
+		a2b, err := MatMulDense(mk(a2, m, k, [2]string{"i", "k"}), mk(b, k, n, [2]string{"k", "j"}), "v")
+		if err != nil {
+			return false
+		}
+		for i := range ab.Vals {
+			if math.Abs(a2b.Vals[i]-2*ab.Vals[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

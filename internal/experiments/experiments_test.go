@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite is itself the strongest integration test in the
+// repository: every experiment builds engines, plans, ships and verifies
+// results internally and fails loudly on any disagreement.
+
+func TestE1Coverage(t *testing.T) {
+	res, err := E1Coverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 31 { // 30 queries + total
+		t.Fatalf("expected 31 rows, got %d", len(res.Rows))
+	}
+	total := res.Rows[len(res.Rows)-1]
+	if total[4] != "30/30" {
+		t.Fatalf("fused algebra must cover 30/30, got %s", total[4])
+	}
+	// Neither single-model algebra may cover everything (that is the
+	// paper's argument for fusion).
+	if total[2] == "30/30" || total[3] == "30/30" {
+		t.Fatalf("single-model algebra should not cover the whole workload: rel=%s arr=%s", total[2], total[3])
+	}
+}
+
+func TestE2Translatability(t *testing.T) {
+	res, err := E2Translatability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "VIOLATION") {
+			t.Fatalf("translatability violated: %s", n)
+		}
+	}
+	// Every operator row must verify on at least one provider.
+	for _, row := range res.Rows {
+		if row[5] == "0 providers" {
+			t.Fatalf("operator %s verified nowhere", row[0])
+		}
+		for _, cell := range row[1:5] {
+			if cell == "ERR" || cell == "≠" {
+				t.Fatalf("operator %s failed on a provider that advertises it: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func TestE3Intent(t *testing.T) {
+	res, err := E3Intent([]int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row[4] != "✓" {
+			t.Fatalf("plans disagree at n=%s", row[0])
+		}
+	}
+}
+
+func TestE4InteropInProc(t *testing.T) {
+	res, err := E4Interop([]int{5000}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 = direct, row 1 = routed.
+	if res.Rows[0][3] != "0B" {
+		t.Fatalf("direct mode moved intermediates via client: %s", res.Rows[0][3])
+	}
+	if res.Rows[1][3] == "0B" {
+		t.Fatal("routed mode moved no intermediates via client")
+	}
+}
+
+func TestE4InteropTCP(t *testing.T) {
+	res, err := E4Interop([]int{3000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][3] != "0B" {
+		t.Fatalf("direct mode over TCP moved intermediates via client: %s", res.Rows[0][3])
+	}
+}
+
+func TestE5Iteration(t *testing.T) {
+	res, err := E5Iteration(400, 1600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 strategies, got %d", len(res.Rows))
+	}
+	// The client loop must pay more round trips than the shipped tree.
+	if res.Rows[0][2] <= res.Rows[1][2] {
+		t.Fatalf("client loop round trips (%s) should exceed in-engine (%s)", res.Rows[0][2], res.Rows[1][2])
+	}
+	// Every strategy within 1e-9 of the oracle.
+	for _, row := range res.Rows {
+		if !strings.HasPrefix(row[4], "0.0e+00") && !strings.Contains(row[4], "e-1") && !strings.Contains(row[4], "e-2") && !strings.Contains(row[4], "e-09") {
+			// Accept anything at or below 1e-9.
+			if row[4] > "1.0e-09" && !strings.Contains(row[4], "e-1") {
+				t.Fatalf("strategy %s deviates from oracle: %s", row[0], row[4])
+			}
+		}
+	}
+}
+
+func TestE6Portability(t *testing.T) {
+	res, err := E6Portability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Rows[len(res.Rows)-1]
+	if total[3] != "10/10" {
+		t.Fatalf("portability mismatch: %s", total[3])
+	}
+}
+
+func TestE7Shipping(t *testing.T) {
+	res, err := E7Shipping([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree rows always report 1 round trip.
+	for i := 0; i < len(res.Rows); i += 2 {
+		if res.Rows[i][3] != "1" {
+			t.Fatalf("tree mode at depth %s took %s round trips", res.Rows[i][0], res.Rows[i][3])
+		}
+	}
+	// Op-call at depth 4 must take strictly more round trips than at 1.
+	if res.Rows[1][3] >= res.Rows[3][3] {
+		t.Fatalf("op-call round trips should grow with depth: %s vs %s", res.Rows[1][3], res.Rows[3][3])
+	}
+}
+
+func TestE8Ablation(t *testing.T) {
+	res, err := E8Ablation(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row[4] != "✓" {
+			t.Fatalf("config %s changed the result", row[0])
+		}
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := &Result{ID: "EX", Title: "demo", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.Note("a note with %d", 42)
+	s := r.String()
+	for _, want := range []string{"EX", "demo", "a note with 42", "bb"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted result missing %q:\n%s", want, s)
+		}
+	}
+}

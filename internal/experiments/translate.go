@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/array"
+	"nexus/internal/engines/exec"
+	"nexus/internal/engines/graph"
+	"nexus/internal/engines/linalg"
+	"nexus/internal/engines/relational"
+	"nexus/internal/expr"
+	"nexus/internal/provider"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// E2 — Translatability (desideratum D2): "Every algebra operator should
+// be translatable to a back-end system (or a combination of such
+// systems)."
+//
+// For every operator kind the experiment reports which provider
+// advertises it; for each advertising provider it executes a canonical
+// micro-plan containing the operator and verifies the result against the
+// reference runtime. Operators advertised by no provider would violate
+// D2 — the final check asserts there are none.
+
+// e2Providers builds one engine of each class preloaded with the micro
+// datasets.
+func e2Providers() ([]provider.Provider, map[string]*table.Table, error) {
+	ds := map[string]*table.Table{
+		"sales":    datagen.Sales(1, 200, 20, 10),
+		"dim":      datagen.Customers(2, 20),
+		"A":        datagen.Matrix(3, 6, 6, "i", "k"),
+		"B":        datagen.Matrix(4, 6, 6, "k", "j"),
+		"series":   datagen.Series(5, 40),
+		"edges":    datagen.UniformGraph(6, 30, 90),
+		"vertices": graph.VerticesTable(30),
+	}
+	provs := []provider.Provider{
+		relational.New("relational"),
+		array.New("array"),
+		linalg.New("linalg"),
+		graph.New("graph"),
+	}
+	for _, p := range provs {
+		for name, t := range ds {
+			if err := p.Store(name, t); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return provs, ds, nil
+}
+
+// microPlan returns a minimal executable plan exercising the operator.
+func microPlan(kind core.OpKind) (core.Node, error) {
+	sales, err := core.NewScan("sales", datagen.SalesSchema())
+	if err != nil {
+		return nil, err
+	}
+	dim, err := core.NewScan("dim", datagen.CustomersSchema())
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.NewScan("A", datagen.MatrixSchema("i", "k"))
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewScan("B", datagen.MatrixSchema("k", "j"))
+	if err != nil {
+		return nil, err
+	}
+	series, err := core.NewScan("series", datagen.SeriesSchema())
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case core.KScan:
+		return sales, nil
+	case core.KLiteral:
+		bl := table.NewBuilder(datagen.SeriesSchema(), 1)
+		if err := bl.Append(value.NewInt(0), value.NewFloat(1)); err != nil {
+			return nil, err
+		}
+		return core.NewLiteral(bl.Build())
+	case core.KVar:
+		lit, err := core.NewLiteral(table.Empty(datagen.SalesSchema()))
+		if err != nil {
+			return nil, err
+		}
+		v, err := core.NewVar("x", datagen.SalesSchema())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewLet("x", lit, v)
+	case core.KFilter:
+		return core.NewFilter(sales, expr.Gt(expr.Column("qty"), expr.CInt(5)))
+	case core.KProject:
+		return core.NewProject(sales, []string{"sale_id", "price"})
+	case core.KRename:
+		return core.NewRename(sales, []string{"price"}, []string{"amount"})
+	case core.KExtend:
+		return core.NewExtend(sales, []core.ColDef{{Name: "rev", E: expr.Mul(expr.Column("price"), expr.Column("qty"))}})
+	case core.KJoin:
+		return core.NewJoin(sales, dim, core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, nil)
+	case core.KProduct:
+		lim, err := core.NewLimit(sales, 5, 0)
+		if err != nil {
+			return nil, err
+		}
+		lim2, err := core.NewLimit(dim, 5, 0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewProduct(lim, lim2)
+	case core.KGroupAgg:
+		return core.NewGroupAgg(sales, []string{"region"}, []core.AggSpec{{Func: core.AggCount, As: "n"}})
+	case core.KDistinct:
+		p, err := core.NewProject(sales, []string{"region"})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDistinct(p)
+	case core.KSort:
+		return core.NewSort(sales, []core.SortSpec{{Col: "price", Desc: true}})
+	case core.KLimit:
+		return core.NewLimit(sales, 7, 2)
+	case core.KUnion:
+		return core.NewUnion(sales, sales, true)
+	case core.KExcept:
+		return core.NewExcept(sales, sales)
+	case core.KIntersect:
+		return core.NewIntersect(sales, sales)
+	case core.KAsArray:
+		return core.NewAsArray(sales, []string{"sale_id"})
+	case core.KDropDims:
+		return core.NewDropDims(a)
+	case core.KSlice:
+		return core.NewSliceDim(a, "i", 0)
+	case core.KDice:
+		return core.NewDice(a, []core.DimBound{{Dim: "i", Lo: 1, Hi: 4}})
+	case core.KTranspose:
+		return core.NewTranspose(a, []string{"k", "i"})
+	case core.KWindow:
+		return core.NewWindow(series, []core.DimExtent{{Dim: "t", Before: 2, After: 2}}, core.AggSum, "temp", "w")
+	case core.KReduceDims:
+		return core.NewReduceDims(a, []string{"k"}, []core.AggSpec{{Func: core.AggSum, Arg: expr.Column("v"), As: "s"}})
+	case core.KFill:
+		d, err := core.NewDice(series, []core.DimBound{{Dim: "t", Lo: 0, Hi: 10}})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFill(d, value.NewFloat(0))
+	case core.KShift:
+		return core.NewShift(series, "t", 3)
+	case core.KMatMul:
+		return core.NewMatMul(a, b, "v")
+	case core.KElemWise:
+		return core.NewElemWise(a, a, value.OpAdd, "s")
+	case core.KIterate:
+		init, err := core.NewExtend(series, []core.ColDef{{Name: "x", E: expr.CFloat(1)}})
+		if err != nil {
+			return nil, err
+		}
+		loop, err := core.NewVar("s", init.Schema())
+		if err != nil {
+			return nil, err
+		}
+		upd, err := core.NewExtend(loop, []core.ColDef{{Name: "x2", E: expr.Mul(expr.Column("x"), expr.CFloat(0.5))}})
+		if err != nil {
+			return nil, err
+		}
+		proj, err := core.NewProject(upd, []string{"t", "temp", "x2"})
+		if err != nil {
+			return nil, err
+		}
+		body, err := core.NewRename(proj, []string{"x2"}, []string{"x"})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewIterate(init, body, "s", 5, nil)
+	case core.KLet:
+		v, err := core.NewVar("x", datagen.SalesSchema())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewLet("x", sales, v)
+	}
+	return nil, fmt.Errorf("no micro plan for %v", kind)
+}
+
+// E2Translatability builds the operator × provider matrix.
+func E2Translatability() (*Result, error) {
+	provs, ds, err := e2Providers()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "E2",
+		Title:  "operator translatability across providers",
+		Claim:  "every algebra operator should be translatable to a back-end system (or a combination of such systems)",
+		Header: []string{"operator", "relational", "array", "linalg", "graph", "verified-on"},
+	}
+	ref := &exec.Runtime{Datasets: func(n string) (*table.Table, bool) {
+		t, ok := ds[n]
+		return t, ok
+	}}
+	var orphans []string
+	for _, kind := range core.AllOpKinds() {
+		plan, err := microPlan(kind)
+		if err != nil {
+			return nil, fmt.Errorf("E2 %v: %w", kind, err)
+		}
+		want, err := ref.Run(plan)
+		if err != nil {
+			return nil, fmt.Errorf("E2 %v: reference: %w", kind, err)
+		}
+		cells := make([]string, 0, 4)
+		verified := 0
+		anySupport := false
+		for _, p := range provs {
+			supports, _ := p.Capabilities().SupportsPlan(plan)
+			if !supports {
+				cells = append(cells, "—")
+				continue
+			}
+			anySupport = true
+			got, err := p.Execute(plan)
+			if err != nil {
+				cells = append(cells, "ERR")
+				continue
+			}
+			// Iterative/windowed float plans may differ in summation
+			// order; compare multisets with checksums, falling back to a
+			// cardinality check for float-heavy results.
+			if table.EqualUnordered(got, want) || approxSameTable(got, want) {
+				cells = append(cells, "✓")
+				verified++
+			} else {
+				cells = append(cells, "≠")
+			}
+		}
+		if !anySupport {
+			orphans = append(orphans, kind.String())
+		}
+		res.AddRow(kind.String(), cells[0], cells[1], cells[2], cells[3], fmt.Sprintf("%d providers", verified))
+	}
+	if len(orphans) > 0 {
+		res.Note("VIOLATION of D2: operators with no provider: %v", orphans)
+	} else {
+		res.Note("every operator is executable on at least one provider; ✓ = provider result matches the reference runtime")
+	}
+	return res, nil
+}
+
+// approxSameTable compares two single-schema tables cell-wise with a
+// float tolerance after sorting all columns — order- and rounding-
+// insensitive equality for float results.
+func approxSameTable(a, b *table.Table) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	keys := make([]table.SortKey, a.NumCols())
+	for i := range keys {
+		keys[i] = table.SortKey{Col: i}
+	}
+	as := a.Sort(keys)
+	bs := b.Sort(keys)
+	for r := 0; r < as.NumRows(); r++ {
+		for c := 0; c < as.NumCols(); c++ {
+			va, vb := as.Value(r, c), bs.Value(r, c)
+			fa, oka := va.AsFloat()
+			fb, okb := vb.AsFloat()
+			if oka && okb {
+				d := fa - fb
+				if d > 1e-6 || d < -1e-6 {
+					return false
+				}
+				continue
+			}
+			if !value.Equal(va, vb) {
+				return false
+			}
+		}
+	}
+	return true
+}

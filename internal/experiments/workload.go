@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/graph"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// The 30-query mixed workload behind the coverage experiment (E1): ten
+// relational queries over the star schema, ten array queries over
+// matrices/series/grids, five graph-analytic queries and five ML-flavored
+// queries. Every query is a plan builder over the standard demo schemas;
+// E1 classifies which algebra subsets can express each, and executes each
+// on the reference runtime to prove the plan is real, not hypothetical.
+
+// QueryClass buckets workload queries.
+type QueryClass string
+
+// Workload classes.
+const (
+	ClassRelational QueryClass = "relational"
+	ClassArray      QueryClass = "array"
+	ClassGraph      QueryClass = "graph"
+	ClassML         QueryClass = "ml"
+)
+
+// WorkloadQuery is one catalog entry.
+type WorkloadQuery struct {
+	Name  string
+	Class QueryClass
+	Build func() (core.Node, error)
+}
+
+// Demo schemas shared by the workload builders.
+var (
+	salesSchema    = datagen.SalesSchema()
+	custSchema     = datagen.CustomersSchema()
+	prodSchema     = datagen.ProductsSchema()
+	matASchema     = datagen.MatrixSchema("i", "k")
+	matBSchema     = datagen.MatrixSchema("k", "j")
+	seriesSchema   = datagen.SeriesSchema()
+	gridSchema     = datagen.GridSchema()
+	edgeSchema     = datagen.EdgeSchema()
+	verticesSchema = graph.VerticesSchema()
+)
+
+const workloadVertices = 200
+
+func scanOf(name string, sch schema.Schema) (core.Node, error) { return core.NewScan(name, sch) }
+
+// chain threads a node through fallible steps.
+type chain struct {
+	n   core.Node
+	err error
+}
+
+func start(name string, sch schema.Schema) *chain {
+	n, err := scanOf(name, sch)
+	return &chain{n: n, err: err}
+}
+
+func (c *chain) then(f func(core.Node) (core.Node, error)) *chain {
+	if c.err != nil {
+		return c
+	}
+	n, err := f(c.n)
+	return &chain{n: n, err: err}
+}
+
+func (c *chain) done() (core.Node, error) { return c.n, c.err }
+
+func filter(pred expr.Expr) func(core.Node) (core.Node, error) {
+	return func(n core.Node) (core.Node, error) { return core.NewFilter(n, pred) }
+}
+
+func groupAgg(keys []string, aggs ...core.AggSpec) func(core.Node) (core.Node, error) {
+	return func(n core.Node) (core.Node, error) { return core.NewGroupAgg(n, keys, aggs) }
+}
+
+func sortBy(specs ...core.SortSpec) func(core.Node) (core.Node, error) {
+	return func(n core.Node) (core.Node, error) { return core.NewSort(n, specs) }
+}
+
+func limit(k int64) func(core.Node) (core.Node, error) {
+	return func(n core.Node) (core.Node, error) { return core.NewLimit(n, k, 0) }
+}
+
+func extend(name string, e expr.Expr) func(core.Node) (core.Node, error) {
+	return func(n core.Node) (core.Node, error) {
+		return core.NewExtend(n, []core.ColDef{{Name: name, E: e}})
+	}
+}
+
+func project(cols ...string) func(core.Node) (core.Node, error) {
+	return func(n core.Node) (core.Node, error) { return core.NewProject(n, cols) }
+}
+
+func joinWith(right core.Node, typ core.JoinType, lk, rk string) func(core.Node) (core.Node, error) {
+	return func(n core.Node) (core.Node, error) {
+		return core.NewJoin(n, right, typ, []string{lk}, []string{rk}, nil)
+	}
+}
+
+// revenue is price*qty, the workhorse expression of the star schema.
+var revenue = expr.Mul(expr.Column("price"), expr.Column("qty"))
+
+// Workload returns the 30-query catalog.
+func Workload() []WorkloadQuery {
+	return []WorkloadQuery{
+		// --- Relational (10) -------------------------------------------------
+		{"R1 revenue by region", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).
+				then(groupAgg([]string{"region"}, core.AggSpec{Func: core.AggSum, Arg: revenue, As: "rev"})).
+				then(sortBy(core.SortSpec{Col: "rev", Desc: true})).done()
+		}},
+		{"R2 top customers by spend", ClassRelational, func() (core.Node, error) {
+			cust, err := scanOf("customers", custSchema)
+			if err != nil {
+				return nil, err
+			}
+			return start("sales", salesSchema).
+				then(joinWith(cust, core.JoinInner, "cust_id", "cust_id")).
+				then(groupAgg([]string{"name"}, core.AggSpec{Func: core.AggSum, Arg: revenue, As: "spend"})).
+				then(sortBy(core.SortSpec{Col: "spend", Desc: true})).
+				then(limit(10)).done()
+		}},
+		{"R3 selective filter + projection", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).
+				then(filter(expr.And(expr.Eq(expr.Column("region"), expr.CStr("EU")), expr.Gt(expr.Column("qty"), expr.CInt(5))))).
+				then(project("sale_id", "price")).done()
+		}},
+		{"R4 distinct product categories sold", ClassRelational, func() (core.Node, error) {
+			prod, err := scanOf("products", prodSchema)
+			if err != nil {
+				return nil, err
+			}
+			c := start("sales", salesSchema).
+				then(joinWith(prod, core.JoinInner, "prod_id", "prod_id")).
+				then(project("category"))
+			return c.then(func(n core.Node) (core.Node, error) { return core.NewDistinct(n) }).done()
+		}},
+		{"R5 anti join: customers with no sales", ClassRelational, func() (core.Node, error) {
+			sales, err := scanOf("sales", salesSchema)
+			if err != nil {
+				return nil, err
+			}
+			return start("customers", custSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewJoin(n, sales, core.JoinAnti, []string{"cust_id"}, []string{"cust_id"}, nil)
+				}).done()
+		}},
+		{"R6 margin per category", ClassRelational, func() (core.Node, error) {
+			prod, err := scanOf("products", prodSchema)
+			if err != nil {
+				return nil, err
+			}
+			return start("sales", salesSchema).
+				then(joinWith(prod, core.JoinInner, "prod_id", "prod_id")).
+				then(extend("margin", expr.Sub(expr.Column("price"), expr.Column("cost")))).
+				then(groupAgg([]string{"category"}, core.AggSpec{Func: core.AggAvg, Arg: expr.Column("margin"), As: "avg_margin"})).done()
+		}},
+		{"R7 union of regional slices", ClassRelational, func() (core.Node, error) {
+			eu := start("sales", salesSchema).then(filter(expr.Eq(expr.Column("region"), expr.CStr("EU"))))
+			na, err := start("sales", salesSchema).then(filter(expr.Eq(expr.Column("region"), expr.CStr("NA")))).done()
+			if err != nil {
+				return nil, err
+			}
+			return eu.then(func(n core.Node) (core.Node, error) { return core.NewUnion(n, na, true) }).done()
+		}},
+		{"R8 order-count histogram by qty", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).
+				then(groupAgg([]string{"qty"}, core.AggSpec{Func: core.AggCount, As: "orders"})).
+				then(sortBy(core.SortSpec{Col: "qty"})).done()
+		}},
+		{"R9 residual-predicate join (cross-region)", ClassRelational, func() (core.Node, error) {
+			cust, err := scanOf("customers", custSchema)
+			if err != nil {
+				return nil, err
+			}
+			return start("sales", salesSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewJoin(n, cust, core.JoinInner, []string{"cust_id"}, []string{"cust_id"},
+						expr.Ne(expr.Column("region"), expr.Column("region_r")))
+				}).
+				then(groupAgg(nil, core.AggSpec{Func: core.AggCount, As: "cross_region_orders"})).done()
+		}},
+		{"R10 count distinct buyers per region", ClassRelational, func() (core.Node, error) {
+			return start("sales", salesSchema).
+				then(groupAgg([]string{"region"}, core.AggSpec{Func: core.AggCountDistinct, Arg: expr.Column("cust_id"), As: "buyers"})).done()
+		}},
+
+		// --- Array (10) ------------------------------------------------------
+		{"A1 matrix multiply A·B", ClassArray, func() (core.Node, error) {
+			a, err := scanOf("A", matASchema)
+			if err != nil {
+				return nil, err
+			}
+			b, err := scanOf("B", matBSchema)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewMatMul(a, b, "v")
+		}},
+		{"A2 moving average over sensor series", ClassArray, func() (core.Node, error) {
+			return start("series", seriesSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewWindow(n, []core.DimExtent{{Dim: "t", Before: 5, After: 5}}, core.AggAvg, "temp", "smooth")
+				}).done()
+		}},
+		{"A3 2-D stencil (3×3 neighbourhood sums)", ClassArray, func() (core.Node, error) {
+			return start("grid", gridSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewWindow(n, []core.DimExtent{{Dim: "x", Before: 1, After: 1}, {Dim: "y", Before: 1, After: 1}}, core.AggSum, "v", "s")
+				}).done()
+		}},
+		{"A4 subarray (dice) then slice", ClassArray, func() (core.Node, error) {
+			return start("grid", gridSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewDice(n, []core.DimBound{{Dim: "x", Lo: 8, Hi: 24}, {Dim: "y", Lo: 8, Hi: 24}})
+				}).
+				then(func(n core.Node) (core.Node, error) { return core.NewSliceDim(n, "x", 10) }).done()
+		}},
+		{"A5 transpose", ClassArray, func() (core.Node, error) {
+			return start("A", matASchema).
+				then(func(n core.Node) (core.Node, error) { return core.NewTranspose(n, []string{"k", "i"}) }).done()
+		}},
+		{"A6 row sums (reduce over one dim)", ClassArray, func() (core.Node, error) {
+			return start("A", matASchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewReduceDims(n, []string{"k"}, []core.AggSpec{{Func: core.AggSum, Arg: expr.Column("v"), As: "rowsum"}})
+				}).done()
+		}},
+		{"A7 elementwise matrix addition", ClassArray, func() (core.Node, error) {
+			a, err := scanOf("A", matASchema)
+			if err != nil {
+				return nil, err
+			}
+			a2, err := scanOf("A", matASchema)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewElemWise(a, a2, value.OpAdd, "s")
+		}},
+		{"A8 densify sparse grid (fill)", ClassArray, func() (core.Node, error) {
+			return start("grid", gridSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewDice(n, []core.DimBound{{Dim: "x", Lo: 0, Hi: 8}})
+				}).
+				then(func(n core.Node) (core.Node, error) { return core.NewFill(n, value.NewFloat(0)) }).done()
+		}},
+		{"A9 shift series and difference", ClassArray, func() (core.Node, error) {
+			s1, err := scanOf("series", seriesSchema)
+			if err != nil {
+				return nil, err
+			}
+			shifted, err := core.NewShift(s1, "t", 1)
+			if err != nil {
+				return nil, err
+			}
+			s2, err := scanOf("series", seriesSchema)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewElemWise(s2, shifted, value.OpSub, "delta")
+		}},
+		{"A10 global grid statistics", ClassArray, func() (core.Node, error) {
+			return start("grid", gridSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewReduceDims(n, []string{"x", "y"}, []core.AggSpec{
+						{Func: core.AggMin, Arg: expr.Column("v"), As: "lo"},
+						{Func: core.AggMax, Arg: expr.Column("v"), As: "hi"},
+						{Func: core.AggAvg, Arg: expr.Column("v"), As: "mean"},
+					})
+				}).done()
+		}},
+
+		// --- Graph (5) --------------------------------------------------------
+		{"G1 PageRank (fixpoint)", ClassGraph, func() (core.Node, error) {
+			return graph.PageRankPlan("edges", edgeSchema, "vertices", verticesSchema, workloadVertices, 0.85, 30, 1e-9)
+		}},
+		{"G2 connected components (fixpoint)", ClassGraph, func() (core.Node, error) {
+			return graph.ConnectedComponentsPlan("edges", edgeSchema, "vertices", verticesSchema, workloadVertices)
+		}},
+		{"G3 BFS hop counts (fixpoint)", ClassGraph, func() (core.Node, error) {
+			return graph.SSSPPlan("edges", edgeSchema, "vertices", verticesSchema, 0, workloadVertices)
+		}},
+		{"G4 out-degree distribution", ClassGraph, func() (core.Node, error) {
+			return start("edges", edgeSchema).
+				then(groupAgg([]string{"src"}, core.AggSpec{Func: core.AggCount, As: "deg"})).
+				then(groupAgg([]string{"deg"}, core.AggSpec{Func: core.AggCount, As: "vertices"})).
+				then(sortBy(core.SortSpec{Col: "deg"})).done()
+		}},
+		{"G5 two-hop neighbourhoods", ClassGraph, func() (core.Node, error) {
+			e2, err := scanOf("edges", edgeSchema)
+			if err != nil {
+				return nil, err
+			}
+			return start("edges", edgeSchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewJoin(n, e2, core.JoinInner, []string{"dst"}, []string{"src"}, nil)
+				}).
+				then(project("src", "dst_r")).
+				then(func(n core.Node) (core.Node, error) { return core.NewDistinct(n) }).done()
+		}},
+
+		// --- ML-flavored (5) --------------------------------------------------
+		{"M1 covariance matrix XᵀX", ClassML, func() (core.Node, error) {
+			x, err := scanOf("A", matASchema)
+			if err != nil {
+				return nil, err
+			}
+			xt, err := core.NewTranspose(x, []string{"k", "i"})
+			if err != nil {
+				return nil, err
+			}
+			x2, err := scanOf("A", matASchema)
+			if err != nil {
+				return nil, err
+			}
+			// (k,i)·(i,k'): rename the second copy's k to avoid collision.
+			x2r, err := core.NewRename(x2, []string{"k"}, []string{"k2"})
+			if err != nil {
+				return nil, err
+			}
+			x2a, err := core.NewAsArray(x2r, []string{"i", "k2"})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewMatMul(xt, x2a, "cov")
+		}},
+		{"M2 feature standardization", ClassML, func() (core.Node, error) {
+			// Per-column mean via reduce, then join back and scale.
+			stats, err := start("A", matASchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewReduceDims(n, []string{"i"}, []core.AggSpec{
+						{Func: core.AggAvg, Arg: expr.Column("v"), As: "mean"},
+					})
+				}).
+				then(func(n core.Node) (core.Node, error) { return core.NewDropDims(n) }).done()
+			if err != nil {
+				return nil, err
+			}
+			return start("A", matASchema).
+				then(func(n core.Node) (core.Node, error) {
+					return core.NewJoin(n, stats, core.JoinInner, []string{"k"}, []string{"k"}, nil)
+				}).
+				then(extend("centered", expr.Sub(expr.Column("v"), expr.Column("mean")))).
+				then(project("i", "k", "centered")).done()
+		}},
+		{"M3 gradient-descent step (fixpoint)", ClassML, func() (core.Node, error) {
+			// w' = w * (1 - lr) iterated to convergence: the shape of an
+			// iterative optimizer over a parameter relation.
+			vertices, err := scanOf("vertices", verticesSchema)
+			if err != nil {
+				return nil, err
+			}
+			small, err := core.NewFilter(vertices, expr.Lt(expr.Column("v"), expr.CInt(10)))
+			if err != nil {
+				return nil, err
+			}
+			init, err := core.NewExtend(small, []core.ColDef{{Name: "w", E: expr.CFloat(1)}})
+			if err != nil {
+				return nil, err
+			}
+			loop, err := core.NewVar("w", init.Schema())
+			if err != nil {
+				return nil, err
+			}
+			upd, err := core.NewExtend(loop, []core.ColDef{{Name: "w2", E: expr.Mul(expr.Column("w"), expr.CFloat(0.9))}})
+			if err != nil {
+				return nil, err
+			}
+			proj, err := core.NewProject(upd, []string{"v", "w2"})
+			if err != nil {
+				return nil, err
+			}
+			body, err := core.NewRename(proj, []string{"w2"}, []string{"w"})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewIterate(init, body, "w", 200, &core.Convergence{Metric: core.MetricLInf, Col: "w", Tol: 1e-6})
+		}},
+		{"M4 k-means assignment step", ClassML, func() (core.Node, error) {
+			// Assign each 1-D point (series value) to the nearest of two
+			// centroids held in a literal table.
+			cb := schema.New(
+				schema.Attribute{Name: "cid", Kind: value.KindInt64},
+				schema.Attribute{Name: "center", Kind: value.KindFloat64},
+			)
+			b := table.NewBuilder(cb, 2)
+			if err := b.Append(value.NewInt(0), value.NewFloat(15)); err != nil {
+				return nil, err
+			}
+			if err := b.Append(value.NewInt(1), value.NewFloat(25)); err != nil {
+				return nil, err
+			}
+			cents, err := core.NewLiteral(b.Build())
+			if err != nil {
+				return nil, err
+			}
+			return start("series", seriesSchema).
+				then(func(n core.Node) (core.Node, error) { return core.NewProduct(n, cents) }).
+				then(extend("dist", expr.NewCall("abs", expr.Sub(expr.Column("temp"), expr.Column("center"))))).
+				then(groupAgg([]string{"t"}, core.AggSpec{Func: core.AggMin, Arg: expr.Column("dist"), As: "best"})).done()
+		}},
+		{"M5 regression normal equations XᵀX and Xᵀy", ClassML, func() (core.Node, error) {
+			x, err := scanOf("A", matASchema)
+			if err != nil {
+				return nil, err
+			}
+			xt, err := core.NewTranspose(x, []string{"k", "i"})
+			if err != nil {
+				return nil, err
+			}
+			// y: first column of B reshaped as a (i, one) matrix.
+			y, err := scanOf("B", matBSchema)
+			if err != nil {
+				return nil, err
+			}
+			ySlice, err := core.NewSliceDim(y, "j", 0) // (k, v) 1-D
+			if err != nil {
+				return nil, err
+			}
+			yRen, err := core.NewRename(ySlice, []string{"k"}, []string{"i"})
+			if err != nil {
+				return nil, err
+			}
+			yExt, err := core.NewExtend(yRen, []core.ColDef{{Name: "one", E: expr.CInt(0)}})
+			if err != nil {
+				return nil, err
+			}
+			yProj, err := core.NewProject(yExt, []string{"i", "one", "v"})
+			if err != nil {
+				return nil, err
+			}
+			yArr, err := core.NewAsArray(yProj, []string{"i", "one"})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewMatMul(xt, yArr, "xty")
+		}},
+	}
+}

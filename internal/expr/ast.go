@@ -1,0 +1,370 @@
+// Package expr implements the scalar expression language embedded in the
+// nexus algebra: a small typed AST (constants, column references, unary
+// and binary operators, function calls), static type inference against a
+// schema, a compiling row evaluator with a vectorized batch path, a
+// function registry, constant folding, and structural utilities (walk,
+// rewrite, equality, hashing) used by the planner and the wire format.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nexus/internal/value"
+)
+
+// Expr is a scalar expression tree node. Implementations are *Const,
+// *Col, *Bin, *Un and *Call. Expressions are immutable; rewrites build
+// new trees.
+type Expr interface {
+	// String renders the expression in surface-language syntax.
+	String() string
+	isExpr()
+}
+
+// Const is a literal value.
+type Const struct {
+	Val value.Value
+}
+
+// Col references an attribute by name. Names may be qualified ("t.a");
+// resolution against a schema happens at compile time.
+type Col struct {
+	Name string
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   value.BinOp
+	L, R Expr
+}
+
+// Un applies a unary operator.
+type Un struct {
+	Op value.UnOp
+	X  Expr
+}
+
+// Call invokes a registered function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (*Const) isExpr() {}
+func (*Col) isExpr()   {}
+func (*Bin) isExpr()   {}
+func (*Un) isExpr()    {}
+func (*Call) isExpr()  {}
+
+// String implements Expr.
+func (e *Const) String() string { return e.Val.String() }
+
+// String implements Expr.
+func (e *Col) String() string { return e.Name }
+
+// String implements Expr.
+func (e *Bin) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// String implements Expr.
+func (e *Un) String() string {
+	switch e.Op {
+	case value.OpIsNull:
+		return "isnull(" + e.X.String() + ")"
+	case value.OpIsNotNull:
+		return "isnotnull(" + e.X.String() + ")"
+	}
+	return e.Op.String() + "(" + e.X.String() + ")"
+}
+
+// String implements Expr.
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// Convenience constructors, used heavily by the fluent API, the surface
+// language compiler and tests.
+
+// C returns a constant expression.
+func C(v value.Value) *Const { return &Const{Val: v} }
+
+// CInt returns an int64 constant.
+func CInt(i int64) *Const { return &Const{Val: value.NewInt(i)} }
+
+// CFloat returns a float64 constant.
+func CFloat(f float64) *Const { return &Const{Val: value.NewFloat(f)} }
+
+// CStr returns a string constant.
+func CStr(s string) *Const { return &Const{Val: value.NewString(s)} }
+
+// CBool returns a bool constant.
+func CBool(b bool) *Const { return &Const{Val: value.NewBool(b)} }
+
+// Column returns a column reference.
+func Column(name string) *Col { return &Col{Name: name} }
+
+// NewBin returns a binary expression.
+func NewBin(op value.BinOp, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// Add returns l + r.
+func Add(l, r Expr) *Bin { return NewBin(value.OpAdd, l, r) }
+
+// Sub returns l - r.
+func Sub(l, r Expr) *Bin { return NewBin(value.OpSub, l, r) }
+
+// Mul returns l * r.
+func Mul(l, r Expr) *Bin { return NewBin(value.OpMul, l, r) }
+
+// Div returns l / r.
+func Div(l, r Expr) *Bin { return NewBin(value.OpDiv, l, r) }
+
+// Eq returns l == r.
+func Eq(l, r Expr) *Bin { return NewBin(value.OpEq, l, r) }
+
+// Ne returns l != r.
+func Ne(l, r Expr) *Bin { return NewBin(value.OpNe, l, r) }
+
+// Lt returns l < r.
+func Lt(l, r Expr) *Bin { return NewBin(value.OpLt, l, r) }
+
+// Le returns l <= r.
+func Le(l, r Expr) *Bin { return NewBin(value.OpLe, l, r) }
+
+// Gt returns l > r.
+func Gt(l, r Expr) *Bin { return NewBin(value.OpGt, l, r) }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) *Bin { return NewBin(value.OpGe, l, r) }
+
+// And returns l && r.
+func And(l, r Expr) *Bin { return NewBin(value.OpAnd, l, r) }
+
+// Or returns l || r.
+func Or(l, r Expr) *Bin { return NewBin(value.OpOr, l, r) }
+
+// Not returns !x.
+func Not(x Expr) *Un { return &Un{Op: value.OpNot, X: x} }
+
+// Neg returns -x.
+func Neg(x Expr) *Un { return &Un{Op: value.OpNeg, X: x} }
+
+// IsNull returns isnull(x).
+func IsNull(x Expr) *Un { return &Un{Op: value.OpIsNull, X: x} }
+
+// NewCall returns a function call expression.
+func NewCall(name string, args ...Expr) *Call { return &Call{Name: name, Args: args} }
+
+// AndAll conjoins the expressions (nil for an empty list).
+func AndAll(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = And(out, e)
+		}
+	}
+	return out
+}
+
+// Walk calls fn on e and every sub-expression, pre-order. fn returning
+// false prunes the subtree.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *Bin:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Un:
+		Walk(n.X, fn)
+	case *Call:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// Rewrite rebuilds the tree bottom-up, replacing each node with fn(node).
+// fn receives a node whose children are already rewritten.
+func Rewrite(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *Bin:
+		l, r := Rewrite(n.L, fn), Rewrite(n.R, fn)
+		if l != n.L || r != n.R {
+			e = &Bin{Op: n.Op, L: l, R: r}
+		}
+	case *Un:
+		x := Rewrite(n.X, fn)
+		if x != n.X {
+			e = &Un{Op: n.Op, X: x}
+		}
+	case *Call:
+		args := n.Args
+		changed := false
+		for i, a := range n.Args {
+			ra := Rewrite(a, fn)
+			if ra != a {
+				if !changed {
+					args = make([]Expr, len(n.Args))
+					copy(args, n.Args)
+					changed = true
+				}
+				args[i] = ra
+			}
+		}
+		if changed {
+			e = &Call{Name: n.Name, Args: args}
+		}
+	}
+	return fn(e)
+}
+
+// Cols returns the sorted set of column names referenced by e.
+func Cols(e Expr) []string {
+	set := map[string]bool{}
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*Col); ok {
+			set[c.Name] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenameCols returns e with column references renamed per the mapping.
+func RenameCols(e Expr, mapping map[string]string) Expr {
+	return Rewrite(e, func(x Expr) Expr {
+		if c, ok := x.(*Col); ok {
+			if to, ok := mapping[c.Name]; ok {
+				return &Col{Name: to}
+			}
+		}
+		return x
+	})
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case *Const:
+		y, ok := b.(*Const)
+		return ok && x.Val.Kind() == y.Val.Kind() && value.Equal(x.Val, y.Val)
+	case *Col:
+		y, ok := b.(*Col)
+		return ok && x.Name == y.Name
+	case *Bin:
+		y, ok := b.(*Bin)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Un:
+		y, ok := b.(*Un)
+		return ok && x.Op == y.Op && Equal(x.X, y.X)
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Hash returns a structural hash consistent with Equal.
+func Hash(e Expr) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(u uint64) {
+		h = (h ^ u) * 1099511628211
+	}
+	switch n := e.(type) {
+	case nil:
+		mix(0)
+	case *Const:
+		mix(1)
+		mix(value.Hash(n.Val))
+	case *Col:
+		mix(2)
+		mix(strHash(n.Name))
+	case *Bin:
+		mix(3)
+		mix(uint64(n.Op))
+		mix(Hash(n.L))
+		mix(Hash(n.R))
+	case *Un:
+		mix(4)
+		mix(uint64(n.Op))
+		mix(Hash(n.X))
+	case *Call:
+		mix(5)
+		mix(strHash(n.Name))
+		for _, a := range n.Args {
+			mix(Hash(a))
+		}
+	}
+	return h
+}
+
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// Validate checks the tree for nil children and unknown functions,
+// returning a descriptive error; used when decoding expressions off the
+// wire.
+func Validate(e Expr) error {
+	if e == nil {
+		return fmt.Errorf("expr: nil expression")
+	}
+	var err error
+	Walk(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *Bin:
+			if n.L == nil || n.R == nil {
+				err = fmt.Errorf("expr: binary %v with nil operand", n.Op)
+				return false
+			}
+		case *Un:
+			if n.X == nil {
+				err = fmt.Errorf("expr: unary %v with nil operand", n.Op)
+				return false
+			}
+		case *Call:
+			if _, ok := LookupFunc(n.Name); !ok {
+				err = fmt.Errorf("expr: unknown function %q", n.Name)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}

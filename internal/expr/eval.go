@@ -1,0 +1,451 @@
+package expr
+
+import (
+	"fmt"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// InferKind statically types e against a schema, returning the result
+// kind or a descriptive error for ill-typed expressions.
+func InferKind(e Expr, sch schema.Schema) (value.Kind, error) {
+	switch n := e.(type) {
+	case *Const:
+		return n.Val.Kind(), nil
+	case *Col:
+		i := sch.IndexOf(n.Name)
+		if i < 0 {
+			return value.KindNull, fmt.Errorf("expr: unknown column %q in schema %v", n.Name, sch)
+		}
+		return sch.At(i).Kind, nil
+	case *Bin:
+		lk, err := InferKind(n.L, sch)
+		if err != nil {
+			return value.KindNull, err
+		}
+		rk, err := InferKind(n.R, sch)
+		if err != nil {
+			return value.KindNull, err
+		}
+		k, err := n.Op.ResultKind(lk, rk)
+		if err != nil {
+			return value.KindNull, fmt.Errorf("expr: %s: %w", e.String(), err)
+		}
+		return k, nil
+	case *Un:
+		xk, err := InferKind(n.X, sch)
+		if err != nil {
+			return value.KindNull, err
+		}
+		k, err := n.Op.ResultKind(xk)
+		if err != nil {
+			return value.KindNull, fmt.Errorf("expr: %s: %w", e.String(), err)
+		}
+		return k, nil
+	case *Call:
+		f, ok := LookupFunc(n.Name)
+		if !ok {
+			return value.KindNull, fmt.Errorf("expr: unknown function %q", n.Name)
+		}
+		if len(n.Args) < f.MinArgs || (f.MaxArgs >= 0 && len(n.Args) > f.MaxArgs) {
+			return value.KindNull, fmt.Errorf("expr: %s takes %d..%d args, got %d", n.Name, f.MinArgs, f.MaxArgs, len(n.Args))
+		}
+		kinds := make([]value.Kind, len(n.Args))
+		for i, a := range n.Args {
+			k, err := InferKind(a, sch)
+			if err != nil {
+				return value.KindNull, err
+			}
+			kinds[i] = k
+		}
+		k, err := f.Infer(kinds)
+		if err != nil {
+			return value.KindNull, fmt.Errorf("expr: %s: %w", e.String(), err)
+		}
+		return k, nil
+	}
+	return value.KindNull, fmt.Errorf("expr: unknown node %T", e)
+}
+
+// Compiled is an expression bound to a schema: column references are
+// resolved to positions and the result kind is known. Compiled values are
+// immutable and safe for concurrent use.
+type Compiled struct {
+	root Expr
+	sch  schema.Schema
+	kind value.Kind
+	prog evalFn
+}
+
+type evalFn func(t *table.Table, row int) (value.Value, error)
+
+// Compile binds e to the schema, type-checking it and building a
+// closure-tree evaluator.
+func Compile(e Expr, sch schema.Schema) (*Compiled, error) {
+	kind, err := InferKind(e, sch)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compileNode(e, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{root: e, sch: sch, kind: kind, prog: prog}, nil
+}
+
+// MustCompile is Compile panicking on error, for tests and examples.
+func MustCompile(e Expr, sch schema.Schema) *Compiled {
+	c, err := Compile(e, sch)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Kind returns the static result kind.
+func (c *Compiled) Kind() value.Kind { return c.kind }
+
+// Expr returns the source expression.
+func (c *Compiled) Expr() Expr { return c.root }
+
+// Eval evaluates the expression on one row of t (t must have the compile
+// schema's layout).
+func (c *Compiled) Eval(t *table.Table, row int) (value.Value, error) {
+	return c.prog(t, row)
+}
+
+func compileNode(e Expr, sch schema.Schema) (evalFn, error) {
+	switch n := e.(type) {
+	case *Const:
+		v := n.Val
+		return func(*table.Table, int) (value.Value, error) { return v, nil }, nil
+	case *Col:
+		i := sch.IndexOf(n.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("expr: unknown column %q", n.Name)
+		}
+		return func(t *table.Table, row int) (value.Value, error) {
+			return t.Col(i).Value(row), nil
+		}, nil
+	case *Bin:
+		l, err := compileNode(n.L, sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileNode(n.R, sch)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		// Short-circuit logical operators.
+		switch op {
+		case value.OpAnd:
+			return func(t *table.Table, row int) (value.Value, error) {
+				lv, err := l(t, row)
+				if err != nil {
+					return value.Null, err
+				}
+				if !lv.Truthy() {
+					return value.NewBool(false), nil
+				}
+				rv, err := r(t, row)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.NewBool(rv.Truthy()), nil
+			}, nil
+		case value.OpOr:
+			return func(t *table.Table, row int) (value.Value, error) {
+				lv, err := l(t, row)
+				if err != nil {
+					return value.Null, err
+				}
+				if lv.Truthy() {
+					return value.NewBool(true), nil
+				}
+				rv, err := r(t, row)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.NewBool(rv.Truthy()), nil
+			}, nil
+		}
+		return func(t *table.Table, row int) (value.Value, error) {
+			lv, err := l(t, row)
+			if err != nil {
+				return value.Null, err
+			}
+			rv, err := r(t, row)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Apply(op, lv, rv)
+		}, nil
+	case *Un:
+		x, err := compileNode(n.X, sch)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(t *table.Table, row int) (value.Value, error) {
+			xv, err := x(t, row)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.ApplyUnary(op, xv)
+		}, nil
+	case *Call:
+		f, ok := LookupFunc(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown function %q", n.Name)
+		}
+		args := make([]evalFn, len(n.Args))
+		for i, a := range n.Args {
+			fn, err := compileNode(a, sch)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = fn
+		}
+		return func(t *table.Table, row int) (value.Value, error) {
+			vals := make([]value.Value, len(args))
+			for i, fn := range args {
+				v, err := fn(t, row)
+				if err != nil {
+					return value.Null, err
+				}
+				vals[i] = v
+			}
+			return f.Eval(vals)
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unknown node %T", e)
+}
+
+// EvalBatch evaluates the expression over every row of t, returning a
+// column of length t.NumRows(). Numeric binary operations over plain
+// int64/float64 columns take a vectorized fast path; everything else
+// falls back to the row evaluator.
+func (c *Compiled) EvalBatch(t *table.Table) (*table.Column, error) {
+	if col, ok, err := evalVectorized(c.root, c.sch, t); err != nil || ok {
+		return col, err
+	}
+	out := table.NewColumn(nonNullKind(c.kind), t.NumRows())
+	for row := 0; row < t.NumRows(); row++ {
+		v, err := c.prog(t, row)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// nonNullKind maps the static NULL kind (e.g. a bare NULL literal) to a
+// concrete column kind for materialization.
+func nonNullKind(k value.Kind) value.Kind {
+	if k == value.KindNull {
+		return value.KindInt64
+	}
+	return k
+}
+
+// evalVectorized handles the hot patterns Col op Col and Col op Const for
+// arithmetic and comparisons over null-free numeric columns. ok=false
+// means "not vectorizable here" and the caller falls back.
+func evalVectorized(e Expr, sch schema.Schema, t *table.Table) (*table.Column, bool, error) {
+	b, isBin := e.(*Bin)
+	if !isBin || b.Op.Logical() {
+		return nil, false, nil
+	}
+	lc, lok := operandFloats(b.L, sch, t)
+	rc, rok := operandFloats(b.R, sch, t)
+	if !lok || !rok {
+		return nil, false, nil
+	}
+	n := t.NumRows()
+	if b.Op.Arithmetic() {
+		out := make([]float64, n)
+		switch b.Op {
+		case value.OpAdd:
+			for i := 0; i < n; i++ {
+				out[i] = lc.at(i) + rc.at(i)
+			}
+		case value.OpSub:
+			for i := 0; i < n; i++ {
+				out[i] = lc.at(i) - rc.at(i)
+			}
+		case value.OpMul:
+			for i := 0; i < n; i++ {
+				out[i] = lc.at(i) * rc.at(i)
+			}
+		case value.OpDiv:
+			for i := 0; i < n; i++ {
+				out[i] = lc.at(i) / rc.at(i)
+			}
+		default:
+			return nil, false, nil
+		}
+		// Only float results are vectorized; integer arithmetic keeps
+		// exact semantics through the row path.
+		if lc.isInt && rc.isInt {
+			return nil, false, nil
+		}
+		return table.FloatColumn(out), true, nil
+	}
+	out := make([]bool, n)
+	switch b.Op {
+	case value.OpEq:
+		for i := 0; i < n; i++ {
+			out[i] = lc.at(i) == rc.at(i)
+		}
+	case value.OpNe:
+		for i := 0; i < n; i++ {
+			out[i] = lc.at(i) != rc.at(i)
+		}
+	case value.OpLt:
+		for i := 0; i < n; i++ {
+			out[i] = lc.at(i) < rc.at(i)
+		}
+	case value.OpLe:
+		for i := 0; i < n; i++ {
+			out[i] = lc.at(i) <= rc.at(i)
+		}
+	case value.OpGt:
+		for i := 0; i < n; i++ {
+			out[i] = lc.at(i) > rc.at(i)
+		}
+	case value.OpGe:
+		for i := 0; i < n; i++ {
+			out[i] = lc.at(i) >= rc.at(i)
+		}
+	default:
+		return nil, false, nil
+	}
+	return table.BoolColumn(out), true, nil
+}
+
+// vecOperand is a numeric operand for the vectorized path: either a
+// null-free column or a scalar constant.
+type vecOperand struct {
+	ints   []int64
+	floats []float64
+	konst  float64
+	isInt  bool
+}
+
+func (v *vecOperand) at(i int) float64 {
+	if v.ints != nil {
+		return float64(v.ints[i])
+	}
+	if v.floats != nil {
+		return v.floats[i]
+	}
+	return v.konst
+}
+
+func operandFloats(e Expr, sch schema.Schema, t *table.Table) (*vecOperand, bool) {
+	switch n := e.(type) {
+	case *Const:
+		f, ok := n.Val.AsFloat()
+		if !ok {
+			return nil, false
+		}
+		return &vecOperand{konst: f, isInt: n.Val.Kind() == value.KindInt64}, true
+	case *Col:
+		i := sch.IndexOf(n.Name)
+		if i < 0 || i >= t.NumCols() {
+			return nil, false
+		}
+		col := t.Col(i)
+		if col.HasNulls() {
+			return nil, false
+		}
+		switch col.Kind() {
+		case value.KindInt64:
+			return &vecOperand{ints: col.Ints(), isInt: true}, true
+		case value.KindFloat64:
+			return &vecOperand{floats: col.Floats()}, true
+		}
+	}
+	return nil, false
+}
+
+// EvalConst evaluates a constant expression (no column references).
+func EvalConst(e Expr) (value.Value, error) {
+	c, err := Compile(e, schema.Schema{})
+	if err != nil {
+		return value.Null, err
+	}
+	return c.Eval(table.Empty(schema.Schema{}), 0)
+}
+
+// FoldConstants rewrites e bottom-up, replacing constant subtrees with
+// their values. Functions are assumed pure (the registry contains no
+// impure functions).
+func FoldConstants(e Expr) Expr {
+	return Rewrite(e, func(x Expr) Expr {
+		switch n := x.(type) {
+		case *Bin:
+			lc, lok := n.L.(*Const)
+			rc, rok := n.R.(*Const)
+			if lok && rok {
+				if v, err := value.Apply(n.Op, lc.Val, rc.Val); err == nil {
+					return &Const{Val: v}
+				}
+			}
+			// Boolean identities: true && x => x, false || x => x, etc.
+			if lok && lc.Val.Kind() == value.KindBool {
+				switch {
+				case n.Op == value.OpAnd && lc.Val.Bool():
+					return n.R
+				case n.Op == value.OpAnd && !lc.Val.Bool():
+					return CBool(false)
+				case n.Op == value.OpOr && !lc.Val.Bool():
+					return n.R
+				case n.Op == value.OpOr && lc.Val.Bool():
+					return CBool(true)
+				}
+			}
+			if rok && rc.Val.Kind() == value.KindBool {
+				switch {
+				case n.Op == value.OpAnd && rc.Val.Bool():
+					return n.L
+				case n.Op == value.OpOr && !rc.Val.Bool():
+					return n.L
+				}
+			}
+		case *Un:
+			if xc, ok := n.X.(*Const); ok {
+				if v, err := value.ApplyUnary(n.Op, xc.Val); err == nil {
+					return &Const{Val: v}
+				}
+			}
+		case *Call:
+			allConst := true
+			vals := make([]value.Value, len(n.Args))
+			for i, a := range n.Args {
+				c, ok := a.(*Const)
+				if !ok {
+					allConst = false
+					break
+				}
+				vals[i] = c.Val
+			}
+			if allConst {
+				if f, ok := LookupFunc(n.Name); ok {
+					if len(vals) >= f.MinArgs && (f.MaxArgs < 0 || len(vals) <= f.MaxArgs) {
+						if v, err := f.Eval(vals); err == nil {
+							return &Const{Val: v}
+						}
+					}
+				}
+			}
+		}
+		return x
+	})
+}

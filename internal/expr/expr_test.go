@@ -1,0 +1,310 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+func demoSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "a", Kind: value.KindInt64},
+		schema.Attribute{Name: "b", Kind: value.KindFloat64},
+		schema.Attribute{Name: "s", Kind: value.KindString},
+		schema.Attribute{Name: "ok", Kind: value.KindBool},
+	)
+}
+
+func demoTable() *table.Table {
+	sch := demoSchema()
+	b := table.NewBuilder(sch, 3)
+	b.MustAppend(value.NewInt(1), value.NewFloat(1.5), value.NewString("x"), value.NewBool(true))
+	b.MustAppend(value.NewInt(2), value.NewFloat(-2), value.NewString("yy"), value.NewBool(false))
+	b.MustAppend(value.NewInt(3), value.Null, value.NewString(""), value.NewBool(true))
+	return b.Build()
+}
+
+func TestInferKinds(t *testing.T) {
+	sch := demoSchema()
+	cases := []struct {
+		e    Expr
+		want value.Kind
+	}{
+		{CInt(1), value.KindInt64},
+		{Column("b"), value.KindFloat64},
+		{Add(Column("a"), CInt(2)), value.KindInt64},
+		{Add(Column("a"), Column("b")), value.KindFloat64},
+		{Gt(Column("a"), CInt(0)), value.KindBool},
+		{And(Column("ok"), CBool(true)), value.KindBool},
+		{NewCall("sqrt", Column("a")), value.KindFloat64},
+		{NewCall("len", Column("s")), value.KindInt64},
+		{NewCall("if", Column("ok"), CInt(1), CInt(2)), value.KindInt64},
+		{IsNull(Column("b")), value.KindBool},
+	}
+	for _, c := range cases {
+		got, err := InferKind(c.e, sch)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: inferred %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	sch := demoSchema()
+	bad := []Expr{
+		Column("missing"),
+		Add(Column("s"), CInt(1)),
+		And(Column("a"), CBool(true)),
+		NewCall("nosuchfn", CInt(1)),
+		NewCall("sqrt"),                          // arity
+		NewCall("if", CInt(1), CInt(2), CInt(3)), // non-bool condition
+	}
+	for _, e := range bad {
+		if _, err := InferKind(e, sch); err == nil {
+			t.Errorf("%s: expected type error", e)
+		}
+	}
+}
+
+func TestEvalRowAndBatchAgree(t *testing.T) {
+	tab := demoTable()
+	exprs := []Expr{
+		Add(Column("a"), CInt(10)),
+		Mul(Column("b"), CFloat(2)),
+		Gt(Column("a"), CInt(1)),
+		And(Gt(Column("a"), CInt(0)), Column("ok")),
+		NewCall("coalesce", Column("b"), CFloat(0)),
+		NewCall("upper", Column("s")),
+		NewCall("if", Column("ok"), CStr("yes"), CStr("no")),
+		IsNull(Column("b")),
+		Neg(Column("a")),
+	}
+	for _, e := range exprs {
+		c, err := Compile(e, tab.Schema())
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		batch, err := c.EvalBatch(tab)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		for row := 0; row < tab.NumRows(); row++ {
+			single, err := c.Eval(tab, row)
+			if err != nil {
+				t.Fatalf("%s row %d: %v", e, row, err)
+			}
+			if !value.Equal(single, batch.Value(row)) {
+				t.Fatalf("%s row %d: row eval %v, batch %v", e, row, single, batch.Value(row))
+			}
+		}
+	}
+}
+
+// Property: the vectorized fast path agrees with the row evaluator on
+// random numeric data.
+func TestVectorizedAgreesProperty(t *testing.T) {
+	sch := schema.New(
+		schema.Attribute{Name: "x", Kind: value.KindFloat64},
+		schema.Attribute{Name: "y", Kind: value.KindFloat64},
+	)
+	e := Mul(Add(Column("x"), CFloat(1)), Column("y"))
+	cmp := Gt(Column("x"), Column("y"))
+	f := func(xs []float64) bool {
+		n := len(xs) / 2
+		if n == 0 {
+			return true
+		}
+		tab := table.MustNew(sch, []*table.Column{
+			table.FloatColumn(xs[:n]),
+			table.FloatColumn(xs[n : 2*n]),
+		})
+		for _, ex := range []Expr{e, cmp} {
+			c, err := Compile(ex, sch)
+			if err != nil {
+				return false
+			}
+			batch, err := c.EvalBatch(tab)
+			if err != nil {
+				return false
+			}
+			for row := 0; row < n; row++ {
+				single, err := c.Eval(tab, row)
+				if err != nil {
+					return false
+				}
+				if !value.Equal(single, batch.Value(row)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// (a > 0) || (1/0 ... ) — the right side would yield NULL, but ||
+	// short-circuits on true.
+	tab := demoTable()
+	e := Or(Gt(Column("a"), CInt(0)), Gt(Div(CInt(1), CInt(0)), CInt(0)))
+	c := MustCompile(e, tab.Schema())
+	v, err := c.Eval(tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bool() {
+		t.Fatal("short-circuit or broken")
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want Expr
+	}{
+		{Add(CInt(2), CInt(3)), CInt(5)},
+		{Mul(CFloat(2), CFloat(4)), CFloat(8)},
+		{And(CBool(true), Column("ok")), Column("ok")},
+		{And(CBool(false), Column("ok")), CBool(false)},
+		{Or(CBool(false), Column("ok")), Column("ok")},
+		{Or(Column("ok"), CBool(false)), Column("ok")},
+		{NewCall("sqrt", CFloat(9)), CFloat(3)},
+		{Not(CBool(true)), CBool(false)},
+		{Add(Column("a"), CInt(0)), Add(Column("a"), CInt(0))}, // not folded (no identity rules)
+	}
+	for _, c := range cases {
+		got := FoldConstants(c.in)
+		if !Equal(got, c.want) {
+			t.Errorf("fold %s = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWalkRewriteCols(t *testing.T) {
+	e := And(Gt(Column("a"), CInt(1)), Or(Column("ok"), Eq(Column("s"), CStr("x"))))
+	if got := Cols(e); strings.Join(got, ",") != "a,ok,s" {
+		t.Fatalf("cols = %v", got)
+	}
+	renamed := RenameCols(e, map[string]string{"a": "alpha"})
+	if got := Cols(renamed); strings.Join(got, ",") != "alpha,ok,s" {
+		t.Fatalf("renamed cols = %v", got)
+	}
+	// Original untouched (immutability).
+	if got := Cols(e); strings.Join(got, ",") != "a,ok,s" {
+		t.Fatal("rewrite mutated the original")
+	}
+	count := 0
+	Walk(e, func(Expr) bool { count++; return true })
+	if count != 9 {
+		t.Fatalf("walk visited %d nodes", count)
+	}
+}
+
+func TestEqualAndHash(t *testing.T) {
+	a := Add(Column("x"), CInt(1))
+	b := Add(Column("x"), CInt(1))
+	c := Add(Column("x"), CInt(2))
+	if !Equal(a, b) || Equal(a, c) {
+		t.Fatal("Equal broken")
+	}
+	if Hash(a) != Hash(b) {
+		t.Fatal("hash of equal exprs differs")
+	}
+	if Equal(a, nil) || !Equal(nil, nil) {
+		t.Fatal("nil handling broken")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(Add(Column("x"), CInt(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(&Bin{Op: value.OpAdd, L: Column("x")}); err == nil {
+		t.Fatal("nil operand accepted")
+	}
+	if err := Validate(NewCall("frobnicate")); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if err := Validate(nil); err == nil {
+		t.Fatal("nil expr accepted")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	e := Or(Not(Column("ok")), Le(Column("a"), CInt(3)))
+	s := e.String()
+	for _, want := range []string{"!", "ok", "<=", "3", "||"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+	if IsNull(Column("b")).String() != "isnull(b)" {
+		t.Fatalf("isnull rendering: %s", IsNull(Column("b")).String())
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	run := func(name string, args ...value.Value) value.Value {
+		f, ok := LookupFunc(name)
+		if !ok {
+			t.Fatalf("missing function %s", name)
+		}
+		v, err := f.Eval(args)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return v
+	}
+	if v := run("abs", value.NewInt(-5)); v.Int() != 5 {
+		t.Error("abs int")
+	}
+	if v := run("min", value.NewInt(3), value.NewInt(1), value.NewInt(2)); v.Int() != 1 {
+		t.Error("min")
+	}
+	if v := run("max", value.NewFloat(1), value.NewFloat(9)); v.Float() != 9 {
+		t.Error("max")
+	}
+	if v := run("substr", value.NewString("hello"), value.NewInt(1), value.NewInt(3)); v.Str() != "ell" {
+		t.Error("substr")
+	}
+	if v := run("substr", value.NewString("hi"), value.NewInt(0), value.NewInt(99)); v.Str() != "hi" {
+		t.Error("substr clamp")
+	}
+	if v := run("contains", value.NewString("hello"), value.NewString("ell")); !v.Bool() {
+		t.Error("contains")
+	}
+	if v := run("int", value.NewString("42")); v.Int() != 42 {
+		t.Error("int cast")
+	}
+	if v := run("float", value.NewInt(2)); v.Float() != 2 {
+		t.Error("float cast")
+	}
+	if v := run("str", value.NewInt(7)); v.Str() != "7" {
+		t.Error("str cast")
+	}
+	if v := run("coalesce", value.Null, value.Null, value.NewInt(3)); v.Int() != 3 {
+		t.Error("coalesce")
+	}
+	if v := run("pow", value.NewInt(2), value.NewInt(10)); v.Float() != 1024 {
+		t.Error("pow")
+	}
+	if len(FuncNames()) < 15 {
+		t.Error("registry suspiciously small")
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	v, err := EvalConst(Mul(CInt(6), CInt(7)))
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("EvalConst = %v, %v", v, err)
+	}
+}

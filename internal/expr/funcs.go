@@ -1,0 +1,354 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nexus/internal/value"
+)
+
+// Func describes a registered scalar function: its arity bounds, a static
+// type-inference rule and a row-wise evaluator. The registry is fixed at
+// init time (no global mutation afterwards), so lookups are safe for
+// concurrent use.
+type Func struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 = variadic
+	Infer   func(args []value.Kind) (value.Kind, error)
+	Eval    func(args []value.Value) (value.Value, error)
+}
+
+var funcs = map[string]*Func{}
+
+func register(f *Func) {
+	if _, dup := funcs[f.Name]; dup {
+		panic("expr: duplicate function " + f.Name)
+	}
+	funcs[f.Name] = f
+}
+
+// LookupFunc returns the registered function with the given name.
+func LookupFunc(name string) (*Func, bool) {
+	f, ok := funcs[name]
+	return f, ok
+}
+
+// FuncNames returns the registered function names (unsorted).
+func FuncNames() []string {
+	out := make([]string, 0, len(funcs))
+	for n := range funcs {
+		out = append(out, n)
+	}
+	return out
+}
+
+func inferNumeric1(args []value.Kind) (value.Kind, error) {
+	k := args[0]
+	if !k.Numeric() && k != value.KindNull {
+		return value.KindNull, fmt.Errorf("numeric argument required, got %v", k)
+	}
+	return value.KindFloat64, nil
+}
+
+func numeric1(name string, fn func(float64) float64) *Func {
+	return &Func{
+		Name: name, MinArgs: 1, MaxArgs: 1,
+		Infer: inferNumeric1,
+		Eval: func(args []value.Value) (value.Value, error) {
+			if args[0].IsNull() {
+				return value.Null, nil
+			}
+			f, ok := args[0].AsFloat()
+			if !ok {
+				return value.Null, fmt.Errorf("%s: non-numeric argument %v", name, args[0].Kind())
+			}
+			return value.NewFloat(fn(f)), nil
+		},
+	}
+}
+
+func init() {
+	register(numeric1("sqrt", math.Sqrt))
+	register(numeric1("exp", math.Exp))
+	register(numeric1("log", math.Log))
+	register(numeric1("floor", math.Floor))
+	register(numeric1("ceil", math.Ceil))
+	register(numeric1("round", math.Round))
+	register(numeric1("sin", math.Sin))
+	register(numeric1("cos", math.Cos))
+
+	register(&Func{
+		Name: "abs", MinArgs: 1, MaxArgs: 1,
+		Infer: func(args []value.Kind) (value.Kind, error) {
+			k := args[0]
+			if !k.Numeric() && k != value.KindNull {
+				return value.KindNull, fmt.Errorf("numeric argument required, got %v", k)
+			}
+			if k == value.KindNull {
+				return value.KindFloat64, nil
+			}
+			return k, nil
+		},
+		Eval: func(args []value.Value) (value.Value, error) {
+			switch args[0].Kind() {
+			case value.KindNull:
+				return value.Null, nil
+			case value.KindInt64:
+				i := args[0].Int()
+				if i < 0 {
+					i = -i
+				}
+				return value.NewInt(i), nil
+			case value.KindFloat64:
+				return value.NewFloat(math.Abs(args[0].Float())), nil
+			}
+			return value.Null, fmt.Errorf("abs: non-numeric argument %v", args[0].Kind())
+		},
+	})
+
+	register(&Func{
+		Name: "pow", MinArgs: 2, MaxArgs: 2,
+		Infer: func(args []value.Kind) (value.Kind, error) { return value.KindFloat64, nil },
+		Eval: func(args []value.Value) (value.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() {
+				return value.Null, nil
+			}
+			a, ok1 := args[0].AsFloat()
+			b, ok2 := args[1].AsFloat()
+			if !ok1 || !ok2 {
+				return value.Null, fmt.Errorf("pow: non-numeric arguments")
+			}
+			return value.NewFloat(math.Pow(a, b)), nil
+		},
+	})
+
+	minmax := func(name string, want int) *Func {
+		return &Func{
+			Name: name, MinArgs: 2, MaxArgs: -1,
+			Infer: func(args []value.Kind) (value.Kind, error) {
+				k := value.KindNull
+				for _, a := range args {
+					if a == value.KindNull {
+						continue
+					}
+					if k == value.KindNull {
+						k = a
+					} else if k != a {
+						if k.Numeric() && a.Numeric() {
+							k = value.KindFloat64
+						} else {
+							return value.KindNull, fmt.Errorf("%s: mixed kinds %v and %v", name, k, a)
+						}
+					}
+				}
+				if k == value.KindNull {
+					k = value.KindFloat64
+				}
+				return k, nil
+			},
+			Eval: func(args []value.Value) (value.Value, error) {
+				best := value.Null
+				for _, a := range args {
+					if a.IsNull() {
+						continue
+					}
+					if best.IsNull() || value.Compare(a, best) == want {
+						best = a
+					}
+				}
+				return best, nil
+			},
+		}
+	}
+	register(minmax("min", -1))
+	register(minmax("max", +1))
+
+	register(&Func{
+		Name: "if", MinArgs: 3, MaxArgs: 3,
+		Infer: func(args []value.Kind) (value.Kind, error) {
+			if args[0] != value.KindBool && args[0] != value.KindNull {
+				return value.KindNull, fmt.Errorf("if: condition must be bool, got %v", args[0])
+			}
+			a, b := args[1], args[2]
+			switch {
+			case a == b:
+				return a, nil
+			case a == value.KindNull:
+				return b, nil
+			case b == value.KindNull:
+				return a, nil
+			case a.Numeric() && b.Numeric():
+				return value.KindFloat64, nil
+			}
+			return value.KindNull, fmt.Errorf("if: branch kinds differ: %v vs %v", a, b)
+		},
+		Eval: func(args []value.Value) (value.Value, error) {
+			if args[0].Truthy() {
+				return args[1], nil
+			}
+			return args[2], nil
+		},
+	})
+
+	register(&Func{
+		Name: "coalesce", MinArgs: 1, MaxArgs: -1,
+		Infer: func(args []value.Kind) (value.Kind, error) {
+			for _, a := range args {
+				if a != value.KindNull {
+					return a, nil
+				}
+			}
+			return value.KindNull, fmt.Errorf("coalesce: all arguments NULL-typed")
+		},
+		Eval: func(args []value.Value) (value.Value, error) {
+			for _, a := range args {
+				if !a.IsNull() {
+					return a, nil
+				}
+			}
+			return value.Null, nil
+		},
+	})
+
+	str1 := func(name string, fn func(string) string) *Func {
+		return &Func{
+			Name: name, MinArgs: 1, MaxArgs: 1,
+			Infer: func(args []value.Kind) (value.Kind, error) {
+				if args[0] != value.KindString && args[0] != value.KindNull {
+					return value.KindNull, fmt.Errorf("%s: string argument required, got %v", name, args[0])
+				}
+				return value.KindString, nil
+			},
+			Eval: func(args []value.Value) (value.Value, error) {
+				if args[0].IsNull() {
+					return value.Null, nil
+				}
+				return value.NewString(fn(args[0].Str())), nil
+			},
+		}
+	}
+	register(str1("lower", strings.ToLower))
+	register(str1("upper", strings.ToUpper))
+
+	register(&Func{
+		Name: "len", MinArgs: 1, MaxArgs: 1,
+		Infer: func(args []value.Kind) (value.Kind, error) {
+			if args[0] != value.KindString && args[0] != value.KindNull {
+				return value.KindNull, fmt.Errorf("len: string argument required, got %v", args[0])
+			}
+			return value.KindInt64, nil
+		},
+		Eval: func(args []value.Value) (value.Value, error) {
+			if args[0].IsNull() {
+				return value.Null, nil
+			}
+			return value.NewInt(int64(len(args[0].Str()))), nil
+		},
+	})
+
+	register(&Func{
+		Name: "substr", MinArgs: 3, MaxArgs: 3,
+		Infer: func(args []value.Kind) (value.Kind, error) { return value.KindString, nil },
+		Eval: func(args []value.Value) (value.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+				return value.Null, nil
+			}
+			s := args[0].Str()
+			lo, _ := args[1].AsInt()
+			n, _ := args[2].AsInt()
+			if lo < 0 {
+				lo = 0
+			}
+			if lo > int64(len(s)) {
+				lo = int64(len(s))
+			}
+			hi := lo + n
+			if hi > int64(len(s)) {
+				hi = int64(len(s))
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return value.NewString(s[lo:hi]), nil
+		},
+	})
+
+	register(&Func{
+		Name: "contains", MinArgs: 2, MaxArgs: 2,
+		Infer: func(args []value.Kind) (value.Kind, error) { return value.KindBool, nil },
+		Eval: func(args []value.Value) (value.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() {
+				return value.NewBool(false), nil
+			}
+			return value.NewBool(strings.Contains(args[0].Str(), args[1].Str())), nil
+		},
+	})
+
+	// Casts.
+	register(&Func{
+		Name: "int", MinArgs: 1, MaxArgs: 1,
+		Infer: func(args []value.Kind) (value.Kind, error) { return value.KindInt64, nil },
+		Eval: func(args []value.Value) (value.Value, error) {
+			switch args[0].Kind() {
+			case value.KindNull:
+				return value.Null, nil
+			case value.KindInt64:
+				return args[0], nil
+			case value.KindFloat64:
+				return value.NewInt(int64(args[0].Float())), nil
+			case value.KindBool:
+				if args[0].Bool() {
+					return value.NewInt(1), nil
+				}
+				return value.NewInt(0), nil
+			case value.KindString:
+				return value.Parse(value.KindInt64, args[0].Str())
+			}
+			return value.Null, fmt.Errorf("int: cannot cast %v", args[0].Kind())
+		},
+	})
+	register(&Func{
+		Name: "float", MinArgs: 1, MaxArgs: 1,
+		Infer: func(args []value.Kind) (value.Kind, error) { return value.KindFloat64, nil },
+		Eval: func(args []value.Value) (value.Value, error) {
+			switch args[0].Kind() {
+			case value.KindNull:
+				return value.Null, nil
+			case value.KindFloat64:
+				return args[0], nil
+			case value.KindInt64:
+				return value.NewFloat(float64(args[0].Int())), nil
+			case value.KindString:
+				return value.Parse(value.KindFloat64, args[0].Str())
+			}
+			return value.Null, fmt.Errorf("float: cannot cast %v", args[0].Kind())
+		},
+	})
+	register(&Func{
+		Name: "str", MinArgs: 1, MaxArgs: 1,
+		Infer: func(args []value.Kind) (value.Kind, error) { return value.KindString, nil },
+		Eval: func(args []value.Value) (value.Value, error) {
+			if args[0].IsNull() {
+				return value.Null, nil
+			}
+			if args[0].Kind() == value.KindString {
+				return args[0], nil
+			}
+			return value.NewString(args[0].String()), nil
+		},
+	})
+
+	register(&Func{
+		Name: "hash", MinArgs: 1, MaxArgs: -1,
+		Infer: func(args []value.Kind) (value.Kind, error) { return value.KindInt64, nil },
+		Eval: func(args []value.Value) (value.Value, error) {
+			h := uint64(14695981039346656037)
+			for _, a := range args {
+				h = (h ^ value.Hash(a)) * 1099511628211
+			}
+			return value.NewInt(int64(h)), nil
+		},
+	})
+}

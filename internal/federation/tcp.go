@@ -1,0 +1,180 @@
+package federation
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"nexus/internal/core"
+	"nexus/internal/provider"
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+// TCP is the socket transport: a client-side connection to one
+// nexus server (internal/server). One request is in flight per
+// connection at a time, guarded by a mutex — the coordinator executes
+// fragments sequentially anyway.
+type TCP struct {
+	name string
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+	hello  *wire.HelloInfo
+}
+
+var _ Transport = (*TCP)(nil)
+
+// DialTCP connects to a server and performs the hello exchange, learning
+// the provider's name, capabilities and datasets.
+func DialTCP(addr string) (*TCP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: dial %s: %w", addr, err)
+	}
+	t := &TCP{addr: addr, conn: conn}
+	if _, err := wire.WriteFrame(conn, wire.MsgHello, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if typ != wire.MsgHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("federation: server replied %v to hello", typ)
+	}
+	h, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t.name = h.Name
+	t.hello = &h
+	return t, nil
+}
+
+// Close shuts the connection.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+	}
+}
+
+// ProviderName implements Transport.
+func (t *TCP) ProviderName() string { return t.name }
+
+// PeerAddr implements Transport.
+func (t *TCP) PeerAddr() string { return t.addr }
+
+// Hello returns the server's hello info (capabilities, datasets).
+func (t *TCP) Hello() wire.HelloInfo { return *t.hello }
+
+// Capabilities reconstructs the remote provider's capability set.
+func (t *TCP) Capabilities() provider.Capabilities {
+	return provider.FromBits(t.hello.CapBits, t.hello.Kernels)
+}
+
+// call sends one frame and reads one reply, accounting bytes.
+func (t *TCP) call(msg wire.MsgType, payload []byte, m *Metrics) (wire.MsgType, []byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return 0, nil, fmt.Errorf("federation: transport %s closed", t.name)
+	}
+	out, err := wire.WriteFrame(t.conn, msg, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	typ, reply, in, err := wire.ReadFrame(t.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if m != nil {
+		m.ClientBytesOut += int64(out)
+		m.ClientBytesIn += int64(in)
+		m.RoundTrips++
+	}
+	return typ, reply, nil
+}
+
+// Execute implements Transport.
+func (t *TCP) Execute(plan core.Node, m *Metrics) (*table.Table, error) {
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	t.mu.Unlock()
+	typ, reply, err := t.call(wire.MsgExecute, wire.EncodeExecute(id, plan), m)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.MsgResult:
+		_, tab, err := wire.DecodeResult(reply)
+		return tab, err
+	case wire.MsgError:
+		_, msg, _ := wire.DecodeError(reply)
+		return nil, fmt.Errorf("federation: server %s: %s", t.name, msg)
+	}
+	return nil, fmt.Errorf("federation: server %s replied %v to execute", t.name, typ)
+}
+
+// ExecuteTo implements Transport: the remote server pushes the result to
+// the peer's address itself.
+func (t *TCP) ExecuteTo(plan core.Node, peer Transport, storeAs string, m *Metrics) error {
+	peerAddr := peer.PeerAddr()
+	if peerAddr == "" {
+		return fmt.Errorf("federation: peer %s has no dialable address", peer.ProviderName())
+	}
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	t.mu.Unlock()
+	typ, reply, err := t.call(wire.MsgExecuteTo, wire.EncodeExecuteTo(id, peerAddr, storeAs, plan), m)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case wire.MsgAck:
+		_, _, shipped, err := wire.DecodeAck(reply)
+		if err != nil {
+			return err
+		}
+		if m != nil {
+			m.PeerBytes += shipped
+		}
+		return nil
+	case wire.MsgError:
+		_, msg, _ := wire.DecodeError(reply)
+		return fmt.Errorf("federation: server %s: %s", t.name, msg)
+	}
+	return fmt.Errorf("federation: server %s replied %v to executeto", t.name, typ)
+}
+
+// Store implements Transport.
+func (t *TCP) Store(name string, tab *table.Table, m *Metrics) error {
+	typ, reply, err := t.call(wire.MsgStore, wire.EncodeStore(name, tab), m)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case wire.MsgAck:
+		return nil
+	case wire.MsgError:
+		_, msg, _ := wire.DecodeError(reply)
+		return fmt.Errorf("federation: server %s: %s", t.name, msg)
+	}
+	return fmt.Errorf("federation: server %s replied %v to store", t.name, typ)
+}
+
+// Drop implements Transport (best effort).
+func (t *TCP) Drop(name string, m *Metrics) {
+	_, _, _ = t.call(wire.MsgDrop, wire.EncodeDrop(name), m)
+}

@@ -1,0 +1,255 @@
+package lang
+
+import (
+	"strconv"
+
+	"nexus/internal/expr"
+	"nexus/internal/value"
+)
+
+// Scalar expression parsing with conventional precedence:
+//
+//	||  <  &&  <  comparisons  <  + -  <  * / %  <  unary - !  <  primary
+
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "&&") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And(l, r)
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]value.BinOp{
+	"==": value.OpEq, "!=": value.OpNe,
+	"<": value.OpLt, "<=": value.OpLe,
+	">": value.OpGt, ">=": value.OpGe,
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokPunct {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewBin(op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Add(l, r)
+		case p.accept(tokPunct, "-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Sub(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Mul(l, r)
+		case p.accept(tokPunct, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Div(l, r)
+		case p.accept(tokPunct, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBin(value.OpMod, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	switch {
+	case p.accept(tokPunct, "-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately for nicer plans.
+		if c, ok := x.(*expr.Const); ok {
+			switch c.Val.Kind() {
+			case value.KindInt64:
+				return expr.CInt(-c.Val.Int()), nil
+			case value.KindFloat64:
+				return expr.CFloat(-c.Val.Float()), nil
+			}
+		}
+		return expr.Neg(x), nil
+	case p.accept(tokPunct, "!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(x), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, wrap(t, err)
+		}
+		return expr.CInt(v), nil
+	case tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, wrap(t, err)
+		}
+		return expr.CFloat(v), nil
+	case tokString:
+		p.advance()
+		return expr.CStr(t.text), nil
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")", "closing )"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.advance()
+			return expr.CBool(true), nil
+		case "false":
+			p.advance()
+			return expr.CBool(false), nil
+		case "null":
+			p.advance()
+			return expr.C(value.Null), nil
+		}
+		p.advance()
+		// isnull/isnotnull are unary operators with call syntax.
+		if (t.text == "isnull" || t.text == "isnotnull") && p.at(tokPunct, "(") {
+			p.advance()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")", "closing )"); err != nil {
+				return nil, err
+			}
+			op := value.OpIsNull
+			if t.text == "isnotnull" {
+				op = value.OpIsNotNull
+			}
+			return &expr.Un{Op: op, X: x}, nil
+		}
+		// Function call?
+		if p.at(tokPunct, "(") {
+			if _, ok := expr.LookupFunc(t.text); !ok {
+				return nil, wrap(t, errUnknownFunc(t.text))
+			}
+			p.advance()
+			var args []expr.Expr
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokPunct, ")", "closing )"); err != nil {
+				return nil, err
+			}
+			return expr.NewCall(t.text, args...), nil
+		}
+		// Qualified column a.b?
+		name := t.text
+		if p.accept(tokPunct, ".") {
+			f, err := p.expect(tokIdent, "", "field name")
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + f.text
+		}
+		return expr.Column(name), nil
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}
+
+type errUnknownFunc string
+
+func (e errUnknownFunc) Error() string { return "unknown function " + strconv.Quote(string(e)) }

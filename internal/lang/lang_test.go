@@ -1,0 +1,309 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/exec"
+	"nexus/internal/engines/graph"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+)
+
+func testCatalog() (Catalog, map[string]*table.Table) {
+	ds := map[string]*table.Table{
+		"sales":     datagen.Sales(1, 500, 30, 10),
+		"customers": datagen.Customers(2, 30),
+		"grid":      datagen.Grid(3, 8, 8),
+		"A":         datagen.Matrix(4, 6, 5, "i", "k"),
+		"B":         datagen.Matrix(5, 5, 7, "k", "j"),
+		"edges":     datagen.UniformGraph(6, 40, 120),
+		"vertices":  graph.VerticesTable(40),
+	}
+	cat := CatalogFunc(func(name string) (schema.Schema, bool) {
+		t, ok := ds[name]
+		if !ok {
+			return schema.Schema{}, false
+		}
+		return t.Schema(), true
+	})
+	return cat, ds
+}
+
+func compileAndRun(t *testing.T, src string) *table.Table {
+	t.Helper()
+	cat, ds := testCatalog()
+	plan, err := Compile(src, cat)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	rt := &exec.Runtime{Datasets: func(n string) (*table.Table, bool) {
+		tab, ok := ds[n]
+		return tab, ok
+	}}
+	out, err := rt.Run(plan)
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return out
+}
+
+func TestCompileSimplePipeline(t *testing.T) {
+	out := compileAndRun(t, `
+		load sales
+		| where qty > 3 && region == "EU"
+		| extend total = price * qty
+		| select sale_id, total
+		| sort total desc
+		| limit 5
+	`)
+	if out.NumCols() != 2 {
+		t.Fatalf("got %d columns", out.NumCols())
+	}
+	if out.NumRows() > 5 {
+		t.Fatalf("limit ignored: %d rows", out.NumRows())
+	}
+	totals := out.ColByName("total").Floats()
+	for i := 1; i < len(totals); i++ {
+		if totals[i] > totals[i-1] {
+			t.Fatal("not sorted desc")
+		}
+	}
+}
+
+func TestCompileJoinGroup(t *testing.T) {
+	out := compileAndRun(t, `
+		load sales
+		| join (load customers) on cust_id == cust_id
+		| group by segment agg rev = sum(price * qty), n = count()
+		| sort rev desc
+	`)
+	if out.NumRows() == 0 || out.NumRows() > 3 {
+		t.Fatalf("got %d segments", out.NumRows())
+	}
+	if !out.Schema().Has("rev") || !out.Schema().Has("n") {
+		t.Fatalf("schema %v", out.Schema())
+	}
+}
+
+func TestCompileJoinVariants(t *testing.T) {
+	for _, kw := range []string{"inner", "left", "semi", "anti"} {
+		src := "load sales | join " + kw + " (load customers) on cust_id == cust_id"
+		cat, _ := testCatalog()
+		plan, err := Compile(src, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", kw, err)
+		}
+		j := findNode(plan, core.KJoin)
+		if j == nil {
+			t.Fatalf("%s: no join node", kw)
+		}
+	}
+}
+
+func TestCompileArrayPipeline(t *testing.T) {
+	out := compileAndRun(t, `
+		load grid
+		| window x(1,1), y(1,1) agg m = avg(v)
+		| dice x[1:7], y[1:7]
+	`)
+	if out.NumRows() != 36 {
+		t.Fatalf("diced window: %d rows, want 36", out.NumRows())
+	}
+	if !out.Schema().Has("m") {
+		t.Fatalf("schema %v", out.Schema())
+	}
+}
+
+func TestCompileSliceReduceFill(t *testing.T) {
+	out := compileAndRun(t, `load grid | slice x = 3`)
+	if out.NumRows() != 8 || out.Schema().Has("x") {
+		t.Fatalf("slice: %d rows, schema %v", out.NumRows(), out.Schema())
+	}
+	out = compileAndRun(t, `load grid | reduce over y agg s = sum(v)`)
+	if out.NumRows() != 8 {
+		t.Fatalf("reduce: %d rows", out.NumRows())
+	}
+	out = compileAndRun(t, `load grid | dice x[0:2], y[0:2] | fill 0.0`)
+	if out.NumRows() != 4 {
+		t.Fatalf("fill: %d rows", out.NumRows())
+	}
+}
+
+func TestCompileMatMul(t *testing.T) {
+	out := compileAndRun(t, `load A | matmul (load B) as c`)
+	if out.NumRows() != 6*7 {
+		t.Fatalf("matmul: %d cells", out.NumRows())
+	}
+	if !out.Schema().Has("c") {
+		t.Fatalf("schema %v", out.Schema())
+	}
+}
+
+func TestCompileSetOps(t *testing.T) {
+	out := compileAndRun(t, `
+		(load sales | select region)
+		| union (load sales | select region)
+	`)
+	if out.NumRows() != len(datagen.Regions) {
+		t.Fatalf("union dedup: %d rows", out.NumRows())
+	}
+	out = compileAndRun(t, `
+		(load sales | select region) | except (load sales | select region | limit 0)
+	`)
+	if out.NumRows() != len(datagen.Regions) {
+		t.Fatalf("except: %d rows", out.NumRows())
+	}
+}
+
+func TestCompileIterate(t *testing.T) {
+	// x converges toward 10 halving the gap each step.
+	out := compileAndRun(t, `
+		iterate s
+		from (load sales | limit 1 | select sale_id | extend x = 0.0 | select sale_id, x)
+		step ($s | extend x2 = (x + 10.0) / 2.0 | select sale_id, x2 | rename x2 as x)
+		until linf(x) <= 0.000001 max 80
+	`)
+	if out.NumRows() != 1 {
+		t.Fatalf("iterate rows: %d", out.NumRows())
+	}
+	x := out.ColByName("x").Floats()[0]
+	if x < 9.99 || x > 10.01 {
+		t.Fatalf("did not converge: %g", x)
+	}
+}
+
+func TestCompileLet(t *testing.T) {
+	out := compileAndRun(t, `
+		let big = (load sales | where qty > 5)
+		in ($big | union all $big)
+	`)
+	single := compileAndRun(t, `load sales | where qty > 5`)
+	if out.NumRows() != 2*single.NumRows() {
+		t.Fatalf("let union: %d vs %d", out.NumRows(), single.NumRows())
+	}
+}
+
+func TestCompilePageRankSurface(t *testing.T) {
+	src := `
+		let deg = (load edges | group by src agg deg = count())
+		in iterate state
+		from (load vertices | extend rank = 0.025)
+		step ($state
+			| join left $deg on v == src
+			| extend share = rank / float(deg)
+			| where isnotnull(deg) || isnull(deg)
+			| select v, rank, share
+			| join (load edges) on v == src
+			| group by dst agg insum = sum(share)
+			| join left ($state) on dst == v
+			| extend nrank = 0.00375 + 0.85 * coalesce(insum, 0.0)
+			| select v, nrank
+			| rename nrank as rank
+		)
+		until l1(rank) <= 0.0000001 max 40
+	`
+	// A simplified PageRank (no dangling redistribution) — exercises
+	// iterate + let + joins in the surface syntax. 1/40 = 0.025.
+	cat, ds := testCatalog()
+	plan, err := Compile(src, cat)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rt := &exec.Runtime{Datasets: func(n string) (*table.Table, bool) {
+		tab, ok := ds[n]
+		return tab, ok
+	}}
+	out, err := rt.Run(plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.NumRows() == 0 {
+		t.Fatal("no ranks")
+	}
+}
+
+func TestCompileExprPrecedence(t *testing.T) {
+	out := compileAndRun(t, `load sales | extend z = 2 + 3 * 4 | select z | limit 1`)
+	if got := out.Value(0, 0).Int(); got != 14 {
+		t.Fatalf("2+3*4 = %d", got)
+	}
+	out = compileAndRun(t, `load sales | extend z = (2 + 3) * 4 | select z | limit 1`)
+	if got := out.Value(0, 0).Int(); got != 20 {
+		t.Fatalf("(2+3)*4 = %d", got)
+	}
+	out = compileAndRun(t, `load sales | extend z = -qty | select z | limit 1`)
+	if out.Value(0, 0).Int() > 0 {
+		t.Fatal("unary minus broken")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cat, _ := testCatalog()
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"load nope", "unknown dataset"},
+		{"load sales | where nocol > 1", "nocol"},
+		{"load sales | frobnicate", "unknown pipeline stage"},
+		{"load sales | select", "column name"},
+		{"load sales | extend x = f00bar(1)", "unknown function"},
+		{"load sales |", "stage"},
+		{"$undefined", "unbound variable"},
+		{`load sales | where region == "unterminated`, "unterminated string"},
+		{"load sales extra", "unexpected"},
+		{"load sales | group by region agg x = nosuch(qty)", "unknown aggregate"},
+		{"load grid | slice q = 3", "slice"},
+		{"load sales | join (load customers) on cust_id == nocol", "nocol"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src, cat)
+		if err == nil {
+			t.Errorf("%q compiled, expected error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	cat, _ := testCatalog()
+	_, err := Compile("load sales\n| where qty >", cat)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error %q lacks line info", err)
+	}
+}
+
+func findNode(plan core.Node, kind core.OpKind) core.Node {
+	var found core.Node
+	core.Walk(plan, func(n core.Node) bool {
+		if n.Kind() == kind {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func TestCompileWindowMultiDim(t *testing.T) {
+	out := compileAndRun(t, `load grid | window x(1,1) agg s = sum(v)`)
+	if out.NumRows() != 64 {
+		t.Fatalf("window rows: %d", out.NumRows())
+	}
+	// Lexer details.
+	if _, err := tokenize(`a "x\ty" 1.5e-3 <= != $v # comment`); err != nil {
+		t.Fatal(err)
+	}
+	if !isLetterOnly("abc") || isLetterOnly("a1") {
+		t.Fatal("isLetterOnly broken")
+	}
+}

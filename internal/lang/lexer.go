@@ -1,0 +1,261 @@
+// Package lang implements the nexus surface language: a pipeline-style
+// query syntax compiled directly to the Big Data algebra. The paper notes
+// that "client languages are free to provide syntactic sugar to provide a
+// more declarative specification of queries" over the algebraic core —
+// this package is that sugar. Example:
+//
+//	load sales
+//	| where qty > 3 && region == "EU"
+//	| extend total = price * qty
+//	| join (load customers) on cust_id == cust_id
+//	| group by segment agg rev = sum(total), n = count()
+//	| sort rev desc
+//	| limit 10
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // operators and punctuation
+	tokVar   // $name
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	case tokVar:
+		return "$" + t.text
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer scans the input into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// multi-character operators, longest first.
+var operators = []string{
+	"<=", ">=", "==", "!=", "&&", "||",
+	"|", "(", ")", ",", "=", "<", ">", "+", "-", "*", "/", "%", "!", "[", "]", ":", ".",
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.off < len(l.src); i++ {
+		if l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		case strings.HasPrefix(l.src[l.off:], "//"):
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	tok := token{pos: l.off, line: l.line, col: l.col}
+	if l.off >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := l.src[l.off]
+
+	// Variables: $name.
+	if c == '$' {
+		l.advance(1)
+		start := l.off
+		for l.off < len(l.src) && isIdentChar(l.src[l.off]) {
+			l.advance(1)
+		}
+		if l.off == start {
+			return tok, l.errf("expected name after $")
+		}
+		tok.kind = tokVar
+		tok.text = l.src[start:l.off]
+		return tok, nil
+	}
+
+	// Strings: double-quoted with \ escapes.
+	if c == '"' {
+		l.advance(1)
+		var b strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return tok, l.errf("unterminated string")
+			}
+			ch := l.src[l.off]
+			if ch == '"' {
+				l.advance(1)
+				break
+			}
+			if ch == '\\' {
+				if l.off+1 >= len(l.src) {
+					return tok, l.errf("unterminated escape")
+				}
+				esc := l.src[l.off+1]
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(esc)
+				default:
+					return tok, l.errf("unknown escape \\%c", esc)
+				}
+				l.advance(2)
+				continue
+			}
+			b.WriteByte(ch)
+			l.advance(1)
+		}
+		tok.kind = tokString
+		tok.text = b.String()
+		return tok, nil
+	}
+
+	// Numbers: integer or float (including exponent).
+	if c >= '0' && c <= '9' {
+		start := l.off
+		isFloat := false
+		for l.off < len(l.src) {
+			ch := l.src[l.off]
+			if ch >= '0' && ch <= '9' {
+				l.advance(1)
+				continue
+			}
+			if ch == '.' && !isFloat && l.off+1 < len(l.src) && l.src[l.off+1] >= '0' && l.src[l.off+1] <= '9' {
+				isFloat = true
+				l.advance(1)
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && l.off+1 < len(l.src) {
+				nxt := l.src[l.off+1]
+				if nxt == '+' || nxt == '-' || (nxt >= '0' && nxt <= '9') {
+					isFloat = true
+					l.advance(2)
+					continue
+				}
+			}
+			break
+		}
+		tok.text = l.src[start:l.off]
+		if isFloat {
+			tok.kind = tokFloat
+		} else {
+			tok.kind = tokInt
+		}
+		return tok, nil
+	}
+
+	// Identifiers and keywords.
+	if isIdentStart(c) {
+		start := l.off
+		for l.off < len(l.src) && isIdentChar(l.src[l.off]) {
+			l.advance(1)
+		}
+		tok.kind = tokIdent
+		tok.text = l.src[start:l.off]
+		return tok, nil
+	}
+
+	// Operators.
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.off:], op) {
+			l.advance(len(op))
+			tok.kind = tokPunct
+			tok.text = op
+			return tok, nil
+		}
+	}
+	return tok, l.errf("unexpected character %q", rune(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// tokenize scans the whole input.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// isLetterOnly reports whether s is purely letters (sanity helper for
+// keyword checks in the parser).
+func isLetterOnly(s string) bool {
+	for _, r := range s {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,946 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/value"
+)
+
+// Catalog resolves dataset names to schemas at compile time (the session
+// supplies its provider registry).
+type Catalog interface {
+	DatasetSchema(name string) (schema.Schema, bool)
+}
+
+// CatalogFunc adapts a function to the Catalog interface.
+type CatalogFunc func(name string) (schema.Schema, bool)
+
+// DatasetSchema implements Catalog.
+func (f CatalogFunc) DatasetSchema(name string) (schema.Schema, bool) { return f(name) }
+
+// Compile parses and compiles a surface-language query into an algebra
+// plan, resolving dataset schemas through the catalog.
+func Compile(src string, cat Catalog) (core.Node, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat, vars: map[string]schema.Schema{}}
+	n, err := p.parsePipeline()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %s after query", p.peek())
+	}
+	return n, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	cat  Catalog
+	vars map[string]schema.Schema
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, when
+// non-empty).
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// atKeyword matches an identifier keyword.
+func (p *parser) atKeyword(kw string) bool { return p.at(tokIdent, kw) }
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string, what string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %s, found %s", what, p.peek())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("lang: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// wrap annotates plan-construction errors with the position of tok.
+func wrap(tok token, err error) error {
+	return fmt.Errorf("lang: %d:%d: %w", tok.line, tok.col, err)
+}
+
+// parsePipeline parses: source ('|' stage)*.
+func (p *parser) parsePipeline() (core.Node, error) {
+	n, err := p.parseSource()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "|") {
+		n, err = p.parseStage(n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// parseSource parses a pipeline head: load, parenthesized pipeline,
+// variable, iterate or let.
+func (p *parser) parseSource() (core.Node, error) {
+	switch {
+	case p.atKeyword("load"):
+		tok := p.advance()
+		name, err := p.expect(tokIdent, "", "dataset name")
+		if err != nil {
+			return nil, err
+		}
+		sch, ok := p.cat.DatasetSchema(name.text)
+		if !ok {
+			return nil, wrap(tok, fmt.Errorf("unknown dataset %q", name.text))
+		}
+		n, err := core.NewScan(name.text, sch)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case p.at(tokPunct, "("):
+		p.advance()
+		n, err := p.parsePipeline()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")", "closing )"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case p.at(tokVar, ""):
+		tok := p.advance()
+		sch, ok := p.vars[tok.text]
+		if !ok {
+			return nil, wrap(tok, fmt.Errorf("unbound variable $%s", tok.text))
+		}
+		n, err := core.NewVar(tok.text, sch)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case p.atKeyword("iterate"):
+		return p.parseIterate()
+	case p.atKeyword("let"):
+		return p.parseLet()
+	}
+	return nil, p.errf("expected a source (load, parenthesized query, $var, iterate, let), found %s", p.peek())
+}
+
+// parseIterate parses:
+//
+//	iterate NAME from SOURCE step SOURCE [until metric(col) <= NUM] [max INT]
+func (p *parser) parseIterate() (core.Node, error) {
+	tok := p.advance() // iterate
+	name, err := p.expect(tokIdent, "", "loop variable name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "from", "'from'"); err != nil {
+		return nil, err
+	}
+	init, err := p.parseSource()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "step", "'step'"); err != nil {
+		return nil, err
+	}
+	// Bind the loop variable while compiling the body.
+	shadow, had := p.vars[name.text]
+	p.vars[name.text] = init.Schema()
+	body, err := p.parseSource()
+	if had {
+		p.vars[name.text] = shadow
+	} else {
+		delete(p.vars, name.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var conv *core.Convergence
+	maxIters := 100
+	for {
+		switch {
+		case p.atKeyword("until"):
+			p.advance()
+			mTok, err := p.expect(tokIdent, "", "convergence metric (l1, l2, linf, rowdelta)")
+			if err != nil {
+				return nil, err
+			}
+			metric, err := core.ParseMetric(mTok.text)
+			if err != nil {
+				return nil, wrap(mTok, err)
+			}
+			col := ""
+			if p.accept(tokPunct, "(") {
+				if !p.at(tokPunct, ")") {
+					cTok, err := p.expect(tokIdent, "", "convergence column")
+					if err != nil {
+						return nil, err
+					}
+					col = cTok.text
+				}
+				if _, err := p.expect(tokPunct, ")", "closing )"); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tokPunct, "<=", "'<='"); err != nil {
+				return nil, err
+			}
+			tol, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			conv = &core.Convergence{Metric: metric, Col: col, Tol: tol}
+		case p.atKeyword("max"):
+			p.advance()
+			nTok, err := p.expect(tokInt, "", "iteration bound")
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(nTok.text)
+			if err != nil {
+				return nil, wrap(nTok, err)
+			}
+			maxIters = v
+		default:
+			n, err := core.NewIterate(init, body, name.text, maxIters, conv)
+			if err != nil {
+				return nil, wrap(tok, err)
+			}
+			return n, nil
+		}
+	}
+}
+
+// parseLet parses: let NAME = SOURCE in SOURCE.
+func (p *parser) parseLet() (core.Node, error) {
+	tok := p.advance() // let
+	name, err := p.expect(tokIdent, "", "binding name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "=", "'='"); err != nil {
+		return nil, err
+	}
+	bound, err := p.parseSource()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "in", "'in'"); err != nil {
+		return nil, err
+	}
+	shadow, had := p.vars[name.text]
+	p.vars[name.text] = bound.Schema()
+	in, err := p.parseSource()
+	if had {
+		p.vars[name.text] = shadow
+	} else {
+		delete(p.vars, name.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n, err := core.NewLet(name.text, bound, in)
+	if err != nil {
+		return nil, wrap(tok, err)
+	}
+	return n, nil
+}
+
+// parseStage parses one pipe stage applied to the input plan.
+func (p *parser) parseStage(in core.Node) (core.Node, error) {
+	tok := p.peek()
+	if tok.kind != tokIdent {
+		return nil, p.errf("expected a pipeline stage, found %s", tok)
+	}
+	switch tok.text {
+	case "where":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewFilter(in, e)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "select":
+		p.advance()
+		cols, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewProject(in, cols)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "extend":
+		p.advance()
+		var defs []core.ColDef
+		for {
+			name, err := p.expect(tokIdent, "", "column name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "=", "'='"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			defs = append(defs, core.ColDef{Name: name.text, E: e})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		n, err := core.NewExtend(in, defs)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "rename":
+		p.advance()
+		var from, to []string
+		for {
+			f, err := p.expect(tokIdent, "", "column name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, "as", "'as'"); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokIdent, "", "new column name")
+			if err != nil {
+				return nil, err
+			}
+			from = append(from, f.text)
+			to = append(to, t.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		n, err := core.NewRename(in, from, to)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "join":
+		return p.parseJoin(in)
+	case "product":
+		p.advance()
+		right, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewProduct(in, right)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "group":
+		p.advance()
+		if _, err := p.expect(tokIdent, "by", "'by'"); err != nil {
+			return nil, err
+		}
+		keys, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "agg", "'agg'"); err != nil {
+			return nil, err
+		}
+		aggs, err := p.parseAggSpecs()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewGroupAgg(in, keys, aggs)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "agg":
+		p.advance()
+		aggs, err := p.parseAggSpecs()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewGroupAgg(in, nil, aggs)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "distinct":
+		p.advance()
+		n, err := core.NewDistinct(in)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "sort":
+		p.advance()
+		var specs []core.SortSpec
+		for {
+			c, err := p.expect(tokIdent, "", "sort column")
+			if err != nil {
+				return nil, err
+			}
+			desc := false
+			if p.atKeyword("desc") {
+				p.advance()
+				desc = true
+			} else if p.atKeyword("asc") {
+				p.advance()
+			}
+			specs = append(specs, core.SortSpec{Col: c.text, Desc: desc})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		n, err := core.NewSort(in, specs)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "limit":
+		p.advance()
+		nTok, err := p.expect(tokInt, "", "row count")
+		if err != nil {
+			return nil, err
+		}
+		count, _ := strconv.ParseInt(nTok.text, 10, 64)
+		offset := int64(0)
+		if p.atKeyword("offset") {
+			p.advance()
+			oTok, err := p.expect(tokInt, "", "offset")
+			if err != nil {
+				return nil, err
+			}
+			offset, _ = strconv.ParseInt(oTok.text, 10, 64)
+		}
+		n, err := core.NewLimit(in, count, offset)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "union":
+		p.advance()
+		all := false
+		if p.atKeyword("all") {
+			p.advance()
+			all = true
+		}
+		right, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewUnion(in, right, all)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "except":
+		p.advance()
+		right, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewExcept(in, right)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "intersect":
+		p.advance()
+		right, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewIntersect(in, right)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "asarray":
+		p.advance()
+		dims, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewAsArray(in, dims)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "dropdims":
+		p.advance()
+		n, err := core.NewDropDims(in)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "slice":
+		p.advance()
+		dim, err := p.expect(tokIdent, "", "dimension name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "=", "'='"); err != nil {
+			return nil, err
+		}
+		at, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewSliceDim(in, dim.text, at)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "dice":
+		p.advance()
+		var bounds []core.DimBound
+		for {
+			dim, err := p.expect(tokIdent, "", "dimension name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "[", "'['"); err != nil {
+				return nil, err
+			}
+			lo, err := p.parseSignedInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ":", "':'"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseSignedInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]", "']'"); err != nil {
+				return nil, err
+			}
+			bounds = append(bounds, core.DimBound{Dim: dim.text, Lo: lo, Hi: hi})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		n, err := core.NewDice(in, bounds)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "transpose":
+		p.advance()
+		perm, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewTranspose(in, perm)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "window":
+		return p.parseWindow(in)
+	case "reduce":
+		p.advance()
+		if _, err := p.expect(tokIdent, "over", "'over'"); err != nil {
+			return nil, err
+		}
+		dims, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "agg", "'agg'"); err != nil {
+			return nil, err
+		}
+		aggs, err := p.parseAggSpecs()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewReduceDims(in, dims, aggs)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "fill":
+		p.advance()
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewFill(in, v)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "shift":
+		p.advance()
+		dim, err := p.expect(tokIdent, "", "dimension name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "by", "'by'"); err != nil {
+			return nil, err
+		}
+		off, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.NewShift(in, dim.text, off)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "matmul":
+		p.advance()
+		right, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		as := "v"
+		if p.atKeyword("as") {
+			p.advance()
+			a, err := p.expect(tokIdent, "", "output attribute name")
+			if err != nil {
+				return nil, err
+			}
+			as = a.text
+		}
+		n, err := core.NewMatMul(in, right, as)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	case "elemwise":
+		p.advance()
+		opTok := p.advance()
+		var op value.BinOp
+		switch opTok.text {
+		case "+":
+			op = value.OpAdd
+		case "-":
+			op = value.OpSub
+		case "*":
+			op = value.OpMul
+		case "/":
+			op = value.OpDiv
+		default:
+			return nil, wrap(opTok, fmt.Errorf("elemwise operator must be one of + - * /, found %s", opTok))
+		}
+		right, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		as := "v"
+		if p.atKeyword("as") {
+			p.advance()
+			a, err := p.expect(tokIdent, "", "output attribute name")
+			if err != nil {
+				return nil, err
+			}
+			as = a.text
+		}
+		n, err := core.NewElemWise(in, right, op, as)
+		if err != nil {
+			return nil, wrap(tok, err)
+		}
+		return n, nil
+	}
+	return nil, p.errf("unknown pipeline stage %q", tok.text)
+}
+
+func (p *parser) parseJoin(in core.Node) (core.Node, error) {
+	tok := p.advance() // join
+	typ := core.JoinInner
+	switch {
+	case p.atKeyword("inner"):
+		p.advance()
+	case p.atKeyword("left"):
+		p.advance()
+		typ = core.JoinLeft
+	case p.atKeyword("semi"):
+		p.advance()
+		typ = core.JoinSemi
+	case p.atKeyword("anti"):
+		p.advance()
+		typ = core.JoinAnti
+	}
+	right, err := p.parseSource()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "on", "'on'"); err != nil {
+		return nil, err
+	}
+	var lk, rk []string
+	for {
+		l, err := p.expect(tokIdent, "", "left key column")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "==", "'=='"); err != nil {
+			return nil, err
+		}
+		r, err := p.expect(tokIdent, "", "right key column")
+		if err != nil {
+			return nil, err
+		}
+		lk = append(lk, l.text)
+		rk = append(rk, r.text)
+		if !p.accept(tokPunct, "&&") {
+			break
+		}
+	}
+	var residual expr.Expr
+	if p.atKeyword("where") {
+		p.advance()
+		residual, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	n, err := core.NewJoin(in, right, typ, lk, rk, residual)
+	if err != nil {
+		return nil, wrap(tok, err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseWindow(in core.Node) (core.Node, error) {
+	tok := p.advance() // window
+	var extents []core.DimExtent
+	for {
+		dim, err := p.expect(tokIdent, "", "dimension name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+			return nil, err
+		}
+		before, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ",", "','"); err != nil {
+			return nil, err
+		}
+		after, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+			return nil, err
+		}
+		if before < 0 {
+			before = -before
+		}
+		extents = append(extents, core.DimExtent{Dim: dim.text, Before: before, After: after})
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "agg", "'agg'"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "", "output name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "=", "'='"); err != nil {
+		return nil, err
+	}
+	fnTok, err := p.expect(tokIdent, "", "aggregate function")
+	if err != nil {
+		return nil, err
+	}
+	fn, err := core.ParseAggFunc(fnTok.text)
+	if err != nil {
+		return nil, wrap(fnTok, err)
+	}
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return nil, err
+	}
+	arg, err := p.expect(tokIdent, "", "attribute name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+		return nil, err
+	}
+	n, err := core.NewWindow(in, extents, fn, arg.text, name.text)
+	if err != nil {
+		return nil, wrap(tok, err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseAggSpecs() ([]core.AggSpec, error) {
+	var out []core.AggSpec
+	for {
+		name, err := p.expect(tokIdent, "", "aggregate output name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "=", "'='"); err != nil {
+			return nil, err
+		}
+		fnTok, err := p.expect(tokIdent, "", "aggregate function")
+		if err != nil {
+			return nil, err
+		}
+		fn, err := core.ParseAggFunc(fnTok.text)
+		if err != nil {
+			return nil, wrap(fnTok, err)
+		}
+		if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+			return nil, err
+		}
+		var arg expr.Expr
+		if p.at(tokPunct, "*") {
+			p.advance()
+		} else if !p.at(tokPunct, ")") {
+			arg, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+			return nil, err
+		}
+		out = append(out, core.AggSpec{Func: fn, Arg: arg, As: name.text})
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.expect(tokIdent, "", "column name")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseSignedInt() (int64, error) {
+	neg := p.accept(tokPunct, "-")
+	t, err := p.expect(tokInt, "", "integer")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, wrap(t, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	neg := p.accept(tokPunct, "-")
+	t := p.peek()
+	if t.kind != tokInt && t.kind != tokFloat {
+		return 0, p.errf("expected a number, found %s", t)
+	}
+	p.advance()
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, wrap(t, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseLiteral() (value.Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Null, wrap(t, err)
+		}
+		return value.NewInt(v), nil
+	case t.kind == tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return value.Null, wrap(t, err)
+		}
+		return value.NewFloat(v), nil
+	case t.kind == tokString:
+		p.advance()
+		return value.NewString(t.text), nil
+	case t.kind == tokIdent && t.text == "true":
+		p.advance()
+		return value.NewBool(true), nil
+	case t.kind == tokIdent && t.text == "false":
+		p.advance()
+		return value.NewBool(false), nil
+	case t.kind == tokIdent && t.text == "null":
+		p.advance()
+		return value.Null, nil
+	case t.kind == tokPunct && t.text == "-":
+		p.advance()
+		inner, err := p.parseLiteral()
+		if err != nil {
+			return value.Null, err
+		}
+		switch inner.Kind() {
+		case value.KindInt64:
+			return value.NewInt(-inner.Int()), nil
+		case value.KindFloat64:
+			return value.NewFloat(-inner.Float()), nil
+		}
+		return value.Null, wrap(t, fmt.Errorf("cannot negate %v", inner.Kind()))
+	}
+	return value.Null, p.errf("expected a literal, found %s", t)
+}

@@ -1,0 +1,142 @@
+package planner
+
+import (
+	"nexus/internal/core"
+	"nexus/internal/provider"
+	"nexus/internal/schema"
+	"nexus/internal/value"
+)
+
+// Cardinality estimation: simple textbook heuristics over the catalog's
+// base-table row counts. The estimates only steer fragment placement
+// (which side of a ship edge moves), so relative order matters more than
+// absolute accuracy.
+const (
+	filterSelectivity = 0.33
+	equiJoinFanout    = 1.0 // |L⋈R| ≈ max(|L|,|R|) for key joins
+	groupReduction    = 0.1
+	distinctReduction = 0.5
+)
+
+// Estimator computes row and byte estimates for plans against a
+// registry's catalog.
+type Estimator struct {
+	reg *provider.Registry
+}
+
+// NewEstimator returns an estimator over the registry's datasets.
+func NewEstimator(reg *provider.Registry) *Estimator { return &Estimator{reg: reg} }
+
+// Rows estimates the output row count of a plan.
+func (e *Estimator) Rows(n core.Node) float64 {
+	switch x := n.(type) {
+	case *core.Scan:
+		if e.reg != nil {
+			if p, _, ok := e.reg.FindDataset(x.Dataset); ok {
+				for _, info := range p.Datasets() {
+					if info.Name == x.Dataset {
+						return float64(info.Rows)
+					}
+				}
+			}
+		}
+		return 1000
+	case *core.Literal:
+		return float64(x.Table.NumRows())
+	case *core.Var:
+		return 1000
+	case *core.Filter:
+		return e.Rows(x.Children()[0]) * filterSelectivity
+	case *core.Join:
+		l := e.Rows(x.Children()[0])
+		r := e.Rows(x.Children()[1])
+		switch x.Type {
+		case core.JoinSemi:
+			return l * 0.5
+		case core.JoinAnti:
+			return l * 0.5
+		case core.JoinLeft:
+			out := maxf(l, r) * equiJoinFanout
+			return maxf(out, l)
+		default:
+			return maxf(l, r) * equiJoinFanout
+		}
+	case *core.Product:
+		return e.Rows(x.Children()[0]) * e.Rows(x.Children()[1])
+	case *core.GroupAgg:
+		if len(x.Keys) == 0 {
+			return 1
+		}
+		return maxf(1, e.Rows(x.Children()[0])*groupReduction)
+	case *core.Distinct:
+		return maxf(1, e.Rows(x.Children()[0])*distinctReduction)
+	case *core.Limit:
+		in := e.Rows(x.Children()[0])
+		return minf(in, float64(x.N))
+	case *core.Union:
+		return e.Rows(x.Children()[0]) + e.Rows(x.Children()[1])
+	case *core.Except:
+		return e.Rows(x.Children()[0]) * 0.5
+	case *core.Intersect:
+		return minf(e.Rows(x.Children()[0]), e.Rows(x.Children()[1])) * 0.5
+	case *core.SliceDim:
+		return maxf(1, e.Rows(x.Children()[0])*0.1)
+	case *core.Dice:
+		return maxf(1, e.Rows(x.Children()[0])*0.25)
+	case *core.ReduceDims:
+		return maxf(1, e.Rows(x.Children()[0])*groupReduction)
+	case *core.MatMul:
+		// Output cells ≈ (left rows / k) * (right rows / k) with unknown
+		// k; use the geometric mean as a crude stand-in.
+		l := e.Rows(x.Children()[0])
+		r := e.Rows(x.Children()[1])
+		return maxf(1, (l*r)/(l+r+1))
+	case *core.Iterate:
+		return e.Rows(x.Children()[0])
+	case *core.Let:
+		return e.Rows(x.Children()[1])
+	}
+	if len(n.Children()) == 1 {
+		return e.Rows(n.Children()[0])
+	}
+	total := 0.0
+	for _, c := range n.Children() {
+		total += e.Rows(c)
+	}
+	return maxf(1, total)
+}
+
+// RowWidth estimates bytes per row for a schema.
+func RowWidth(s schema.Schema) float64 {
+	w := 0.0
+	for i := 0; i < s.Len(); i++ {
+		switch s.At(i).Kind {
+		case value.KindBool:
+			w += 1
+		case value.KindString:
+			w += 20
+		default:
+			w += 8
+		}
+	}
+	return w
+}
+
+// Bytes estimates the encoded size of a plan's output.
+func (e *Estimator) Bytes(n core.Node) float64 {
+	return e.Rows(n) * RowWidth(n.Schema())
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package planner
+
+import (
+	"nexus/internal/core"
+	"nexus/internal/engines/graph"
+	"nexus/internal/expr"
+	"nexus/internal/value"
+)
+
+// recognizeMatMul rewrites the relational encoding of matrix
+// multiplication back into the first-class MatMul node — the paper's
+// canonical intent-preservation example. The pattern is:
+//
+//	groupagg keys=[i, j] aggs=[sum(av * bv) as s]
+//	  over join A ⋈ B on A.k == B.k
+//
+// where i and av come from A, j and bv from B, and all of i, k, j are
+// int64. The rewrite produces
+//
+//	dropdims(rename(matmul(asarray(A, i, k), asarray(B, k, j)), v→s))
+//
+// whose schema is identical to the original aggregate's.
+func recognizeMatMul(plan core.Node) (core.Node, error) {
+	return core.Rewrite(plan, func(n core.Node) (core.Node, error) {
+		out, ok, err := tryMatMul(n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+		return n, nil
+	})
+}
+
+func tryMatMul(n core.Node) (core.Node, bool, error) {
+	ga, ok := n.(*core.GroupAgg)
+	if !ok || len(ga.Keys) != 2 || len(ga.Aggs) != 1 {
+		return nil, false, nil
+	}
+	spec := ga.Aggs[0]
+	if spec.Func != core.AggSum || spec.Arg == nil {
+		return nil, false, nil
+	}
+	mul, ok := spec.Arg.(*expr.Bin)
+	if !ok || mul.Op != value.OpMul {
+		return nil, false, nil
+	}
+	lcol, ok := mul.L.(*expr.Col)
+	if !ok {
+		return nil, false, nil
+	}
+	rcol, ok := mul.R.(*expr.Col)
+	if !ok {
+		return nil, false, nil
+	}
+	j, ok := ga.Children()[0].(*core.Join)
+	if !ok || j.Type != core.JoinInner || len(j.LeftKeys) != 1 || j.Residual != nil {
+		return nil, false, nil
+	}
+	left, right := j.Children()[0], j.Children()[1]
+	ls, rs := left.Schema(), right.Schema()
+	concat := ls.Concat(rs)
+
+	// Attribute each referenced name to a join side by concat position.
+	side := func(name string) (int, string) { // 0 = left, 1 = right, -1 = unknown
+		i := concat.IndexOf(name)
+		if i < 0 {
+			return -1, ""
+		}
+		if i < ls.Len() {
+			return 0, ls.At(i).Name
+		}
+		return 1, rs.At(i - ls.Len()).Name
+	}
+
+	iSide, iName := side(ga.Keys[0])
+	jSide, jName := side(ga.Keys[1])
+	aSide, aName := side(lcol.Name)
+	bSide, bName := side(rcol.Name)
+	// Normalize: i from left, j from right; value factors one per side.
+	if iSide == 1 && jSide == 0 {
+		iSide, jSide = jSide, iSide
+		iName, jName = jName, iName
+	}
+	if aSide == 1 && bSide == 0 {
+		aSide, bSide = bSide, aSide
+		aName, bName = bName, aName
+	}
+	if iSide != 0 || jSide != 1 || aSide != 0 || bSide != 1 {
+		return nil, false, nil
+	}
+	kLeft, kRight := j.LeftKeys[0], j.RightKeys[0]
+
+	// Dimensions must be int64 and distinct from the value columns.
+	for _, check := range []struct {
+		s    interface{ IndexOf(string) int }
+		name string
+	}{{ls, iName}, {ls, kLeft}, {rs, kRight}, {rs, jName}} {
+		if check.s.IndexOf(check.name) < 0 {
+			return nil, false, nil
+		}
+	}
+	if ls.At(ls.IndexOf(iName)).Kind != value.KindInt64 ||
+		ls.At(ls.IndexOf(kLeft)).Kind != value.KindInt64 ||
+		rs.At(rs.IndexOf(kRight)).Kind != value.KindInt64 ||
+		rs.At(rs.IndexOf(jName)).Kind != value.KindInt64 {
+		return nil, false, nil
+	}
+	if !ls.At(ls.IndexOf(aName)).Kind.Numeric() || !rs.At(rs.IndexOf(bName)).Kind.Numeric() {
+		return nil, false, nil
+	}
+	if iName == kLeft || jName == kRight {
+		return nil, false, nil
+	}
+
+	// Narrow both sides to (dim, dim, value) and tag dimensions. The
+	// right side's inner dimension is renamed to match the left's so the
+	// MatMul constructor sees a shared inner dimension.
+	lproj, err := core.NewProject(left, []string{iName, kLeft, aName})
+	if err != nil {
+		return nil, false, nil
+	}
+	la, err := core.NewAsArray(lproj, []string{iName, kLeft})
+	if err != nil {
+		return nil, false, nil
+	}
+	rproj, err := core.NewProject(right, []string{kRight, jName, bName})
+	if err != nil {
+		return nil, false, nil
+	}
+	rin := core.Node(rproj)
+	if kRight != kLeft {
+		if rproj.Schema().Has(kLeft) {
+			return nil, false, nil // renaming would collide
+		}
+		rin, err = core.NewRename(rproj, []string{kRight}, []string{kLeft})
+		if err != nil {
+			return nil, false, nil
+		}
+	}
+	ra, err := core.NewAsArray(rin, []string{kLeft, jName})
+	if err != nil {
+		return nil, false, nil
+	}
+	mm, err := core.NewMatMul(la, ra, spec.As)
+	if err != nil {
+		return nil, false, nil
+	}
+	// MatMul's output dims are named after the operands' outer dims; the
+	// aggregate's schema is (i, j, s) untagged. Conform.
+	outNode := core.Node(mm)
+	mdims := mm.Schema().DimNames()
+	var from, to []string
+	if mdims[0] != ga.Keys[0] {
+		from = append(from, mdims[0])
+		to = append(to, ga.Keys[0])
+	}
+	if mdims[1] != ga.Keys[1] {
+		from = append(from, mdims[1])
+		to = append(to, ga.Keys[1])
+	}
+	if len(from) > 0 {
+		outNode, err = core.NewRename(outNode, from, to)
+		if err != nil {
+			return nil, false, nil
+		}
+	}
+	// Conform dimension tags to the aggregate's schema (grouping keys keep
+	// their tags, so the output may or may not be dimension-tagged).
+	if dims := ga.Schema().DimNames(); len(dims) > 0 {
+		outNode, err = core.NewAsArray(outNode, dims)
+	} else {
+		outNode, err = core.NewDropDims(outNode)
+	}
+	if err != nil {
+		return nil, false, nil
+	}
+	if !outNode.Schema().Equal(ga.Schema()) {
+		return nil, false, nil
+	}
+	return outNode, true, nil
+}
+
+// RecognizedKernel names the native kernel a plan subtree corresponds to,
+// if any; the partitioner prefers providers advertising it.
+func RecognizedKernel(n core.Node) (string, bool) {
+	if _, ok := graph.RecognizePageRank(n); ok {
+		return graph.KernelPageRank, true
+	}
+	if _, _, ok := graph.RecognizeConnectedComponents(n); ok {
+		return graph.KernelConnectedComponents, true
+	}
+	if _, _, _, ok := graph.RecognizeSSSP(n); ok {
+		return graph.KernelSSSP, true
+	}
+	return "", false
+}

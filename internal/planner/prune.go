@@ -1,0 +1,254 @@
+package planner
+
+import (
+	"nexus/internal/core"
+	"nexus/internal/expr"
+)
+
+// pruneColumns inserts Project nodes directly above scans whose columns
+// are not all needed, computed by a top-down required-column analysis.
+// Operators without a precise rule conservatively require everything
+// below them. Dimension attributes are always retained (array operators
+// downstream may address them positionally).
+//
+// The rewrite is verified: if the pruned plan's schema no longer matches
+// the original root schema, the original plan is returned unchanged.
+func pruneColumns(plan core.Node) (core.Node, error) {
+	req := map[string]bool{}
+	for _, n := range plan.Schema().Names() {
+		req[n] = true
+	}
+	out, err := prune(plan, req)
+	if err != nil || out == nil {
+		return plan, nil // pruning is best-effort; keep the original
+	}
+	if !out.Schema().Equal(plan.Schema()) {
+		return plan, nil
+	}
+	return out, nil
+}
+
+func allOf(n core.Node) map[string]bool {
+	req := map[string]bool{}
+	for _, name := range n.Schema().Names() {
+		req[name] = true
+	}
+	return req
+}
+
+func addCols(req map[string]bool, e expr.Expr) {
+	if e == nil {
+		return
+	}
+	for _, c := range expr.Cols(e) {
+		req[c] = true
+	}
+}
+
+// prune returns a rewritten node whose schema contains at least the
+// required columns, or nil to signal "cannot prune here" (caller keeps
+// the original subtree).
+func prune(n core.Node, req map[string]bool) (core.Node, error) {
+	switch x := n.(type) {
+	case *core.Scan:
+		var keep []string
+		sch := x.Schema()
+		for i := 0; i < sch.Len(); i++ {
+			a := sch.At(i)
+			if req[a.Name] || a.Dim {
+				keep = append(keep, a.Name)
+			}
+		}
+		if len(keep) == 0 || len(keep) == sch.Len() {
+			return n, nil
+		}
+		return core.NewProject(x, keep)
+	case *core.Filter:
+		creq := copyReq(req)
+		addCols(creq, x.Pred)
+		child, err := prune(x.Children()[0], creq)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		return core.NewFilter(child, x.Pred)
+	case *core.Project:
+		creq := map[string]bool{}
+		for _, c := range x.Cols {
+			creq[c] = true
+		}
+		child, err := prune(x.Children()[0], creq)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		return core.NewProject(child, x.Cols)
+	case *core.Extend:
+		creq := copyReq(req)
+		var defs []core.ColDef
+		for _, d := range x.Defs {
+			// Keep a definition only if its output is required.
+			if req[d.Name] {
+				defs = append(defs, d)
+				addCols(creq, d.E)
+			}
+			delete(creq, d.Name)
+		}
+		child, err := prune(x.Children()[0], creq)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		if len(defs) == 0 {
+			return child, nil
+		}
+		return core.NewExtend(child, defs)
+	case *core.Rename:
+		creq := map[string]bool{}
+		back := make(map[string]string, len(x.From))
+		for i := range x.From {
+			back[x.To[i]] = x.From[i]
+		}
+		for name := range req {
+			if orig, ok := back[name]; ok {
+				creq[orig] = true
+			} else {
+				creq[name] = true
+			}
+		}
+		child, err := prune(x.Children()[0], creq)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		// Renames of pruned-away columns must be dropped.
+		var from, to []string
+		for i := range x.From {
+			if child.Schema().Has(x.From[i]) {
+				from = append(from, x.From[i])
+				to = append(to, x.To[i])
+			}
+		}
+		if len(from) == 0 {
+			return child, nil
+		}
+		return core.NewRename(child, from, to)
+	case *core.GroupAgg:
+		creq := map[string]bool{}
+		for _, k := range x.Keys {
+			creq[k] = true
+		}
+		for _, a := range x.Aggs {
+			addCols(creq, a.Arg)
+		}
+		child, err := prune(x.Children()[0], creq)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		return core.NewGroupAgg(child, x.Keys, x.Aggs)
+	case *core.Sort:
+		creq := copyReq(req)
+		for _, s := range x.Specs {
+			creq[s.Col] = true
+		}
+		child, err := prune(x.Children()[0], creq)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		return core.NewSort(child, x.Specs)
+	case *core.Limit:
+		child, err := prune(x.Children()[0], req)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		return core.NewLimit(child, x.N, x.Offset)
+	case *core.Join:
+		return pruneJoin(x, req)
+	}
+	// Conservative: require every column of every child, recurse to reach
+	// scans under unhandled operators.
+	kids := n.Children()
+	if len(kids) == 0 {
+		return n, nil
+	}
+	newKids := make([]core.Node, len(kids))
+	changed := false
+	for i, c := range kids {
+		nc, err := prune(c, allOf(c))
+		if err != nil || nc == nil {
+			return nil, err
+		}
+		newKids[i] = nc
+		if nc != c {
+			changed = true
+		}
+	}
+	if !changed {
+		return n, nil
+	}
+	return n.WithChildren(newKids)
+}
+
+func pruneJoin(x *core.Join, req map[string]bool) (core.Node, error) {
+	left, right := x.Children()[0], x.Children()[1]
+	ls := left.Schema()
+	out := x.Schema()
+
+	lreq := map[string]bool{}
+	rreq := map[string]bool{}
+	for i := 0; i < out.Len(); i++ {
+		name := out.At(i).Name
+		if !req[name] {
+			continue
+		}
+		if i < ls.Len() {
+			lreq[name] = true
+		} else {
+			rreq[right.Schema().At(i-ls.Len()).Name] = true
+		}
+	}
+	for _, k := range x.LeftKeys {
+		lreq[k] = true
+	}
+	for _, k := range x.RightKeys {
+		rreq[k] = true
+	}
+	if x.Residual != nil {
+		// Residual references concat names; attribute them by position.
+		concat := ls.Concat(right.Schema())
+		for _, c := range expr.Cols(x.Residual) {
+			i := concat.IndexOf(c)
+			if i < 0 {
+				return nil, nil
+			}
+			if i < ls.Len() {
+				lreq[ls.At(i).Name] = true
+			} else {
+				rreq[right.Schema().At(i-ls.Len()).Name] = true
+			}
+		}
+	}
+	nl, err := prune(left, lreq)
+	if err != nil || nl == nil {
+		return nil, err
+	}
+	nr, err := prune(right, rreq)
+	if err != nil || nr == nil {
+		return nil, err
+	}
+	nj, err := core.NewJoin(nl, nr, x.Type, x.LeftKeys, x.RightKeys, x.Residual)
+	if err != nil {
+		return nil, nil // suffix drift or residual breakage: give up here
+	}
+	// Every required output column must survive with the same name.
+	for name := range req {
+		if !nj.Schema().Has(name) {
+			return nil, nil
+		}
+	}
+	return nj, nil
+}
+
+func copyReq(req map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(req))
+	for k, v := range req {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,459 @@
+// Package planner implements the optimization and federation layer over
+// the Big Data algebra: semantics-preserving rewrites (constant folding,
+// filter pushdown, projection pruning, limit pushdown), intent
+// recognition (recovering MatMul from its join+aggregate encoding, and
+// routing recognized iterate kernels to providers that implement them
+// natively), cardinality/byte estimation, and capability-driven
+// partitioning of a plan into per-provider fragments connected by ship
+// edges.
+package planner
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+)
+
+// Options selects which optimizations run; the ablation experiment (E8)
+// toggles them individually.
+type Options struct {
+	Fold          bool // constant-fold scalar expressions
+	Pushdown      bool // push filters toward scans, merge adjacent filters
+	Prune         bool // prune unused columns above scans
+	PushLimit     bool // push limits through width-preserving operators
+	IntentMatMul  bool // recognize join+group-sum as MatMul
+	IntentKernels bool // prefer providers with native kernels for recognized iterates
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() Options {
+	return Options{Fold: true, Pushdown: true, Prune: true, PushLimit: true, IntentMatMul: true, IntentKernels: true}
+}
+
+// NoOptions disables every optimization (the ablation baseline).
+func NoOptions() Options { return Options{} }
+
+// Optimize applies the enabled rewrites and returns the new plan. The
+// input plan is never mutated.
+//
+// When IntentKernels is enabled, subtrees recognized as native kernels
+// (PageRank, connected components, SSSP) are shielded from the other
+// rewrites: pushdown and pruning would reshape the canonical loop bodies
+// and obscure the very intent the engines recognize — the failure mode
+// the paper's third desideratum warns about. The subtrees are swapped for
+// placeholder scans during rewriting and restored afterwards.
+func Optimize(plan core.Node, opts Options) (core.Node, error) {
+	var err error
+	var shielded []core.Node
+	if opts.IntentKernels {
+		plan, shielded, err = shieldKernels(plan)
+		if err != nil {
+			return nil, fmt.Errorf("planner: shield: %w", err)
+		}
+	}
+	if opts.Fold {
+		plan, err = foldConstants(plan)
+		if err != nil {
+			return nil, fmt.Errorf("planner: fold: %w", err)
+		}
+	}
+	if opts.Pushdown {
+		plan, err = pushdownFilters(plan)
+		if err != nil {
+			return nil, fmt.Errorf("planner: pushdown: %w", err)
+		}
+	}
+	if opts.PushLimit {
+		plan, err = pushdownLimits(plan)
+		if err != nil {
+			return nil, fmt.Errorf("planner: limit pushdown: %w", err)
+		}
+	}
+	if opts.IntentMatMul {
+		plan, err = recognizeMatMul(plan)
+		if err != nil {
+			return nil, fmt.Errorf("planner: intent: %w", err)
+		}
+	}
+	if opts.Prune {
+		plan, err = pruneColumns(plan)
+		if err != nil {
+			return nil, fmt.Errorf("planner: prune: %w", err)
+		}
+	}
+	if len(shielded) > 0 {
+		plan, err = restoreKernels(plan, shielded)
+		if err != nil {
+			return nil, fmt.Errorf("planner: restore: %w", err)
+		}
+	}
+	return plan, nil
+}
+
+// kernelPlaceholder names the i-th shielded subtree's stand-in scan.
+func kernelPlaceholder(i int) string { return fmt.Sprintf("__kernel_%d", i) }
+
+// shieldKernels replaces recognized kernel subtrees with placeholder
+// scans carrying the subtree's schema, returning the shielded subtrees in
+// placeholder order.
+func shieldKernels(plan core.Node) (core.Node, []core.Node, error) {
+	var shielded []core.Node
+	out, err := core.Rewrite(plan, func(n core.Node) (core.Node, error) {
+		switch n.Kind() {
+		case core.KLet, core.KIterate:
+			if _, ok := RecognizedKernel(n); ok {
+				scan, err := core.NewScan(kernelPlaceholder(len(shielded)), n.Schema())
+				if err != nil {
+					return nil, err
+				}
+				shielded = append(shielded, n)
+				return scan, nil
+			}
+		}
+		return n, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, shielded, nil
+}
+
+// restoreKernels substitutes the shielded subtrees back for their
+// placeholder scans.
+func restoreKernels(plan core.Node, shielded []core.Node) (core.Node, error) {
+	return core.Rewrite(plan, func(n core.Node) (core.Node, error) {
+		s, ok := n.(*core.Scan)
+		if !ok {
+			return n, nil
+		}
+		for i, sub := range shielded {
+			if s.Dataset == kernelPlaceholder(i) {
+				return sub, nil
+			}
+		}
+		return n, nil
+	})
+}
+
+// foldConstants folds scalar expressions in every node that carries them.
+func foldConstants(plan core.Node) (core.Node, error) {
+	return core.Rewrite(plan, func(n core.Node) (core.Node, error) {
+		switch x := n.(type) {
+		case *core.Filter:
+			folded := expr.FoldConstants(x.Pred)
+			if expr.Equal(folded, x.Pred) {
+				return n, nil
+			}
+			// A predicate folded to TRUE removes the filter entirely.
+			if c, ok := folded.(*expr.Const); ok && c.Val.Truthy() {
+				return x.Children()[0], nil
+			}
+			return core.NewFilter(x.Children()[0], folded)
+		case *core.Extend:
+			defs := make([]core.ColDef, len(x.Defs))
+			changed := false
+			for i, d := range x.Defs {
+				folded := expr.FoldConstants(d.E)
+				defs[i] = core.ColDef{Name: d.Name, E: folded}
+				if !expr.Equal(folded, d.E) {
+					changed = true
+				}
+			}
+			if !changed {
+				return n, nil
+			}
+			return core.NewExtend(x.Children()[0], defs)
+		case *core.Join:
+			if x.Residual == nil {
+				return n, nil
+			}
+			folded := expr.FoldConstants(x.Residual)
+			if expr.Equal(folded, x.Residual) {
+				return n, nil
+			}
+			if c, ok := folded.(*expr.Const); ok && c.Val.Truthy() {
+				folded = nil
+			}
+			return core.NewJoin(x.Children()[0], x.Children()[1], x.Type, x.LeftKeys, x.RightKeys, folded)
+		}
+		return n, nil
+	})
+}
+
+// splitConjuncts flattens a predicate's top-level AND chain.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Bin); ok && b.Op.String() == "&&" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// refsWithin reports whether every column referenced by e resolves in the
+// schema of n.
+func refsWithin(e expr.Expr, n core.Node) bool {
+	for _, c := range expr.Cols(e) {
+		if !n.Schema().Has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// pushdownFilters repeatedly applies filter-motion rules until no rule
+// fires (each pass strictly moves filters downward or merges them, so
+// this terminates).
+func pushdownFilters(plan core.Node) (core.Node, error) {
+	for {
+		changed := false
+		next, err := core.Rewrite(plan, func(n core.Node) (core.Node, error) {
+			f, ok := n.(*core.Filter)
+			if !ok {
+				return n, nil
+			}
+			out, fired, err := pushFilterOnce(f)
+			if err != nil {
+				return nil, err
+			}
+			if fired {
+				changed = true
+				return out, nil
+			}
+			return n, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan = next
+		if !changed {
+			return plan, nil
+		}
+	}
+}
+
+func pushFilterOnce(f *core.Filter) (core.Node, bool, error) {
+	child := f.Children()[0]
+	switch c := child.(type) {
+	case *core.Filter:
+		merged, err := core.NewFilter(c.Children()[0], expr.And(c.Pred, f.Pred))
+		return merged, err == nil, err
+	case *core.Project:
+		inner, err := core.NewFilter(c.Children()[0], f.Pred)
+		if err != nil {
+			return nil, false, nil // predicate needs projected-away names; leave as is
+		}
+		out, err := core.NewProject(inner, c.Cols)
+		return out, err == nil, err
+	case *core.Rename:
+		// Translate predicate names back through the rename.
+		back := make(map[string]string, len(c.From))
+		for i := range c.From {
+			back[c.To[i]] = c.From[i]
+		}
+		pred := expr.RenameCols(f.Pred, back)
+		inner, err := core.NewFilter(c.Children()[0], pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		out, err := core.NewRename(inner, c.From, c.To)
+		return out, err == nil, err
+	case *core.Extend:
+		if !refsWithin(f.Pred, c.Children()[0]) {
+			return nil, false, nil // references computed columns
+		}
+		inner, err := core.NewFilter(c.Children()[0], f.Pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		out, err := core.NewExtend(inner, c.Defs)
+		return out, err == nil, err
+	case *core.Sort:
+		inner, err := core.NewFilter(c.Children()[0], f.Pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		out, err := core.NewSort(inner, c.Specs)
+		return out, err == nil, err
+	case *core.Union:
+		fl, err := core.NewFilter(c.Children()[0], f.Pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		fr, err := core.NewFilter(c.Children()[1], f.Pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		out, err := core.NewUnion(fl, fr, c.All)
+		return out, err == nil, err
+	case *core.Dice:
+		inner, err := core.NewFilter(c.Children()[0], f.Pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		out, err := core.NewDice(inner, c.Bounds)
+		return out, err == nil, err
+	case *core.AsArray:
+		inner, err := core.NewFilter(c.Children()[0], f.Pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		out, err := core.NewAsArray(inner, c.Dims)
+		return out, err == nil, err
+	case *core.DropDims:
+		inner, err := core.NewFilter(c.Children()[0], f.Pred)
+		if err != nil {
+			return nil, false, nil
+		}
+		out, err := core.NewDropDims(inner)
+		return out, err == nil, err
+	case *core.GroupAgg:
+		// Push only predicates over grouping keys.
+		keySet := map[string]bool{}
+		for _, k := range c.Keys {
+			keySet[k] = true
+		}
+		var pushable, rest []expr.Expr
+		for _, cj := range splitConjuncts(f.Pred) {
+			allKeys := true
+			for _, col := range expr.Cols(cj) {
+				if !keySet[col] {
+					allKeys = false
+					break
+				}
+			}
+			if allKeys {
+				pushable = append(pushable, cj)
+			} else {
+				rest = append(rest, cj)
+			}
+		}
+		if len(pushable) == 0 {
+			return nil, false, nil
+		}
+		inner, err := core.NewFilter(c.Children()[0], expr.AndAll(pushable...))
+		if err != nil {
+			return nil, false, nil
+		}
+		agg, err := core.NewGroupAgg(inner, c.Keys, c.Aggs)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(rest) == 0 {
+			return agg, true, nil
+		}
+		out, err := core.NewFilter(agg, expr.AndAll(rest...))
+		return out, err == nil, err
+	case *core.Join:
+		return pushFilterIntoJoin(f, c)
+	}
+	return nil, false, nil
+}
+
+// pushFilterIntoJoin distributes conjuncts to the join sides they cover.
+// For left joins only the left side is safe; semi/anti joins output left
+// columns only, so every conjunct is a left conjunct.
+func pushFilterIntoJoin(f *core.Filter, j *core.Join) (core.Node, bool, error) {
+	left, right := j.Children()[0], j.Children()[1]
+	ls := left.Schema()
+
+	// Map join-output names to (side, source name). Right-side names may
+	// have been suffixed by the concat disambiguation.
+	rightSource := map[string]string{}
+	outSchema := j.Schema()
+	for i := 0; i < outSchema.Len(); i++ {
+		name := outSchema.At(i).Name
+		if i >= ls.Len() && j.Type != core.JoinSemi && j.Type != core.JoinAnti {
+			rightSource[name] = right.Schema().At(i - ls.Len()).Name
+		}
+	}
+
+	var toLeft, toRight, rest []expr.Expr
+	for _, cj := range splitConjuncts(f.Pred) {
+		cols := expr.Cols(cj)
+		allLeft, allRight := true, true
+		for _, col := range cols {
+			if ls.IndexOf(col) < 0 {
+				allLeft = false
+			}
+			if _, ok := rightSource[col]; !ok {
+				allRight = false
+			}
+		}
+		switch {
+		case allLeft:
+			toLeft = append(toLeft, cj)
+		case allRight && j.Type == core.JoinInner:
+			toRight = append(toRight, expr.RenameCols(cj, rightSource))
+		default:
+			rest = append(rest, cj)
+		}
+	}
+	if len(toLeft) == 0 && len(toRight) == 0 {
+		return nil, false, nil
+	}
+	var err error
+	if len(toLeft) > 0 {
+		left, err = core.NewFilter(left, expr.AndAll(toLeft...))
+		if err != nil {
+			return nil, false, nil
+		}
+	}
+	if len(toRight) > 0 {
+		right, err = core.NewFilter(right, expr.AndAll(toRight...))
+		if err != nil {
+			return nil, false, nil
+		}
+	}
+	nj, err := core.NewJoin(left, right, j.Type, j.LeftKeys, j.RightKeys, j.Residual)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(rest) == 0 {
+		return nj, true, nil
+	}
+	out, err := core.NewFilter(nj, expr.AndAll(rest...))
+	return out, err == nil, err
+}
+
+// pushdownLimits moves limits through width-preserving unary operators so
+// servers materialize fewer rows.
+func pushdownLimits(plan core.Node) (core.Node, error) {
+	return core.Rewrite(plan, func(n core.Node) (core.Node, error) {
+		l, ok := n.(*core.Limit)
+		if !ok {
+			return n, nil
+		}
+		switch c := l.Children()[0].(type) {
+		case *core.Project:
+			inner, err := core.NewLimit(c.Children()[0], l.N, l.Offset)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewProject(inner, c.Cols)
+		case *core.Rename:
+			inner, err := core.NewLimit(c.Children()[0], l.N, l.Offset)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewRename(inner, c.From, c.To)
+		case *core.Extend:
+			inner, err := core.NewLimit(c.Children()[0], l.N, l.Offset)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewExtend(inner, c.Defs)
+		case *core.Limit:
+			// limit a offset b over limit c offset d composes.
+			lo := l.Offset + c.Offset
+			n1 := l.N
+			if c.N-l.Offset < n1 {
+				n1 = c.N - l.Offset
+			}
+			if n1 < 0 {
+				n1 = 0
+			}
+			return core.NewLimit(c.Children()[0], n1, lo)
+		}
+		return n, nil
+	})
+}

@@ -1,0 +1,260 @@
+// Package ref contains deliberately naive reference implementations —
+// nested-loop joins, row-at-a-time aggregation, O(n³) matrix multiply,
+// textbook PageRank — used as oracles by the property-based tests of the
+// real engines. Clarity beats speed everywhere in this package.
+package ref
+
+import (
+	"math"
+
+	"nexus/internal/core"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// NestedLoopJoin computes an inner equijoin by comparing every row pair.
+func NestedLoopJoin(left, right *table.Table, leftKeys, rightKeys []string) *table.Table {
+	lk := make([]int, len(leftKeys))
+	for i, k := range leftKeys {
+		lk[i] = left.Schema().IndexOf(k)
+	}
+	rk := make([]int, len(rightKeys))
+	for i, k := range rightKeys {
+		rk[i] = right.Schema().IndexOf(k)
+	}
+	outSchema := left.Schema().Concat(right.Schema())
+	b := table.NewBuilder(outSchema, 0)
+	row := make([]value.Value, 0, outSchema.Len())
+	for i := 0; i < left.NumRows(); i++ {
+		for j := 0; j < right.NumRows(); j++ {
+			match := true
+			for x := range lk {
+				if !value.Equal(left.Value(i, lk[x]), right.Value(j, rk[x])) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			row = row[:0]
+			row = left.Row(i, row)
+			row = right.Row(j, row)
+			b.MustAppend(row...)
+		}
+	}
+	return b.Build()
+}
+
+// GroupSum groups by one key column and sums one numeric column,
+// returning rows in first-seen order.
+func GroupSum(t *table.Table, key, arg string) map[string]float64 {
+	kp := t.Schema().IndexOf(key)
+	ap := t.Schema().IndexOf(arg)
+	out := map[string]float64{}
+	for i := 0; i < t.NumRows(); i++ {
+		k := t.Value(i, kp).String()
+		v, ok := t.Value(i, ap).AsFloat()
+		if !ok {
+			continue
+		}
+		out[k] += v
+	}
+	return out
+}
+
+// MatMulDense multiplies dense row-major matrices naively: C = A·B where
+// A is m×k and B is k×n.
+func MatMulDense(a []float64, b []float64, m, k, n int) []float64 {
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for x := 0; x < k; x++ {
+				s += a[i*k+x] * b[x*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// PageRank computes PageRank with uniform teleport over an adjacency
+// list, iterating a fixed number of times. Dangling-node mass is
+// redistributed uniformly. Returns the rank vector.
+func PageRank(adj [][]int, n int, damping float64, iters int) []float64 {
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if len(adj[u]) == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := rank[u] / float64(len(adj[u]))
+			for _, v := range adj[u] {
+				next[v] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for i := range next {
+			next[i] = base + damping*next[i]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// ConnectedComponents labels each vertex of an undirected graph with the
+// smallest vertex id in its component, via union-find.
+func ConnectedComponents(n int, edges [][2]int) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(e[0]), find(e[1])
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = find(i)
+	}
+	// Normalize to the minimum id in each component.
+	minOf := map[int]int{}
+	for i, r := range out {
+		if m, ok := minOf[r]; !ok || i < m {
+			minOf[r] = i
+		}
+	}
+	for i, r := range out {
+		out[i] = minOf[r]
+	}
+	return out
+}
+
+// SSSP computes single-source shortest hop counts via BFS; unreachable
+// vertices get math.Inf(1).
+func SSSP(adj [][]int, n, src int) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if math.IsInf(dist[v], 1) {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// WindowSum1D computes a centered moving sum over a dense 1-D series for
+// the window [i-before, i+after].
+func WindowSum1D(vals []float64, before, after int) []float64 {
+	out := make([]float64, len(vals))
+	for i := range vals {
+		var s float64
+		for j := i - before; j <= i+after; j++ {
+			if j >= 0 && j < len(vals) {
+				s += vals[j]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Distinct counts distinct rows of a table.
+func Distinct(t *table.Table) int {
+	seen := map[string]struct{}{}
+	buf := make([]byte, 0, 64)
+	for i := 0; i < t.NumRows(); i++ {
+		buf = buf[:0]
+		for c := 0; c < t.NumCols(); c++ {
+			buf = value.AppendKey(buf, t.Value(i, c))
+		}
+		seen[string(buf)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// AggOverAll applies one aggregate over a whole column, for oracle
+// comparisons.
+func AggOverAll(t *table.Table, col string, fn core.AggFunc) value.Value {
+	p := t.Schema().IndexOf(col)
+	var (
+		count    int64
+		sum      float64
+		best     = value.Null
+		distinct = map[string]struct{}{}
+	)
+	for i := 0; i < t.NumRows(); i++ {
+		v := t.Value(i, p)
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if f, ok := v.AsFloat(); ok {
+			sum += f
+		}
+		switch fn {
+		case core.AggMin:
+			if best.IsNull() || value.Less(v, best) {
+				best = v
+			}
+		case core.AggMax:
+			if best.IsNull() || value.Less(best, v) {
+				best = v
+			}
+		case core.AggCountDistinct:
+			distinct[string(value.AppendKey(nil, v))] = struct{}{}
+		}
+	}
+	switch fn {
+	case core.AggCount:
+		return value.NewInt(count)
+	case core.AggCountDistinct:
+		return value.NewInt(int64(len(distinct)))
+	case core.AggSum:
+		if count == 0 {
+			return value.Null
+		}
+		return value.NewFloat(sum)
+	case core.AggAvg:
+		if count == 0 {
+			return value.Null
+		}
+		return value.NewFloat(sum / float64(count))
+	case core.AggMin, core.AggMax:
+		return best
+	}
+	return value.Null
+}

@@ -1,0 +1,124 @@
+package ref
+
+import (
+	"math"
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// The oracles themselves are verified against tiny hand-computed cases —
+// the property tests elsewhere are only as trustworthy as this package.
+
+func TestNestedLoopJoinTiny(t *testing.T) {
+	sch := schema.New(schema.Attribute{Name: "k", Kind: value.KindInt64})
+	l := table.MustNew(sch, []*table.Column{table.IntColumn([]int64{1, 2, 2})})
+	r := table.MustNew(sch, []*table.Column{table.IntColumn([]int64{2, 2, 3})})
+	out := NestedLoopJoin(l, r, []string{"k"}, []string{"k"})
+	if out.NumRows() != 4 { // 2 left twos × 2 right twos
+		t.Fatalf("join rows = %d, want 4", out.NumRows())
+	}
+}
+
+func TestGroupSumTiny(t *testing.T) {
+	sch := schema.New(
+		schema.Attribute{Name: "g", Kind: value.KindString},
+		schema.Attribute{Name: "v", Kind: value.KindFloat64},
+	)
+	b := table.NewBuilder(sch, 3)
+	b.MustAppend(value.NewString("a"), value.NewFloat(1))
+	b.MustAppend(value.NewString("b"), value.NewFloat(2))
+	b.MustAppend(value.NewString("a"), value.NewFloat(3))
+	sums := GroupSum(b.Build(), "g", "v")
+	if sums[`"a"`] != 4 || sums[`"b"`] != 2 {
+		t.Fatalf("sums = %v", sums)
+	}
+}
+
+func TestMatMulDenseTiny(t *testing.T) {
+	// [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+	c := MatMulDense([]float64{1, 2, 3, 4}, []float64{5, 6, 7, 8}, 2, 2, 2)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPageRankTiny(t *testing.T) {
+	// A two-node cycle: ranks must be equal and sum to 1.
+	adj := [][]int{{1}, {0}}
+	r := PageRank(adj, 2, 0.85, 50)
+	if math.Abs(r[0]-0.5) > 1e-12 || math.Abs(r[1]-0.5) > 1e-12 {
+		t.Fatalf("cycle ranks = %v", r)
+	}
+	// A dangling sink: node 1 receives from 0 and redistributes.
+	adj = [][]int{{1}, {}}
+	r = PageRank(adj, 2, 0.85, 100)
+	if math.Abs(r[0]+r[1]-1) > 1e-9 {
+		t.Fatalf("ranks do not sum to 1: %v", r)
+	}
+	if r[1] <= r[0] {
+		t.Fatalf("sink should out-rank source: %v", r)
+	}
+}
+
+func TestConnectedComponentsTiny(t *testing.T) {
+	// 0-1, 2-3, 4 isolated.
+	labels := ConnectedComponents(5, [][2]int{{0, 1}, {2, 3}})
+	want := []int{0, 0, 2, 2, 4}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+}
+
+func TestSSSPTiny(t *testing.T) {
+	// 0→1→2, 3 unreachable.
+	adj := [][]int{{1}, {2}, {}, {}}
+	d := SSSP(adj, 4, 0)
+	if d[0] != 0 || d[1] != 1 || d[2] != 2 || !math.IsInf(d[3], 1) {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestWindowSum1DTiny(t *testing.T) {
+	got := WindowSum1D([]float64{1, 2, 3, 4}, 1, 1)
+	want := []float64{3, 6, 9, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDistinctAndAggOverAll(t *testing.T) {
+	sch := schema.New(schema.Attribute{Name: "x", Kind: value.KindInt64})
+	tab := table.MustNew(sch, []*table.Column{table.IntColumn([]int64{1, 1, 2, 3, 3, 3})})
+	if Distinct(tab) != 3 {
+		t.Fatal("distinct")
+	}
+	if v := AggOverAll(tab, "x", core.AggCount); v.Int() != 6 {
+		t.Fatal("count")
+	}
+	if v := AggOverAll(tab, "x", core.AggSum); v.Float() != 13 {
+		t.Fatal("sum")
+	}
+	if v := AggOverAll(tab, "x", core.AggMin); v.Int() != 1 {
+		t.Fatal("min")
+	}
+	if v := AggOverAll(tab, "x", core.AggMax); v.Int() != 3 {
+		t.Fatal("max")
+	}
+	if v := AggOverAll(tab, "x", core.AggAvg); math.Abs(v.Float()-13.0/6) > 1e-12 {
+		t.Fatal("avg")
+	}
+	if v := AggOverAll(tab, "x", core.AggCountDistinct); v.Int() != 3 {
+		t.Fatal("countd")
+	}
+}

@@ -1,0 +1,281 @@
+// Package schema defines the fused tabular/array data model the paper
+// proposes: ordinary table schemas in which zero or more attributes are
+// tagged as dimensions. A table with no dimension attributes is a plain
+// relation; a table whose dimension attributes form a dense integer box
+// is a multi-dimensional array; operators in the algebra are
+// dimension-aware and preserve or manipulate these tags.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"nexus/internal/value"
+)
+
+// Attribute is one column of a schema: a name, a scalar kind, and a
+// dimension tag. Dimension attributes must be int64 (array coordinates).
+type Attribute struct {
+	Name string
+	Kind value.Kind
+	Dim  bool
+}
+
+// String renders the attribute as name:kind, with a '#' marker on
+// dimensions (e.g. "i:int64#").
+func (a Attribute) String() string {
+	s := a.Name + ":" + a.Kind.String()
+	if a.Dim {
+		s += "#"
+	}
+	return s
+}
+
+// Schema is an ordered list of uniquely named attributes. The zero Schema
+// is empty and valid. Schemas are treated as immutable once built; all
+// transformation methods return new Schemas.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// New builds a schema from attributes. It panics when names collide or an
+// attribute is ill-formed, because schemas are constructed by code (the
+// algebra's type inference), not parsed from external input; use TryNew
+// for fallible construction.
+func New(attrs ...Attribute) Schema {
+	s, err := TryNew(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TryNew builds a schema from attributes, validating that names are
+// non-empty and unique and that dimension attributes are int64.
+func TryNew(attrs ...Attribute) (Schema, error) {
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a.Name == "" {
+			return Schema{}, fmt.Errorf("schema: attribute %d has empty name", i)
+		}
+		if !a.Kind.Valid() || a.Kind == value.KindNull {
+			return Schema{}, fmt.Errorf("schema: attribute %q has invalid kind %v", a.Name, a.Kind)
+		}
+		if a.Dim && a.Kind != value.KindInt64 {
+			return Schema{}, fmt.Errorf("schema: dimension attribute %q must be int64, got %v", a.Name, a.Kind)
+		}
+		if j, dup := idx[a.Name]; dup {
+			return Schema{}, fmt.Errorf("schema: duplicate attribute name %q (positions %d and %d)", a.Name, j, i)
+		}
+		idx[a.Name] = i
+	}
+	cp := make([]Attribute, len(attrs))
+	copy(cp, attrs)
+	return Schema{attrs: cp, index: idx}, nil
+}
+
+// Len returns the number of attributes.
+func (s Schema) Len() int { return len(s.attrs) }
+
+// At returns the i-th attribute.
+func (s Schema) At(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s Schema) Attrs() []Attribute {
+	cp := make([]Attribute, len(s.attrs))
+	copy(cp, s.attrs)
+	return cp
+}
+
+// IndexOf returns the position of the named attribute, or -1. A qualified
+// name "q.name" falls back to its unqualified suffix when the qualified
+// form is absent, so expressions written against a joined schema resolve.
+func (s Schema) IndexOf(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+		if i, ok := s.index[name[dot+1:]]; ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the named attribute exists.
+func (s Schema) Has(name string) bool { return s.IndexOf(name) >= 0 }
+
+// Names returns the attribute names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// DimIndexes returns the positions of dimension attributes in order.
+func (s Schema) DimIndexes() []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.Dim {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DimNames returns the names of dimension attributes in order.
+func (s Schema) DimNames() []string {
+	var out []string
+	for _, a := range s.attrs {
+		if a.Dim {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// NumDims returns the number of dimension attributes.
+func (s Schema) NumDims() int {
+	n := 0
+	for _, a := range s.attrs {
+		if a.Dim {
+			n++
+		}
+	}
+	return n
+}
+
+// Project returns the schema restricted to the given positions, in the
+// given order. It panics on out-of-range positions (caller bug).
+func (s Schema) Project(positions []int) Schema {
+	attrs := make([]Attribute, len(positions))
+	for i, p := range positions {
+		attrs[i] = s.attrs[p]
+	}
+	return New(attrs...)
+}
+
+// ProjectNames returns the schema restricted to the named attributes.
+func (s Schema) ProjectNames(names []string) (Schema, error) {
+	attrs := make([]Attribute, len(names))
+	for i, n := range names {
+		p := s.IndexOf(n)
+		if p < 0 {
+			return Schema{}, fmt.Errorf("schema: no attribute %q in %v", n, s)
+		}
+		attrs[i] = s.attrs[p]
+	}
+	return TryNew(attrs...)
+}
+
+// Concat appends the attributes of o to s, disambiguating name collisions
+// by suffixing the right-hand attribute with "_r", "_r1", ... . It is used
+// by join and product schema inference.
+func (s Schema) Concat(o Schema) Schema {
+	attrs := make([]Attribute, 0, len(s.attrs)+len(o.attrs))
+	attrs = append(attrs, s.attrs...)
+	used := make(map[string]bool, len(attrs)+len(o.attrs))
+	for _, a := range attrs {
+		used[a.Name] = true
+	}
+	for _, a := range o.attrs {
+		name := a.Name
+		for i := 0; used[name]; i++ {
+			if i == 0 {
+				name = a.Name + "_r"
+			} else {
+				name = fmt.Sprintf("%s_r%d", a.Name, i)
+			}
+		}
+		used[name] = true
+		a.Name = name
+		attrs = append(attrs, a)
+	}
+	return New(attrs...)
+}
+
+// Rename returns a schema with attributes renamed per the mapping. Names
+// absent from the mapping are kept. Renaming to a colliding name fails.
+func (s Schema) Rename(mapping map[string]string) (Schema, error) {
+	attrs := s.Attrs()
+	for i := range attrs {
+		if to, ok := mapping[attrs[i].Name]; ok {
+			attrs[i].Name = to
+		}
+	}
+	return TryNew(attrs...)
+}
+
+// WithDims returns a schema whose dimension tags are exactly the named
+// attributes. Tagging a non-int64 attribute fails.
+func (s Schema) WithDims(names ...string) (Schema, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			return Schema{}, fmt.Errorf("schema: no attribute %q to tag as dimension", n)
+		}
+		want[s.attrs[i].Name] = true
+	}
+	attrs := s.Attrs()
+	for i := range attrs {
+		attrs[i].Dim = want[attrs[i].Name]
+	}
+	return TryNew(attrs...)
+}
+
+// DropDims returns the schema with every dimension tag cleared.
+func (s Schema) DropDims() Schema {
+	attrs := s.Attrs()
+	for i := range attrs {
+		attrs[i].Dim = false
+	}
+	return New(attrs...)
+}
+
+// Equal reports whether two schemas have identical attribute lists
+// (names, kinds and dimension tags, in order).
+func (s Schema) Equal(o Schema) bool {
+	if len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualIgnoreDims reports whether two schemas match on names and kinds,
+// ignoring dimension tags. Portability checks use this: the same logical
+// result may come back dimension-tagged from an array engine.
+func (s Schema) EqualIgnoreDims(o Schema) bool {
+	if len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		a, b := s.attrs[i], o.attrs[i]
+		if a.Name != b.Name || a.Kind != b.Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as (a:int64#, b:float64, ...).
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"nexus/internal/value"
+)
+
+func demo() Schema {
+	return New(
+		Attribute{Name: "i", Kind: value.KindInt64, Dim: true},
+		Attribute{Name: "j", Kind: value.KindInt64, Dim: true},
+		Attribute{Name: "v", Kind: value.KindFloat64},
+		Attribute{Name: "tag", Kind: value.KindString},
+	)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := TryNew(Attribute{Name: "", Kind: value.KindInt64}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := TryNew(
+		Attribute{Name: "a", Kind: value.KindInt64},
+		Attribute{Name: "a", Kind: value.KindString},
+	); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := TryNew(Attribute{Name: "d", Kind: value.KindFloat64, Dim: true}); err == nil {
+		t.Error("non-int64 dimension accepted")
+	}
+	if _, err := TryNew(Attribute{Name: "n", Kind: value.KindNull}); err == nil {
+		t.Error("null-kind attribute accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := demo()
+	if s.IndexOf("v") != 2 || !s.Has("tag") || s.Has("missing") {
+		t.Fatal("lookup broken")
+	}
+	// Qualified names fall back to the suffix.
+	if s.IndexOf("t.v") != 2 {
+		t.Fatal("qualified fallback broken")
+	}
+	if got := s.Names(); strings.Join(got, ",") != "i,j,v,tag" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestDims(t *testing.T) {
+	s := demo()
+	if s.NumDims() != 2 {
+		t.Fatalf("NumDims = %d", s.NumDims())
+	}
+	if d := s.DimNames(); len(d) != 2 || d[0] != "i" || d[1] != "j" {
+		t.Fatalf("DimNames = %v", d)
+	}
+	if idx := s.DimIndexes(); idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("DimIndexes = %v", idx)
+	}
+	dropped := s.DropDims()
+	if dropped.NumDims() != 0 {
+		t.Fatal("DropDims kept tags")
+	}
+	retagged, err := dropped.WithDims("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retagged.NumDims() != 1 || retagged.DimNames()[0] != "j" {
+		t.Fatalf("WithDims = %v", retagged)
+	}
+	if _, err := dropped.WithDims("v"); err == nil {
+		t.Error("tagged a float column as dimension")
+	}
+	if _, err := dropped.WithDims("zzz"); err == nil {
+		t.Error("tagged a missing column")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := demo()
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.At(0).Name != "v" || p.At(1).Name != "i" {
+		t.Fatalf("project = %v", p)
+	}
+	pn, err := s.ProjectNames([]string{"tag", "i"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn.At(0).Name != "tag" || pn.At(1).Name != "i" || !pn.At(1).Dim {
+		t.Fatalf("projectNames = %v", pn)
+	}
+	if _, err := s.ProjectNames([]string{"nope"}); err == nil {
+		t.Error("projected missing column")
+	}
+}
+
+func TestConcatDisambiguation(t *testing.T) {
+	a := New(Attribute{Name: "x", Kind: value.KindInt64}, Attribute{Name: "y", Kind: value.KindInt64})
+	b := New(Attribute{Name: "x", Kind: value.KindString}, Attribute{Name: "z", Kind: value.KindBool})
+	c := a.Concat(b)
+	if c.Len() != 4 {
+		t.Fatalf("concat len = %d", c.Len())
+	}
+	names := c.Names()
+	if names[2] != "x_r" {
+		t.Fatalf("collision not suffixed: %v", names)
+	}
+	// Double collision: x and x_r both on the left.
+	a2 := New(Attribute{Name: "x", Kind: value.KindInt64}, Attribute{Name: "x_r", Kind: value.KindInt64})
+	c2 := a2.Concat(b)
+	if c2.Names()[2] != "x_r1" {
+		t.Fatalf("second-level collision: %v", c2.Names())
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := demo()
+	r, err := s.Rename(map[string]string{"v": "val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("val") || r.Has("v") {
+		t.Fatalf("rename = %v", r)
+	}
+	if _, err := s.Rename(map[string]string{"v": "tag"}); err == nil {
+		t.Error("rename collision accepted")
+	}
+}
+
+func TestEquality(t *testing.T) {
+	s := demo()
+	if !s.Equal(demo()) {
+		t.Fatal("equal schemas differ")
+	}
+	if s.Equal(s.DropDims()) {
+		t.Fatal("dim tags ignored by Equal")
+	}
+	if !s.EqualIgnoreDims(s.DropDims()) {
+		t.Fatal("EqualIgnoreDims too strict")
+	}
+	other := New(Attribute{Name: "i", Kind: value.KindInt64})
+	if s.Equal(other) || s.EqualIgnoreDims(other) {
+		t.Fatal("different schemas equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := demo().String()
+	for _, want := range []string{"i:int64#", "v:float64", "tag:string"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %s missing %s", s, want)
+		}
+	}
+}

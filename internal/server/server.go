@@ -1,0 +1,233 @@
+// Package server hosts any nexus provider behind the wire protocol on a
+// TCP listener. Servers accept whole plans (expression trees), store
+// shipped intermediates, and — the interoperation desideratum — push
+// results directly to peer servers on request, so multi-server plans
+// never route intermediates through the application tier.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"nexus/internal/provider"
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+// Server exposes one provider on a TCP address.
+type Server struct {
+	prov provider.Provider
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	// Logf receives diagnostics; defaults to log.Printf. Tests silence it.
+	Logf func(format string, args ...any)
+}
+
+// Serve starts a server for the provider on addr (e.g. "127.0.0.1:0").
+func Serve(prov provider.Provider, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s := &Server{prov: prov, ln: ln, conns: map[net.Conn]struct{}{}, Logf: log.Printf}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Provider returns the hosted provider.
+func (s *Server) Provider() provider.Provider { return s.prov }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.Logf("server %s: accept: %v", s.prov.Name(), err)
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		typ, payload, _, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.mu.Lock()
+				closed := s.closed
+				s.mu.Unlock()
+				if !closed {
+					s.Logf("server %s: read: %v", s.prov.Name(), err)
+				}
+			}
+			return
+		}
+		if err := s.dispatch(conn, typ, payload); err != nil {
+			s.Logf("server %s: %v", s.prov.Name(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, typ wire.MsgType, payload []byte) error {
+	switch typ {
+	case wire.MsgHello:
+		return s.handleHello(conn)
+	case wire.MsgExecute:
+		return s.handleExecute(conn, payload)
+	case wire.MsgExecuteTo:
+		return s.handleExecuteTo(conn, payload)
+	case wire.MsgStore:
+		return s.handleStore(conn, payload)
+	case wire.MsgDrop:
+		name, err := wire.DecodeDrop(payload)
+		if err != nil {
+			return err
+		}
+		s.prov.Drop(name)
+		_, err = wire.WriteFrame(conn, wire.MsgAck, wire.EncodeAck(0, 0, 0))
+		return err
+	case wire.MsgList:
+		return s.handleHello(conn)
+	}
+	return fmt.Errorf("unexpected message %v", typ)
+}
+
+func (s *Server) handleHello(conn net.Conn) error {
+	caps := s.prov.Capabilities()
+	h := wire.HelloInfo{
+		Name:    s.prov.Name(),
+		CapBits: caps.Bits(),
+		Kernels: caps.Kernels(),
+	}
+	for _, ds := range s.prov.Datasets() {
+		var e wire.Encoder
+		wire.PutSchema(&e, ds.Schema)
+		h.Datasets = append(h.Datasets, wire.DatasetHello{
+			Name:   ds.Name,
+			Rows:   ds.Rows,
+			Schema: e.Bytes(),
+		})
+	}
+	_, err := wire.WriteFrame(conn, wire.MsgHelloAck, wire.EncodeHelloAck(h))
+	return err
+}
+
+func (s *Server) handleExecute(conn net.Conn, payload []byte) error {
+	id, plan, err := wire.DecodeExecute(payload)
+	if err != nil {
+		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
+		return werr
+	}
+	t, err := s.prov.Execute(plan)
+	if err != nil {
+		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(id, err.Error()))
+		return werr
+	}
+	_, err = wire.WriteFrame(conn, wire.MsgResult, wire.EncodeResult(id, t))
+	return err
+}
+
+// handleExecuteTo executes a plan and pushes the result to a peer server,
+// returning only a small ack to the requester. This realizes the paper's
+// D4: "intermediate results pass directly between servers, rather than
+// being routed through the application or a middle tier."
+func (s *Server) handleExecuteTo(conn net.Conn, payload []byte) error {
+	id, peerAddr, storeAs, plan, err := wire.DecodeExecuteTo(payload)
+	if err != nil {
+		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
+		return werr
+	}
+	t, err := s.prov.Execute(plan)
+	if err != nil {
+		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(id, err.Error()))
+		return werr
+	}
+	shipped, err := PushTable(peerAddr, storeAs, t)
+	if err != nil {
+		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(id, fmt.Sprintf("push to %s: %v", peerAddr, err)))
+		return werr
+	}
+	_, err = wire.WriteFrame(conn, wire.MsgAck, wire.EncodeAck(id, int64(t.NumRows()), int64(shipped)))
+	return err
+}
+
+func (s *Server) handleStore(conn net.Conn, payload []byte) error {
+	name, t, err := wire.DecodeStore(payload)
+	if err != nil {
+		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
+		return werr
+	}
+	if err := s.prov.Store(name, t); err != nil {
+		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
+		return werr
+	}
+	_, err = wire.WriteFrame(conn, wire.MsgAck, wire.EncodeAck(0, int64(t.NumRows()), 0))
+	return err
+}
+
+// PushTable dials a peer server, stores a table there, and waits for the
+// ack. It returns the bytes moved on the peer link.
+func PushTable(addr, name string, t *table.Table) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("server: dial peer %s: %w", addr, err)
+	}
+	defer conn.Close()
+	out, err := wire.WriteFrame(conn, wire.MsgStore, wire.EncodeStore(name, t))
+	if err != nil {
+		return 0, err
+	}
+	typ, payload, in, err := wire.ReadFrame(conn)
+	if err != nil {
+		return out, err
+	}
+	if typ == wire.MsgError {
+		_, msg, _ := wire.DecodeError(payload)
+		return out + in, fmt.Errorf("server: peer %s: %s", addr, msg)
+	}
+	if typ != wire.MsgAck {
+		return out + in, fmt.Errorf("server: peer %s replied %v to store", addr, typ)
+	}
+	return out + in, nil
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"nexus/internal/datagen"
+	"nexus/internal/engines/relational"
+	"nexus/internal/wire"
+)
+
+func startServer(t *testing.T) (*Server, *relational.Engine) {
+	t.Helper()
+	eng := relational.New("srv")
+	if err := eng.Store("sales", datagen.Sales(1, 200, 20, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve(eng, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = t.Logf
+	t.Cleanup(s.Close)
+	return s, eng
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestHelloExchange(t *testing.T) {
+	s, eng := startServer(t)
+	conn := dial(t, s.Addr())
+	if _, err := wire.WriteFrame(conn, wire.MsgHello, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.MsgHelloAck {
+		t.Fatalf("got %v", typ)
+	}
+	h, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "srv" || len(h.Datasets) != 1 || h.Datasets[0].Name != "sales" {
+		t.Fatalf("hello = %+v", h)
+	}
+	if h.CapBits != eng.Capabilities().Bits() {
+		t.Fatal("capability bits differ")
+	}
+}
+
+func TestMalformedPayloadSurvives(t *testing.T) {
+	s, _ := startServer(t)
+	conn := dial(t, s.Addr())
+	// Garbage execute payload: the server must reply MsgError, not die.
+	if _, err := wire.WriteFrame(conn, wire.MsgExecute, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.MsgError {
+		t.Fatalf("got %v, want error", typ)
+	}
+	// The same connection must still answer a hello.
+	if _, err := wire.WriteFrame(conn, wire.MsgHello, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, _, err = wire.ReadFrame(conn)
+	if err != nil || typ != wire.MsgHelloAck {
+		t.Fatalf("connection dead after error: %v %v", typ, err)
+	}
+}
+
+func TestStoreDropRoundTrip(t *testing.T) {
+	s, eng := startServer(t)
+	conn := dial(t, s.Addr())
+	tab := datagen.Customers(2, 10)
+	if _, err := wire.WriteFrame(conn, wire.MsgStore, wire.EncodeStore("c", tab)); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, _, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.MsgAck {
+		t.Fatalf("store reply %v %v", typ, err)
+	}
+	if _, ok := eng.Dataset("c"); !ok {
+		t.Fatal("store lost")
+	}
+	if _, err := wire.WriteFrame(conn, wire.MsgDrop, wire.EncodeDrop("c")); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, _, err = wire.ReadFrame(conn)
+	if err != nil || typ != wire.MsgAck {
+		t.Fatalf("drop reply %v %v", typ, err)
+	}
+	if _, ok := eng.Dataset("c"); ok {
+		t.Fatal("drop ignored")
+	}
+}
+
+func TestPushTableBetweenServers(t *testing.T) {
+	_, engA := startServer(t)
+	sB, engB := startServer(t)
+	_ = engA
+	tab := datagen.Products(3, 15)
+	bytes, err := PushTable(sB.Addr(), "products", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes <= 0 {
+		t.Fatal("no bytes accounted")
+	}
+	got, ok := engB.Dataset("products")
+	if !ok || got.NumRows() != 15 {
+		t.Fatal("push did not land")
+	}
+}
+
+func TestCloseStopsAccepting(t *testing.T) {
+	s, _ := startServer(t)
+	addr := s.Addr()
+	s.Close()
+	if _, err := net.Dial("tcp", addr); err == nil {
+		// A dial race can succeed just as the listener closes; a
+		// subsequent read must fail.
+		conn, _ := net.Dial("tcp", addr)
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package table implements the columnar collection type flowing through
+// the nexus algebra and its engines: typed column vectors with validity
+// bitmaps, row and batch access, stable multi-key sorting, and order-
+// sensitive and order-insensitive checksums used to compare results
+// across back ends.
+package table
+
+import (
+	"fmt"
+
+	"nexus/internal/value"
+)
+
+// Column is a typed vector of values with an optional validity bitmap.
+// All rows share the column's Kind; NULLs are represented by valid=false
+// at the row's position (the payload slot is the zero value). A nil
+// valid slice means every row is valid — the common case costs nothing.
+type Column struct {
+	kind   value.Kind
+	bools  []bool
+	ints   []int64
+	floats []float64
+	strs   []string
+	valid  []bool // nil = all valid
+	length int
+}
+
+// NewColumn returns an empty column of the given kind with capacity hint n.
+func NewColumn(kind value.Kind, n int) *Column {
+	c := &Column{kind: kind}
+	switch kind {
+	case value.KindBool:
+		c.bools = make([]bool, 0, n)
+	case value.KindInt64:
+		c.ints = make([]int64, 0, n)
+	case value.KindFloat64:
+		c.floats = make([]float64, 0, n)
+	case value.KindString:
+		c.strs = make([]string, 0, n)
+	default:
+		panic(fmt.Sprintf("table: NewColumn with kind %v", kind))
+	}
+	return c
+}
+
+// IntColumn wraps an int64 slice as a column without copying.
+func IntColumn(vals []int64) *Column {
+	return &Column{kind: value.KindInt64, ints: vals, length: len(vals)}
+}
+
+// FloatColumn wraps a float64 slice as a column without copying.
+func FloatColumn(vals []float64) *Column {
+	return &Column{kind: value.KindFloat64, floats: vals, length: len(vals)}
+}
+
+// BoolColumn wraps a bool slice as a column without copying.
+func BoolColumn(vals []bool) *Column {
+	return &Column{kind: value.KindBool, bools: vals, length: len(vals)}
+}
+
+// StringColumn wraps a string slice as a column without copying.
+func StringColumn(vals []string) *Column {
+	return &Column{kind: value.KindString, strs: vals, length: len(vals)}
+}
+
+// Kind returns the column's scalar kind.
+func (c *Column) Kind() value.Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.length }
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.valid != nil && !c.valid[i] }
+
+// HasNulls reports whether any row is NULL.
+func (c *Column) HasNulls() bool {
+	if c.valid == nil {
+		return false
+	}
+	for _, v := range c.valid {
+		if !v {
+			return true
+		}
+	}
+	return false
+}
+
+// Value returns row i as a value.Value.
+func (c *Column) Value(i int) value.Value {
+	if c.IsNull(i) {
+		return value.Null
+	}
+	switch c.kind {
+	case value.KindBool:
+		return value.NewBool(c.bools[i])
+	case value.KindInt64:
+		return value.NewInt(c.ints[i])
+	case value.KindFloat64:
+		return value.NewFloat(c.floats[i])
+	case value.KindString:
+		return value.NewString(c.strs[i])
+	}
+	return value.Null
+}
+
+// Ints returns the raw int64 payload slice. It panics for non-int64
+// columns. Callers must not mutate the result; it is exposed for
+// vectorized kernels (array and linear-algebra engines).
+func (c *Column) Ints() []int64 {
+	if c.kind != value.KindInt64 {
+		panic("table: Ints() on " + c.kind.String())
+	}
+	return c.ints
+}
+
+// Floats returns the raw float64 payload slice (see Ints).
+func (c *Column) Floats() []float64 {
+	if c.kind != value.KindFloat64 {
+		panic("table: Floats() on " + c.kind.String())
+	}
+	return c.floats
+}
+
+// Bools returns the raw bool payload slice (see Ints).
+func (c *Column) Bools() []bool {
+	if c.kind != value.KindBool {
+		panic("table: Bools() on " + c.kind.String())
+	}
+	return c.bools
+}
+
+// Strs returns the raw string payload slice (see Ints).
+func (c *Column) Strs() []string {
+	if c.kind != value.KindString {
+		panic("table: Strs() on " + c.kind.String())
+	}
+	return c.strs
+}
+
+// Append adds v to the column. A NULL appends a zero payload and marks the
+// validity bitmap; a kind mismatch (other than numeric widening int→float)
+// is an error.
+func (c *Column) Append(v value.Value) error {
+	if v.IsNull() {
+		if c.valid == nil {
+			c.valid = make([]bool, c.length, c.length+1)
+			for i := range c.valid {
+				c.valid[i] = true
+			}
+		}
+		c.appendZero()
+		c.valid = append(c.valid, false)
+		return nil
+	}
+	switch c.kind {
+	case value.KindBool:
+		if v.Kind() != value.KindBool {
+			return fmt.Errorf("table: append %v to bool column", v.Kind())
+		}
+		c.bools = append(c.bools, v.Bool())
+	case value.KindInt64:
+		if v.Kind() != value.KindInt64 {
+			return fmt.Errorf("table: append %v to int64 column", v.Kind())
+		}
+		c.ints = append(c.ints, v.Int())
+	case value.KindFloat64:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("table: append %v to float64 column", v.Kind())
+		}
+		c.floats = append(c.floats, f)
+	case value.KindString:
+		if v.Kind() != value.KindString {
+			return fmt.Errorf("table: append %v to string column", v.Kind())
+		}
+		c.strs = append(c.strs, v.Str())
+	}
+	c.length++
+	if c.valid != nil {
+		c.valid = append(c.valid, true)
+	}
+	return nil
+}
+
+func (c *Column) appendZero() {
+	switch c.kind {
+	case value.KindBool:
+		c.bools = append(c.bools, false)
+	case value.KindInt64:
+		c.ints = append(c.ints, 0)
+	case value.KindFloat64:
+		c.floats = append(c.floats, 0)
+	case value.KindString:
+		c.strs = append(c.strs, "")
+	}
+	c.length++
+}
+
+// Gather returns a new column containing rows at the given indices, in
+// order. Indices may repeat (hash-join output uses this).
+func (c *Column) Gather(idx []int) *Column {
+	out := &Column{kind: c.kind, length: len(idx)}
+	if c.valid != nil {
+		out.valid = make([]bool, len(idx))
+		for i, j := range idx {
+			out.valid[i] = c.valid[j]
+		}
+	}
+	switch c.kind {
+	case value.KindBool:
+		out.bools = make([]bool, len(idx))
+		for i, j := range idx {
+			out.bools[i] = c.bools[j]
+		}
+	case value.KindInt64:
+		out.ints = make([]int64, len(idx))
+		for i, j := range idx {
+			out.ints[i] = c.ints[j]
+		}
+	case value.KindFloat64:
+		out.floats = make([]float64, len(idx))
+		for i, j := range idx {
+			out.floats[i] = c.floats[j]
+		}
+	case value.KindString:
+		out.strs = make([]string, len(idx))
+		for i, j := range idx {
+			out.strs[i] = c.strs[j]
+		}
+	}
+	return out
+}
+
+// GatherPad is Gather where index -1 produces a NULL row (outer-join
+// padding).
+func (c *Column) GatherPad(idx []int) *Column {
+	out := &Column{kind: c.kind, length: len(idx)}
+	out.valid = make([]bool, len(idx))
+	switch c.kind {
+	case value.KindBool:
+		out.bools = make([]bool, len(idx))
+	case value.KindInt64:
+		out.ints = make([]int64, len(idx))
+	case value.KindFloat64:
+		out.floats = make([]float64, len(idx))
+	case value.KindString:
+		out.strs = make([]string, len(idx))
+	}
+	for i, j := range idx {
+		if j < 0 {
+			out.valid[i] = false
+			continue
+		}
+		out.valid[i] = c.valid == nil || c.valid[j]
+		switch c.kind {
+		case value.KindBool:
+			out.bools[i] = c.bools[j]
+		case value.KindInt64:
+			out.ints[i] = c.ints[j]
+		case value.KindFloat64:
+			out.floats[i] = c.floats[j]
+		case value.KindString:
+			out.strs[i] = c.strs[j]
+		}
+	}
+	return out
+}
+
+// Slice returns the rows in [lo, hi) as a column sharing storage.
+func (c *Column) Slice(lo, hi int) *Column {
+	out := &Column{kind: c.kind, length: hi - lo}
+	if c.valid != nil {
+		out.valid = c.valid[lo:hi]
+	}
+	switch c.kind {
+	case value.KindBool:
+		out.bools = c.bools[lo:hi]
+	case value.KindInt64:
+		out.ints = c.ints[lo:hi]
+	case value.KindFloat64:
+		out.floats = c.floats[lo:hi]
+	case value.KindString:
+		out.strs = c.strs[lo:hi]
+	}
+	return out
+}
+
+// AppendColumn appends all rows of o (same kind) to c.
+func (c *Column) AppendColumn(o *Column) error {
+	if o.kind != c.kind {
+		return fmt.Errorf("table: append %v column to %v column", o.kind, c.kind)
+	}
+	if o.valid != nil && c.valid == nil {
+		c.valid = make([]bool, c.length)
+		for i := range c.valid {
+			c.valid[i] = true
+		}
+	}
+	switch c.kind {
+	case value.KindBool:
+		c.bools = append(c.bools, o.bools...)
+	case value.KindInt64:
+		c.ints = append(c.ints, o.ints...)
+	case value.KindFloat64:
+		c.floats = append(c.floats, o.floats...)
+	case value.KindString:
+		c.strs = append(c.strs, o.strs...)
+	}
+	if c.valid != nil {
+		if o.valid != nil {
+			c.valid = append(c.valid, o.valid...)
+		} else {
+			for i := 0; i < o.length; i++ {
+				c.valid = append(c.valid, true)
+			}
+		}
+	}
+	c.length += o.length
+	return nil
+}
+
+// WithValidity returns a copy of the column's metadata with the given
+// validity bitmap attached (payload shared). len(valid) must equal Len().
+func (c *Column) WithValidity(valid []bool) *Column {
+	out := *c
+	out.valid = valid
+	return &out
+}

@@ -1,0 +1,68 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders up to 20 rows as an aligned text table.
+func (t *Table) String() string { return t.Format(20) }
+
+// Format renders up to maxRows rows as an aligned text table with a
+// schema header, suitable for the shell and examples.
+func (t *Table) Format(maxRows int) string {
+	n := t.rows
+	truncated := false
+	if maxRows >= 0 && n > maxRows {
+		n = maxRows
+		truncated = true
+	}
+	headers := make([]string, t.NumCols())
+	widths := make([]int, t.NumCols())
+	for i := 0; i < t.NumCols(); i++ {
+		a := t.sch.At(i)
+		headers[i] = a.Name
+		if a.Dim {
+			headers[i] += "#"
+		}
+		widths[i] = len(headers[i])
+	}
+	cells := make([][]string, n)
+	for r := 0; r < n; r++ {
+		cells[r] = make([]string, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			s := t.Value(r, c).String()
+			// Unquote strings for display.
+			if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+				s = s[1 : len(s)-1]
+			}
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c, s := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], s)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, t.NumCols())
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if truncated {
+		fmt.Fprintf(&b, "... (%d rows total)\n", t.rows)
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"nexus/internal/schema"
+	"nexus/internal/value"
+)
+
+// Table is an immutable columnar collection: a schema plus one column per
+// attribute, all of equal length. Query results are Tables — collections
+// in the client environment, per the paper's "no cursors" property.
+type Table struct {
+	sch  schema.Schema
+	cols []*Column
+	rows int
+}
+
+// New assembles a table from a schema and matching columns. Column kinds
+// and lengths must agree with the schema.
+func New(sch schema.Schema, cols []*Column) (*Table, error) {
+	if len(cols) != sch.Len() {
+		return nil, fmt.Errorf("table: %d columns for schema of %d attributes", len(cols), sch.Len())
+	}
+	rows := 0
+	for i, c := range cols {
+		if c.Kind() != sch.At(i).Kind {
+			return nil, fmt.Errorf("table: column %d is %v, schema wants %v (%s)", i, c.Kind(), sch.At(i).Kind, sch.At(i).Name)
+		}
+		if i == 0 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return nil, fmt.Errorf("table: column %d has %d rows, expected %d", i, c.Len(), rows)
+		}
+	}
+	return &Table{sch: sch, cols: cols, rows: rows}, nil
+}
+
+// MustNew is New panicking on error, for construction from code.
+func MustNew(sch schema.Schema, cols []*Column) *Table {
+	t, err := New(sch, cols)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Empty returns an empty table with the given schema.
+func Empty(sch schema.Schema) *Table {
+	cols := make([]*Column, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		cols[i] = NewColumn(sch.At(i).Kind, 0)
+	}
+	return &Table{sch: sch, cols: cols}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() schema.Schema { return t.sch }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Col returns the i-th column.
+func (t *Table) Col(i int) *Column { return t.cols[i] }
+
+// ColByName returns the named column, or nil.
+func (t *Table) ColByName(name string) *Column {
+	i := t.sch.IndexOf(name)
+	if i < 0 {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// Value returns the value at (row, col).
+func (t *Table) Value(row, col int) value.Value { return t.cols[col].Value(row) }
+
+// Row appends row i's values to buf and returns it.
+func (t *Table) Row(i int, buf []value.Value) []value.Value {
+	for _, c := range t.cols {
+		buf = append(buf, c.Value(i))
+	}
+	return buf
+}
+
+// Gather returns a table of the rows at idx, in order (repeats allowed).
+func (t *Table) Gather(idx []int) *Table {
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.Gather(idx)
+	}
+	return &Table{sch: t.sch, cols: cols, rows: len(idx)}
+}
+
+// Slice returns rows [lo, hi) sharing storage with t.
+func (t *Table) Slice(lo, hi int) *Table {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.rows {
+		hi = t.rows
+	}
+	if hi < lo {
+		hi = lo
+	}
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return &Table{sch: t.sch, cols: cols, rows: hi - lo}
+}
+
+// Project returns the table restricted to the given column positions.
+func (t *Table) Project(positions []int) *Table {
+	cols := make([]*Column, len(positions))
+	for i, p := range positions {
+		cols[i] = t.cols[p]
+	}
+	return &Table{sch: t.sch.Project(positions), cols: cols, rows: t.rows}
+}
+
+// WithSchema returns the same columns under a different schema (kinds must
+// match position-wise); used by rename and dimension-tagging operators.
+func (t *Table) WithSchema(sch schema.Schema) (*Table, error) {
+	return New(sch, t.cols)
+}
+
+// Concat appends the rows of more tables (schemas must have equal kinds
+// position-wise) producing a new table with t's schema.
+func (t *Table) Concat(more ...*Table) (*Table, error) {
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		nc := NewColumn(c.Kind(), t.rows)
+		if err := nc.AppendColumn(c); err != nil {
+			return nil, err
+		}
+		cols[i] = nc
+	}
+	rows := t.rows
+	for _, m := range more {
+		if m.NumCols() != len(cols) {
+			return nil, fmt.Errorf("table: concat arity mismatch: %d vs %d", m.NumCols(), len(cols))
+		}
+		for i := range cols {
+			if err := cols[i].AppendColumn(m.cols[i]); err != nil {
+				return nil, fmt.Errorf("table: concat column %d: %w", i, err)
+			}
+		}
+		rows += m.rows
+	}
+	return &Table{sch: t.sch, cols: cols, rows: rows}, nil
+}
+
+// Builder accumulates rows into a table.
+type Builder struct {
+	sch  schema.Schema
+	cols []*Column
+}
+
+// NewBuilder returns a builder for the schema with capacity hint n rows.
+func NewBuilder(sch schema.Schema, n int) *Builder {
+	cols := make([]*Column, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		cols[i] = NewColumn(sch.At(i).Kind, n)
+	}
+	return &Builder{sch: sch, cols: cols}
+}
+
+// Append adds one row. len(row) must equal the schema length.
+func (b *Builder) Append(row ...value.Value) error {
+	if len(row) != len(b.cols) {
+		return fmt.Errorf("table: append %d values to %d columns", len(row), len(b.cols))
+	}
+	for i, v := range row {
+		if err := b.cols[i].Append(v); err != nil {
+			return fmt.Errorf("table: column %q: %w", b.sch.At(i).Name, err)
+		}
+	}
+	return nil
+}
+
+// MustAppend is Append panicking on error.
+func (b *Builder) MustAppend(row ...value.Value) {
+	if err := b.Append(row...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows appended so far.
+func (b *Builder) Len() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return b.cols[0].Len()
+}
+
+// Build finalizes the table. The builder must not be reused afterwards.
+func (b *Builder) Build() *Table {
+	rows := 0
+	if len(b.cols) > 0 {
+		rows = b.cols[0].Len()
+	}
+	return &Table{sch: b.sch, cols: b.cols, rows: rows}
+}
+
+// SortKey names a sort column and direction.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort returns a new table sorted by the keys, using a stable sort so
+// that engines produce identical orders for identical inputs.
+func (t *Table) Sort(keys []SortKey) *Table {
+	idx := make([]int, t.rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, k := range keys {
+			c := value.Compare(t.cols[k.Col].Value(ia), t.cols[k.Col].Value(ib))
+			if c != 0 {
+				return (c < 0) != k.Desc
+			}
+		}
+		return false
+	})
+	return t.Gather(idx)
+}
+
+// Checksum returns an order-independent 64-bit digest of the table's
+// rows: the sum (mod 2^64) of per-row hashes, xored with a hash of the
+// row count. Two tables with the same multiset of rows (and compatible
+// value equality) produce the same checksum regardless of row order —
+// this is what the portability experiments compare across engines.
+func (t *Table) Checksum() uint64 {
+	var sum uint64
+	buf := make([]byte, 0, 64)
+	for i := 0; i < t.rows; i++ {
+		buf = buf[:0]
+		for _, c := range t.cols {
+			buf = value.AppendKey(buf, c.Value(i))
+		}
+		sum += fnv64(buf)
+	}
+	return sum ^ (uint64(t.rows) * 0x9e3779b97f4a7c15)
+}
+
+// OrderedChecksum returns an order-sensitive digest (row hashes chained),
+// used when the query specifies an ordering.
+func (t *Table) OrderedChecksum() uint64 {
+	h := uint64(14695981039346656037)
+	buf := make([]byte, 0, 64)
+	for i := 0; i < t.rows; i++ {
+		buf = buf[:0]
+		for _, c := range t.cols {
+			buf = value.AppendKey(buf, c.Value(i))
+		}
+		h = h*1099511628211 + fnv64(buf)
+	}
+	return h
+}
+
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// EqualRows reports whether two tables hold identical rows in identical
+// order (schema kinds must match position-wise; names may differ).
+func EqualRows(a, b *Table) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		for r := 0; r < a.NumRows(); r++ {
+			if !value.Equal(a.Value(r, c), b.Value(r, c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualUnordered reports whether two tables hold the same multiset of
+// rows, irrespective of order.
+func EqualUnordered(a, b *Table) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	counts := make(map[string]int, a.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < a.NumRows(); i++ {
+		buf = buf[:0]
+		for _, c := range a.cols {
+			buf = value.AppendKey(buf, c.Value(i))
+		}
+		counts[string(buf)]++
+	}
+	for i := 0; i < b.NumRows(); i++ {
+		buf = buf[:0]
+		for _, c := range b.cols {
+			buf = value.AppendKey(buf, c.Value(i))
+		}
+		k := string(buf)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+package table
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/schema"
+	"nexus/internal/value"
+)
+
+func demoSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "id", Kind: value.KindInt64},
+		schema.Attribute{Name: "name", Kind: value.KindString},
+		schema.Attribute{Name: "score", Kind: value.KindFloat64},
+	)
+}
+
+func demoTable(t *testing.T) *Table {
+	t.Helper()
+	b := NewBuilder(demoSchema(), 4)
+	b.MustAppend(value.NewInt(1), value.NewString("ann"), value.NewFloat(3.5))
+	b.MustAppend(value.NewInt(2), value.NewString("bob"), value.NewFloat(1.25))
+	b.MustAppend(value.NewInt(3), value.NewString("cat"), value.Null)
+	b.MustAppend(value.NewInt(4), value.NewString("dan"), value.NewFloat(9))
+	return b.Build()
+}
+
+func TestBuilderAndAccess(t *testing.T) {
+	tab := demoTable(t)
+	if tab.NumRows() != 4 || tab.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if got := tab.Value(1, 1); got.Str() != "bob" {
+		t.Fatalf("value(1,1) = %v", got)
+	}
+	if !tab.Value(2, 2).IsNull() {
+		t.Fatal("null lost")
+	}
+	if tab.ColByName("score") == nil || tab.ColByName("nope") != nil {
+		t.Fatal("ColByName broken")
+	}
+	row := tab.Row(0, nil)
+	if len(row) != 3 || row[0].Int() != 1 {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestBuilderArityError(t *testing.T) {
+	b := NewBuilder(demoSchema(), 1)
+	if err := b.Append(value.NewInt(1)); err == nil {
+		t.Fatal("arity error missed")
+	}
+	if err := b.Append(value.NewBool(true), value.NewString("x"), value.NewFloat(1)); err == nil {
+		t.Fatal("kind error missed")
+	}
+}
+
+func TestGatherSliceProject(t *testing.T) {
+	tab := demoTable(t)
+	g := tab.Gather([]int{3, 0, 3})
+	if g.NumRows() != 3 || g.Value(0, 0).Int() != 4 || g.Value(2, 0).Int() != 4 {
+		t.Fatal("gather broken")
+	}
+	s := tab.Slice(1, 3)
+	if s.NumRows() != 2 || s.Value(0, 0).Int() != 2 {
+		t.Fatal("slice broken")
+	}
+	if tab.Slice(2, 100).NumRows() != 2 {
+		t.Fatal("slice clamping broken")
+	}
+	if tab.Slice(-5, 2).NumRows() != 2 {
+		t.Fatal("slice negative clamp broken")
+	}
+	p := tab.Project([]int{2, 0})
+	if p.NumCols() != 2 || p.Schema().At(0).Name != "score" {
+		t.Fatal("project broken")
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	sch := schema.New(
+		schema.Attribute{Name: "k", Kind: value.KindInt64},
+		schema.Attribute{Name: "seq", Kind: value.KindInt64},
+	)
+	b := NewBuilder(sch, 6)
+	for i, k := range []int64{2, 1, 2, 1, 2, 1} {
+		b.MustAppend(value.NewInt(k), value.NewInt(int64(i)))
+	}
+	sorted := b.Build().Sort([]SortKey{{Col: 0}})
+	seqs := sorted.Col(1).Ints()
+	// Stable: within k=1 group the original order 1,3,5 is kept.
+	if seqs[0] != 1 || seqs[1] != 3 || seqs[2] != 5 {
+		t.Fatalf("not stable: %v", seqs)
+	}
+	desc := b.Build().Sort([]SortKey{{Col: 0, Desc: true}})
+	if desc.Value(0, 0).Int() != 2 {
+		t.Fatal("desc broken")
+	}
+}
+
+func TestNullsSortFirst(t *testing.T) {
+	tab := demoTable(t)
+	sorted := tab.Sort([]SortKey{{Col: 2}})
+	if !sorted.Value(0, 2).IsNull() {
+		t.Fatal("null should sort first")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	tab := demoTable(t)
+	both, err := tab.Concat(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.NumRows() != 8 {
+		t.Fatalf("concat rows = %d", both.NumRows())
+	}
+	// Null positions preserved through concat.
+	if !both.Value(2, 2).IsNull() || !both.Value(6, 2).IsNull() {
+		t.Fatal("concat lost nulls")
+	}
+}
+
+func TestChecksums(t *testing.T) {
+	tab := demoTable(t)
+	shuffled := tab.Gather([]int{3, 1, 0, 2})
+	if tab.Checksum() != shuffled.Checksum() {
+		t.Fatal("checksum must be order-independent")
+	}
+	if tab.OrderedChecksum() == shuffled.OrderedChecksum() {
+		t.Fatal("ordered checksum must be order-sensitive")
+	}
+	different := tab.Slice(0, 3)
+	if tab.Checksum() == different.Checksum() {
+		t.Fatal("different tables share a checksum")
+	}
+}
+
+func TestEqualityHelpers(t *testing.T) {
+	tab := demoTable(t)
+	if !EqualRows(tab, demoTable(t)) {
+		t.Fatal("EqualRows on identical tables")
+	}
+	shuffled := tab.Gather([]int{1, 0, 2, 3})
+	if EqualRows(tab, shuffled) {
+		t.Fatal("EqualRows ignored order")
+	}
+	if !EqualUnordered(tab, shuffled) {
+		t.Fatal("EqualUnordered rejected permutation")
+	}
+	if EqualUnordered(tab, tab.Slice(0, 3)) {
+		t.Fatal("EqualUnordered size mismatch missed")
+	}
+	// Multiset semantics: duplicate counts matter.
+	dup1 := tab.Gather([]int{0, 0, 1})
+	dup2 := tab.Gather([]int{0, 1, 1})
+	if EqualUnordered(dup1, dup2) {
+		t.Fatal("EqualUnordered ignored multiplicity")
+	}
+}
+
+func TestColumnGatherPad(t *testing.T) {
+	c := IntColumn([]int64{10, 20, 30})
+	padded := c.GatherPad([]int{1, -1, 2})
+	if padded.Len() != 3 || !padded.IsNull(1) || padded.Ints()[0] != 20 {
+		t.Fatal("GatherPad broken")
+	}
+}
+
+func TestColumnAppendColumnValidity(t *testing.T) {
+	a := NewColumn(value.KindInt64, 2)
+	if err := a.Append(value.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	b := NewColumn(value.KindInt64, 2)
+	if err := b.Append(value.Null); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(value.NewInt(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendColumn(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 || !a.IsNull(1) || a.IsNull(2) || a.IsNull(0) {
+		t.Fatal("validity merge broken")
+	}
+	s := StringColumn([]string{"x"})
+	if err := a.AppendColumn(s); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := demoTable(t).Format(2)
+	if !strings.Contains(out, "id") || !strings.Contains(out, "ann") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	if !strings.Contains(out, "4 rows total") {
+		t.Fatalf("truncation marker missing:\n%s", out)
+	}
+	// Dim marker in header.
+	sch := schema.New(schema.Attribute{Name: "t", Kind: value.KindInt64, Dim: true})
+	dim := MustNew(sch, []*Column{IntColumn([]int64{1})})
+	if !strings.Contains(dim.String(), "t#") {
+		t.Fatal("dim marker missing")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sch := demoSchema()
+	if _, err := New(sch, []*Column{IntColumn([]int64{1})}); err == nil {
+		t.Fatal("column count mismatch accepted")
+	}
+	if _, err := New(sch, []*Column{
+		IntColumn([]int64{1}), StringColumn([]string{"a"}), IntColumn([]int64{3}),
+	}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := New(sch, []*Column{
+		IntColumn([]int64{1, 2}), StringColumn([]string{"a"}), FloatColumn([]float64{1}),
+	}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// Property: Gather(identity) preserves equality and checksums.
+func TestGatherIdentityProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		sch := schema.New(schema.Attribute{Name: "x", Kind: value.KindInt64})
+		tab := MustNew(sch, []*Column{IntColumn(vals)})
+		idx := make([]int, len(vals))
+		for i := range idx {
+			idx[i] = i
+		}
+		g := tab.Gather(idx)
+		return EqualRows(tab, g) && tab.OrderedChecksum() == g.OrderedChecksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sorting is idempotent.
+func TestSortIdempotentProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		sch := schema.New(schema.Attribute{Name: "x", Kind: value.KindInt64})
+		tab := MustNew(sch, []*Column{IntColumn(vals)})
+		s1 := tab.Sort([]SortKey{{Col: 0}})
+		s2 := s1.Sort([]SortKey{{Col: 0}})
+		return EqualRows(s1, s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

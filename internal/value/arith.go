@@ -1,0 +1,267 @@
+package value
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinOp enumerates the scalar binary operators of the expression language.
+type BinOp uint8
+
+// Binary operators. Arithmetic ops promote int64 to float64 when either
+// operand is a float; comparison ops use the cross-kind total order;
+// logical ops require bools.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// String returns the operator's surface-language spelling.
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Comparison reports whether the operator yields a bool from two
+// comparable operands.
+func (op BinOp) Comparison() bool { return op >= OpEq && op <= OpGe }
+
+// Arithmetic reports whether the operator is numeric.
+func (op BinOp) Arithmetic() bool { return op <= OpMod }
+
+// Logical reports whether the operator combines bools.
+func (op BinOp) Logical() bool { return op == OpAnd || op == OpOr }
+
+// ResultKind computes the static result kind of op applied to operands of
+// kinds a and b, mirroring Apply's dynamic behaviour. It returns an error
+// for statically ill-typed combinations. KindNull operands are accepted
+// anywhere (NULL literals adopt the context's type).
+func (op BinOp) ResultKind(a, b Kind) (Kind, error) {
+	switch {
+	case op.Comparison():
+		return KindBool, nil
+	case op.Logical():
+		if (a == KindBool || a == KindNull) && (b == KindBool || b == KindNull) {
+			return KindBool, nil
+		}
+		return KindNull, fmt.Errorf("value: %v requires bool operands, got %v and %v", op, a, b)
+	case op.Arithmetic():
+		if a == KindString && b == KindString && op == OpAdd {
+			return KindString, nil
+		}
+		an := a.Numeric() || a == KindNull
+		bn := b.Numeric() || b == KindNull
+		if !an || !bn {
+			return KindNull, fmt.Errorf("value: %v requires numeric operands, got %v and %v", op, a, b)
+		}
+		if a == KindFloat64 || b == KindFloat64 {
+			return KindFloat64, nil
+		}
+		if op == OpDiv {
+			// Integer division stays integral, like Go.
+			return KindInt64, nil
+		}
+		return KindInt64, nil
+	}
+	return KindNull, fmt.Errorf("value: unknown operator %v", op)
+}
+
+// Apply evaluates op on two values. NULL operands propagate to a NULL
+// result for arithmetic; comparisons use the total order (so NULL == NULL
+// is true — see the package comment); logical ops treat NULL as false.
+// Division and modulus by integer zero return NULL rather than faulting,
+// so a single bad row cannot abort a whole query.
+func Apply(op BinOp, a, b Value) (Value, error) {
+	switch {
+	case op.Comparison():
+		c := Compare(a, b)
+		switch op {
+		case OpEq:
+			return NewBool(c == 0), nil
+		case OpNe:
+			return NewBool(c != 0), nil
+		case OpLt:
+			return NewBool(c < 0), nil
+		case OpLe:
+			return NewBool(c <= 0), nil
+		case OpGt:
+			return NewBool(c > 0), nil
+		default:
+			return NewBool(c >= 0), nil
+		}
+	case op.Logical():
+		av := a.Truthy()
+		bv := b.Truthy()
+		if !a.IsNull() && a.kind != KindBool {
+			return Null, fmt.Errorf("value: %v on non-bool %v", op, a.kind)
+		}
+		if !b.IsNull() && b.kind != KindBool {
+			return Null, fmt.Errorf("value: %v on non-bool %v", op, b.kind)
+		}
+		if op == OpAnd {
+			return NewBool(av && bv), nil
+		}
+		return NewBool(av || bv), nil
+	}
+	// Arithmetic.
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.kind == KindString && b.kind == KindString && op == OpAdd {
+		return NewString(a.s + b.s), nil
+	}
+	if !a.kind.Numeric() || !b.kind.Numeric() {
+		return Null, fmt.Errorf("value: %v requires numeric operands, got %v and %v", op, a.kind, b.kind)
+	}
+	if a.kind == KindFloat64 || b.kind == KindFloat64 {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch op {
+		case OpAdd:
+			return NewFloat(af + bf), nil
+		case OpSub:
+			return NewFloat(af - bf), nil
+		case OpMul:
+			return NewFloat(af * bf), nil
+		case OpDiv:
+			return NewFloat(af / bf), nil
+		case OpMod:
+			return NewFloat(math.Mod(af, bf)), nil
+		}
+	}
+	ai, bi := a.i, b.i
+	switch op {
+	case OpAdd:
+		return NewInt(ai + bi), nil
+	case OpSub:
+		return NewInt(ai - bi), nil
+	case OpMul:
+		return NewInt(ai * bi), nil
+	case OpDiv:
+		if bi == 0 {
+			return Null, nil
+		}
+		return NewInt(ai / bi), nil
+	case OpMod:
+		if bi == 0 {
+			return Null, nil
+		}
+		return NewInt(ai % bi), nil
+	}
+	return Null, fmt.Errorf("value: unknown operator %v", op)
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+// Unary operators: arithmetic negation, logical not, and null tests.
+const (
+	OpNeg UnOp = iota
+	OpNot
+	OpIsNull
+	OpIsNotNull
+)
+
+// String returns the operator's surface spelling.
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpNot:
+		return "!"
+	case OpIsNull:
+		return "isnull"
+	case OpIsNotNull:
+		return "isnotnull"
+	}
+	return fmt.Sprintf("unop(%d)", uint8(op))
+}
+
+// ResultKind computes the static result kind of the unary operator.
+func (op UnOp) ResultKind(a Kind) (Kind, error) {
+	switch op {
+	case OpNeg:
+		if a.Numeric() || a == KindNull {
+			if a == KindNull {
+				return KindInt64, nil
+			}
+			return a, nil
+		}
+		return KindNull, fmt.Errorf("value: - requires numeric operand, got %v", a)
+	case OpNot:
+		if a == KindBool || a == KindNull {
+			return KindBool, nil
+		}
+		return KindNull, fmt.Errorf("value: ! requires bool operand, got %v", a)
+	case OpIsNull, OpIsNotNull:
+		return KindBool, nil
+	}
+	return KindNull, fmt.Errorf("value: unknown unary operator %v", op)
+}
+
+// ApplyUnary evaluates a unary operator.
+func ApplyUnary(op UnOp, a Value) (Value, error) {
+	switch op {
+	case OpNeg:
+		switch a.kind {
+		case KindNull:
+			return Null, nil
+		case KindInt64:
+			return NewInt(-a.i), nil
+		case KindFloat64:
+			return NewFloat(-a.f), nil
+		}
+		return Null, fmt.Errorf("value: - on %v", a.kind)
+	case OpNot:
+		if a.IsNull() {
+			return NewBool(true), nil // !NULL treats NULL as false
+		}
+		if a.kind != KindBool {
+			return Null, fmt.Errorf("value: ! on %v", a.kind)
+		}
+		return NewBool(a.i == 0), nil
+	case OpIsNull:
+		return NewBool(a.IsNull()), nil
+	case OpIsNotNull:
+		return NewBool(!a.IsNull()), nil
+	}
+	return Null, fmt.Errorf("value: unknown unary operator %v", op)
+}

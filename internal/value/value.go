@@ -1,0 +1,395 @@
+// Package value defines the scalar value representation used throughout
+// the nexus Big Data algebra: a compact tagged struct (no interface
+// boxing) with NULL as a first-class kind, a total order over all values,
+// hash-consistent equality, and numeric arithmetic with promotion.
+//
+// Null semantics (documented deviation from SQL tri-state logic): NULL
+// orders before every non-null value and is equal to itself. This keeps
+// grouping and join keys hash-consistent without a three-valued logic in
+// the executor; predicates treat NULL comparisons as false except for
+// IS NULL-style tests, which the expression layer provides.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the scalar types of the algebra's type system.
+type Kind uint8
+
+// The scalar kinds. Null is the kind of the untyped NULL literal; columns
+// always carry one of the four non-null kinds plus a validity bitmap.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt64
+	KindFloat64
+	KindString
+	numKinds
+)
+
+// String returns the lower-case type name used in schemas, error messages
+// and the surface language.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Numeric reports whether k is an arithmetic kind.
+func (k Kind) Numeric() bool { return k == KindInt64 || k == KindFloat64 }
+
+// ParseKind parses a type name as printed by Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "null":
+		return KindNull, nil
+	case "bool":
+		return KindBool, nil
+	case "int64", "int":
+		return KindInt64, nil
+	case "float64", "float":
+		return KindFloat64, nil
+	case "string":
+		return KindString, nil
+	}
+	return KindNull, fmt.Errorf("value: unknown type name %q", s)
+}
+
+// Value is a scalar value: one of NULL, bool, int64, float64 or string.
+// The zero Value is NULL. Values are immutable and safe to copy.
+type Value struct {
+	kind Kind
+	i    int64 // bool (0/1) and int64 payload
+	f    float64
+	s    string
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewBool returns a bool value.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewInt returns an int64 value.
+func NewInt(i int64) Value { return Value{kind: KindInt64, i: i} }
+
+// NewFloat returns a float64 value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat64, f: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload. It panics when the value is not a
+// bool; callers must check Kind first (a kind mismatch is a bug in the
+// caller, not a data error).
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("value: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Int returns the int64 payload, panicking on kind mismatch.
+func (v Value) Int() int64 {
+	if v.kind != KindInt64 {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the float64 payload, panicking on kind mismatch.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat64 {
+		panic("value: Float() on " + v.kind.String())
+	}
+	return v.f
+}
+
+// Str returns the string payload, panicking on kind mismatch.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("value: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsFloat coerces a numeric value to float64. ok is false for non-numeric
+// values (including NULL).
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt64:
+		return float64(v.i), true
+	case KindFloat64:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// AsInt coerces a numeric value to int64 (floats truncate). ok is false
+// for non-numeric values.
+func (v Value) AsInt() (i int64, ok bool) {
+	switch v.kind {
+	case KindInt64:
+		return v.i, true
+	case KindFloat64:
+		return int64(v.f), true
+	}
+	return 0, false
+}
+
+// String renders the value for display and for the Explain output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt64:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	}
+	return "?"
+}
+
+// Parse parses the textual form of a value of the given kind. It accepts
+// the representations produced by String (strings may be quoted or bare).
+func Parse(k Kind, s string) (Value, error) {
+	switch k {
+	case KindNull:
+		return Null, nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null, fmt.Errorf("value: parse bool %q: %w", s, err)
+		}
+		return NewBool(b), nil
+	case KindInt64:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("value: parse int64 %q: %w", s, err)
+		}
+		return NewInt(i), nil
+	case KindFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("value: parse float64 %q: %w", s, err)
+		}
+		return NewFloat(f), nil
+	case KindString:
+		if len(s) >= 2 && s[0] == '"' {
+			u, err := strconv.Unquote(s)
+			if err != nil {
+				return Null, fmt.Errorf("value: parse string %q: %w", s, err)
+			}
+			return NewString(u), nil
+		}
+		return NewString(s), nil
+	}
+	return Null, fmt.Errorf("value: parse: bad kind %v", k)
+}
+
+// kindRank orders kinds for the cross-kind total order: NULL < bool <
+// numeric < string. Int64 and Float64 share a rank and compare
+// numerically against each other.
+func kindRank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt64, KindFloat64:
+		return 2
+	case KindString:
+		return 3
+	}
+	return 4
+}
+
+// Compare defines a total order over all values: NULL first, then bools
+// (false < true), then numbers (int64 and float64 compared numerically),
+// then strings (byte order). It returns -1, 0 or +1.
+func Compare(a, b Value) int {
+	ra, rb := kindRank(a.kind), kindRank(b.kind)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0: // both NULL
+		return 0
+	case 1: // bools
+		switch {
+		case a.i == b.i:
+			return 0
+		case a.i < b.i:
+			return -1
+		}
+		return 1
+	case 2: // numbers
+		if a.kind == KindInt64 && b.kind == KindInt64 {
+			switch {
+			case a.i == b.i:
+				return 0
+			case a.i < b.i:
+				return -1
+			}
+			return 1
+		}
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		// NaN sorts before all other floats and equals itself so that
+		// sorting and grouping stay deterministic.
+		an, bn := math.IsNaN(af), math.IsNaN(bf)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		case bn:
+			return 1
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	default: // strings
+		switch {
+		case a.s == b.s:
+			return 0
+		case a.s < b.s:
+			return -1
+		}
+		return 1
+	}
+}
+
+// Equal reports whether a and b are equal under the total order (so
+// NULL == NULL, and 2 == 2.0 across numeric kinds).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Less reports a < b under the total order.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// Hash returns a 64-bit hash consistent with Equal: values that compare
+// equal hash equal, including integral floats vs ints (2.0 vs 2) and NaN
+// vs NaN.
+func Hash(v Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix8 := func(u uint64) {
+		for s := 0; s < 64; s += 8 {
+			mix(byte(u >> s))
+		}
+	}
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindBool:
+		mix(1)
+		mix(byte(v.i))
+	case KindInt64:
+		mix(2)
+		mix8(uint64(v.i))
+	case KindFloat64:
+		// Normalize integral floats to the int64 representation so that
+		// Hash agrees with Equal across numeric kinds.
+		f := v.f
+		if math.IsNaN(f) {
+			mix(3)
+			break
+		}
+		if i := int64(f); float64(i) == f {
+			mix(2)
+			mix8(uint64(i))
+			break
+		}
+		mix(4)
+		mix8(math.Float64bits(f))
+	case KindString:
+		mix(5)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	}
+	return h
+}
+
+// AppendKey appends a canonical byte encoding of v to dst. Two values
+// produce the same encoding iff they are Equal, so the result can be used
+// directly as a hash-map key for joins and grouping.
+func AppendKey(dst []byte, v Value) []byte {
+	put8 := func(dst []byte, u uint64) []byte {
+		return append(dst,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0)
+	case KindBool:
+		return append(dst, 1, byte(v.i))
+	case KindInt64:
+		return put8(append(dst, 2), uint64(v.i))
+	case KindFloat64:
+		f := v.f
+		if math.IsNaN(f) {
+			return append(dst, 3)
+		}
+		if i := int64(f); float64(i) == f {
+			return put8(append(dst, 2), uint64(i))
+		}
+		return put8(append(dst, 4), math.Float64bits(f))
+	case KindString:
+		dst = put8(append(dst, 5), uint64(len(v.s)))
+		return append(dst, v.s...)
+	}
+	return append(dst, 0xff)
+}
+
+// Truthy reports whether v counts as true in a predicate position: only a
+// non-null bool true is truthy; NULL and false are not.
+func (v Value) Truthy() bool { return v.kind == KindBool && v.i != 0 }

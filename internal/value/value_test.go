@@ -1,0 +1,287 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindNames(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt64: "int64",
+		KindFloat64: "float64", KindString: "string",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+		parsed, err := ParseKind(want)
+		if err != nil || parsed != k {
+			t.Errorf("ParseKind(%q) = %v, %v", want, parsed, err)
+		}
+	}
+	if _, err := ParseKind("decimal"); err == nil {
+		t.Error("ParseKind accepted unknown name")
+	}
+	if Kind(200).Valid() {
+		t.Error("invalid kind considered valid")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Fatal("Null broken")
+	}
+	if v := NewBool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Fatal("bool broken")
+	}
+	if v := NewInt(-7); v.Int() != -7 {
+		t.Fatal("int broken")
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 {
+		t.Fatal("float broken")
+	}
+	if v := NewString("hi"); v.Str() != "hi" {
+		t.Fatal("string broken")
+	}
+}
+
+func TestAccessorPanicsOnKindMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInt(1).Bool()
+}
+
+func TestCoercions(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Fatal("int→float")
+	}
+	if i, ok := NewFloat(3.9).AsInt(); !ok || i != 3 {
+		t.Fatal("float→int truncation")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Fatal("string should not coerce")
+	}
+	if _, ok := Null.AsInt(); ok {
+		t.Fatal("null should not coerce")
+	}
+}
+
+func TestTotalOrder(t *testing.T) {
+	// NULL < bool < numeric < string.
+	ordered := []Value{
+		Null,
+		NewBool(false), NewBool(true),
+		NewFloat(math.Inf(-1)), NewInt(-5), NewFloat(-1.5), NewInt(0),
+		NewFloat(0.5), NewInt(2), NewFloat(2.5), NewFloat(math.Inf(1)),
+		NewString(""), NewString("a"), NewString("b"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCrossKindNumericEquality(t *testing.T) {
+	if !Equal(NewInt(2), NewFloat(2.0)) {
+		t.Fatal("2 != 2.0")
+	}
+	if Hash(NewInt(2)) != Hash(NewFloat(2.0)) {
+		t.Fatal("hash(2) != hash(2.0)")
+	}
+	if Equal(NewInt(2), NewFloat(2.5)) {
+		t.Fatal("2 == 2.5")
+	}
+}
+
+func TestNaNIsSelfEqual(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if !Equal(nan, nan) {
+		t.Fatal("NaN != NaN under the total order")
+	}
+	if Hash(nan) != Hash(NewFloat(math.NaN())) {
+		t.Fatal("NaN hashes differ")
+	}
+	if Compare(nan, NewFloat(math.Inf(-1))) >= 0 {
+		t.Fatal("NaN must sort before -Inf")
+	}
+}
+
+// Property: Hash is consistent with Equal.
+func TestHashEqualConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewFloat(float64(b))
+		if Equal(va, vb) && Hash(va) != Hash(vb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AppendKey is injective w.r.t. Equal.
+func TestAppendKeyInjective(t *testing.T) {
+	f := func(a int64, b string, pick bool) bool {
+		var v1, v2 Value
+		if pick {
+			v1, v2 = NewInt(a), NewString(b)
+		} else {
+			v1, v2 = NewInt(a), NewInt(a+1)
+		}
+		k1 := string(AppendKey(nil, v1))
+		k2 := string(AppendKey(nil, v2))
+		return (k1 == k2) == Equal(v1, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric and transitive on random ints/floats.
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b float64) bool {
+		va, vb := NewFloat(a), NewFloat(b)
+		return Compare(va, vb) == -Compare(vb, va)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	vals := []Value{
+		NewBool(true), NewInt(-99), NewFloat(2.25), NewString("hello world"), Null,
+	}
+	for _, v := range vals {
+		got, err := Parse(v.Kind(), v.String())
+		if err != nil {
+			t.Fatalf("parse %v: %v", v, err)
+		}
+		if !Equal(got, v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := Parse(KindInt64, "abc"); err == nil {
+		t.Fatal("parsed garbage int")
+	}
+	if _, err := Parse(KindBool, "maybe"); err == nil {
+		t.Fatal("parsed garbage bool")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		a, b Value
+		want Value
+	}{
+		{OpAdd, NewInt(2), NewInt(3), NewInt(5)},
+		{OpAdd, NewInt(2), NewFloat(0.5), NewFloat(2.5)},
+		{OpSub, NewFloat(5), NewInt(2), NewFloat(3)},
+		{OpMul, NewInt(4), NewInt(-2), NewInt(-8)},
+		{OpDiv, NewInt(7), NewInt(2), NewInt(3)},
+		{OpDiv, NewFloat(7), NewInt(2), NewFloat(3.5)},
+		{OpMod, NewInt(7), NewInt(4), NewInt(3)},
+		{OpAdd, NewString("a"), NewString("b"), NewString("ab")},
+		{OpDiv, NewInt(1), NewInt(0), Null}, // div by zero → NULL
+		{OpMod, NewInt(1), NewInt(0), Null},
+		{OpAdd, Null, NewInt(1), Null}, // NULL propagates
+	}
+	for _, c := range cases {
+		got, err := Apply(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v %v %v: %v", c.a, c.op, c.b, err)
+		}
+		if got.Kind() != c.want.Kind() || !Equal(got, c.want) {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	if _, err := Apply(OpMul, NewString("a"), NewInt(2)); err == nil {
+		t.Error("string*int should error")
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	tr, fa := NewBool(true), NewBool(false)
+	if got, _ := Apply(OpLt, NewInt(1), NewInt(2)); !got.Bool() {
+		t.Error("1 < 2")
+	}
+	if got, _ := Apply(OpEq, Null, Null); !got.Bool() {
+		t.Error("NULL == NULL must hold under the total order")
+	}
+	if got, _ := Apply(OpAnd, tr, fa); got.Bool() {
+		t.Error("true && false")
+	}
+	if got, _ := Apply(OpOr, fa, tr); !got.Bool() {
+		t.Error("false || true")
+	}
+	if got, _ := Apply(OpAnd, Null, tr); got.Bool() {
+		t.Error("NULL && true should be false (NULL is not truthy)")
+	}
+	if _, err := Apply(OpAnd, NewInt(1), tr); err == nil {
+		t.Error("int && bool should error")
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	if got, _ := ApplyUnary(OpNeg, NewInt(5)); got.Int() != -5 {
+		t.Error("neg int")
+	}
+	if got, _ := ApplyUnary(OpNeg, NewFloat(2.5)); got.Float() != -2.5 {
+		t.Error("neg float")
+	}
+	if got, _ := ApplyUnary(OpNot, NewBool(false)); !got.Bool() {
+		t.Error("not false")
+	}
+	if got, _ := ApplyUnary(OpIsNull, Null); !got.Bool() {
+		t.Error("isnull(NULL)")
+	}
+	if got, _ := ApplyUnary(OpIsNotNull, NewInt(1)); !got.Bool() {
+		t.Error("isnotnull(1)")
+	}
+	if _, err := ApplyUnary(OpNeg, NewString("x")); err == nil {
+		t.Error("neg string should error")
+	}
+}
+
+func TestResultKinds(t *testing.T) {
+	if k, _ := OpAdd.ResultKind(KindInt64, KindFloat64); k != KindFloat64 {
+		t.Error("int+float should be float")
+	}
+	if k, _ := OpAdd.ResultKind(KindInt64, KindInt64); k != KindInt64 {
+		t.Error("int+int should be int")
+	}
+	if k, _ := OpEq.ResultKind(KindString, KindInt64); k != KindBool {
+		t.Error("comparisons are bool")
+	}
+	if _, err := OpAdd.ResultKind(KindBool, KindInt64); err == nil {
+		t.Error("bool+int should be a type error")
+	}
+	if k, _ := OpAdd.ResultKind(KindString, KindString); k != KindString {
+		t.Error("string concat")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if Null.Truthy() || NewBool(false).Truthy() || NewInt(1).Truthy() {
+		t.Fatal("only bool true is truthy")
+	}
+	if !NewBool(true).Truthy() {
+		t.Fatal("true is truthy")
+	}
+}

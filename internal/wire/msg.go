@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// MsgType tags protocol messages between clients and servers (and between
+// peer servers, for direct intermediate shipping).
+type MsgType uint8
+
+// Protocol messages.
+const (
+	MsgHello     MsgType = 1  // client → server: name
+	MsgHelloAck  MsgType = 2  // server → client: name, capability bitset, kernels, datasets
+	MsgExecute   MsgType = 3  // client → server: id, plan
+	MsgResult    MsgType = 4  // server → client: id, table
+	MsgError     MsgType = 5  // server → client: id, message
+	MsgStore     MsgType = 6  // any → server: dataset name, table
+	MsgAck       MsgType = 7  // server → sender: id, rows, payload bytes
+	MsgExecuteTo MsgType = 8  // client → server: id, plan, peer addr, store name
+	MsgDrop      MsgType = 9  // client → server: dataset name
+	MsgList      MsgType = 10 // client → server: request dataset list
+	MsgDatasets  MsgType = 11 // server → client: dataset infos
+)
+
+// String names the message type.
+func (m MsgType) String() string {
+	switch m {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "helloack"
+	case MsgExecute:
+		return "execute"
+	case MsgResult:
+		return "result"
+	case MsgError:
+		return "error"
+	case MsgStore:
+		return "store"
+	case MsgAck:
+		return "ack"
+	case MsgExecuteTo:
+		return "executeto"
+	case MsgDrop:
+		return "drop"
+	case MsgList:
+		return "list"
+	case MsgDatasets:
+		return "datasets"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(m))
+}
+
+// maxFrame bounds a single message (256 MiB) against corrupt length
+// prefixes.
+const maxFrame = 256 << 20
+
+// WriteFrame writes one length-prefixed message: u32 length, u8 type,
+// payload. It returns the total bytes written (the interop experiments
+// account for every byte on every path).
+func WriteFrame(w io.Writer, t MsgType, payload []byte) (int, error) {
+	n := len(payload) + 1
+	if n > maxFrame {
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	hdr := [5]byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n), byte(t)}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return 0, fmt.Errorf("wire: write frame payload: %w", err)
+		}
+	}
+	return 4 + n, nil
+}
+
+// ReadFrame reads one message, returning its type, payload, and total
+// bytes read.
+func ReadFrame(r io.Reader) (MsgType, []byte, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err // io.EOF passes through for clean shutdown
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n < 1 || n > maxFrame {
+		return 0, nil, 0, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	t := MsgType(hdr[4])
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	return t, payload, 4 + n, nil
+}

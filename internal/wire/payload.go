@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/table"
+)
+
+// Payload codecs for the protocol messages. Every payload is encoded with
+// the same primitives as plans and tables, so client and server cannot
+// drift apart.
+
+// EncodeExecute builds a MsgExecute payload.
+func EncodeExecute(id uint64, plan core.Node) []byte {
+	var e Encoder
+	e.U64(id)
+	PutPlan(&e, plan)
+	return e.Bytes()
+}
+
+// DecodeExecute parses a MsgExecute payload.
+func DecodeExecute(b []byte) (uint64, core.Node, error) {
+	d := NewDecoder(b)
+	id := d.U64()
+	plan, err := GetPlan(d)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, plan, nil
+}
+
+// EncodeResult builds a MsgResult payload.
+func EncodeResult(id uint64, t *table.Table) []byte {
+	var e Encoder
+	e.U64(id)
+	PutTable(&e, t)
+	return e.Bytes()
+}
+
+// DecodeResult parses a MsgResult payload.
+func DecodeResult(b []byte) (uint64, *table.Table, error) {
+	d := NewDecoder(b)
+	id := d.U64()
+	t := GetTable(d)
+	if d.Err() != nil {
+		return 0, nil, d.Err()
+	}
+	return id, t, nil
+}
+
+// EncodeError builds a MsgError payload.
+func EncodeError(id uint64, msg string) []byte {
+	var e Encoder
+	e.U64(id)
+	e.Str(msg)
+	return e.Bytes()
+}
+
+// DecodeError parses a MsgError payload.
+func DecodeError(b []byte) (uint64, string, error) {
+	d := NewDecoder(b)
+	id := d.U64()
+	msg := d.Str()
+	return id, msg, d.Err()
+}
+
+// EncodeStore builds a MsgStore payload.
+func EncodeStore(name string, t *table.Table) []byte {
+	var e Encoder
+	e.Str(name)
+	PutTable(&e, t)
+	return e.Bytes()
+}
+
+// DecodeStore parses a MsgStore payload.
+func DecodeStore(b []byte) (string, *table.Table, error) {
+	d := NewDecoder(b)
+	name := d.Str()
+	t := GetTable(d)
+	if d.Err() != nil {
+		return "", nil, d.Err()
+	}
+	return name, t, nil
+}
+
+// EncodeAck builds a MsgAck payload: rows produced and payload bytes
+// shipped peer-to-peer on the sender's behalf.
+func EncodeAck(id uint64, rows int64, shippedBytes int64) []byte {
+	var e Encoder
+	e.U64(id)
+	e.I64(rows)
+	e.I64(shippedBytes)
+	return e.Bytes()
+}
+
+// DecodeAck parses a MsgAck payload.
+func DecodeAck(b []byte) (id uint64, rows int64, shippedBytes int64, err error) {
+	d := NewDecoder(b)
+	id = d.U64()
+	rows = d.I64()
+	shippedBytes = d.I64()
+	return id, rows, shippedBytes, d.Err()
+}
+
+// EncodeExecuteTo builds a MsgExecuteTo payload: run the plan, push the
+// result to the peer server as storeAs, never returning it to the client.
+func EncodeExecuteTo(id uint64, peerAddr, storeAs string, plan core.Node) []byte {
+	var e Encoder
+	e.U64(id)
+	e.Str(peerAddr)
+	e.Str(storeAs)
+	PutPlan(&e, plan)
+	return e.Bytes()
+}
+
+// DecodeExecuteTo parses a MsgExecuteTo payload.
+func DecodeExecuteTo(b []byte) (id uint64, peerAddr, storeAs string, plan core.Node, err error) {
+	d := NewDecoder(b)
+	id = d.U64()
+	peerAddr = d.Str()
+	storeAs = d.Str()
+	plan, err = GetPlan(d)
+	if err != nil {
+		return 0, "", "", nil, err
+	}
+	return id, peerAddr, storeAs, plan, nil
+}
+
+// EncodeDrop builds a MsgDrop payload.
+func EncodeDrop(name string) []byte {
+	var e Encoder
+	e.Str(name)
+	return e.Bytes()
+}
+
+// DecodeDrop parses a MsgDrop payload.
+func DecodeDrop(b []byte) (string, error) {
+	d := NewDecoder(b)
+	name := d.Str()
+	return name, d.Err()
+}
+
+// HelloInfo is the server identity exchanged at connection setup.
+type HelloInfo struct {
+	Name     string
+	CapBits  uint64
+	Kernels  []string
+	Datasets []DatasetHello
+}
+
+// DatasetHello describes one hosted dataset in a hello exchange.
+type DatasetHello struct {
+	Name   string
+	Rows   int64
+	Schema []byte // encoded schema
+}
+
+// EncodeHelloAck builds a MsgHelloAck payload.
+func EncodeHelloAck(h HelloInfo) []byte {
+	var e Encoder
+	e.Str(h.Name)
+	e.U64(h.CapBits)
+	e.U32(uint32(len(h.Kernels)))
+	for _, k := range h.Kernels {
+		e.Str(k)
+	}
+	e.U32(uint32(len(h.Datasets)))
+	for _, ds := range h.Datasets {
+		e.Str(ds.Name)
+		e.I64(ds.Rows)
+		e.U32(uint32(len(ds.Schema)))
+		e.Raw(ds.Schema)
+	}
+	return e.Bytes()
+}
+
+// DecodeHelloAck parses a MsgHelloAck payload.
+func DecodeHelloAck(b []byte) (HelloInfo, error) {
+	d := NewDecoder(b)
+	var h HelloInfo
+	h.Name = d.Str()
+	h.CapBits = d.U64()
+	nk := int(d.U32())
+	if d.Err() != nil || nk > d.Remaining() {
+		return h, fmt.Errorf("wire: bad helloack kernels")
+	}
+	for i := 0; i < nk; i++ {
+		h.Kernels = append(h.Kernels, d.Str())
+	}
+	nd := int(d.U32())
+	if d.Err() != nil || nd > d.Remaining() {
+		return h, fmt.Errorf("wire: bad helloack datasets")
+	}
+	for i := 0; i < nd; i++ {
+		var ds DatasetHello
+		ds.Name = d.Str()
+		ds.Rows = d.I64()
+		sn := int(d.U32())
+		raw := d.RawN(sn)
+		if d.Err() != nil {
+			return h, fmt.Errorf("wire: bad helloack schema bytes")
+		}
+		ds.Schema = append([]byte(nil), raw...)
+		h.Datasets = append(h.Datasets, ds)
+	}
+	return h, d.Err()
+}

@@ -1,0 +1,189 @@
+// Package nexus is a LINQ-like organizing framework for Big Data
+// systems, reproducing the design called for in "Desiderata for a Big
+// Data Language" (David Maier, CIDR 2015).
+//
+// The central abstraction is an algebraic intermediate form — the Big
+// Data algebra — whose operators span relational algebra, dimension-aware
+// array operations over a fused tabular/array model, and control
+// iteration (fixpoints with convergence criteria). Client programs build
+// queries with the fluent Query API (or the pipeline surface language),
+// the planner optimizes and partitions them across registered back-end
+// providers by capability and data locality, and the federation layer
+// executes multi-server plans with intermediates passing directly
+// between servers.
+//
+// A minimal program:
+//
+//	s := nexus.NewSession()
+//	eng, _ := s.AddEngine(nexus.Relational, "db")
+//	_ = eng // engines expose provider-level knobs when needed
+//	_ = s.Store("db", "sales", salesTable)
+//	res, err := s.Scan("sales").
+//		Where(nexus.Gt(nexus.Col("qty"), nexus.Int(3))).
+//		GroupBy("region").
+//		Agg(nexus.Sum("rev", nexus.Mul(nexus.Col("price"), nexus.Col("qty")))).
+//		OrderBy(nexus.Desc("rev")).
+//		Collect()
+//
+// Results are collections in the client environment (no cursors), per the
+// paper.
+package nexus
+
+import (
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/value"
+)
+
+// Expr is a scalar expression usable in Where, Extend, aggregates and
+// join residuals.
+type Expr = expr.Expr
+
+// Col references a column by name (optionally qualified, "t.col").
+func Col(name string) Expr { return expr.Column(name) }
+
+// Int returns an int64 literal.
+func Int(v int64) Expr { return expr.CInt(v) }
+
+// Float returns a float64 literal.
+func Float(v float64) Expr { return expr.CFloat(v) }
+
+// Str returns a string literal.
+func Str(v string) Expr { return expr.CStr(v) }
+
+// Bool returns a bool literal.
+func Bool(v bool) Expr { return expr.CBool(v) }
+
+// NullLit returns the NULL literal.
+func NullLit() Expr { return expr.C(value.Null) }
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return expr.Add(l, r) }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return expr.Sub(l, r) }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return expr.Mul(l, r) }
+
+// Div returns l / r.
+func Div(l, r Expr) Expr { return expr.Div(l, r) }
+
+// Eq returns l == r.
+func Eq(l, r Expr) Expr { return expr.Eq(l, r) }
+
+// Ne returns l != r.
+func Ne(l, r Expr) Expr { return expr.Ne(l, r) }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Expr { return expr.Lt(l, r) }
+
+// Le returns l <= r.
+func Le(l, r Expr) Expr { return expr.Le(l, r) }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Expr { return expr.Gt(l, r) }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Expr { return expr.Ge(l, r) }
+
+// And returns l && r.
+func And(l, r Expr) Expr { return expr.And(l, r) }
+
+// Or returns l || r.
+func Or(l, r Expr) Expr { return expr.Or(l, r) }
+
+// Not returns !x.
+func Not(x Expr) Expr { return expr.Not(x) }
+
+// Neg returns -x.
+func Neg(x Expr) Expr { return expr.Neg(x) }
+
+// IsNull tests x for NULL.
+func IsNull(x Expr) Expr { return expr.IsNull(x) }
+
+// Call invokes a registered scalar function (sqrt, abs, coalesce, if,
+// lower, substr, ...; see internal/expr for the registry).
+func Call(name string, args ...Expr) Expr { return expr.NewCall(name, args...) }
+
+// AggSpec describes one aggregate output column.
+type AggSpec = core.AggSpec
+
+// Sum aggregates the expression's sum as the named column.
+func Sum(as string, e Expr) AggSpec { return AggSpec{Func: core.AggSum, Arg: e, As: as} }
+
+// Count counts rows as the named column.
+func Count(as string) AggSpec { return AggSpec{Func: core.AggCount, As: as} }
+
+// CountOf counts non-null values of e.
+func CountOf(as string, e Expr) AggSpec { return AggSpec{Func: core.AggCount, Arg: e, As: as} }
+
+// Min aggregates the minimum of e.
+func Min(as string, e Expr) AggSpec { return AggSpec{Func: core.AggMin, Arg: e, As: as} }
+
+// Max aggregates the maximum of e.
+func Max(as string, e Expr) AggSpec { return AggSpec{Func: core.AggMax, Arg: e, As: as} }
+
+// Avg aggregates the mean of e.
+func Avg(as string, e Expr) AggSpec { return AggSpec{Func: core.AggAvg, Arg: e, As: as} }
+
+// CountDistinct counts distinct values of e.
+func CountDistinct(as string, e Expr) AggSpec {
+	return AggSpec{Func: core.AggCountDistinct, Arg: e, As: as}
+}
+
+// SortKey orders query output.
+type SortKey = core.SortSpec
+
+// Asc sorts ascending by the column.
+func Asc(col string) SortKey { return SortKey{Col: col} }
+
+// Desc sorts descending by the column.
+func Desc(col string) SortKey { return SortKey{Col: col, Desc: true} }
+
+// JoinType selects the join variant.
+type JoinType = core.JoinType
+
+// Join variants.
+const (
+	Inner = core.JoinInner
+	Left  = core.JoinLeft
+	Semi  = core.JoinSemi
+	Anti  = core.JoinAnti
+)
+
+// JoinKey pairs a left and right key column.
+type JoinKey struct{ Left, Right string }
+
+// On builds a join key pair.
+func On(left, right string) JoinKey { return JoinKey{Left: left, Right: right} }
+
+// Convergence is the stopping rule for Iterate.
+type Convergence = core.Convergence
+
+// Convergence metrics.
+const (
+	L1       = core.MetricL1
+	L2       = core.MetricL2
+	LInf     = core.MetricLInf
+	RowDelta = core.MetricRowDelta
+)
+
+// DimBound restricts a dimension to [Lo, Hi) in Dice.
+type DimBound = core.DimBound
+
+// DimExtent is a window extent along a dimension.
+type DimExtent = core.DimExtent
+
+// AggFunc names an aggregate function for Window and ReduceDims.
+type AggFunc = core.AggFunc
+
+// Aggregate functions.
+const (
+	AggSum           = core.AggSum
+	AggCount         = core.AggCount
+	AggMin           = core.AggMin
+	AggMax           = core.AggMax
+	AggAvg           = core.AggAvg
+	AggCountDistinct = core.AggCountDistinct
+)

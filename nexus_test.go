@@ -1,0 +1,393 @@
+package nexus_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nexus"
+)
+
+// newSalesSession builds a single-engine session with a small sales table.
+func newSalesSession(t *testing.T) *nexus.Session {
+	t.Helper()
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "id", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "region", Type: nexus.String},
+		nexus.ColumnDef{Name: "qty", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "price", Type: nexus.Float64},
+	).
+		Append(int64(1), "EU", int64(2), 10.0).
+		Append(int64(2), "EU", int64(5), 20.0).
+		Append(int64(3), "NA", int64(7), 30.0).
+		Append(int64(4), "NA", int64(1), 40.0).
+		Append(int64(5), "APAC", int64(9), 50.0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store("db", "sales", tab); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFluentFilterAggregate(t *testing.T) {
+	s := newSalesSession(t)
+	res, err := s.Scan("sales").
+		Where(nexus.Gt(nexus.Col("qty"), nexus.Int(1))).
+		GroupBy("region").
+		Agg(nexus.Sum("rev", nexus.Mul(nexus.Col("price"), nexus.Col("qty"))), nexus.Count("n")).
+		OrderBy(nexus.Desc("rev")).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("got %d regions:\n%s", res.NumRows(), res)
+	}
+	revs, err := res.Floats("rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revs[0] != 450 { // APAC: 9*50
+		t.Fatalf("top region rev = %g", revs[0])
+	}
+}
+
+func TestErrorCarryingChain(t *testing.T) {
+	s := newSalesSession(t)
+	_, err := s.Scan("sales").
+		Where(nexus.Gt(nexus.Col("no_such"), nexus.Int(1))).
+		Select("id").
+		Limit(3).
+		Collect()
+	if err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+	if !strings.Contains(err.Error(), "no_such") {
+		t.Fatalf("error %q does not name the column", err)
+	}
+	// Unknown dataset.
+	if _, err := s.Scan("nope").Collect(); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestSurfaceLanguageThroughSession(t *testing.T) {
+	s := newSalesSession(t)
+	res, err := s.Query(`
+		load sales
+		| where region != "EU"
+		| extend rev = price * qty
+		| agg total = sum(rev), n = count()
+	`).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := res.Floats("total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total[0]-(7*30+1*40+9*50)) > 1e-9 {
+		t.Fatalf("total = %g", total[0])
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	s := newSalesSession(t)
+	res, err := s.Scan("sales").OrderBy(nexus.Asc("id")).Limit(1).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Value(0, "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "EU" {
+		t.Fatalf("region = %v", v)
+	}
+	if _, err := res.Value(0, "nope"); err == nil {
+		t.Fatal("expected error for bad column")
+	}
+	if _, err := res.Value(5, "region"); err == nil {
+		t.Fatal("expected error for bad row")
+	}
+	if _, err := res.Floats("region"); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+	if names := res.ColumnNames(); len(names) != res.NumCols() {
+		t.Fatal("column names mismatch")
+	}
+}
+
+func TestIterateFluent(t *testing.T) {
+	s := newSalesSession(t)
+	init := s.Scan("sales").Select("id").Extend("x", nexus.Float(0)).Select("id", "x")
+	res, err := s.Iterate("st", init, func(loop *nexus.Query) *nexus.Query {
+		return loop.
+			Extend("x2", nexus.Div(nexus.Add(nexus.Col("x"), nexus.Float(8)), nexus.Float(2))).
+			Select("id", "x2").
+			Rename("x2", "x")
+	}, 100, &nexus.Convergence{Metric: nexus.LInf, Col: "x", Tol: 1e-9}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := res.Floats("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if math.Abs(x-8) > 1e-6 {
+			t.Fatalf("did not converge to 8: %g", x)
+		}
+	}
+}
+
+func TestLetFluent(t *testing.T) {
+	s := newSalesSession(t)
+	big := s.Scan("sales").Where(nexus.Gt(nexus.Col("qty"), nexus.Int(4)))
+	res, err := s.Let("b", big, func(ref *nexus.Query) *nexus.Query {
+		return ref.Union(ref, true)
+	}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 6 { // 3 rows with qty>4, doubled
+		t.Fatalf("let union: %d rows", res.NumRows())
+	}
+}
+
+func TestMultiEngineSessionFederates(t *testing.T) {
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEngine(nexus.LinAlg, "la"); err != nil {
+		t.Fatal(err)
+	}
+	// Matrices on the linalg engine.
+	a, err := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "i", Type: nexus.Int64, Dim: true},
+		nexus.ColumnDef{Name: "k", Type: nexus.Int64, Dim: true},
+		nexus.ColumnDef{Name: "v", Type: nexus.Float64},
+	).
+		Append(int64(0), int64(0), 1.0).Append(int64(0), int64(1), 2.0).
+		Append(int64(1), int64(0), 3.0).Append(int64(1), int64(1), 4.0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "k", Type: nexus.Int64, Dim: true},
+		nexus.ColumnDef{Name: "j", Type: nexus.Int64, Dim: true},
+		nexus.ColumnDef{Name: "v", Type: nexus.Float64},
+	).
+		Append(int64(0), int64(0), 5.0).Append(int64(0), int64(1), 6.0).
+		Append(int64(1), int64(0), 7.0).Append(int64(1), int64(1), 8.0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store("la", "A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store("la", "B", b); err != nil {
+		t.Fatal(err)
+	}
+	res, m, err := s.Scan("A").MatMul(s.Scan("B"), "c").CollectWithMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Fatalf("matmul cells: %d", res.NumRows())
+	}
+	// [[1,2],[3,4]]·[[5,6],[7,8]] = [[19,22],[43,50]]
+	want := map[[2]int64]float64{{0, 0}: 19, {0, 1}: 22, {1, 0}: 43, {1, 1}: 50}
+	is, _ := res.Ints("i")
+	js, _ := res.Ints("j")
+	cs, _ := res.Floats("c")
+	for r := range is {
+		if math.Abs(cs[r]-want[[2]int64{is[r], js[r]}]) > 1e-12 {
+			t.Fatalf("cell (%d,%d) = %g", is[r], js[r], cs[r])
+		}
+	}
+	if m.Fragments == 0 {
+		t.Fatal("metrics missing")
+	}
+}
+
+func TestMatMulIntentEndToEnd(t *testing.T) {
+	// The relational spelling of matmul must produce the same result as
+	// the first-class node, through the whole public stack.
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEngine(nexus.LinAlg, "la"); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(iName, kName string, vals [4]float64) *nexus.Table {
+		tab, err := nexus.NewTableBuilder(
+			nexus.ColumnDef{Name: iName, Type: nexus.Int64},
+			nexus.ColumnDef{Name: kName, Type: nexus.Int64},
+			nexus.ColumnDef{Name: "v", Type: nexus.Float64},
+		).
+			Append(int64(0), int64(0), vals[0]).Append(int64(0), int64(1), vals[1]).
+			Append(int64(1), int64(0), vals[2]).Append(int64(1), int64(1), vals[3]).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	if err := s.Store("db", "ra", mk("i", "k", [4]float64{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store("db", "rb", mk("k", "j", [4]float64{5, 6, 7, 8})); err != nil {
+		t.Fatal(err)
+	}
+	q := s.Scan("ra").
+		Join(s.Scan("rb"), nexus.Inner, nexus.On("k", "k")).
+		GroupBy("i", "j").
+		Agg(nexus.Sum("c", nexus.Mul(nexus.Col("v"), nexus.Col("v_r"))))
+	res, err := q.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int64]float64{{0, 0}: 19, {0, 1}: 22, {1, 0}: 43, {1, 1}: 50}
+	is, _ := res.Ints("i")
+	js, _ := res.Ints("j")
+	cs, _ := res.Floats("c")
+	for r := range is {
+		if math.Abs(cs[r]-want[[2]int64{is[r], js[r]}]) > 1e-12 {
+			t.Fatalf("cell (%d,%d) = %g", is[r], js[r], cs[r])
+		}
+	}
+	// With intent recognition the plan must contain a MatMul and land on
+	// the linalg provider.
+	explain, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "matmul") {
+		t.Fatalf("intent not visible in explain:\n%s", explain)
+	}
+	if !strings.Contains(explain, "on la") {
+		t.Fatalf("matmul not routed to linalg:\n%s", explain)
+	}
+}
+
+func TestPortabilityChecksumAcrossEngines(t *testing.T) {
+	// The same logical query on relational and array engines must produce
+	// identical result multisets (checksums).
+	build := func(kind nexus.EngineKind) uint64 {
+		s := nexus.NewSession()
+		if _, err := s.AddEngine(kind, "e"); err != nil {
+			t.Fatal(err)
+		}
+		tab, err := nexus.NewTableBuilder(
+			nexus.ColumnDef{Name: "t", Type: nexus.Int64, Dim: true},
+			nexus.ColumnDef{Name: "temp", Type: nexus.Float64},
+		).
+			Append(int64(0), 10.0).Append(int64(1), 12.0).Append(int64(2), 11.0).
+			Append(int64(3), 14.0).Append(int64(4), 13.0).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Store("e", "series", tab); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Scan("series").
+			Dice(nexus.DimBound{Dim: "t", Lo: 1, Hi: 4}).
+			ReduceDims([]string{"t"}, nexus.Sum("s", nexus.Col("temp"))).
+			Collect()
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		return res.Checksum()
+	}
+	if build(nexus.Relational) != build(nexus.Array) {
+		t.Fatal("checksums differ across engines")
+	}
+}
+
+func TestDemoAndShipModes(t *testing.T) {
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEngine(nexus.Array, "arr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Demo(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.DatasetSchema("sales"); !ok {
+		t.Fatal("demo data missing")
+	}
+	// Cross-engine query under both ship modes must agree.
+	q := func() *nexus.Query {
+		return s.Scan("grid").
+			Window([]nexus.DimExtent{{Dim: "x", Before: 1, After: 1}}, nexus.AggAvg, "v", "m").
+			ReduceDims([]string{"x", "y"}, nexus.Sum("total", nexus.Col("m")))
+	}
+	s.SetShipMode(nexus.Direct)
+	r1, m1, err := q().CollectWithMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetShipMode(nexus.Routed)
+	r2, _, err := q().CollectWithMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checksum() != r2.Checksum() {
+		t.Fatal("ship modes disagree")
+	}
+	_ = m1
+}
+
+func TestTableBuilderErrors(t *testing.T) {
+	_, err := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "x", Type: nexus.Int64},
+	).Append("not an int").Build()
+	if err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+	_, err = nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "d", Type: nexus.Float64, Dim: true},
+	).Build()
+	if err == nil {
+		t.Fatal("expected dim-kind error")
+	}
+	tb := nexus.NewTableBuilder(nexus.ColumnDef{Name: "x", Type: nexus.Int64})
+	if _, err := tb.Append(struct{}{}).Build(); err == nil {
+		t.Fatal("expected unsupported type error")
+	}
+}
+
+func TestFromIntsAndNulls(t *testing.T) {
+	tab := nexus.FromInts("x", []int64{1, 2, 3})
+	if tab.NumRows() != 3 {
+		t.Fatal("FromInts broken")
+	}
+	withNull, err := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "x", Type: nexus.Int64},
+	).Append(int64(1)).Append(nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := withNull.Value(1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("expected nil for NULL, got %v", v)
+	}
+}

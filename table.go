@@ -1,0 +1,185 @@
+package nexus
+
+import (
+	"fmt"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Type names a column's scalar type in the public API.
+type Type = value.Kind
+
+// Column types.
+const (
+	Bool64  = value.KindBool
+	Int64   = value.KindInt64
+	Float64 = value.KindFloat64
+	String  = value.KindString
+)
+
+// ColumnDef declares one column of a table under construction. Dim marks
+// the column as an array dimension (must be Int64).
+type ColumnDef struct {
+	Name string
+	Type Type
+	Dim  bool
+}
+
+// Table is a query result or input dataset: an immutable columnar
+// collection in the client environment.
+type Table struct {
+	t *table.Table
+}
+
+// wrapTable adapts an internal table.
+func wrapTable(t *table.Table) *Table { return &Table{t: t} }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.t.NumRows() }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return t.t.NumCols() }
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string { return t.t.Schema().Names() }
+
+// String renders up to 20 rows.
+func (t *Table) String() string { return t.t.String() }
+
+// Format renders up to maxRows rows.
+func (t *Table) Format(maxRows int) string { return t.t.Format(maxRows) }
+
+// Checksum returns an order-independent digest; identical result
+// multisets have identical checksums across engines.
+func (t *Table) Checksum() uint64 { return t.t.Checksum() }
+
+// Ints returns the named int64 column's values.
+func (t *Table) Ints(col string) ([]int64, error) {
+	c := t.t.ColByName(col)
+	if c == nil {
+		return nil, fmt.Errorf("nexus: no column %q", col)
+	}
+	if c.Kind() != value.KindInt64 {
+		return nil, fmt.Errorf("nexus: column %q is %v, not int64", col, c.Kind())
+	}
+	return c.Ints(), nil
+}
+
+// Floats returns the named float64 column's values.
+func (t *Table) Floats(col string) ([]float64, error) {
+	c := t.t.ColByName(col)
+	if c == nil {
+		return nil, fmt.Errorf("nexus: no column %q", col)
+	}
+	if c.Kind() != value.KindFloat64 {
+		return nil, fmt.Errorf("nexus: column %q is %v, not float64", col, c.Kind())
+	}
+	return c.Floats(), nil
+}
+
+// Strings returns the named string column's values.
+func (t *Table) Strings(col string) ([]string, error) {
+	c := t.t.ColByName(col)
+	if c == nil {
+		return nil, fmt.Errorf("nexus: no column %q", col)
+	}
+	if c.Kind() != value.KindString {
+		return nil, fmt.Errorf("nexus: column %q is %v, not string", col, c.Kind())
+	}
+	return c.Strs(), nil
+}
+
+// Value returns the cell at (row, col) as a Go value: nil for NULL, or
+// bool / int64 / float64 / string.
+func (t *Table) Value(row int, col string) (any, error) {
+	c := t.t.ColByName(col)
+	if c == nil {
+		return nil, fmt.Errorf("nexus: no column %q", col)
+	}
+	if row < 0 || row >= t.t.NumRows() {
+		return nil, fmt.Errorf("nexus: row %d out of range [0,%d)", row, t.t.NumRows())
+	}
+	v := c.Value(row)
+	switch v.Kind() {
+	case value.KindNull:
+		return nil, nil
+	case value.KindBool:
+		return v.Bool(), nil
+	case value.KindInt64:
+		return v.Int(), nil
+	case value.KindFloat64:
+		return v.Float(), nil
+	case value.KindString:
+		return v.Str(), nil
+	}
+	return nil, fmt.Errorf("nexus: bad value kind")
+}
+
+// TableBuilder accumulates rows for a new table.
+type TableBuilder struct {
+	b   *table.Builder
+	err error
+}
+
+// NewTableBuilder starts a table with the given columns.
+func NewTableBuilder(cols ...ColumnDef) *TableBuilder {
+	attrs := make([]schema.Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = schema.Attribute{Name: c.Name, Kind: c.Type, Dim: c.Dim}
+	}
+	sch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return &TableBuilder{err: fmt.Errorf("nexus: %w", err)}
+	}
+	return &TableBuilder{b: table.NewBuilder(sch, 0)}
+}
+
+// Append adds one row from Go values: nil (NULL), bool, int, int64,
+// float64 or string. It records the first error and becomes a no-op
+// afterwards; Build reports it.
+func (tb *TableBuilder) Append(vals ...any) *TableBuilder {
+	if tb.err != nil {
+		return tb
+	}
+	row := make([]value.Value, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			row[i] = value.Null
+		case bool:
+			row[i] = value.NewBool(x)
+		case int:
+			row[i] = value.NewInt(int64(x))
+		case int64:
+			row[i] = value.NewInt(x)
+		case float64:
+			row[i] = value.NewFloat(x)
+		case string:
+			row[i] = value.NewString(x)
+		default:
+			tb.err = fmt.Errorf("nexus: unsupported value type %T at column %d", v, i)
+			return tb
+		}
+	}
+	if err := tb.b.Append(row...); err != nil {
+		tb.err = fmt.Errorf("nexus: %w", err)
+	}
+	return tb
+}
+
+// Build finalizes the table.
+func (tb *TableBuilder) Build() (*Table, error) {
+	if tb.err != nil {
+		return nil, tb.err
+	}
+	return wrapTable(tb.b.Build()), nil
+}
+
+// FromInts builds a single-column int64 table (convenience for tests and
+// examples).
+func FromInts(col string, vals []int64) *Table {
+	sch := schema.New(schema.Attribute{Name: col, Kind: value.KindInt64})
+	return wrapTable(table.MustNew(sch, []*table.Column{table.IntColumn(vals)}))
+}
