@@ -6,6 +6,7 @@
 package nexus_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -416,4 +417,91 @@ func BenchmarkOptimizer(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- data in motion: streaming micro-benchmarks ---------------------------
+
+// streamSource synthesizes n trade events with event time i (so tumbling
+// windows of w events per window size w).
+func streamSource(b *testing.B, n int64) nexus.StreamSource {
+	b.Helper()
+	syms := []string{"AAA", "BBB", "CCC", "DDD"}
+	src, err := nexus.GenerateSource("ts", n, func(i int64) []any {
+		return []any{i, syms[i%4], i % 100, float64(i%50) + 0.5}
+	},
+		nexus.ColumnDef{Name: "ts", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "sym", Type: nexus.String},
+		nexus.ColumnDef{Name: "vol", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "price", Type: nexus.Float64},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+// BenchmarkStreamThroughput measures end-to-end rows/s of a windowed
+// per-symbol aggregation over a generated event stream.
+func BenchmarkStreamThroughput(b *testing.B) {
+	const n = 100_000
+	s := nexus.NewSession()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.StreamFrom(streamSource(b, n)).
+			Window(nexus.Tumbling(10_000)).
+			GroupBy("sym").
+			Agg(nexus.Sum("notional", nexus.Mul(nexus.Col("price"), nexus.Col("vol"))), nexus.Count("trades")).
+			Collect(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumRows() != 40 { // 10 windows x 4 symbols
+			b.Fatalf("rows = %d", res.NumRows())
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkStreamStateless measures the micro-batch pipeline without
+// windows: filter + computed column, emitted batch by batch.
+func BenchmarkStreamStateless(b *testing.B) {
+	const n = 100_000
+	s := nexus.NewSession()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var rows int
+		_, err := s.StreamFrom(streamSource(b, n)).
+			Where(nexus.Gt(nexus.Col("vol"), nexus.Int(50))).
+			Extend("notional", nexus.Mul(nexus.Col("price"), nexus.Col("vol"))).
+			Subscribe(context.Background(), func(t *nexus.Table) error {
+				rows += t.NumRows()
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows == 0 {
+			b.Fatal("no rows emitted")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkStreamSlidingWindows stresses multi-window assignment: each
+// event lands in four overlapping sliding windows.
+func BenchmarkStreamSlidingWindows(b *testing.B) {
+	const n = 50_000
+	s := nexus.NewSession()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := s.StreamFrom(streamSource(b, n)).
+			Window(nexus.Sliding(4_000, 1_000)).
+			GroupBy("sym").
+			Agg(nexus.Avg("avg_price", nexus.Col("price"))).
+			Collect(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }

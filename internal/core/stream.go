@@ -1,0 +1,143 @@
+package core
+
+import "fmt"
+
+// The paper asks for one algebra spanning "data at rest and data in
+// motion". Stream windows are the algebra-level bridge: a StreamWindow
+// spec turns an unbounded stream into a sequence of bounded relations,
+// each of which the ordinary operators (Filter, GroupAgg, Join, ...)
+// evaluate unchanged. The spec lives in core so both the streaming
+// runtime (internal/stream) and future planner rules speak the same
+// vocabulary.
+
+// StreamWindowKind enumerates how a stream is cut into windows.
+type StreamWindowKind uint8
+
+// Window kinds.
+const (
+	// WindowTumbling partitions event time into fixed, non-overlapping
+	// intervals of Size units: [0,Size), [Size,2*Size), ...
+	WindowTumbling StreamWindowKind = iota
+	// WindowSliding covers event time with overlapping intervals of Size
+	// units whose starts are Slide units apart; an event belongs to every
+	// window whose interval contains its timestamp.
+	WindowSliding
+	// WindowCount groups every Size consecutive events (arrival order
+	// after the stateless stages), independent of event time.
+	WindowCount
+)
+
+// String names the window kind.
+func (k StreamWindowKind) String() string {
+	switch k {
+	case WindowTumbling:
+		return "tumbling"
+	case WindowSliding:
+		return "sliding"
+	case WindowCount:
+		return "count"
+	}
+	return fmt.Sprintf("windowkind(%d)", uint8(k))
+}
+
+// StreamWindow is a validated window specification. Size and Slide are in
+// event-time units for time windows (whatever unit the stream's time
+// column carries) and in events for count windows.
+type StreamWindow struct {
+	Kind  StreamWindowKind
+	Size  int64
+	Slide int64 // sliding windows only; Slide == Size degenerates to tumbling
+}
+
+// NewTumblingWindow validates a tumbling window of the given size.
+func NewTumblingWindow(size int64) (StreamWindow, error) {
+	w := StreamWindow{Kind: WindowTumbling, Size: size, Slide: size}
+	return w, w.Validate()
+}
+
+// NewSlidingWindow validates a sliding window: slide must be positive and
+// no larger than size (gaps would silently drop events).
+func NewSlidingWindow(size, slide int64) (StreamWindow, error) {
+	w := StreamWindow{Kind: WindowSliding, Size: size, Slide: slide}
+	return w, w.Validate()
+}
+
+// NewCountWindow validates a count window of n events.
+func NewCountWindow(n int64) (StreamWindow, error) {
+	w := StreamWindow{Kind: WindowCount, Size: n}
+	return w, w.Validate()
+}
+
+// Validate checks the spec's invariants.
+func (w StreamWindow) Validate() error {
+	switch w.Kind {
+	case WindowTumbling:
+		if w.Size <= 0 {
+			return fmt.Errorf("core: tumbling window size must be positive, got %d", w.Size)
+		}
+	case WindowSliding:
+		if w.Size <= 0 {
+			return fmt.Errorf("core: sliding window size must be positive, got %d", w.Size)
+		}
+		if w.Slide <= 0 || w.Slide > w.Size {
+			return fmt.Errorf("core: sliding window slide must be in (0, size], got slide=%d size=%d", w.Slide, w.Size)
+		}
+	case WindowCount:
+		if w.Size <= 0 {
+			return fmt.Errorf("core: count window size must be positive, got %d", w.Size)
+		}
+	default:
+		return fmt.Errorf("core: unknown window kind %v", w.Kind)
+	}
+	return nil
+}
+
+// String renders the spec.
+func (w StreamWindow) String() string {
+	switch w.Kind {
+	case WindowSliding:
+		return fmt.Sprintf("sliding(%d, %d)", w.Size, w.Slide)
+	case WindowCount:
+		return fmt.Sprintf("count(%d)", w.Size)
+	}
+	return fmt.Sprintf("tumbling(%d)", w.Size)
+}
+
+// TimeBased reports whether the window is driven by event time (and thus
+// by watermarks) rather than by arrival count.
+func (w StreamWindow) TimeBased() bool { return w.Kind != WindowCount }
+
+// Assign appends to dst the start coordinates of every window containing
+// event time t, in ascending order, and returns dst. Window [start,
+// start+Size) contains t iff start <= t < start+Size. Only meaningful for
+// time-based windows.
+func (w StreamWindow) Assign(dst []int64, t int64) []int64 {
+	switch w.Kind {
+	case WindowTumbling:
+		return append(dst, floorMultiple(t, w.Size))
+	case WindowSliding:
+		hi := floorMultiple(t, w.Slide)
+		// Walk down from the latest window start covering t; collect in
+		// ascending order.
+		n := len(dst)
+		for start := hi; start > t-w.Size; start -= w.Slide {
+			dst = append(dst, start)
+		}
+		// Reverse the appended run.
+		for i, j := n, len(dst)-1; i < j; i, j = i+1, j-1 {
+			dst[i], dst[j] = dst[j], dst[i]
+		}
+		return dst
+	}
+	return dst
+}
+
+// floorMultiple rounds t down to a multiple of size (toward negative
+// infinity, so pre-epoch timestamps window correctly).
+func floorMultiple(t, size int64) int64 {
+	m := t % size
+	if m < 0 {
+		m += size
+	}
+	return t - m
+}

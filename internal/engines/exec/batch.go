@@ -1,0 +1,18 @@
+package exec
+
+import (
+	"nexus/internal/core"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+)
+
+// GroupAggregate exposes the hash-aggregation kernel directly, outside a
+// full plan walk: group in by the key columns and compute each aggregate
+// spec per group, producing a table with the given output schema (keys
+// then aggregates). With no keys the whole input forms one group. The
+// streaming runtime's incremental window state is built from this
+// kernel's Accumulator; this entry point is the batch reference it is
+// verified against (see internal/stream's kernel-equivalence test).
+func GroupAggregate(in *table.Table, keys []string, aggs []core.AggSpec, outSchema schema.Schema) (*table.Table, error) {
+	return groupAggregate(in, keys, aggs, outSchema)
+}

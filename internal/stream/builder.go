@@ -1,0 +1,355 @@
+package stream
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Names of the plan variables the pipeline binds per evaluation: the
+// current micro-batch for the stateless stages, and the current window
+// result for post-aggregation stages.
+const (
+	batchVar  = "__stream_batch"
+	windowVar = "__stream_window"
+)
+
+// Output columns prepended to every windowed aggregation result. For
+// time-based windows they are event-time bounds [start, end); for count
+// windows they are event sequence numbers.
+const (
+	WindowStartCol = "window_start"
+	WindowEndCol   = "window_end"
+)
+
+// Builder assembles a streaming pipeline. It mirrors the batch Query
+// builder: immutable, error-carrying, every stage compiled into the
+// existing core algebra nodes so stream and batch programs share one
+// algebra and one type checker. Stages added before Aggregate apply to
+// each micro-batch; stages added after apply to each emitted window
+// result (the streaming HAVING).
+type Builder struct {
+	src Source
+	err error
+
+	pre  core.Node // plan over Var(batchVar, src.Schema())
+	post core.Node // plan over Var(windowVar, winSch); nil until Aggregate
+
+	win    core.StreamWindow
+	keys   []string
+	aggs   []core.AggSpec
+	winSch schema.Schema // window bounds + keys + aggregate outputs
+
+	// timeImplicit records that the latest Project kept the event-time
+	// column only for windowing's sake; if no window follows, Build
+	// strips it again so stateless streams match batch Select semantics.
+	timeImplicit bool
+
+	batchSize int
+	lateness  int64
+}
+
+// DefaultBatchSize is the micro-batch row cap when none is configured.
+const DefaultBatchSize = 1024
+
+// NewBuilder starts a pipeline over the source, validating that the
+// source's event-time column exists and is int64.
+func NewBuilder(src Source) *Builder {
+	b := &Builder{src: src, batchSize: DefaultBatchSize}
+	if src == nil {
+		b.err = fmt.Errorf("stream: nil source")
+		return b
+	}
+	if _, err := timeIndex(src.Schema(), src.TimeCol()); err != nil {
+		b.err = err
+		return b
+	}
+	v, err := core.NewVar(batchVar, src.Schema())
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.pre = v
+	return b
+}
+
+// FailedBuilder returns a builder carrying a pre-existing error, for
+// callers whose source acquisition failed (the error surfaces at Build,
+// like any construction error).
+func FailedBuilder(err error) *Builder { return &Builder{err: err} }
+
+// timeIndex locates the event-time column and checks its kind.
+func timeIndex(sch schema.Schema, timeCol string) (int, error) {
+	i := sch.IndexOf(timeCol)
+	if i < 0 {
+		return -1, fmt.Errorf("stream: no event-time column %q in %v", timeCol, sch)
+	}
+	if sch.At(i).Kind != value.KindInt64 {
+		return -1, fmt.Errorf("stream: event-time column %q must be int64, is %v", timeCol, sch.At(i).Kind)
+	}
+	return i, nil
+}
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// clone copies the builder for immutable derivation.
+func (b *Builder) clone() *Builder {
+	nb := *b
+	return &nb
+}
+
+// fail returns a copy carrying the error.
+func (b *Builder) fail(err error) *Builder {
+	nb := b.clone()
+	nb.err = err
+	return nb
+}
+
+// cur returns the plan the next stateless stage extends.
+func (b *Builder) cur() core.Node {
+	if b.post != nil {
+		return b.post
+	}
+	return b.pre
+}
+
+// derive installs a rebuilt plan on a copy.
+func (b *Builder) derive(n core.Node, err error) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if err != nil {
+		return b.fail(err)
+	}
+	nb := b.clone()
+	if b.post != nil {
+		nb.post = n
+	} else {
+		nb.pre = n
+	}
+	return nb
+}
+
+// Filter keeps rows satisfying the predicate.
+func (b *Builder) Filter(pred expr.Expr) *Builder {
+	if b.err != nil {
+		return b
+	}
+	return b.derive(core.NewFilter(b.cur(), pred))
+}
+
+// Project keeps the named columns. Before aggregation the event-time
+// column is retained implicitly (windowing needs it).
+func (b *Builder) Project(cols []string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	implicit := b.timeImplicit
+	if b.post == nil {
+		tc := b.src.TimeCol()
+		found := false
+		for _, c := range cols {
+			if c == tc {
+				found = true
+				break
+			}
+		}
+		implicit = !found
+		if !found {
+			cols = append(append([]string(nil), cols...), tc)
+		}
+	}
+	nb := b.derive(core.NewProject(b.cur(), cols))
+	if nb.err == nil {
+		nb.timeImplicit = implicit
+	}
+	return nb
+}
+
+// Extend appends a computed column.
+func (b *Builder) Extend(name string, e expr.Expr) *Builder {
+	if b.err != nil {
+		return b
+	}
+	return b.derive(core.NewExtend(b.cur(), []core.ColDef{{Name: name, E: e}}))
+}
+
+// JoinTable equijoins the stream against a bounded table (enrichment).
+// The table rides along as a plan literal, so the same exec join kernel
+// that serves batch queries runs per micro-batch.
+func (b *Builder) JoinTable(t *table.Table, typ core.JoinType, leftKeys, rightKeys []string, residual expr.Expr) *Builder {
+	if b.err != nil {
+		return b
+	}
+	lit, err := core.NewLiteral(t)
+	if err != nil {
+		return b.fail(err)
+	}
+	return b.derive(core.NewJoin(b.cur(), lit, typ, leftKeys, rightKeys, residual))
+}
+
+// Aggregate installs the windowed group-aggregation stage: cut the stream
+// into windows per spec, group rows within each window by the key
+// columns, and emit one result relation per closed window. Keys and
+// aggregates are validated through core.NewGroupAgg — the same inference
+// a batch GroupBy().Agg() gets.
+func (b *Builder) Aggregate(w core.StreamWindow, keys []string, aggs []core.AggSpec) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if b.post != nil {
+		return b.fail(fmt.Errorf("stream: pipeline already aggregated"))
+	}
+	if err := w.Validate(); err != nil {
+		return b.fail(err)
+	}
+	ga, err := core.NewGroupAgg(b.pre, keys, aggs)
+	if err != nil {
+		return b.fail(err)
+	}
+	attrs := []schema.Attribute{
+		{Name: WindowStartCol, Kind: value.KindInt64},
+		{Name: WindowEndCol, Kind: value.KindInt64},
+	}
+	attrs = append(attrs, ga.Schema().Attrs()...)
+	winSch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return b.fail(fmt.Errorf("stream: window output: %w", err))
+	}
+	post, err := core.NewVar(windowVar, winSch)
+	if err != nil {
+		return b.fail(err)
+	}
+	nb := b.clone()
+	nb.win = w
+	nb.keys = append([]string(nil), keys...)
+	nb.aggs = append([]core.AggSpec(nil), aggs...)
+	nb.winSch = winSch
+	nb.post = post
+	return nb
+}
+
+// WithBatchSize caps micro-batch size (rows pulled per evaluation).
+func (b *Builder) WithBatchSize(n int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if n <= 0 {
+		return b.fail(fmt.Errorf("stream: batch size must be positive, got %d", n))
+	}
+	nb := b.clone()
+	nb.batchSize = n
+	return nb
+}
+
+// WithLateness sets the allowed event-time lateness: the watermark trails
+// the maximum observed event time by this much, so out-of-order events
+// within the bound still land in their windows.
+func (b *Builder) WithLateness(l int64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if l < 0 {
+		return b.fail(fmt.Errorf("stream: lateness must be non-negative, got %d", l))
+	}
+	nb := b.clone()
+	nb.lateness = l
+	return nb
+}
+
+// OutputSchema is the schema of emitted result tables.
+func (b *Builder) OutputSchema() (schema.Schema, error) {
+	if b.err != nil {
+		return schema.Schema{}, b.err
+	}
+	sch := b.cur().Schema()
+	if b.post == nil && b.timeImplicit {
+		// Build strips the implicitly retained time column for
+		// never-windowed pipelines; report the stripped schema.
+		return sch.ProjectNames(b.nonTimeCols(sch))
+	}
+	return sch, nil
+}
+
+// nonTimeCols lists the schema's column names minus the event-time
+// column.
+func (b *Builder) nonTimeCols(sch schema.Schema) []string {
+	cols := make([]string, 0, sch.Len()-1)
+	for i := 0; i < sch.Len(); i++ {
+		if sch.At(i).Name != b.src.TimeCol() {
+			cols = append(cols, sch.At(i).Name)
+		}
+	}
+	return cols
+}
+
+// Build finalizes the pipeline: per-batch plans are fixed, aggregate
+// argument expressions are compiled once against the post-stage schema,
+// and key positions are resolved.
+func (b *Builder) Build() (*Pipeline, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &Pipeline{
+		src:       b.src,
+		pre:       b.pre,
+		post:      b.post,
+		batchSize: b.batchSize,
+		lateness:  b.lateness,
+	}
+	var err error
+	p.srcTimeIdx, err = timeIndex(b.src.Schema(), b.src.TimeCol())
+	if err != nil {
+		return nil, err
+	}
+	p.srcWidth = b.src.Schema().Len()
+	if b.post == nil {
+		if b.timeImplicit {
+			// No window ever consumed the implicitly retained time
+			// column; drop it so the output matches the user's Select.
+			pre, err := core.NewProject(p.pre, b.nonTimeCols(p.pre.Schema()))
+			if err != nil {
+				return nil, err
+			}
+			p.pre = pre
+		}
+		p.outSch = p.pre.Schema()
+		return p, nil
+	}
+	p.windowed = true
+	p.win = b.win
+	p.winSch = b.winSch
+	p.outSch = b.post.Schema()
+	preSch := b.pre.Schema()
+	// Time-based windows read event time from the transformed rows.
+	p.preTimeIdx, err = timeIndex(preSch, b.src.TimeCol())
+	if err != nil {
+		return nil, err
+	}
+	p.keyIdx = make([]int, len(b.keys))
+	for i, k := range b.keys {
+		pos := preSch.IndexOf(k)
+		if pos < 0 {
+			return nil, fmt.Errorf("stream: no group key column %q", k)
+		}
+		p.keyIdx[i] = pos
+	}
+	p.aggs = b.aggs
+	p.argExprs = make([]*expr.Compiled, len(b.aggs))
+	for i, a := range b.aggs {
+		if a.Arg == nil {
+			continue
+		}
+		c, err := expr.Compile(a.Arg, preSch)
+		if err != nil {
+			return nil, fmt.Errorf("stream: aggregate %q: %w", a.As, err)
+		}
+		p.argExprs[i] = c
+	}
+	return p, nil
+}

@@ -1,0 +1,355 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"nexus/internal/core"
+	"nexus/internal/engines/exec"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Stats reports the work a pipeline run performed.
+type Stats struct {
+	Events    int64 // rows consumed from the source
+	Batches   int64 // micro-batches evaluated
+	Windows   int64 // windows emitted (including the end-of-stream flush)
+	Late      int64 // rows dropped because every window they belong to had closed
+	OutRows   int64 // rows delivered to the sink
+	Watermark int64 // final event-time watermark (math.MinInt64 if no events)
+}
+
+// Pipeline is an executable streaming query, produced by Builder.Build.
+// A Pipeline is stateless between runs; Run may be called again
+// (sequentially) when the source allows reopening (see Source.Open).
+type Pipeline struct {
+	src       Source
+	pre       core.Node // stateless stages over Var(batchVar, ...)
+	post      core.Node // post-window stages over Var(windowVar, ...); nil if not windowed
+	batchSize int
+	lateness  int64
+
+	srcTimeIdx int
+	srcWidth   int
+
+	windowed   bool
+	win        core.StreamWindow
+	winSch     schema.Schema // window bounds + keys + aggregates
+	outSch     schema.Schema // schema of emitted tables
+	preTimeIdx int
+	keyIdx     []int
+	aggs       []core.AggSpec
+	argExprs   []*expr.Compiled // parallel to aggs; nil for count(*)
+}
+
+// OutputSchema describes emitted result tables.
+func (p *Pipeline) OutputSchema() schema.Schema { return p.outSch }
+
+// winGroup is the incremental aggregation state of one group within one
+// window: the group's key values and one exec accumulator per aggregate —
+// the same kernels batch GroupAgg uses, fed a row at a time.
+type winGroup struct {
+	keyVals []value.Value
+	accs    []*exec.Accumulator
+}
+
+// winState is one open window.
+type winState struct {
+	start, end int64
+	groups     map[string]*winGroup
+	order      []*winGroup
+	count      int64 // rows assigned (count windows close on this)
+}
+
+// Run drives the pipeline to end-of-stream (or ctx cancellation),
+// delivering every emitted result table to the sink.
+func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
+	var st Stats
+	st.Watermark = math.MinInt64
+
+	// When this consumer stops for any reason — error, cancellation, end
+	// of stream — release the producers: cancel the source's context so
+	// pull sources (replay, generator) exit their goroutines, and signal
+	// push sources so a blocked Send returns instead of leaking.
+	ctx, cancelSrc := context.WithCancel(ctx)
+	defer cancelSrc()
+	if s, ok := p.src.(interface{ stop() }); ok {
+		defer s.stop()
+	}
+	rows := p.src.Open(ctx)
+	rt := &exec.Runtime{}
+	srcSch := p.src.Schema()
+
+	open := make(map[int64]*winState)
+	var (
+		maxTime   = int64(math.MinInt64)
+		watermark = int64(math.MinInt64)
+		seq       int64 // arrival counter for count windows
+		winBuf    []int64
+		keyBuf    []byte
+	)
+
+	emit := func(t *table.Table) error {
+		if p.post != nil {
+			var err error
+			t, err = rt.Eval(p.post, (*exec.Env)(nil).Bind(windowVar, t))
+			if err != nil {
+				return err
+			}
+		}
+		if t.NumRows() == 0 {
+			return nil
+		}
+		st.OutRows += int64(t.NumRows())
+		return sink.Emit(t)
+	}
+	emitWindow := func(ws *winState) error {
+		st.Windows++
+		return emit(p.windowTable(ws))
+	}
+	// emitClosed flushes open windows whose end the watermark has passed,
+	// in ascending start order for deterministic output.
+	emitClosed := func(mark int64) error {
+		var due []int64
+		for start, ws := range open {
+			if ws.end <= mark {
+				due = append(due, start)
+			}
+		}
+		sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+		for _, start := range due {
+			if err := emitWindow(open[start]); err != nil {
+				return err
+			}
+			delete(open, start)
+		}
+		return nil
+	}
+
+	// The watermark advances between batches: accumulation sees the
+	// previous batch's mark (so same-batch stragglers are never late),
+	// emission after it sees the new one. It advances on every pipeline
+	// kind so Stats.Watermark stays an honest progress signal even when
+	// nothing waits on it.
+	advance := func() {
+		if maxTime != math.MinInt64 && maxTime-p.lateness > watermark {
+			watermark = maxTime - p.lateness
+			st.Watermark = watermark
+		}
+	}
+
+	eof := false
+	for !eof {
+		// Block for the first row of the next micro-batch, then drain
+		// whatever has already arrived (up to the batch cap) without
+		// waiting, so quiet streams keep low latency and busy streams
+		// amortize evaluation over large batches.
+		b := table.NewBuilder(srcSch, 0)
+		var first Row
+		var ok bool
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case first, ok = <-rows:
+		}
+		if !ok {
+			break
+		}
+		if err := p.appendRow(b, first, &maxTime); err != nil {
+			return st, err
+		}
+	drain:
+		for b.Len() < p.batchSize {
+			select {
+			case row, rok := <-rows:
+				if !rok {
+					eof = true
+					break drain
+				}
+				if err := p.appendRow(b, row, &maxTime); err != nil {
+					return st, err
+				}
+			default:
+				break drain
+			}
+		}
+		batch := b.Build()
+		st.Events += int64(batch.NumRows())
+		st.Batches++
+
+		out, err := rt.Eval(p.pre, (*exec.Env)(nil).Bind(batchVar, batch))
+		if err != nil {
+			return st, err
+		}
+		if !p.windowed {
+			advance()
+			if err := emit(out); err != nil {
+				return st, err
+			}
+			continue
+		}
+
+		// Assign transformed rows to windows and fold them into the
+		// per-window accumulators. The watermark in force is the one from
+		// before this batch: windows it closed are gone, anything newer
+		// is still open.
+		argCols, err := p.argColumns(out)
+		if err != nil {
+			return st, err
+		}
+		times := out.Col(p.preTimeIdx).Ints()
+		for i := 0; i < out.NumRows(); i++ {
+			if p.win.TimeBased() {
+				t := times[i]
+				winBuf = p.win.Assign(winBuf[:0], t)
+				live := false
+				for _, start := range winBuf {
+					if start+p.win.Size <= watermark {
+						continue // window already emitted; row is late
+					}
+					live = true
+					ws := open[start]
+					if ws == nil {
+						ws = &winState{start: start, end: start + p.win.Size, groups: make(map[string]*winGroup)}
+						open[start] = ws
+					}
+					keyBuf = p.foldRow(ws, out, i, argCols, keyBuf)
+				}
+				if !live {
+					st.Late++
+				}
+			} else {
+				start := (seq / p.win.Size) * p.win.Size
+				ws := open[start]
+				if ws == nil {
+					ws = &winState{start: start, end: start + p.win.Size, groups: make(map[string]*winGroup)}
+					open[start] = ws
+				}
+				keyBuf = p.foldRow(ws, out, i, argCols, keyBuf)
+				seq++
+				if ws.count == p.win.Size {
+					if err := emitWindow(ws); err != nil {
+						return st, err
+					}
+					delete(open, start)
+				}
+			}
+		}
+		advance()
+		if p.win.TimeBased() {
+			if err := emitClosed(watermark); err != nil {
+				return st, err
+			}
+		}
+	}
+	if err := p.src.Err(); err != nil {
+		return st, err
+	}
+	if p.windowed {
+		// End of stream: every remaining window closes, including partial
+		// count windows (their end reflects the rows actually seen).
+		for _, ws := range open {
+			if !p.win.TimeBased() {
+				ws.end = ws.start + ws.count
+			}
+		}
+		if err := emitClosed(math.MaxInt64); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// appendRow validates and buffers one source row, advancing the maximum
+// observed event time.
+func (p *Pipeline) appendRow(b *table.Builder, row Row, maxTime *int64) error {
+	if len(row) != p.srcWidth {
+		return fmt.Errorf("stream: event %d has %d values, schema needs %d", b.Len(), len(row), p.srcWidth)
+	}
+	tv := row[p.srcTimeIdx]
+	if tv.IsNull() || tv.Kind() != value.KindInt64 {
+		return fmt.Errorf("stream: event %d has no int64 event time (got %v)", b.Len(), tv)
+	}
+	if t := tv.Int(); t > *maxTime {
+		*maxTime = t
+	}
+	if err := b.Append(row...); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	return nil
+}
+
+// argColumns evaluates each aggregate's argument expression over the
+// transformed batch, vectorized, exactly as the batch kernel does.
+func (p *Pipeline) argColumns(t *table.Table) ([]*table.Column, error) {
+	cols := make([]*table.Column, len(p.argExprs))
+	for i, c := range p.argExprs {
+		if c == nil {
+			continue
+		}
+		col, err := c.EvalBatch(t)
+		if err != nil {
+			return nil, fmt.Errorf("stream: aggregate %q: %w", p.aggs[i].As, err)
+		}
+		cols[i] = col
+	}
+	return cols, nil
+}
+
+// foldRow adds transformed row i to the window's group state, creating
+// the group on first sight. Returns the (possibly grown) key buffer.
+func (p *Pipeline) foldRow(ws *winState, t *table.Table, i int, argCols []*table.Column, keyBuf []byte) []byte {
+	ws.count++
+	keyBuf = keyBuf[:0]
+	for _, pos := range p.keyIdx {
+		keyBuf = value.AppendKey(keyBuf, t.Value(i, pos))
+	}
+	g, ok := ws.groups[string(keyBuf)]
+	if !ok {
+		g = &winGroup{
+			keyVals: make([]value.Value, len(p.keyIdx)),
+			accs:    make([]*exec.Accumulator, len(p.aggs)),
+		}
+		for j, pos := range p.keyIdx {
+			g.keyVals[j] = t.Value(i, pos)
+		}
+		for j, a := range p.aggs {
+			g.accs[j] = exec.NewAccumulator(a.Func)
+		}
+		ws.groups[string(keyBuf)] = g
+		ws.order = append(ws.order, g)
+	}
+	for j := range p.aggs {
+		if argCols[j] == nil {
+			g.accs[j].Add(value.NewInt(1)) // count(*)
+			continue
+		}
+		g.accs[j].Add(argCols[j].Value(i))
+	}
+	return keyBuf
+}
+
+// windowTable materializes one closed window as a bounded relation:
+// window bounds, group keys, then aggregate results coerced to the
+// schema core inferred.
+func (p *Pipeline) windowTable(ws *winState) *table.Table {
+	sch := p.winSch
+	b := table.NewBuilder(sch, len(ws.order))
+	row := make([]value.Value, 0, sch.Len())
+	for _, g := range ws.order {
+		row = row[:0]
+		row = append(row, value.NewInt(ws.start), value.NewInt(ws.end))
+		row = append(row, g.keyVals...)
+		for j := range p.aggs {
+			want := sch.At(2 + len(p.keyIdx) + j).Kind
+			row = append(row, g.accs[j].Result(want))
+		}
+		b.MustAppend(row...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"nexus/internal/schema"
+	"nexus/internal/table"
+)
+
+// Sink receives result tables as the pipeline emits them: one per
+// micro-batch for stateless pipelines, one per closed window for
+// windowed ones.
+type Sink interface {
+	Emit(t *table.Table) error
+}
+
+// Callback adapts a function into a Sink (the subscription sink).
+type Callback func(t *table.Table) error
+
+// Emit implements Sink.
+func (f Callback) Emit(t *table.Table) error { return f(t) }
+
+// Collect accumulates every emitted table and concatenates them into one
+// bounded result — the stream analogue of Query.Collect.
+type Collect struct {
+	sch   schema.Schema
+	parts []*table.Table
+}
+
+// NewCollect returns a collecting sink for results of the given schema.
+func NewCollect(sch schema.Schema) *Collect { return &Collect{sch: sch} }
+
+// Emit implements Sink.
+func (c *Collect) Emit(t *table.Table) error {
+	c.parts = append(c.parts, t)
+	return nil
+}
+
+// Table returns everything collected so far as one table (empty, with
+// the right schema, if nothing was emitted).
+func (c *Collect) Table() (*table.Table, error) {
+	return table.Empty(c.sch).Concat(c.parts...)
+}

@@ -1,0 +1,253 @@
+// Package stream executes the Big Data algebra incrementally over
+// unbounded event streams — the paper's "data in motion" half of the
+// desiderata. Events flow from a Source into micro-batches; each batch is
+// a bounded table evaluated through the ordinary core operators by the
+// shared exec runtime, so stream programs and batch programs are one
+// algebra. Windowed aggregation keeps per-window, per-group accumulator
+// state (the exec agg kernels) and emits a window's result relation when
+// the event-time watermark passes its end.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Row is one stream element: a value per attribute of the stream's
+// schema. The event-time timestamp is an ordinary int64 column, named per
+// source, so relational operators can see and transform it.
+type Row = []value.Value
+
+// Source produces an ordered (by arrival, not necessarily by event time)
+// sequence of rows.
+type Source interface {
+	// Schema describes every row the source emits.
+	Schema() schema.Schema
+	// TimeCol names the int64 event-time column within Schema.
+	TimeCol() string
+	// Open starts production. Rows arrive on the returned channel, which
+	// is closed at end-of-stream or when ctx is cancelled. A source may
+	// be opened again after a run that completed cleanly, but not after
+	// a cancelled or failed one (its Err sticks).
+	Open(ctx context.Context) <-chan Row
+	// Err reports a terminal production error. It is valid only after the
+	// channel from Open has been closed.
+	Err() error
+}
+
+// Channel is a push source: callers feed rows with Send and finish the
+// stream with Close. It has a fixed buffer; Send blocks when the buffer
+// is full and the pipeline has not caught up. Like a raw Go channel,
+// Send and Close must not race each other — multiple producers need
+// external synchronization. If the consuming pipeline stops early
+// (error, cancellation), blocked Sends are released with an error
+// rather than leaking the producer goroutine.
+type Channel struct {
+	sch     schema.Schema
+	timeCol string
+	ch      chan Row
+	done    chan struct{} // closed when the consumer stops consuming
+	stopped sync.Once
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewChannel returns a channel-backed source with the given buffer size.
+func NewChannel(sch schema.Schema, timeCol string, buf int) *Channel {
+	if buf < 0 {
+		buf = 0
+	}
+	return &Channel{sch: sch, timeCol: timeCol, ch: make(chan Row, buf), done: make(chan struct{})}
+}
+
+// Schema implements Source.
+func (c *Channel) Schema() schema.Schema { return c.sch }
+
+// TimeCol implements Source.
+func (c *Channel) TimeCol() string { return c.timeCol }
+
+// Open implements Source. The pipeline's context does not interrupt
+// in-flight Send calls; close the source to unblock consumers.
+func (c *Channel) Open(ctx context.Context) <-chan Row { return c.ch }
+
+// Err implements Source; channel sources cannot fail.
+func (c *Channel) Err() error { return nil }
+
+// Send enqueues one row. The row's width must match the schema; value
+// kinds are checked downstream when the row enters a micro-batch.
+func (c *Channel) Send(row Row) error {
+	if len(row) != c.sch.Len() {
+		return fmt.Errorf("stream: send %d values to %d-column stream", len(row), c.sch.Len())
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return fmt.Errorf("stream: send on closed stream")
+	}
+	select {
+	case c.ch <- row:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("stream: consumer stopped")
+	}
+}
+
+// Close ends the stream; further Sends fail.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+}
+
+// stop implements the pipeline's consumer-stopped signal, releasing any
+// producer blocked in Send.
+func (c *Channel) stop() { c.stopped.Do(func() { close(c.done) }) }
+
+// replay is a pull source that re-plays a stored table's rows in order —
+// the bridge from data at rest to data in motion.
+type replay struct {
+	t       *table.Table
+	timeCol string
+
+	err error
+}
+
+// NewReplay returns a source that replays the table's rows in storage
+// order, reading event time from the named column.
+func NewReplay(t *table.Table, timeCol string) Source {
+	return &replay{t: t, timeCol: timeCol}
+}
+
+// Schema implements Source.
+func (r *replay) Schema() schema.Schema { return r.t.Schema() }
+
+// TimeCol implements Source.
+func (r *replay) TimeCol() string { return r.timeCol }
+
+// Err implements Source: a cancelled replay reports the context error so
+// consumers can tell a truncated stream from a completed one.
+func (r *replay) Err() error { return r.err }
+
+// Open implements Source.
+func (r *replay) Open(ctx context.Context) <-chan Row {
+	ch := make(chan Row, 256)
+	go func() {
+		defer close(ch)
+		for i := 0; i < r.t.NumRows(); i++ {
+			row := r.t.Row(i, make(Row, 0, r.t.NumCols()))
+			select {
+			case ch <- row:
+			case <-ctx.Done():
+				r.err = ctx.Err()
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// lazyReplay is a replay whose table is fetched only when the stream
+// runs. Session.StreamScan uses it so building (and validating) a stream
+// query over a stored dataset does not scan the dataset until Open.
+type lazyReplay struct {
+	sch     schema.Schema
+	timeCol string
+	fetch   func() (*table.Table, error)
+
+	err error
+}
+
+// NewLazyReplay returns a replay source that materializes its table via
+// fetch on Open. The schema must match what fetch will produce.
+func NewLazyReplay(sch schema.Schema, timeCol string, fetch func() (*table.Table, error)) Source {
+	return &lazyReplay{sch: sch, timeCol: timeCol, fetch: fetch}
+}
+
+// Schema implements Source.
+func (l *lazyReplay) Schema() schema.Schema { return l.sch }
+
+// TimeCol implements Source.
+func (l *lazyReplay) TimeCol() string { return l.timeCol }
+
+// Err implements Source.
+func (l *lazyReplay) Err() error { return l.err }
+
+// Open implements Source.
+func (l *lazyReplay) Open(ctx context.Context) <-chan Row {
+	ch := make(chan Row, 256)
+	go func() {
+		defer close(ch)
+		t, err := l.fetch()
+		if err != nil {
+			l.err = err
+			return
+		}
+		for i := 0; i < t.NumRows(); i++ {
+			row := t.Row(i, make(Row, 0, t.NumCols()))
+			select {
+			case ch <- row:
+			case <-ctx.Done():
+				l.err = ctx.Err()
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// generator synthesizes n rows by calling fn(0..n-1) — load generators
+// and tests use it for unbounded-ish input without materializing tables.
+type generator struct {
+	sch     schema.Schema
+	timeCol string
+	n       int64
+	fn      func(i int64) (Row, error)
+
+	err error
+}
+
+// NewGenerator returns a source producing n rows from fn.
+func NewGenerator(sch schema.Schema, timeCol string, n int64, fn func(i int64) (Row, error)) Source {
+	return &generator{sch: sch, timeCol: timeCol, n: n, fn: fn}
+}
+
+// Schema implements Source.
+func (g *generator) Schema() schema.Schema { return g.sch }
+
+// TimeCol implements Source.
+func (g *generator) TimeCol() string { return g.timeCol }
+
+// Err implements Source.
+func (g *generator) Err() error { return g.err }
+
+// Open implements Source.
+func (g *generator) Open(ctx context.Context) <-chan Row {
+	ch := make(chan Row, 256)
+	go func() {
+		defer close(ch)
+		for i := int64(0); i < g.n; i++ {
+			row, err := g.fn(i)
+			if err != nil {
+				g.err = fmt.Errorf("stream: generator row %d: %w", i, err)
+				return
+			}
+			select {
+			case ch <- row:
+			case <-ctx.Done():
+				g.err = ctx.Err()
+				return
+			}
+		}
+	}()
+	return ch
+}

@@ -27,6 +27,12 @@
 //
 // Results are collections in the client environment (no cursors), per the
 // paper.
+//
+// The algebra also spans data in motion: Session.StreamFrom (and
+// StreamScan, which replays a stored dataset) return a StreamQuery that
+// applies the same operators incrementally over unbounded event streams,
+// with tumbling, sliding and count windows, event-time watermarks, and
+// stream-table enrichment joins. See stream.go and examples/streaming.
 package nexus
 
 import (

@@ -1,6 +1,8 @@
 package nexus_test
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -389,5 +391,194 @@ func TestFromIntsAndNulls(t *testing.T) {
 	}
 	if v != nil {
 		t.Fatalf("expected nil for NULL, got %v", v)
+	}
+}
+
+// --- data in motion --------------------------------------------------------
+
+// timedSales builds a sales table with an event-time column and stores it
+// on a fresh single-engine session.
+func timedSales(t *testing.T) (*nexus.Session, *nexus.Table) {
+	t.Helper()
+	s := nexus.NewSession()
+	if _, err := s.AddEngine(nexus.Relational, "db"); err != nil {
+		t.Fatal(err)
+	}
+	b := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "ts", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "region", Type: nexus.String},
+		nexus.ColumnDef{Name: "qty", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "price", Type: nexus.Float64},
+	)
+	regions := []string{"EU", "NA", "APAC"}
+	for i := 0; i < 300; i++ {
+		// Timestamps land out of order within each pair of windows.
+		ts := int64((i/3)*7%500) + int64(i%3)
+		b = b.Append(ts, regions[i%3], int64(i%9), float64(i%13)+0.5)
+	}
+	tab, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store("db", "timed_sales", tab); err != nil {
+		t.Fatal(err)
+	}
+	return s, tab
+}
+
+// TestStreamMatchesBatchTotals is the acceptance check for data in
+// motion: a per-region revenue aggregation over tumbling event-time
+// windows, run as a stream, must produce exactly the totals of the
+// equivalent batch query over the table it replays.
+func TestStreamMatchesBatchTotals(t *testing.T) {
+	s, tab := timedSales(t)
+	const size = 100
+
+	streamed, stats, err := s.StreamFrom(nexus.ReplayTable(tab, "ts")).
+		BatchSize(32). // force many micro-batches
+		AllowedLateness(500).
+		Window(nexus.Tumbling(size)).
+		GroupBy("region").
+		Agg(nexus.Sum("rev", nexus.Mul(nexus.Col("price"), nexus.Col("qty"))), nexus.Count("n")).
+		CollectWithStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Late != 0 {
+		t.Fatalf("unexpected late drops: %+v", stats)
+	}
+
+	batch, err := s.Scan("timed_sales").
+		Extend("window_start", nexus.Mul(nexus.Div(nexus.Col("ts"), nexus.Int(size)), nexus.Int(size))).
+		GroupBy("window_start", "region").
+		Agg(nexus.Sum("rev", nexus.Mul(nexus.Col("price"), nexus.Col("qty"))), nexus.Count("n")).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.NumRows() != batch.NumRows() {
+		t.Fatalf("stream has %d groups, batch has %d\nstream:\n%s\nbatch:\n%s",
+			streamed.NumRows(), batch.NumRows(), streamed, batch)
+	}
+
+	key := func(ws int64, region string) string { return fmt.Sprintf("%d|%s", ws, region) }
+	want := map[string][2]float64{}
+	{
+		wss, _ := batch.Ints("window_start")
+		regions, _ := batch.Strings("region")
+		revs, _ := batch.Floats("rev")
+		ns, _ := batch.Ints("n")
+		for i := range wss {
+			want[key(wss[i], regions[i])] = [2]float64{revs[i], float64(ns[i])}
+		}
+	}
+	wss, _ := streamed.Ints(nexus.WindowStartCol)
+	regions, _ := streamed.Strings("region")
+	revs, _ := streamed.Floats("rev")
+	ns, _ := streamed.Ints("n")
+	for i := range wss {
+		w, ok := want[key(wss[i], regions[i])]
+		if !ok {
+			t.Fatalf("stream group (%d, %s) missing from batch result", wss[i], regions[i])
+		}
+		if math.Abs(w[0]-revs[i]) > 1e-9 || w[1] != float64(ns[i]) {
+			t.Fatalf("group (%d, %s): stream rev=%g n=%d, batch rev=%g n=%g",
+				wss[i], regions[i], revs[i], ns[i], w[0], w[1])
+		}
+	}
+}
+
+// TestStreamLiveChannel drives a StreamQuery from a concurrent producer
+// through filter, enrichment join and windowed aggregation (run under
+// -race in CI).
+func TestStreamLiveChannel(t *testing.T) {
+	s := nexus.NewSession()
+	dim, err := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "sym", Type: nexus.String},
+		nexus.ColumnDef{Name: "sector", Type: nexus.String},
+	).
+		Append("AAA", "tech").
+		Append("BBB", "energy").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := nexus.NewChannelStream("ts", 8,
+		nexus.ColumnDef{Name: "ts", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "sym", Type: nexus.String},
+		nexus.ColumnDef{Name: "vol", Type: nexus.Int64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer ch.Close()
+		for i := 0; i < 200; i++ {
+			if err := ch.Send(int64(i), []string{"AAA", "BBB", "ZZZ"}[i%3], int64(i%5)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	res, stats, err := s.StreamFrom(ch.Source()).
+		Where(nexus.Gt(nexus.Col("vol"), nexus.Int(0))).
+		JoinTable(dim, nexus.Inner, nexus.On("sym", "sym")).
+		Window(nexus.Tumbling(50)).
+		GroupBy("sector").
+		Agg(nexus.Sum("volume", nexus.Col("vol")), nexus.Count("trades")).
+		CollectWithStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 200 {
+		t.Fatalf("events = %d, want 200", stats.Events)
+	}
+	// 4 windows x 2 sectors (ZZZ rows have no dimension entry).
+	if res.NumRows() != 8 {
+		t.Fatalf("rows = %d, want 8:\n%s", res.NumRows(), res)
+	}
+	vols, _ := res.Ints("volume")
+	var total int64
+	for _, v := range vols {
+		total += v
+	}
+	// Σ vol over kept rows: i%5 for i in [0,200) where vol>0 and sym != "ZZZ".
+	var want int64
+	for i := 0; i < 200; i++ {
+		if v := int64(i % 5); v > 0 && i%3 != 2 {
+			want += v
+		}
+	}
+	if total != want {
+		t.Fatalf("total volume = %d, want %d", total, want)
+	}
+}
+
+// TestStreamScanAndSubscribe replays a stored dataset as a stream and
+// consumes per-window results through the subscription sink.
+func TestStreamScanAndSubscribe(t *testing.T) {
+	s, _ := timedSales(t)
+	var windows int
+	stats, err := s.StreamScan("timed_sales", "ts").
+		AllowedLateness(500).
+		Window(nexus.Tumbling(100)).
+		GroupBy("region").
+		Agg(nexus.Count("n")).
+		Subscribe(context.Background(), func(w *nexus.Table) error {
+			windows++
+			if w.NumRows() == 0 {
+				t.Error("empty window emitted")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows == 0 || stats.Windows != int64(windows) {
+		t.Fatalf("windows = %d, stats = %+v", windows, stats)
+	}
+	// Unknown dataset surfaces as a construction error.
+	if _, err := s.StreamScan("nope", "ts").Collect(context.Background()); err == nil {
+		t.Fatal("expected error for unknown dataset")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"nexus/internal/planner"
 	"nexus/internal/provider"
 	"nexus/internal/schema"
+	"nexus/internal/stream"
 	"nexus/internal/table"
 )
 
@@ -198,6 +199,33 @@ func (s *Session) Scan(dataset string) *Query {
 func (s *Session) TableQuery(t *Table) *Query {
 	n, err := coreLiteral(t.t)
 	return &Query{s: s, node: n, err: err}
+}
+
+// StreamFrom starts a streaming query (data in motion) over the source:
+// a live channel (NewChannelStream), a replayed table (ReplayTable), or
+// a generator (GenerateSource). The same algebra operators that Query
+// offers apply incrementally, per micro-batch.
+func (s *Session) StreamFrom(src StreamSource) *StreamQuery {
+	return &StreamQuery{s: s, b: stream.NewBuilder(src)}
+}
+
+// StreamScan replays a stored dataset as a stream: the dataset is
+// materialized from whichever provider hosts it and its rows are played
+// back in order, with event time read from the named int64 column.
+func (s *Session) StreamScan(dataset, timeCol string) *StreamQuery {
+	p, sch, ok := s.reg.FindDataset(dataset)
+	if !ok {
+		return &StreamQuery{s: s, b: stream.FailedBuilder(fmt.Errorf("nexus: unknown dataset %q", dataset))}
+	}
+	scan, err := coreScan(dataset, sch)
+	if err != nil {
+		return &StreamQuery{s: s, b: stream.FailedBuilder(err)}
+	}
+	// Materialization is deferred to the stream's run: building (or
+	// abandoning) the query never scans the dataset, mirroring the lazy
+	// batch Scan.
+	fetch := func() (*table.Table, error) { return p.Execute(scan) }
+	return s.StreamFrom(stream.NewLazyReplay(sch, timeCol, fetch))
 }
 
 // Query compiles a surface-language pipeline (see internal/lang) into a

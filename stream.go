@@ -1,0 +1,245 @@
+package nexus
+
+import (
+	"context"
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/schema"
+	"nexus/internal/stream"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Data in motion: the same Big Data algebra that runs over stored
+// collections runs incrementally over unbounded event streams. A
+// StreamQuery mirrors Query — Where/Select/Extend/JoinTable compile to
+// the same core operators, evaluated per micro-batch; Window(...).
+// GroupBy(...).Agg(...) adds watermark-driven windowed aggregation on
+// top of the batch aggregation kernels.
+
+// StreamWindow specifies how a stream is cut into windows.
+type StreamWindow = core.StreamWindow
+
+// Tumbling cuts event time into fixed, non-overlapping windows of the
+// given size (in the stream's event-time units).
+func Tumbling(size int64) StreamWindow {
+	return StreamWindow{Kind: core.WindowTumbling, Size: size, Slide: size}
+}
+
+// Sliding covers event time with overlapping windows of the given size
+// whose starts are slide units apart.
+func Sliding(size, slide int64) StreamWindow {
+	return StreamWindow{Kind: core.WindowSliding, Size: size, Slide: slide}
+}
+
+// CountWindow groups every n consecutive events, independent of event
+// time.
+func CountWindow(n int64) StreamWindow {
+	return StreamWindow{Kind: core.WindowCount, Size: n}
+}
+
+// Names of the bound columns prepended to windowed aggregation results.
+const (
+	WindowStartCol = stream.WindowStartCol
+	WindowEndCol   = stream.WindowEndCol
+)
+
+// StreamSource produces the events a StreamQuery consumes.
+type StreamSource = stream.Source
+
+// StreamStats reports the work a stream execution performed.
+type StreamStats = stream.Stats
+
+// ReplayTable streams a bounded table's rows in order, reading event
+// time from the named int64 column — data at rest replayed as data in
+// motion.
+func ReplayTable(t *Table, timeCol string) StreamSource {
+	return stream.NewReplay(t.t, timeCol)
+}
+
+// ChannelStream is a push source: feed live events with Send, end the
+// stream with Close. Send and Close must not be called concurrently from
+// different goroutines (same contract as a raw Go channel).
+type ChannelStream struct {
+	ch  *stream.Channel
+	sch schema.Schema
+}
+
+// NewChannelStream builds a channel-backed stream with the given columns
+// and buffer capacity. timeCol must name one of the int64 columns.
+func NewChannelStream(timeCol string, buffer int, cols ...ColumnDef) (*ChannelStream, error) {
+	sch, err := colDefsSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	i := sch.IndexOf(timeCol)
+	if i < 0 || sch.At(i).Kind != value.KindInt64 {
+		return nil, fmt.Errorf("nexus: stream time column %q must be an int64 column", timeCol)
+	}
+	return &ChannelStream{ch: stream.NewChannel(sch, timeCol, buffer), sch: sch}, nil
+}
+
+// Source exposes the stream for Session.StreamFrom.
+func (c *ChannelStream) Source() StreamSource { return c.ch }
+
+// Send enqueues one event from Go values: nil (NULL), bool, int, int64,
+// float64 or string. It blocks while the buffer is full.
+func (c *ChannelStream) Send(vals ...any) error {
+	row := make([]value.Value, len(vals))
+	for i, v := range vals {
+		gv, err := goValue(v)
+		if err != nil {
+			return err
+		}
+		row[i] = gv
+	}
+	return c.ch.Send(row)
+}
+
+// Close ends the stream; further Sends fail.
+func (c *ChannelStream) Close() { c.ch.Close() }
+
+// GenerateSource synthesizes n events by calling fn(0..n-1); fn returns
+// one row of Go values per call. Useful for load generation and tests.
+func GenerateSource(timeCol string, n int64, fn func(i int64) []any, cols ...ColumnDef) (StreamSource, error) {
+	sch, err := colDefsSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	gen := func(i int64) (stream.Row, error) {
+		vals := fn(i)
+		row := make([]value.Value, len(vals))
+		for j, v := range vals {
+			gv, err := goValue(v)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = gv
+		}
+		return row, nil
+	}
+	return stream.NewGenerator(sch, timeCol, n, gen), nil
+}
+
+// StreamQuery is an immutable, error-carrying streaming query builder,
+// the data-in-motion mirror of Query. Stages before Window apply to each
+// micro-batch; stages after Agg apply to each emitted window result.
+type StreamQuery struct {
+	s *Session
+	b *stream.Builder
+}
+
+// Err returns the first construction error, if any.
+func (q *StreamQuery) Err() error { return q.b.Err() }
+
+// Schema renders the schema of emitted results.
+func (q *StreamQuery) Schema() (string, error) {
+	sch, err := q.b.OutputSchema()
+	if err != nil {
+		return "", err
+	}
+	return sch.String(), nil
+}
+
+func (q *StreamQuery) derive(b *stream.Builder) *StreamQuery { return &StreamQuery{s: q.s, b: b} }
+
+// Where keeps events satisfying the predicate.
+func (q *StreamQuery) Where(pred Expr) *StreamQuery { return q.derive(q.b.Filter(pred)) }
+
+// Select keeps the named columns (the event-time column is retained
+// implicitly before windowing).
+func (q *StreamQuery) Select(cols ...string) *StreamQuery { return q.derive(q.b.Project(cols)) }
+
+// Extend appends a computed column.
+func (q *StreamQuery) Extend(name string, e Expr) *StreamQuery {
+	return q.derive(q.b.Extend(name, e))
+}
+
+// JoinTable enriches the stream against a bounded table with an equijoin.
+func (q *StreamQuery) JoinTable(t *Table, typ JoinType, keys ...JoinKey) *StreamQuery {
+	return q.JoinTableWhere(t, typ, nil, keys...)
+}
+
+// JoinTableWhere is JoinTable with an extra residual predicate over the
+// combined schema.
+func (q *StreamQuery) JoinTableWhere(t *Table, typ JoinType, residual Expr, keys ...JoinKey) *StreamQuery {
+	lk := make([]string, len(keys))
+	rk := make([]string, len(keys))
+	for i, k := range keys {
+		lk[i] = k.Left
+		rk[i] = k.Right
+	}
+	return q.derive(q.b.JoinTable(t.t, typ, lk, rk, residual))
+}
+
+// BatchSize caps how many events one micro-batch evaluation consumes.
+func (q *StreamQuery) BatchSize(n int) *StreamQuery { return q.derive(q.b.WithBatchSize(n)) }
+
+// AllowedLateness lets out-of-order events up to l event-time units
+// behind the newest event still reach their windows; anything later is
+// dropped (and counted in StreamStats.Late).
+func (q *StreamQuery) AllowedLateness(l int64) *StreamQuery { return q.derive(q.b.WithLateness(l)) }
+
+// Window starts a windowed aggregation; complete it with GroupBy and Agg.
+func (q *StreamQuery) Window(w StreamWindow) *StreamWindowQuery {
+	return &StreamWindowQuery{q: q, win: w}
+}
+
+// StreamWindowQuery is the intermediate state of a Window; finish with
+// Agg (optionally after GroupBy).
+type StreamWindowQuery struct {
+	q    *StreamQuery
+	win  StreamWindow
+	keys []string
+}
+
+// GroupBy sets the grouping keys within each window.
+func (w *StreamWindowQuery) GroupBy(keys ...string) *StreamWindowQuery {
+	return &StreamWindowQuery{q: w.q, win: w.win, keys: keys}
+}
+
+// Agg finishes the windowed aggregation: per closed window, one result
+// row per group, prefixed with window_start and window_end columns.
+func (w *StreamWindowQuery) Agg(aggs ...AggSpec) *StreamQuery {
+	return w.q.derive(w.q.b.Aggregate(w.win, w.keys, aggs))
+}
+
+// Collect runs the stream to completion and returns every emitted row as
+// one table. The context cancels long or unbounded streams.
+func (q *StreamQuery) Collect(ctx context.Context) (*Table, error) {
+	t, _, err := q.CollectWithStats(ctx)
+	return t, err
+}
+
+// CollectWithStats is Collect plus execution statistics.
+func (q *StreamQuery) CollectWithStats(ctx context.Context) (*Table, *StreamStats, error) {
+	p, err := q.b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := stream.NewCollect(p.OutputSchema())
+	st, err := p.Run(ctx, sink)
+	if err != nil {
+		return nil, &st, err
+	}
+	t, err := sink.Table()
+	if err != nil {
+		return nil, &st, err
+	}
+	return wrapTable(t), &st, nil
+}
+
+// Subscribe runs the stream, delivering every emitted result table to fn
+// as it appears — one table per micro-batch for stateless queries, one
+// per closed window for windowed ones. A non-nil error from fn stops the
+// stream.
+func (q *StreamQuery) Subscribe(ctx context.Context, fn func(*Table) error) (*StreamStats, error) {
+	p, err := q.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	sink := stream.Callback(func(t *table.Table) error { return fn(wrapTable(t)) })
+	st, err := p.Run(ctx, sink)
+	return &st, err
+}

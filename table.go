@@ -123,15 +123,24 @@ type TableBuilder struct {
 	err error
 }
 
-// NewTableBuilder starts a table with the given columns.
-func NewTableBuilder(cols ...ColumnDef) *TableBuilder {
+// colDefsSchema converts public column definitions to a schema.
+func colDefsSchema(cols []ColumnDef) (schema.Schema, error) {
 	attrs := make([]schema.Attribute, len(cols))
 	for i, c := range cols {
 		attrs[i] = schema.Attribute{Name: c.Name, Kind: c.Type, Dim: c.Dim}
 	}
 	sch, err := schema.TryNew(attrs...)
 	if err != nil {
-		return &TableBuilder{err: fmt.Errorf("nexus: %w", err)}
+		return schema.Schema{}, fmt.Errorf("nexus: %w", err)
+	}
+	return sch, nil
+}
+
+// NewTableBuilder starts a table with the given columns.
+func NewTableBuilder(cols ...ColumnDef) *TableBuilder {
+	sch, err := colDefsSchema(cols)
+	if err != nil {
+		return &TableBuilder{err: err}
 	}
 	return &TableBuilder{b: table.NewBuilder(sch, 0)}
 }
