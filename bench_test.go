@@ -300,6 +300,60 @@ func BenchmarkHashAggregate(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterVectorized measures a compound predicate through the
+// vectorized selection path: two comparisons and a conjunction per row,
+// with one gather for the surviving rows.
+func BenchmarkFilterVectorized(b *testing.B) {
+	for _, rows := range []int{100000, 1000000} {
+		sales := datagen.Sales(21, rows, rows/10, 50)
+		sc, _ := core.NewScan("sales", sales.Schema())
+		f, err := core.NewFilter(sc, expr.And(
+			expr.Gt(expr.Column("qty"), expr.CInt(3)),
+			expr.Lt(expr.Column("price"), expr.CFloat(40)),
+		))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := &exec.Runtime{Datasets: func(string) (*table.Table, bool) { return sales, true }}
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := rt.Run(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.NumRows() == 0 {
+					b.Fatal("empty filter result")
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkExtendParallel measures computed-column evaluation through the
+// morsel pool (Parallelism 0 = one worker per CPU).
+func BenchmarkExtendParallel(b *testing.B) {
+	const rows = 1000000
+	sales := datagen.Sales(22, rows, rows/10, 50)
+	sc, _ := core.NewScan("sales", sales.Schema())
+	e, err := core.NewExtend(sc, []core.ColDef{
+		{Name: "notional", E: expr.Mul(expr.Column("price"), expr.Column("qty"))},
+		{Name: "rebate", E: expr.Mul(expr.Sub(expr.Column("price"), expr.CFloat(1)), expr.CFloat(0.05))},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := &exec.Runtime{Datasets: func(string) (*table.Table, bool) { return sales, true }}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
 func BenchmarkMatMulKernel(b *testing.B) {
 	for _, n := range []int{64, 128, 256} {
 		da, err := array.FromTable(datagen.Matrix(8, n, n, "i", "k"))

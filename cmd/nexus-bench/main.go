@@ -8,6 +8,7 @@
 //	nexus-bench -run E3,E4       # selected experiments
 //	nexus-bench -quick           # smaller sizes (CI-friendly)
 //	nexus-bench -tcp             # E4 over real TCP loopback servers
+//	nexus-bench -micro           # kernel micro-benchmarks -> BENCH_2.json
 package main
 
 import (
@@ -24,7 +25,18 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids (E1..E8) or 'all'")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	tcp := flag.Bool("tcp", false, "run E4 over TCP loopback servers instead of in-process transports")
+	micro := flag.Bool("micro", false, "run the execution-kernel micro-benchmarks and emit machine-readable results")
+	benchOut := flag.String("bench-out", "BENCH_2.json", "output path for -micro results")
+	baseline := flag.String("baseline", "", "previous -micro report to compute speedups against")
 	flag.Parse()
+
+	if *micro {
+		if err := runMicro(*benchOut, *baseline, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "micro benchmarks FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *run == "all" {

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"nexus"
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/exec"
+	"nexus/internal/expr"
+	"nexus/internal/table"
+)
+
+// MicroResult is one kernel micro-benchmark measurement. The file these
+// serialize into (BENCH_2.json by default) is the machine-readable
+// record of the execution engine's performance trajectory: re-run
+// `nexus-bench -micro` after an engine change and diff the numbers.
+type MicroResult struct {
+	Name       string  `json:"name"`
+	Rows       int     `json:"rows"`
+	Iters      int     `json:"iters"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+
+	// Filled when a -baseline report is supplied: the prior run's ns/op
+	// and the speedup of this run over it.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// MicroReport is the top-level structure of BENCH_2.json.
+type MicroReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Benchmarks  []MicroResult `json:"benchmarks"`
+}
+
+// measure runs fn until it has both a minimum duration and iteration
+// count, then reports per-op time and row throughput.
+func measure(name string, rows int, fn func() error) (MicroResult, error) {
+	if err := fn(); err != nil { // warm-up (and populate plan caches)
+		return MicroResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	const (
+		minIters = 3
+		minTime  = 300 * time.Millisecond
+	)
+	var (
+		iters   int
+		elapsed time.Duration
+	)
+	for iters < minIters || elapsed < minTime {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return MicroResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+		elapsed += time.Since(t0)
+		iters++
+	}
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	return MicroResult{
+		Name:       name,
+		Rows:       rows,
+		Iters:      iters,
+		NsPerOp:    nsPerOp,
+		RowsPerSec: float64(rows) * float64(iters) / elapsed.Seconds(),
+	}, nil
+}
+
+// runMicro executes the kernel micro-benchmark suite and writes the JSON
+// report to path. When baselinePath names a previous report, matching
+// benchmarks carry its ns/op and the speedup over it.
+func runMicro(path, baselinePath string, quick bool) error {
+	scale := 1
+	if quick {
+		scale = 10
+	}
+	var results []MicroResult
+	add := func(r MicroResult, err error) error {
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("%-28s %12.0f ns/op %14.0f rows/s\n", r.Name, r.NsPerOp, r.RowsPerSec)
+		return nil
+	}
+
+	// Filter: compound predicate through the vectorized selection path.
+	{
+		rows := 1_000_000 / scale
+		sales := datagen.Sales(41, rows, rows/10, 50)
+		sc, _ := core.NewScan("sales", sales.Schema())
+		f, err := core.NewFilter(sc, expr.And(
+			expr.Gt(expr.Column("qty"), expr.CInt(3)),
+			expr.Lt(expr.Column("price"), expr.CFloat(40)),
+		))
+		if err != nil {
+			return err
+		}
+		rt := &exec.Runtime{Datasets: func(string) (*table.Table, bool) { return sales, true }}
+		if err := add(measure("filter_vectorized", rows, func() error {
+			_, err := rt.Run(f)
+			return err
+		})); err != nil {
+			return err
+		}
+	}
+
+	// Extend: two computed columns through the morsel pool.
+	{
+		rows := 1_000_000 / scale
+		sales := datagen.Sales(42, rows, rows/10, 50)
+		sc, _ := core.NewScan("sales", sales.Schema())
+		e, err := core.NewExtend(sc, []core.ColDef{
+			{Name: "notional", E: expr.Mul(expr.Column("price"), expr.Column("qty"))},
+			{Name: "rebate", E: expr.Mul(expr.Sub(expr.Column("price"), expr.CFloat(1)), expr.CFloat(0.05))},
+		})
+		if err != nil {
+			return err
+		}
+		rt := &exec.Runtime{Datasets: func(string) (*table.Table, bool) { return sales, true }}
+		if err := add(measure("extend_parallel", rows, func() error {
+			_, err := rt.Run(e)
+			return err
+		})); err != nil {
+			return err
+		}
+	}
+
+	// Hash join: foreign-key equijoin, int64 fast path.
+	{
+		rows := 100_000 / scale
+		sales := datagen.Sales(43, rows, rows/10, 50)
+		cust := datagen.Customers(44, rows/10)
+		sc, _ := core.NewScan("sales", sales.Schema())
+		cc, _ := core.NewScan("customers", cust.Schema())
+		j, err := core.NewJoin(sc, cc, core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, nil)
+		if err != nil {
+			return err
+		}
+		rt := &exec.Runtime{Datasets: func(n string) (*table.Table, bool) {
+			if n == "sales" {
+				return sales, true
+			}
+			return cust, true
+		}}
+		if err := add(measure("hash_join", rows, func() error {
+			_, err := rt.Run(j)
+			return err
+		})); err != nil {
+			return err
+		}
+	}
+
+	// Hash aggregation: columnar sum/count folds over dense group ids.
+	{
+		rows := 100_000 / scale
+		sales := datagen.Sales(45, rows, 1000, 100)
+		sc, _ := core.NewScan("sales", sales.Schema())
+		ga, err := core.NewGroupAgg(sc, []string{"cust_id"}, []core.AggSpec{
+			{Func: core.AggSum, Arg: expr.Mul(expr.Column("price"), expr.Column("qty")), As: "rev"},
+			{Func: core.AggCount, As: "n"},
+		})
+		if err != nil {
+			return err
+		}
+		rt := &exec.Runtime{Datasets: func(string) (*table.Table, bool) { return sales, true }}
+		if err := add(measure("hash_aggregate", rows, func() error {
+			_, err := rt.Run(ga)
+			return err
+		})); err != nil {
+			return err
+		}
+	}
+
+	// Stream: end-to-end windowed aggregation over a generated stream.
+	{
+		rows := 100_000 / scale
+		s := nexus.NewSession()
+		syms := []string{"AAA", "BBB", "CCC", "DDD"}
+		if err := add(measure("stream_throughput", rows, func() error {
+			src, err := nexus.GenerateSource("ts", int64(rows), func(i int64) []any {
+				return []any{i, syms[i%4], i % 100, float64(i%50) + 0.5}
+			},
+				nexus.ColumnDef{Name: "ts", Type: nexus.Int64},
+				nexus.ColumnDef{Name: "sym", Type: nexus.String},
+				nexus.ColumnDef{Name: "vol", Type: nexus.Int64},
+				nexus.ColumnDef{Name: "price", Type: nexus.Float64},
+			)
+			if err != nil {
+				return err
+			}
+			_, err = s.StreamFrom(src).
+				Window(nexus.Tumbling(int64(rows)/10)).
+				GroupBy("sym").
+				Agg(nexus.Sum("notional", nexus.Mul(nexus.Col("price"), nexus.Col("vol"))), nexus.Count("trades")).
+				Collect(context.Background())
+			return err
+		})); err != nil {
+			return err
+		}
+	}
+
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		var base MicroReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parse baseline: %w", err)
+		}
+		byName := make(map[string]MicroResult, len(base.Benchmarks))
+		for _, b := range base.Benchmarks {
+			byName[b.Name] = b
+		}
+		for i := range results {
+			if b, ok := byName[results[i].Name]; ok && b.NsPerOp > 0 {
+				results[i].BaselineNsPerOp = b.NsPerOp
+				results[i].Speedup = b.NsPerOp / results[i].NsPerOp
+			}
+		}
+	}
+
+	report := MicroReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Benchmarks:  results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -20,7 +20,8 @@ import (
 // engine pairs with a ScaLAPACK-class engine for gemm — exactly the
 // paper's multi-server example).
 type Engine struct {
-	name string
+	name  string
+	cache *exec.ExprCache // compiled-expression cache shared across Executes
 
 	mu       sync.RWMutex
 	datasets map[string]*table.Table
@@ -33,7 +34,7 @@ func New(name string) *Engine {
 	if name == "" {
 		name = "array"
 	}
-	return &Engine{name: name, datasets: map[string]*table.Table{}}
+	return &Engine{name: name, cache: exec.NewExprCache(), datasets: map[string]*table.Table{}}
 }
 
 // Name implements provider.Provider.
@@ -100,7 +101,7 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
 		return nil, fmt.Errorf("array %q: operator %v not supported", e.name, missing)
 	}
-	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override}
+	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override, Cache: e.cache}
 	t, err := rt.Run(plan)
 	if err != nil {
 		return nil, fmt.Errorf("array %q: %w", e.name, err)

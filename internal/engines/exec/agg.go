@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"nexus/internal/core"
-	"nexus/internal/expr"
 	"nexus/internal/schema"
 	"nexus/internal/table"
 	"nexus/internal/value"
@@ -93,7 +92,7 @@ func (a *Accumulator) Result(want value.Kind) value.Value {
 // key columns and compute each aggregate spec per group. With no keys the
 // whole input forms one group (and an empty input still yields one row,
 // matching SQL's global aggregates).
-func groupAggregate(in *table.Table, keys []string, aggs []core.AggSpec, outSchema schema.Schema) (*table.Table, error) {
+func groupAggregate(r *Runtime, in *table.Table, keys []string, aggs []core.AggSpec, outSchema schema.Schema) (*table.Table, error) {
 	keyPos := make([]int, len(keys))
 	for i, k := range keys {
 		p := in.Schema().IndexOf(k)
@@ -103,75 +102,169 @@ func groupAggregate(in *table.Table, keys []string, aggs []core.AggSpec, outSche
 		keyPos[i] = p
 	}
 
-	// Materialize argument columns once (vectorized where possible).
+	// Materialize argument columns once through the vectorized kernels.
 	argCols := make([]*table.Column, len(aggs))
 	for i, a := range aggs {
 		if a.Arg == nil {
 			continue
 		}
-		c, err := expr.Compile(a.Arg, in.Schema())
+		c, err := r.compile(a.Arg, in.Schema())
 		if err != nil {
 			return nil, fmt.Errorf("exec: groupagg %q: %w", a.As, err)
 		}
-		col, err := c.EvalBatch(in)
+		col, err := r.evalColumn(c, in, value.KindNull)
 		if err != nil {
 			return nil, fmt.Errorf("exec: groupagg %q: %w", a.As, err)
 		}
 		argCols[i] = col
 	}
 
-	type group struct {
-		firstRow int
-		accs     []*Accumulator
-	}
-	groups := make(map[string]*group, 64)
-	order := make([]*group, 0, 64)
-	buf := make([]byte, 0, 64)
-	newGroup := func(row int) *group {
-		g := &group{firstRow: row, accs: make([]*Accumulator, len(aggs))}
-		for i, a := range aggs {
-			g.accs[i] = NewAccumulator(a.Func)
+	// Phase 1: assign each row a dense group id. A single null-free int64
+	// key hashes raw values; the general case hashes the canonical key
+	// encoding. The per-row state after this phase is just an int32.
+	n := in.NumRows()
+	gids := make([]int32, n)
+	var firstRows []int
+	switch {
+	case len(keyPos) == 0:
+		if n > 0 {
+			firstRows = []int{0}
 		}
-		return g
-	}
-	for row := 0; row < in.NumRows(); row++ {
-		buf = buf[:0]
-		for _, p := range keyPos {
-			buf = value.AppendKey(buf, in.Value(row, p))
-		}
-		g, ok := groups[string(buf)]
-		if !ok {
-			g = newGroup(row)
-			groups[string(buf)] = g
-			order = append(order, g)
-		}
-		for i, a := range aggs {
-			if a.Arg == nil {
-				// count(*): count the row unconditionally.
-				g.accs[i].Add(value.NewInt(1))
-				continue
+	case len(keyPos) == 1 && in.Col(keyPos[0]).Kind() == value.KindInt64 && in.Col(keyPos[0]).Validity() == nil:
+		vals := in.Col(keyPos[0]).Ints()
+		m := make(map[int64]int32, 64)
+		for i, k := range vals {
+			id, ok := m[k]
+			if !ok {
+				id = int32(len(firstRows))
+				m[k] = id
+				firstRows = append(firstRows, i)
 			}
-			g.accs[i].Add(argCols[i].Value(row))
+			gids[i] = id
+		}
+	default:
+		m := make(map[string]int32, 64)
+		buf := make([]byte, 0, 64)
+		for i := 0; i < n; i++ {
+			buf = buf[:0]
+			for _, p := range keyPos {
+				buf = value.AppendKey(buf, in.Value(i, p))
+			}
+			id, ok := m[string(buf)]
+			if !ok {
+				id = int32(len(firstRows))
+				m[string(buf)] = id
+				firstRows = append(firstRows, i)
+			}
+			gids[i] = id
 		}
 	}
-	if len(keys) == 0 && len(order) == 0 {
-		order = append(order, newGroup(-1))
+	if len(keys) == 0 && len(firstRows) == 0 {
+		// SQL global aggregate over empty input: one group, no rows.
+		firstRows = []int{-1}
 	}
 
-	b := table.NewBuilder(outSchema, len(order))
+	// Phase 2: fold each aggregate column into per-group accumulators in
+	// one columnar pass per aggregate.
+	accs := make([][]Accumulator, len(aggs))
+	for i, a := range aggs {
+		as := make([]Accumulator, len(firstRows))
+		for g := range as {
+			as[g].fn = a.Func
+			as[g].minmax = value.Null
+			if a.Func == core.AggCountDistinct {
+				as[g].distinct = make(map[string]struct{})
+			}
+		}
+		foldColumn(as, gids, argCols[i], a.Func)
+		accs[i] = as
+	}
+
+	b := table.NewBuilder(outSchema, len(firstRows))
 	rowBuf := make([]value.Value, 0, outSchema.Len())
-	for _, g := range order {
+	for g, firstRow := range firstRows {
 		rowBuf = rowBuf[:0]
 		for _, p := range keyPos {
-			rowBuf = append(rowBuf, in.Value(g.firstRow, p))
+			rowBuf = append(rowBuf, in.Value(firstRow, p))
 		}
 		for i := range aggs {
 			want := outSchema.At(len(keyPos) + i).Kind
-			rowBuf = append(rowBuf, g.accs[i].Result(want))
+			rowBuf = append(rowBuf, accs[i][g].Result(want))
 		}
 		if err := b.Append(rowBuf...); err != nil {
 			return nil, fmt.Errorf("exec: groupagg: %w", err)
 		}
 	}
 	return b.Build(), nil
+}
+
+// foldColumn folds one aggregate's argument column into per-group
+// accumulators. Sum/avg/count over numeric payloads run tight loops over
+// the raw slices; min/max/count-distinct go through the boxed Add, which
+// carries their comparison and dedup logic.
+func foldColumn(as []Accumulator, gids []int32, col *table.Column, fn core.AggFunc) {
+	n := len(gids)
+	if col == nil {
+		// count(*): every row counts, NULL or not.
+		for _, g := range gids {
+			as[g].count++
+		}
+		return
+	}
+	valid := col.Validity()
+	switch {
+	case fn == core.AggCount:
+		if valid == nil {
+			for _, g := range gids {
+				as[g].count++
+			}
+		} else {
+			for i, g := range gids {
+				if valid[i] {
+					as[g].count++
+				}
+			}
+		}
+	case (fn == core.AggSum || fn == core.AggAvg) && col.Kind() == value.KindInt64:
+		ints := col.Ints()
+		if valid == nil {
+			for i, g := range gids {
+				a := &as[g]
+				a.count++
+				a.sumInt += ints[i]
+			}
+		} else {
+			for i, g := range gids {
+				if valid[i] {
+					a := &as[g]
+					a.count++
+					a.sumInt += ints[i]
+				}
+			}
+		}
+	case (fn == core.AggSum || fn == core.AggAvg) && col.Kind() == value.KindFloat64:
+		floats := col.Floats()
+		for g := range as {
+			as[g].isFloat = true
+		}
+		if valid == nil {
+			for i, g := range gids {
+				a := &as[g]
+				a.count++
+				a.sumFloat += floats[i]
+			}
+		} else {
+			for i, g := range gids {
+				if valid[i] {
+					a := &as[g]
+					a.count++
+					a.sumFloat += floats[i]
+				}
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			as[gids[i]].Add(col.Value(i))
+		}
+	}
 }

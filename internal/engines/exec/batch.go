@@ -14,5 +14,5 @@ import (
 // kernel's Accumulator; this entry point is the batch reference it is
 // verified against (see internal/stream's kernel-equivalence test).
 func GroupAggregate(in *table.Table, keys []string, aggs []core.AggSpec, outSchema schema.Schema) (*table.Table, error) {
-	return groupAggregate(in, keys, aggs, outSchema)
+	return groupAggregate(&Runtime{Parallelism: 1}, in, keys, aggs, outSchema)
 }

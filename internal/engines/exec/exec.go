@@ -10,6 +10,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nexus/internal/core"
 	"nexus/internal/expr"
@@ -51,16 +52,28 @@ type Runtime struct {
 	Datasets func(name string) (*table.Table, bool)
 	Override func(n core.Node, env *Env, rec RecFunc) (t *table.Table, handled bool, err error)
 
+	// Parallelism caps the morsel worker pool used by filter, extend and
+	// hash-join evaluation: 0 means one worker per available CPU, 1 runs
+	// everything on the calling goroutine.
+	Parallelism int
+
+	// Cache memoizes compiled expressions across operators, micro-batches
+	// and Iterate iterations. Nil means the runtime lazily creates a
+	// private cache; engines inject a shared one to persist it across
+	// plan executions.
+	Cache *ExprCache
+
 	// Stats accumulate across Run calls; callers may reset between runs.
 	Stats Stats
 }
 
 // Stats counts work done by the runtime, reported by the benchmark
-// harness.
+// harness. Counters are updated atomically, so a Runtime (or a shared
+// Stats snapshot) stays consistent under parallel morsel execution.
 type Stats struct {
-	NodesExecuted int
+	NodesExecuted int64
 	RowsProduced  int64
-	Iterations    int
+	Iterations    int64
 }
 
 // Run evaluates a closed plan (no free variables).
@@ -82,9 +95,9 @@ func (r *Runtime) Eval(n core.Node, env *Env) (*table.Table, error) {
 			return nil, err
 		}
 		if handled {
-			r.Stats.NodesExecuted++
+			atomic.AddInt64(&r.Stats.NodesExecuted, 1)
 			if t != nil {
-				r.Stats.RowsProduced += int64(t.NumRows())
+				atomic.AddInt64(&r.Stats.RowsProduced, int64(t.NumRows()))
 			}
 			return t, nil
 		}
@@ -93,8 +106,8 @@ func (r *Runtime) Eval(n core.Node, env *Env) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.Stats.NodesExecuted++
-	r.Stats.RowsProduced += int64(t.NumRows())
+	atomic.AddInt64(&r.Stats.NodesExecuted, 1)
+	atomic.AddInt64(&r.Stats.RowsProduced, int64(t.NumRows()))
 	return t, nil
 }
 
@@ -143,7 +156,7 @@ func (r *Runtime) evalGeneric(n core.Node, env *Env) (*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return groupAggregate(in, x.Keys, x.Aggs, x.Schema())
+		return groupAggregate(r, in, x.Keys, x.Aggs, x.Schema())
 	case *core.Distinct:
 		return r.evalDistinct(x, env)
 	case *core.Sort:
@@ -187,7 +200,7 @@ func (r *Runtime) evalGeneric(n core.Node, env *Env) (*table.Table, error) {
 		}
 		// Desugar: group by the surviving dimensions.
 		keys := x.Schema().DimNames()
-		out, err := groupAggregate(in, keys, x.Aggs, x.Schema().DropDims())
+		out, err := groupAggregate(r, in, keys, x.Aggs, x.Schema().DropDims())
 		if err != nil {
 			return nil, err
 		}
@@ -221,21 +234,91 @@ func (r *Runtime) evalFilter(x *core.Filter, env *Env) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := expr.Compile(x.Pred, in.Schema())
+	c, err := r.compile(x.Pred, in.Schema())
 	if err != nil {
 		return nil, fmt.Errorf("exec: filter: %w", err)
 	}
-	col, err := c.EvalBatch(in)
+	sel, err := r.selectRows(c, in)
 	if err != nil {
 		return nil, fmt.Errorf("exec: filter: %w", err)
 	}
-	idx := make([]int, 0, in.NumRows()/2+1)
-	for i := 0; i < in.NumRows(); i++ {
-		if !col.IsNull(i) && col.Kind() == value.KindBool && col.Bools()[i] {
-			idx = append(idx, i)
+	return in.Gather(sel), nil
+}
+
+// selectRows evaluates a compiled predicate into a selection vector,
+// chunking the input into morsels across the worker pool when it pays.
+func (r *Runtime) selectRows(c *expr.Compiled, in *table.Table) ([]int, error) {
+	n := in.NumRows()
+	w := r.workers()
+	if w <= 1 || n < 2*morselRows {
+		return c.AppendSelected(make([]int, 0, n/2+1), in)
+	}
+	parts := make([][]int, morselCount(n))
+	err := forEachMorsel(w, n, func(m, lo, hi int) error {
+		sel, err := c.AppendSelected(nil, in.Slice(lo, hi))
+		if err != nil {
+			return err
+		}
+		for i := range sel {
+			sel[i] += lo
+		}
+		parts[m] = sel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	sel := make([]int, 0, total)
+	for _, p := range parts {
+		sel = append(sel, p...)
+	}
+	return sel, nil
+}
+
+// evalColumn evaluates a compiled expression over all rows, splitting into
+// parallel morsels when it pays, and coerces the result to want (use
+// value.KindNull to keep the runtime kind).
+func (r *Runtime) evalColumn(c *expr.Compiled, in *table.Table, want value.Kind) (*table.Column, error) {
+	n := in.NumRows()
+	w := r.workers()
+	if w <= 1 || n < 2*morselRows {
+		col, err := c.EvalBatch(in)
+		if err != nil {
+			return nil, err
+		}
+		if want != value.KindNull {
+			return coerceColumn(col, want)
+		}
+		return col, nil
+	}
+	parts := make([]*table.Column, morselCount(n))
+	err := forEachMorsel(w, n, func(m, lo, hi int) error {
+		col, err := c.EvalBatch(in.Slice(lo, hi))
+		if err != nil {
+			return err
+		}
+		if want != value.KindNull {
+			if col, err = coerceColumn(col, want); err != nil {
+				return err
+			}
+		}
+		parts[m] = col
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := table.NewColumn(parts[0].Kind(), n)
+	for _, p := range parts {
+		if err := out.AppendColumn(p); err != nil {
+			return nil, err
 		}
 	}
-	return in.Gather(idx), nil
+	return out, nil
 }
 
 func (r *Runtime) evalProject(x *core.Project, env *Env) (*table.Table, error) {
@@ -265,18 +348,14 @@ func (r *Runtime) evalExtend(x *core.Extend, env *Env) (*table.Table, error) {
 		cols = append(cols, in.Col(i))
 	}
 	for di, d := range x.Defs {
-		c, err := expr.Compile(d.E, in.Schema())
-		if err != nil {
-			return nil, fmt.Errorf("exec: extend %q: %w", d.Name, err)
-		}
-		col, err := c.EvalBatch(in)
+		c, err := r.compile(d.E, in.Schema())
 		if err != nil {
 			return nil, fmt.Errorf("exec: extend %q: %w", d.Name, err)
 		}
 		// The schema fixed the output kind at plan time; coerce numeric
 		// columns if the runtime produced the other numeric kind.
 		want := x.Schema().At(in.NumCols() + di).Kind
-		col, err = coerceColumn(col, want)
+		col, err := r.evalColumn(c, in, want)
 		if err != nil {
 			return nil, fmt.Errorf("exec: extend %q: %w", d.Name, err)
 		}
@@ -349,16 +428,36 @@ func (r *Runtime) evalDistinct(x *core.Distinct, env *Env) (*table.Table, error)
 	return distinctRows(in), nil
 }
 
+// rowKeyer encodes whole rows of a table into canonical key bytes through
+// one reusable buffer, shared by the key-encoded operators (distinct,
+// union, except, intersect) so each row costs zero steady-state
+// allocations to encode.
+type rowKeyer struct {
+	t   *table.Table
+	buf []byte
+}
+
+func newRowKeyer(t *table.Table) *rowKeyer {
+	return &rowKeyer{t: t, buf: make([]byte, 0, 64)}
+}
+
+// key returns the canonical encoding of row i. The result aliases the
+// keyer's buffer and is only valid until the next call; map operations
+// on string(key) are safe because Go copies the bytes on conversion.
+func (k *rowKeyer) key(i int) []byte {
+	k.buf = k.buf[:0]
+	for c := 0; c < k.t.NumCols(); c++ {
+		k.buf = value.AppendKey(k.buf, k.t.Value(i, c))
+	}
+	return k.buf
+}
+
 func distinctRows(in *table.Table) *table.Table {
 	seen := make(map[string]struct{}, in.NumRows())
 	idx := make([]int, 0, in.NumRows())
-	buf := make([]byte, 0, 64)
+	keyer := newRowKeyer(in)
 	for i := 0; i < in.NumRows(); i++ {
-		buf = buf[:0]
-		for c := 0; c < in.NumCols(); c++ {
-			buf = value.AppendKey(buf, in.Value(i, c))
-		}
-		k := string(buf)
+		k := string(keyer.key(i))
 		if _, dup := seen[k]; !dup {
 			seen[k] = struct{}{}
 			idx = append(idx, i)
@@ -393,13 +492,9 @@ func (r *Runtime) evalUnion(x *core.Union, env *Env) (*table.Table, error) {
 
 func rowKeySet(t *table.Table) map[string]struct{} {
 	set := make(map[string]struct{}, t.NumRows())
-	buf := make([]byte, 0, 64)
+	keyer := newRowKeyer(t)
 	for i := 0; i < t.NumRows(); i++ {
-		buf = buf[:0]
-		for c := 0; c < t.NumCols(); c++ {
-			buf = value.AppendKey(buf, t.Value(i, c))
-		}
-		set[string(buf)] = struct{}{}
+		set[string(keyer.key(i))] = struct{}{}
 	}
 	return set
 }
@@ -416,13 +511,9 @@ func (r *Runtime) evalExcept(x *core.Except, env *Env) (*table.Table, error) {
 	right := rowKeySet(rt)
 	ld := distinctRows(l)
 	idx := make([]int, 0, ld.NumRows())
-	buf := make([]byte, 0, 64)
+	keyer := newRowKeyer(ld)
 	for i := 0; i < ld.NumRows(); i++ {
-		buf = buf[:0]
-		for c := 0; c < ld.NumCols(); c++ {
-			buf = value.AppendKey(buf, ld.Value(i, c))
-		}
-		if _, hit := right[string(buf)]; !hit {
+		if _, hit := right[string(keyer.key(i))]; !hit {
 			idx = append(idx, i)
 		}
 	}
@@ -441,13 +532,9 @@ func (r *Runtime) evalIntersect(x *core.Intersect, env *Env) (*table.Table, erro
 	right := rowKeySet(rt)
 	ld := distinctRows(l)
 	idx := make([]int, 0, ld.NumRows())
-	buf := make([]byte, 0, 64)
+	keyer := newRowKeyer(ld)
 	for i := 0; i < ld.NumRows(); i++ {
-		buf = buf[:0]
-		for c := 0; c < ld.NumCols(); c++ {
-			buf = value.AppendKey(buf, ld.Value(i, c))
-		}
-		if _, hit := right[string(buf)]; hit {
+		if _, hit := right[string(keyer.key(i))]; hit {
 			idx = append(idx, i)
 		}
 	}

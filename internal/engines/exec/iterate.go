@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"nexus/internal/core"
 	"nexus/internal/table"
@@ -33,7 +34,7 @@ func (r *Runtime) evalIterate(x *core.Iterate, env *Env) (*table.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exec: iterate step %d: %w", iter+1, err)
 		}
-		r.Stats.Iterations++
+		atomic.AddInt64(&r.Stats.Iterations, 1)
 		if x.Conv != nil {
 			delta, err := ConvergenceDelta(state, next, x.Conv)
 			if err != nil {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"nexus/internal/core"
-	"nexus/internal/expr"
 	"nexus/internal/table"
 	"nexus/internal/value"
 )
@@ -21,13 +20,18 @@ func (r *Runtime) evalJoin(x *core.Join, env *Env) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return HashJoin(left, right, x)
+	return r.hashJoin(left, right, x)
 }
 
 // HashJoin joins two materialized tables per the join node's parameters.
 // It is exported for reuse by the reference oracle tests and the array
-// engine's alignment paths.
+// engine's alignment paths; it runs on a fresh runtime with default
+// parallelism.
 func HashJoin(left, right *table.Table, x *core.Join) (*table.Table, error) {
+	return (&Runtime{}).hashJoin(left, right, x)
+}
+
+func (r *Runtime) hashJoin(left, right *table.Table, x *core.Join) (*table.Table, error) {
 	lk, err := keyPositions(left, x.LeftKeys)
 	if err != nil {
 		return nil, fmt.Errorf("exec: join: %w", err)
@@ -37,25 +41,24 @@ func HashJoin(left, right *table.Table, x *core.Join) (*table.Table, error) {
 		return nil, fmt.Errorf("exec: join: %w", err)
 	}
 
-	// Build: hash the right side on its keys.
-	build := make(map[string][]int32, right.NumRows())
-	buf := make([]byte, 0, 64)
-	for i := 0; i < right.NumRows(); i++ {
-		buf = encodeKeys(buf[:0], right, rk, i)
-		build[string(buf)] = append(build[string(buf)], int32(i))
-	}
-
-	// Probe: candidate pairs.
+	// Candidate pairs: a single null-free int64 key pair probes a raw
+	// int64-keyed table — no byte encoding at all; everything else goes
+	// through canonical key encoding. Both probe phases run in ordered
+	// morsels so the output keeps the left-row-major order.
 	var li, ri []int
-	for i := 0; i < left.NumRows(); i++ {
-		buf = encodeKeys(buf[:0], left, lk, i)
-		for _, j := range build[string(buf)] {
-			li = append(li, i)
-			ri = append(ri, int(j))
-		}
+	if len(lk) == 1 && len(rk) == 1 &&
+		left.Col(lk[0]).Kind() == value.KindInt64 && right.Col(rk[0]).Kind() == value.KindInt64 &&
+		left.Col(lk[0]).Validity() == nil && right.Col(rk[0]).Validity() == nil {
+		li, ri, err = r.probeInt64(left.Col(lk[0]).Ints(), right.Col(rk[0]).Ints())
+	} else {
+		li, ri, err = r.probeEncoded(left, right, lk, rk)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exec: join: %w", err)
 	}
 
-	// Residual filtering over candidate pairs.
+	// Residual filtering over candidate pairs, through the cached
+	// compiled predicate and the selection-vector path.
 	if x.Residual != nil && len(li) > 0 {
 		pairSchema := left.Schema().Concat(right.Schema())
 		lg := left.Gather(li)
@@ -71,21 +74,19 @@ func HashJoin(left, right *table.Table, x *core.Join) (*table.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exec: join residual: %w", err)
 		}
-		c, err := expr.Compile(x.Residual, pairSchema)
+		c, err := r.compile(x.Residual, pairSchema)
 		if err != nil {
 			return nil, fmt.Errorf("exec: join residual: %w", err)
 		}
-		keep, err := c.EvalBatch(pairs)
+		sel, err := r.selectRows(c, pairs)
 		if err != nil {
 			return nil, fmt.Errorf("exec: join residual: %w", err)
 		}
-		fl := li[:0]
-		fr := ri[:0]
-		for i := range li {
-			if !keep.IsNull(i) && keep.Kind() == value.KindBool && keep.Bools()[i] {
-				fl = append(fl, li[i])
-				fr = append(fr, ri[i])
-			}
+		fl := make([]int, len(sel))
+		fr := make([]int, len(sel))
+		for i, s := range sel {
+			fl[i] = li[s]
+			fr[i] = ri[s]
 		}
 		li, ri = fl, fr
 	}
@@ -124,8 +125,150 @@ func HashJoin(left, right *table.Table, x *core.Join) (*table.Table, error) {
 	return nil, fmt.Errorf("exec: join: unsupported type %v", x.Type)
 }
 
+// pairPart holds one probe morsel's candidate pairs.
+type pairPart struct {
+	li, ri []int
+}
+
+// concatPairs stitches ordered morsel outputs into the final pair lists.
+func concatPairs(parts []pairPart) ([]int, []int) {
+	total := 0
+	for _, p := range parts {
+		total += len(p.li)
+	}
+	li := make([]int, 0, total)
+	ri := make([]int, 0, total)
+	for _, p := range parts {
+		li = append(li, p.li...)
+		ri = append(ri, p.ri...)
+	}
+	return li, ri
+}
+
+// probeInt64 is the single-int64-key fast path: build a map from raw key
+// values (no canonical encoding) and probe it morsel-parallel. Unique
+// build keys — the common foreign-key shape — store their row directly in
+// the map; only duplicated keys spill to a chain list.
+func (r *Runtime) probeInt64(lkeys, rkeys []int64) ([]int, []int, error) {
+	build := make(map[int64]int32, len(rkeys))
+	var dups map[int64][]int32
+	for i, k := range rkeys {
+		j, ok := build[k]
+		if !ok {
+			build[k] = int32(i)
+			continue
+		}
+		if dups == nil {
+			dups = make(map[int64][]int32)
+		}
+		if j >= 0 {
+			dups[k] = append(dups[k], j)
+			build[k] = -1
+		}
+		dups[k] = append(dups[k], int32(i))
+	}
+	probe := func(lo, hi int, pl, pr []int) ([]int, []int) {
+		for i := lo; i < hi; i++ {
+			j, ok := build[lkeys[i]]
+			if !ok {
+				continue
+			}
+			if j >= 0 {
+				pl = append(pl, i)
+				pr = append(pr, int(j))
+				continue
+			}
+			for _, jj := range dups[lkeys[i]] {
+				pl = append(pl, i)
+				pr = append(pr, int(jj))
+			}
+		}
+		return pl, pr
+	}
+	n := len(lkeys)
+	w := r.workers()
+	if w <= 1 || n < 2*morselRows {
+		li, ri := probe(0, n, make([]int, 0, n), make([]int, 0, n))
+		return li, ri, nil
+	}
+	parts := make([]pairPart, morselCount(n))
+	err := forEachMorsel(w, n, func(m, lo, hi int) error {
+		pl, pr := probe(lo, hi, make([]int, 0, hi-lo), make([]int, 0, hi-lo))
+		parts[m] = pairPart{pl, pr}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	li, ri := concatPairs(parts)
+	return li, ri, nil
+}
+
+// probeEncoded is the generic path: canonical byte encoding of the key
+// columns (hash-consistent across kinds, NULL joins NULL), serial build,
+// morsel-parallel probe against the frozen map.
+func (r *Runtime) probeEncoded(left, right *table.Table, lk, rk []int) ([]int, []int, error) {
+	build := make(map[string][]int32, right.NumRows())
+	buf := make([]byte, 0, 64)
+	for i := 0; i < right.NumRows(); i++ {
+		buf = encodeKeys(buf[:0], right, rk, i)
+		build[string(buf)] = append(build[string(buf)], int32(i))
+	}
+	n := left.NumRows()
+	w := r.workers()
+	if w <= 1 || n < 2*morselRows {
+		li := make([]int, 0, n)
+		ri := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			buf = encodeKeys(buf[:0], left, lk, i)
+			for _, j := range build[string(buf)] {
+				li = append(li, i)
+				ri = append(ri, int(j))
+			}
+		}
+		return li, ri, nil
+	}
+	parts := make([]pairPart, morselCount(n))
+	err := forEachMorsel(w, n, func(m, lo, hi int) error {
+		pl := make([]int, 0, hi-lo)
+		pr := make([]int, 0, hi-lo)
+		kbuf := make([]byte, 0, 64)
+		for i := lo; i < hi; i++ {
+			kbuf = encodeKeys(kbuf[:0], left, lk, i)
+			for _, j := range build[string(kbuf)] {
+				pl = append(pl, i)
+				pr = append(pr, int(j))
+			}
+		}
+		parts[m] = pairPart{pl, pr}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	li, ri := concatPairs(parts)
+	return li, ri, nil
+}
+
+// isIdentity reports whether idx is exactly 0..n-1 — the one-match-per-
+// row join shape, where gathering would only copy columns verbatim.
+func isIdentity(idx []int, n int) bool {
+	if len(idx) != n {
+		return false
+	}
+	for i, j := range idx {
+		if i != j {
+			return false
+		}
+	}
+	return true
+}
+
 func assembleJoin(left, right *table.Table, li, ri []int, pad bool) (*table.Table, error) {
-	lg := left.Gather(li)
+	lg := left
+	if !isIdentity(li, left.NumRows()) {
+		lg = left.Gather(li)
+	}
 	cols := make([]*table.Column, 0, left.NumCols()+right.NumCols())
 	for i := 0; i < lg.NumCols(); i++ {
 		cols = append(cols, lg.Col(i))

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+)
+
+// ExprCache memoizes expr.Compile results keyed by the expression's
+// structural hash and the schema it is bound to, so a plan's predicates
+// and projections compile once per plan — not once per micro-batch and
+// once per Iterate iteration. It is safe for concurrent use and can be
+// shared across Runtimes (an engine keeps one for its lifetime).
+type ExprCache struct {
+	mu sync.Mutex
+	m  map[exprCacheKey]*expr.Compiled
+}
+
+type exprCacheKey struct {
+	exprHash   uint64
+	schemaHash uint64
+}
+
+// NewExprCache returns an empty compiled-expression cache.
+func NewExprCache() *ExprCache {
+	return &ExprCache{m: make(map[exprCacheKey]*expr.Compiled)}
+}
+
+// maxCachedExprs bounds a cache's entry count. Expressions embed
+// constants, so a long-lived engine serving ad-hoc queries with varying
+// literals would otherwise accumulate compiled programs without bound;
+// on overflow the cache resets wholesale (compilation is cheap relative
+// to plan execution, and steady-state plans re-warm in one pass).
+const maxCachedExprs = 4096
+
+// Compile returns the compiled form of e bound to sch, reusing a prior
+// compilation when the same (expression, schema) pair was seen. Hash
+// collisions are guarded by full structural comparison before reuse.
+func (c *ExprCache) Compile(e expr.Expr, sch schema.Schema) (*expr.Compiled, error) {
+	key := exprCacheKey{exprHash: expr.Hash(e), schemaHash: schemaHash(sch)}
+	c.mu.Lock()
+	hit, ok := c.m[key]
+	c.mu.Unlock()
+	if ok && expr.Equal(hit.Expr(), e) && hit.Schema().Equal(sch) {
+		return hit, nil
+	}
+	compiled, err := expr.Compile(e, sch)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.m) >= maxCachedExprs {
+		c.m = make(map[exprCacheKey]*expr.Compiled)
+	}
+	c.m[key] = compiled
+	c.mu.Unlock()
+	return compiled, nil
+}
+
+// schemaHash digests attribute names, kinds and dimension tags, without
+// allocating.
+func schemaHash(s schema.Schema) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h = (h ^ uint64(b)) * prime
+	}
+	for i := 0; i < s.Len(); i++ {
+		a := s.At(i)
+		for j := 0; j < len(a.Name); j++ {
+			mix(a.Name[j])
+		}
+		mix(0)
+		mix(byte(a.Kind))
+		if a.Dim {
+			mix(1)
+		} else {
+			mix(2)
+		}
+	}
+	return h
+}
+
+// compile resolves through the runtime's cache, creating a private cache
+// on first use when none was injected.
+func (r *Runtime) compile(e expr.Expr, sch schema.Schema) (*expr.Compiled, error) {
+	if r.Cache == nil {
+		r.Cache = NewExprCache()
+	}
+	return r.Cache.Compile(e, sch)
+}
+
+// morselRows is the chunk size of parallel execution: small enough that a
+// morsel's working set stays cache-resident, large enough to amortize
+// scheduling.
+const morselRows = 4096
+
+// workers resolves the Parallelism knob: 0 means one worker per available
+// CPU, 1 disables parallel execution.
+func (r *Runtime) workers() int {
+	p := r.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// morselCount returns the number of morselRows-sized chunks covering n.
+func morselCount(n int) int {
+	return (n + morselRows - 1) / morselRows
+}
+
+// forEachMorsel splits [0, n) into morselRows-sized chunks and runs
+// fn(m, lo, hi) for chunk m over row range [lo, hi), fanning chunks out
+// over at most `workers` goroutines. fn runs concurrently; per-chunk
+// results must be written to distinct slots (index by m). The first error
+// cancels remaining work.
+func forEachMorsel(workers, n int, fn func(m, lo, hi int) error) error {
+	nm := morselCount(n)
+	if nm == 0 {
+		return nil
+	}
+	if workers > nm {
+		workers = nm
+	}
+	if workers <= 1 {
+		for m := 0; m < nm; m++ {
+			lo := m * morselRows
+			hi := min(lo+morselRows, n)
+			if err := fn(m, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		firstMu sync.Mutex
+		first   error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= nm || failed.Load() {
+					return
+				}
+				lo := m * morselRows
+				hi := min(lo+morselRows, n)
+				if err := fn(m, lo, hi); err != nil {
+					firstMu.Lock()
+					if first == nil {
+						first = err
+					}
+					firstMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

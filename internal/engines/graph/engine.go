@@ -24,7 +24,8 @@ const (
 // iteration, with native kernels substituted for recognized iterate
 // shapes.
 type Engine struct {
-	name string
+	name  string
+	cache *exec.ExprCache // compiled-expression cache shared across Executes
 
 	mu       sync.RWMutex
 	datasets map[string]*table.Table
@@ -41,7 +42,7 @@ func New(name string) *Engine {
 	if name == "" {
 		name = "graph"
 	}
-	return &Engine{name: name, datasets: map[string]*table.Table{}}
+	return &Engine{name: name, cache: exec.NewExprCache(), datasets: map[string]*table.Table{}}
 }
 
 // Name implements provider.Provider.
@@ -129,7 +130,7 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
 		return nil, fmt.Errorf("graph %q: operator %v not supported", e.name, missing)
 	}
-	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override}
+	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override, Cache: e.cache}
 	t, err := rt.Run(plan)
 	if err != nil {
 		return nil, fmt.Errorf("graph %q: %w", e.name, err)
@@ -140,7 +141,7 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 // ExecuteGeneric runs the plan with kernel substitution disabled — the
 // baseline of the intent-preservation comparison.
 func (e *Engine) ExecuteGeneric(plan core.Node) (*table.Table, error) {
-	rt := &exec.Runtime{Datasets: e.Dataset}
+	rt := &exec.Runtime{Datasets: e.Dataset, Cache: e.cache}
 	t, err := rt.Run(plan)
 	if err != nil {
 		return nil, fmt.Errorf("graph %q (generic): %w", e.name, err)

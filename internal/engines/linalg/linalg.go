@@ -24,7 +24,8 @@ import (
 
 // Engine is the dense linear-algebra provider.
 type Engine struct {
-	name string
+	name  string
+	cache *exec.ExprCache // compiled-expression cache shared across Executes
 
 	mu       sync.RWMutex
 	datasets map[string]*table.Table
@@ -37,7 +38,7 @@ func New(name string) *Engine {
 	if name == "" {
 		name = "linalg"
 	}
-	return &Engine{name: name, datasets: map[string]*table.Table{}}
+	return &Engine{name: name, cache: exec.NewExprCache(), datasets: map[string]*table.Table{}}
 }
 
 // Name implements provider.Provider.
@@ -110,7 +111,7 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
 		return nil, fmt.Errorf("linalg %q: operator %v not supported", e.name, missing)
 	}
-	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override}
+	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override, Cache: e.cache}
 	t, err := rt.Run(plan)
 	if err != nil {
 		return nil, fmt.Errorf("linalg %q: %w", e.name, err)

@@ -20,7 +20,8 @@ import (
 
 // Engine is an in-memory columnar relational provider.
 type Engine struct {
-	name string
+	name  string
+	cache *exec.ExprCache // compiled-expression cache shared across Executes
 
 	mu       sync.RWMutex
 	datasets map[string]*table.Table
@@ -33,7 +34,7 @@ func New(name string) *Engine {
 	if name == "" {
 		name = "relational"
 	}
-	return &Engine{name: name, datasets: map[string]*table.Table{}}
+	return &Engine{name: name, cache: exec.NewExprCache(), datasets: map[string]*table.Table{}}
 }
 
 // Name implements provider.Provider.
@@ -109,7 +110,7 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
 		return nil, fmt.Errorf("relational %q: operator %v not supported", e.name, missing)
 	}
-	rt := &exec.Runtime{Datasets: e.Dataset}
+	rt := &exec.Runtime{Datasets: e.Dataset, Cache: e.cache}
 	t, err := rt.Run(plan)
 	if err != nil {
 		return nil, fmt.Errorf("relational %q: %w", e.name, err)
@@ -122,7 +123,7 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 // advertised capability set: it is the raw reference runtime, used by
 // tests and baselines that deliberately run any operator here.
 func (e *Engine) ExecuteWithStats(plan core.Node) (*table.Table, exec.Stats, error) {
-	rt := &exec.Runtime{Datasets: e.Dataset}
+	rt := &exec.Runtime{Datasets: e.Dataset, Cache: e.cache}
 	t, err := rt.Run(plan)
 	if err != nil {
 		return nil, rt.Stats, fmt.Errorf("relational %q: %w", e.name, err)

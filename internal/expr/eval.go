@@ -73,16 +73,17 @@ func InferKind(e Expr, sch schema.Schema) (value.Kind, error) {
 // resolved to positions and the result kind is known. Compiled values are
 // immutable and safe for concurrent use.
 type Compiled struct {
-	root Expr
-	sch  schema.Schema
-	kind value.Kind
-	prog evalFn
+	root  Expr
+	sch   schema.Schema
+	kind  value.Kind
+	prog  evalFn
+	batch batchFn
 }
 
 type evalFn func(t *table.Table, row int) (value.Value, error)
 
-// Compile binds e to the schema, type-checking it and building a
-// closure-tree evaluator.
+// Compile binds e to the schema, type-checking it and building both the
+// row evaluator (the semantic oracle) and the vectorized batch program.
 func Compile(e Expr, sch schema.Schema) (*Compiled, error) {
 	kind, err := InferKind(e, sch)
 	if err != nil {
@@ -92,7 +93,11 @@ func Compile(e Expr, sch schema.Schema) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{root: e, sch: sch, kind: kind, prog: prog}, nil
+	batch, err := compileBatch(e, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{root: e, sch: sch, kind: kind, prog: prog, batch: batch}, nil
 }
 
 // MustCompile is Compile panicking on error, for tests and examples.
@@ -109,6 +114,9 @@ func (c *Compiled) Kind() value.Kind { return c.kind }
 
 // Expr returns the source expression.
 func (c *Compiled) Expr() Expr { return c.root }
+
+// Schema returns the schema the expression was compiled against.
+func (c *Compiled) Schema() schema.Schema { return c.sch }
 
 // Eval evaluates the expression on one row of t (t must have the compile
 // schema's layout).
@@ -225,24 +233,53 @@ func compileNode(e Expr, sch schema.Schema) (evalFn, error) {
 }
 
 // EvalBatch evaluates the expression over every row of t, returning a
-// column of length t.NumRows(). Numeric binary operations over plain
-// int64/float64 columns take a vectorized fast path; everything else
-// falls back to the row evaluator.
+// column of length t.NumRows(). Evaluation runs through the vectorized
+// batch program: typed tight loops over raw payload slices with validity
+// bitmaps for NULLs; only Call sub-trees fall back to the row evaluator.
 func (c *Compiled) EvalBatch(t *table.Table) (*table.Column, error) {
-	if col, ok, err := evalVectorized(c.root, c.sch, t); err != nil || ok {
-		return col, err
+	n := t.NumRows()
+	v, err := c.batch(t, n)
+	if err != nil {
+		return nil, err
 	}
-	out := table.NewColumn(nonNullKind(c.kind), t.NumRows())
-	for row := 0; row < t.NumRows(); row++ {
-		v, err := c.prog(t, row)
-		if err != nil {
-			return nil, err
+	return v.column(n), nil
+}
+
+// AppendSelected evaluates the (boolean) expression over t and appends the
+// indices of rows where it holds — true and non-NULL — to sel, returning
+// the grown slice. Filter uses this selection-vector path so a predicate
+// never materializes a bool column followed by a second gather pass.
+func (c *Compiled) AppendSelected(sel []int, t *table.Table) ([]int, error) {
+	n := t.NumRows()
+	v, err := c.batch(t, n)
+	if err != nil {
+		return nil, err
+	}
+	if v.kind != value.KindBool {
+		return sel, nil
+	}
+	if v.stride == 0 {
+		if v.truthyAt(0) {
+			for i := 0; i < n; i++ {
+				sel = append(sel, i)
+			}
 		}
-		if err := out.Append(v); err != nil {
-			return nil, err
+		return sel, nil
+	}
+	if v.valid == nil {
+		for i, b := range v.bools[:n] {
+			if b {
+				sel = append(sel, i)
+			}
+		}
+		return sel, nil
+	}
+	for i, b := range v.bools[:n] {
+		if b && v.valid[i] {
+			sel = append(sel, i)
 		}
 	}
-	return out, nil
+	return sel, nil
 }
 
 // nonNullKind maps the static NULL kind (e.g. a bare NULL literal) to a
@@ -252,127 +289,6 @@ func nonNullKind(k value.Kind) value.Kind {
 		return value.KindInt64
 	}
 	return k
-}
-
-// evalVectorized handles the hot patterns Col op Col and Col op Const for
-// arithmetic and comparisons over null-free numeric columns. ok=false
-// means "not vectorizable here" and the caller falls back.
-func evalVectorized(e Expr, sch schema.Schema, t *table.Table) (*table.Column, bool, error) {
-	b, isBin := e.(*Bin)
-	if !isBin || b.Op.Logical() {
-		return nil, false, nil
-	}
-	lc, lok := operandFloats(b.L, sch, t)
-	rc, rok := operandFloats(b.R, sch, t)
-	if !lok || !rok {
-		return nil, false, nil
-	}
-	n := t.NumRows()
-	if b.Op.Arithmetic() {
-		out := make([]float64, n)
-		switch b.Op {
-		case value.OpAdd:
-			for i := 0; i < n; i++ {
-				out[i] = lc.at(i) + rc.at(i)
-			}
-		case value.OpSub:
-			for i := 0; i < n; i++ {
-				out[i] = lc.at(i) - rc.at(i)
-			}
-		case value.OpMul:
-			for i := 0; i < n; i++ {
-				out[i] = lc.at(i) * rc.at(i)
-			}
-		case value.OpDiv:
-			for i := 0; i < n; i++ {
-				out[i] = lc.at(i) / rc.at(i)
-			}
-		default:
-			return nil, false, nil
-		}
-		// Only float results are vectorized; integer arithmetic keeps
-		// exact semantics through the row path.
-		if lc.isInt && rc.isInt {
-			return nil, false, nil
-		}
-		return table.FloatColumn(out), true, nil
-	}
-	out := make([]bool, n)
-	switch b.Op {
-	case value.OpEq:
-		for i := 0; i < n; i++ {
-			out[i] = lc.at(i) == rc.at(i)
-		}
-	case value.OpNe:
-		for i := 0; i < n; i++ {
-			out[i] = lc.at(i) != rc.at(i)
-		}
-	case value.OpLt:
-		for i := 0; i < n; i++ {
-			out[i] = lc.at(i) < rc.at(i)
-		}
-	case value.OpLe:
-		for i := 0; i < n; i++ {
-			out[i] = lc.at(i) <= rc.at(i)
-		}
-	case value.OpGt:
-		for i := 0; i < n; i++ {
-			out[i] = lc.at(i) > rc.at(i)
-		}
-	case value.OpGe:
-		for i := 0; i < n; i++ {
-			out[i] = lc.at(i) >= rc.at(i)
-		}
-	default:
-		return nil, false, nil
-	}
-	return table.BoolColumn(out), true, nil
-}
-
-// vecOperand is a numeric operand for the vectorized path: either a
-// null-free column or a scalar constant.
-type vecOperand struct {
-	ints   []int64
-	floats []float64
-	konst  float64
-	isInt  bool
-}
-
-func (v *vecOperand) at(i int) float64 {
-	if v.ints != nil {
-		return float64(v.ints[i])
-	}
-	if v.floats != nil {
-		return v.floats[i]
-	}
-	return v.konst
-}
-
-func operandFloats(e Expr, sch schema.Schema, t *table.Table) (*vecOperand, bool) {
-	switch n := e.(type) {
-	case *Const:
-		f, ok := n.Val.AsFloat()
-		if !ok {
-			return nil, false
-		}
-		return &vecOperand{konst: f, isInt: n.Val.Kind() == value.KindInt64}, true
-	case *Col:
-		i := sch.IndexOf(n.Name)
-		if i < 0 || i >= t.NumCols() {
-			return nil, false
-		}
-		col := t.Col(i)
-		if col.HasNulls() {
-			return nil, false
-		}
-		switch col.Kind() {
-		case value.KindInt64:
-			return &vecOperand{ints: col.Ints(), isInt: true}, true
-		case value.KindFloat64:
-			return &vecOperand{floats: col.Floats()}, true
-		}
-	}
-	return nil, false
 }
 
 // EvalConst evaluates a constant expression (no column references).

@@ -81,8 +81,10 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 	if s, ok := p.src.(interface{ stop() }); ok {
 		defer s.stop()
 	}
-	rows := p.src.Open(ctx)
-	rt := &exec.Runtime{}
+	// One runtime — and one compiled-plan cache — for the whole run, so
+	// the pre/post stages' predicates and projections compile once, not
+	// once per micro-batch.
+	rt := &exec.Runtime{Cache: exec.NewExprCache()}
 	srcSch := p.src.Schema()
 
 	open := make(map[int64]*winState)
@@ -143,42 +145,80 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 		}
 	}
 
-	eof := false
-	for !eof {
-		// Block for the first row of the next micro-batch, then drain
-		// whatever has already arrived (up to the batch cap) without
-		// waiting, so quiet streams keep low latency and busy streams
-		// amortize evaluation over large batches.
-		b := table.NewBuilder(srcSch, 0)
-		var first Row
-		var ok bool
-		select {
-		case <-ctx.Done():
-			return st, ctx.Err()
-		case first, ok = <-rows:
+	// ingest returns the next micro-batch, or ok=false at end-of-stream.
+	// Batch-capable sources hand over whole tables — one channel
+	// operation per micro-batch; row sources block for the first row of
+	// the next batch, then drain whatever has already arrived (up to the
+	// batch cap) without waiting, so quiet streams keep low latency and
+	// busy streams amortize evaluation over large batches.
+	var ingest func() (*table.Table, bool, error)
+	if bs, ok := p.src.(BatchSource); ok {
+		batches := bs.OpenBatches(ctx, p.batchSize)
+		ingest = func() (*table.Table, bool, error) {
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case t, ok := <-batches:
+				if !ok {
+					return nil, false, nil
+				}
+				if err := p.observeBatch(t, &maxTime); err != nil {
+					return nil, false, err
+				}
+				return t, true, nil
+			}
+		}
+	} else {
+		rows := p.src.Open(ctx)
+		eof := false
+		ingest = func() (*table.Table, bool, error) {
+			if eof {
+				return nil, false, nil
+			}
+			b := table.NewBuilder(srcSch, 0)
+			var first Row
+			var ok bool
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case first, ok = <-rows:
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			if err := p.appendRow(b, first, &maxTime); err != nil {
+				return nil, false, err
+			}
+		drain:
+			for b.Len() < p.batchSize {
+				select {
+				case row, rok := <-rows:
+					if !rok {
+						eof = true
+						break drain
+					}
+					if err := p.appendRow(b, row, &maxTime); err != nil {
+						return nil, false, err
+					}
+				default:
+					break drain
+				}
+			}
+			return b.Build(), true, nil
+		}
+	}
+
+	for {
+		batch, ok, err := ingest()
+		if err != nil {
+			return st, err
 		}
 		if !ok {
 			break
 		}
-		if err := p.appendRow(b, first, &maxTime); err != nil {
-			return st, err
+		if batch.NumRows() == 0 {
+			continue
 		}
-	drain:
-		for b.Len() < p.batchSize {
-			select {
-			case row, rok := <-rows:
-				if !rok {
-					eof = true
-					break drain
-				}
-				if err := p.appendRow(b, row, &maxTime); err != nil {
-					return st, err
-				}
-			default:
-				break drain
-			}
-		}
-		batch := b.Build()
 		st.Events += int64(batch.NumRows())
 		st.Batches++
 
@@ -263,6 +303,34 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// observeBatch validates a source-produced micro-batch and advances the
+// maximum observed event time from its time column.
+func (p *Pipeline) observeBatch(t *table.Table, maxTime *int64) error {
+	if t.NumCols() != p.srcWidth {
+		return fmt.Errorf("stream: batch has %d columns, schema needs %d", t.NumCols(), p.srcWidth)
+	}
+	srcSch := p.src.Schema()
+	for i := 0; i < t.NumCols(); i++ {
+		if got, want := t.Col(i).Kind(), srcSch.At(i).Kind; got != want {
+			return fmt.Errorf("stream: batch column %q is %v, schema needs %v", srcSch.At(i).Name, got, want)
+		}
+	}
+	col := t.Col(p.srcTimeIdx)
+	if valid := col.Validity(); valid != nil {
+		for i, ok := range valid {
+			if !ok {
+				return fmt.Errorf("stream: event %d has no int64 event time (got NULL)", i)
+			}
+		}
+	}
+	for _, ts := range col.Ints() {
+		if ts > *maxTime {
+			*maxTime = ts
+		}
+	}
+	return nil
 }
 
 // appendRow validates and buffers one source row, advancing the maximum

@@ -40,6 +40,20 @@ type Source interface {
 	Err() error
 }
 
+// BatchSource is an optional Source extension for producers that can
+// emit whole micro-batches. The pipeline prefers it when available: one
+// channel operation moves up to batchSize rows, instead of one per event,
+// and pull sources can hand over column slices with zero copying. Rows
+// and batches are alternative views of the same stream — a pipeline
+// consumes exactly one of them per run.
+type BatchSource interface {
+	Source
+	// OpenBatches starts production in batches of at most batchSize rows.
+	// Emitted tables carry the source schema; the channel is closed at
+	// end-of-stream or cancellation (check Err afterwards).
+	OpenBatches(ctx context.Context, batchSize int) <-chan *table.Table
+}
+
 // Channel is a push source: callers feed rows with Send and finish the
 // stream with Close. It has a fixed buffer; Send blocks when the buffer
 // is full and the pipeline has not caught up. Like a raw Go channel,
@@ -156,6 +170,36 @@ func (r *replay) Open(ctx context.Context) <-chan Row {
 	return ch
 }
 
+// OpenBatches implements BatchSource: stored rows re-play as zero-copy
+// table slices.
+func (r *replay) OpenBatches(ctx context.Context, batchSize int) <-chan *table.Table {
+	ch := make(chan *table.Table, 4)
+	go func() {
+		defer close(ch)
+		r.err = sliceBatches(ctx, r.t, batchSize, ch)
+	}()
+	return ch
+}
+
+// sliceBatches feeds t to ch in batchSize-row storage-sharing slices.
+func sliceBatches(ctx context.Context, t *table.Table, batchSize int, ch chan<- *table.Table) error {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for lo := 0; lo < t.NumRows(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > t.NumRows() {
+			hi = t.NumRows()
+		}
+		select {
+		case ch <- t.Slice(lo, hi):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
 // lazyReplay is a replay whose table is fetched only when the stream
 // runs. Session.StreamScan uses it so building (and validating) a stream
 // query over a stored dataset does not scan the dataset until Open.
@@ -205,6 +249,21 @@ func (l *lazyReplay) Open(ctx context.Context) <-chan Row {
 	return ch
 }
 
+// OpenBatches implements BatchSource (see replay).
+func (l *lazyReplay) OpenBatches(ctx context.Context, batchSize int) <-chan *table.Table {
+	ch := make(chan *table.Table, 4)
+	go func() {
+		defer close(ch)
+		t, err := l.fetch()
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.err = sliceBatches(ctx, t, batchSize, ch)
+	}()
+	return ch
+}
+
 // generator synthesizes n rows by calling fn(0..n-1) — load generators
 // and tests use it for unbounded-ish input without materializing tables.
 type generator struct {
@@ -243,6 +302,44 @@ func (g *generator) Open(ctx context.Context) <-chan Row {
 			}
 			select {
 			case ch <- row:
+			case <-ctx.Done():
+				g.err = ctx.Err()
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// OpenBatches implements BatchSource: rows are synthesized and assembled
+// into columnar batches on the producer side, so the consumer pays one
+// channel operation per micro-batch.
+func (g *generator) OpenBatches(ctx context.Context, batchSize int) <-chan *table.Table {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	ch := make(chan *table.Table, 4)
+	go func() {
+		defer close(ch)
+		for lo := int64(0); lo < g.n; lo += int64(batchSize) {
+			hi := lo + int64(batchSize)
+			if hi > g.n {
+				hi = g.n
+			}
+			b := table.NewBuilder(g.sch, int(hi-lo))
+			for i := lo; i < hi; i++ {
+				row, err := g.fn(i)
+				if err != nil {
+					g.err = fmt.Errorf("stream: generator row %d: %w", i, err)
+					return
+				}
+				if err := b.Append(row...); err != nil {
+					g.err = fmt.Errorf("stream: generator row %d: %w", i, err)
+					return
+				}
+			}
+			select {
+			case ch <- b.Build():
 			case <-ctx.Done():
 				g.err = ctx.Err()
 				return

@@ -137,6 +137,11 @@ func (c *Column) Strs() []string {
 	return c.strs
 }
 
+// Validity returns the raw validity bitmap, or nil when every row is
+// valid. Callers must not mutate the result; it is exposed for vectorized
+// kernels that carry NULLs through batch evaluation.
+func (c *Column) Validity() []bool { return c.valid }
+
 // Append adds v to the column. A NULL appends a zero payload and marks the
 // validity bitmap; a kind mismatch (other than numeric widening int→float)
 // is an error.
