@@ -10,6 +10,9 @@
 //	\datasets            list datasets across providers
 //	\providers           list providers
 //	\explain <query>     show the optimized plan and fragment assignment
+//	\subscribe <ds> <timecol> <size> [key...]
+//	                     live windowed subscription hosted on the
+//	                     dataset's provider (federated streaming)
 //	\mode direct|routed  switch intermediate shipping
 //	\quit                exit
 //
@@ -20,9 +23,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,6 +97,8 @@ func main() {
 			default:
 				fmt.Println("usage: \\mode direct|routed")
 			}
+		case strings.HasPrefix(line, `\subscribe`):
+			runSubscribe(s, strings.Fields(strings.TrimSpace(strings.TrimPrefix(line, `\subscribe`))))
 		case strings.HasPrefix(line, `\explain`):
 			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
 			out, err := s.Query(src).Explain()
@@ -101,7 +108,7 @@ func main() {
 			}
 			fmt.Println(out)
 		case strings.HasPrefix(line, `\`):
-			fmt.Println("unknown command; try \\datasets, \\providers, \\explain <q>, \\mode, \\quit")
+			fmt.Println("unknown command; try \\datasets, \\providers, \\explain <q>, \\subscribe, \\mode, \\quit")
 		default:
 			t0 := time.Now()
 			res, m, err := s.Query(line).CollectWithMetrics()
@@ -113,6 +120,53 @@ func main() {
 			fmt.Printf("(%d rows, %v, %d fragment(s))\n", res.NumRows(), time.Since(t0).Round(time.Microsecond), m.Fragments)
 		}
 	}
+}
+
+// runSubscribe hosts a federated stream subscription from the shell:
+// the named dataset replays on whichever provider holds it, windowed
+// per-key, with results streaming back over the wire.
+//
+//	\subscribe <dataset> <timecol> <windowsize> [key...]
+func runSubscribe(s *nexus.Session, args []string) {
+	if len(args) < 3 {
+		fmt.Println("usage: \\subscribe <dataset> <timecol> <windowsize> [key...]")
+		return
+	}
+	size, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil || size <= 0 {
+		fmt.Println("window size must be a positive integer")
+		return
+	}
+	var provider string
+	for _, ds := range s.Datasets() {
+		if ds.Name == args[0] {
+			provider = ds.Provider
+			break
+		}
+	}
+	if provider == "" {
+		fmt.Printf("no provider hosts dataset %q\n", args[0])
+		return
+	}
+	q := s.StreamScan(args[0], args[1]).
+		Window(nexus.Tumbling(size)).
+		GroupBy(args[3:]...).
+		Agg(nexus.Count("n"))
+	t0 := time.Now()
+	windows := 0
+	stats, err := q.SubscribeRemote(context.Background(), []string{provider}, func(t *nexus.Table) error {
+		windows++
+		if windows <= 5 {
+			fmt.Print(t.Format(10))
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("(%d windows from %s, %d events, %d late, %v)\n",
+		windows, provider, stats.Events, stats.Late, time.Since(t0).Round(time.Microsecond))
 }
 
 func printDatasets(s *nexus.Session) {

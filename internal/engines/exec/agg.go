@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"nexus/internal/core"
 	"nexus/internal/schema"
@@ -86,6 +87,60 @@ func (a *Accumulator) Result(want value.Kind) value.Value {
 		return a.minmax
 	}
 	return value.Null
+}
+
+// AccSnapshot is the serializable state of one Accumulator — everything
+// needed to resume the aggregate on another machine. The streaming
+// window-state handoff (internal/wire's WindowState codec) ships these
+// between servers.
+type AccSnapshot struct {
+	Fn       core.AggFunc
+	Count    int64
+	SumInt   int64
+	SumFloat float64
+	IsFloat  bool
+	MinMax   value.Value
+	Distinct []string // canonical key encodings, sorted for determinism
+}
+
+// Snapshot captures the accumulator's state.
+func (a *Accumulator) Snapshot() AccSnapshot {
+	s := AccSnapshot{
+		Fn:       a.fn,
+		Count:    a.count,
+		SumInt:   a.sumInt,
+		SumFloat: a.sumFloat,
+		IsFloat:  a.isFloat,
+		MinMax:   a.minmax,
+	}
+	if a.distinct != nil {
+		s.Distinct = make([]string, 0, len(a.distinct))
+		for k := range a.distinct {
+			s.Distinct = append(s.Distinct, k)
+		}
+		sort.Strings(s.Distinct)
+	}
+	return s
+}
+
+// RestoreAccumulator rebuilds an accumulator from a snapshot; folding
+// more values into it continues exactly where the snapshot left off.
+func RestoreAccumulator(s AccSnapshot) *Accumulator {
+	a := &Accumulator{
+		fn:       s.Fn,
+		count:    s.Count,
+		sumInt:   s.SumInt,
+		sumFloat: s.SumFloat,
+		isFloat:  s.IsFloat,
+		minmax:   s.MinMax,
+	}
+	if s.Fn == core.AggCountDistinct {
+		a.distinct = make(map[string]struct{}, len(s.Distinct))
+		for _, k := range s.Distinct {
+			a.distinct[k] = struct{}{}
+		}
+	}
+	return a
 }
 
 // groupAggregate is the hash-aggregation kernel: group the input by the

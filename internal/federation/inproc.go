@@ -2,8 +2,10 @@ package federation
 
 import (
 	"fmt"
+	"sync"
 
 	"nexus/internal/core"
+	"nexus/internal/engines/exec"
 	"nexus/internal/provider"
 	"nexus/internal/table"
 	"nexus/internal/wire"
@@ -15,12 +17,23 @@ import (
 // use it to isolate protocol economics from kernel scheduling noise.
 type InProc struct {
 	prov provider.Provider
+
+	// cache is shared by every stream subscription hosted through this
+	// transport, matching the per-server cache a TCP server keeps.
+	cacheOnce sync.Once
+	cache     *exec.ExprCache
 }
 
 var _ Transport = (*InProc)(nil)
 
 // NewInProc wraps a provider as an in-process transport.
 func NewInProc(p provider.Provider) *InProc { return &InProc{prov: p} }
+
+// exprCache returns the transport's shared compiled-expression cache.
+func (t *InProc) exprCache() *exec.ExprCache {
+	t.cacheOnce.Do(func() { t.cache = exec.NewExprCache() })
+	return t.cache
+}
 
 // ProviderName implements Transport.
 func (t *InProc) ProviderName() string { return t.prov.Name() }

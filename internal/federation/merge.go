@@ -1,0 +1,260 @@
+package federation
+
+import (
+	"fmt"
+	"math"
+
+	"nexus/internal/stream"
+	"nexus/internal/table"
+)
+
+// Watermark-ordered merge of partitioned subscriptions. Each partition
+// emits its windows in ascending (window_end, window_start) order, and a
+// partition whose watermark has passed a window's end can never emit
+// that window again — those two invariants let the coordinator release a
+// window as soon as every partition either delivered it, watermarked
+// past it, or finished, without buffering whole streams.
+
+// winKey orders windows by (end, start) — ascending emission order for
+// every window kind.
+type winKey struct{ end, start int64 }
+
+func (a winKey) less(b winKey) bool {
+	if a.end != b.end {
+		return a.end < b.end
+	}
+	return a.start < b.start
+}
+
+// mergePart is one partition's merge state.
+type mergePart struct {
+	buf       []SubBatch // pending windows, ascending winKey
+	watermark int64
+	done      bool
+}
+
+// batchKey reads a windowed result's bounds from its first row. Every
+// row in one emitted batch shares them.
+func batchKey(t *table.Table) (winKey, error) {
+	startIdx := t.Schema().IndexOf(stream.WindowStartCol)
+	endIdx := t.Schema().IndexOf(stream.WindowEndCol)
+	if startIdx < 0 || endIdx < 0 || t.NumRows() == 0 {
+		return winKey{}, fmt.Errorf("federation: merge needs windowed results with %s/%s columns", stream.WindowStartCol, stream.WindowEndCol)
+	}
+	return winKey{start: t.Col(startIdx).Ints()[0], end: t.Col(endIdx).Ints()[0]}, nil
+}
+
+// MergeWindows consumes N partitioned subscriptions and delivers merged
+// window results to emit in global watermark order: ascending by
+// (window_end, window_start), with same-window results from different
+// partitions concatenated in partition index order. It returns the
+// summed stats of all partitions (Watermark is the minimum) once every
+// partition ends. On error it cancels the remaining subscriptions.
+func MergeWindows(subs []*Subscription, emit func(*table.Table) error) (stream.Stats, error) {
+	var total stream.Stats
+	total.Watermark = math.MaxInt64
+
+	type tagged struct {
+		part int
+		b    SubBatch
+		ok   bool
+	}
+	agg := make(chan tagged)
+	quit := make(chan struct{})
+	for i, s := range subs {
+		go func(i int, s *Subscription) {
+			for b := range s.Batches() {
+				select {
+				case agg <- tagged{part: i, b: b, ok: true}:
+				case <-quit:
+					return
+				}
+			}
+			select {
+			case agg <- tagged{part: i}:
+			case <-quit:
+			}
+		}(i, s)
+	}
+	cancelAll := func() {
+		// Release the forwarders first — closing quit lets them exit
+		// without a drain goroutine to leak — then tear the
+		// subscriptions down.
+		close(quit)
+		for _, s := range subs {
+			s.Close()
+		}
+	}
+
+	parts := make([]mergePart, len(subs))
+	for i := range parts {
+		parts[i].watermark = math.MinInt64
+	}
+
+	// flush releases every window no partition can precede anymore.
+	flush := func() error {
+		for {
+			// Find the minimum pending window across partition heads.
+			lo := winKey{}
+			have := false
+			for i := range parts {
+				if len(parts[i].buf) > 0 {
+					k, err := batchKey(parts[i].buf[0].Table)
+					if err != nil {
+						return err
+					}
+					if !have || k.less(lo) {
+						lo, have = k, true
+					}
+				}
+			}
+			if !have {
+				return nil
+			}
+			// Each partition emits windows in strictly ascending key order,
+			// so a partition with a buffered head can only produce windows
+			// ≥ its head ≥ lo; a partition whose watermark passed lo.end
+			// has already emitted everything ending at or before it; a done
+			// partition produces nothing. Only a live, empty, behind-the-
+			// watermark partition can still precede lo — then wait.
+			for i := range parts {
+				p := &parts[i]
+				if p.done || p.watermark >= lo.end || len(p.buf) > 0 {
+					continue
+				}
+				return nil
+			}
+			// Emit lo: concat equal-key heads in partition index order.
+			var pieces []*table.Table
+			for i := range parts {
+				p := &parts[i]
+				if len(p.buf) == 0 {
+					continue
+				}
+				k, err := batchKey(p.buf[0].Table)
+				if err != nil {
+					return err
+				}
+				if k == lo {
+					pieces = append(pieces, p.buf[0].Table)
+					p.buf = p.buf[1:]
+				}
+			}
+			merged, err := pieces[0].Concat(pieces[1:]...)
+			if err != nil {
+				return err
+			}
+			if err := emit(merged); err != nil {
+				return err
+			}
+		}
+	}
+
+	live := len(subs)
+	for live > 0 {
+		m := <-agg
+		p := &parts[m.part]
+		if !m.ok {
+			p.done = true
+			live--
+			stats, err := subs[m.part].Wait()
+			if err != nil {
+				cancelAll()
+				return total, fmt.Errorf("federation: partition %d: %w", m.part, err)
+			}
+			total.Events += stats.Events
+			total.Batches += stats.Batches
+			total.Windows += stats.Windows
+			total.Late += stats.Late
+			total.OutRows += stats.OutRows
+			if stats.Watermark < total.Watermark {
+				total.Watermark = stats.Watermark
+			}
+		} else {
+			if m.b.Watermark > p.watermark {
+				p.watermark = m.b.Watermark
+			}
+			if m.b.Table != nil {
+				p.buf = append(p.buf, m.b)
+			}
+		}
+		if err := flush(); err != nil {
+			cancelAll()
+			return total, err
+		}
+	}
+	// All partitions done: whatever remains is safe to release in order.
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// MergeArrival fans non-windowed partitioned results in as they arrive
+// (stateless pipelines have no window order to preserve). Stats sum as
+// in MergeWindows.
+func MergeArrival(subs []*Subscription, emit func(*table.Table) error) (stream.Stats, error) {
+	var total stream.Stats
+	total.Watermark = math.MaxInt64
+
+	type tagged struct {
+		part int
+		b    SubBatch
+		ok   bool
+	}
+	agg := make(chan tagged)
+	quit := make(chan struct{})
+	for i, s := range subs {
+		go func(i int, s *Subscription) {
+			for b := range s.Batches() {
+				select {
+				case agg <- tagged{part: i, b: b, ok: true}:
+				case <-quit:
+					return
+				}
+			}
+			select {
+			case agg <- tagged{part: i}:
+			case <-quit:
+			}
+		}(i, s)
+	}
+	cancelAll := func() {
+		// Release the forwarders first — closing quit lets them exit
+		// without a drain goroutine to leak — then tear the
+		// subscriptions down.
+		close(quit)
+		for _, s := range subs {
+			s.Close()
+		}
+	}
+	live := len(subs)
+	for live > 0 {
+		m := <-agg
+		if !m.ok {
+			live--
+			stats, err := subs[m.part].Wait()
+			if err != nil {
+				cancelAll()
+				return total, fmt.Errorf("federation: partition %d: %w", m.part, err)
+			}
+			total.Events += stats.Events
+			total.Batches += stats.Batches
+			total.Windows += stats.Windows
+			total.Late += stats.Late
+			total.OutRows += stats.OutRows
+			if stats.Watermark < total.Watermark {
+				total.Watermark = stats.Watermark
+			}
+			continue
+		}
+		if m.b.Table == nil {
+			continue
+		}
+		if err := emit(m.b.Table); err != nil {
+			cancelAll()
+			return total, err
+		}
+	}
+	return total, nil
+}

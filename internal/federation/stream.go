@@ -1,0 +1,354 @@
+package federation
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/schema"
+	"nexus/internal/server"
+	"nexus/internal/stream"
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+// Federated streaming: a Subscription is the client half of one
+// long-running stream hosted by a remote provider. Results arrive as
+// watermarked batches under credit-based flow control; push-mode
+// subscriptions feed events upstream under a publish window; and a
+// subscriber can detach with the pipeline's window state and resume on
+// the same — or a different — provider.
+
+// StreamTransport is a Transport that can host long-running stream
+// subscriptions.
+type StreamTransport interface {
+	Transport
+	// Subscribe opens one subscription. The sub's ID is assigned by the
+	// transport; the caller configures everything else.
+	Subscribe(sub wire.StreamSub) (*Subscription, error)
+}
+
+// DefaultCredit is the result-batch window a subscription grants the
+// server up front; the client returns one credit per consumed batch.
+const DefaultCredit = 32
+
+// SubBatch is one message from a subscription: a result table (nil for
+// watermark-only progress updates) and the event-time watermark in force
+// when it was sent.
+type SubBatch struct {
+	Table     *table.Table
+	Watermark int64
+	Seq       uint64
+}
+
+// Subscription is a live federated stream. Batches arrives results and
+// watermark progress; Publish/EndInput feed push-mode sources; Detach
+// retrieves the window state for resumption elsewhere.
+type Subscription struct {
+	conn   net.Conn
+	id     uint64
+	outSch schema.Schema
+
+	wmu sync.Mutex // serializes frame writes (publisher + control)
+
+	out    chan SubBatch
+	done   chan struct{} // reader terminated; state/stats/err final
+	closed chan struct{} // subscriber stopped consuming; reader discards
+
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	pubCond   *sync.Cond
+	pubCredit int64
+	state     *stream.State
+	stats     *stream.Stats
+	err       error
+	discards  []SubBatch // results the reader dropped during a close handshake
+}
+
+var subIDs atomic.Uint64
+
+// SubscribeConn opens a subscription over an established connection
+// speaking the nexus wire protocol. It assigns the subscription ID,
+// performs the subscribe/ack exchange, and starts the reader that
+// delivers batches and auto-grants credit.
+func SubscribeConn(conn net.Conn, sub wire.StreamSub) (*Subscription, error) {
+	sub.ID = subIDs.Add(1)
+	if sub.Credit == 0 {
+		sub.Credit = DefaultCredit
+	}
+	if _, err := wire.WriteFrame(conn, wire.MsgSubscribeStream, wire.EncodeSubscribeStream(sub)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch typ {
+	case wire.MsgSubAck:
+	case wire.MsgError:
+		conn.Close()
+		_, msg, _ := wire.DecodeError(payload)
+		return nil, fmt.Errorf("federation: subscribe: %s", msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("federation: server replied %v to subscribe", typ)
+	}
+	_, outSch, err := wire.DecodeSubAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s := &Subscription{
+		conn:      conn,
+		id:        sub.ID,
+		outSch:    outSch,
+		out:       make(chan SubBatch, 1),
+		done:      make(chan struct{}),
+		closed:    make(chan struct{}),
+		pubCredit: server.PublishWindow,
+	}
+	s.pubCond = sync.NewCond(&s.mu)
+	go s.readLoop()
+	return s, nil
+}
+
+// OutputSchema is the schema of result batches.
+func (s *Subscription) OutputSchema() schema.Schema { return s.outSch }
+
+// Batches delivers results and watermark updates until the subscription
+// terminates (channel close). Check Err afterwards.
+func (s *Subscription) Batches() <-chan SubBatch { return s.out }
+
+// readLoop is the single reader: it demultiplexes results, watermarks,
+// publish credits and the terminal frame.
+func (s *Subscription) readLoop() {
+	defer close(s.done)
+	defer close(s.out)
+	defer s.conn.Close()
+	// Release any Publish blocked on credit once the stream is over.
+	defer s.pubCond.Broadcast()
+	for {
+		typ, payload, _, err := wire.ReadFrame(s.conn)
+		if err != nil {
+			s.fail(fmt.Errorf("federation: subscription read: %w", err))
+			return
+		}
+		switch typ {
+		case wire.MsgStreamBatch:
+			_, seq, mark, t, err := wire.DecodeStreamBatch(payload)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			select {
+			case s.out <- SubBatch{Table: t, Watermark: mark, Seq: seq}:
+				// Consumed (or buffered): hand the server its credit back.
+				s.writeFrame(wire.MsgCredit, wire.EncodeCredit(s.id, 1))
+			case <-s.closed:
+				// The subscriber stopped consuming mid-close. The server
+				// already counts this batch as delivered, so it is not in
+				// any handed-off state — keep it for Detach to return.
+				s.mu.Lock()
+				s.discards = append(s.discards, SubBatch{Table: t, Watermark: mark, Seq: seq})
+				s.mu.Unlock()
+			}
+		case wire.MsgWatermark:
+			_, mark, err := wire.DecodeWatermark(payload)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			select {
+			case s.out <- SubBatch{Table: nil, Watermark: mark}:
+			case <-s.closed:
+			default:
+				// Watermark-only updates are droppable if the consumer is
+				// behind; the next batch carries the mark anyway.
+			}
+		case wire.MsgCredit:
+			_, n, err := wire.DecodeCredit(payload)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			s.mu.Lock()
+			s.pubCredit += int64(n)
+			s.mu.Unlock()
+			s.pubCond.Broadcast()
+		case wire.MsgWindowState:
+			_, st, err := wire.DecodeWindowState(payload)
+			if err != nil {
+				s.fail(err)
+			} else {
+				s.mu.Lock()
+				s.state = st
+				s.mu.Unlock()
+			}
+			return
+		case wire.MsgStreamEnd:
+			_, stats, err := wire.DecodeStreamEnd(payload)
+			if err != nil {
+				s.fail(err)
+			} else {
+				s.mu.Lock()
+				s.stats = &stats
+				s.mu.Unlock()
+			}
+			return
+		case wire.MsgError:
+			_, msg, _ := wire.DecodeError(payload)
+			s.fail(fmt.Errorf("federation: subscription: %s", msg))
+			return
+		default:
+			s.fail(fmt.Errorf("federation: unexpected subscription frame %v", typ))
+			return
+		}
+	}
+}
+
+func (s *Subscription) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the subscription's terminal error, if any.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// writeFrame sends one frame under the write lock.
+func (s *Subscription) writeFrame(t wire.MsgType, payload []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	_, err := wire.WriteFrame(s.conn, t, payload)
+	return err
+}
+
+// Publish pushes one event batch upstream (push-mode subscriptions),
+// blocking while the publish window is exhausted.
+func (s *Subscription) Publish(t *table.Table) error {
+	s.mu.Lock()
+	for s.pubCredit <= 0 {
+		if s.err != nil || s.terminatedLocked() {
+			err := s.err
+			s.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("federation: publish on finished subscription")
+			}
+			return err
+		}
+		s.pubCond.Wait()
+	}
+	s.pubCredit--
+	s.mu.Unlock()
+	return s.writeFrame(wire.MsgStreamPublish, wire.EncodeStreamPublish(s.id, t))
+}
+
+// terminatedLocked reports whether the reader has finished (s.mu held).
+func (s *Subscription) terminatedLocked() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// EndInput ends a push-mode stream: the remote pipeline drains, flushes
+// its final windows, and terminates with stats.
+func (s *Subscription) EndInput() error {
+	return s.writeFrame(wire.MsgStreamClose, wire.EncodeStreamClose(s.id, wire.CloseEndInput))
+}
+
+// Detach stops the remote pipeline and returns its window state — the
+// handoff object another provider (or a later reconnect) resumes from —
+// plus any result batches that were already delivered and credited but
+// not yet consumed. Those batches are NOT represented in the state (the
+// server counts them as emitted), so the caller must process them before
+// resuming.
+func (s *Subscription) Detach() (*stream.State, []SubBatch, error) {
+	s.closeOnce.Do(func() { close(s.closed) })
+	if err := s.writeFrame(wire.MsgStreamClose, wire.EncodeStreamClose(s.id, wire.CloseDetach)); err != nil {
+		return nil, nil, err
+	}
+	<-s.done
+	// The reader is finished and s.out is closed: first whatever was
+	// buffered for consumption, then whatever the reader had to set
+	// aside during the handshake — that is their emission order.
+	var pending []SubBatch
+	for b := range s.out {
+		pending = append(pending, b)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pending = append(pending, s.discards...)
+	if s.state == nil {
+		if s.err != nil {
+			return nil, pending, s.err
+		}
+		return nil, pending, fmt.Errorf("federation: detach returned no state")
+	}
+	return s.state, pending, nil
+}
+
+// Cancel aborts the subscription without asking for state.
+func (s *Subscription) Cancel() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	if err := s.writeFrame(wire.MsgStreamClose, wire.EncodeStreamClose(s.id, wire.CloseCancel)); err != nil {
+		return err
+	}
+	<-s.done
+	return nil
+}
+
+// Wait blocks until the stream terminates and returns its final stats.
+func (s *Subscription) Wait() (*stream.Stats, error) {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.stats, s.err
+	}
+	if s.stats == nil {
+		return nil, fmt.Errorf("federation: subscription ended without stats")
+	}
+	return s.stats, nil
+}
+
+// Close tears the connection down (abrupt; prefer Cancel/Detach).
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.conn.Close()
+	<-s.done
+}
+
+// Subscribe implements StreamTransport for TCP: each subscription runs
+// on its own connection, so request/response traffic never interleaves
+// with stream frames.
+func (t *TCP) Subscribe(sub wire.StreamSub) (*Subscription, error) {
+	conn, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: dial %s: %w", t.addr, err)
+	}
+	return SubscribeConn(conn, sub)
+}
+
+// Subscribe implements StreamTransport for InProc: the subscription runs
+// real protocol bytes through an in-memory pipe served by the same
+// server code path a TCP subscription hits, so the two transports cannot
+// diverge. The transport's shared expression cache spans subscriptions,
+// like a TCP server's does.
+func (t *InProc) Subscribe(sub wire.StreamSub) (*Subscription, error) {
+	cli, srv := net.Pipe()
+	go func() { _ = server.ServeConnCached(t.prov, srv, t.exprCache()) }()
+	return SubscribeConn(cli, sub)
+}

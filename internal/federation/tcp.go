@@ -28,33 +28,39 @@ type TCP struct {
 var _ Transport = (*TCP)(nil)
 
 // DialTCP connects to a server and performs the hello exchange, learning
-// the provider's name, capabilities and datasets.
+// the provider's name, capabilities and datasets. A failure anywhere in
+// the handshake closes the connection before returning — the deferred
+// cleanup covers every exit path, so a mid-handshake error (short reply,
+// wrong frame, corrupt payload) cannot leak the socket.
 func DialTCP(addr string) (*TCP, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("federation: dial %s: %w", addr, err)
 	}
+	ok := false
+	defer func() {
+		if !ok {
+			conn.Close()
+		}
+	}()
 	t := &TCP{addr: addr, conn: conn}
 	if _, err := wire.WriteFrame(conn, wire.MsgHello, nil); err != nil {
-		conn.Close()
 		return nil, err
 	}
 	typ, payload, _, err := wire.ReadFrame(conn)
 	if err != nil {
-		conn.Close()
 		return nil, err
 	}
 	if typ != wire.MsgHelloAck {
-		conn.Close()
 		return nil, fmt.Errorf("federation: server replied %v to hello", typ)
 	}
 	h, err := wire.DecodeHelloAck(payload)
 	if err != nil {
-		conn.Close()
 		return nil, err
 	}
 	t.name = h.Name
 	t.hello = &h
+	ok = true
 	return t, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"net"
 	"sync"
 
+	"nexus/internal/engines/exec"
 	"nexus/internal/provider"
 	"nexus/internal/table"
 	"nexus/internal/wire"
@@ -27,6 +28,11 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 
+	// exprCache is shared by every streaming subscription the server
+	// hosts, so a plan subscribed N times compiles once.
+	cacheOnce sync.Once
+	exprCache *exec.ExprCache
+
 	// Logf receives diagnostics; defaults to log.Printf. Tests silence it.
 	Logf func(format string, args ...any)
 }
@@ -40,6 +46,12 @@ func Serve(prov provider.Provider, addr string) (*Server, error) {
 	s := &Server{prov: prov, ln: ln, conns: map[net.Conn]struct{}{}, Logf: log.Printf}
 	go s.acceptLoop()
 	return s, nil
+}
+
+// cache returns the server's shared compiled-expression cache.
+func (s *Server) cache() *exec.ExprCache {
+	s.cacheOnce.Do(func() { s.exprCache = exec.NewExprCache() })
+	return s.exprCache
 }
 
 // Addr returns the bound address.
@@ -89,58 +101,203 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	for {
-		typ, payload, _, err := wire.ReadFrame(conn)
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.mu.Lock()
-				closed := s.closed
-				s.mu.Unlock()
-				if !closed {
-					s.Logf("server %s: read: %v", s.prov.Name(), err)
-				}
+	// Logf is read lazily at log time: tests install their logger right
+	// after Serve returns, before any traffic arrives.
+	cc := &connCtx{
+		prov: s.prov, conn: conn, cache: s.cache(),
+		subs: map[uint64]*subSession{},
+		logf: func(format string, args ...any) { s.Logf(format, args...) },
+	}
+	if err := cc.serve(); err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.Logf("server %s: %v", s.prov.Name(), err)
 			}
-			return
-		}
-		if err := s.dispatch(conn, typ, payload); err != nil {
-			s.Logf("server %s: %v", s.prov.Name(), err)
-			return
 		}
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, typ wire.MsgType, payload []byte) error {
+// ServeConn serves the wire protocol — including long-running stream
+// subscriptions — on an already-established connection, returning when
+// the connection ends. The returned error is the terminal condition: nil
+// on clean shutdown, ErrSubscriberGone when the peer vanished under an
+// active subscription, or the first dispatch failure. The in-process
+// federation transport runs real protocol bytes through a net.Pipe via
+// this entry point, so InProc and TCP subscriptions exercise one code
+// path.
+func ServeConn(prov provider.Provider, conn net.Conn) error {
+	return ServeConnCached(prov, conn, exec.NewExprCache())
+}
+
+// ServeConnCached is ServeConn with a caller-owned compiled-expression
+// cache, so a host serving many connections for one provider (the
+// in-process federation transport) compiles each subscribed plan once
+// across all of them.
+func ServeConnCached(prov provider.Provider, conn net.Conn, cache *exec.ExprCache) error {
+	defer conn.Close()
+	cc := &connCtx{prov: prov, conn: conn, cache: cache, subs: map[uint64]*subSession{}, logf: func(string, ...any) {}}
+	err := cc.serve()
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// connCtx is one connection's server-side state: the hosted provider, a
+// write lock serializing frames from the dispatch loop and from
+// subscription pipelines, and the live subscriptions.
+type connCtx struct {
+	prov  provider.Provider
+	conn  net.Conn
+	cache *exec.ExprCache
+	logf  func(format string, args ...any)
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu     sync.Mutex
+	subs   map[uint64]*subSession
+	subErr error // first gone-subscriber error (survives sub removal)
+}
+
+// noteSubErr records the first gone-subscriber error on the connection.
+func (cc *connCtx) noteSubErr(err error) {
+	cc.mu.Lock()
+	if cc.subErr == nil {
+		cc.subErr = err
+	}
+	cc.mu.Unlock()
+}
+
+// writeFrame writes one frame under the connection's write lock.
+func (cc *connCtx) writeFrame(t wire.MsgType, payload []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	_, err := wire.WriteFrame(cc.conn, t, payload)
+	return err
+}
+
+// removeSub forgets a finished subscription.
+func (cc *connCtx) removeSub(id uint64) {
+	cc.mu.Lock()
+	delete(cc.subs, id)
+	cc.mu.Unlock()
+}
+
+// sub looks up a live subscription.
+func (cc *connCtx) sub(id uint64) (*subSession, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	s, ok := cc.subs[id]
+	return s, ok
+}
+
+// serve runs the read loop until the connection ends, then releases any
+// still-running subscriptions. If the peer vanished while subscriptions
+// were live, the terminal error is ErrSubscriberGone.
+func (cc *connCtx) serve() error {
+	var readErr error
+	for {
+		typ, payload, _, err := wire.ReadFrame(cc.conn)
+		if err != nil {
+			readErr = err
+			break
+		}
+		if err := cc.dispatch(typ, payload); err != nil {
+			readErr = err
+			break
+		}
+	}
+	// Connection over: mark every live subscription's subscriber gone and
+	// wait for their pipelines to stop. Their queued batches fail with
+	// ErrSubscriberGone rather than disappearing silently.
+	cc.mu.Lock()
+	live := make([]*subSession, 0, len(cc.subs))
+	for _, s := range cc.subs {
+		live = append(live, s)
+	}
+	cc.mu.Unlock()
+	for _, s := range live {
+		s.markGone()
+	}
+	for _, s := range live {
+		<-s.done
+	}
+	cc.mu.Lock()
+	subErr := cc.subErr
+	cc.mu.Unlock()
+	if subErr != nil {
+		return subErr
+	}
+	return readErr
+}
+
+func (cc *connCtx) dispatch(typ wire.MsgType, payload []byte) error {
 	switch typ {
 	case wire.MsgHello:
-		return s.handleHello(conn)
+		return cc.handleHello()
 	case wire.MsgExecute:
-		return s.handleExecute(conn, payload)
+		return cc.handleExecute(payload)
 	case wire.MsgExecuteTo:
-		return s.handleExecuteTo(conn, payload)
+		return cc.handleExecuteTo(payload)
 	case wire.MsgStore:
-		return s.handleStore(conn, payload)
+		return cc.handleStore(payload)
 	case wire.MsgDrop:
 		name, err := wire.DecodeDrop(payload)
 		if err != nil {
 			return err
 		}
-		s.prov.Drop(name)
-		_, err = wire.WriteFrame(conn, wire.MsgAck, wire.EncodeAck(0, 0, 0))
-		return err
+		cc.prov.Drop(name)
+		return cc.writeFrame(wire.MsgAck, wire.EncodeAck(0, 0, 0))
 	case wire.MsgList:
-		return s.handleHello(conn)
+		return cc.handleHello()
+	case wire.MsgSubscribeStream:
+		return cc.handleSubscribeStream(payload)
+	case wire.MsgCredit:
+		id, n, err := wire.DecodeCredit(payload)
+		if err != nil {
+			return err
+		}
+		if s, ok := cc.sub(id); ok {
+			s.addCredit(n)
+		}
+		return nil
+	case wire.MsgStreamPublish:
+		id, t, err := wire.DecodeStreamPublish(payload)
+		if err != nil {
+			return err
+		}
+		s, ok := cc.sub(id)
+		if !ok || s.push == nil {
+			return cc.writeFrame(wire.MsgError, wire.EncodeError(id, "server: publish to unknown push subscription"))
+		}
+		if err := s.push.publish(t); err != nil {
+			return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
+		}
+		return nil
+	case wire.MsgStreamClose:
+		id, mode, err := wire.DecodeStreamClose(payload)
+		if err != nil {
+			return err
+		}
+		if s, ok := cc.sub(id); ok {
+			s.close(mode)
+		}
+		return nil
 	}
 	return fmt.Errorf("unexpected message %v", typ)
 }
 
-func (s *Server) handleHello(conn net.Conn) error {
-	caps := s.prov.Capabilities()
+func (cc *connCtx) handleHello() error {
+	caps := cc.prov.Capabilities()
 	h := wire.HelloInfo{
-		Name:    s.prov.Name(),
+		Name:    cc.prov.Name(),
 		CapBits: caps.Bits(),
 		Kernels: caps.Kernels(),
 	}
-	for _, ds := range s.prov.Datasets() {
+	for _, ds := range cc.prov.Datasets() {
 		var e wire.Encoder
 		wire.PutSchema(&e, ds.Schema)
 		h.Datasets = append(h.Datasets, wire.DatasetHello{
@@ -149,61 +306,50 @@ func (s *Server) handleHello(conn net.Conn) error {
 			Schema: e.Bytes(),
 		})
 	}
-	_, err := wire.WriteFrame(conn, wire.MsgHelloAck, wire.EncodeHelloAck(h))
-	return err
+	return cc.writeFrame(wire.MsgHelloAck, wire.EncodeHelloAck(h))
 }
 
-func (s *Server) handleExecute(conn net.Conn, payload []byte) error {
+func (cc *connCtx) handleExecute(payload []byte) error {
 	id, plan, err := wire.DecodeExecute(payload)
 	if err != nil {
-		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
-		return werr
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
-	t, err := s.prov.Execute(plan)
+	t, err := cc.prov.Execute(plan)
 	if err != nil {
-		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(id, err.Error()))
-		return werr
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
 	}
-	_, err = wire.WriteFrame(conn, wire.MsgResult, wire.EncodeResult(id, t))
-	return err
+	return cc.writeFrame(wire.MsgResult, wire.EncodeResult(id, t))
 }
 
 // handleExecuteTo executes a plan and pushes the result to a peer server,
 // returning only a small ack to the requester. This realizes the paper's
 // D4: "intermediate results pass directly between servers, rather than
 // being routed through the application or a middle tier."
-func (s *Server) handleExecuteTo(conn net.Conn, payload []byte) error {
+func (cc *connCtx) handleExecuteTo(payload []byte) error {
 	id, peerAddr, storeAs, plan, err := wire.DecodeExecuteTo(payload)
 	if err != nil {
-		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
-		return werr
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
-	t, err := s.prov.Execute(plan)
+	t, err := cc.prov.Execute(plan)
 	if err != nil {
-		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(id, err.Error()))
-		return werr
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
 	}
 	shipped, err := PushTable(peerAddr, storeAs, t)
 	if err != nil {
-		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(id, fmt.Sprintf("push to %s: %v", peerAddr, err)))
-		return werr
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, fmt.Sprintf("push to %s: %v", peerAddr, err)))
 	}
-	_, err = wire.WriteFrame(conn, wire.MsgAck, wire.EncodeAck(id, int64(t.NumRows()), int64(shipped)))
-	return err
+	return cc.writeFrame(wire.MsgAck, wire.EncodeAck(id, int64(t.NumRows()), int64(shipped)))
 }
 
-func (s *Server) handleStore(conn net.Conn, payload []byte) error {
+func (cc *connCtx) handleStore(payload []byte) error {
 	name, t, err := wire.DecodeStore(payload)
 	if err != nil {
-		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
-		return werr
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
-	if err := s.prov.Store(name, t); err != nil {
-		_, werr := wire.WriteFrame(conn, wire.MsgError, wire.EncodeError(0, err.Error()))
-		return werr
+	if err := cc.prov.Store(name, t); err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
-	_, err = wire.WriteFrame(conn, wire.MsgAck, wire.EncodeAck(0, int64(t.NumRows()), 0))
-	return err
+	return cc.writeFrame(wire.MsgAck, wire.EncodeAck(0, int64(t.NumRows()), 0))
 }
 
 // PushTable dials a peer server, stores a table there, and waits for the

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nexus/internal/core"
+	"nexus/internal/schema"
+	"nexus/internal/stream"
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+// ErrSubscriberGone is the typed error a subscription pipeline stops
+// with when its subscriber's connection disappears: queued result
+// batches are not silently dropped — every path that would have
+// delivered them reports this error instead.
+var ErrSubscriberGone = errors.New("server: subscriber gone")
+
+// PublishWindow is the initial number of event batches a subscriber may
+// publish into a push-source subscription before waiting for credit.
+// The server grants one credit back per batch its pipeline consumes.
+const PublishWindow = 4
+
+// subSession is one long-running subscription hosted on one connection.
+type subSession struct {
+	id     uint64
+	cc     *connCtx
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	credit    int64 // result batches the subscriber will still accept
+	gone      bool  // connection lost
+	closeMode uint8 // wire.Close* once the subscriber asked to stop; 0 while running
+	err       error // terminal pipeline error
+
+	push *pushSource // non-nil for StreamSrcPush subscriptions
+}
+
+// handleSubscribeStream validates a subscription request, acknowledges
+// it, and starts the pipeline. The connection stays in its read loop for
+// credits, published batches and close requests; results flow back from
+// the pipeline goroutine under the connection's write lock.
+func (cc *connCtx) handleSubscribeStream(payload []byte) error {
+	sub, err := wire.DecodeSubscribeStream(payload)
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	refuse := func(err error) error {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(sub.ID, err.Error()))
+	}
+	cc.mu.Lock()
+	_, dup := cc.subs[sub.ID]
+	cc.mu.Unlock()
+	if dup {
+		return refuse(fmt.Errorf("server: duplicate subscription id %d", sub.ID))
+	}
+
+	s := &subSession{id: sub.ID, cc: cc, done: make(chan struct{}), credit: int64(sub.Credit)}
+	s.cond = sync.NewCond(&s.mu)
+
+	src, err := cc.buildSource(sub, s)
+	if err != nil {
+		return refuse(err)
+	}
+	p, err := stream.FromSpec(src, sub.Spec)
+	if err != nil {
+		return refuse(err)
+	}
+	p.WithCache(cc.cache)
+	if sub.Resume != nil && !p.Windowed() && len(sub.Resume.Windows) > 0 {
+		return refuse(fmt.Errorf("server: resume state carries windows but the pipeline is not windowed"))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	cc.mu.Lock()
+	cc.subs[sub.ID] = s
+	cc.mu.Unlock()
+
+	if err := cc.writeFrame(wire.MsgSubAck, wire.EncodeSubAck(sub.ID, p.OutputSchema())); err != nil {
+		cc.removeSub(sub.ID)
+		cancel()
+		return err
+	}
+	go s.run(ctx, p, sub.Resume)
+	return nil
+}
+
+// buildSource resolves the subscription's event source: a (possibly
+// partition-filtered, possibly resumed) replay of a stored dataset, or a
+// channel fed by the subscriber's published batches.
+func (cc *connCtx) buildSource(sub wire.StreamSub, s *subSession) (stream.Source, error) {
+	var skip int64
+	if sub.Resume != nil {
+		skip = sub.Resume.Events
+	}
+	var src stream.Source
+	switch sub.SourceKind {
+	case wire.StreamSrcDataset:
+		sch, ok := cc.prov.DatasetSchema(sub.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("server: no dataset %q", sub.Dataset)
+		}
+		scan, err := core.NewScan(sub.Dataset, sch)
+		if err != nil {
+			return nil, err
+		}
+		prov := cc.prov
+		src = stream.NewLazyReplay(sch, sub.TimeCol, func() (*table.Table, error) {
+			return prov.Execute(scan)
+		})
+	case wire.StreamSrcPush:
+		if sub.SrcSchema.Len() == 0 {
+			return nil, fmt.Errorf("server: push subscription carries no source schema")
+		}
+		s.push = newPushSource(sub.SrcSchema, sub.TimeCol, s)
+		src = s.push
+	default:
+		return nil, fmt.Errorf("server: bad stream source kind %d", sub.SourceKind)
+	}
+	if sub.PartCnt > 1 {
+		// Server-side partition filter: this provider streams only its
+		// share of the keyspace. Push subscriptions are already split by
+		// the client, but filtering again is harmless and keeps the
+		// invariant local.
+		var err error
+		src, err = stream.NewPartition(src, sub.PartKey, sub.PartIdx, sub.PartCnt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Dataset replays skip the rows a resumed stream already consumed.
+	// The skip wraps the partition filter: State.Events counts the rows
+	// the pipeline consumed, which are post-filter rows. Push sources
+	// are not skipped — the publisher decides where to pick up.
+	if sub.SourceKind == wire.StreamSrcDataset {
+		src = stream.NewSkip(src, skip)
+	}
+	return src, nil
+}
+
+// run drives the pipeline and sends the terminal frame. Exactly one
+// terminal frame per subscription: WindowState for a detach, StreamEnd
+// for end-of-stream or cancel, Error otherwise.
+func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream.State) {
+	defer close(s.done)
+	defer s.cc.removeSub(s.id)
+	sink := &subSink{s: s}
+	stats, state, err := p.RunState(ctx, sink, resume)
+
+	s.mu.Lock()
+	mode := s.closeMode
+	gone := s.gone
+	s.mu.Unlock()
+
+	switch {
+	case gone || errors.Is(err, ErrSubscriberGone):
+		s.fail(ErrSubscriberGone)
+		s.cc.logf("server: subscription %d: %v", s.id, ErrSubscriberGone)
+	case mode == wire.CloseDetach:
+		// The subscriber detached: hand the window state over so it can
+		// resume here or migrate to another provider.
+		s.cc.logf("server: subscription %d detached with %d open windows at event %d", s.id, len(state.Windows), state.Events)
+		s.fail(s.cc.writeFrame(wire.MsgWindowState, wire.EncodeWindowState(s.id, state)))
+	case mode == wire.CloseCancel:
+		s.fail(s.cc.writeFrame(wire.MsgStreamEnd, wire.EncodeStreamEnd(s.id, stats)))
+	case err != nil:
+		s.fail(err)
+		s.cc.logf("server: subscription %d failed: %v", s.id, err)
+		_ = s.cc.writeFrame(wire.MsgError, wire.EncodeError(s.id, err.Error()))
+	default:
+		s.fail(s.cc.writeFrame(wire.MsgStreamEnd, wire.EncodeStreamEnd(s.id, stats)))
+	}
+}
+
+// fail records the session's terminal error (first one wins). Gone-
+// subscriber errors are also noted on the connection, so the read loop's
+// cleanup reports them even if this session has already removed itself.
+func (s *subSession) fail(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	if errors.Is(err, ErrSubscriberGone) {
+		s.cc.noteSubErr(err)
+	}
+}
+
+// Err returns the terminal error, if any (valid after done).
+func (s *subSession) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// addCredit grants the pipeline n more result batches.
+func (s *subSession) addCredit(n uint32) {
+	s.mu.Lock()
+	s.credit += int64(n)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// markGone flags the subscriber's connection as lost and releases every
+// wait, so queued batches fail with ErrSubscriberGone instead of
+// vanishing.
+func (s *subSession) markGone() {
+	s.mu.Lock()
+	s.gone = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.cancel()
+}
+
+// close handles a MsgStreamClose from the subscriber.
+func (s *subSession) close(mode uint8) {
+	switch mode {
+	case wire.CloseEndInput:
+		if s.push != nil {
+			s.push.endInput()
+		}
+	case wire.CloseCancel, wire.CloseDetach:
+		s.mu.Lock()
+		s.closeMode = mode
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		s.cancel()
+	}
+}
+
+// stopping reports whether the session should stop emitting.
+func (s *subSession) stopping() (uint8, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeMode, s.gone
+}
+
+// subSink delivers pipeline output over the wire under credit-based flow
+// control and piggybacks watermark progress.
+type subSink struct {
+	s   *subSession
+	seq uint64
+	// mark is the latest watermark the pipeline reported; written and
+	// read only from the pipeline goroutine.
+	mark   int64
+	haveWM bool
+}
+
+// Emit implements stream.Sink: wait for credit, then push the batch.
+func (k *subSink) Emit(t *table.Table) error {
+	s := k.s
+	s.mu.Lock()
+	for s.credit <= 0 && !s.gone && s.closeMode == 0 {
+		s.cond.Wait()
+	}
+	if s.gone {
+		s.mu.Unlock()
+		return ErrSubscriberGone
+	}
+	if s.closeMode != 0 {
+		s.mu.Unlock()
+		return context.Canceled
+	}
+	s.credit--
+	s.mu.Unlock()
+
+	mark := k.mark
+	if !k.haveWM {
+		mark = minInt64
+	}
+	k.seq++
+	if err := s.cc.writeFrame(wire.MsgStreamBatch, wire.EncodeStreamBatch(s.id, k.seq, mark, t)); err != nil {
+		// A result we could not deliver means the subscriber is gone —
+		// whether or not the read loop has noticed the dead connection
+		// yet.
+		return fmt.Errorf("%w: %v", ErrSubscriberGone, err)
+	}
+	return nil
+}
+
+// Progress implements stream.ProgressSink: watermark advances reach the
+// subscriber even when no window closes, so a federated merge can
+// release windows on idle partitions.
+func (k *subSink) Progress(mark int64) error {
+	k.mark = mark
+	k.haveWM = true
+	if _, gone := k.s.stopping(); gone {
+		return ErrSubscriberGone
+	}
+	if err := k.s.cc.writeFrame(wire.MsgWatermark, wire.EncodeWatermark(k.s.id, mark)); err != nil {
+		return fmt.Errorf("%w: %v", ErrSubscriberGone, err)
+	}
+	return nil
+}
+
+const minInt64 = -1 << 63
+
+// pushSource adapts subscriber-published batches into a stream
+// BatchSource. Publishes land in a bounded buffer sized to the publish
+// window; a forwarder hands them to the pipeline and returns one credit
+// per consumed batch, so the connection's read loop never blocks on a
+// slow pipeline (which would deadlock result-credit processing).
+type pushSource struct {
+	sch     schema.Schema
+	timeCol string
+	s       *subSession
+
+	buf chan *table.Table
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+func newPushSource(sch schema.Schema, timeCol string, s *subSession) *pushSource {
+	return &pushSource{sch: sch, timeCol: timeCol, s: s, buf: make(chan *table.Table, PublishWindow+1)}
+}
+
+// Schema implements stream.Source.
+func (p *pushSource) Schema() schema.Schema { return p.sch }
+
+// TimeCol implements stream.Source.
+func (p *pushSource) TimeCol() string { return p.timeCol }
+
+// Err implements stream.Source.
+func (p *pushSource) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// publish enqueues one published batch; the publish window guarantees
+// space, so a full buffer means the client overran its credit.
+func (p *pushSource) publish(t *table.Table) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return fmt.Errorf("server: publish after end of input")
+	}
+	select {
+	case p.buf <- t:
+		return nil
+	default:
+		return fmt.Errorf("server: publish overran credit window")
+	}
+}
+
+// endInput ends the stream; the pipeline drains what was published.
+func (p *pushSource) endInput() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.buf)
+	}
+	p.mu.Unlock()
+}
+
+// OpenBatches implements stream.BatchSource: forward buffered publishes,
+// granting one publish credit per batch the pipeline takes.
+func (p *pushSource) OpenBatches(ctx context.Context, batchSize int) <-chan *table.Table {
+	out := make(chan *table.Table)
+	go func() {
+		defer close(out)
+		for {
+			var t *table.Table
+			var ok bool
+			select {
+			case t, ok = <-p.buf:
+			case <-ctx.Done():
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case out <- t:
+				// The pipeline owns the batch now; its buffer slot is
+				// free — return the credit to the publisher.
+				_ = p.s.cc.writeFrame(wire.MsgCredit, wire.EncodeCredit(p.s.id, 1))
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Open implements stream.Source row-wise (the pipeline prefers
+// OpenBatches; this exists to satisfy the interface).
+func (p *pushSource) Open(ctx context.Context) <-chan stream.Row {
+	batches := p.OpenBatches(ctx, 0)
+	ch := make(chan stream.Row, 256)
+	go func() {
+		defer close(ch)
+		for t := range batches {
+			for i := 0; i < t.NumRows(); i++ {
+				select {
+				case ch <- t.Row(i, nil):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return ch
+}

@@ -97,6 +97,11 @@ func timeIndex(sch schema.Schema, timeCol string) (int, error) {
 // Err returns the first construction error, if any.
 func (b *Builder) Err() error { return b.err }
 
+// Source returns the source the builder was started on (nil for failed
+// builders). Federated execution reads it to ship events to remote
+// pipelines built from this builder's Spec.
+func (b *Builder) Source() Source { return b.src }
+
 // clone copies the builder for immutable derivation.
 func (b *Builder) clone() *Builder {
 	nb := *b
@@ -290,66 +295,13 @@ func (b *Builder) nonTimeCols(sch schema.Schema) []string {
 
 // Build finalizes the pipeline: per-batch plans are fixed, aggregate
 // argument expressions are compiled once against the post-stage schema,
-// and key positions are resolved.
+// and key positions are resolved. Build goes through the serializable
+// Spec — the same resolution a remote server performs on a shipped spec —
+// so local and federated pipelines cannot drift apart.
 func (b *Builder) Build() (*Pipeline, error) {
-	if b.err != nil {
-		return nil, b.err
-	}
-	p := &Pipeline{
-		src:       b.src,
-		pre:       b.pre,
-		post:      b.post,
-		batchSize: b.batchSize,
-		lateness:  b.lateness,
-	}
-	var err error
-	p.srcTimeIdx, err = timeIndex(b.src.Schema(), b.src.TimeCol())
+	sp, err := b.Spec()
 	if err != nil {
 		return nil, err
 	}
-	p.srcWidth = b.src.Schema().Len()
-	if b.post == nil {
-		if b.timeImplicit {
-			// No window ever consumed the implicitly retained time
-			// column; drop it so the output matches the user's Select.
-			pre, err := core.NewProject(p.pre, b.nonTimeCols(p.pre.Schema()))
-			if err != nil {
-				return nil, err
-			}
-			p.pre = pre
-		}
-		p.outSch = p.pre.Schema()
-		return p, nil
-	}
-	p.windowed = true
-	p.win = b.win
-	p.winSch = b.winSch
-	p.outSch = b.post.Schema()
-	preSch := b.pre.Schema()
-	// Time-based windows read event time from the transformed rows.
-	p.preTimeIdx, err = timeIndex(preSch, b.src.TimeCol())
-	if err != nil {
-		return nil, err
-	}
-	p.keyIdx = make([]int, len(b.keys))
-	for i, k := range b.keys {
-		pos := preSch.IndexOf(k)
-		if pos < 0 {
-			return nil, fmt.Errorf("stream: no group key column %q", k)
-		}
-		p.keyIdx[i] = pos
-	}
-	p.aggs = b.aggs
-	p.argExprs = make([]*expr.Compiled, len(b.aggs))
-	for i, a := range b.aggs {
-		if a.Arg == nil {
-			continue
-		}
-		c, err := expr.Compile(a.Arg, preSch)
-		if err != nil {
-			return nil, fmt.Errorf("stream: aggregate %q: %w", a.As, err)
-		}
-		p.argExprs[i] = c
-	}
-	return p, nil
+	return FromSpec(b.src, sp)
 }

@@ -1,0 +1,254 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Key-partitioned streams: a stream splits across N providers by hashing
+// a key column, each partition runs the same pipeline over its share,
+// and the coordinator merges watermarked results. Both sides of the wire
+// use PartitionOf, so the client-side splitter and a server-side
+// partition filter agree row for row.
+
+// hashInt64 is the splitmix64 finalizer — the int64 fast path, matching
+// the exec engine's preference for raw int64 keys.
+func hashInt64(x int64) uint64 {
+	z := uint64(x)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// PartitionOf maps a key value to a partition in [0, parts). Int64 keys
+// hash their raw bits; every other kind hashes its canonical key
+// encoding (FNV-1a). NULL keys land in partition 0.
+func PartitionOf(v value.Value, parts uint32) uint32 {
+	if parts <= 1 {
+		return 0
+	}
+	if v.IsNull() {
+		return 0
+	}
+	if v.Kind() == value.KindInt64 {
+		return uint32(hashInt64(v.Int()) % uint64(parts))
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, b := range value.AppendKey(nil, v) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return uint32(h % uint64(parts))
+}
+
+// partitionSource filters an inner source down to one partition's rows.
+// A server given a partitioned subscription over a stored dataset wraps
+// its replay with this, so each provider streams only its share.
+type partitionSource struct {
+	inner  Source
+	keyIdx int
+	idx    uint32
+	cnt    uint32
+}
+
+// NewPartition wraps src, keeping only rows whose key column hashes to
+// partition idx of cnt.
+func NewPartition(src Source, keyCol string, idx, cnt uint32) (Source, error) {
+	if cnt < 1 {
+		return nil, fmt.Errorf("stream: partition count must be positive, got %d", cnt)
+	}
+	if idx >= cnt {
+		return nil, fmt.Errorf("stream: partition index %d out of range [0, %d)", idx, cnt)
+	}
+	ki := src.Schema().IndexOf(keyCol)
+	if ki < 0 {
+		return nil, fmt.Errorf("stream: no partition key column %q in %v", keyCol, src.Schema())
+	}
+	ps := &partitionSource{inner: src, keyIdx: ki, idx: idx, cnt: cnt}
+	if bs, ok := src.(BatchSource); ok {
+		// Keep the inner source's batch fast path: filtered batches gather
+		// matching rows columnar-wise instead of re-building row by row.
+		return &partitionBatchSource{partitionSource: ps, batches: bs}, nil
+	}
+	return ps, nil
+}
+
+// Schema implements Source.
+func (p *partitionSource) Schema() schema.Schema { return p.inner.Schema() }
+
+// TimeCol implements Source.
+func (p *partitionSource) TimeCol() string { return p.inner.TimeCol() }
+
+// Err implements Source.
+func (p *partitionSource) Err() error { return p.inner.Err() }
+
+// Open implements Source: rows stream through a filtering goroutine.
+func (p *partitionSource) Open(ctx context.Context) <-chan Row {
+	in := p.inner.Open(ctx)
+	out := make(chan Row, 256)
+	go func() {
+		defer close(out)
+		for row := range in {
+			if p.keyIdx < len(row) && PartitionOf(row[p.keyIdx], p.cnt) != p.idx {
+				continue
+			}
+			select {
+			case out <- row:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// stop propagates the consumer-stopped signal to push-style inners.
+func (p *partitionSource) stop() {
+	if s, ok := p.inner.(interface{ stop() }); ok {
+		s.stop()
+	}
+}
+
+// partitionBatchSource is partitionSource over a batch-capable inner:
+// each inner batch is filtered with one columnar gather.
+type partitionBatchSource struct {
+	*partitionSource
+	batches BatchSource
+}
+
+// OpenBatches implements BatchSource.
+func (p *partitionBatchSource) OpenBatches(ctx context.Context, batchSize int) <-chan *table.Table {
+	in := p.batches.OpenBatches(ctx, batchSize)
+	out := make(chan *table.Table, 4)
+	go func() {
+		defer close(out)
+		var sel []int
+		for t := range in {
+			sel = sel[:0]
+			col := t.Col(p.keyIdx)
+			for i := 0; i < t.NumRows(); i++ {
+				if PartitionOf(col.Value(i), p.cnt) == p.idx {
+					sel = append(sel, i)
+				}
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			var ft *table.Table
+			if len(sel) == t.NumRows() {
+				ft = t
+			} else {
+				ft = t.Gather(sel)
+			}
+			select {
+			case out <- ft:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// skipSource drops the first n rows of its inner source — the resume
+// wrapper. It must wrap any partition filter (not the other way around):
+// a pipeline's State.Events counts the rows it consumed, which are
+// post-filter rows.
+type skipSource struct {
+	inner Source
+	n     int64
+}
+
+// NewSkip wraps src, dropping its first n rows.
+func NewSkip(src Source, n int64) Source {
+	if n <= 0 {
+		return src
+	}
+	ss := &skipSource{inner: src, n: n}
+	if bs, ok := src.(BatchSource); ok {
+		return &skipBatchSource{skipSource: ss, batches: bs}
+	}
+	return ss
+}
+
+// Schema implements Source.
+func (s *skipSource) Schema() schema.Schema { return s.inner.Schema() }
+
+// TimeCol implements Source.
+func (s *skipSource) TimeCol() string { return s.inner.TimeCol() }
+
+// Err implements Source.
+func (s *skipSource) Err() error { return s.inner.Err() }
+
+// Open implements Source.
+func (s *skipSource) Open(ctx context.Context) <-chan Row {
+	in := s.inner.Open(ctx)
+	out := make(chan Row, 256)
+	go func() {
+		defer close(out)
+		dropped := int64(0)
+		for row := range in {
+			if dropped < s.n {
+				dropped++
+				continue
+			}
+			select {
+			case out <- row:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// stop propagates the consumer-stopped signal.
+func (s *skipSource) stop() {
+	if x, ok := s.inner.(interface{ stop() }); ok {
+		x.stop()
+	}
+}
+
+// skipBatchSource is skipSource over a batch-capable inner: leading rows
+// drop via zero-copy slicing instead of row-at-a-time forwarding.
+type skipBatchSource struct {
+	*skipSource
+	batches BatchSource
+}
+
+// OpenBatches implements BatchSource.
+func (s *skipBatchSource) OpenBatches(ctx context.Context, batchSize int) <-chan *table.Table {
+	in := s.batches.OpenBatches(ctx, batchSize)
+	out := make(chan *table.Table, 4)
+	go func() {
+		defer close(out)
+		remaining := s.n
+		for t := range in {
+			if remaining >= int64(t.NumRows()) {
+				remaining -= int64(t.NumRows())
+				continue
+			}
+			if remaining > 0 {
+				t = t.Slice(int(remaining), t.NumRows())
+				remaining = 0
+			}
+			select {
+			case out <- t:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

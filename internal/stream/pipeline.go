@@ -33,6 +33,7 @@ type Pipeline struct {
 	post      core.Node // post-window stages over Var(windowVar, ...); nil if not windowed
 	batchSize int
 	lateness  int64
+	cache     *exec.ExprCache // optional shared compiled-plan cache
 
 	srcTimeIdx int
 	srcWidth   int
@@ -49,6 +50,18 @@ type Pipeline struct {
 
 // OutputSchema describes emitted result tables.
 func (p *Pipeline) OutputSchema() schema.Schema { return p.outSch }
+
+// Windowed reports whether the pipeline aggregates over windows (and so
+// carries resumable window state).
+func (p *Pipeline) Windowed() bool { return p.windowed }
+
+// WithCache installs a shared compiled-expression cache, letting a host
+// that runs many pipelines (a nexus server with long-lived
+// subscriptions) compile each plan once across all of them.
+func (p *Pipeline) WithCache(c *exec.ExprCache) *Pipeline {
+	p.cache = c
+	return p
+}
 
 // winGroup is the incremental aggregation state of one group within one
 // window: the group's key values and one exec accumulator per aggregate —
@@ -69,6 +82,25 @@ type winState struct {
 // Run drives the pipeline to end-of-stream (or ctx cancellation),
 // delivering every emitted result table to the sink.
 func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
+	st, _, err := p.RunState(ctx, sink, nil)
+	return st, err
+}
+
+// ProgressSink is an optional Sink extension: the pipeline reports every
+// watermark advance, so federated subscribers can learn stream progress
+// even when no window closes (idle-stream liveness).
+type ProgressSink interface {
+	Sink
+	Progress(watermark int64) error
+}
+
+// RunState is Run with state handoff: a non-nil resume installs a prior
+// run's open windows and progress counters before the first batch, and
+// the returned State captures the open windows at exit — on clean
+// end-of-stream, after a cancellation, or alongside an error. The
+// returned state is always usable to resume (or migrate) the stream on a
+// source that skips State.Events rows.
+func (p *Pipeline) RunState(ctx context.Context, sink Sink, resume *State) (Stats, *State, error) {
 	var st Stats
 	st.Watermark = math.MinInt64
 
@@ -81,20 +113,51 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 	if s, ok := p.src.(interface{ stop() }); ok {
 		defer s.stop()
 	}
-	// One runtime — and one compiled-plan cache — for the whole run, so
-	// the pre/post stages' predicates and projections compile once, not
-	// once per micro-batch.
-	rt := &exec.Runtime{Cache: exec.NewExprCache()}
+	// One runtime per run; the cache is shared across runs when the
+	// pipeline's owner installed one (a server hosting many subscriptions
+	// compiles each plan once, not once per subscriber).
+	rt := &exec.Runtime{Cache: p.cache}
+	if rt.Cache == nil {
+		rt.Cache = exec.NewExprCache()
+	}
 	srcSch := p.src.Schema()
 
 	open := make(map[int64]*winState)
 	var (
-		maxTime   = int64(math.MinInt64)
-		watermark = int64(math.MinInt64)
-		seq       int64 // arrival counter for count windows
-		winBuf    []int64
-		keyBuf    []byte
+		baseEvents = int64(0)
+		maxTime    = int64(math.MinInt64)
+		watermark  = int64(math.MinInt64)
+		seq        int64 // arrival counter for count windows
+		winBuf     []int64
+		keyBuf     []byte
 	)
+	if resume != nil {
+		var err error
+		if p.windowed {
+			open, err = p.restoreState(resume)
+			if err != nil {
+				return st, nil, err
+			}
+		}
+		baseEvents = resume.Events
+		maxTime = resume.MaxTime
+		watermark = resume.Watermark
+		seq = resume.Seq
+		if watermark != math.MinInt64 {
+			st.Watermark = watermark
+		}
+	}
+	// snap captures the current open-window state in ascending start
+	// order; every exit path returns it so subscribers can detach, move,
+	// and reattach at any point.
+	snap := func() *State {
+		starts := make([]int64, 0, len(open))
+		for s := range open {
+			starts = append(starts, s)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		return snapshotState(open, starts, baseEvents+st.Events, maxTime, watermark, seq)
+	}
 
 	emit := func(t *table.Table) error {
 		if p.post != nil {
@@ -143,6 +206,19 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 			watermark = maxTime - p.lateness
 			st.Watermark = watermark
 		}
+	}
+	// Progress notifications go out AFTER the windows a watermark closes
+	// have been emitted — a subscriber that hears "watermark = m" may
+	// conclude every window ending at or before m has already been sent
+	// (the federated merge releases windows on exactly that invariant).
+	ps, _ := sink.(ProgressSink)
+	lastNotified := int64(math.MinInt64)
+	notify := func() error {
+		if ps != nil && watermark > lastNotified {
+			lastNotified = watermark
+			return ps.Progress(watermark)
+		}
+		return nil
 	}
 
 	// ingest returns the next micro-batch, or ok=false at end-of-stream.
@@ -211,7 +287,7 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 	for {
 		batch, ok, err := ingest()
 		if err != nil {
-			return st, err
+			return st, snap(), err
 		}
 		if !ok {
 			break
@@ -219,17 +295,19 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 		if batch.NumRows() == 0 {
 			continue
 		}
-		st.Events += int64(batch.NumRows())
-		st.Batches++
-
 		out, err := rt.Eval(p.pre, (*exec.Env)(nil).Bind(batchVar, batch))
 		if err != nil {
-			return st, err
+			return st, snap(), err
 		}
 		if !p.windowed {
+			st.Events += int64(batch.NumRows())
+			st.Batches++
 			advance()
 			if err := emit(out); err != nil {
-				return st, err
+				return st, snap(), err
+			}
+			if err := notify(); err != nil {
+				return st, snap(), err
 			}
 			continue
 		}
@@ -240,8 +318,13 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 		// is still open.
 		argCols, err := p.argColumns(out)
 		if err != nil {
-			return st, err
+			return st, snap(), err
 		}
+		// Events counts only after the whole batch is certain to fold:
+		// an eval or argument error must not leave a snapshot claiming
+		// rows that never reached a window (a resume would skip them).
+		st.Events += int64(batch.NumRows())
+		st.Batches++
 		times := out.Col(p.preTimeIdx).Ints()
 		for i := 0; i < out.NumRows(); i++ {
 			if p.win.TimeBased() {
@@ -272,23 +355,39 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 				}
 				keyBuf = p.foldRow(ws, out, i, argCols, keyBuf)
 				seq++
-				if ws.count == p.win.Size {
-					if err := emitWindow(ws); err != nil {
-						return st, err
-					}
-					delete(open, start)
-				}
 			}
 		}
 		advance()
+		// Emission happens only at batch boundaries, for count windows as
+		// much as time windows: a mid-fold emit error would snapshot a
+		// state whose Events count includes rows never folded, breaking
+		// resume. Full count windows wait the few rows until the batch
+		// ends.
 		if p.win.TimeBased() {
 			if err := emitClosed(watermark); err != nil {
-				return st, err
+				return st, snap(), err
+			}
+			if err := notify(); err != nil {
+				return st, snap(), err
+			}
+		} else {
+			var due []int64
+			for start, ws := range open {
+				if ws.count >= p.win.Size {
+					due = append(due, start)
+				}
+			}
+			sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+			for _, start := range due {
+				if err := emitWindow(open[start]); err != nil {
+					return st, snap(), err
+				}
+				delete(open, start)
 			}
 		}
 	}
 	if err := p.src.Err(); err != nil {
-		return st, err
+		return st, snap(), err
 	}
 	if p.windowed {
 		// End of stream: every remaining window closes, including partial
@@ -299,10 +398,10 @@ func (p *Pipeline) Run(ctx context.Context, sink Sink) (Stats, error) {
 			}
 		}
 		if err := emitClosed(math.MaxInt64); err != nil {
-			return st, err
+			return st, snap(), err
 		}
 	}
-	return st, nil
+	return st, snap(), nil
 }
 
 // observeBatch validates a source-produced micro-batch and advances the

@@ -23,6 +23,29 @@ import (
 // source, so relational operators can see and transform it.
 type Row = []value.Value
 
+// errBox holds a source's terminal error behind a mutex: producers set
+// it from their goroutine, consumers (the pipeline, or a server-side
+// subscription host observing a cancelled run) may read it concurrently —
+// without the lock the write and read race under -race.
+type errBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *errBox) set(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *errBox) get() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
 // Source produces an ordered (by arrival, not necessarily by event time)
 // sequence of rows.
 type Source interface {
@@ -127,13 +150,23 @@ func (c *Channel) Close() {
 // producer blocked in Send.
 func (c *Channel) stop() { c.stopped.Do(func() { close(c.done) }) }
 
+// ReleaseSource signals a push-style source that its consumer stopped,
+// releasing producers blocked in Send. The pipeline does this itself;
+// external consumers (the federated event publisher) call it when they
+// stop draining a source early.
+func ReleaseSource(src Source) {
+	if s, ok := src.(interface{ stop() }); ok {
+		s.stop()
+	}
+}
+
 // replay is a pull source that re-plays a stored table's rows in order —
 // the bridge from data at rest to data in motion.
 type replay struct {
 	t       *table.Table
 	timeCol string
 
-	err error
+	errBox
 }
 
 // NewReplay returns a source that replays the table's rows in storage
@@ -150,7 +183,7 @@ func (r *replay) TimeCol() string { return r.timeCol }
 
 // Err implements Source: a cancelled replay reports the context error so
 // consumers can tell a truncated stream from a completed one.
-func (r *replay) Err() error { return r.err }
+func (r *replay) Err() error { return r.get() }
 
 // Open implements Source.
 func (r *replay) Open(ctx context.Context) <-chan Row {
@@ -162,7 +195,7 @@ func (r *replay) Open(ctx context.Context) <-chan Row {
 			select {
 			case ch <- row:
 			case <-ctx.Done():
-				r.err = ctx.Err()
+				r.set(ctx.Err())
 				return
 			}
 		}
@@ -176,7 +209,7 @@ func (r *replay) OpenBatches(ctx context.Context, batchSize int) <-chan *table.T
 	ch := make(chan *table.Table, 4)
 	go func() {
 		defer close(ch)
-		r.err = sliceBatches(ctx, r.t, batchSize, ch)
+		r.set(sliceBatches(ctx, r.t, batchSize, ch))
 	}()
 	return ch
 }
@@ -208,7 +241,7 @@ type lazyReplay struct {
 	timeCol string
 	fetch   func() (*table.Table, error)
 
-	err error
+	errBox
 }
 
 // NewLazyReplay returns a replay source that materializes its table via
@@ -224,7 +257,7 @@ func (l *lazyReplay) Schema() schema.Schema { return l.sch }
 func (l *lazyReplay) TimeCol() string { return l.timeCol }
 
 // Err implements Source.
-func (l *lazyReplay) Err() error { return l.err }
+func (l *lazyReplay) Err() error { return l.get() }
 
 // Open implements Source.
 func (l *lazyReplay) Open(ctx context.Context) <-chan Row {
@@ -233,7 +266,7 @@ func (l *lazyReplay) Open(ctx context.Context) <-chan Row {
 		defer close(ch)
 		t, err := l.fetch()
 		if err != nil {
-			l.err = err
+			l.set(err)
 			return
 		}
 		for i := 0; i < t.NumRows(); i++ {
@@ -241,7 +274,7 @@ func (l *lazyReplay) Open(ctx context.Context) <-chan Row {
 			select {
 			case ch <- row:
 			case <-ctx.Done():
-				l.err = ctx.Err()
+				l.set(ctx.Err())
 				return
 			}
 		}
@@ -256,10 +289,10 @@ func (l *lazyReplay) OpenBatches(ctx context.Context, batchSize int) <-chan *tab
 		defer close(ch)
 		t, err := l.fetch()
 		if err != nil {
-			l.err = err
+			l.set(err)
 			return
 		}
-		l.err = sliceBatches(ctx, t, batchSize, ch)
+		l.set(sliceBatches(ctx, t, batchSize, ch))
 	}()
 	return ch
 }
@@ -272,7 +305,7 @@ type generator struct {
 	n       int64
 	fn      func(i int64) (Row, error)
 
-	err error
+	errBox
 }
 
 // NewGenerator returns a source producing n rows from fn.
@@ -287,7 +320,7 @@ func (g *generator) Schema() schema.Schema { return g.sch }
 func (g *generator) TimeCol() string { return g.timeCol }
 
 // Err implements Source.
-func (g *generator) Err() error { return g.err }
+func (g *generator) Err() error { return g.get() }
 
 // Open implements Source.
 func (g *generator) Open(ctx context.Context) <-chan Row {
@@ -297,13 +330,13 @@ func (g *generator) Open(ctx context.Context) <-chan Row {
 		for i := int64(0); i < g.n; i++ {
 			row, err := g.fn(i)
 			if err != nil {
-				g.err = fmt.Errorf("stream: generator row %d: %w", i, err)
+				g.set(fmt.Errorf("stream: generator row %d: %w", i, err))
 				return
 			}
 			select {
 			case ch <- row:
 			case <-ctx.Done():
-				g.err = ctx.Err()
+				g.set(ctx.Err())
 				return
 			}
 		}
@@ -330,18 +363,18 @@ func (g *generator) OpenBatches(ctx context.Context, batchSize int) <-chan *tabl
 			for i := lo; i < hi; i++ {
 				row, err := g.fn(i)
 				if err != nil {
-					g.err = fmt.Errorf("stream: generator row %d: %w", i, err)
+					g.set(fmt.Errorf("stream: generator row %d: %w", i, err))
 					return
 				}
 				if err := b.Append(row...); err != nil {
-					g.err = fmt.Errorf("stream: generator row %d: %w", i, err)
+					g.set(fmt.Errorf("stream: generator row %d: %w", i, err))
 					return
 				}
 			}
 			select {
 			case ch <- b.Build():
 			case <-ctx.Done():
-				g.err = ctx.Err()
+				g.set(ctx.Err())
 				return
 			}
 		}

@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/value"
+)
+
+// Spec is the serializable description of a pipeline: everything Build
+// resolved, minus the live Source. A Spec crosses the wire (internal/wire
+// encodes it inside SubscribeStream), and a remote server reattaches it
+// to a source of its own with FromSpec — the paper's "plans run where the
+// data lives" property, extended to data in motion.
+type Spec struct {
+	// Pre is the per-micro-batch plan over Var(BatchVar, source schema).
+	Pre core.Node
+	// Post is the per-window plan over Var(WindowVar, window schema); nil
+	// for non-windowed pipelines.
+	Post core.Node
+	// Windowed selects windowed aggregation.
+	Windowed bool
+	Win      core.StreamWindow
+	Keys     []string
+	Aggs     []core.AggSpec
+	// BatchSize caps micro-batch rows; Lateness is the allowed event-time
+	// lateness.
+	BatchSize int
+	Lateness  int64
+}
+
+// Exported plan-variable names so the wire layer and remote servers can
+// validate shipped specs against the sources they attach.
+const (
+	BatchVar  = batchVar
+	WindowVar = windowVar
+)
+
+// Spec resolves the builder into its portable form, applying the same
+// finalization Build performs (implicit time-column stripping for
+// pipelines that never windowed).
+func (b *Builder) Spec() (Spec, error) {
+	if b.err != nil {
+		return Spec{}, b.err
+	}
+	sp := Spec{
+		Pre:       b.pre,
+		Post:      b.post,
+		BatchSize: b.batchSize,
+		Lateness:  b.lateness,
+	}
+	if b.post == nil {
+		if b.timeImplicit {
+			pre, err := core.NewProject(b.pre, b.nonTimeCols(b.pre.Schema()))
+			if err != nil {
+				return Spec{}, err
+			}
+			sp.Pre = pre
+		}
+		return sp, nil
+	}
+	sp.Windowed = true
+	sp.Win = b.win
+	sp.Keys = append([]string(nil), b.keys...)
+	sp.Aggs = append([]core.AggSpec(nil), b.aggs...)
+	return sp, nil
+}
+
+// FromSpec attaches a spec to a source and resolves it into a runnable
+// pipeline. Every structural invariant is re-validated — specs arrive
+// over the wire, so nothing is trusted: the pre plan must read the
+// source's schema, the window schema is re-inferred through
+// core.NewGroupAgg, and aggregate arguments recompile against the
+// transformed batch schema.
+func FromSpec(src Source, sp Spec) (*Pipeline, error) {
+	if src == nil {
+		return nil, fmt.Errorf("stream: nil source")
+	}
+	if sp.Pre == nil {
+		return nil, fmt.Errorf("stream: spec has no pre plan")
+	}
+	batchSize := sp.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	if sp.Lateness < 0 {
+		return nil, fmt.Errorf("stream: lateness must be non-negative, got %d", sp.Lateness)
+	}
+	if err := checkVar(sp.Pre, batchVar, src.Schema()); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		src:       src,
+		pre:       sp.Pre,
+		post:      sp.Post,
+		batchSize: batchSize,
+		lateness:  sp.Lateness,
+	}
+	var err error
+	p.srcTimeIdx, err = timeIndex(src.Schema(), src.TimeCol())
+	if err != nil {
+		return nil, err
+	}
+	p.srcWidth = src.Schema().Len()
+	if !sp.Windowed {
+		if sp.Post != nil {
+			return nil, fmt.Errorf("stream: spec has a post plan but no window")
+		}
+		p.outSch = p.pre.Schema()
+		return p, nil
+	}
+	if err := sp.Win.Validate(); err != nil {
+		return nil, err
+	}
+	p.windowed = true
+	p.win = sp.Win
+	preSch := sp.Pre.Schema()
+	p.preTimeIdx, err = timeIndex(preSch, src.TimeCol())
+	if err != nil {
+		return nil, err
+	}
+	// Re-infer the window output schema: bounds, keys, aggregates.
+	ga, err := core.NewGroupAgg(sp.Pre, sp.Keys, sp.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	attrs := []schema.Attribute{
+		{Name: WindowStartCol, Kind: value.KindInt64},
+		{Name: WindowEndCol, Kind: value.KindInt64},
+	}
+	attrs = append(attrs, ga.Schema().Attrs()...)
+	winSch, err := schema.TryNew(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("stream: window output: %w", err)
+	}
+	p.winSch = winSch
+	if sp.Post == nil {
+		post, err := core.NewVar(windowVar, winSch)
+		if err != nil {
+			return nil, err
+		}
+		p.post = post
+	} else if err := checkVar(sp.Post, windowVar, winSch); err != nil {
+		return nil, err
+	}
+	p.outSch = p.post.Schema()
+	p.keyIdx = make([]int, len(sp.Keys))
+	for i, k := range sp.Keys {
+		pos := preSch.IndexOf(k)
+		if pos < 0 {
+			return nil, fmt.Errorf("stream: no group key column %q", k)
+		}
+		p.keyIdx[i] = pos
+	}
+	p.aggs = sp.Aggs
+	p.argExprs = make([]*expr.Compiled, len(sp.Aggs))
+	for i, a := range sp.Aggs {
+		if a.Arg == nil {
+			continue
+		}
+		c, err := expr.Compile(a.Arg, preSch)
+		if err != nil {
+			return nil, fmt.Errorf("stream: aggregate %q: %w", a.As, err)
+		}
+		p.argExprs[i] = c
+	}
+	return p, nil
+}
+
+// checkVar verifies the plan's variable leaf carries the expected name
+// and schema, so a shipped spec cannot silently read columns the
+// attached source does not produce.
+func checkVar(n core.Node, name string, sch schema.Schema) error {
+	var found *core.Var
+	var walk func(core.Node)
+	walk = func(n core.Node) {
+		if v, ok := n.(*core.Var); ok && v.Name == name {
+			found = v
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	if found == nil {
+		return fmt.Errorf("stream: spec plan has no %q variable", name)
+	}
+	if !found.Schema().Equal(sch) {
+		return fmt.Errorf("stream: spec plan reads schema %v, source provides %v", found.Schema(), sch)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"fmt"
+
+	"nexus/internal/engines/exec"
+	"nexus/internal/value"
+)
+
+// State is the portable execution state of a windowed pipeline: the
+// per-window, per-group partial aggregates plus the progress counters
+// needed to resume the stream elsewhere. A subscriber that detaches
+// mid-stream receives a State over the wire (internal/wire's WindowState
+// codec) and hands it to another provider — the stream picks up exactly
+// where it left off, windows half-full and all.
+type State struct {
+	// Events counts source rows consumed since the stream began,
+	// accumulated across resumes; a replayable source skips this many
+	// rows when the pipeline restarts.
+	Events int64
+	// MaxTime and Watermark are the event-time progress markers
+	// (math.MinInt64 before the first event).
+	MaxTime   int64
+	Watermark int64
+	// Seq is the arrival counter for count windows.
+	Seq int64
+	// Windows holds every still-open window, in ascending start order.
+	Windows []WindowSnapshot
+}
+
+// WindowSnapshot is one open window's partial state.
+type WindowSnapshot struct {
+	Start, End int64
+	Count      int64
+	Groups     []GroupSnapshot
+}
+
+// GroupSnapshot is one group's key values and accumulator states, in the
+// group's first-seen order (preserved so resumed output ordering matches
+// an uninterrupted run).
+type GroupSnapshot struct {
+	Keys []value.Value
+	Accs []exec.AccSnapshot
+}
+
+// snapshotState captures the pipeline's open windows and counters.
+func snapshotState(open map[int64]*winState, starts []int64, events, maxTime, watermark, seq int64) *State {
+	st := &State{Events: events, MaxTime: maxTime, Watermark: watermark, Seq: seq}
+	for _, start := range starts {
+		ws := open[start]
+		w := WindowSnapshot{Start: ws.start, End: ws.end, Count: ws.count}
+		for _, g := range ws.order {
+			gs := GroupSnapshot{Keys: append([]value.Value(nil), g.keyVals...)}
+			gs.Accs = make([]exec.AccSnapshot, len(g.accs))
+			for i, a := range g.accs {
+				gs.Accs[i] = a.Snapshot()
+			}
+			w.Groups = append(w.Groups, gs)
+		}
+		st.Windows = append(st.Windows, w)
+	}
+	return st
+}
+
+// restoreState rebuilds the open-window map from a snapshot. The key
+// encoding is recomputed from the group's key values — the same canonical
+// encoding both sides use — so a state can migrate between providers.
+func (p *Pipeline) restoreState(st *State) (map[int64]*winState, error) {
+	open := make(map[int64]*winState, len(st.Windows))
+	for _, w := range st.Windows {
+		ws := &winState{start: w.Start, end: w.End, count: w.Count, groups: make(map[string]*winGroup)}
+		for _, gs := range w.Groups {
+			if len(gs.Keys) != len(p.keyIdx) {
+				return nil, fmt.Errorf("stream: resume state has %d group keys, pipeline needs %d", len(gs.Keys), len(p.keyIdx))
+			}
+			if len(gs.Accs) != len(p.aggs) {
+				return nil, fmt.Errorf("stream: resume state has %d accumulators, pipeline needs %d", len(gs.Accs), len(p.aggs))
+			}
+			g := &winGroup{keyVals: append([]value.Value(nil), gs.Keys...)}
+			g.accs = make([]*exec.Accumulator, len(gs.Accs))
+			for i, as := range gs.Accs {
+				if as.Fn != p.aggs[i].Func {
+					return nil, fmt.Errorf("stream: resume accumulator %d is %v, pipeline needs %v", i, as.Fn, p.aggs[i].Func)
+				}
+				g.accs[i] = exec.RestoreAccumulator(as)
+			}
+			var keyBuf []byte
+			for _, kv := range g.keyVals {
+				keyBuf = value.AppendKey(keyBuf, kv)
+			}
+			ws.groups[string(keyBuf)] = g
+			ws.order = append(ws.order, g)
+		}
+		open[w.Start] = ws
+	}
+	return open, nil
+}

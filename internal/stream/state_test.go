@@ -1,0 +1,178 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/stream"
+	"nexus/internal/table"
+	"nexus/internal/value"
+	"nexus/internal/wire"
+)
+
+// genSales builds a deterministic pseudo-random event sequence with
+// bounded out-of-orderness.
+func genSales(seed int64, n int, jitter int64) []stream.Row {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]stream.Row, n)
+	regions := []string{"na", "eu", "ap"}
+	for i := range rows {
+		ts := int64(i) - r.Int63n(jitter+1)
+		if ts < 0 {
+			ts = 0
+		}
+		rows[i] = saleRow(ts, regions[r.Intn(len(regions))], 1+r.Int63n(5), float64(r.Intn(100))/4)
+	}
+	return rows
+}
+
+// buildWindowed assembles a windowed revenue pipeline over a replay of
+// the rows.
+func buildWindowed(t *testing.T, rows []stream.Row, win core.StreamWindow, lateness int64, batch int) *stream.Pipeline {
+	t.Helper()
+	p, err := stream.NewBuilder(stream.NewReplay(salesTable(rows...), "ts")).
+		WithBatchSize(batch).
+		WithLateness(lateness).
+		Aggregate(win, []string{"region"}, revenueAggs()).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// stopAfter is a sink that accepts k tables then reports errStop.
+var errStop = errors.New("stop")
+
+type stopAfter struct {
+	k   int
+	got []*table.Table
+}
+
+func (s *stopAfter) Emit(t *table.Table) error {
+	if len(s.got) >= s.k {
+		return errStop
+	}
+	s.got = append(s.got, t)
+	return nil
+}
+
+// TestRunStateResume: interrupting a windowed pipeline mid-stream,
+// snapshotting its state, and resuming a fresh pipeline from that state
+// over a source that skips the consumed rows must produce exactly the
+// uninterrupted run's output — for every window kind.
+func TestRunStateResume(t *testing.T) {
+	wins := map[string]core.StreamWindow{
+		"tumbling": {Kind: core.WindowTumbling, Size: 10, Slide: 10},
+		"sliding":  {Kind: core.WindowSliding, Size: 10, Slide: 5},
+		"count":    {Kind: core.WindowCount, Size: 7},
+	}
+	rows := genSales(42, 500, 8)
+	for name, win := range wins {
+		t.Run(name, func(t *testing.T) {
+			for _, stopAt := range []int{0, 1, 3, 10} {
+				// Oracle: one uninterrupted run.
+				oracle := stream.NewCollect(buildWindowed(t, rows, win, 4, 32).OutputSchema())
+				if _, err := buildWindowed(t, rows, win, 4, 32).Run(context.Background(), oracle); err != nil {
+					t.Fatal(err)
+				}
+				want, err := oracle.Table()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Interrupted run: stop after stopAt windows, snapshot.
+				first := &stopAfter{k: stopAt}
+				_, state, err := buildWindowed(t, rows, win, 4, 32).RunState(context.Background(), first, nil)
+				if !errors.Is(err, errStop) {
+					t.Fatalf("stop=%d: expected sentinel, got %v", stopAt, err)
+				}
+				if state == nil {
+					t.Fatalf("stop=%d: no state", stopAt)
+				}
+
+				// Ship the state through the wire codec — resume must work
+				// from the decoded copy, as it would on another machine.
+				_, decoded, err2 := wire.DecodeWindowState(wire.EncodeWindowState(1, state))
+				if err2 != nil {
+					t.Fatal(err2)
+				}
+
+				// Resume over the remaining rows.
+				rest := rows[decoded.Events:]
+				second := stream.NewCollect(buildWindowed(t, rows, win, 4, 32).OutputSchema())
+				if _, _, err := buildWindowed(t, rest, win, 4, 32).RunState(context.Background(), second, decoded); err != nil {
+					t.Fatalf("stop=%d resume: %v", stopAt, err)
+				}
+				got2, err := second.Table()
+				if err != nil {
+					t.Fatal(err)
+				}
+				combined, err := tablesBytesConcat(first.got, got2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(combined, wire.EncodeTable(want)) {
+					t.Fatalf("%s stop=%d: resumed output differs from oracle", name, stopAt)
+				}
+			}
+		})
+	}
+}
+
+func tablesBytesConcat(first []*table.Table, rest *table.Table) ([]byte, error) {
+	if len(first) == 0 {
+		return wire.EncodeTable(rest), nil
+	}
+	all, err := first[0].Concat(append(first[1:], rest)...)
+	if err != nil {
+		return nil, err
+	}
+	return wire.EncodeTable(all), nil
+}
+
+// TestRunStateFinal: a clean end-of-stream run returns a state with no
+// open windows and the full event count.
+func TestRunStateFinal(t *testing.T) {
+	rows := genSales(7, 100, 3)
+	p := buildWindowed(t, rows, core.StreamWindow{Kind: core.WindowTumbling, Size: 10, Slide: 10}, 2, 16)
+	sink := stream.NewCollect(p.OutputSchema())
+	stats, state, err := p.RunState(context.Background(), sink, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state == nil || len(state.Windows) != 0 {
+		t.Fatalf("end-of-stream state should have no open windows: %+v", state)
+	}
+	if state.Events != int64(len(rows)) || stats.Events != int64(len(rows)) {
+		t.Fatalf("events: state=%d stats=%d want %d", state.Events, stats.Events, len(rows))
+	}
+}
+
+// TestPartitionOfStable: the partition hash is deterministic, covers all
+// partitions, and dispatches int64 keys through the raw-bits path.
+func TestPartitionOfStable(t *testing.T) {
+	seen := map[uint32]int{}
+	for i := int64(0); i < 1000; i++ {
+		p := stream.PartitionOf(value.NewInt(i), 3)
+		if p >= 3 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		if p != stream.PartitionOf(value.NewInt(i), 3) {
+			t.Fatal("hash not deterministic")
+		}
+		seen[p]++
+	}
+	for p := uint32(0); p < 3; p++ {
+		if seen[p] < 200 {
+			t.Fatalf("partition %d underloaded: %v", p, seen)
+		}
+	}
+	if stream.PartitionOf(value.NewString("x"), 1) != 0 || stream.PartitionOf(value.Null, 4) != 0 {
+		t.Fatal("degenerate partitions")
+	}
+}

@@ -22,6 +22,21 @@ const (
 	MsgDrop      MsgType = 9  // client → server: dataset name
 	MsgList      MsgType = 10 // client → server: request dataset list
 	MsgDatasets  MsgType = 11 // server → client: dataset infos
+
+	// Streaming subscriptions (federated data in motion). One subscriber
+	// connection carries one long-running subscription: the client ships a
+	// stream spec, the server runs the pipeline and pushes window results
+	// back under credit-based flow control, and window state crosses the
+	// wire when a subscriber detaches or resumes.
+	MsgSubscribeStream MsgType = 12 // client → server: id, stream spec (+ optional resume state)
+	MsgSubAck          MsgType = 13 // server → client: id, output schema
+	MsgStreamBatch     MsgType = 14 // server → client: id, seq, watermark, result table
+	MsgWatermark       MsgType = 15 // server → client: id, watermark (progress between results)
+	MsgWindowState     MsgType = 16 // server → client: id, serialized open-window state
+	MsgCredit          MsgType = 17 // either direction: id, n more batches permitted
+	MsgStreamPublish   MsgType = 18 // client → server: id, event batch (push sources)
+	MsgStreamClose     MsgType = 19 // client → server: id, mode (end input / cancel / detach with state)
+	MsgStreamEnd       MsgType = 20 // server → client: id, final stats (terminal)
 )
 
 // String names the message type.
@@ -49,6 +64,24 @@ func (m MsgType) String() string {
 		return "list"
 	case MsgDatasets:
 		return "datasets"
+	case MsgSubscribeStream:
+		return "subscribestream"
+	case MsgSubAck:
+		return "suback"
+	case MsgStreamBatch:
+		return "streambatch"
+	case MsgWatermark:
+		return "watermark"
+	case MsgWindowState:
+		return "windowstate"
+	case MsgCredit:
+		return "credit"
+	case MsgStreamPublish:
+		return "streampublish"
+	case MsgStreamClose:
+		return "streamclose"
+	case MsgStreamEnd:
+		return "streamend"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(m))
 }

@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/core"
+	"nexus/internal/engines/exec"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/stream"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// edgeInts are the 64-bit boundaries the codec must carry exactly —
+// including the 2^53 float64-precision frontier PR 2 fought.
+var edgeInts = []int64{
+	0, 1, -1,
+	math.MaxInt64, math.MinInt64 + 1, math.MinInt64,
+	1<<53 - 1, 1 << 53, 1<<53 + 1,
+	-(1<<53 - 1), -(1 << 53), -(1<<53 + 1),
+}
+
+func streamSpecForTest(t *testing.T, sch schema.Schema) stream.Spec {
+	t.Helper()
+	v, err := core.NewVar(stream.BatchVar, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFilter(v, expr.Gt(expr.Column("k"), expr.CInt(-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream.Spec{
+		Pre:       f,
+		Windowed:  true,
+		Win:       core.StreamWindow{Kind: core.WindowTumbling, Size: 10, Slide: 10},
+		Keys:      []string{"k"},
+		Aggs:      []core.AggSpec{{Func: core.AggSum, Arg: expr.Column("v"), As: "s"}, {Func: core.AggCount, As: "n"}},
+		BatchSize: 64,
+		Lateness:  5,
+	}
+}
+
+func testEventSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "ts", Kind: value.KindInt64},
+		schema.Attribute{Name: "k", Kind: value.KindInt64},
+		schema.Attribute{Name: "v", Kind: value.KindFloat64},
+	)
+}
+
+// reencode checks that encode→decode→encode is byte-identical.
+func reencodeSub(t *testing.T, sub StreamSub) {
+	t.Helper()
+	b := EncodeSubscribeStream(sub)
+	got, err := DecodeSubscribeStream(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	b2 := EncodeSubscribeStream(got)
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("subscribe re-encode differs: %d vs %d bytes", len(b), len(b2))
+	}
+}
+
+func TestSubscribeStreamRoundTrip(t *testing.T) {
+	sch := testEventSchema()
+	sub := StreamSub{
+		ID:         7,
+		SourceKind: StreamSrcDataset,
+		Dataset:    "events",
+		TimeCol:    "ts",
+		Spec:       streamSpecForTest(t, sch),
+		PartKey:    "k",
+		PartIdx:    1,
+		PartCnt:    3,
+		Credit:     16,
+	}
+	reencodeSub(t, sub)
+
+	sub.SourceKind = StreamSrcPush
+	sub.Dataset = ""
+	sub.SrcSchema = sch
+	sub.Resume = &stream.State{
+		Events:    42,
+		MaxTime:   99,
+		Watermark: 94,
+		Seq:       0,
+		Windows: []stream.WindowSnapshot{{
+			Start: 90, End: 100, Count: 3,
+			Groups: []stream.GroupSnapshot{{
+				Keys: []value.Value{value.NewInt(1)},
+				Accs: []exec.AccSnapshot{
+					{Fn: core.AggSum, Count: 3, SumFloat: 1.5, IsFloat: true, MinMax: value.Null},
+					{Fn: core.AggCount, Count: 3, MinMax: value.Null},
+				},
+			}},
+		}},
+	}
+	reencodeSub(t, sub)
+}
+
+func TestStreamControlRoundTrips(t *testing.T) {
+	if id, n, err := DecodeCredit(EncodeCredit(9, 4)); err != nil || id != 9 || n != 4 {
+		t.Fatalf("credit: %d %d %v", id, n, err)
+	}
+	if id, mark, err := DecodeWatermark(EncodeWatermark(9, -1<<62)); err != nil || id != 9 || mark != -1<<62 {
+		t.Fatalf("watermark: %d %d %v", id, mark, err)
+	}
+	if id, mode, err := DecodeStreamClose(EncodeStreamClose(9, CloseDetach)); err != nil || id != 9 || mode != CloseDetach {
+		t.Fatalf("close: %d %d %v", id, mode, err)
+	}
+	if _, _, err := DecodeStreamClose(EncodeStreamClose(9, 77)); err == nil {
+		t.Fatal("bad close mode accepted")
+	}
+	st := stream.Stats{Events: 1, Batches: 2, Windows: 3, Late: 4, OutRows: 5, Watermark: math.MinInt64}
+	if id, got, err := DecodeStreamEnd(EncodeStreamEnd(9, st)); err != nil || id != 9 || got != st {
+		t.Fatalf("end: %d %+v %v", id, got, err)
+	}
+	sch := testEventSchema()
+	if id, got, err := DecodeSubAck(EncodeSubAck(9, sch)); err != nil || id != 9 || !got.Equal(sch) {
+		t.Fatalf("suback: %d %v %v", id, got, err)
+	}
+}
+
+// randomTable builds a random table: 1-4 columns of random kinds, random
+// NULL bitmaps, 64-bit edge values.
+func randomTable(r *rand.Rand) *table.Table {
+	kinds := []value.Kind{value.KindBool, value.KindInt64, value.KindFloat64, value.KindString}
+	ncols := 1 + r.Intn(4)
+	rows := r.Intn(20)
+	attrs := make([]schema.Attribute, ncols)
+	names := []string{"a", "b", "c", "d"}
+	for i := range attrs {
+		attrs[i] = schema.Attribute{Name: names[i], Kind: kinds[r.Intn(len(kinds))]}
+	}
+	sch := schema.New(attrs...)
+	cols := make([]*table.Column, ncols)
+	for c := range cols {
+		var valid []bool
+		hasNulls := r.Intn(2) == 0
+		if hasNulls {
+			valid = make([]bool, rows)
+			for i := range valid {
+				valid[i] = r.Intn(4) != 0
+			}
+		}
+		switch attrs[c].Kind {
+		case value.KindBool:
+			vals := make([]bool, rows)
+			for i := range vals {
+				vals[i] = r.Intn(2) == 0
+			}
+			cols[c] = table.BoolColumn(vals)
+		case value.KindInt64:
+			vals := make([]int64, rows)
+			for i := range vals {
+				if r.Intn(2) == 0 {
+					vals[i] = edgeInts[r.Intn(len(edgeInts))]
+				} else {
+					vals[i] = r.Int63() - r.Int63()
+				}
+			}
+			cols[c] = table.IntColumn(vals)
+		case value.KindFloat64:
+			vals := make([]float64, rows)
+			for i := range vals {
+				vals[i] = math.Float64frombits(r.Uint64())
+				if math.IsNaN(vals[i]) {
+					vals[i] = 0 // NaN payloads survive bitwise, but keep comparisons simple
+				}
+			}
+			cols[c] = table.FloatColumn(vals)
+		case value.KindString:
+			vals := make([]string, rows)
+			for i := range vals {
+				n := r.Intn(8)
+				b := make([]byte, n)
+				r.Read(b)
+				vals[i] = string(b)
+			}
+			cols[c] = table.StringColumn(vals)
+		}
+		if valid != nil {
+			cols[c] = cols[c].WithValidity(valid)
+		}
+	}
+	return table.MustNew(sch, cols)
+}
+
+// TestStreamBatchRoundTripProperty: random schemas, NULL bitmaps and
+// 64-bit edge values survive the StreamBatch codec unchanged.
+func TestStreamBatchRoundTripProperty(t *testing.T) {
+	f := func(seed int64, id, seq uint64, mark int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab := randomTable(r)
+		b := EncodeStreamBatch(id, seq, mark, tab)
+		gid, gseq, gmark, got, err := DecodeStreamBatch(b)
+		if err != nil || gid != id || gseq != seq || gmark != mark {
+			return false
+		}
+		return bytes.Equal(EncodeStreamBatch(id, seq, mark, got), b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomState builds a random pipeline state with edge-value counters
+// and accumulators.
+func randomState(r *rand.Rand) *stream.State {
+	pickInt := func() int64 {
+		if r.Intn(2) == 0 {
+			return edgeInts[r.Intn(len(edgeInts))]
+		}
+		return r.Int63() - r.Int63()
+	}
+	st := &stream.State{Events: pickInt(), MaxTime: pickInt(), Watermark: pickInt(), Seq: pickInt()}
+	for w := r.Intn(4); w > 0; w-- {
+		win := stream.WindowSnapshot{Start: pickInt(), End: pickInt(), Count: pickInt()}
+		for g := r.Intn(3); g > 0; g-- {
+			gs := stream.GroupSnapshot{}
+			for k := r.Intn(3); k > 0; k-- {
+				switch r.Intn(4) {
+				case 0:
+					gs.Keys = append(gs.Keys, value.Null)
+				case 1:
+					gs.Keys = append(gs.Keys, value.NewInt(pickInt()))
+				case 2:
+					gs.Keys = append(gs.Keys, value.NewFloat(r.NormFloat64()))
+				case 3:
+					gs.Keys = append(gs.Keys, value.NewString("k"))
+				}
+			}
+			for a := 1 + r.Intn(3); a > 0; a-- {
+				acc := exec.AccSnapshot{
+					Fn:       core.AggFunc(r.Intn(6)),
+					Count:    pickInt(),
+					SumInt:   pickInt(),
+					SumFloat: r.NormFloat64(),
+					IsFloat:  r.Intn(2) == 0,
+					MinMax:   value.NewInt(pickInt()),
+				}
+				for d := r.Intn(3); d > 0; d-- {
+					b := make([]byte, r.Intn(6))
+					r.Read(b)
+					acc.Distinct = append(acc.Distinct, string(b))
+				}
+				gs.Accs = append(gs.Accs, acc)
+			}
+			win.Groups = append(win.Groups, gs)
+		}
+		st.Windows = append(st.Windows, win)
+	}
+	return st
+}
+
+// TestWindowStateRoundTripProperty: random window states — keys of every
+// kind, distinct sets, ±2^63 and 2^53 boundary counters — survive
+// encode→decode→encode byte-identically.
+func TestWindowStateRoundTripProperty(t *testing.T) {
+	f := func(seed int64, id uint64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randomState(r)
+		b := EncodeWindowState(id, st)
+		gid, got, err := DecodeWindowState(b)
+		if err != nil || gid != id || got == nil {
+			return false
+		}
+		return bytes.Equal(EncodeWindowState(id, got), b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzWireStream throws arbitrary bytes at every streaming decoder: they
+// must reject garbage with errors, never panic or over-allocate.
+func FuzzWireStream(f *testing.F) {
+	sch := testEventSchema()
+	var t testing.T
+	spec := stream.Spec{Pre: mustVar(&t, sch)}
+	f.Add(EncodeSubscribeStream(StreamSub{ID: 1, SourceKind: StreamSrcPush, TimeCol: "ts", SrcSchema: sch, Spec: spec}))
+	b := table.NewBuilder(sch, 1)
+	b.MustAppend(value.NewInt(1), value.NewInt(2), value.NewFloat(3))
+	f.Add(EncodeStreamBatch(1, 2, 3, b.Build()))
+	r := rand.New(rand.NewSource(1))
+	f.Add(EncodeWindowState(1, randomState(r)))
+	f.Add(EncodeStreamEnd(1, stream.Stats{Events: 1}))
+	f.Add(EncodeSubAck(1, sch))
+	f.Add(EncodeCredit(1, 2))
+	f.Add(EncodeWatermark(1, -5))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeSubscribeStream(data)
+		_, _, _, _, _ = DecodeStreamBatch(data)
+		_, _, _ = DecodeWindowState(data)
+		_, _, _ = DecodeStreamEnd(data)
+		_, _, _ = DecodeSubAck(data)
+		_, _, _ = DecodeCredit(data)
+		_, _, _ = DecodeWatermark(data)
+		_, _, _ = DecodeStreamClose(data)
+	})
+}
+
+func mustVar(t *testing.T, sch schema.Schema) core.Node {
+	v, err := core.NewVar(stream.BatchVar, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

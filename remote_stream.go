@@ -1,0 +1,255 @@
+package nexus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nexus/internal/federation"
+	"nexus/internal/stream"
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+// Federated data in motion: the same streaming query that runs in
+// process ships its compiled plan to remote providers, which host the
+// long-running pipeline and push watermarked window results back under
+// credit-based flow control. PartitionBy splits the stream across N
+// providers by key hash; the coordinator merges their results in
+// watermark order.
+
+// PartitionBy names the key column used to split the stream across
+// providers when a federated subscription names more than one. Rows
+// route by hash of the key (int64 keys hash their raw bits — the same
+// fast path the join and group kernels prefer).
+func (q *StreamQuery) PartitionBy(key string) *StreamQuery {
+	nq := q.derive(q.b)
+	nq.partKey = key
+	return nq
+}
+
+// remotePublishBatch caps rows per published event batch.
+const remotePublishBatch = 256
+
+// SubscribeRemote runs the stream query on the named providers and
+// delivers every result table to fn. With one provider the whole
+// pipeline runs there; with several, PartitionBy is required and each
+// provider runs the pipeline over its key partition, with windowed
+// results merged in watermark order (stateless results arrive in
+// arrival order). Queries built with StreamScan replay their dataset on
+// the serving provider; every other source streams from this process to
+// the providers over the wire.
+func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, fn func(*Table) error) (*StreamStats, error) {
+	if err := q.b.Err(); err != nil {
+		return nil, err
+	}
+	sp, err := q.b.Spec()
+	if err != nil {
+		return nil, err
+	}
+	n := len(providers)
+	if n == 0 {
+		return nil, fmt.Errorf("nexus: SubscribeRemote needs at least one provider")
+	}
+	if n > 1 && q.partKey == "" {
+		return nil, fmt.Errorf("nexus: a subscription across %d providers needs PartitionBy", n)
+	}
+	if n > 1 && sp.Windowed {
+		// A group must never span partitions: each provider holds only its
+		// share of the rows, so a group split across two providers would
+		// come back as two rows of partial aggregates. Requiring the
+		// partition key among the group keys makes groups partition-local.
+		ok := false
+		for _, k := range sp.Keys {
+			if k == q.partKey {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("nexus: partition key %q must be one of the GroupBy keys %v — otherwise groups span partitions and aggregates come back partial", q.partKey, sp.Keys)
+		}
+	}
+	src := q.b.Source()
+	keyIdx := -1
+	if q.partKey != "" {
+		keyIdx = src.Schema().IndexOf(q.partKey)
+		if keyIdx < 0 {
+			return nil, fmt.Errorf("nexus: no partition key column %q in %v", q.partKey, src.Schema())
+		}
+	}
+
+	// Open one subscription per provider.
+	subs := make([]*federation.Subscription, 0, n)
+	closeAll := func() {
+		for _, s := range subs {
+			s.Close()
+		}
+	}
+	for i, name := range providers {
+		tr, err := q.s.streamTransport(name)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		sub := wire.StreamSub{Spec: sp, PartIdx: uint32(i), PartCnt: uint32(n)}
+		if n > 1 {
+			sub.PartKey = q.partKey
+		}
+		if q.dataset != "" {
+			sub.SourceKind = wire.StreamSrcDataset
+			sub.Dataset = q.dataset
+			sub.TimeCol = q.timeCol
+		} else {
+			sub.SourceKind = wire.StreamSrcPush
+			sub.TimeCol = src.TimeCol()
+			sub.SrcSchema = src.Schema()
+		}
+		s, err := tr.Subscribe(sub)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		subs = append(subs, s)
+	}
+
+	// Push-mode queries need a publisher moving local events upstream.
+	var wg sync.WaitGroup
+	var pubErr error
+	if q.dataset == "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pubErr = publishRows(ctx, src, subs, keyIdx)
+		}()
+	}
+	// Release everything if the caller's context ends first.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeAll()
+		case <-watchDone:
+		}
+	}()
+
+	emit := func(t *table.Table) error { return fn(wrapTable(t)) }
+	var stats stream.Stats
+	switch {
+	case n == 1:
+		s := subs[0]
+		for b := range s.Batches() {
+			if b.Table == nil {
+				continue
+			}
+			if err := emit(b.Table); err != nil {
+				_ = s.Cancel()
+				wg.Wait()
+				return nil, err
+			}
+		}
+		st, err := s.Wait()
+		if err != nil {
+			wg.Wait()
+			return nil, err
+		}
+		stats = *st
+	case sp.Windowed:
+		stats, err = federation.MergeWindows(subs, emit)
+	default:
+		stats, err = federation.MergeArrival(subs, emit)
+	}
+	wg.Wait()
+	if err != nil {
+		return &stats, err
+	}
+	if pubErr != nil {
+		return &stats, pubErr
+	}
+	if err := ctx.Err(); err != nil {
+		return &stats, err
+	}
+	return &stats, nil
+}
+
+// CollectRemote is SubscribeRemote accumulating every emitted row into
+// one table.
+func (q *StreamQuery) CollectRemote(ctx context.Context, providers ...string) (*Table, error) {
+	sch, err := q.b.OutputSchema()
+	if err != nil {
+		return nil, err
+	}
+	sink := stream.NewCollect(sch)
+	var mu sync.Mutex
+	_, err = q.SubscribeRemote(ctx, providers, func(t *Table) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return sink.Emit(t.t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	t, err := sink.Table()
+	if err != nil {
+		return nil, err
+	}
+	return wrapTable(t), nil
+}
+
+// publishRows drains the local source, routes each row to its key
+// partition, and publishes micro-batches upstream, ending every
+// partition's input when the source completes.
+func publishRows(ctx context.Context, src stream.Source, subs []*federation.Subscription, keyIdx int) error {
+	defer stream.ReleaseSource(src)
+	rows := src.Open(ctx)
+	n := len(subs)
+	sch := src.Schema()
+	builders := make([]*table.Builder, n)
+	for i := range builders {
+		builders[i] = table.NewBuilder(sch, 0)
+	}
+	flush := func(i int) error {
+		if builders[i].Len() == 0 {
+			return nil
+		}
+		t := builders[i].Build()
+		builders[i] = table.NewBuilder(sch, 0)
+		return subs[i].Publish(t)
+	}
+drain:
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case row, ok := <-rows:
+			if !ok {
+				break drain
+			}
+			p := 0
+			if n > 1 && keyIdx >= 0 && keyIdx < len(row) {
+				p = int(stream.PartitionOf(row[keyIdx], uint32(n)))
+			}
+			if err := builders[p].Append(row...); err != nil {
+				return err
+			}
+			if builders[p].Len() >= remotePublishBatch {
+				if err := flush(p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	for i := range subs {
+		if err := flush(i); err != nil {
+			return err
+		}
+		if err := subs[i].EndInput(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -225,7 +225,26 @@ func (s *Session) StreamScan(dataset, timeCol string) *StreamQuery {
 	// abandoning) the query never scans the dataset, mirroring the lazy
 	// batch Scan.
 	fetch := func() (*table.Table, error) { return p.Execute(scan) }
-	return s.StreamFrom(stream.NewLazyReplay(sch, timeCol, fetch))
+	q := s.StreamFrom(stream.NewLazyReplay(sch, timeCol, fetch))
+	// Remember the dataset so a federated subscription can replay it on
+	// the serving provider instead of shipping rows from here.
+	q.dataset = dataset
+	q.timeCol = timeCol
+	return q
+}
+
+// streamTransport resolves a provider name to a transport that can host
+// stream subscriptions (in-process engines and TCP servers both can).
+func (s *Session) streamTransport(name string) (federation.StreamTransport, error) {
+	for _, tr := range s.transports {
+		if tr.ProviderName() == name {
+			if st, ok := tr.(federation.StreamTransport); ok {
+				return st, nil
+			}
+			return nil, fmt.Errorf("nexus: provider %q cannot host stream subscriptions", name)
+		}
+	}
+	return nil, fmt.Errorf("nexus: unknown provider %q", name)
 }
 
 // Query compiles a surface-language pipeline (see internal/lang) into a

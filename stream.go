@@ -128,6 +128,14 @@ func GenerateSource(timeCol string, n int64, fn func(i int64) []any, cols ...Col
 type StreamQuery struct {
 	s *Session
 	b *stream.Builder
+
+	// partKey is the PartitionBy column for federated fan-out.
+	partKey string
+	// dataset/timeCol are set by StreamScan: a federated subscription
+	// over a scanned dataset replays it on the serving provider instead
+	// of shipping events from this process.
+	dataset string
+	timeCol string
 }
 
 // Err returns the first construction error, if any.
@@ -142,7 +150,11 @@ func (q *StreamQuery) Schema() (string, error) {
 	return sch.String(), nil
 }
 
-func (q *StreamQuery) derive(b *stream.Builder) *StreamQuery { return &StreamQuery{s: q.s, b: b} }
+func (q *StreamQuery) derive(b *stream.Builder) *StreamQuery {
+	nq := *q
+	nq.b = b
+	return &nq
+}
 
 // Where keeps events satisfying the predicate.
 func (q *StreamQuery) Where(pred Expr) *StreamQuery { return q.derive(q.b.Filter(pred)) }
