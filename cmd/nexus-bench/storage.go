@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/expr"
+	"nexus/internal/storage"
+	"nexus/internal/table"
+)
+
+// Storage micro-benchmarks (-storage -> BENCH_4.json): cold scans read
+// columnar segments from disk, warm scans hit the materialized RAM
+// copy, and pruned scans let zone maps skip segments. The cold/warm
+// ratio is the price of durability on first touch; the pruned/cold
+// ratio is what zone maps claw back.
+func runStorageBench(path string, quick bool) error {
+	rows := 2_000_000
+	segRows := 100_000
+	if quick {
+		rows = 200_000
+		segRows = 10_000
+	}
+
+	dir, err := os.MkdirTemp("", "nexus-bench-storage-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := storage.OpenEngine("bench", filepath.Join(dir, "data"))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// Load in segment-sized appends: rows/segRows segments with
+	// contiguous, disjoint sale_id ranges, so range predicates prune.
+	sales := datagen.Sales(71, rows, rows/10, 200)
+	idIdx := sales.Schema().IndexOf("sale_id")
+	if idIdx < 0 {
+		return fmt.Errorf("sales schema has no sale_id")
+	}
+	sorted := sales.Sort([]table.SortKey{{Col: idIdx}})
+	for lo := 0; lo < rows; lo += segRows {
+		hi := lo + segRows
+		if hi > rows {
+			hi = rows
+		}
+		if err := eng.Append("sales", sorted.Slice(lo, hi)); err != nil {
+			return err
+		}
+		if err := eng.Flush(); err != nil {
+			return err
+		}
+	}
+
+	var results []MicroResult
+	add := func(r MicroResult, err error) error {
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("%-28s %12.0f ns/op %14.0f rows/s\n", r.Name, r.NsPerOp, r.RowsPerSec)
+		return nil
+	}
+
+	scan, _ := core.NewScan("sales", sales.Schema())
+
+	// Cold scan: every iteration drops the caches and reads all segment
+	// files (decode + CRC + concat).
+	if err := add(measure("scan_cold_disk", rows, func() error {
+		eng.DropCache()
+		_, err := eng.Execute(scan)
+		return err
+	})); err != nil {
+		return err
+	}
+
+	// Warm scan: the materialized table is served from RAM.
+	if _, err := eng.Execute(scan); err != nil {
+		return err
+	}
+	if err := add(measure("scan_warm_ram", rows, func() error {
+		_, err := eng.Execute(scan)
+		return err
+	})); err != nil {
+		return err
+	}
+
+	// Pruned cold scan: a 5%-selective sale_id range; zone maps skip
+	// ~95% of the segments before any page is read.
+	lo, hi := int64(rows/2), int64(rows/2+rows/20)
+	filt, err := core.NewFilter(scan, expr.And(
+		expr.Ge(expr.Column("sale_id"), expr.CInt(lo)),
+		expr.Lt(expr.Column("sale_id"), expr.CInt(hi)),
+	))
+	if err != nil {
+		return err
+	}
+	if err := add(measure("scan_cold_pruned", rows/20, func() error {
+		eng.DropCache()
+		_, err := eng.Execute(filt)
+		return err
+	})); err != nil {
+		return err
+	}
+
+	// Durable append+fsync throughput: one group-committed WAL append
+	// per op.
+	batch := sorted.Slice(0, 1000)
+	if err := add(measure("append_wal_fsync", 1000, func() error {
+		return eng.Append("ingest", batch)
+	})); err != nil {
+		return err
+	}
+
+	skipped, scanned := eng.SegmentsSkipped(), eng.SegmentsScanned()
+	fmt.Printf("zone maps: %d segments skipped, %d scanned (%.0f%% pruned on the filtered path)\n",
+		skipped, scanned, 100*float64(skipped)/float64(skipped+scanned))
+
+	report := MicroReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Benchmarks:  results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -2,12 +2,17 @@
 // Clients connect with Session.ConnectTCP (or cmd/nexus-shell -connect);
 // peer servers push intermediates to it directly in federated plans.
 //
+// With -data-dir the server is durable: datasets live in a columnar
+// segment store guarded by a write-ahead log, hosted stream
+// subscriptions checkpoint their window state on a timer, and a restart
+// — even from SIGKILL — recovers every committed row and lets durable
+// subscriptions resume where they left off.
+//
 // Usage:
 //
 //	nexus-server -engine relational -addr 127.0.0.1:7701 -demo
 //	nexus-server -engine array      -addr 127.0.0.1:7702
-//	nexus-server -engine linalg     -addr 127.0.0.1:7703
-//	nexus-server -engine graph      -addr 127.0.0.1:7704
+//	nexus-server -data-dir ./data   -addr 127.0.0.1:7705
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"nexus/internal/datagen"
 	"nexus/internal/engines/array"
@@ -24,6 +31,7 @@ import (
 	"nexus/internal/engines/relational"
 	"nexus/internal/provider"
 	"nexus/internal/server"
+	"nexus/internal/storage"
 )
 
 func main() {
@@ -31,21 +39,33 @@ func main() {
 	name := flag.String("name", "", "provider name (defaults to the engine kind)")
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	demo := flag.Bool("demo", false, "preload synthetic demo datasets")
+	dataDir := flag.String("data-dir", "", "durable data directory (crash-recoverable columnar store; implies a relational-class engine)")
+	ckptEvery := flag.Duration("checkpoint-interval", 2*time.Second, "how often hosted durable subscriptions checkpoint their state (with -data-dir)")
 	flag.Parse()
 
 	var prov provider.Provider
-	switch *engine {
-	case "relational":
-		prov = relational.New(*name)
-	case "array":
-		prov = array.New(*name)
-	case "linalg":
-		prov = linalg.New(*name)
-	case "graph":
-		prov = graph.New(*name)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q (want relational, array, linalg or graph)\n", *engine)
-		os.Exit(2)
+	var durable *storage.Engine
+	if *dataDir != "" {
+		var err error
+		durable, err = storage.OpenEngine(*name, *dataDir)
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		prov = durable
+	} else {
+		switch *engine {
+		case "relational":
+			prov = relational.New(*name)
+		case "array":
+			prov = array.New(*name)
+		case "linalg":
+			prov = linalg.New(*name)
+		case "graph":
+			prov = graph.New(*name)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown engine %q (want relational, array, linalg or graph)\n", *engine)
+			os.Exit(2)
+		}
 	}
 
 	if *demo {
@@ -54,20 +74,38 @@ func main() {
 		}
 	}
 
-	srv, err := server.Serve(prov, *addr)
+	var srv *server.Server
+	var err error
+	if durable != nil {
+		srv, err = server.ServeWithCheckpoints(prov, *addr, durable.Backing(), *ckptEvery)
+	} else {
+		srv, err = server.Serve(prov, *addr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("nexus %s server %q listening on %s", *engine, prov.Name(), srv.Addr())
+	if durable != nil {
+		log.Printf("nexus durable server %q listening on %s (data dir %s)", prov.Name(), srv.Addr(), *dataDir)
+		if keys, err := durable.Backing().Checkpoints(); err == nil && len(keys) > 0 {
+			log.Printf("  recovered %d stream checkpoint(s): %v", len(keys), keys)
+		}
+	} else {
+		log.Printf("nexus %s server %q listening on %s", *engine, prov.Name(), srv.Addr())
+	}
 	for _, ds := range prov.Datasets() {
 		log.Printf("  dataset %s: %d rows %v", ds.Name, ds.Rows, ds.Schema)
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
 	srv.Close()
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			log.Printf("close data dir: %v", err)
+		}
+	}
 }
 
 func loadDemo(p provider.Provider, engine string) error {

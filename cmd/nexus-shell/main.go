@@ -7,12 +7,14 @@
 //
 // Shell commands:
 //
-//	\datasets            list datasets across providers
+//	\datasets            list datasets across providers (durable vs memory)
 //	\providers           list providers
 //	\explain <query>     show the optimized plan and fragment assignment
 //	\subscribe <ds> <timecol> <size> [key...]
 //	                     live windowed subscription hosted on the
 //	                     dataset's provider (federated streaming)
+//	\open <dir>          attach a durable data directory as a provider
+//	\save <dataset>      persist a dataset into the opened directory
 //	\mode direct|routed  switch intermediate shipping
 //	\quit                exit
 //
@@ -63,8 +65,9 @@ func main() {
 		}
 		fmt.Println("local engines ready (relational, array, linalg, graph) with demo data")
 	}
-	fmt.Println(`nexus shell — surface-language queries, \datasets, \explain <q>, \quit`)
+	fmt.Println(`nexus shell — surface-language queries, \datasets, \explain <q>, \open <dir>, \save <ds>, \quit`)
 
+	durableProvider := "" // provider created by the last \open
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -99,6 +102,34 @@ func main() {
 			}
 		case strings.HasPrefix(line, `\subscribe`):
 			runSubscribe(s, strings.Fields(strings.TrimSpace(strings.TrimPrefix(line, `\subscribe`))))
+		case strings.HasPrefix(line, `\open`):
+			dir := strings.TrimSpace(strings.TrimPrefix(line, `\open`))
+			if dir == "" {
+				fmt.Println("usage: \\open <dir>")
+				continue
+			}
+			name, err := s.Open(dir)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			durableProvider = name
+			fmt.Printf("durable provider %q attached (data dir %s); \\save <dataset> persists into it\n", name, dir)
+		case strings.HasPrefix(line, `\save`):
+			ds := strings.TrimSpace(strings.TrimPrefix(line, `\save`))
+			if ds == "" {
+				fmt.Println("usage: \\save <dataset>")
+				continue
+			}
+			if durableProvider == "" {
+				fmt.Println("no durable directory open; \\open <dir> first")
+				continue
+			}
+			if err := s.Persist(durableProvider, ds); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("dataset %q persisted on %q\n", ds, durableProvider)
 		case strings.HasPrefix(line, `\explain`):
 			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
 			out, err := s.Query(src).Explain()
@@ -108,7 +139,7 @@ func main() {
 			}
 			fmt.Println(out)
 		case strings.HasPrefix(line, `\`):
-			fmt.Println("unknown command; try \\datasets, \\providers, \\explain <q>, \\subscribe, \\mode, \\quit")
+			fmt.Println("unknown command; try \\datasets, \\providers, \\explain <q>, \\subscribe, \\open <dir>, \\save <ds>, \\mode, \\quit")
 		default:
 			t0 := time.Now()
 			res, m, err := s.Query(line).CollectWithMetrics()
@@ -176,6 +207,10 @@ func printDatasets(s *nexus.Session) {
 		return
 	}
 	for _, ds := range infos {
-		fmt.Printf("  %-12s %8d rows  on %-12s %s\n", ds.Name, ds.Rows, ds.Provider, ds.Schema)
+		kind := "memory "
+		if ds.Durable {
+			kind = "durable"
+		}
+		fmt.Printf("  %-12s %8d rows  %s on %-12s %s\n", ds.Name, ds.Rows, kind, ds.Provider, ds.Schema)
 	}
 }

@@ -1,0 +1,127 @@
+// examples/durable demonstrates crash-recoverable storage end to end:
+// a child process (this same binary) appends acked batches into a
+// durable data directory, the parent SIGKILLs it mid-write — no
+// shutdown path runs — then reopens the directory and queries the
+// recovered data, showing zero committed-row loss.
+//
+//	go run ./examples/durable
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"nexus"
+)
+
+func main() {
+	if dir := os.Getenv("DURABLE_DEMO_CHILD"); dir != "" {
+		child(dir)
+		return
+	}
+
+	dir, err := os.MkdirTemp("", "nexus-durable-demo-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("data directory: %s\n\n", dir)
+
+	// Phase 1: a writer process appends batches, acking each one after
+	// the WAL fsync. We SIGKILL it in full flight.
+	fmt.Println("[1] starting writer process…")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "DURABLE_DEMO_CHILD="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	acked := int64(-1)
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "ACK ") {
+			acked, _ = strconv.ParseInt(strings.TrimPrefix(line, "ACK "), 10, 64)
+			if acked >= 24 { // kill mid-write, with plenty committed
+				break
+			}
+		}
+	}
+	cmd.Process.Kill() // SIGKILL: the writer gets no chance to flush
+	cmd.Wait()
+	committedBatches := acked + 1
+	fmt.Printf("    writer SIGKILLed after %d acked batches (%d rows committed)\n\n", committedBatches, committedBatches*100)
+
+	// Phase 2: reopen the directory and query. The write-ahead log
+	// replays everything the writer acked — the kill lost nothing.
+	fmt.Println("[2] recovering…")
+	s := nexus.NewSession()
+	prov, err := s.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    durable provider %q attached\n\n", prov)
+
+	fmt.Println("[3] querying recovered data…")
+	total, err := s.Scan("events").
+		Agg(nexus.Count("rows"), nexus.Min("first_ts", nexus.Col("ts")), nexus.Max("last_ts", nexus.Col("ts"))).
+		Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(total.Format(5))
+	rows, _ := total.Ints("rows")
+	if rows[0] < committedBatches*100 {
+		log.Fatalf("LOST ROWS: recovered %d, acked %d", rows[0], committedBatches*100)
+	}
+	fmt.Printf("    every acked row survived (%d recovered >= %d acked)\n\n", rows[0], committedBatches*100)
+
+	// A selective filter demonstrates the zone-map-pruned cold scan:
+	// only segments whose ts range can match are read from disk.
+	res, err := s.Scan("events").
+		Where(nexus.And(nexus.Ge(nexus.Col("ts"), nexus.Int(500)), nexus.Lt(nexus.Col("ts"), nexus.Int(520)))).
+		OrderBy(nexus.Asc("ts")).
+		Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[4] pruned range scan (500 <= ts < 520): %d rows\n", res.NumRows())
+	fmt.Print(res.Format(5))
+	fmt.Println("\ndurable demo OK: store → kill → recover → query")
+}
+
+// child appends 100-row batches forever, acking each durable commit on
+// stdout, until the parent kills it.
+func child(dir string) {
+	s := nexus.NewSession()
+	prov, err := s.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(0); ; i++ {
+		tb := nexus.NewTableBuilder(
+			nexus.ColumnDef{Name: "ts", Type: nexus.Int64},
+			nexus.ColumnDef{Name: "v", Type: nexus.Float64},
+		)
+		for j := int64(0); j < 100; j++ {
+			ts := i*100 + j
+			tb.Append(ts, float64(ts%97)+0.25)
+		}
+		t, err := tb.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Append(prov, "events", t); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ACK %d\n", i)
+	}
+}

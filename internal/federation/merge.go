@@ -159,16 +159,22 @@ func MergeWindows(subs []*Subscription, emit func(*table.Table) error) (stream.S
 			live--
 			stats, err := subs[m.part].Wait()
 			if err != nil {
-				cancelAll()
-				return total, fmt.Errorf("federation: partition %d: %w", m.part, err)
-			}
-			total.Events += stats.Events
-			total.Batches += stats.Batches
-			total.Windows += stats.Windows
-			total.Late += stats.Late
-			total.OutRows += stats.OutRows
-			if stats.Watermark < total.Watermark {
-				total.Watermark = stats.Watermark
+				// A detached partition terminates with window state instead
+				// of stats: its delivered-but-unmerged windows still flush
+				// below, and the caller collects the state for resumption.
+				if subs[m.part].State() == nil {
+					cancelAll()
+					return total, fmt.Errorf("federation: partition %d: %w", m.part, err)
+				}
+			} else {
+				total.Events += stats.Events
+				total.Batches += stats.Batches
+				total.Windows += stats.Windows
+				total.Late += stats.Late
+				total.OutRows += stats.OutRows
+				if stats.Watermark < total.Watermark {
+					total.Watermark = stats.Watermark
+				}
 			}
 		} else {
 			if m.b.Watermark > p.watermark {
@@ -235,8 +241,11 @@ func MergeArrival(subs []*Subscription, emit func(*table.Table) error) (stream.S
 			live--
 			stats, err := subs[m.part].Wait()
 			if err != nil {
-				cancelAll()
-				return total, fmt.Errorf("federation: partition %d: %w", m.part, err)
+				if subs[m.part].State() == nil {
+					cancelAll()
+					return total, fmt.Errorf("federation: partition %d: %w", m.part, err)
+				}
+				continue // detached partition: state collected by the caller
 			}
 			total.Events += stats.Events
 			total.Batches += stats.Batches

@@ -65,6 +65,7 @@ type Subscription struct {
 	stats     *stream.Stats
 	err       error
 	discards  []SubBatch // results the reader dropped during a close handshake
+	detaching bool       // a Detach handshake is in flight; Close must not sever it
 }
 
 var subIDs atomic.Uint64
@@ -225,6 +226,15 @@ func (s *Subscription) Err() error {
 	return s.err
 }
 
+// State returns the window state a detach handed back, if any (valid
+// once the subscription has terminated). The merge loops use it to
+// tell "partition detached" from "partition failed".
+func (s *Subscription) State() *stream.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
 // writeFrame sends one frame under the write lock.
 func (s *Subscription) writeFrame(t wire.MsgType, payload []byte) error {
 	s.wmu.Lock()
@@ -276,6 +286,9 @@ func (s *Subscription) EndInput() error {
 // server counts them as emitted), so the caller must process them before
 // resuming.
 func (s *Subscription) Detach() (*stream.State, []SubBatch, error) {
+	s.mu.Lock()
+	s.detaching = true
+	s.mu.Unlock()
 	s.closeOnce.Do(func() { close(s.closed) })
 	if err := s.writeFrame(wire.MsgStreamClose, wire.EncodeStreamClose(s.id, wire.CloseDetach)); err != nil {
 		return nil, nil, err
@@ -324,10 +337,18 @@ func (s *Subscription) Wait() (*stream.Stats, error) {
 	return s.stats, nil
 }
 
-// Close tears the connection down (abrupt; prefer Cancel/Detach).
+// Close tears the connection down (abrupt; prefer Cancel/Detach). When
+// a Detach handshake is already in flight — a merge loop closing its
+// partitions while the caller detaches them — Close lets the handshake
+// finish instead of severing the connection under it.
 func (s *Subscription) Close() {
 	s.closeOnce.Do(func() { close(s.closed) })
-	s.conn.Close()
+	s.mu.Lock()
+	detaching := s.detaching
+	s.mu.Unlock()
+	if !detaching {
+		s.conn.Close()
+	}
 	<-s.done
 }
 

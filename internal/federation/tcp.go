@@ -184,3 +184,21 @@ func (t *TCP) Store(name string, tab *table.Table, m *Metrics) error {
 func (t *TCP) Drop(name string, m *Metrics) {
 	_, _, _ = t.call(wire.MsgDrop, wire.EncodeDrop(name), m)
 }
+
+// Append adds rows to a remote dataset without replacing it. The ack
+// arrives only after the server committed the rows — on a durable
+// server, after the WAL fsync.
+func (t *TCP) Append(name string, tab *table.Table, m *Metrics) error {
+	typ, reply, err := t.call(wire.MsgAppend, wire.EncodeStore(name, tab), m)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case wire.MsgAck:
+		return nil
+	case wire.MsgError:
+		_, msg, _ := wire.DecodeError(reply)
+		return fmt.Errorf("federation: server %s: %s", t.name, msg)
+	}
+	return fmt.Errorf("federation: server %s replied %v to append", t.name, typ)
+}

@@ -3,7 +3,80 @@ package planner
 import (
 	"nexus/internal/core"
 	"nexus/internal/expr"
+	"nexus/internal/value"
 )
+
+// ---------------------------------------------------------------------------
+// Zone-map pruning support.
+//
+// Column pruning (below) narrows scans horizontally; ScanPreds narrows
+// them vertically. It extracts the conjuncts of a filter predicate that
+// compare one column against a constant — the shape a storage engine
+// can test against per-segment min/max zone maps, skipping whole
+// segments whose value ranges cannot satisfy the predicate. The
+// extraction is conservative: anything it cannot prove is simply not
+// returned, and a scan with no extractable conjuncts reads everything.
+
+// ScanPred is one prunable conjunct: column `Col` compared against the
+// constant `Val` with `Op` (always normalized to column-on-the-left).
+type ScanPred struct {
+	Col string
+	Op  value.BinOp
+	Val value.Value
+}
+
+// ScanPreds extracts the column-vs-constant comparison conjuncts of a
+// predicate. Disjunctions, calls, arithmetic and column-vs-column
+// comparisons contribute nothing (a row passing them may exist in any
+// segment); every returned conjunct must hold for a row to pass, so a
+// segment failing any one of them under its zone maps holds no matches.
+func ScanPreds(e expr.Expr) []ScanPred {
+	var out []ScanPred
+	var walk func(expr.Expr)
+	walk = func(e expr.Expr) {
+		b, ok := e.(*expr.Bin)
+		if !ok {
+			return
+		}
+		if b.Op == value.OpAnd {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		if !b.Op.Comparison() {
+			return
+		}
+		if col, okL := b.L.(*expr.Col); okL {
+			if c, okR := b.R.(*expr.Const); okR {
+				out = append(out, ScanPred{Col: col.Name, Op: b.Op, Val: c.Val})
+			}
+			return
+		}
+		if c, okL := b.L.(*expr.Const); okL {
+			if col, okR := b.R.(*expr.Col); okR {
+				out = append(out, ScanPred{Col: col.Name, Op: flipCmp(b.Op), Val: c.Val})
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// flipCmp mirrors a comparison for constant-on-the-left normalization
+// (5 < x  ≡  x > 5).
+func flipCmp(op value.BinOp) value.BinOp {
+	switch op {
+	case value.OpLt:
+		return value.OpGt
+	case value.OpLe:
+		return value.OpGe
+	case value.OpGt:
+		return value.OpLt
+	case value.OpGe:
+		return value.OpLe
+	}
+	return op // Eq and Ne are symmetric
+}
 
 // pruneColumns inserts Project nodes directly above scans whose columns
 // are not all needed, computed by a top-down required-column analysis.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"nexus/internal/core"
 	"nexus/internal/schema"
@@ -149,6 +150,53 @@ type Provider interface {
 	Store(name string, t *table.Table) error
 	// Drop removes a dataset (intermediate cleanup).
 	Drop(name string)
+}
+
+// Appender is the optional append-capable provider extension: rows are
+// added to a dataset instead of replacing it, creating the dataset on
+// first use. Durable providers implement it natively (a WAL append);
+// Append emulates it for everyone else.
+type Appender interface {
+	Append(name string, t *table.Table) error
+}
+
+// appendLocks serializes emulated appends per provider: the
+// materialize-concat-store cycle is not atomic, so two concurrent
+// appends through it would each re-store their own concatenation and
+// the last writer would silently drop the other's rows.
+var appendLocks sync.Map // Provider -> *sync.Mutex
+
+// Append adds rows to a provider's dataset. Providers implementing
+// Appender get the native (durable, O(rows-added)) path; for the rest
+// the existing dataset is materialized, concatenated and re-stored —
+// correct, if not cheap, on any back end.
+func Append(p Provider, name string, t *table.Table) error {
+	if a, ok := p.(Appender); ok {
+		return a.Append(name, t)
+	}
+	mu, _ := appendLocks.LoadOrStore(p, &sync.Mutex{})
+	mu.(*sync.Mutex).Lock()
+	defer mu.(*sync.Mutex).Unlock()
+	sch, ok := p.DatasetSchema(name)
+	if !ok {
+		return p.Store(name, t)
+	}
+	if !sch.Equal(t.Schema()) {
+		return fmt.Errorf("provider: append schema %v does not match dataset %q schema %v", t.Schema(), name, sch)
+	}
+	scan, err := core.NewScan(name, sch)
+	if err != nil {
+		return err
+	}
+	cur, err := p.Execute(scan)
+	if err != nil {
+		return fmt.Errorf("provider: append: materialize %q: %w", name, err)
+	}
+	merged, err := cur.Concat(t)
+	if err != nil {
+		return err
+	}
+	return p.Store(name, merged)
 }
 
 // Registry is a set of providers keyed by name, shared by the session and

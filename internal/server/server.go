@@ -12,12 +12,23 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"nexus/internal/engines/exec"
 	"nexus/internal/provider"
 	"nexus/internal/table"
 	"nexus/internal/wire"
 )
+
+// CheckpointStore persists opaque subscription checkpoints. A durable
+// data directory (internal/storage.Store) implements it; the server
+// stays decoupled from the storage engine's package.
+type CheckpointStore interface {
+	SaveCheckpoint(key string, data []byte) error
+	LoadCheckpoint(key string) ([]byte, bool, error)
+	DeleteCheckpoint(key string) error
+	Checkpoints() ([]string, error)
+}
 
 // Server exposes one provider on a TCP address.
 type Server struct {
@@ -33,17 +44,30 @@ type Server struct {
 	cacheOnce sync.Once
 	exprCache *exec.ExprCache
 
+	// ckpt + ckptEvery enable durable subscription checkpoints (see
+	// EnableCheckpoints); guarded by mu — connections may already be
+	// arriving when EnableCheckpoints runs.
+	ckpt      CheckpointStore
+	ckptEvery time.Duration
+
 	// Logf receives diagnostics; defaults to log.Printf. Tests silence it.
 	Logf func(format string, args ...any)
 }
 
 // Serve starts a server for the provider on addr (e.g. "127.0.0.1:0").
 func Serve(prov provider.Provider, addr string) (*Server, error) {
+	return ServeWithCheckpoints(prov, addr, nil, 0)
+}
+
+// ServeWithCheckpoints is Serve with durable subscription checkpoints
+// enabled before the listener accepts its first connection, so even a
+// subscriber that dials the instant the port opens gets checkpointing.
+func ServeWithCheckpoints(prov provider.Provider, addr string, cs CheckpointStore, every time.Duration) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	s := &Server{prov: prov, ln: ln, conns: map[net.Conn]struct{}{}, Logf: log.Printf}
+	s := &Server{prov: prov, ln: ln, conns: map[net.Conn]struct{}{}, Logf: log.Printf, ckpt: cs, ckptEvery: every}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -52,6 +76,19 @@ func Serve(prov provider.Provider, addr string) (*Server, error) {
 func (s *Server) cache() *exec.ExprCache {
 	s.cacheOnce.Do(func() { s.exprCache = exec.NewExprCache() })
 	return s.exprCache
+}
+
+// EnableCheckpoints turns on durable subscription checkpoints: every
+// hosted pipeline whose subscription carries a Durable key persists its
+// state to cs on the given interval (and at detach or disconnect), and
+// a re-subscription under the same key resumes from the stored state.
+// Connections established after the call see the store; call it before
+// subscribers are expected.
+func (s *Server) EnableCheckpoints(cs CheckpointStore, every time.Duration) {
+	s.mu.Lock()
+	s.ckpt = cs
+	s.ckptEvery = every
+	s.mu.Unlock()
 }
 
 // Addr returns the bound address.
@@ -103,8 +140,12 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	// Logf is read lazily at log time: tests install their logger right
 	// after Serve returns, before any traffic arrives.
+	s.mu.Lock()
+	ckpt, ckptEvery := s.ckpt, s.ckptEvery
+	s.mu.Unlock()
 	cc := &connCtx{
 		prov: s.prov, conn: conn, cache: s.cache(),
+		ckpt: ckpt, ckptEvery: ckptEvery,
 		subs: map[uint64]*subSession{},
 		logf: func(format string, args ...any) { s.Logf(format, args...) },
 	}
@@ -154,6 +195,11 @@ type connCtx struct {
 	conn  net.Conn
 	cache *exec.ExprCache
 	logf  func(format string, args ...any)
+
+	// ckpt enables durable subscriptions on this connection (nil when
+	// the host has no checkpoint store).
+	ckpt      CheckpointStore
+	ckptEvery time.Duration
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -244,6 +290,8 @@ func (cc *connCtx) dispatch(typ wire.MsgType, payload []byte) error {
 		return cc.handleExecuteTo(payload)
 	case wire.MsgStore:
 		return cc.handleStore(payload)
+	case wire.MsgAppend:
+		return cc.handleAppend(payload)
 	case wire.MsgDrop:
 		name, err := wire.DecodeDrop(payload)
 		if err != nil {
@@ -297,6 +345,9 @@ func (cc *connCtx) handleHello() error {
 		CapBits: caps.Bits(),
 		Kernels: caps.Kernels(),
 	}
+	if d, ok := cc.prov.(interface{ Durable() bool }); ok {
+		h.Durable = d.Durable()
+	}
 	for _, ds := range cc.prov.Datasets() {
 		var e wire.Encoder
 		wire.PutSchema(&e, ds.Schema)
@@ -339,6 +390,21 @@ func (cc *connCtx) handleExecuteTo(payload []byte) error {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, fmt.Sprintf("push to %s: %v", peerAddr, err)))
 	}
 	return cc.writeFrame(wire.MsgAck, wire.EncodeAck(id, int64(t.NumRows()), int64(shipped)))
+}
+
+// handleAppend adds rows to a dataset (durable providers take the WAL
+// path; others are emulated via materialize + concat + store). The ack
+// is only written once the rows are committed, so a client that saw it
+// may rely on them surviving a crash of a durable server.
+func (cc *connCtx) handleAppend(payload []byte) error {
+	name, t, err := wire.DecodeStore(payload)
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	if err := provider.Append(cc.prov, name, t); err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	return cc.writeFrame(wire.MsgAck, wire.EncodeAck(0, int64(t.NumRows()), 0))
 }
 
 func (cc *connCtx) handleStore(payload []byte) error {

@@ -31,6 +31,11 @@ type subSession struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// durable carries the subscription descriptor when the client asked
+	// for server-side checkpoints (wire.StreamSub.Durable) and the host
+	// has a checkpoint store; nil otherwise.
+	durable *wire.StreamSub
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	credit    int64 // result batches the subscriber will still accept
@@ -63,7 +68,30 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 	s := &subSession{id: sub.ID, cc: cc, done: make(chan struct{}), credit: int64(sub.Credit)}
 	s.cond = sync.NewCond(&s.mu)
 
-	src, err := cc.buildSource(sub, s)
+	// A durable subscription with no explicit resume picks up from the
+	// server-side checkpoint: the stored descriptor's Resume is the
+	// state the last checkpoint (or disconnect) persisted. Since the
+	// resume point lives only here — the re-subscribing publisher knows
+	// nothing of it — push sources must also skip the consumed prefix
+	// server-side (fromCkpt), relying on the publisher replaying its
+	// rows deterministically from the start.
+	fromCkpt := false
+	if sub.Durable != "" && cc.ckpt != nil && sub.Resume == nil {
+		data, ok, err := cc.ckpt.LoadCheckpoint(sub.Durable)
+		if err != nil {
+			return refuse(err)
+		}
+		if ok {
+			stored, err := wire.DecodeSubscribeStream(data)
+			if err != nil {
+				return refuse(fmt.Errorf("server: checkpoint %q: %w", sub.Durable, err))
+			}
+			sub.Resume = stored.Resume
+			fromCkpt = sub.Resume != nil
+		}
+	}
+
+	src, err := cc.buildSource(sub, s, fromCkpt)
 	if err != nil {
 		return refuse(err)
 	}
@@ -74,6 +102,12 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 	p.WithCache(cc.cache)
 	if sub.Resume != nil && !p.Windowed() && len(sub.Resume.Windows) > 0 {
 		return refuse(fmt.Errorf("server: resume state carries windows but the pipeline is not windowed"))
+	}
+	if sub.Durable != "" && cc.ckpt != nil {
+		s.durable = &sub
+		p.WithCheckpoint(cc.ckptEvery, func(st *stream.State) error {
+			return cc.saveSubCheckpoint(&sub, st)
+		})
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -93,8 +127,10 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 
 // buildSource resolves the subscription's event source: a (possibly
 // partition-filtered, possibly resumed) replay of a stored dataset, or a
-// channel fed by the subscriber's published batches.
-func (cc *connCtx) buildSource(sub wire.StreamSub, s *subSession) (stream.Source, error) {
+// channel fed by the subscriber's published batches. fromCkpt marks a
+// resume state restored from the server's own checkpoint, whose offset
+// the publisher cannot know.
+func (cc *connCtx) buildSource(sub wire.StreamSub, s *subSession, fromCkpt bool) (stream.Source, error) {
 	var skip int64
 	if sub.Resume != nil {
 		skip = sub.Resume.Events
@@ -137,11 +173,24 @@ func (cc *connCtx) buildSource(sub wire.StreamSub, s *subSession) (stream.Source
 	// Dataset replays skip the rows a resumed stream already consumed.
 	// The skip wraps the partition filter: State.Events counts the rows
 	// the pipeline consumed, which are post-filter rows. Push sources
-	// are not skipped — the publisher decides where to pick up.
-	if sub.SourceKind == wire.StreamSrcDataset {
+	// are normally not skipped — the publisher decides where to pick up
+	// (ResumeFrom tokens skip client-side) — except when the resume
+	// state was restored from a server checkpoint the publisher has
+	// never seen: then the consumed prefix must be dropped here, or it
+	// would fold into the restored windows a second time.
+	if sub.SourceKind == wire.StreamSrcDataset || fromCkpt {
 		src = stream.NewSkip(src, skip)
 	}
 	return src, nil
+}
+
+// saveSubCheckpoint persists a subscription's descriptor with its
+// current state as the durable checkpoint — exactly the bytes a
+// re-subscription needs to resume.
+func (cc *connCtx) saveSubCheckpoint(sub *wire.StreamSub, st *stream.State) error {
+	c := *sub
+	c.Resume = st
+	return cc.ckpt.SaveCheckpoint(sub.Durable, wire.EncodeSubscribeStream(c))
 }
 
 // run drives the pipeline and sends the terminal frame. Exactly one
@@ -157,6 +206,22 @@ func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream
 	mode := s.closeMode
 	gone := s.gone
 	s.mu.Unlock()
+
+	// Durable subscriptions: a clean end retires the checkpoint; every
+	// other exit — disconnect, detach, cancel, error — persists the
+	// final state so a reconnecting subscriber (or a restarted server)
+	// resumes where this run stopped.
+	if s.durable != nil {
+		if err == nil && mode == 0 && !gone {
+			if derr := s.cc.ckpt.DeleteCheckpoint(s.durable.Durable); derr != nil {
+				s.cc.logf("server: subscription %d: retire checkpoint: %v", s.id, derr)
+			}
+		} else if state != nil {
+			if serr := s.cc.saveSubCheckpoint(s.durable, state); serr != nil {
+				s.cc.logf("server: subscription %d: save checkpoint: %v", s.id, serr)
+			}
+		}
+	}
 
 	switch {
 	case gone || errors.Is(err, ErrSubscriberGone):

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nexus/internal/wire"
+)
+
+// Durable stream checkpoints. A nexus server hosting long-running
+// subscriptions periodically persists each pipeline's portable state
+// (the same wire.WindowState that crosses the network on detach, plus
+// the subscription descriptor with its per-partition resume offset)
+// under a caller-chosen key. Each checkpoint is one atomically-replaced
+// file, so a SIGKILL mid-checkpoint leaves the previous version intact
+// — never a torn one.
+
+// ckptDir is the checkpoint subdirectory of a data directory.
+const ckptDir = "ckpt"
+
+var ckptMagic = []byte("NXCKP\x01\r\n")
+
+// ckptPath maps a checkpoint key to its file. Keys are sanitized so a
+// hostile key cannot escape the checkpoint directory.
+func (s *Store) ckptPath(key string) string {
+	clean := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	// Distinct keys must stay distinct after sanitizing: suffix a digest
+	// of the raw key.
+	name := fmt.Sprintf("%s-%08x.ckpt", clean, crc32.ChecksumIEEE([]byte(key)))
+	return filepath.Join(s.dir, ckptDir, name)
+}
+
+// SaveCheckpoint durably stores an opaque checkpoint payload under key,
+// replacing any previous version atomically.
+func (s *Store) SaveCheckpoint(key string, data []byte) error {
+	if key == "" {
+		return fmt.Errorf("storage: empty checkpoint key")
+	}
+	var e wire.Encoder
+	e.Raw(ckptMagic)
+	e.Str(key)
+	e.U32(uint32(len(data)))
+	e.Raw(data)
+	e.U32(crc32.ChecksumIEEE(data))
+	return atomicWriteFile(s.ckptPath(key), e.Bytes())
+}
+
+// LoadCheckpoint retrieves a checkpoint payload. ok=false means no
+// checkpoint exists under the key.
+func (s *Store) LoadCheckpoint(key string) ([]byte, bool, error) {
+	raw, err := os.ReadFile(s.ckptPath(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: read checkpoint: %w", err)
+	}
+	data, storedKey, err := decodeCheckpoint(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: checkpoint %q: %w", key, err)
+	}
+	if storedKey != key {
+		return nil, false, fmt.Errorf("storage: checkpoint file for %q holds key %q", key, storedKey)
+	}
+	return data, true, nil
+}
+
+// DeleteCheckpoint removes a checkpoint (missing is not an error).
+func (s *Store) DeleteCheckpoint(key string) error {
+	err := os.Remove(s.ckptPath(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: delete checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Checkpoints lists the stored checkpoint keys, sorted.
+func (s *Store) Checkpoints() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, ckptDir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: list checkpoints: %w", err)
+	}
+	var keys []string
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".ckpt") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.dir, ckptDir, ent.Name()))
+		if err != nil {
+			continue
+		}
+		if _, key, err := decodeCheckpoint(raw); err == nil {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// decodeCheckpoint verifies a checkpoint file and returns its payload
+// and key.
+func decodeCheckpoint(raw []byte) (data []byte, key string, err error) {
+	if len(raw) < len(ckptMagic)+8 {
+		return nil, "", fmt.Errorf("truncated")
+	}
+	for i, c := range ckptMagic {
+		if raw[i] != c {
+			return nil, "", fmt.Errorf("bad magic")
+		}
+	}
+	d := wire.NewDecoder(raw[len(ckptMagic):])
+	key = d.Str()
+	n := int(d.U32())
+	if d.Err() != nil || n < 0 || n > d.Remaining()-4 {
+		return nil, "", fmt.Errorf("bad payload length")
+	}
+	data = append([]byte(nil), d.RawN(n)...)
+	crc := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, "", err
+	}
+	if crc32.ChecksumIEEE(data) != crc {
+		return nil, "", fmt.Errorf("crc mismatch")
+	}
+	return data, key, nil
+}

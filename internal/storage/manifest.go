@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nexus/internal/schema"
+	"nexus/internal/wire"
+)
+
+// The on-disk catalog. A manifest is one immutable, CRC-protected file
+// (MANIFEST-<gen>) listing every dataset and the segment files holding
+// its rows, plus the generation of the write-ahead log that continues
+// it. The CURRENT file names the live manifest and is replaced
+// atomically, so a flush either fully happens or leaves the previous
+// catalog (and its WAL) authoritative — there is no intermediate state
+// a crash can expose.
+
+var manMagic = []byte("NXMAN\x01\r\n")
+
+// SegmentRef is one segment file inside a dataset manifest. The zone
+// maps are duplicated from the segment footer so pruning decisions need
+// no file reads.
+type SegmentRef struct {
+	File string
+	Meta SegmentMeta
+}
+
+// DatasetManifest is one dataset's durable description.
+type DatasetManifest struct {
+	Name     string
+	Schema   schema.Schema
+	Segments []SegmentRef
+}
+
+// Rows sums the dataset's segment row counts.
+func (dm *DatasetManifest) Rows() int64 {
+	var n int64
+	for _, s := range dm.Segments {
+		n += s.Meta.Rows
+	}
+	return n
+}
+
+// Manifest is the root catalog object.
+type Manifest struct {
+	Gen      uint64 // manifest generation
+	WalGen   uint64 // generation of the WAL continuing this manifest
+	NextSeg  uint64 // next segment file number
+	Datasets []DatasetManifest
+}
+
+// dataset returns the named dataset manifest, or nil.
+func (m *Manifest) dataset(name string) *DatasetManifest {
+	for i := range m.Datasets {
+		if m.Datasets[i].Name == name {
+			return &m.Datasets[i]
+		}
+	}
+	return nil
+}
+
+// EncodeManifest serializes a manifest with the same magic|body|crc
+// armor segments use.
+func EncodeManifest(m *Manifest) []byte {
+	var body wire.Encoder
+	body.U64(m.Gen)
+	body.U64(m.WalGen)
+	body.U64(m.NextSeg)
+	body.U32(uint32(len(m.Datasets)))
+	for _, ds := range m.Datasets {
+		body.Str(ds.Name)
+		wire.PutSchema(&body, ds.Schema)
+		body.U32(uint32(len(ds.Segments)))
+		for _, s := range ds.Segments {
+			body.Str(s.File)
+			body.U64(s.Meta.SchemaHash)
+			body.I64(s.Meta.Rows)
+			putZones(&body, s.Meta.Zones)
+		}
+	}
+	var e wire.Encoder
+	e.Raw(manMagic)
+	e.U32(uint32(body.Len()))
+	e.Raw(body.Bytes())
+	e.U32(crc32.ChecksumIEEE(body.Bytes()))
+	return e.Bytes()
+}
+
+// DecodeManifest parses and verifies a manifest encoding.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < len(manMagic)+8 {
+		return nil, fmt.Errorf("storage: manifest too short")
+	}
+	for i, c := range manMagic {
+		if b[i] != c {
+			return nil, fmt.Errorf("storage: bad manifest magic")
+		}
+	}
+	d := wire.NewDecoder(b[len(manMagic):])
+	bodyLen := int(d.U32())
+	if bodyLen < 0 || bodyLen > d.Remaining()-4 {
+		return nil, fmt.Errorf("storage: manifest body length %d exceeds file", bodyLen)
+	}
+	body := d.RawN(bodyLen)
+	crc := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, fmt.Errorf("storage: manifest crc mismatch")
+	}
+	bd := wire.NewDecoder(body)
+	m := &Manifest{Gen: bd.U64(), WalGen: bd.U64(), NextSeg: bd.U64()}
+	nd := int(bd.U32())
+	if bd.Err() != nil || nd > bd.Remaining() {
+		return nil, fmt.Errorf("storage: bad manifest dataset count")
+	}
+	for i := 0; i < nd; i++ {
+		ds := DatasetManifest{Name: bd.Str(), Schema: wire.GetSchema(bd)}
+		ns := int(bd.U32())
+		if bd.Err() != nil || ns > bd.Remaining() {
+			return nil, fmt.Errorf("storage: bad manifest segment count")
+		}
+		for j := 0; j < ns; j++ {
+			ref := SegmentRef{File: bd.Str()}
+			ref.Meta.SchemaHash = bd.U64()
+			ref.Meta.Rows = bd.I64()
+			ref.Meta.Zones = getZones(bd)
+			ds.Segments = append(ds.Segments, ref)
+		}
+		m.Datasets = append(m.Datasets, ds)
+	}
+	if err := bd.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// manifestName returns the file name of generation gen.
+func manifestName(gen uint64) string { return fmt.Sprintf("MANIFEST-%06d", gen) }
+
+// walName returns the WAL file name of generation gen.
+func walName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
+
+// segName returns the segment file name for sequence n.
+func segName(n uint64) string { return fmt.Sprintf("seg-%06d.nxs", n) }
+
+// writeManifest persists a manifest and atomically repoints CURRENT at
+// it. Ordering matters: the manifest file (and every segment it names)
+// is durable before CURRENT moves, so a crash between the two leaves
+// the previous generation live and the new files as garbage for the
+// next open to collect.
+func writeManifest(dir string, m *Manifest) error {
+	name := manifestName(m.Gen)
+	if err := atomicWriteFile(filepath.Join(dir, name), EncodeManifest(m)); err != nil {
+		return err
+	}
+	return atomicWriteFile(filepath.Join(dir, "CURRENT"), []byte(name+"\n"))
+}
+
+// readCurrentManifest loads the manifest CURRENT names. A missing
+// CURRENT means a fresh directory: generation 0, empty catalog.
+func readCurrentManifest(dir string) (*Manifest, error) {
+	cur, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if os.IsNotExist(err) {
+		return &Manifest{Gen: 0, WalGen: 0, NextSeg: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read CURRENT: %w", err)
+	}
+	name := strings.TrimSpace(string(cur))
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("storage: CURRENT names invalid manifest %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %s: %w", name, err)
+	}
+	m, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", name, err)
+	}
+	return m, nil
+}
+
+// collectGarbage removes files a crash orphaned: segments no manifest
+// references, manifests older than the live one, and WALs of dead
+// generations. Called once on open, after recovery settles.
+func collectGarbage(dir string, m *Manifest) {
+	live := map[string]bool{
+		"CURRENT":              true,
+		manifestName(m.Gen):    true,
+		walName(m.WalGen):      true,
+		filepath.Base(ckptDir): true,
+	}
+	for _, ds := range m.Datasets {
+		for _, s := range ds.Segments {
+			live[s.File] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if live[name] || ent.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, "seg-") || strings.HasPrefix(name, "MANIFEST-") ||
+			strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

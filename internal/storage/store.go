@@ -1,0 +1,519 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"nexus/internal/schema"
+	"nexus/internal/table"
+)
+
+// DefaultFlushBytes is the WAL size that triggers an automatic flush of
+// in-memory tails into segments.
+const DefaultFlushBytes = 8 << 20
+
+// Store is a crash-safe dataset store: every mutation hits the WAL
+// (group-committed fsync) before memory, segments hold flushed history,
+// and the manifest binds them. Open replays the catalog plus the WAL,
+// reconstructing exactly the acknowledged state.
+type Store struct {
+	dir string
+
+	// FlushBytes is the WAL size that triggers an automatic flush; 0
+	// means DefaultFlushBytes. Set before concurrent use.
+	FlushBytes int64
+
+	mu     sync.RWMutex
+	man    *Manifest
+	wal    *WAL
+	tails  map[string]*tail        // unflushed rows per dataset
+	segs   map[string]*table.Table // decoded segment cache, keyed by file
+	closed bool
+
+	// dsLocks serializes WAL-write + memory-apply per dataset, so the
+	// in-memory row order always matches the log's replay order. Writes
+	// to different datasets still interleave — that is what group commit
+	// batches into one fsync.
+	dsLocks sync.Map // dataset name -> *sync.Mutex
+
+	// rotmu excludes WAL rotation (Flush) from in-flight writes: a write
+	// holds the read side from log append through memory apply, so a
+	// record never lands in a log generation the manifest has already
+	// superseded.
+	rotmu sync.RWMutex
+}
+
+// dsLock returns the per-dataset write lock.
+func (s *Store) dsLock(name string) *sync.Mutex {
+	if m, ok := s.dsLocks.Load(name); ok {
+		return m.(*sync.Mutex)
+	}
+	m, _ := s.dsLocks.LoadOrStore(name, &sync.Mutex{})
+	return m.(*sync.Mutex)
+}
+
+// tail is one dataset's rows appended since the last flush, plus its
+// authoritative schema.
+type tail struct {
+	sch      schema.Schema
+	parts    []*table.Table
+	replaced bool // dataset was replaced/created after the last flush: ignore manifest segments
+}
+
+// Open opens (or creates) a data directory, recovering committed state:
+// the current manifest is loaded, the live WAL replayed on top, any
+// torn WAL tail truncated, and orphaned files from interrupted flushes
+// removed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, ckptDir), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create checkpoint dir: %w", err)
+	}
+	man, err := readCurrentManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:   dir,
+		man:   man,
+		tails: map[string]*tail{},
+		segs:  map[string]*table.Table{},
+	}
+	walPath := filepath.Join(dir, walName(man.WalGen))
+	size, err := ReplayWAL(walPath, s.applyRecord)
+	if err != nil {
+		return nil, err
+	}
+	s.wal, err = openWALForAppend(walPath, size)
+	if err != nil {
+		return nil, err
+	}
+	collectGarbage(dir, man)
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// applyRecord replays one WAL record into the in-memory tails.
+func (s *Store) applyRecord(rec WalRecord) error {
+	switch rec.Kind {
+	case walAppend:
+		s.applyAppend(rec.Dataset, rec.Table, false)
+	case walReplace:
+		s.applyAppend(rec.Dataset, rec.Table, true)
+	case walDrop:
+		s.applyDrop(rec.Dataset)
+	}
+	return nil
+}
+
+func (s *Store) applyAppend(name string, t *table.Table, replace bool) {
+	tl := s.tails[name]
+	switch {
+	case tl == nil:
+		// First touch since the last flush: appends extend the manifest's
+		// segments, while a brand-new dataset starts from nothing.
+		tl = &tail{sch: t.Schema(), replaced: replace || s.man.dataset(name) == nil}
+		s.tails[name] = tl
+	case replace, tl.replaced && len(tl.parts) == 0:
+		// Replace, or the first append after a drop tombstone: restart the
+		// tail and keep the manifest's segments shadowed.
+		tl = &tail{sch: t.Schema(), replaced: true}
+		s.tails[name] = tl
+	}
+	tl.parts = append(tl.parts, t)
+}
+
+func (s *Store) applyDrop(name string) {
+	// A drop tombstones the manifest's segments via an empty replaced
+	// tail with no schema; lookups treat it as absent.
+	s.tails[name] = &tail{replaced: true}
+}
+
+// exists reports whether the dataset currently exists (s.mu held).
+func (s *Store) existsLocked(name string) bool {
+	if tl, ok := s.tails[name]; ok {
+		return len(tl.parts) > 0 || (!tl.replaced && s.man.dataset(name) != nil)
+	}
+	return s.man.dataset(name) != nil
+}
+
+// schemaLocked resolves the dataset's schema (s.mu held).
+func (s *Store) schemaLocked(name string) (schema.Schema, bool) {
+	if tl, ok := s.tails[name]; ok {
+		if len(tl.parts) > 0 {
+			return tl.sch, true
+		}
+		if tl.replaced {
+			return schema.Schema{}, false
+		}
+	}
+	if dm := s.man.dataset(name); dm != nil {
+		return dm.Schema, true
+	}
+	return schema.Schema{}, false
+}
+
+// Schema resolves a dataset's schema.
+func (s *Store) Schema(name string) (schema.Schema, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.schemaLocked(name)
+}
+
+// Datasets lists dataset names with schemas and row counts.
+func (s *Store) Datasets() []struct {
+	Name   string
+	Schema schema.Schema
+	Rows   int64
+} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []struct {
+		Name   string
+		Schema schema.Schema
+		Rows   int64
+	}
+	add := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		sch, ok := s.schemaLocked(name)
+		if !ok {
+			return
+		}
+		var rows int64
+		for _, ref := range s.liveSegmentsLocked(name) {
+			rows += ref.Meta.Rows
+		}
+		if tl := s.tails[name]; tl != nil {
+			for _, p := range tl.parts {
+				rows += int64(p.NumRows())
+			}
+		}
+		out = append(out, struct {
+			Name   string
+			Schema schema.Schema
+			Rows   int64
+		}{name, sch, rows})
+	}
+	for _, dm := range s.man.Datasets {
+		add(dm.Name)
+	}
+	for name := range s.tails {
+		add(name)
+	}
+	return out
+}
+
+// liveSegmentsLocked returns the manifest segments still visible for a
+// dataset (none when a replace/drop tombstoned them). s.mu held.
+func (s *Store) liveSegmentsLocked(name string) []SegmentRef {
+	if tl, ok := s.tails[name]; ok && tl.replaced {
+		return nil
+	}
+	if dm := s.man.dataset(name); dm != nil {
+		return dm.Segments
+	}
+	return nil
+}
+
+// Append durably appends rows to a dataset, creating it on first use.
+// The schema of later appends must match the dataset's (names, kinds
+// and dimension tags).
+func (s *Store) Append(name string, t *table.Table) error {
+	return s.write(walAppend, name, t)
+}
+
+// Replace durably replaces a dataset's contents (provider Store
+// semantics).
+func (s *Store) Replace(name string, t *table.Table) error {
+	return s.write(walReplace, name, t)
+}
+
+func (s *Store) write(kind uint8, name string, t *table.Table) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty dataset name")
+	}
+	if t == nil {
+		return fmt.Errorf("storage: nil table for %q", name)
+	}
+	lock := s.dsLock(name)
+	lock.Lock()
+	s.rotmu.RLock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rotmu.RUnlock()
+		lock.Unlock()
+		return fmt.Errorf("storage: store is closed")
+	}
+	if kind == walAppend {
+		if sch, ok := s.schemaLocked(name); ok && !sch.Equal(t.Schema()) {
+			s.mu.Unlock()
+			s.rotmu.RUnlock()
+			lock.Unlock()
+			return fmt.Errorf("storage: append schema %v does not match dataset %q schema %v", t.Schema(), name, sch)
+		}
+	}
+	wal := s.wal
+	s.mu.Unlock()
+
+	// WAL first — the record is durable before memory changes and before
+	// the caller's ack. The per-dataset lock spans log write and memory
+	// apply, so replay order and in-memory order agree; writes to other
+	// datasets proceed concurrently and share the group commit's fsync.
+	// The rotation read-lock pins the log generation across both steps.
+	err := wal.Append(WalRecord{Kind: kind, Dataset: name, Table: t})
+	if err == nil {
+		s.mu.Lock()
+		s.applyAppend(name, t, kind == walReplace)
+		s.mu.Unlock()
+	}
+	s.rotmu.RUnlock()
+	lock.Unlock()
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	needFlush := s.flushThresholdLocked()
+	s.mu.RUnlock()
+	if needFlush {
+		return s.Flush()
+	}
+	return nil
+}
+
+func (s *Store) flushThresholdLocked() bool {
+	limit := s.FlushBytes
+	if limit <= 0 {
+		limit = DefaultFlushBytes
+	}
+	return s.wal.Size() >= limit
+}
+
+// Drop durably removes a dataset.
+func (s *Store) Drop(name string) error {
+	lock := s.dsLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	s.rotmu.RLock()
+	defer s.rotmu.RUnlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: store is closed")
+	}
+	wal := s.wal
+	s.mu.Unlock()
+	if err := wal.Append(WalRecord{Kind: walDrop, Dataset: name}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.applyDrop(name)
+	s.mu.Unlock()
+	return nil
+}
+
+// Segments returns the dataset's durable segment references (for
+// zone-map pruning) and its unflushed tail parts. Either may be empty.
+func (s *Store) Segments(name string) (refs []SegmentRef, tailParts []*table.Table, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.existsLocked(name) {
+		return nil, nil, false
+	}
+	refs = append(refs, s.liveSegmentsLocked(name)...)
+	if tl := s.tails[name]; tl != nil {
+		tailParts = append(tailParts, tl.parts...)
+	}
+	return refs, tailParts, true
+}
+
+// ReadSegment materializes one segment by manifest reference, serving
+// repeat reads from an in-memory cache (the warm path). The cache is
+// sound because segments are immutable.
+func (s *Store) ReadSegment(ref SegmentRef) (*table.Table, error) {
+	s.mu.RLock()
+	t, ok := s.segs[ref.File]
+	s.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	seg, err := ReadSegmentFile(filepath.Join(s.dir, ref.File))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.segs[ref.File] = seg.Table
+	s.mu.Unlock()
+	return seg.Table, nil
+}
+
+// DropSegmentCache empties the decoded-segment cache (benchmarks use
+// this to measure genuinely cold scans).
+func (s *Store) DropSegmentCache() {
+	s.mu.Lock()
+	s.segs = map[string]*table.Table{}
+	s.mu.Unlock()
+}
+
+// Dataset materializes a whole dataset: durable segments in manifest
+// order, then the unflushed tail.
+func (s *Store) Dataset(name string) (*table.Table, bool, error) {
+	refs, parts, ok := s.Segments(name)
+	if !ok {
+		return nil, false, nil
+	}
+	sch, _ := s.Schema(name)
+	tables := make([]*table.Table, 0, len(refs)+len(parts))
+	for _, ref := range refs {
+		t, err := s.ReadSegment(ref)
+		if err != nil {
+			return nil, false, err
+		}
+		tables = append(tables, t)
+	}
+	tables = append(tables, parts...)
+	t, err := concatTables(sch, tables)
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+// concatTables concatenates parts under sch (empty table when none).
+func concatTables(sch schema.Schema, parts []*table.Table) (*table.Table, error) {
+	switch len(parts) {
+	case 0:
+		return table.Empty(sch), nil
+	case 1:
+		return parts[0], nil
+	}
+	return parts[0].Concat(parts[1:]...)
+}
+
+// Flush writes every unflushed tail into new segment files, commits a
+// new manifest generation referencing them, rotates the WAL, and
+// atomically swaps CURRENT. A crash anywhere in between leaves the old
+// generation authoritative (new files are garbage-collected on the
+// next open); after the swap the new generation is complete.
+func (s *Store) Flush() error {
+	s.rotmu.Lock()
+	defer s.rotmu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("storage: store is closed")
+	}
+	dirty := false
+	for _, tl := range s.tails {
+		if len(tl.parts) > 0 || tl.replaced {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return nil
+	}
+
+	next := &Manifest{Gen: s.man.Gen + 1, WalGen: s.man.WalGen + 1, NextSeg: s.man.NextSeg}
+	// Carry forward untouched datasets and surviving segments.
+	names := map[string]bool{}
+	for _, dm := range s.man.Datasets {
+		names[dm.Name] = true
+	}
+	for name := range s.tails {
+		names[name] = true
+	}
+	newSegCache := map[string]*table.Table{}
+	var ordered []string
+	for _, dm := range s.man.Datasets {
+		ordered = append(ordered, dm.Name)
+	}
+	var fresh []string
+	for name := range s.tails {
+		if s.man.dataset(name) == nil {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh) // deterministic manifest order for new datasets
+	ordered = append(ordered, fresh...)
+	for _, name := range ordered {
+		if !names[name] {
+			continue
+		}
+		names[name] = false
+		sch, ok := s.schemaLocked(name)
+		if !ok {
+			continue // dropped
+		}
+		dm := DatasetManifest{Name: name, Schema: sch}
+		dm.Segments = append(dm.Segments, s.liveSegmentsLocked(name)...)
+		if tl := s.tails[name]; tl != nil && len(tl.parts) > 0 {
+			t, err := concatTables(sch, tl.parts)
+			if err != nil {
+				return err
+			}
+			if t.NumRows() > 0 {
+				file := segName(next.NextSeg)
+				next.NextSeg++
+				meta, err := WriteSegmentFile(s.dir, file, t)
+				if err != nil {
+					return err
+				}
+				dm.Segments = append(dm.Segments, SegmentRef{File: file, Meta: meta})
+				newSegCache[file] = t
+			}
+		}
+		next.Datasets = append(next.Datasets, dm)
+	}
+
+	// New WAL before the manifest that names it: an empty WAL file for a
+	// generation nobody points at is harmless garbage on crash.
+	newWal, err := CreateWAL(filepath.Join(s.dir, walName(next.WalGen)))
+	if err != nil {
+		return err
+	}
+	if err := writeManifest(s.dir, next); err != nil {
+		newWal.Close()
+		os.Remove(filepath.Join(s.dir, walName(next.WalGen)))
+		return err
+	}
+	// The swap succeeded: the new generation is authoritative.
+	oldWal := s.wal
+	s.wal = newWal
+	s.man = next
+	s.tails = map[string]*tail{}
+	for f, t := range newSegCache {
+		s.segs[f] = t
+	}
+	oldWal.Close()
+	os.Remove(filepath.Join(s.dir, walName(next.WalGen-1)))
+	if next.Gen > 1 {
+		os.Remove(filepath.Join(s.dir, manifestName(next.Gen-1)))
+	}
+	return nil
+}
+
+// Close flushes tails to segments and shuts the store down.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}

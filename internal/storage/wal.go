@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"nexus/internal/table"
+	"nexus/internal/wire"
+)
+
+// Write-ahead log. Every mutation (append / replace / drop of a dataset)
+// is written and fsynced here before it is applied in memory and before
+// the caller's ack, so a SIGKILL at any instant loses at most the
+// un-acked writes in flight. Commits are grouped: while one fsync is in
+// progress every concurrent Append piles its record into the file and
+// waits, and the next fsync commits the whole batch — one disk flush
+// for N acks under load.
+//
+// Record layout:
+//
+//	u32 length | u8 kind | payload | u32 crc32(kind|payload)
+//
+// Replay reads records until EOF or the first torn/corrupt record — the
+// expected state after a crash mid-write — and truncates the tail so
+// the log never re-reports it.
+
+// WAL record kinds.
+const (
+	walAppend  uint8 = 1 // dataset name, table: append rows
+	walReplace uint8 = 2 // dataset name, table: replace dataset contents
+	walDrop    uint8 = 3 // dataset name: remove dataset
+)
+
+// WalRecord is one replayed log record.
+type WalRecord struct {
+	Kind    uint8
+	Dataset string
+	Table   *table.Table // nil for drops
+}
+
+// WAL is an append-only log with group commit.
+type WAL struct {
+	path string
+
+	mu      sync.Mutex // serializes file writes
+	f       *os.File
+	written uint64 // records written (under mu)
+	bytes   int64
+
+	smu     sync.Mutex // guards the sync state below
+	scond   *sync.Cond
+	synced  uint64 // records durably synced
+	syncing bool
+	syncErr error // sticky: a failed fsync poisons the log
+}
+
+// CreateWAL creates (truncating) a log at path.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create wal: %w", err)
+	}
+	w := &WAL{path: path, f: f}
+	w.scond = sync.NewCond(&w.smu)
+	return w, nil
+}
+
+// openWALForAppend opens an existing log, positioned at size (the replay
+// already validated the prefix and truncated any torn tail).
+func openWALForAppend(path string, size int64) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek wal: %w", err)
+	}
+	w := &WAL{path: path, f: f, bytes: size}
+	w.scond = sync.NewCond(&w.smu)
+	return w, nil
+}
+
+// Size returns the bytes written so far (committed or in flight).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// Append writes one record and returns once it is durable (fsynced).
+func (w *WAL) Append(rec WalRecord) error {
+	payload := encodeWalRecord(rec)
+
+	w.mu.Lock()
+	if err := w.syncError(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		w.mu.Unlock()
+		w.poison(err)
+		return fmt.Errorf("storage: wal write: %w", err)
+	}
+	w.written++
+	w.bytes += int64(len(payload))
+	seq := w.written
+	w.mu.Unlock()
+
+	return w.commit(seq)
+}
+
+// commit blocks until record seq is fsynced, electing one goroutine as
+// the group's sync leader while the rest wait on its flush.
+func (w *WAL) commit(seq uint64) error {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	for w.synced < seq && w.syncErr == nil {
+		if w.syncing {
+			w.scond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.smu.Unlock()
+		// Snapshot how far the file has been written before flushing: the
+		// fsync commits at least that many records, possibly more.
+		w.mu.Lock()
+		target := w.written
+		w.mu.Unlock()
+		err := w.f.Sync()
+		w.smu.Lock()
+		w.syncing = false
+		if err != nil && w.syncErr == nil {
+			w.syncErr = fmt.Errorf("storage: wal fsync: %w", err)
+		}
+		if err == nil && target > w.synced {
+			w.synced = target
+		}
+		w.scond.Broadcast()
+	}
+	return w.syncErr
+}
+
+// poison marks the log failed so later appends refuse instead of
+// silently losing durability.
+func (w *WAL) poison(err error) {
+	w.smu.Lock()
+	if w.syncErr == nil {
+		w.syncErr = err
+	}
+	w.scond.Broadcast()
+	w.smu.Unlock()
+}
+
+func (w *WAL) syncError() error {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	return w.syncErr
+}
+
+// Close flushes and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// encodeWalRecord frames one record.
+func encodeWalRecord(rec WalRecord) []byte {
+	var body wire.Encoder
+	body.U8(rec.Kind)
+	body.Str(rec.Dataset)
+	if rec.Kind != walDrop {
+		wire.PutTable(&body, rec.Table)
+	}
+	var e wire.Encoder
+	e.U32(uint32(body.Len()))
+	e.Raw(body.Bytes())
+	e.U32(crc32.ChecksumIEEE(body.Bytes()))
+	return e.Bytes()
+}
+
+// ReplayWAL reads every committed record of the log at path, in order.
+// A torn or corrupt tail — the normal aftermath of a crash — ends the
+// replay silently and is truncated away; the valid prefix is the
+// committed history. A missing file replays as empty.
+func ReplayWAL(path string, apply func(WalRecord) error) (size int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: read wal: %w", err)
+	}
+	off := 0
+	for {
+		rec, n, ok := decodeWalRecord(data[off:])
+		if !ok {
+			break
+		}
+		if err := apply(rec); err != nil {
+			return int64(off), err
+		}
+		off += n
+	}
+	if off < len(data) {
+		// Drop the torn tail so the reopened log never replays garbage
+		// after new records are appended beyond it.
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return int64(off), fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+	}
+	return int64(off), nil
+}
+
+// decodeWalRecord parses one record from the head of b, reporting how
+// many bytes it spans. ok=false means truncated or corrupt.
+func decodeWalRecord(b []byte) (WalRecord, int, bool) {
+	if len(b) < 8 {
+		return WalRecord{}, 0, false
+	}
+	bodyLen := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+	total := 4 + bodyLen + 4
+	if bodyLen <= 0 || total > len(b) {
+		return WalRecord{}, 0, false
+	}
+	body := b[4 : 4+bodyLen]
+	crc := uint32(b[4+bodyLen])<<24 | uint32(b[5+bodyLen])<<16 | uint32(b[6+bodyLen])<<8 | uint32(b[7+bodyLen])
+	if crc32.ChecksumIEEE(body) != crc {
+		return WalRecord{}, 0, false
+	}
+	d := wire.NewDecoder(body)
+	rec := WalRecord{Kind: d.U8(), Dataset: d.Str()}
+	switch rec.Kind {
+	case walAppend, walReplace:
+		rec.Table = wire.GetTable(d)
+	case walDrop:
+	default:
+		return WalRecord{}, 0, false
+	}
+	if d.Err() != nil || rec.Dataset == "" {
+		return WalRecord{}, 0, false
+	}
+	return rec, total, true
+}

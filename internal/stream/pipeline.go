@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"nexus/internal/core"
 	"nexus/internal/engines/exec"
@@ -46,6 +47,12 @@ type Pipeline struct {
 	keyIdx     []int
 	aggs       []core.AggSpec
 	argExprs   []*expr.Compiled // parallel to aggs; nil for count(*)
+
+	// ckptFn, when set, receives a consistent state snapshot at batch
+	// boundaries, rate-limited to one call per ckptEvery (<=0 snapshots
+	// every batch). Servers use it for durable checkpoints.
+	ckptFn    func(*State) error
+	ckptEvery time.Duration
 }
 
 // OutputSchema describes emitted result tables.
@@ -60,6 +67,18 @@ func (p *Pipeline) Windowed() bool { return p.windowed }
 // subscriptions) compile each plan once across all of them.
 func (p *Pipeline) WithCache(c *exec.ExprCache) *Pipeline {
 	p.cache = c
+	return p
+}
+
+// WithCheckpoint installs a checkpoint callback. The pipeline calls fn
+// with a portable state snapshot at micro-batch boundaries — after the
+// batch's windows have been emitted, so the snapshot never claims rows
+// a resume would replay into already-delivered windows — at most once
+// per every (every <= 0 checkpoints after every batch). An error from
+// fn stops the pipeline; the returned state is still consistent.
+func (p *Pipeline) WithCheckpoint(every time.Duration, fn func(*State) error) *Pipeline {
+	p.ckptFn = fn
+	p.ckptEvery = every
 	return p
 }
 
@@ -221,6 +240,20 @@ func (p *Pipeline) RunState(ctx context.Context, sink Sink, resume *State) (Stat
 		return nil
 	}
 
+	// checkpoint persists a consistent snapshot at batch boundaries,
+	// rate-limited to the configured interval.
+	lastCkpt := time.Now()
+	checkpoint := func() error {
+		if p.ckptFn == nil {
+			return nil
+		}
+		if p.ckptEvery > 0 && time.Since(lastCkpt) < p.ckptEvery {
+			return nil
+		}
+		lastCkpt = time.Now()
+		return p.ckptFn(snap())
+	}
+
 	// ingest returns the next micro-batch, or ok=false at end-of-stream.
 	// Batch-capable sources hand over whole tables — one channel
 	// operation per micro-batch; row sources block for the first row of
@@ -309,6 +342,9 @@ func (p *Pipeline) RunState(ctx context.Context, sink Sink, resume *State) (Stat
 			if err := notify(); err != nil {
 				return st, snap(), err
 			}
+			if err := checkpoint(); err != nil {
+				return st, snap(), err
+			}
 			continue
 		}
 
@@ -384,6 +420,9 @@ func (p *Pipeline) RunState(ctx context.Context, sink Sink, resume *State) (Stat
 				}
 				delete(open, start)
 			}
+		}
+		if err := checkpoint(); err != nil {
+			return st, snap(), err
 		}
 	}
 	if err := p.src.Err(); err != nil {

@@ -37,6 +37,11 @@ const (
 	MsgStreamPublish   MsgType = 18 // client → server: id, event batch (push sources)
 	MsgStreamClose     MsgType = 19 // client → server: id, mode (end input / cancel / detach with state)
 	MsgStreamEnd       MsgType = 20 // server → client: id, final stats (terminal)
+
+	// MsgAppend appends rows to a dataset instead of replacing it — the
+	// streaming-ingest path into durable providers. Payload is identical
+	// to MsgStore.
+	MsgAppend MsgType = 21 // any → server: dataset name, table
 )
 
 // String names the message type.
@@ -82,6 +87,8 @@ func (m MsgType) String() string {
 		return "streamclose"
 	case MsgStreamEnd:
 		return "streamend"
+	case MsgAppend:
+		return "append"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(m))
 }

@@ -147,6 +147,9 @@ type HelloInfo struct {
 	CapBits  uint64
 	Kernels  []string
 	Datasets []DatasetHello
+	// Durable reports that the server persists its datasets across
+	// restarts (a -data-dir server); catalog listings surface it.
+	Durable bool
 }
 
 // DatasetHello describes one hosted dataset in a hello exchange.
@@ -172,6 +175,7 @@ func EncodeHelloAck(h HelloInfo) []byte {
 		e.U32(uint32(len(ds.Schema)))
 		e.Raw(ds.Schema)
 	}
+	e.Bool(h.Durable)
 	return e.Bytes()
 }
 
@@ -204,5 +208,6 @@ func DecodeHelloAck(b []byte) (HelloInfo, error) {
 		ds.Schema = append([]byte(nil), raw...)
 		h.Datasets = append(h.Datasets, ds)
 	}
+	h.Durable = d.Bool()
 	return h, d.Err()
 }

@@ -67,6 +67,13 @@ type StreamSub struct {
 	// open windows are restored and a dataset replay skips Resume.Events
 	// rows.
 	Resume *stream.State
+
+	// Durable names a server-side checkpoint for this subscription. A
+	// server with a data directory periodically persists the pipeline's
+	// state under this key; a re-subscription carrying the same key (and
+	// no explicit Resume) picks up from the last checkpoint — this is
+	// how a killed server's hosted streams resume where they left off.
+	Durable string
 }
 
 // EncodeSubscribeStream builds a MsgSubscribeStream payload.
@@ -88,6 +95,7 @@ func EncodeSubscribeStream(s StreamSub) []byte {
 		e.Bool(true)
 		PutWindowState(&e, s.Resume)
 	}
+	e.Str(s.Durable)
 	return e.Bytes()
 }
 
@@ -115,6 +123,7 @@ func DecodeSubscribeStream(b []byte) (StreamSub, error) {
 			s.Resume = st
 		}
 	}
+	s.Durable = d.Str()
 	if d.Err() != nil {
 		return s, d.Err()
 	}

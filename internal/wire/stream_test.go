@@ -80,6 +80,7 @@ func TestSubscribeStreamRoundTrip(t *testing.T) {
 		PartIdx:    1,
 		PartCnt:    3,
 		Credit:     16,
+		Durable:    "job/p1",
 	}
 	reencodeSub(t, sub)
 

@@ -16,7 +16,10 @@ import (
 // long-running pipeline and push watermarked window results back under
 // credit-based flow control. PartitionBy splits the stream across N
 // providers by key hash; the coordinator merges their results in
-// watermark order.
+// watermark order. A subscription can detach with per-partition resume
+// tokens and pick up later — on the same providers or others — and a
+// Durable subscription additionally checkpoints its state on the
+// server, so even a SIGKILLed server resumes it where it left off.
 
 // PartitionBy names the key column used to split the stream across
 // providers when a federated subscription names more than one. Rows
@@ -28,18 +31,122 @@ func (q *StreamQuery) PartitionBy(key string) *StreamQuery {
 	return nq
 }
 
+// Durable names a server-side checkpoint for the subscription. A
+// provider hosting the stream from a durable data directory
+// (nexus-server -data-dir) persists the pipeline's state under this
+// name on a timer and on disconnect; re-subscribing with the same name
+// — even against a restarted server — resumes from the last
+// checkpoint instead of replaying from scratch. Multi-partition
+// subscriptions checkpoint per partition under derived names.
+func (q *StreamQuery) Durable(name string) *StreamQuery {
+	nq := q.derive(q.b)
+	nq.durable = name
+	return nq
+}
+
+// ResumeToken is one partition's resume position, surfaced by
+// RemoteStream.Detach: the pipeline's portable window state plus the
+// count of source rows it consumed. Pass the full token set to
+// ResumeFrom to continue the stream — with the same providers or new
+// ones (state migrates over the wire).
+type ResumeToken struct {
+	// Provider hosted the partition when the token was taken.
+	Provider string
+	// Partition is the token's index in the original provider list.
+	Partition int
+
+	state *stream.State
+}
+
+// Offset returns how many source rows the partition's pipeline had
+// consumed: the per-partition resume offset. Dataset replays skip this
+// many rows server-side on resume; push-mode sources skip them
+// publisher-side.
+func (t ResumeToken) Offset() int64 {
+	if t.state == nil {
+		return 0
+	}
+	return t.state.Events
+}
+
+// ResumeFrom continues a detached stream: token i resumes partition i.
+// The token count must match the provider count of the subscribe call.
+// Push-mode sources must replay deterministically from the beginning
+// (ReplayTable, GenerateSource, StreamScan): the publisher re-routes
+// rows and skips each partition's already-consumed prefix.
+func (q *StreamQuery) ResumeFrom(tokens []ResumeToken) *StreamQuery {
+	nq := q.derive(q.b)
+	nq.resume = append([]ResumeToken(nil), tokens...)
+	return nq
+}
+
 // remotePublishBatch caps rows per published event batch.
 const remotePublishBatch = 256
 
+// RemoteStream is a running federated subscription that can end two
+// ways: Wait blocks to natural end-of-stream; Detach stops the remote
+// pipelines and returns one resume token per partition.
+type RemoteStream struct {
+	detachOnce sync.Once
+	detachCh   chan struct{}
+	done       chan struct{}
+	// doDetach runs the per-partition detach handshakes; Detach spawns
+	// it directly (not via the context watcher, which may already have
+	// exited on cancellation), so Detach can never deadlock.
+	doDetach func()
+
+	mu     sync.Mutex
+	stats  *StreamStats
+	tokens []ResumeToken
+	err    error
+}
+
+// Wait blocks until the stream completes and returns its summed stats.
+func (r *RemoteStream) Wait() (*StreamStats, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats, r.err
+}
+
+// Detach stops every partition's pipeline, delivers any results that
+// were already in flight to the subscriber callback, and returns the
+// per-partition resume tokens. Detaching an already-finished stream
+// returns its terminal error and no tokens.
+func (r *RemoteStream) Detach() ([]ResumeToken, error) {
+	r.detachOnce.Do(func() {
+		close(r.detachCh)
+		go r.doDetach()
+	})
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tokens == nil && r.err == nil {
+		return nil, fmt.Errorf("nexus: stream already completed before detach")
+	}
+	return r.tokens, r.err
+}
+
 // SubscribeRemote runs the stream query on the named providers and
-// delivers every result table to fn. With one provider the whole
-// pipeline runs there; with several, PartitionBy is required and each
-// provider runs the pipeline over its key partition, with windowed
-// results merged in watermark order (stateless results arrive in
-// arrival order). Queries built with StreamScan replay their dataset on
-// the serving provider; every other source streams from this process to
-// the providers over the wire.
+// delivers every result table to fn, blocking to completion. With one
+// provider the whole pipeline runs there; with several, PartitionBy is
+// required and each provider runs the pipeline over its key partition,
+// with windowed results merged in watermark order (stateless results
+// arrive in arrival order). Queries built with StreamScan replay their
+// dataset on the serving provider; every other source streams from
+// this process to the providers over the wire.
 func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, fn func(*Table) error) (*StreamStats, error) {
+	rs, err := q.SubscribeRemoteDetachable(ctx, providers, fn)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Wait()
+}
+
+// SubscribeRemoteDetachable is SubscribeRemote running in the
+// background: it returns as soon as every subscription is established.
+// Use Wait for completion or Detach for per-partition resume tokens.
+func (q *StreamQuery) SubscribeRemoteDetachable(ctx context.Context, providers []string, fn func(*Table) error) (*RemoteStream, error) {
 	if err := q.b.Err(); err != nil {
 		return nil, err
 	}
@@ -70,6 +177,9 @@ func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, f
 			return nil, fmt.Errorf("nexus: partition key %q must be one of the GroupBy keys %v — otherwise groups span partitions and aggregates come back partial", q.partKey, sp.Keys)
 		}
 	}
+	if q.resume != nil && len(q.resume) != n {
+		return nil, fmt.Errorf("nexus: %d resume tokens for %d providers", len(q.resume), n)
+	}
 	src := q.b.Source()
 	keyIdx := -1
 	if q.partKey != "" {
@@ -86,6 +196,7 @@ func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, f
 			s.Close()
 		}
 	}
+	skips := make([]int64, n) // publisher-side resume offsets (push mode)
 	for i, name := range providers {
 		tr, err := q.s.streamTransport(name)
 		if err != nil {
@@ -95,6 +206,16 @@ func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, f
 		sub := wire.StreamSub{Spec: sp, PartIdx: uint32(i), PartCnt: uint32(n)}
 		if n > 1 {
 			sub.PartKey = q.partKey
+		}
+		if q.durable != "" {
+			sub.Durable = q.durable
+			if n > 1 {
+				sub.Durable = fmt.Sprintf("%s/p%d", q.durable, i)
+			}
+		}
+		if q.resume != nil {
+			sub.Resume = q.resume[i].state
+			skips[i] = q.resume[i].Offset()
 		}
 		if q.dataset != "" {
 			sub.SourceKind = wire.StreamSrcDataset
@@ -113,6 +234,8 @@ func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, f
 		subs = append(subs, s)
 	}
 
+	rs := &RemoteStream{detachCh: make(chan struct{}), done: make(chan struct{})}
+
 	// Push-mode queries need a publisher moving local events upstream.
 	var wg sync.WaitGroup
 	var pubErr error
@@ -120,12 +243,37 @@ func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pubErr = publishRows(ctx, src, subs, keyIdx)
+			pubErr = publishRows(ctx, src, subs, keyIdx, skips)
 		}()
 	}
-	// Release everything if the caller's context ends first.
+
+	// Detach executor: stops each partition's pipeline and collects its
+	// state. Detach spawns it directly, so it runs even if the context
+	// watcher below has already exited on a cancellation — the merge
+	// loop sees the partitions end either way.
+	type detachRes struct {
+		state   *stream.State
+		pending []federation.SubBatch
+		err     error
+	}
+	detachResults := make([]detachRes, n)
+	detachDone := make(chan struct{}) // closed once every handshake finished
+	rs.doDetach = func() {
+		var dwg sync.WaitGroup
+		for i, s := range subs {
+			dwg.Add(1)
+			go func(i int, s *federation.Subscription) {
+				defer dwg.Done()
+				st, pending, err := s.Detach()
+				detachResults[i] = detachRes{state: st, pending: pending, err: err}
+			}(i, s)
+		}
+		dwg.Wait()
+		close(detachDone)
+	}
+
+	// Watcher: a canceled context tears everything down.
 	watchDone := make(chan struct{})
-	defer close(watchDone)
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -134,43 +282,111 @@ func (q *StreamQuery) SubscribeRemote(ctx context.Context, providers []string, f
 		}
 	}()
 
-	emit := func(t *table.Table) error { return fn(wrapTable(t)) }
-	var stats stream.Stats
-	switch {
-	case n == 1:
-		s := subs[0]
-		for b := range s.Batches() {
-			if b.Table == nil {
-				continue
+	go func() {
+		defer close(watchDone)
+		defer close(rs.done)
+
+		emit := func(t *table.Table) error { return fn(wrapTable(t)) }
+		var stats stream.Stats
+		var runErr error
+		switch {
+		case n == 1:
+			s := subs[0]
+			for b := range s.Batches() {
+				if b.Table == nil {
+					continue
+				}
+				if err := emit(b.Table); err != nil {
+					_ = s.Cancel()
+					wg.Wait()
+					rs.fail(err)
+					return
+				}
 			}
-			if err := emit(b.Table); err != nil {
-				_ = s.Cancel()
+			st, err := s.Wait()
+			if err != nil && s.State() == nil {
 				wg.Wait()
-				return nil, err
+				rs.fail(err)
+				return
 			}
+			if st != nil {
+				stats = *st
+			}
+		case sp.Windowed:
+			stats, runErr = federation.MergeWindows(subs, emit)
+		default:
+			stats, runErr = federation.MergeArrival(subs, emit)
 		}
-		st, err := s.Wait()
-		if err != nil {
-			wg.Wait()
-			return nil, err
+		wg.Wait()
+
+		detached := false
+		select {
+		case <-rs.detachCh:
+			// Detach owns the terminal handshake; wait for it to collect
+			// every partition's state.
+			<-detachDone
+			detached = true
+		default:
 		}
-		stats = *st
-	case sp.Windowed:
-		stats, err = federation.MergeWindows(subs, emit)
-	default:
-		stats, err = federation.MergeArrival(subs, emit)
+
+		if detached {
+			// In-flight results the pipelines emitted before stopping are
+			// not represented in the resume state — deliver them now, in
+			// partition order, so nothing is lost across the handoff.
+			tokens := make([]ResumeToken, n)
+			var firstErr error
+			for i := range detachResults {
+				res := detachResults[i]
+				if res.err != nil && firstErr == nil {
+					firstErr = res.err
+				}
+				for _, b := range res.pending {
+					if b.Table == nil {
+						continue
+					}
+					if err := emit(b.Table); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+				tokens[i] = ResumeToken{Provider: providers[i], Partition: i, state: res.state}
+			}
+			rs.mu.Lock()
+			rs.stats = &stats
+			rs.tokens = tokens
+			rs.err = firstErr
+			rs.mu.Unlock()
+			return
+		}
+
+		switch {
+		case runErr != nil:
+			rs.finish(&stats, runErr)
+		case pubErr != nil:
+			rs.finish(&stats, pubErr)
+		case ctx.Err() != nil:
+			rs.finish(&stats, ctx.Err())
+		default:
+			rs.finish(&stats, nil)
+		}
+	}()
+	return rs, nil
+}
+
+func (r *RemoteStream) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
 	}
-	wg.Wait()
-	if err != nil {
-		return &stats, err
+	r.mu.Unlock()
+}
+
+func (r *RemoteStream) finish(stats *StreamStats, err error) {
+	r.mu.Lock()
+	r.stats = stats
+	if r.err == nil {
+		r.err = err
 	}
-	if pubErr != nil {
-		return &stats, pubErr
-	}
-	if err := ctx.Err(); err != nil {
-		return &stats, err
-	}
-	return &stats, nil
+	r.mu.Unlock()
 }
 
 // CollectRemote is SubscribeRemote accumulating every emitted row into
@@ -199,12 +415,16 @@ func (q *StreamQuery) CollectRemote(ctx context.Context, providers ...string) (*
 
 // publishRows drains the local source, routes each row to its key
 // partition, and publishes micro-batches upstream, ending every
-// partition's input when the source completes.
-func publishRows(ctx context.Context, src stream.Source, subs []*federation.Subscription, keyIdx int) error {
+// partition's input when the source completes. skips[p] rows routed to
+// partition p are dropped first — the partition's pipeline consumed
+// them before the resume point.
+func publishRows(ctx context.Context, src stream.Source, subs []*federation.Subscription, keyIdx int, skips []int64) error {
 	defer stream.ReleaseSource(src)
 	rows := src.Open(ctx)
 	n := len(subs)
 	sch := src.Schema()
+	skip := make([]int64, n)
+	copy(skip, skips)
 	builders := make([]*table.Builder, n)
 	for i := range builders {
 		builders[i] = table.NewBuilder(sch, 0)
@@ -229,6 +449,10 @@ drain:
 			p := 0
 			if n > 1 && keyIdx >= 0 && keyIdx < len(row) {
 				p = int(stream.PartitionOf(row[keyIdx], uint32(n)))
+			}
+			if skip[p] > 0 {
+				skip[p]--
+				continue
 			}
 			if err := builders[p].Append(row...); err != nil {
 				return err

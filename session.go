@@ -2,6 +2,7 @@ package nexus
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"nexus/internal/datagen"
 	"nexus/internal/engines/array"
@@ -13,6 +14,7 @@ import (
 	"nexus/internal/planner"
 	"nexus/internal/provider"
 	"nexus/internal/schema"
+	"nexus/internal/storage"
 	"nexus/internal/stream"
 	"nexus/internal/table"
 )
@@ -123,6 +125,62 @@ func (s *Session) AddEngine(kind EngineKind, name string) (string, error) {
 	return p.Name(), nil
 }
 
+// Open opens (or creates) a durable data directory as a provider: a
+// crash-recoverable columnar engine whose datasets survive restarts.
+// The provider is named after the directory's base name ("durable" for
+// degenerate paths); the name is returned for Store/Persist calls.
+func (s *Session) Open(dir string) (string, error) {
+	name := filepath.Base(filepath.Clean(dir))
+	if name == "." || name == string(filepath.Separator) || name == "" {
+		name = "durable"
+	}
+	eng, err := storage.OpenEngine(name, dir)
+	if err != nil {
+		return "", err
+	}
+	if err := s.reg.Add(eng); err != nil {
+		eng.Close()
+		return "", err
+	}
+	s.transports = append(s.transports, federation.NewInProc(eng))
+	return eng.Name(), nil
+}
+
+// Persist copies a dataset from whichever provider currently hosts it
+// onto the named provider — typically one opened with Open, making an
+// in-memory dataset durable. The source copy is left in place.
+func (s *Session) Persist(providerName, dataset string) error {
+	dst, ok := s.reg.Get(providerName)
+	if !ok {
+		return fmt.Errorf("nexus: unknown provider %q", providerName)
+	}
+	src, sch, ok := s.reg.FindDataset(dataset)
+	if !ok {
+		return fmt.Errorf("nexus: unknown dataset %q", dataset)
+	}
+	scan, err := coreScan(dataset, sch)
+	if err != nil {
+		return err
+	}
+	t, err := src.Execute(scan)
+	if err != nil {
+		return fmt.Errorf("nexus: persist %q: %w", dataset, err)
+	}
+	return dst.Store(dataset, t)
+}
+
+// Append adds rows to a dataset on the named provider, creating it on
+// first use. Durable and remote providers take their native append
+// path (a WAL append on a -data-dir server); in-memory engines are
+// emulated via concatenation.
+func (s *Session) Append(providerName, dataset string, t *Table) error {
+	p, ok := s.reg.Get(providerName)
+	if !ok {
+		return fmt.Errorf("nexus: unknown provider %q", providerName)
+	}
+	return provider.Append(p, dataset, t.t)
+}
+
 // ConnectTCP attaches a remote nexus server (started with cmd/nexus-server
 // or server.Serve) as a provider.
 func (s *Session) ConnectTCP(addr string) (string, error) {
@@ -163,18 +221,27 @@ type DatasetInfo struct {
 	Name     string
 	Rows     int64
 	Schema   string
+	// Durable reports whether the hosting provider persists the dataset
+	// across restarts (a provider opened with Open, or a -data-dir
+	// server on its own machine — remote durability is not visible here).
+	Durable bool
 }
 
 // Datasets lists every dataset across all providers.
 func (s *Session) Datasets() []DatasetInfo {
 	var out []DatasetInfo
 	for _, p := range s.reg.All() {
+		durable := false
+		if d, ok := p.(interface{ Durable() bool }); ok {
+			durable = d.Durable()
+		}
 		for _, ds := range p.Datasets() {
 			out = append(out, DatasetInfo{
 				Provider: p.Name(),
 				Name:     ds.Name,
 				Rows:     ds.Rows,
 				Schema:   ds.Schema.String(),
+				Durable:  durable,
 			})
 		}
 	}
@@ -299,6 +366,16 @@ func (r *remoteProvider) Execute(plan coreNode) (*table.Table, error) {
 func (r *remoteProvider) Store(name string, t *table.Table) error {
 	return r.tr.Store(name, t, nil)
 }
+
+// Append implements provider.Appender: the server does the append
+// natively (durable servers via their WAL).
+func (r *remoteProvider) Append(name string, t *table.Table) error {
+	return r.tr.Append(name, t, nil)
+}
+
+// Durable reports what the server declared at hello time, so remote
+// -data-dir servers list their datasets as durable in the catalog.
+func (r *remoteProvider) Durable() bool { return r.tr.Hello().Durable }
 
 func (r *remoteProvider) Drop(name string) { r.tr.Drop(name, nil) }
 

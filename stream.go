@@ -136,6 +136,10 @@ type StreamQuery struct {
 	// of shipping events from this process.
 	dataset string
 	timeCol string
+	// durable names the server-side checkpoint (Durable); resume carries
+	// per-partition resume tokens (ResumeFrom).
+	durable string
+	resume  []ResumeToken
 }
 
 // Err returns the first construction error, if any.
