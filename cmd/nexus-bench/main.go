@@ -9,7 +9,7 @@
 //	nexus-bench -quick           # smaller sizes (CI-friendly)
 //	nexus-bench -tcp             # E4 over real TCP loopback servers
 //	nexus-bench -micro           # kernel micro-benchmarks -> BENCH_2.json
-//	nexus-bench -storage         # cold/warm/pruned scan benchmarks -> BENCH_4.json
+//	nexus-bench -storage         # cold/warm/projected/pruned/compacted scans -> BENCH_5.json
 package main
 
 import (
@@ -28,7 +28,7 @@ func main() {
 	tcp := flag.Bool("tcp", false, "run E4 over TCP loopback servers instead of in-process transports")
 	micro := flag.Bool("micro", false, "run the execution-kernel micro-benchmarks and emit machine-readable results")
 	storageBench := flag.Bool("storage", false, "run the durable-storage scan benchmarks (cold disk vs warm RAM vs zone-map pruned)")
-	benchOut := flag.String("bench-out", "", "output path for -micro (default BENCH_2.json) / -storage (default BENCH_4.json) results")
+	benchOut := flag.String("bench-out", "", "output path for -micro (default BENCH_2.json) / -storage (default BENCH_5.json) results")
 	baseline := flag.String("baseline", "", "previous -micro report to compute speedups against")
 	flag.Parse()
 
@@ -46,7 +46,7 @@ func main() {
 	if *storageBench {
 		out := *benchOut
 		if out == "" {
-			out = "BENCH_4.json"
+			out = "BENCH_5.json"
 		}
 		if err := runStorageBench(out, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "storage benchmarks FAILED: %v\n", err)

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -15,11 +16,48 @@ import (
 	"nexus/internal/table"
 )
 
-// Storage micro-benchmarks (-storage -> BENCH_4.json): cold scans read
-// columnar segments from disk, warm scans hit the materialized RAM
-// copy, and pruned scans let zone maps skip segments. The cold/warm
-// ratio is the price of durability on first touch; the pruned/cold
-// ratio is what zone maps claw back.
+// Storage micro-benchmarks (-storage -> BENCH_5.json), the storage-v2
+// acceptance run:
+//
+//   - cold vs warm scans: the price of durability on first touch;
+//   - projected cold scans: segment-level column projection must read
+//     strictly fewer file bytes than a full-width scan;
+//   - pruned scans before and after background compaction: merging the
+//     segment spray under a clustering sort must leave the pruned scan
+//     at least as fast (and reading no more segments);
+//   - v1-vs-v2 segment size: what the dict/RLE page encodings buy;
+//   - WAL append+fsync throughput.
+//
+// The report carries the byte/segment counters alongside the timings so
+// the claims are machine-checkable, not vibes.
+
+// StorageExtras are the non-timing measurements of a storage run.
+type StorageExtras struct {
+	Rows                int     `json:"rows"`
+	SegmentRows         int     `json:"segment_rows"`
+	BytesFullScan       int64   `json:"bytes_full_cold_scan"`
+	BytesProjectedScan  int64   `json:"bytes_projected_cold_scan"`
+	ProjectedByteRatio  float64 `json:"projected_byte_ratio"`
+	SegmentBytesV1      int     `json:"segment_bytes_v1_plain"`
+	SegmentBytesV2      int     `json:"segment_bytes_v2_encoded"`
+	EncodingRatio       float64 `json:"encoding_ratio_v2_vs_v1"`
+	SegmentsPreCompact  int     `json:"segments_pre_compaction"`
+	SegmentsPostCompact int     `json:"segments_post_compaction"`
+	SegmentsMerged      int     `json:"segments_merged"`
+	PrunedNsPreCompact  float64 `json:"pruned_ns_pre_compaction"`
+	PrunedNsPostCompact float64 `json:"pruned_ns_post_compaction"`
+	SegmentsSkipped     int64   `json:"segments_skipped"`
+	SegmentsScanned     int64   `json:"segments_scanned"`
+}
+
+// StorageReport is the BENCH_5.json shape: timings plus the extras.
+type StorageReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Benchmarks  []MicroResult `json:"benchmarks"`
+	Storage     StorageExtras `json:"storage"`
+}
+
 func runStorageBench(path string, quick bool) error {
 	rows := 2_000_000
 	segRows := 100_000
@@ -39,20 +77,23 @@ func runStorageBench(path string, quick bool) error {
 	}
 	defer eng.Close()
 
-	// Load in segment-sized appends: rows/segRows segments with
-	// contiguous, disjoint sale_id ranges, so range predicates prune.
+	// Load in segment-sized appends of UNCLUSTERED data — rows arrive in
+	// shuffled order, the WAL-born segment spray real streaming ingest
+	// produces. Every small segment spans nearly the whole sale_id
+	// range, so zone maps cannot prune range predicates until the
+	// compactor sorts the data by the clustering key.
 	sales := datagen.Sales(71, rows, rows/10, 200)
 	idIdx := sales.Schema().IndexOf("sale_id")
 	if idIdx < 0 {
 		return fmt.Errorf("sales schema has no sale_id")
 	}
-	sorted := sales.Sort([]table.SortKey{{Col: idIdx}})
+	shuffled := shuffleRows(sales, 1234)
 	for lo := 0; lo < rows; lo += segRows {
 		hi := lo + segRows
 		if hi > rows {
 			hi = rows
 		}
-		if err := eng.Append("sales", sorted.Slice(lo, hi)); err != nil {
+		if err := eng.Append("sales", shuffled.Slice(lo, hi)); err != nil {
 			return err
 		}
 		if err := eng.Flush(); err != nil {
@@ -60,33 +101,68 @@ func runStorageBench(path string, quick bool) error {
 		}
 	}
 
+	extras := StorageExtras{Rows: rows, SegmentRows: segRows}
 	var results []MicroResult
-	add := func(r MicroResult, err error) error {
+	add := func(r MicroResult, err error) (MicroResult, error) {
 		if err != nil {
-			return err
+			return r, err
 		}
 		results = append(results, r)
 		fmt.Printf("%-28s %12.0f ns/op %14.0f rows/s\n", r.Name, r.NsPerOp, r.RowsPerSec)
-		return nil
+		return r, nil
 	}
 
 	scan, _ := core.NewScan("sales", sales.Schema())
 
 	// Cold scan: every iteration drops the caches and reads all segment
-	// files (decode + CRC + concat).
-	if err := add(measure("scan_cold_disk", rows, func() error {
+	// files (decode + CRC + concat), full width.
+	if _, err := add(measure("scan_cold_disk", rows, func() error {
 		eng.DropCache()
 		_, err := eng.Execute(scan)
 		return err
 	})); err != nil {
 		return err
 	}
+	// One counted iteration for the full-scan byte baseline.
+	eng.DropCache()
+	b0 := eng.BytesRead()
+	if _, err := eng.Execute(scan); err != nil {
+		return err
+	}
+	extras.BytesFullScan = eng.BytesRead() - b0
+
+	// Projected cold scan: two of the six columns. The reader fetches
+	// only those column pages — the byte counter proves it.
+	proj, err := core.NewProject(scan, []string{"sale_id", "price"})
+	if err != nil {
+		return err
+	}
+	if _, err := add(measure("scan_cold_projected", rows, func() error {
+		eng.DropCache()
+		_, err := eng.Execute(proj)
+		return err
+	})); err != nil {
+		return err
+	}
+	eng.DropCache()
+	b1 := eng.BytesRead()
+	if _, err := eng.Execute(proj); err != nil {
+		return err
+	}
+	extras.BytesProjectedScan = eng.BytesRead() - b1
+	if extras.BytesFullScan > 0 {
+		extras.ProjectedByteRatio = float64(extras.BytesProjectedScan) / float64(extras.BytesFullScan)
+	}
+	if extras.BytesProjectedScan >= extras.BytesFullScan {
+		return fmt.Errorf("projected cold scan read %d bytes, full scan %d — projection saved nothing",
+			extras.BytesProjectedScan, extras.BytesFullScan)
+	}
 
 	// Warm scan: the materialized table is served from RAM.
 	if _, err := eng.Execute(scan); err != nil {
 		return err
 	}
-	if err := add(measure("scan_warm_ram", rows, func() error {
+	if _, err := add(measure("scan_warm_ram", rows, func() error {
 		_, err := eng.Execute(scan)
 		return err
 	})); err != nil {
@@ -94,7 +170,8 @@ func runStorageBench(path string, quick bool) error {
 	}
 
 	// Pruned cold scan: a 5%-selective sale_id range; zone maps skip
-	// ~95% of the segments before any page is read.
+	// ~95% of the segments before any page is read. Measured twice —
+	// against the segment spray, then against the compacted store.
 	lo, hi := int64(rows/2), int64(rows/2+rows/20)
 	filt, err := core.NewFilter(scan, expr.And(
 		expr.Ge(expr.Column("sale_id"), expr.CInt(lo)),
@@ -103,31 +180,86 @@ func runStorageBench(path string, quick bool) error {
 	if err != nil {
 		return err
 	}
-	if err := add(measure("scan_cold_pruned", rows/20, func() error {
+	prePruned, err := add(measure("scan_cold_pruned_precompact", rows/20, func() error {
 		eng.DropCache()
 		_, err := eng.Execute(filt)
 		return err
-	})); err != nil {
+	}))
+	if err != nil {
 		return err
 	}
+	extras.PrunedNsPreCompact = prePruned.NsPerOp
+
+	// Background compaction: merge the unclustered spray, sort by
+	// sale_id, re-chunk at the size target — zone maps go from useless
+	// (every segment spans the whole key range) to near-disjoint ranges.
+	target := int64(8 << 20)
+	if quick {
+		target = 1 << 20
+	}
+	preSegs := countSegments(eng, "sales")
+	extras.SegmentsPreCompact = preSegs
+	stats, err := eng.Compact(storage.CompactOptions{
+		TargetBytes: target,
+		ClusterBy:   map[string]string{"sales": "sale_id"},
+	})
+	if err != nil {
+		return err
+	}
+	extras.SegmentsMerged = stats.Merged
+	extras.SegmentsPostCompact = countSegments(eng, "sales")
+	fmt.Printf("compaction: %d segments -> %d (%d merged, %d -> %d bytes)\n",
+		preSegs, extras.SegmentsPostCompact, stats.Merged, stats.BytesIn, stats.BytesOut)
+	// Deterministic structural assertion (timing would be flaky in CI):
+	// compaction must actually have consolidated the spray.
+	if extras.SegmentsPostCompact >= extras.SegmentsPreCompact {
+		return fmt.Errorf("compaction did not reduce segments: %d -> %d",
+			extras.SegmentsPreCompact, extras.SegmentsPostCompact)
+	}
+
+	postPruned, err := add(measure("scan_cold_pruned_compacted", rows/20, func() error {
+		eng.DropCache()
+		_, err := eng.Execute(filt)
+		return err
+	}))
+	if err != nil {
+		return err
+	}
+	extras.PrunedNsPostCompact = postPruned.NsPerOp
 
 	// Durable append+fsync throughput: one group-committed WAL append
 	// per op.
-	batch := sorted.Slice(0, 1000)
-	if err := add(measure("append_wal_fsync", 1000, func() error {
+	batch := shuffled.Slice(0, 1000)
+	if _, err := add(measure("append_wal_fsync", 1000, func() error {
 		return eng.Append("ingest", batch)
 	})); err != nil {
 		return err
 	}
 
-	skipped, scanned := eng.SegmentsSkipped(), eng.SegmentsScanned()
-	fmt.Printf("zone maps: %d segments skipped, %d scanned (%.0f%% pruned on the filtered path)\n",
-		skipped, scanned, 100*float64(skipped)/float64(skipped+scanned))
+	// Encoding win: the same clustered segment-sized slice, plain v1 vs
+	// paged v2 (sales is generated in ascending sale_id order, so this
+	// sample looks like a post-compaction chunk).
+	sample := sales.Slice(0, segRows)
+	extras.SegmentBytesV1 = len(storage.EncodeSegmentV1(sample))
+	extras.SegmentBytesV2 = len(storage.EncodeSegment(sample))
+	if extras.SegmentBytesV1 > 0 {
+		extras.EncodingRatio = float64(extras.SegmentBytesV2) / float64(extras.SegmentBytesV1)
+	}
+	fmt.Printf("segment encoding: v1 plain %d bytes, v2 dict/rle %d bytes (%.2fx)\n",
+		extras.SegmentBytesV1, extras.SegmentBytesV2, extras.EncodingRatio)
 
-	report := MicroReport{
+	extras.SegmentsSkipped, extras.SegmentsScanned = eng.SegmentsSkipped(), eng.SegmentsScanned()
+	fmt.Printf("zone maps: %d segments skipped, %d scanned (%.0f%% pruned on the filtered path)\n",
+		extras.SegmentsSkipped, extras.SegmentsScanned,
+		100*float64(extras.SegmentsSkipped)/float64(extras.SegmentsSkipped+extras.SegmentsScanned))
+	fmt.Printf("projection: full cold scan %d bytes, projected %d bytes (%.2fx)\n",
+		extras.BytesFullScan, extras.BytesProjectedScan, extras.ProjectedByteRatio)
+
+	report := StorageReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Benchmarks:  results,
+		Storage:     extras,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -139,4 +271,23 @@ func runStorageBench(path string, quick bool) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// countSegments reports how many durable segments back a dataset.
+func countSegments(eng *storage.Engine, name string) int {
+	refs, _, _ := eng.Backing().Segments(name)
+	return len(refs)
+}
+
+// shuffleRows returns the table's rows in a deterministic pseudo-random
+// order — the arrival order of streaming ingest, where nothing is
+// clustered by the query key.
+func shuffleRows(t *table.Table, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, t.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return t.Gather(idx)
 }

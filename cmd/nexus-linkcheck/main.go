@@ -1,0 +1,116 @@
+// nexus-linkcheck verifies that repo-relative markdown links resolve.
+// It walks the given files and directories (default: the current
+// directory) for *.md files, extracts every inline [text](target) link,
+// and checks that each relative target exists on disk. External links
+// (http/https/mailto) and pure in-page anchors (#fragment) are skipped;
+// a relative target's #fragment is stripped before the check. CI runs
+// it over the repo docs so a renamed file cannot silently orphan the
+// references to it.
+//
+// Usage:
+//
+//	nexus-linkcheck [path ...]
+//	nexus-linkcheck README.md docs
+//
+// Exits 1 listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target). Images
+// ![alt](target) match too via the [text] part — they resolve the same
+// way. Targets with spaces or nested parens are out of scope; the repo
+// does not use them.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		fi, err := os.Stat(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexus-linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !fi.IsDir() {
+			files = append(files, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() {
+				// Skip VCS internals and vendored/hidden trees.
+				if name == ".git" || name == "node_modules" || (len(name) > 1 && name[0] == '.' && path != root) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(name, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexus-linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexus-linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipTarget(target) {
+					continue
+				}
+				checked++
+				// Strip an in-page fragment; resolve relative to the file.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link: %s\n", file, lineNo+1, m[1])
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "nexus-linkcheck: %d broken link(s) in %d checked\n", broken, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("nexus-linkcheck: %d relative link(s) OK across %d markdown file(s)\n", checked, len(files))
+}
+
+// skipTarget reports whether a link target is out of scope: external
+// URLs, mail links, and pure in-page anchors.
+func skipTarget(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -6,7 +6,10 @@
 // segment store guarded by a write-ahead log, hosted stream
 // subscriptions checkpoint their window state on a timer, and a restart
 // — even from SIGKILL — recovers every committed row and lets durable
-// subscriptions resume where they left off.
+// subscriptions resume where they left off. A background compactor
+// (-compact-interval) merges the small segments streaming ingest leaves
+// behind into large ones sorted by a clustering key, tightening zone
+// maps as the data ages.
 //
 // Usage:
 //
@@ -21,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -41,6 +45,7 @@ func main() {
 	demo := flag.Bool("demo", false, "preload synthetic demo datasets")
 	dataDir := flag.String("data-dir", "", "durable data directory (crash-recoverable columnar store; implies a relational-class engine)")
 	ckptEvery := flag.Duration("checkpoint-interval", 2*time.Second, "how often hosted durable subscriptions checkpoint their state (with -data-dir)")
+	compactEvery := flag.Duration("compact-interval", time.Minute, "how often the background compactor merges small segments (with -data-dir; 0 disables)")
 	flag.Parse()
 
 	var prov provider.Provider
@@ -96,10 +101,45 @@ func main() {
 		log.Printf("  dataset %s: %d rows %v", ds.Name, ds.Rows, ds.Schema)
 	}
 
+	var stopCompactor func()
+	if durable != nil && *compactEvery > 0 {
+		// Datasets that hosted dataset-replay streams resume by row
+		// offset must keep their storage order — the compactor's
+		// clustering sort would make stored offsets skip the wrong
+		// prefix. The server knows which those are; the set is memoized
+		// briefly so one compaction pass does not re-read every
+		// checkpoint file per dataset, yet the commit-time re-check
+		// still sees near-current state. Errors veto everything: better
+		// an idle pass than a blind re-sort.
+		var exMu sync.Mutex
+		var exSet map[string]bool // nil after a failed refresh: veto all
+		var exAt time.Time
+		opts := storage.CompactOptions{Exclude: func(dataset string) bool {
+			exMu.Lock()
+			defer exMu.Unlock()
+			if exAt.IsZero() || time.Since(exAt) > 250*time.Millisecond {
+				set, err := srv.ResumeSensitiveDatasets()
+				if err != nil {
+					// Fail safe AND cache the failure: one scan and one
+					// log line per refresh window, not one per dataset.
+					log.Printf("compactor: cannot determine resume-sensitive datasets, vetoing pass: %v", err)
+					set = nil
+				}
+				exSet, exAt = set, time.Now()
+			}
+			return exSet == nil || exSet[dataset]
+		}}
+		stopCompactor = durable.StartCompactor(*compactEvery, opts, log.Printf)
+		log.Printf("  background compactor: every %v", *compactEvery)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	if stopCompactor != nil {
+		stopCompactor()
+	}
 	srv.Close()
 	if durable != nil {
 		if err := durable.Close(); err != nil {

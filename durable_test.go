@@ -2,6 +2,7 @@ package nexus_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -184,6 +185,133 @@ func TestDetachResumePerPartition(t *testing.T) {
 			t.Fatalf("window %s: got %s want %s", k, g, w)
 		}
 	}
+}
+
+// TestDurableCheckpointRetiredOnCompletion pins checkpoint pruning: a
+// durable subscription that finishes its job must leave no checkpoint
+// file behind, on every completion path — straight run to end-of-
+// stream, detach-then-resume to end-of-stream, and an explicit cancel.
+// Only involuntary exits (disconnects, errors) and detaches themselves
+// may persist state.
+func TestDurableCheckpointRetiredOnCompletion(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := storage.OpenEngine("dur", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv, err := server.ServeWithCheckpoints(eng, "127.0.0.1:0", eng.Backing(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	defer srv.Close()
+
+	const totalRows = 20000
+	mkQuery := func(s *nexus.Session, durable string) *nexus.StreamQuery {
+		src, err := nexus.GenerateSource("ts", totalRows, func(i int64) []any {
+			syms := []string{"AAA", "BBB", "CCC", "DDD"}
+			return []any{i, syms[i%4], float64(i%50) + 0.5}
+		},
+			nexus.ColumnDef{Name: "ts", Type: nexus.Int64},
+			nexus.ColumnDef{Name: "sym", Type: nexus.String},
+			nexus.ColumnDef{Name: "price", Type: nexus.Float64},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.StreamFrom(src).
+			BatchSize(200).
+			Window(nexus.Tumbling(1000)).
+			GroupBy("sym").
+			Agg(nexus.Count("n"), nexus.Sum("rev", nexus.Col("price"))).
+			Durable(durable)
+	}
+	noCheckpoint := func(t *testing.T, key string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, ok, err := eng.Backing().LoadCheckpoint(key); err == nil && !ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				keys, _ := eng.Backing().Checkpoints()
+				t.Fatalf("checkpoint %q still present after completion (stored: %v)", key, keys)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	s := nexus.NewSession()
+	prov, err := s.ConnectTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path 1: a durable subscription runs straight to end-of-stream.
+	// The 1ms checkpoint timer persists state during the run; the clean
+	// end must retire it.
+	if _, err := mkQuery(s, "clean").SubscribeRemote(context.Background(), []string{prov}, func(*nexus.Table) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	noCheckpoint(t, "clean")
+
+	// Path 2: detach mid-stream (the checkpoint must survive the detach
+	// — that is the resumable handoff), then resume under the same name
+	// to end-of-stream: the finished job retires it.
+	var mu sync.Mutex
+	seen := 0
+	got2 := make(chan struct{})
+	rs, err := mkQuery(s, "detached").SubscribeRemoteDetachable(context.Background(), []string{prov}, func(*nexus.Table) error {
+		mu.Lock()
+		seen++
+		if seen == 2 {
+			close(got2)
+		}
+		n := seen
+		mu.Unlock()
+		if n >= 2 {
+			time.Sleep(10 * time.Millisecond) // backpressure: stay mid-stream
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-got2
+	tokens, err := rs.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := eng.Backing().LoadCheckpoint("detached"); err != nil || !ok {
+		t.Fatalf("detach did not persist its checkpoint: ok=%v err=%v", ok, err)
+	}
+	if _, err := mkQuery(s, "detached").ResumeFrom(tokens).SubscribeRemote(context.Background(), []string{prov}, func(*nexus.Table) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	noCheckpoint(t, "detached")
+
+	// Path 3: an explicit cancel (the subscriber callback erroring makes
+	// the client cancel the subscription) finishes the job too — the
+	// checkpoint the timer wrote mid-run must not linger.
+	wantErr := fmt.Errorf("subscriber bails out")
+	canceled := 0
+	_, err = mkQuery(s, "canceled").SubscribeRemote(context.Background(), []string{prov}, func(*nexus.Table) error {
+		canceled++
+		if canceled >= 2 {
+			time.Sleep(20 * time.Millisecond) // let the checkpoint timer fire
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("canceled subscription reported no error")
+	}
+	noCheckpoint(t, "canceled")
 }
 
 // TestDurablePushResumeAfterDisconnect covers the server-side skip for

@@ -62,6 +62,66 @@ func ScanPreds(e expr.Expr) []ScanPred {
 	return out
 }
 
+// ScanAccess describes how a storage engine may serve a plan fragment
+// straight from its files: which scan feeds it, which columns of the
+// scanned dataset must actually be read (segment-level column
+// projection), and which conjuncts may prune whole segments via zone
+// maps. Produced by AnalyzeScanAccess; consumed by the durable engine's
+// cold-scan override.
+type ScanAccess struct {
+	// Scan is the leaf the fragment reads.
+	Scan *core.Scan
+	// Cols are the scan-schema columns the fragment references, in
+	// schema order. nil means every column is needed (no projection win).
+	Cols []string
+	// Preds are the fragment's prunable column-vs-constant conjuncts
+	// (see ScanPreds). Every one must hold for a row to survive the
+	// fragment's filters, so a segment failing any of them under its
+	// zone maps holds no useful rows.
+	Preds []ScanPred
+}
+
+// AnalyzeScanAccess matches the narrow plan shapes a column store can
+// answer from segment files without a full materialization: any stack
+// of Filter and Project nodes over a single Scan. It reports the scan,
+// the union of columns the stack references (the fragment's output
+// columns plus every filter's predicate columns — projections only drop
+// names, never invent them, so all of these exist in the scan schema),
+// and the prunable predicates of every filter in the stack. ok=false
+// means the fragment has some other shape and the engine should fall
+// back to a generic scan.
+func AnalyzeScanAccess(n core.Node) (ScanAccess, bool) {
+	need := map[string]bool{}
+	for _, name := range n.Schema().Names() {
+		need[name] = true
+	}
+	var acc ScanAccess
+	cur := n
+	for {
+		switch x := cur.(type) {
+		case *core.Filter:
+			acc.Preds = append(acc.Preds, ScanPreds(x.Pred)...)
+			addCols(need, x.Pred)
+			cur = x.Children()[0]
+		case *core.Project:
+			cur = x.Children()[0]
+		case *core.Scan:
+			acc.Scan = x
+			sch := x.Schema()
+			if len(need) < sch.Len() {
+				for i := 0; i < sch.Len(); i++ {
+					if name := sch.At(i).Name; need[name] {
+						acc.Cols = append(acc.Cols, name)
+					}
+				}
+			}
+			return acc, true
+		default:
+			return ScanAccess{}, false
+		}
+	}
+}
+
 // flipCmp mirrors a comparison for constant-on-the-left normalization
 // (5 < x  ≡  x > 5).
 func flipCmp(op value.BinOp) value.BinOp {

@@ -37,7 +37,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connCtx // value set once the handler builds it
 
 	// exprCache is shared by every streaming subscription the server
 	// hosts, so a plan subscribed N times compiles once.
@@ -67,7 +67,7 @@ func ServeWithCheckpoints(prov provider.Provider, addr string, cs CheckpointStor
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	s := &Server{prov: prov, ln: ln, conns: map[net.Conn]struct{}{}, Logf: log.Printf, ckpt: cs, ckptEvery: every}
+	s := &Server{prov: prov, ln: ln, conns: map[net.Conn]*connCtx{}, Logf: log.Printf, ckpt: cs, ckptEvery: every}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -89,6 +89,64 @@ func (s *Server) EnableCheckpoints(cs CheckpointStore, every time.Duration) {
 	s.ckpt = cs
 	s.ckptEvery = every
 	s.mu.Unlock()
+}
+
+// ResumeSensitiveDatasets reports the datasets whose on-disk row order
+// hosted streams depend on: every active dataset-replay subscription's
+// dataset, plus every dataset named by a stored durable checkpoint with
+// a dataset source. Their resume positions are row offsets into the
+// replay in storage order, so a background compactor must exclude them
+// — re-sorting the rows would make a stored offset skip the wrong
+// prefix on resume (see storage.CompactOptions.Exclude). This is a
+// safety veto, so it fails SAFE: an error listing or decoding the
+// stored checkpoints is returned to the caller, who must treat every
+// dataset as sensitive for this pass rather than compact blind.
+//
+// Known limitation: ResumeTokens of NON-durable detached dataset-replay
+// subscriptions live only on the client, so the server cannot see them
+// — compaction between such a detach and its resume can still reorder
+// the replay under the token's row offset. Resuming reliably across
+// compaction requires a Durable subscription (whose checkpoint is
+// visible here); making client-held tokens compaction-proof needs an
+// order epoch in the token itself (see the ROADMAP follow-up).
+func (s *Server) ResumeSensitiveDatasets() (map[string]bool, error) {
+	out := map[string]bool{}
+	s.mu.Lock()
+	ccs := make([]*connCtx, 0, len(s.conns))
+	for _, cc := range s.conns {
+		if cc != nil {
+			ccs = append(ccs, cc)
+		}
+	}
+	ckpt := s.ckpt
+	s.mu.Unlock()
+	for _, cc := range ccs {
+		cc.datasetStreams(out)
+	}
+	if ckpt == nil {
+		return out, nil
+	}
+	keys, err := ckpt.Checkpoints()
+	if err != nil {
+		return nil, fmt.Errorf("server: list checkpoints: %w", err)
+	}
+	for _, k := range keys {
+		data, ok, err := ckpt.LoadCheckpoint(k)
+		if err != nil {
+			return nil, fmt.Errorf("server: checkpoint %q: %w", k, err)
+		}
+		if !ok {
+			continue // retired between the listing and the load
+		}
+		sub, err := wire.DecodeSubscribeStream(data)
+		if err != nil {
+			return nil, fmt.Errorf("server: checkpoint %q: %w", k, err)
+		}
+		if sub.SourceKind == wire.StreamSrcDataset && sub.Dataset != "" {
+			out[sub.Dataset] = true
+		}
+	}
+	return out, nil
 }
 
 // Addr returns the bound address.
@@ -125,7 +183,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.mu.Lock()
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = nil
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
@@ -149,6 +207,11 @@ func (s *Server) handle(conn net.Conn) {
 		subs: map[uint64]*subSession{},
 		logf: func(format string, args ...any) { s.Logf(format, args...) },
 	}
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = cc
+	}
+	s.mu.Unlock()
 	if err := cc.serve(); err != nil {
 		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 			s.mu.Lock()
@@ -229,6 +292,18 @@ func (cc *connCtx) writeFrame(t wire.MsgType, payload []byte) error {
 func (cc *connCtx) removeSub(id uint64) {
 	cc.mu.Lock()
 	delete(cc.subs, id)
+	cc.mu.Unlock()
+}
+
+// datasetStreams adds the datasets of this connection's active
+// dataset-replay subscriptions to out.
+func (cc *connCtx) datasetStreams(out map[string]bool) {
+	cc.mu.Lock()
+	for _, s := range cc.subs {
+		if s.dataset != "" {
+			out[s.dataset] = true
+		}
+	}
 	cc.mu.Unlock()
 }
 

@@ -140,3 +140,68 @@ func TestCloseStopsAccepting(t *testing.T) {
 		}
 	}
 }
+
+// memCkpt is an in-memory CheckpointStore for tests.
+type memCkpt struct{ m map[string][]byte }
+
+func (c *memCkpt) SaveCheckpoint(k string, d []byte) error {
+	c.m[k] = append([]byte(nil), d...)
+	return nil
+}
+func (c *memCkpt) LoadCheckpoint(k string) ([]byte, bool, error) { d, ok := c.m[k]; return d, ok, nil }
+func (c *memCkpt) DeleteCheckpoint(k string) error               { delete(c.m, k); return nil }
+func (c *memCkpt) Checkpoints() ([]string, error) {
+	var keys []string
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// TestResumeSensitiveDatasets pins the compactor guard: datasets named
+// by stored dataset-mode durable checkpoints are reported (their resume
+// positions are row offsets into the replay's storage order), while
+// push-mode checkpoints mark nothing.
+func TestResumeSensitiveDatasets(t *testing.T) {
+	cs := &memCkpt{m: map[string][]byte{}}
+	cs.m["job"] = wire.EncodeSubscribeStream(wire.StreamSub{
+		ID: 1, SourceKind: wire.StreamSrcDataset, Dataset: "sales",
+		TimeCol: "sale_id", Durable: "job", Spec: windowedSpec(t),
+	})
+	cs.m["pjob"] = wire.EncodeSubscribeStream(wire.StreamSub{
+		ID: 2, SourceKind: wire.StreamSrcPush, Durable: "pjob", Spec: windowedSpec(t),
+	})
+	eng := relational.New("srv")
+	if err := eng.Store("sales", datagen.Sales(1, 100, 10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ServeWithCheckpoints(eng, "127.0.0.1:0", cs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = func(string, ...any) {}
+	defer s.Close()
+
+	got, err := s.ResumeSensitiveDatasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["sales"] {
+		t.Fatal("dataset-mode checkpoint did not mark its dataset resume-sensitive")
+	}
+	if len(got) != 1 {
+		t.Fatalf("resume-sensitive set = %v, want only sales", got)
+	}
+	// An undecodable checkpoint fails SAFE: the caller gets an error and
+	// must veto compaction entirely, not proceed with a partial set.
+	cs.m["junk"] = []byte("not a subscription")
+	if _, err := s.ResumeSensitiveDatasets(); err == nil {
+		t.Fatal("corrupt checkpoint did not surface an error")
+	}
+	cs.DeleteCheckpoint("junk")
+	// Retiring the checkpoint releases the dataset for compaction.
+	cs.DeleteCheckpoint("job")
+	if got, err := s.ResumeSensitiveDatasets(); err != nil || len(got) != 0 {
+		t.Fatalf("resume-sensitive set after retirement = %v err=%v, want empty", got, err)
+	}
+}

@@ -36,6 +36,13 @@ type subSession struct {
 	// has a checkpoint store; nil otherwise.
 	durable *wire.StreamSub
 
+	// dataset names the replayed dataset of a dataset-mode subscription
+	// ("" for push sources). Resume offsets count rows of the replay in
+	// its storage order, so the compactor must not reorder the dataset
+	// while the subscription (or its checkpoint) is alive — see
+	// Server.ResumeSensitiveDatasets.
+	dataset string
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	credit    int64 // result batches the subscriber will still accept
@@ -67,6 +74,9 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 
 	s := &subSession{id: sub.ID, cc: cc, done: make(chan struct{}), credit: int64(sub.Credit)}
 	s.cond = sync.NewCond(&s.mu)
+	if sub.SourceKind == wire.StreamSrcDataset {
+		s.dataset = sub.Dataset
+	}
 
 	// A durable subscription with no explicit resume picks up from the
 	// server-side checkpoint: the stored descriptor's Resume is the
@@ -207,16 +217,27 @@ func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream
 	gone := s.gone
 	s.mu.Unlock()
 
-	// Durable subscriptions: a clean end retires the checkpoint; every
-	// other exit — disconnect, detach, cancel, error — persists the
-	// final state so a reconnecting subscriber (or a restarted server)
-	// resumes where this run stopped.
+	// Durable subscriptions: a completed job retires its checkpoint —
+	// both a clean end-of-stream and an explicit cancel (the subscriber
+	// deliberately finished the job without asking for state; a stale
+	// checkpoint would otherwise make some future subscription under the
+	// same name silently "resume" a job nobody is running). A detach
+	// persists the final state instead — that is the whole point of
+	// detaching — and so does every involuntary exit (disconnect,
+	// pipeline error), so a reconnecting subscriber or a restarted
+	// server resumes where this run stopped.
 	if s.durable != nil {
-		if err == nil && mode == 0 && !gone {
+		completed := (err == nil && mode == 0 && !gone) || mode == wire.CloseCancel
+		switch {
+		case mode == wire.CloseDetach && state != nil:
+			if serr := s.cc.saveSubCheckpoint(s.durable, state); serr != nil {
+				s.cc.logf("server: subscription %d: save checkpoint: %v", s.id, serr)
+			}
+		case completed:
 			if derr := s.cc.ckpt.DeleteCheckpoint(s.durable.Durable); derr != nil {
 				s.cc.logf("server: subscription %d: retire checkpoint: %v", s.id, derr)
 			}
-		} else if state != nil {
+		case state != nil:
 			if serr := s.cc.saveSubCheckpoint(s.durable, state); serr != nil {
 				s.cc.logf("server: subscription %d: save checkpoint: %v", s.id, serr)
 			}

@@ -1,0 +1,539 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/engines/relational"
+	"nexus/internal/expr"
+	"nexus/internal/table"
+)
+
+// TestCompactMergesSmallSegments covers the mechanics: a spray of small
+// segments (appended out of key order) merges into one segment sorted
+// by the clustering key, unflushed tail rows survive untouched, the
+// replaced files and superseded manifest are removed, and a reopen sees
+// exactly the same rows.
+func TestCompactMergesSmallSegments(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order ranges: the clustering sort must interleave them.
+	for _, r := range [][2]int64{{200, 300}, {0, 100}, {100, 200}} {
+		if err := st.Append("d", rowsTable(r[0], r[1])); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Append("d", rowsTable(300, 320)); err != nil { // WAL-only tail
+		t.Fatal(err)
+	}
+
+	stats, err := st.Compact(CompactOptions{ClusterBy: map[string]string{"d": "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merged != 3 || len(stats.Datasets) != 1 || stats.Datasets[0] != "d" {
+		t.Fatalf("compact stats = %+v, want 3 segments of d merged", stats)
+	}
+	refs, parts, _ := st.Segments("d")
+	if len(refs) != 1 {
+		t.Fatalf("%d segments after compaction, want 1", len(refs))
+	}
+	if len(parts) == 0 {
+		t.Fatal("unflushed tail vanished during compaction")
+	}
+	// Tight zone maps: the merged segment's k spans exactly [0, 299].
+	z := refs[0].Meta.Zones[0]
+	if z.Min.Int() != 0 || z.Max.Int() != 299 {
+		t.Fatalf("merged zone map = [%v, %v], want [0, 299]", z.Min, z.Max)
+	}
+	got, ok, err := st.Dataset("d")
+	if err != nil || !ok {
+		t.Fatalf("dataset after compaction: ok=%v err=%v", ok, err)
+	}
+	// The sort by k puts the merged rows into ascending order; the tail
+	// follows in append order.
+	if !table.EqualRows(rowsTable(0, 320), got) {
+		t.Fatal("compacted dataset rows differ")
+	}
+
+	// Only one segment file and one manifest remain on disk.
+	entries, _ := os.ReadDir(dir)
+	var segFiles, manifests int
+	for _, ent := range entries {
+		name := ent.Name()
+		if len(name) > 4 && name[:4] == "seg-" {
+			segFiles++
+		}
+		if len(name) > 9 && name[:9] == "MANIFEST-" {
+			manifests++
+		}
+	}
+	if segFiles != 1 || manifests != 1 {
+		t.Fatalf("dir holds %d segment files, %d manifests; want 1 and 1", segFiles, manifests)
+	}
+
+	// The new generation (and the WAL tail) survives a reopen.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got2, _, err := st2.Dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualRows(rowsTable(0, 320), got2) {
+		t.Fatal("compacted dataset differs after reopen")
+	}
+
+	// A second pass has nothing small enough left to merge twice over —
+	// the merged segment plus the tail's flush may combine once more,
+	// then the store reaches a fixed point.
+	if _, err := st2.Compact(CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Compact(CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stats3, err := st2.Compact(CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Merged != 0 {
+		t.Fatalf("compaction did not reach a fixed point: %+v", stats3)
+	}
+}
+
+// TestCompactLargeSegmentsLeftAlone pins the size threshold: segments
+// at or above TargetBytes are not rewritten.
+func TestCompactLargeSegmentsLeftAlone(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := int64(0); i < 3; i++ {
+		if err := st.Append("d", rowsTable(i*100, i*100+100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := st.Compact(CompactOptions{TargetBytes: 1}) // everything is "large"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merged != 0 {
+		t.Fatalf("compaction merged %d segments above the size target", stats.Merged)
+	}
+	refs, _, _ := st.Segments("d")
+	if len(refs) != 3 {
+		t.Fatalf("%d segments, want the original 3", len(refs))
+	}
+}
+
+// TestCompactCrashProtocol simulates the two crash windows of a
+// compaction deterministically: the merged segment written but no
+// manifest yet, and the new manifest written but CURRENT not swapped.
+// In both, the pre-compaction generation must stay fully readable and
+// the next open must garbage-collect the orphans.
+func TestCompactCrashProtocol(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := st.Append("d", rowsTable(i*50, i*50+50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs, _, _ := st.Segments("d")
+	sch, _ := st.Schema("d")
+	merged, _, _ := st.Dataset("d")
+	gen := st.man.Gen
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash window 1: merged segment on disk, no manifest names it.
+	orphanSeg := segName(9001)
+	meta, err := WriteSegmentFile(dir, orphanSeg, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with orphan segment: %v", err)
+	}
+	got, _, err := st1.Dataset("d")
+	if err != nil || !table.EqualRows(merged, got) {
+		t.Fatalf("pre-compaction generation unreadable after crash window 1: %v", err)
+	}
+	st1.Close()
+	if _, err := os.Stat(filepath.Join(dir, orphanSeg)); !os.IsNotExist(err) {
+		t.Fatal("orphan segment survived garbage collection")
+	}
+
+	// Crash window 2: merged segment AND its manifest exist, but CURRENT
+	// still names the old generation.
+	if _, err := WriteSegmentFile(dir, orphanSeg, merged); err != nil {
+		t.Fatal(err)
+	}
+	orphanMan := &Manifest{Gen: gen + 1, WalGen: gen, NextSeg: 9002, Datasets: []DatasetManifest{{
+		Name:     "d",
+		Schema:   sch,
+		Segments: []SegmentRef{{File: orphanSeg, Meta: meta}},
+	}}}
+	if err := atomicWriteFile(filepath.Join(dir, manifestName(orphanMan.Gen)), EncodeManifest(orphanMan)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with orphan manifest: %v", err)
+	}
+	defer st2.Close()
+	got2, _, err := st2.Dataset("d")
+	if err != nil || !table.EqualRows(merged, got2) {
+		t.Fatalf("pre-compaction generation unreadable after crash window 2: %v", err)
+	}
+	if len(st2.man.Datasets) != 1 || len(st2.man.Datasets[0].Segments) != len(refs) {
+		t.Fatal("recovered manifest is not the pre-compaction generation")
+	}
+	for _, f := range []string{orphanSeg, manifestName(orphanMan.Gen)} {
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived garbage collection", f)
+		}
+	}
+}
+
+// TestEngineCompactionDifferential is the end-to-end acceptance test:
+// the same queries against the durable engine before and after
+// compaction, and against the in-memory relational engine, return
+// byte-identical rows — and the post-compaction pruned scan reads no
+// more segments than the pre-compaction one.
+func TestEngineCompactionDifferential(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := OpenEngine("disk", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mem := relational.New("mem")
+
+	// Twenty tiny segments in ascending key order (so the clustering
+	// sort preserves the global order and ordered comparisons stay
+	// meaningful).
+	for i := int64(0); i < 20; i++ {
+		if err := eng.Append("d", rowsTable(i*50, i*50+50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := rowsTable(0, 1000)
+	if err := mem.Store("d", whole); err != nil {
+		t.Fatal(err)
+	}
+
+	mkFilter := func() core.Node {
+		sc, _ := core.NewScan("d", whole.Schema())
+		f, err := core.NewFilter(sc, expr.And(
+			expr.Ge(expr.Column("k"), expr.CInt(100)),
+			expr.Lt(expr.Column("k"), expr.CInt(180)),
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	run := func(label string) (scanned int64) {
+		t.Helper()
+		eng.DropCache()
+		before := eng.SegmentsScanned()
+		got, err := eng.Execute(mkFilter())
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		want, err := mem.Execute(mkFilter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.EqualRows(want, got) {
+			t.Fatalf("%s: durable result differs from in-memory engine", label)
+		}
+		return eng.SegmentsScanned() - before
+	}
+
+	preScanned := run("pre-compaction")
+
+	stats, err := eng.Compact(CompactOptions{ClusterBy: map[string]string{"d": "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merged != 20 {
+		t.Fatalf("compaction merged %d segments, want 20", stats.Merged)
+	}
+
+	postScanned := run("post-compaction")
+	if postScanned > preScanned {
+		t.Fatalf("post-compaction scan reads %d segments, pre-compaction read %d", postScanned, preScanned)
+	}
+
+	// Full scans agree too (same multiset; same order here because the
+	// ranges were appended in ascending key order).
+	eng.DropCache()
+	sc, _ := core.NewScan("d", whole.Schema())
+	got, err := eng.Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualRows(whole, got) {
+		t.Fatal("full scan differs after compaction")
+	}
+}
+
+// TestEngineProjectedScanDifferential pins segment-level column
+// projection: Project/Filter stacks over a cold scan return rows
+// byte-identical to the in-memory engine while reading strictly fewer
+// file bytes than a full cold scan.
+func TestEngineProjectedScanDifferential(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := OpenEngine("disk", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mem := relational.New("mem")
+
+	for i := int64(0); i < 10; i++ {
+		if err := eng.Append("d", rowsTable(i*100, i*100+100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := rowsTable(0, 1000)
+	if err := mem.Store("d", whole); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: full-width cold scan bytes.
+	eng.DropCache()
+	base := eng.BytesRead()
+	sc, _ := core.NewScan("d", whole.Schema())
+	if _, err := eng.Execute(sc); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := eng.BytesRead() - base
+
+	type tc struct {
+		name string
+		plan func() (core.Node, error)
+	}
+	cases := []tc{
+		{"project-scan", func() (core.Node, error) {
+			sc, _ := core.NewScan("d", whole.Schema())
+			return core.NewProject(sc, []string{"k", "f"})
+		}},
+		{"filter-project-scan", func() (core.Node, error) {
+			sc, _ := core.NewScan("d", whole.Schema())
+			p, err := core.NewProject(sc, []string{"k"})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewFilter(p, expr.Lt(expr.Column("k"), expr.CInt(250)))
+		}},
+		{"project-filter-scan", func() (core.Node, error) {
+			sc, _ := core.NewScan("d", whole.Schema())
+			f, err := core.NewFilter(sc, expr.Ge(expr.Column("k"), expr.CInt(800)))
+			if err != nil {
+				return nil, err
+			}
+			return core.NewProject(f, []string{"s"})
+		}},
+	}
+	for _, c := range cases {
+		plan, err := c.plan()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		eng.DropCache()
+		before := eng.BytesRead()
+		got, err := eng.Execute(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		projBytes := eng.BytesRead() - before
+		want, err := mem.Execute(plan)
+		if err != nil {
+			t.Fatalf("%s mem: %v", c.name, err)
+		}
+		if !table.EqualRows(want, got) {
+			t.Fatalf("%s: projected cold scan differs from in-memory result", c.name)
+		}
+		if projBytes <= 0 || projBytes >= fullBytes {
+			t.Fatalf("%s: projected scan read %d bytes, full scan %d — projection saved nothing", c.name, projBytes, fullBytes)
+		}
+	}
+
+	// NULLs flow through projected pages unharmed.
+	sch := nullableTable().Schema()
+	if err := eng.Append("nulls", nullableTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Store("nulls", nullableTable()); err != nil {
+		t.Fatal(err)
+	}
+	eng.DropCache()
+	nsc, _ := core.NewScan("nulls", sch)
+	np, err := core.NewProject(nsc, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Execute(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := mem.Execute(np)
+	if !table.EqualRows(want, got) {
+		t.Fatal("projected NULL column differs from in-memory result")
+	}
+}
+
+// TestCompactExcludeDataset pins CompactOptions.Exclude: a vetoed
+// dataset keeps its segment spray (the server vetoes datasets whose
+// hosted streams resume by row offset).
+func TestCompactExcludeDataset(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := int64(0); i < 3; i++ {
+		for _, name := range []string{"guarded", "free"} {
+			if err := st.Append(name, rowsTable(i*50, i*50+50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := st.Compact(CompactOptions{Exclude: func(name string) bool { return name == "guarded" }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Datasets) != 1 || stats.Datasets[0] != "free" {
+		t.Fatalf("compacted %v, want only free", stats.Datasets)
+	}
+	refs, _, _ := st.Segments("guarded")
+	if len(refs) != 3 {
+		t.Fatalf("excluded dataset was rewritten: %d segments, want 3", len(refs))
+	}
+	if free, _, _ := st.Segments("free"); len(free) != 1 {
+		t.Fatalf("unexcluded dataset not compacted: %d segments", len(free))
+	}
+}
+
+// TestCompactConcurrentReaders hammers cold scans while compaction
+// passes rewrite the dataset under them: the swap deletes input files,
+// so readers must transparently re-snapshot — never surface a
+// file-not-found, never return wrong rows.
+func TestCompactConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := OpenEngine("disk", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var hi int64
+	addSeg := func() {
+		if err := eng.Append("d", rowsTable(hi, hi+50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		hi += 50
+	}
+	for i := 0; i < 6; i++ {
+		addSeg()
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc, _ := core.NewScan("d", rowsTable(0, 1).Schema())
+			p, _ := core.NewProject(sc, []string{"k", "f"})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				eng.DropCache()
+				got, err := eng.Execute(p)
+				if err != nil {
+					errs <- fmt.Errorf("reader: %w", err)
+					return
+				}
+				// Rows are a prefix of the growing dataset; every scan
+				// must see a complete multiple of the append batches.
+				if got.NumRows()%50 != 0 || got.NumRows() == 0 {
+					errs <- fmt.Errorf("reader saw %d rows", got.NumRows())
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 30; i++ {
+		addSeg()
+		if _, err := eng.Compact(CompactOptions{ClusterBy: map[string]string{"d": "k"}}); err != nil {
+			errs <- fmt.Errorf("compact: %w", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got, ok, err := eng.Backing().Dataset("d")
+	if err != nil || !ok {
+		t.Fatalf("final dataset: ok=%v err=%v", ok, err)
+	}
+	if !table.EqualRows(rowsTable(0, hi), got) {
+		t.Fatal("final rows differ after concurrent compaction")
+	}
+}

@@ -1,0 +1,764 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"nexus/internal/table"
+	"nexus/internal/value"
+	"nexus/internal/wire"
+)
+
+// Column page encodings. A v2 segment stores every column as one page
+// with a small versioned header, so the writer can pick a different
+// physical encoding per column while readers of any vintage either
+// decode the page or reject it loudly:
+//
+//	u8 pageVersion | u8 encoding | u32 rows | u32 payloadLen | payload | u32 crc32(header|payload)
+//
+// The CRC covers the header and the payload, so a projected read that
+// touches only some pages still verifies every byte it consumed.
+// pageVersion is bumped when a payload layout changes incompatibly;
+// decoders reject versions they do not know rather than misparse.
+//
+// Three encodings exist today, chosen per column at write time by
+// choosePageEncoding:
+//
+//   - PageEncPlain: validity bitmap + raw values, the v1 layout carried
+//     over. Always decodable, always the fallback.
+//   - PageEncDict: validity bitmap + value dictionary + one u32 code per
+//     row. Pays off when a column holds few distinct values (regions,
+//     categories, enum-ish ints): an 8-byte value becomes a 4-byte code
+//     and each distinct string is stored once.
+//   - PageEncRLE: (length, value) runs. Pays off when equal values sit
+//     next to each other — exactly what compaction's clustering sort
+//     produces.
+
+// pageVersion is the current column-page header version. Readers reject
+// pages with a newer version instead of misparsing them.
+const pageVersion = 1
+
+// Page encodings (the `encoding` byte of a column-page header).
+const (
+	PageEncPlain = 0 // validity bitmap + raw values (v1 layout)
+	PageEncDict  = 1 // dictionary + u32 codes per row
+	PageEncRLE   = 2 // run-length (length, validity, value) runs
+)
+
+// pageHeaderLen is the fixed prefix of a column page before the payload:
+// version byte, encoding byte, u32 row count, u32 payload length.
+const pageHeaderLen = 1 + 1 + 4 + 4
+
+// dictMaxEntries caps dictionary sizes; a column with more distinct
+// values than this is never dictionary-encoded (the scan that counts
+// distincts also stops here).
+const dictMaxEntries = 1 << 16
+
+// maxRLERows caps the rows one RLE page may claim. RLE is the only
+// encoding whose decoded size is not bounded by its payload size (one
+// 9-byte run legitimately covers billions of rows), so without a cap a
+// ~60-byte hostile file could demand a multi-gigabyte materialization.
+// The writer respects the cap too — choosePageEncoding never picks RLE
+// above it — and 2^27 rows is far beyond any segment the flush/compact
+// size thresholds produce.
+const maxRLERows = 1 << 27
+
+// minValueWidth is the smallest possible encoded size of one value of
+// the kind — the bound the page decoders use to reject hostile row
+// counts before allocating.
+func minValueWidth(kind value.Kind) int64 {
+	switch kind {
+	case value.KindBool:
+		return 1
+	case value.KindString:
+		return 4 // u32 length prefix of an empty string
+	}
+	return 8 // int64 / float64
+}
+
+// encodingName reports a page encoding for error messages and stats.
+func encodingName(enc uint8) string {
+	switch enc {
+	case PageEncPlain:
+		return "plain"
+	case PageEncDict:
+		return "dict"
+	case PageEncRLE:
+		return "rle"
+	}
+	return fmt.Sprintf("enc%d", enc)
+}
+
+// choosePageEncoding picks the physical encoding for one column: RLE
+// when values cluster into long runs (average run length ≥ 4), a
+// dictionary when few distinct values repeat often (≤ rows/4 distincts,
+// capped at dictMaxEntries), plain otherwise. Tiny columns are always
+// plain — the headers would outweigh the savings. The scan runs on the
+// typed payload slices (no per-row value boxing): it sits on the flush
+// hot path, right next to the WAL group commit.
+func choosePageEncoding(col *table.Column) uint8 {
+	rows := col.Len()
+	if rows < 64 {
+		return PageEncPlain
+	}
+	runs, distinct, overflow := columnShape(col)
+	if runs*4 <= rows && rows <= maxRLERows {
+		return PageEncRLE
+	}
+	if !overflow && col.Kind() != value.KindBool && distinct*4 <= rows {
+		return PageEncDict
+	}
+	return PageEncPlain
+}
+
+// columnShape counts the column's value runs and (capped) distinct
+// values with typed tight loops. NULL is one more distinct symbol and
+// breaks runs like any other value change.
+func columnShape(col *table.Column) (runs, distinct int, overflow bool) {
+	rows := col.Len()
+	valid := col.Validity()
+	isNull := func(r int) bool { return valid != nil && !valid[r] }
+	runs = 1
+	sawNull := false
+	switch col.Kind() {
+	case value.KindBool:
+		vals := col.Bools()
+		seen := [2]bool{}
+		for r := 0; r < rows; r++ {
+			if isNull(r) {
+				sawNull = true
+			} else {
+				seen[b2i(vals[r])] = true
+			}
+			if r > 0 && (isNull(r) != isNull(r-1) || (!isNull(r) && vals[r] != vals[r-1])) {
+				runs++
+			}
+		}
+		for _, s := range seen {
+			if s {
+				distinct++
+			}
+		}
+	case value.KindInt64:
+		vals := col.Ints()
+		set := map[int64]struct{}{}
+		for r := 0; r < rows; r++ {
+			if isNull(r) {
+				sawNull = true
+			} else if !overflow {
+				set[vals[r]] = struct{}{}
+				overflow = len(set) > dictMaxEntries
+			}
+			if r > 0 && (isNull(r) != isNull(r-1) || (!isNull(r) && vals[r] != vals[r-1])) {
+				runs++
+			}
+		}
+		distinct = len(set)
+	case value.KindFloat64:
+		vals := col.Floats()
+		set := map[float64]struct{}{}
+		for r := 0; r < rows; r++ {
+			if isNull(r) {
+				sawNull = true
+			} else if !overflow {
+				set[vals[r]] = struct{}{}
+				overflow = len(set) > dictMaxEntries
+			}
+			if r > 0 && (isNull(r) != isNull(r-1) || (!isNull(r) && vals[r] != vals[r-1])) {
+				runs++
+			}
+		}
+		distinct = len(set)
+	case value.KindString:
+		vals := col.Strs()
+		set := map[string]struct{}{}
+		for r := 0; r < rows; r++ {
+			if isNull(r) {
+				sawNull = true
+			} else if !overflow {
+				set[vals[r]] = struct{}{}
+				overflow = len(set) > dictMaxEntries
+			}
+			if r > 0 && (isNull(r) != isNull(r-1) || (!isNull(r) && vals[r] != vals[r-1])) {
+				runs++
+			}
+		}
+		distinct = len(set)
+	}
+	if sawNull {
+		distinct++
+	}
+	return runs, distinct, overflow
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// encodePage frames one column as a page with the given encoding.
+func encodePage(col *table.Column, enc uint8) []byte {
+	var payload wire.Encoder
+	switch enc {
+	case PageEncPlain:
+		putPlainPayload(&payload, col)
+	case PageEncDict:
+		putDictPayload(&payload, col)
+	case PageEncRLE:
+		putRLEPayload(&payload, col)
+	default:
+		panic(fmt.Sprintf("storage: encodePage with unknown encoding %d", enc))
+	}
+	var e wire.Encoder
+	e.U8(pageVersion)
+	e.U8(enc)
+	e.U32(uint32(col.Len()))
+	e.U32(uint32(payload.Len()))
+	e.Raw(payload.Bytes())
+	e.U32(crc32.ChecksumIEEE(e.Bytes()))
+	return e.Bytes()
+}
+
+// decodePage parses and verifies one column page of the given kind. The
+// whole page (header through trailing CRC) must be the input; every
+// malformed input is an error, never a panic (FuzzSegment feeds this
+// arbitrary bytes via segments).
+func decodePage(b []byte, kind value.Kind) (*table.Column, error) {
+	if len(b) < pageHeaderLen+4 {
+		return nil, fmt.Errorf("storage: column page too short (%d bytes)", len(b))
+	}
+	crcOff := len(b) - 4
+	want := uint32(b[crcOff])<<24 | uint32(b[crcOff+1])<<16 | uint32(b[crcOff+2])<<8 | uint32(b[crcOff+3])
+	if got := crc32.ChecksumIEEE(b[:crcOff]); got != want {
+		return nil, fmt.Errorf("storage: column page crc mismatch (got %08x, want %08x)", got, want)
+	}
+	d := wire.NewDecoder(b[:crcOff])
+	ver := d.U8()
+	if ver == 0 || ver > pageVersion {
+		return nil, fmt.Errorf("storage: unsupported column page version %d", ver)
+	}
+	enc := d.U8()
+	rows := int(d.U32())
+	payloadLen := int(d.U32())
+	if d.Err() != nil || rows < 0 || payloadLen != d.Remaining() {
+		return nil, fmt.Errorf("storage: column page header disagrees with page size")
+	}
+	var col *table.Column
+	var err error
+	switch enc {
+	case PageEncPlain:
+		col, err = getPlainPayload(d, kind, rows)
+	case PageEncDict:
+		col, err = getDictPayload(d, kind, rows)
+	case PageEncRLE:
+		col, err = getRLEPayload(d, kind, rows)
+	default:
+		return nil, fmt.Errorf("storage: unknown column page encoding %d", enc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("storage: %s page: %w", encodingName(enc), err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("storage: %s page has %d trailing bytes", encodingName(enc), d.Remaining())
+	}
+	if col.Len() != rows {
+		return nil, fmt.Errorf("storage: %s page decoded %d rows, header says %d", encodingName(enc), col.Len(), rows)
+	}
+	return col, nil
+}
+
+// ---------------------------------------------------------------------------
+// Plain: bool hasNulls | [rows validity bools] | raw values.
+// Byte-for-byte the per-column layout wire.PutTable uses (and therefore
+// the layout inside v1 segment bodies).
+
+func putPlainPayload(e *wire.Encoder, col *table.Column) {
+	putValidity(e, col)
+	switch col.Kind() {
+	case value.KindBool:
+		for _, v := range col.Bools() {
+			e.Bool(v)
+		}
+	case value.KindInt64:
+		for _, v := range col.Ints() {
+			e.I64(v)
+		}
+	case value.KindFloat64:
+		for _, v := range col.Floats() {
+			e.F64(v)
+		}
+	case value.KindString:
+		for _, v := range col.Strs() {
+			e.Str(v)
+		}
+	}
+}
+
+func getPlainPayload(d *wire.Decoder, kind value.Kind, rows int) (*table.Column, error) {
+	valid, err := getValidity(d, rows)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the allocation against the remaining payload before trusting
+	// the header's row count: a hostile count must fail the read, not
+	// OOM it. Every kind costs at least minValueWidth bytes per row.
+	if int64(rows)*minValueWidth(kind) > int64(d.Remaining()) {
+		return nil, fmt.Errorf("storage: plain page claims %d rows in %d payload bytes", rows, d.Remaining())
+	}
+	var col *table.Column
+	switch kind {
+	case value.KindBool:
+		vals := make([]bool, rows)
+		for r := range vals {
+			vals[r] = d.Bool()
+		}
+		col = table.BoolColumn(vals)
+	case value.KindInt64:
+		vals := make([]int64, rows)
+		for r := range vals {
+			vals[r] = d.I64()
+		}
+		col = table.IntColumn(vals)
+	case value.KindFloat64:
+		vals := make([]float64, rows)
+		for r := range vals {
+			vals[r] = d.F64()
+		}
+		col = table.FloatColumn(vals)
+	case value.KindString:
+		vals := make([]string, rows)
+		for r := range vals {
+			vals[r] = d.Str()
+		}
+		col = table.StringColumn(vals)
+	default:
+		return nil, fmt.Errorf("storage: plain page of kind %v", kind)
+	}
+	if valid != nil {
+		col = col.WithValidity(valid)
+	}
+	return col, nil
+}
+
+// ---------------------------------------------------------------------------
+// Dict: bool hasNulls | [validity] | u32 dictLen | dict values | rows × u32 code.
+// Codes of NULL rows are written as 0 and ignored on decode.
+
+func putDictPayload(e *wire.Encoder, col *table.Column) {
+	putValidity(e, col)
+	rows := col.Len()
+	codes := make([]uint32, rows)
+	switch col.Kind() {
+	case value.KindInt64:
+		dict := make(map[int64]uint32)
+		var order []int64
+		vals := col.Ints()
+		for r := 0; r < rows; r++ {
+			if col.IsNull(r) {
+				continue
+			}
+			c, ok := dict[vals[r]]
+			if !ok {
+				c = uint32(len(order))
+				dict[vals[r]] = c
+				order = append(order, vals[r])
+			}
+			codes[r] = c
+		}
+		e.U32(uint32(len(order)))
+		for _, v := range order {
+			e.I64(v)
+		}
+	case value.KindFloat64:
+		dict := make(map[float64]uint32)
+		var order []float64
+		vals := col.Floats()
+		for r := 0; r < rows; r++ {
+			if col.IsNull(r) {
+				continue
+			}
+			c, ok := dict[vals[r]]
+			if !ok {
+				c = uint32(len(order))
+				dict[vals[r]] = c
+				order = append(order, vals[r])
+			}
+			codes[r] = c
+		}
+		e.U32(uint32(len(order)))
+		for _, v := range order {
+			e.F64(v)
+		}
+	case value.KindString:
+		dict := make(map[string]uint32)
+		var order []string
+		vals := col.Strs()
+		for r := 0; r < rows; r++ {
+			if col.IsNull(r) {
+				continue
+			}
+			c, ok := dict[vals[r]]
+			if !ok {
+				c = uint32(len(order))
+				dict[vals[r]] = c
+				order = append(order, vals[r])
+			}
+			codes[r] = c
+		}
+		e.U32(uint32(len(order)))
+		for _, v := range order {
+			e.Str(v)
+		}
+	default:
+		// choosePageEncoding never picks dict for bools; encode the raw
+		// values as a degenerate one-entry-per-row dictionary is pointless,
+		// so this is a programming error.
+		panic(fmt.Sprintf("storage: dict page of kind %v", col.Kind()))
+	}
+	for _, c := range codes {
+		e.U32(c)
+	}
+}
+
+func getDictPayload(d *wire.Decoder, kind value.Kind, rows int) (*table.Column, error) {
+	valid, err := getValidity(d, rows)
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.U32())
+	if d.Err() != nil || n < 0 || n > d.Remaining() {
+		return nil, fmt.Errorf("storage: dict page dictionary length %d exceeds page", n)
+	}
+	// Codes are 4 bytes per row; the dictionary itself costs at least
+	// minValueWidth per entry. Bound both before allocating.
+	if int64(n)*minValueWidth(kind)+int64(rows)*4 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("storage: dict page claims %d rows over %d entries in %d payload bytes", rows, n, d.Remaining())
+	}
+	isNull := func(r int) bool { return valid != nil && !valid[r] }
+	var col *table.Column
+	switch kind {
+	case value.KindInt64:
+		dict := make([]int64, n)
+		for i := range dict {
+			dict[i] = d.I64()
+		}
+		vals := make([]int64, rows)
+		for r := 0; r < rows; r++ {
+			c := int(d.U32())
+			if isNull(r) {
+				continue
+			}
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("storage: dict code %d out of range %d", c, n)
+			}
+			vals[r] = dict[c]
+		}
+		col = table.IntColumn(vals)
+	case value.KindFloat64:
+		dict := make([]float64, n)
+		for i := range dict {
+			dict[i] = d.F64()
+		}
+		vals := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			c := int(d.U32())
+			if isNull(r) {
+				continue
+			}
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("storage: dict code %d out of range %d", c, n)
+			}
+			vals[r] = dict[c]
+		}
+		col = table.FloatColumn(vals)
+	case value.KindString:
+		dict := make([]string, n)
+		for i := range dict {
+			dict[i] = d.Str()
+		}
+		vals := make([]string, rows)
+		for r := 0; r < rows; r++ {
+			c := int(d.U32())
+			if isNull(r) {
+				continue
+			}
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("storage: dict code %d out of range %d", c, n)
+			}
+			vals[r] = dict[c]
+		}
+		col = table.StringColumn(vals)
+	default:
+		return nil, fmt.Errorf("storage: dict page of kind %v", kind)
+	}
+	if valid != nil {
+		col = col.WithValidity(valid)
+	}
+	return col, nil
+}
+
+// ---------------------------------------------------------------------------
+// RLE: u32 nRuns | runs × { u32 length | bool valid | value if valid }.
+// NULL runs carry no value payload.
+
+// putRLEPayload writes the column as runs, finding run boundaries with
+// typed loops over the raw payload slices — like columnShape, it sits
+// on the flush hot path and must not box a value per row.
+func putRLEPayload(e *wire.Encoder, col *table.Column) {
+	rows := col.Len()
+	valid := col.Validity()
+	isNull := func(r int) bool { return valid != nil && !valid[r] }
+	sameAsPrev := func(r int) bool {
+		if isNull(r) != isNull(r-1) {
+			return false
+		}
+		if isNull(r) {
+			return true
+		}
+		switch col.Kind() {
+		case value.KindBool:
+			return col.Bools()[r] == col.Bools()[r-1]
+		case value.KindInt64:
+			return col.Ints()[r] == col.Ints()[r-1]
+		case value.KindFloat64:
+			return col.Floats()[r] == col.Floats()[r-1]
+		case value.KindString:
+			return col.Strs()[r] == col.Strs()[r-1]
+		}
+		return false
+	}
+	putRun := func(start, length int) {
+		e.U32(uint32(length))
+		if isNull(start) {
+			e.Bool(false)
+			return
+		}
+		e.Bool(true)
+		switch col.Kind() {
+		case value.KindBool:
+			e.Bool(col.Bools()[start])
+		case value.KindInt64:
+			e.I64(col.Ints()[start])
+		case value.KindFloat64:
+			e.F64(col.Floats()[start])
+		case value.KindString:
+			e.Str(col.Strs()[start])
+		}
+	}
+	nRuns := 0
+	for r := 1; r < rows; r++ {
+		if !sameAsPrev(r) {
+			nRuns++
+		}
+	}
+	if rows > 0 {
+		nRuns++
+	}
+	e.U32(uint32(nRuns))
+	start := 0
+	for r := 1; r < rows; r++ {
+		if !sameAsPrev(r) {
+			putRun(start, r-start)
+			start = r
+		}
+	}
+	if rows > 0 {
+		putRun(start, rows-start)
+	}
+}
+
+func getRLEPayload(d *wire.Decoder, kind value.Kind, rows int) (*table.Column, error) {
+	nRuns := int(d.U32())
+	if d.Err() != nil || nRuns < 0 || nRuns > d.Remaining() {
+		return nil, fmt.Errorf("storage: rle page run count %d exceeds page", nRuns)
+	}
+	// A run legitimately covers many rows in few bytes, so the payload
+	// cannot bound the row count the way plain/dict payloads do; the
+	// absolute cap (which the writer honors) rejects hostile claims
+	// before any materialization.
+	if rows > maxRLERows {
+		return nil, fmt.Errorf("storage: rle page claims %d rows (cap %d)", rows, maxRLERows)
+	}
+	// Decode run headers first (cheap, bounded by the payload), then
+	// bulk-fill typed slices — like the encoder, this path handles whole
+	// compacted segments and must not box a value per row.
+	type run struct {
+		length int
+		valid  bool
+	}
+	runs := make([]run, nRuns)
+	// Cap the upfront capacity: hostile headers must not buy a huge
+	// allocation before the run lengths prove the rows are real.
+	capRows := rows
+	if capRows > 1<<16 {
+		capRows = 1 << 16
+	}
+	var (
+		bools  []bool
+		ints   []int64
+		floats []float64
+		strs   []string
+		valid  []bool
+	)
+	total := 0
+	fill := func(i int, appendVal func(length int)) error {
+		length := runs[i].length
+		if !runs[i].valid {
+			if valid == nil {
+				valid = make([]bool, 0, capRows)
+				for j := 0; j < total; j++ {
+					valid = append(valid, true)
+				}
+			}
+			for j := 0; j < length; j++ {
+				valid = append(valid, false)
+			}
+		} else if valid != nil {
+			for j := 0; j < length; j++ {
+				valid = append(valid, true)
+			}
+		}
+		appendVal(length)
+		total += length
+		return nil
+	}
+	for i := 0; i < nRuns; i++ {
+		runs[i].length = int(d.U32())
+		runs[i].valid = d.Bool()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if runs[i].length <= 0 || total+runs[i].length > rows {
+			return nil, fmt.Errorf("storage: rle run %d of length %d overflows %d rows", i, runs[i].length, rows)
+		}
+		var err error
+		switch kind {
+		case value.KindBool:
+			if bools == nil {
+				bools = make([]bool, 0, capRows)
+			}
+			v := false
+			if runs[i].valid {
+				v = d.Bool()
+			}
+			err = fill(i, func(n int) {
+				for j := 0; j < n; j++ {
+					bools = append(bools, v)
+				}
+			})
+		case value.KindInt64:
+			if ints == nil {
+				ints = make([]int64, 0, capRows)
+			}
+			var v int64
+			if runs[i].valid {
+				v = d.I64()
+			}
+			err = fill(i, func(n int) {
+				for j := 0; j < n; j++ {
+					ints = append(ints, v)
+				}
+			})
+		case value.KindFloat64:
+			if floats == nil {
+				floats = make([]float64, 0, capRows)
+			}
+			var v float64
+			if runs[i].valid {
+				v = d.F64()
+			}
+			err = fill(i, func(n int) {
+				for j := 0; j < n; j++ {
+					floats = append(floats, v)
+				}
+			})
+		case value.KindString:
+			if strs == nil {
+				strs = make([]string, 0, capRows)
+			}
+			var v string
+			if runs[i].valid {
+				v = d.Str()
+			}
+			err = fill(i, func(n int) {
+				for j := 0; j < n; j++ {
+					strs = append(strs, v)
+				}
+			})
+		default:
+			return nil, fmt.Errorf("storage: rle page of kind %v", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+	}
+	if total != rows {
+		return nil, fmt.Errorf("storage: rle runs cover %d of %d rows", total, rows)
+	}
+	var col *table.Column
+	switch kind {
+	case value.KindBool:
+		if bools == nil {
+			bools = []bool{}
+		}
+		col = table.BoolColumn(bools)
+	case value.KindInt64:
+		if ints == nil {
+			ints = []int64{}
+		}
+		col = table.IntColumn(ints)
+	case value.KindFloat64:
+		if floats == nil {
+			floats = []float64{}
+		}
+		col = table.FloatColumn(floats)
+	case value.KindString:
+		if strs == nil {
+			strs = []string{}
+		}
+		col = table.StringColumn(strs)
+	}
+	if valid != nil {
+		col = col.WithValidity(valid)
+	}
+	return col, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared validity framing: bool hasNulls | [rows validity bools].
+
+func putValidity(e *wire.Encoder, col *table.Column) {
+	hasNulls := col.HasNulls()
+	e.Bool(hasNulls)
+	if hasNulls {
+		for r := 0; r < col.Len(); r++ {
+			e.Bool(!col.IsNull(r))
+		}
+	}
+}
+
+func getValidity(d *wire.Decoder, rows int) ([]bool, error) {
+	hasNulls := d.Bool()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if !hasNulls {
+		return nil, nil
+	}
+	if rows > d.Remaining() {
+		return nil, fmt.Errorf("storage: validity bitmap of %d rows exceeds page", rows)
+	}
+	valid := make([]bool, rows)
+	for r := range valid {
+		valid[r] = d.Bool()
+	}
+	return valid, d.Err()
+}

@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/core"
 	"nexus/internal/engines/exec"
@@ -26,6 +28,11 @@ type Engine struct {
 
 	mu  sync.Mutex
 	mat map[string]*table.Table // warm materialized datasets
+	// matGen is bumped by every invalidation, so a scan that finished
+	// materializing from a snapshot taken BEFORE a compaction (or other
+	// mutation) invalidated the dataset does not insert its now-stale
+	// table into the warm cache. Guarded by mu.
+	matGen uint64
 
 	// Scan counters (atomics), reported by benchmarks and asserted by
 	// the pruning tests.
@@ -82,10 +89,58 @@ func (e *Engine) SegmentsScanned() int64 { return e.segmentsScanned.Load() }
 // SegmentsSkipped returns how many segments zone maps pruned away.
 func (e *Engine) SegmentsSkipped() int64 { return e.segmentsSkipped.Load() }
 
+// BytesRead returns the cumulative segment-file bytes read from disk;
+// projected scans read fewer of them than full scans.
+func (e *Engine) BytesRead() int64 { return e.st.BytesRead() }
+
+// Compact runs one compaction pass over the backing store (see
+// Store.Compact) and invalidates the warm copies of every dataset that
+// got a new generation — their row order changed under the clustering
+// sort, and warm and cold scans must keep agreeing.
+func (e *Engine) Compact(opts CompactOptions) (CompactStats, error) {
+	stats, err := e.st.Compact(opts)
+	for _, name := range stats.Datasets {
+		e.invalidate(name)
+	}
+	return stats, err
+}
+
+// StartCompactor runs Compact on a timer until the returned stop
+// function is called. logf (optional) receives a line per pass that
+// merged something, and every error.
+func (e *Engine) StartCompactor(every time.Duration, opts CompactOptions, logf func(format string, args ...any)) (stop func()) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				stats, err := e.Compact(opts)
+				switch {
+				case err != nil:
+					logf("storage %q: compaction: %v", e.name, err)
+				case len(stats.Datasets) > 0:
+					logf("storage %q: compacted %d segments into %d (%d -> %d bytes) across %v",
+						e.name, stats.Merged, stats.Created, stats.BytesIn, stats.BytesOut, stats.Datasets)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // invalidate forgets the warm copy of a dataset after a mutation.
 func (e *Engine) invalidate(name string) {
 	e.mu.Lock()
 	delete(e.mat, name)
+	e.matGen++
 	e.mu.Unlock()
 }
 
@@ -94,6 +149,7 @@ func (e *Engine) invalidate(name string) {
 func (e *Engine) DropCache() {
 	e.mu.Lock()
 	e.mat = map[string]*table.Table{}
+	e.matGen++
 	e.mu.Unlock()
 	e.st.DropSegmentCache()
 }
@@ -154,45 +210,56 @@ func (e *Engine) Datasets() []provider.DatasetInfo {
 }
 
 // dataset resolves a scan: warm RAM copy if present, otherwise
-// materialize from one consistent segments+tail snapshot and keep the
-// copy warm.
+// materialize from one consistent segments+tail snapshot (via
+// Store.readSnapshot, which retries when a compaction swap deletes a
+// file under it) and keep the copy warm — unless an invalidation ran
+// while materializing, in which case the stale table is returned for
+// this query but not cached.
 func (e *Engine) dataset(name string) (*table.Table, bool) {
 	e.mu.Lock()
 	t, ok := e.mat[name]
+	gen := e.matGen
 	e.mu.Unlock()
 	if ok {
 		return t, true
 	}
-	refs, parts, ok := e.st.Segments(name)
-	if !ok {
-		return nil, false
-	}
-	sch, _ := e.st.Schema(name)
-	tables := make([]*table.Table, 0, len(refs)+len(parts))
-	for _, ref := range refs {
-		seg, err := e.st.ReadSegment(ref)
-		if err != nil {
-			return nil, false
+	var out *table.Table
+	err := e.st.readSnapshot(name, func(refs []SegmentRef, parts []*table.Table) error {
+		sch, _ := e.st.Schema(name)
+		tables := make([]*table.Table, 0, len(refs)+len(parts))
+		for _, ref := range refs {
+			seg, err := e.st.ReadSegment(ref)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, seg)
 		}
-		tables = append(tables, seg)
-	}
-	e.segmentsScanned.Add(int64(len(refs)))
-	tables = append(tables, parts...)
-	t, err := concatTables(sch, tables)
+		e.segmentsScanned.Add(int64(len(refs)))
+		tables = append(tables, parts...)
+		t, err := concatTables(sch, tables)
+		if err != nil {
+			return err
+		}
+		out = t
+		return nil
+	})
 	if err != nil {
 		return nil, false
 	}
 	e.mu.Lock()
-	e.mat[name] = t
+	if e.matGen == gen {
+		e.mat[name] = out
+	}
 	e.mu.Unlock()
-	return t, true
+	return out, true
 }
 
 // Execute implements provider.Provider. The runtime's Override hook
-// implements the pruned cold-scan path: a Filter directly over a Scan
-// of a cold dataset tests the filter's column-vs-constant conjuncts
-// (planner.ScanPreds) against each segment's zone maps and reads only
-// the segments that can match, plus the unflushed tail.
+// implements the direct cold-scan path: a stack of Filter/Project nodes
+// over a Scan of a cold dataset (planner.AnalyzeScanAccess) reads only
+// the segments whose zone maps can satisfy the filter conjuncts, and
+// only the column pages the stack references — segment-level column
+// projection threaded down into the file reader.
 func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
 		return nil, fmt.Errorf("storage %q: operator %v not supported", e.name, missing)
@@ -205,77 +272,137 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	return t, nil
 }
 
-// override intercepts Filter(Scan(cold dataset)) plans for zone-map
-// pruning. Everything else falls through to the generic runtime.
+// override intercepts Filter/Project stacks over a Scan of a cold
+// dataset and serves them with zone-map pruning and column projection.
+// Everything else — and anything already warm in RAM — falls through to
+// the generic runtime.
 func (e *Engine) override(n core.Node, env *exec.Env, rec exec.RecFunc) (*table.Table, bool, error) {
-	f, ok := n.(*core.Filter)
+	acc, ok := planner.AnalyzeScanAccess(n)
 	if !ok {
 		return nil, false, nil
 	}
-	sc, ok := f.Children()[0].(*core.Scan)
-	if !ok {
-		return nil, false, nil
+	if _, isScan := n.(*core.Scan); isScan {
+		return nil, false, nil // bare full-width scan: generic path materializes + warms
+	}
+	if len(acc.Preds) == 0 && acc.Cols == nil {
+		return nil, false, nil // nothing to prune, nothing to project
 	}
 	e.mu.Lock()
-	_, warm := e.mat[sc.Dataset]
+	_, warm := e.mat[acc.Scan.Dataset]
 	e.mu.Unlock()
 	if warm {
-		return nil, false, nil // RAM scan: nothing to prune
+		return nil, false, nil // RAM scan: nothing to win on disk
 	}
-	preds := planner.ScanPreds(f.Pred)
-	if len(preds) == 0 {
-		return nil, false, nil
-	}
-	pruned, ok, err := e.prunedTable(sc.Dataset, sc.Schema(), preds)
+	narrow, ok, err := e.accessTable(acc)
 	if err != nil {
 		return nil, false, err
 	}
 	if !ok {
 		return nil, false, nil // unknown dataset or schema drift: generic path reports it
 	}
-	lit, err := core.NewLiteral(pruned)
+	lit, err := core.NewLiteral(narrow)
 	if err != nil {
 		return nil, false, err
 	}
-	nf, err := core.NewFilter(lit, f.Pred)
+	rebuilt, err := substituteScan(n, lit)
 	if err != nil {
 		return nil, false, err
 	}
-	t, err := rec(nf, env)
+	t, err := rec(rebuilt, env)
 	return t, true, err
 }
 
-// prunedTable materializes the rows of a dataset that can satisfy the
-// predicates: segments surviving their zone maps, plus the whole
-// unflushed tail (no zone maps yet — it is small by construction).
-func (e *Engine) prunedTable(name string, want schema.Schema, preds []planner.ScanPred) (*table.Table, bool, error) {
-	refs, parts, ok := e.st.Segments(name)
-	if !ok {
-		return nil, false, nil
+// substituteScan rebuilds a Filter/Project stack with its Scan leaf
+// replaced by the materialized literal; the nodes above re-run schema
+// inference, so a projection mistake fails loudly instead of silently
+// returning wrong columns.
+func substituteScan(n core.Node, lit core.Node) (core.Node, error) {
+	if _, ok := n.(*core.Scan); ok {
+		return lit, nil
 	}
-	sch, _ := e.st.Schema(name)
-	if !sch.Equal(want) {
-		return nil, false, nil
+	kids := n.Children()
+	if len(kids) != 1 {
+		return nil, fmt.Errorf("storage: cannot substitute scan under %T", n)
 	}
-	tables := make([]*table.Table, 0, len(refs)+len(parts))
-	for _, ref := range refs {
-		if segMayMatch(sch, ref, preds) {
-			t, err := e.st.ReadSegment(ref)
+	nk, err := substituteScan(kids[0], lit)
+	if err != nil {
+		return nil, err
+	}
+	return n.WithChildren([]core.Node{nk})
+}
+
+// accessTable materializes the slice of a dataset a Filter/Project
+// stack needs: segments surviving their zone maps under acc.Preds, each
+// read with only the columns in acc.Cols (nil = all), plus the whole
+// unflushed tail projected the same way (no zone maps yet — it is small
+// by construction). Store.readSnapshot supplies the consistent
+// snapshot and the retry when a compaction swap deletes a file mid-read.
+func (e *Engine) accessTable(acc planner.ScanAccess) (*table.Table, bool, error) {
+	name := acc.Scan.Dataset
+	var out *table.Table
+	unservable := false // schema drift: let the generic path report it
+	err := e.st.readSnapshot(name, func(refs []SegmentRef, parts []*table.Table) error {
+		sch, _ := e.st.Schema(name)
+		if !sch.Equal(acc.Scan.Schema()) {
+			unservable = true
+			return nil
+		}
+		var positions []int
+		outSch := sch
+		if acc.Cols != nil {
+			positions = make([]int, 0, len(acc.Cols))
+			for _, c := range acc.Cols {
+				i := sch.IndexOf(c)
+				if i < 0 {
+					unservable = true // stale plan vs dataset schema
+					return nil
+				}
+				positions = append(positions, i)
+			}
+			outSch = sch.Project(positions)
+		}
+		tables := make([]*table.Table, 0, len(refs)+len(parts))
+		scanned, skipped := int64(0), int64(0)
+		for _, ref := range refs {
+			if !segMayMatch(sch, ref, acc.Preds) {
+				skipped++
+				continue
+			}
+			var t *table.Table
+			var err error
+			if positions != nil {
+				t, err = e.st.ReadSegmentColumns(ref, positions)
+			} else {
+				t, err = e.st.ReadSegment(ref)
+			}
 			if err != nil {
-				return nil, false, err
+				return err
 			}
 			tables = append(tables, t)
-			e.segmentsScanned.Add(1)
-		} else {
-			e.segmentsSkipped.Add(1)
+			scanned++
 		}
+		e.segmentsScanned.Add(scanned)
+		e.segmentsSkipped.Add(skipped)
+		for _, p := range parts {
+			if positions != nil {
+				p = p.Project(positions)
+			}
+			tables = append(tables, p)
+		}
+		t, err := concatTables(outSch, tables)
+		if err != nil {
+			return err
+		}
+		out = t
+		return nil
+	})
+	if errors.Is(err, errNoDataset) || unservable {
+		return nil, false, nil
 	}
-	tables = append(tables, parts...)
-	t, err := concatTables(sch, tables)
 	if err != nil {
 		return nil, false, err
 	}
-	return t, true, nil
+	return out, true, nil
 }
 
 // segMayMatch tests every predicate against the segment's zone maps; a

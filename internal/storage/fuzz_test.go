@@ -14,6 +14,20 @@ func FuzzSegment(f *testing.F) {
 	f.Add(EncodeSegment(rowsTable(0, 10)))
 	f.Add(EncodeSegment(rowsTable(0, 0)))
 	f.Add(EncodeSegment(nullableTable()))
+	// Legacy v1 seeds: the decoder dispatches on the version byte and
+	// must stay robust for both layouts.
+	f.Add(EncodeSegmentV1(rowsTable(0, 10)))
+	f.Add(EncodeSegmentV1(nullableTable()))
+	// A dict-heavy v2 seed (few distinct values over many rows) steers
+	// the fuzzer at the non-plain page decoders.
+	small := rowsTable(0, 10)
+	parts := make([]*table.Table, 19)
+	for i := range parts {
+		parts[i] = small
+	}
+	if repeated, err := small.Concat(parts...); err == nil {
+		f.Add(EncodeSegment(repeated))
+	}
 	// A few structurally-broken seeds steer the fuzzer at the armor.
 	trunc := EncodeSegment(rowsTable(0, 3))
 	f.Add(trunc[:len(trunc)-2])

@@ -1,10 +1,19 @@
 // Package storage is the durability substrate of the nexus framework: a
-// columnar segment file format, a group-commit write-ahead log, a
-// generation-numbered on-disk catalog, and durable stream checkpoints.
-// Together they turn the in-memory providers into crash-recoverable
-// servers — a nexus-server killed mid-write reopens its data directory
-// and resumes with zero committed-row loss, and a hosted stream
-// subscription picks up from its last checkpoint.
+// columnar segment file format with per-column page encodings
+// (plain/dictionary/run-length), a group-commit write-ahead log, a
+// generation-numbered on-disk catalog, a background compactor that
+// merges small segments under a clustering sort, and durable stream
+// checkpoints. Together they turn the in-memory providers into
+// crash-recoverable servers — a nexus-server killed mid-write reopens
+// its data directory and resumes with zero committed-row loss, and a
+// hosted stream subscription picks up from its last checkpoint. Cold
+// scans read only the column pages a plan needs (segment-level column
+// projection) and skip whole segments whose zone maps cannot satisfy
+// the filter.
+//
+// The byte-level layout of every file in a data directory is specified
+// in docs/STORAGE_FORMAT.md; the constants and structs here are its
+// source of truth.
 //
 // Layout of a data directory:
 //
@@ -18,6 +27,7 @@ package storage
 import (
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -27,11 +37,29 @@ import (
 	"nexus/internal/wire"
 )
 
-// segMagic opens every segment file; segVersion is bumped on format
-// changes (readers reject unknown versions rather than misparse).
+// segMagic opens every segment file; the version byte after it is
+// bumped on format changes (readers reject unknown versions rather than
+// misparse).
 var segMagic = []byte("NXSEG\x01\r\n")
 
-const segVersion = 1
+const (
+	// segVersionV1 is the original layout: one wire.PutTable body plus a
+	// footer, CRC-armored as a whole. Still decoded; no longer written.
+	segVersionV1 = 1
+	// segVersion is the current layout: a CRC-armored meta block (schema,
+	// column-page directory, footer) up front, followed by one
+	// independently CRC-armored page per column — so a projected read
+	// fetches only the pages it needs and still verifies every byte.
+	segVersion = 2
+)
+
+// segHeaderLen is the fixed file prefix before the meta block: magic,
+// version byte, u32 meta length.
+const segHeaderLen = 8 + 1 + 4
+
+// pageDirEntryLen is one column's directory entry inside the meta
+// block: u64 absolute page offset + u32 page length.
+const pageDirEntryLen = 8 + 4
 
 // ZoneMap is one column's value summary: the minimum and maximum under
 // the value total order (NULL sorts first, so a column containing NULLs
@@ -74,9 +102,12 @@ type SegmentMeta struct {
 }
 
 // Segment is a decoded segment: its rows plus the footer metadata.
+// FileBytes is how many bytes the reader actually consumed — the whole
+// file for full reads, header+meta+selected pages for projected reads.
 type Segment struct {
-	Table *table.Table
-	Meta  SegmentMeta
+	Table     *table.Table
+	Meta      SegmentMeta
+	FileBytes int64
 }
 
 // SchemaHash digests a schema (names, kinds, dimension tags, in order);
@@ -155,15 +186,75 @@ func getZones(d *wire.Decoder) []ZoneMap {
 	return zones
 }
 
-// EncodeSegment serializes a table as one segment:
+// pageRef locates one column page inside a segment file.
+type pageRef struct {
+	off    int64 // absolute file offset
+	length int
+}
+
+// EncodeSegment serializes a table as one current-version (v2) segment:
 //
-//	magic | version | body | crc32(body)
+//	magic | u8 version=2 | u32 metaLen | meta | u32 crc32(meta) | pages
+//	meta  := schema | u32 ncols | ncols×{u64 pageOff, u32 pageLen} | footer
+//	footer:= u64 schema hash | i64 row count | zone maps
+//	page  := u8 pageVersion | u8 encoding | u32 rows | u32 payloadLen |
+//	         payload | u32 crc32(header|payload)
+//
+// The meta block and each page carry their own CRC, so a projected read
+// (header + meta + a subset of pages) verifies every byte it touches
+// without reading the rest of the file. Page encodings are chosen per
+// column by choosePageEncoding.
+func EncodeSegment(t *table.Table) []byte {
+	ncols := t.NumCols()
+	pages := make([][]byte, ncols)
+	for c := 0; c < ncols; c++ {
+		col := t.Col(c)
+		pages[c] = encodePage(col, choosePageEncoding(col))
+	}
+
+	var pre wire.Encoder
+	wire.PutSchema(&pre, t.Schema())
+	pre.U32(uint32(ncols))
+	var foot wire.Encoder
+	foot.U64(SchemaHash(t.Schema()))
+	foot.I64(int64(t.NumRows()))
+	putZones(&foot, ComputeZones(t))
+
+	metaLen := pre.Len() + ncols*pageDirEntryLen + foot.Len()
+	pagesStart := int64(segHeaderLen + metaLen + 4)
+
+	var meta wire.Encoder
+	meta.Raw(pre.Bytes())
+	rel := int64(0)
+	for _, p := range pages {
+		meta.U64(uint64(pagesStart + rel))
+		meta.U32(uint32(len(p)))
+		rel += int64(len(p))
+	}
+	meta.Raw(foot.Bytes())
+
+	var e wire.Encoder
+	e.Raw(segMagic)
+	e.U8(segVersion)
+	e.U32(uint32(meta.Len()))
+	e.Raw(meta.Bytes())
+	e.U32(crc32.ChecksumIEEE(meta.Bytes()))
+	for _, p := range pages {
+		e.Raw(p)
+	}
+	return e.Bytes()
+}
+
+// EncodeSegmentV1 serializes a table in the legacy v1 layout:
+//
+//	magic | u8 version=1 | u32 bodyLen | body | u32 crc32(body)
 //	body := table pages (wire.PutTable) | footer
 //	footer := schema hash | row count | zone maps
 //
-// The CRC covers the body, so a torn or bit-rotted file fails loudly on
-// open instead of yielding wrong rows.
-func EncodeSegment(t *table.Table) []byte {
+// The current writer always emits v2; this encoder is kept as
+// executable documentation of the v1 layout and for the mixed-version
+// read tests — DecodeSegment accepts both versions side by side.
+func EncodeSegmentV1(t *table.Table) []byte {
 	var body wire.Encoder
 	wire.PutTable(&body, t)
 	body.U64(SchemaHash(t.Schema()))
@@ -172,30 +263,47 @@ func EncodeSegment(t *table.Table) []byte {
 
 	var e wire.Encoder
 	e.Raw(segMagic)
-	e.U8(segVersion)
+	e.U8(segVersionV1)
 	e.U32(uint32(body.Len()))
 	e.Raw(body.Bytes())
 	e.U32(crc32.ChecksumIEEE(body.Bytes()))
 	return e.Bytes()
 }
 
-// DecodeSegment parses and verifies a segment encoding. Every failure
-// mode — bad magic, bad version, truncation, CRC mismatch, footer
-// disagreeing with the pages — is an error, never a panic: the fuzz
-// target FuzzSegment feeds this arbitrary bytes.
+// DecodeSegment parses and verifies a segment encoding of any supported
+// version. Every failure mode — bad magic, bad version, truncation, CRC
+// mismatch, footer disagreeing with the pages — is an error, never a
+// panic: the fuzz target FuzzSegment feeds this arbitrary bytes.
 func DecodeSegment(b []byte) (*Segment, error) {
-	if len(b) < len(segMagic)+1+4 {
-		return nil, fmt.Errorf("storage: segment too short (%d bytes)", len(b))
+	ver, err := segmentVersion(b)
+	if err != nil {
+		return nil, err
+	}
+	switch ver {
+	case segVersionV1:
+		return decodeSegmentV1(b)
+	case segVersion:
+		return decodeSegmentV2(b)
+	}
+	return nil, fmt.Errorf("storage: unsupported segment version %d", ver)
+}
+
+// segmentVersion checks the magic and returns the version byte.
+func segmentVersion(b []byte) (uint8, error) {
+	if len(b) < segHeaderLen {
+		return 0, fmt.Errorf("storage: segment too short (%d bytes)", len(b))
 	}
 	for i, m := range segMagic {
 		if b[i] != m {
-			return nil, fmt.Errorf("storage: bad segment magic")
+			return 0, fmt.Errorf("storage: bad segment magic")
 		}
 	}
-	d := wire.NewDecoder(b[len(segMagic):])
-	if v := d.U8(); v != segVersion {
-		return nil, fmt.Errorf("storage: unsupported segment version %d", v)
-	}
+	return b[len(segMagic)], nil
+}
+
+// decodeSegmentV1 parses the legacy whole-body layout.
+func decodeSegmentV1(b []byte) (*Segment, error) {
+	d := wire.NewDecoder(b[len(segMagic)+1:])
 	bodyLen := int(d.U32())
 	if bodyLen < 0 || bodyLen > d.Remaining()-4 {
 		return nil, fmt.Errorf("storage: segment body length %d exceeds file", bodyLen)
@@ -225,16 +333,115 @@ func DecodeSegment(b []byte) (*Segment, error) {
 	if meta.Zones == nil && t.NumCols() > 0 {
 		return nil, fmt.Errorf("storage: segment footer has no zone maps")
 	}
+	if err := checkSegmentMeta(meta, t); err != nil {
+		return nil, err
+	}
+	return &Segment{Table: t, Meta: meta, FileBytes: int64(len(b))}, nil
+}
+
+// decodeSegmentV2 parses the paged layout from a fully-read file.
+func decodeSegmentV2(b []byte) (*Segment, error) {
+	sch, meta, refs, err := decodeSegmentMetaV2(b[segHeaderLen:], headerMetaLen(b))
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*table.Column, len(refs))
+	for c, ref := range refs {
+		// Each term is bounded before the subtraction so a hostile
+		// off/length pair cannot wrap int64 past the slice check.
+		if ref.off < 0 || ref.length < 0 || ref.off > int64(len(b)) || int64(ref.length) > int64(len(b))-ref.off {
+			return nil, fmt.Errorf("storage: column %d page [%d,+%d) exceeds file of %d bytes", c, ref.off, ref.length, len(b))
+		}
+		col, err := decodePage(b[ref.off:ref.off+int64(ref.length)], sch.At(c).Kind)
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %d (%s): %w", c, sch.At(c).Name, err)
+		}
+		if int64(col.Len()) != meta.Rows {
+			return nil, fmt.Errorf("storage: column %d holds %d rows, footer says %d", c, col.Len(), meta.Rows)
+		}
+		cols[c] = col
+	}
+	t, err := table.New(sch, cols)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if err := checkSegmentMeta(meta, t); err != nil {
+		return nil, err
+	}
+	return &Segment{Table: t, Meta: meta, FileBytes: int64(len(b))}, nil
+}
+
+// headerMetaLen reads the u32 meta length from a v2 header (the caller
+// already validated len(b) >= segHeaderLen).
+func headerMetaLen(b []byte) int {
+	o := len(segMagic) + 1
+	return int(uint32(b[o])<<24 | uint32(b[o+1])<<16 | uint32(b[o+2])<<8 | uint32(b[o+3]))
+}
+
+// decodeSegmentMetaV2 parses and CRC-verifies a v2 meta block. The
+// input starts right after the fixed header (so at the meta bytes) and
+// must contain at least metaLen+4 bytes.
+func decodeSegmentMetaV2(b []byte, metaLen int) (schema.Schema, SegmentMeta, []pageRef, error) {
+	fail := func(err error) (schema.Schema, SegmentMeta, []pageRef, error) {
+		return schema.Schema{}, SegmentMeta{}, nil, err
+	}
+	if metaLen < 0 || metaLen > len(b)-4 {
+		return fail(fmt.Errorf("storage: segment meta length %d exceeds file", metaLen))
+	}
+	meta := b[:metaLen]
+	crc := uint32(b[metaLen])<<24 | uint32(b[metaLen+1])<<16 | uint32(b[metaLen+2])<<8 | uint32(b[metaLen+3])
+	if got := crc32.ChecksumIEEE(meta); got != crc {
+		return fail(fmt.Errorf("storage: segment meta crc mismatch (got %08x, want %08x)", got, crc))
+	}
+	d := wire.NewDecoder(meta)
+	sch := wire.GetSchema(d)
+	if err := d.Err(); err != nil {
+		return fail(fmt.Errorf("storage: segment schema: %w", err))
+	}
+	ncols := int(d.U32())
+	if d.Err() != nil || ncols != sch.Len() {
+		return fail(fmt.Errorf("storage: segment directory has %d columns for schema of %d", ncols, sch.Len()))
+	}
+	if ncols*pageDirEntryLen > d.Remaining() {
+		return fail(fmt.Errorf("storage: segment page directory exceeds meta block"))
+	}
+	refs := make([]pageRef, ncols)
+	for c := range refs {
+		refs[c] = pageRef{off: int64(d.U64()), length: int(d.U32())}
+	}
+	sm := SegmentMeta{SchemaHash: d.U64(), Rows: d.I64()}
+	sm.Zones = getZones(d)
+	if err := d.Err(); err != nil {
+		return fail(fmt.Errorf("storage: segment footer: %w", err))
+	}
+	if sm.Zones == nil && ncols > 0 {
+		return fail(fmt.Errorf("storage: segment footer has no zone maps"))
+	}
+	if len(sm.Zones) != ncols {
+		return fail(fmt.Errorf("storage: segment footer has %d zone maps for %d columns", len(sm.Zones), ncols))
+	}
+	if sm.Rows < 0 {
+		return fail(fmt.Errorf("storage: segment footer claims %d rows", sm.Rows))
+	}
+	if sm.SchemaHash != SchemaHash(sch) {
+		return fail(fmt.Errorf("storage: segment footer schema hash disagrees with schema"))
+	}
+	return sch, sm, refs, nil
+}
+
+// checkSegmentMeta cross-checks a decoded footer against the decoded
+// pages.
+func checkSegmentMeta(meta SegmentMeta, t *table.Table) error {
 	if meta.SchemaHash != SchemaHash(t.Schema()) {
-		return nil, fmt.Errorf("storage: segment footer schema hash disagrees with pages")
+		return fmt.Errorf("storage: segment footer schema hash disagrees with pages")
 	}
 	if meta.Rows != int64(t.NumRows()) {
-		return nil, fmt.Errorf("storage: segment footer says %d rows, pages hold %d", meta.Rows, t.NumRows())
+		return fmt.Errorf("storage: segment footer says %d rows, pages hold %d", meta.Rows, t.NumRows())
 	}
 	if len(meta.Zones) != t.NumCols() {
-		return nil, fmt.Errorf("storage: segment footer has %d zone maps for %d columns", len(meta.Zones), t.NumCols())
+		return fmt.Errorf("storage: segment footer has %d zone maps for %d columns", len(meta.Zones), t.NumCols())
 	}
-	return &Segment{Table: t, Meta: meta}, nil
+	return nil
 }
 
 // WriteSegmentFile writes a table as a segment under dir, atomically
@@ -262,6 +469,118 @@ func ReadSegmentFile(path string) (*Segment, error) {
 		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
 	}
 	return seg, nil
+}
+
+// ReadSegmentFileColumns reads only the named column positions of a
+// segment file (positions index the segment's full schema, ascending).
+// For a v2 segment this fetches the header, the meta block, and the
+// selected pages — the returned Segment's FileBytes reports exactly the
+// bytes consumed, which is how the benchmarks demonstrate projected
+// cold scans reading less. A v1 segment has no page directory, so it is
+// read whole and projected in memory (correct, just not cheaper). The
+// returned Segment's Table and Meta.Zones cover only the selected
+// columns, in the given order.
+func ReadSegmentFileColumns(path string, positions []int) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read segment: %w", err)
+	}
+	defer f.Close()
+
+	header := make([]byte, segHeaderLen)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("storage: %s: short header: %w", filepath.Base(path), err)
+	}
+	ver, err := segmentVersion(header)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
+	}
+	if ver == segVersionV1 {
+		// No page directory: fall back to a full read + in-memory project.
+		seg, err := ReadSegmentFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return projectSegment(seg, positions)
+	}
+	if ver != segVersion {
+		return nil, fmt.Errorf("storage: %s: unsupported segment version %d", filepath.Base(path), ver)
+	}
+
+	metaLen := headerMetaLen(header)
+	if metaLen < 0 || metaLen > 1<<30 {
+		return nil, fmt.Errorf("storage: %s: implausible meta length %d", filepath.Base(path), metaLen)
+	}
+	metaBuf := make([]byte, metaLen+4)
+	if _, err := io.ReadFull(f, metaBuf); err != nil {
+		return nil, fmt.Errorf("storage: %s: short meta: %w", filepath.Base(path), err)
+	}
+	sch, meta, refs, err := decodeSegmentMetaV2(metaBuf, metaLen)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
+	}
+
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
+	}
+	bytesRead := int64(segHeaderLen + len(metaBuf))
+	cols := make([]*table.Column, len(positions))
+	zones := make([]ZoneMap, len(positions))
+	for i, c := range positions {
+		if c < 0 || c >= len(refs) {
+			return nil, fmt.Errorf("storage: %s: projected column %d out of %d", filepath.Base(path), c, len(refs))
+		}
+		ref := refs[c]
+		// Bound the page against the real file size before allocating —
+		// a corrupt directory must fail the read, not OOM it (and the
+		// subtraction form cannot wrap like off+length could).
+		if ref.off < int64(segHeaderLen) || ref.length < 0 || ref.off > fi.Size() || int64(ref.length) > fi.Size()-ref.off {
+			return nil, fmt.Errorf("storage: %s: column %d page [%d,+%d) malformed", filepath.Base(path), c, ref.off, ref.length)
+		}
+		page := make([]byte, ref.length)
+		if _, err := f.ReadAt(page, ref.off); err != nil {
+			return nil, fmt.Errorf("storage: %s: column %d page: %w", filepath.Base(path), c, err)
+		}
+		bytesRead += int64(ref.length)
+		col, err := decodePage(page, sch.At(c).Kind)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s: column %d (%s): %w", filepath.Base(path), c, sch.At(c).Name, err)
+		}
+		if int64(col.Len()) != meta.Rows {
+			return nil, fmt.Errorf("storage: %s: column %d holds %d rows, footer says %d", filepath.Base(path), c, col.Len(), meta.Rows)
+		}
+		cols[i] = col
+		zones[i] = meta.Zones[c]
+	}
+	t, err := table.New(sch.Project(positions), cols)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
+	}
+	return &Segment{
+		Table:     t,
+		Meta:      SegmentMeta{SchemaHash: meta.SchemaHash, Rows: meta.Rows, Zones: zones},
+		FileBytes: bytesRead,
+	}, nil
+}
+
+// projectSegment narrows a fully-decoded segment to the given column
+// positions (the v1 fallback path of ReadSegmentFileColumns).
+func projectSegment(seg *Segment, positions []int) (*Segment, error) {
+	for _, c := range positions {
+		if c < 0 || c >= seg.Table.NumCols() {
+			return nil, fmt.Errorf("storage: projected column %d out of %d", c, seg.Table.NumCols())
+		}
+	}
+	zones := make([]ZoneMap, len(positions))
+	for i, c := range positions {
+		zones[i] = seg.Meta.Zones[c]
+	}
+	return &Segment{
+		Table:     seg.Table.Project(positions),
+		Meta:      SegmentMeta{SchemaHash: seg.Meta.SchemaHash, Rows: seg.Meta.Rows, Zones: zones},
+		FileBytes: seg.FileBytes,
+	}, nil
 }
 
 // atomicWriteFile writes data to path via a temp file in the same

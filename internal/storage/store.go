@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -26,12 +28,22 @@ type Store struct {
 	// means DefaultFlushBytes. Set before concurrent use.
 	FlushBytes int64
 
-	mu     sync.RWMutex
-	man    *Manifest
-	wal    *WAL
-	tails  map[string]*tail        // unflushed rows per dataset
-	segs   map[string]*table.Table // decoded segment cache, keyed by file
-	closed bool
+	mu      sync.RWMutex
+	man     *Manifest
+	wal     *WAL
+	tails   map[string]*tail        // unflushed rows per dataset
+	segs    map[string]*table.Table // decoded segment cache: file (full) or file+cols (projected)
+	nextSeg uint64                  // next segment file number (flushes and compactions share it)
+	closed  bool
+
+	// cacheGen is bumped whenever compaction purges cache entries, so a
+	// read that raced the purge (decoded a file the swap just deleted)
+	// knows not to re-insert the dead entry. Guarded by mu.
+	cacheGen uint64
+
+	// bytesRead counts the segment-file bytes scans actually consumed;
+	// the projection benchmarks report it. Guarded by mu.
+	bytesRead int64
 
 	// dsLocks serializes WAL-write + memory-apply per dataset, so the
 	// in-memory row order always matches the log's replay order. Writes
@@ -79,10 +91,11 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir:   dir,
-		man:   man,
-		tails: map[string]*tail{},
-		segs:  map[string]*table.Table{},
+		dir:     dir,
+		man:     man,
+		tails:   map[string]*tail{},
+		segs:    map[string]*table.Table{},
+		nextSeg: man.NextSeg,
 	}
 	walPath := filepath.Join(dir, walName(man.WalGen))
 	size, err := ReplayWAL(walPath, s.applyRecord)
@@ -344,6 +357,7 @@ func (s *Store) Segments(name string) (refs []SegmentRef, tailParts []*table.Tab
 func (s *Store) ReadSegment(ref SegmentRef) (*table.Table, error) {
 	s.mu.RLock()
 	t, ok := s.segs[ref.File]
+	gen := s.cacheGen
 	s.mu.RUnlock()
 	if ok {
 		return t, nil
@@ -352,42 +366,138 @@ func (s *Store) ReadSegment(ref SegmentRef) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.segs[ref.File] = seg.Table
-	s.mu.Unlock()
+	s.cacheInsert(ref.File, seg.Table, gen, seg.FileBytes)
 	return seg.Table, nil
 }
 
+// ReadSegmentColumns materializes only the given column positions of a
+// segment (the projected cold-scan path): a v2 segment file yields just
+// its header, meta block and the selected pages; a v1 file is read
+// whole and projected. Projections are cached separately from full
+// reads — both are immutable — and a cached full table short-circuits
+// to an in-memory projection.
+func (s *Store) ReadSegmentColumns(ref SegmentRef, positions []int) (*table.Table, error) {
+	key := ref.File + "?" + colsKey(positions)
+	s.mu.RLock()
+	t, ok := s.segs[key]
+	full, fullOK := s.segs[ref.File]
+	gen := s.cacheGen
+	s.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	if fullOK {
+		return full.Project(positions), nil
+	}
+	seg, err := ReadSegmentFileColumns(filepath.Join(s.dir, ref.File), positions)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheInsert(key, seg.Table, gen, seg.FileBytes)
+	return seg.Table, nil
+}
+
+// cacheInsert adds a decoded segment under key unless a compaction
+// purge ran since the caller snapshotted gen — inserting then would
+// resurrect an entry for a deleted file that nothing ever evicts.
+// Bytes read are counted either way; the disk read happened.
+func (s *Store) cacheInsert(key string, t *table.Table, gen uint64, bytes int64) {
+	s.mu.Lock()
+	if s.cacheGen == gen {
+		s.segs[key] = t
+	}
+	s.bytesRead += bytes
+	s.mu.Unlock()
+}
+
+// colsKey renders column positions as a cache-key suffix.
+func colsKey(positions []int) string {
+	var b []byte
+	for i, c := range positions {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = fmt.Appendf(b, "%d", c)
+	}
+	return string(b)
+}
+
+// BytesRead returns the cumulative segment-file bytes scans have read
+// from disk (cache hits cost nothing). Benchmarks compare this across
+// full and projected cold scans.
+func (s *Store) BytesRead() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytesRead
+}
+
 // DropSegmentCache empties the decoded-segment cache (benchmarks use
-// this to measure genuinely cold scans).
+// this to measure genuinely cold scans). Reads already in flight will
+// not repopulate it — the generation bump makes their inserts no-ops.
 func (s *Store) DropSegmentCache() {
 	s.mu.Lock()
 	s.segs = map[string]*table.Table{}
+	s.cacheGen++
 	s.mu.Unlock()
+}
+
+// maxSwapRetries bounds how often a scan re-snapshots after losing the
+// race against a compaction swap deleting its input files.
+const maxSwapRetries = 3
+
+// errNoDataset is the readSnapshot sentinel for an unknown dataset.
+var errNoDataset = errors.New("storage: no such dataset")
+
+// readSnapshot hands run one consistent (segments, tail) snapshot of a
+// dataset. A concurrent compaction swap can delete a snapshotted
+// segment file before run reads it; when run surfaces that as an
+// fs.ErrNotExist, the whole body re-runs over a fresh snapshot (the new
+// generation references the merged files) up to maxSwapRetries times.
+// Every reader of segment files goes through this, so the retry policy
+// lives in exactly one place.
+func (s *Store) readSnapshot(name string, run func(refs []SegmentRef, parts []*table.Table) error) error {
+	for attempt := 0; ; attempt++ {
+		refs, parts, ok := s.Segments(name)
+		if !ok {
+			return errNoDataset
+		}
+		err := run(refs, parts)
+		if err != nil && errors.Is(err, fs.ErrNotExist) && attempt < maxSwapRetries {
+			continue
+		}
+		return err
+	}
 }
 
 // Dataset materializes a whole dataset: durable segments in manifest
 // order, then the unflushed tail.
 func (s *Store) Dataset(name string) (*table.Table, bool, error) {
-	refs, parts, ok := s.Segments(name)
-	if !ok {
+	var out *table.Table
+	err := s.readSnapshot(name, func(refs []SegmentRef, parts []*table.Table) error {
+		sch, _ := s.Schema(name)
+		tables := make([]*table.Table, 0, len(refs)+len(parts))
+		for _, ref := range refs {
+			t, err := s.ReadSegment(ref)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+		}
+		tables = append(tables, parts...)
+		t, err := concatTables(sch, tables)
+		if err != nil {
+			return err
+		}
+		out = t
+		return nil
+	})
+	if errors.Is(err, errNoDataset) {
 		return nil, false, nil
 	}
-	sch, _ := s.Schema(name)
-	tables := make([]*table.Table, 0, len(refs)+len(parts))
-	for _, ref := range refs {
-		t, err := s.ReadSegment(ref)
-		if err != nil {
-			return nil, false, err
-		}
-		tables = append(tables, t)
-	}
-	tables = append(tables, parts...)
-	t, err := concatTables(sch, tables)
 	if err != nil {
 		return nil, false, err
 	}
-	return t, true, nil
+	return out, true, nil
 }
 
 // concatTables concatenates parts under sch (empty table when none).
@@ -425,7 +535,7 @@ func (s *Store) Flush() error {
 		return nil
 	}
 
-	next := &Manifest{Gen: s.man.Gen + 1, WalGen: s.man.WalGen + 1, NextSeg: s.man.NextSeg}
+	next := &Manifest{Gen: s.man.Gen + 1, WalGen: s.man.WalGen + 1, NextSeg: s.nextSeg}
 	// Carry forward untouched datasets and surviving segments.
 	names := map[string]bool{}
 	for _, dm := range s.man.Datasets {
@@ -464,8 +574,9 @@ func (s *Store) Flush() error {
 				return err
 			}
 			if t.NumRows() > 0 {
-				file := segName(next.NextSeg)
-				next.NextSeg++
+				file := segName(s.nextSeg)
+				s.nextSeg++
+				next.NextSeg = s.nextSeg
 				meta, err := WriteSegmentFile(s.dir, file, t)
 				if err != nil {
 					return err

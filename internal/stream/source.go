@@ -6,6 +6,14 @@
 // algebra. Windowed aggregation keeps per-window, per-group accumulator
 // state (the exec agg kernels) and emits a window's result relation when
 // the event-time watermark passes its end.
+//
+// Pipelines are portable and resumable: Builder.Spec serializes a
+// streaming query so a server can host it (internal/server), and
+// RunState captures the open windows plus the consumed-event offset as
+// a State — the object that detaches travel in, servers checkpoint into
+// durable storage (internal/storage), and migrations ship between
+// providers. PartitionOf splits a stream across providers by key hash;
+// the federation layer merges the partitions back in watermark order.
 package stream
 
 import (
