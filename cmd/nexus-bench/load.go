@@ -1,0 +1,299 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nexus"
+	"nexus/internal/obs"
+	"nexus/internal/server"
+	"nexus/internal/storage"
+)
+
+// Tail-latency load generator (-load -> BENCH_6.json). A durable server
+// runs in-process on a loopback TCP listener with a fast background
+// compactor; N concurrent clients drive a mixed workload against it —
+// small durable appends (WAL group commit under contention), filtered
+// scans (zone maps racing compaction's generation swaps) and windowed
+// dataset-replay subscriptions (credit-controlled streaming). Every
+// operation's latency lands in a histogram, and the report carries
+// throughput plus p50/p95/p99/p999 per class, so tail regressions are
+// machine-checkable. The run fails (non-zero exit) if any class shows a
+// zero p99 — an idle generator must never pass for a healthy one.
+
+// LoadClass is one workload class's results.
+type LoadClass struct {
+	Op        string  `json:"op"`
+	Clients   int     `json:"clients"`
+	Ops       int64   `json:"ops"`
+	Rows      int64   `json:"rows"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P95Us     float64 `json:"p95_us"`
+	P99Us     float64 `json:"p99_us"`
+	P999Us    float64 `json:"p999_us"`
+}
+
+// LoadReport is the BENCH_6.json shape.
+type LoadReport struct {
+	GeneratedAt  string      `json:"generated_at"`
+	GoMaxProcs   int         `json:"gomaxprocs"`
+	Clients      int         `json:"clients"`
+	DurationSecs float64     `json:"duration_seconds"`
+	SeedRows     int         `json:"seed_rows"`
+	Classes      []LoadClass `json:"classes"`
+}
+
+const loadDataset = "load_events"
+
+// loadEvents builds (ts, sym, vol, price) rows with ts = lo..hi-1.
+func loadEvents(lo, hi int64) (*nexus.Table, error) {
+	syms := []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF", "GGG", "HHH"}
+	tb := nexus.NewTableBuilder(
+		nexus.ColumnDef{Name: "ts", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "sym", Type: nexus.String},
+		nexus.ColumnDef{Name: "vol", Type: nexus.Int64},
+		nexus.ColumnDef{Name: "price", Type: nexus.Float64},
+	)
+	for i := lo; i < hi; i++ {
+		tb.Append(i, syms[i%8], i%100, float64(i%50)+0.25)
+	}
+	return tb.Build()
+}
+
+func runLoad(out string, clients int, dur time.Duration) error {
+	if clients < 4 {
+		clients = 4
+	}
+	dir, err := os.MkdirTemp("", "nexus-load-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := storage.OpenEngine("load", dir)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	srv, err := server.ServeWithCheckpoints(eng, "127.0.0.1:0", eng.Backing(), time.Second)
+	if err != nil {
+		return err
+	}
+	srv.Logf = func(string, ...any) {}
+	defer srv.Close()
+
+	// Seed through the wire like any other client, then flush so the
+	// first scans hit real segments rather than the memtable.
+	const seedRows = 20000
+	seed, err := loadEvents(0, seedRows)
+	if err != nil {
+		return err
+	}
+	seeder := nexus.NewSession()
+	seedProv, err := seeder.ConnectTCP(srv.Addr())
+	if err != nil {
+		return err
+	}
+	if err := seeder.Store(seedProv, loadDataset, seed); err != nil {
+		return err
+	}
+	if err := eng.Flush(); err != nil {
+		return err
+	}
+	// A fast compactor keeps generation swaps happening under the
+	// scans, so the bench measures the system as deployed, not a
+	// quiesced one. Replay subscriptions here never resume, so no
+	// exclusion is needed.
+	stopCompactor := eng.StartCompactor(250*time.Millisecond, storage.CompactOptions{ClusterBy: map[string]string{loadDataset: "ts"}}, nil)
+	defer stopCompactor()
+
+	// Latency histograms live in a private registry so the report never
+	// mixes with the server's own process-wide metrics.
+	reg := obs.NewRegistry()
+	hists := map[string]*obs.Histogram{
+		"append":    reg.Histogram("load_append_seconds", "Durable append round-trip.", obs.LatencyBuckets()),
+		"scan":      reg.Histogram("load_scan_seconds", "Filtered scan round-trip.", obs.LatencyBuckets()),
+		"subscribe": reg.Histogram("load_subscribe_seconds", "Windowed dataset-replay subscription, subscribe to final window.", obs.LatencyBuckets()),
+	}
+	var ops, rows sync.Map // class -> *atomic.Int64
+	for class := range hists {
+		ops.Store(class, &atomic.Int64{})
+		rows.Store(class, &atomic.Int64{})
+	}
+	count := func(m *sync.Map, class string, n int64) {
+		v, _ := m.Load(class)
+		v.(*atomic.Int64).Add(n)
+	}
+
+	// Client mix: half appenders, a quarter scanners, a quarter
+	// subscribers (at least one each — the whole point is concurrency).
+	nSub := clients / 4
+	nScan := clients / 4
+	nApp := clients - nSub - nScan
+
+	deadline := time.Now().Add(dur)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	for c := 0; c < nApp; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := nexus.NewSession()
+			prov, err := s.ConnectTCP(srv.Addr())
+			if err != nil {
+				fail(err)
+				return
+			}
+			const batch = 64
+			next := int64(seedRows + id*1_000_000)
+			for time.Now().Before(deadline) {
+				t, err := loadEvents(next, next+batch)
+				if err != nil {
+					fail(err)
+					return
+				}
+				next += batch
+				start := time.Now()
+				if err := s.Append(prov, loadDataset, t); err != nil {
+					fail(fmt.Errorf("append: %w", err))
+					return
+				}
+				hists["append"].ObserveSince(start)
+				count(&ops, "append", 1)
+				count(&rows, "append", batch)
+			}
+		}(c)
+	}
+	for c := 0; c < nScan; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := nexus.NewSession()
+			if _, err := s.ConnectTCP(srv.Addr()); err != nil {
+				fail(err)
+				return
+			}
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				t, err := s.Scan(loadDataset).
+					Where(nexus.Gt(nexus.Col("vol"), nexus.Int(94))).
+					Collect()
+				if err != nil {
+					fail(fmt.Errorf("scan: %w", err))
+					return
+				}
+				hists["scan"].ObserveSince(start)
+				count(&ops, "scan", 1)
+				count(&rows, "scan", int64(t.NumRows()))
+			}
+		}()
+	}
+	for c := 0; c < nSub; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := nexus.NewSession()
+			prov, err := s.ConnectTCP(srv.Addr())
+			if err != nil {
+				fail(err)
+				return
+			}
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				windows := int64(0)
+				_, err := s.StreamScan(loadDataset, "ts").
+					BatchSize(2048).
+					Window(nexus.Tumbling(1000)).
+					GroupBy("sym").
+					Agg(nexus.Count("n")).
+					SubscribeRemote(ctx, []string{prov}, func(*nexus.Table) error {
+						windows++
+						return nil
+					})
+				if err != nil {
+					if ctx.Err() != nil {
+						return // deadline cut the replay short; not a failure
+					}
+					fail(fmt.Errorf("subscribe: %w", err))
+					return
+				}
+				hists["subscribe"].ObserveSince(start)
+				count(&ops, "subscribe", 1)
+				count(&rows, "subscribe", windows)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	report := LoadReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Clients:      clients,
+		DurationSecs: dur.Seconds(),
+		SeedRows:     seedRows,
+	}
+	classClients := map[string]int{"append": nApp, "scan": nScan, "subscribe": nSub}
+	fmt.Printf("load: %d clients (%d append, %d scan, %d subscribe) for %v against %s\n\n",
+		clients, nApp, nScan, nSub, dur, srv.Addr())
+	fmt.Printf("%-10s %10s %12s %12s %10s %10s %10s %10s\n",
+		"op", "ops", "rows", "ops/sec", "p50", "p95", "p99", "p999")
+	for _, class := range []string{"append", "scan", "subscribe"} {
+		st := hists[class].Stats()
+		opsV, _ := ops.Load(class)
+		rowsV, _ := rows.Load(class)
+		n := opsV.(*atomic.Int64).Load()
+		lc := LoadClass{
+			Op:        class,
+			Clients:   classClients[class],
+			Ops:       n,
+			Rows:      rowsV.(*atomic.Int64).Load(),
+			OpsPerSec: float64(n) / dur.Seconds(),
+			P50Us:     st.P50 * 1e6,
+			P95Us:     st.P95 * 1e6,
+			P99Us:     st.P99 * 1e6,
+			P999Us:    st.P999 * 1e6,
+		}
+		report.Classes = append(report.Classes, lc)
+		fmt.Printf("%-10s %10d %12d %12.1f %9.0fµs %9.0fµs %9.0fµs %9.0fµs\n",
+			lc.Op, lc.Ops, lc.Rows, lc.OpsPerSec, lc.P50Us, lc.P95Us, lc.P99Us, lc.P999Us)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+
+	// Self-assertion: an idle class means the generator (or the server)
+	// broke, and the numbers above are meaningless.
+	for _, lc := range report.Classes {
+		if lc.Ops == 0 || lc.P99Us <= 0 {
+			return fmt.Errorf("class %q did nothing (ops=%d p99=%.1fµs)", lc.Op, lc.Ops, lc.P99Us)
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	nexus-bench -tcp             # E4 over real TCP loopback servers
 //	nexus-bench -micro           # kernel micro-benchmarks -> BENCH_2.json
 //	nexus-bench -storage         # cold/warm/projected/pruned/compacted scans -> BENCH_5.json
+//	nexus-bench -load            # concurrent mixed-workload tail-latency run -> BENCH_6.json
 package main
 
 import (
@@ -28,7 +29,10 @@ func main() {
 	tcp := flag.Bool("tcp", false, "run E4 over TCP loopback servers instead of in-process transports")
 	micro := flag.Bool("micro", false, "run the execution-kernel micro-benchmarks and emit machine-readable results")
 	storageBench := flag.Bool("storage", false, "run the durable-storage scan benchmarks (cold disk vs warm RAM vs zone-map pruned)")
-	benchOut := flag.String("bench-out", "", "output path for -micro (default BENCH_2.json) / -storage (default BENCH_5.json) results")
+	loadBench := flag.Bool("load", false, "run the concurrent mixed-workload tail-latency generator against a live durable server")
+	loadClients := flag.Int("load-clients", 12, "concurrent clients for -load")
+	loadDur := flag.Duration("load-duration", 5*time.Second, "wall-clock duration for -load")
+	benchOut := flag.String("bench-out", "", "output path for -micro (default BENCH_2.json) / -storage (default BENCH_5.json) / -load (default BENCH_6.json) results")
 	baseline := flag.String("baseline", "", "previous -micro report to compute speedups against")
 	flag.Parse()
 
@@ -50,6 +54,21 @@ func main() {
 		}
 		if err := runStorageBench(out, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "storage benchmarks FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadBench {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_6.json"
+		}
+		dur := *loadDur
+		if *quick && dur > 2*time.Second {
+			dur = 2 * time.Second
+		}
+		if err := runLoad(out, *loadClients, dur); err != nil {
+			fmt.Fprintf(os.Stderr, "load benchmark FAILED: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -11,11 +11,16 @@
 // behind into large ones sorted by a clustering key, tightening zone
 // maps as the data ages.
 //
+// With -metrics-addr the server also exposes an HTTP observability
+// sidecar: /metrics (Prometheus text format), /healthz (WAL writable,
+// manifest readable, compactor live) and /debug/stats (JSON snapshot).
+// See docs/OBSERVABILITY.md.
+//
 // Usage:
 //
 //	nexus-server -engine relational -addr 127.0.0.1:7701 -demo
 //	nexus-server -engine array      -addr 127.0.0.1:7702
-//	nexus-server -data-dir ./data   -addr 127.0.0.1:7705
+//	nexus-server -data-dir ./data   -addr 127.0.0.1:7705 -metrics-addr 127.0.0.1:7790
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"nexus/internal/engines/graph"
 	"nexus/internal/engines/linalg"
 	"nexus/internal/engines/relational"
+	"nexus/internal/obs"
 	"nexus/internal/provider"
 	"nexus/internal/server"
 	"nexus/internal/storage"
@@ -46,6 +52,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (crash-recoverable columnar store; implies a relational-class engine)")
 	ckptEvery := flag.Duration("checkpoint-interval", 2*time.Second, "how often hosted durable subscriptions checkpoint their state (with -data-dir)")
 	compactEvery := flag.Duration("compact-interval", time.Minute, "how often the background compactor merges small segments (with -data-dir; 0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP sidecar address for /metrics, /healthz and /debug/stats (empty disables)")
 	flag.Parse()
 
 	var prov provider.Provider
@@ -133,10 +140,33 @@ func main() {
 		log.Printf("  background compactor: every %v", *compactEvery)
 	}
 
+	var stopMetrics func() error
+	if *metricsAddr != "" {
+		// Health rolls up the server's ability to keep its promises: WAL
+		// still writable, on-disk catalog still readable, background
+		// compactor still making passes. Memory-only servers have none of
+		// those failure modes and report plain liveness.
+		checks := map[string]obs.HealthCheck{}
+		if durable != nil {
+			checks["wal"] = durable.Health
+			checks["manifest"] = durable.ManifestHealth
+			checks["compactor"] = durable.CompactorHealth
+		}
+		bound, stop, err := obs.Serve(*metricsAddr, obs.Default, checks)
+		if err != nil {
+			log.Fatalf("metrics sidecar: %v", err)
+		}
+		stopMetrics = stop
+		log.Printf("  metrics on http://%s/metrics (also /healthz, /debug/stats)", bound)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	if stopMetrics != nil {
+		_ = stopMetrics()
+	}
 	if stopCompactor != nil {
 		stopCompactor()
 	}

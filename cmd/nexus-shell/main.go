@@ -10,9 +10,18 @@
 //	\datasets            list datasets across providers (durable vs memory)
 //	\providers           list providers
 //	\explain <query>     show the optimized plan and fragment assignment
+//	\explain analyze <query>
+//	                     execute the query with a per-operator trace and
+//	                     show calls, rows and wall time per operator
+//	\explain analyze stream <ds> <timecol> <size> [key...]
+//	                     same for a windowed streaming query over the
+//	                     dataset (both stage plans, trace accumulated
+//	                     across micro-batches)
 //	\subscribe <ds> <timecol> <size> [key...]
 //	                     live windowed subscription hosted on the
 //	                     dataset's provider (federated streaming)
+//	\stats [host:port]   fetch and print /debug/stats from a server's
+//	                     metrics sidecar (default from -metrics)
 //	\open <dir>          attach a durable data directory as a provider
 //	\save <dataset>      persist a dataset into the opened directory
 //	\mode direct|routed  switch intermediate shipping
@@ -28,6 +37,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +50,7 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "create local engines and load demo data")
 	connect := flag.String("connect", "", "comma-separated server addresses to attach")
+	metrics := flag.String("metrics", "", "default metrics sidecar address for \\stats (host:port)")
 	flag.Parse()
 
 	s := nexus.NewSession()
@@ -130,6 +142,18 @@ func main() {
 				continue
 			}
 			fmt.Printf("dataset %q persisted on %q\n", ds, durableProvider)
+		case strings.HasPrefix(line, `\explain analyze`):
+			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain analyze`))
+			if rest, ok := strings.CutPrefix(src, "stream "); ok {
+				runStreamAnalyze(s, strings.Fields(rest))
+				continue
+			}
+			out, err := s.Query(src).ExplainAnalyze()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
 		case strings.HasPrefix(line, `\explain`):
 			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
 			out, err := s.Query(src).Explain()
@@ -138,8 +162,14 @@ func main() {
 				continue
 			}
 			fmt.Println(out)
+		case strings.HasPrefix(line, `\stats`):
+			addr := strings.TrimSpace(strings.TrimPrefix(line, `\stats`))
+			if addr == "" {
+				addr = *metrics
+			}
+			runStats(addr)
 		case strings.HasPrefix(line, `\`):
-			fmt.Println("unknown command; try \\datasets, \\providers, \\explain <q>, \\subscribe, \\open <dir>, \\save <ds>, \\mode, \\quit")
+			fmt.Println("unknown command; try \\datasets, \\providers, \\explain [analyze] <q>, \\subscribe, \\stats, \\open <dir>, \\save <ds>, \\mode, \\quit")
 		default:
 			t0 := time.Now()
 			res, m, err := s.Query(line).CollectWithMetrics()
@@ -198,6 +228,58 @@ func runSubscribe(s *nexus.Session, args []string) {
 	}
 	fmt.Printf("(%d windows from %s, %d events, %d late, %v)\n",
 		windows, provider, stats.Events, stats.Late, time.Since(t0).Round(time.Microsecond))
+}
+
+// runStreamAnalyze traces a windowed streaming query over a stored
+// dataset in-process: the replay runs to completion with a per-operator
+// trace, and both stage plans print with calls/rows/time annotations.
+//
+//	\explain analyze stream <dataset> <timecol> <windowsize> [key...]
+func runStreamAnalyze(s *nexus.Session, args []string) {
+	if len(args) < 3 {
+		fmt.Println("usage: \\explain analyze stream <dataset> <timecol> <windowsize> [key...]")
+		return
+	}
+	size, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil || size <= 0 {
+		fmt.Println("window size must be a positive integer")
+		return
+	}
+	out, err := s.StreamScan(args[0], args[1]).
+		Window(nexus.Tumbling(size)).
+		GroupBy(args[3:]...).
+		Agg(nexus.Count("n")).
+		ExplainAnalyze(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(out)
+}
+
+// runStats fetches a metrics sidecar's /debug/stats and prints the JSON.
+func runStats(addr string) {
+	if addr == "" {
+		fmt.Println("usage: \\stats <host:port> (or start the shell with -metrics)")
+		return
+	}
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get("http://" + addr + "/debug/stats")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Printf("error: %s returned %s: %s\n", addr, resp.Status, strings.TrimSpace(string(body)))
+		return
+	}
+	fmt.Println(string(body))
 }
 
 func printDatasets(s *nexus.Session) {

@@ -1,0 +1,66 @@
+package nexus_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nexus"
+)
+
+// TestExplainAnalyzeBatch pins the per-operator trace on a batch query:
+// every executed operator line carries calls/rows/time, the row counts
+// are the real ones, and the report ends with a whole-query total.
+func TestExplainAnalyzeBatch(t *testing.T) {
+	s := nexus.NewSession()
+	prov, err := s.AddEngine(nexus.Relational, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(prov, "sales", eventTable(0, 500)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Scan("sales").
+		Where(nexus.Gt(nexus.Col("vol"), nexus.Int(49))).
+		Select("ts", "sym").
+		ExplainAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan (analyzed on", "calls=1", "rows=250", "total: 250 rows in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(not executed)") {
+		t.Fatalf("unexecuted nodes in a fully generic plan:\n%s", out)
+	}
+}
+
+// TestExplainAnalyzeStream pins the streaming trace: both stage plans
+// render, the per-batch plan's calls accumulate across micro-batches,
+// and the total line reports the stream's event and window counts.
+func TestExplainAnalyzeStream(t *testing.T) {
+	s := nexus.NewSession()
+	prov, err := s.AddEngine(nexus.Relational, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(prov, "sales", eventTable(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.StreamScan("sales", "ts").
+		BatchSize(100).
+		Window(nexus.Tumbling(200)).
+		GroupBy("sym").
+		Agg(nexus.Count("n")).
+		ExplainAnalyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"per-batch plan (10 micro-batches):", "calls=10", "total: 1000 events"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -109,6 +109,22 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	return t, nil
 }
 
+// ExecuteTraced is Execute with a per-operator trace attached: tr
+// records calls, output rows and inclusive wall time for every node of
+// this plan instance (subtrees a dense kernel absorbed show as not
+// executed — the kernel's root carries their time).
+func (e *Engine) ExecuteTraced(plan core.Node, tr *exec.Trace) (*table.Table, error) {
+	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
+		return nil, fmt.Errorf("array %q: operator %v not supported", e.name, missing)
+	}
+	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override, Cache: e.cache, Trace: tr}
+	t, err := rt.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("array %q: %w", e.name, err)
+	}
+	return t, nil
+}
+
 // override substitutes dense kernels for window, fill, elemwise and
 // transpose when the operand converts to Dense form; on any conversion
 // obstacle it falls back to the generic sparse implementation, keeping

@@ -11,6 +11,7 @@ package exec
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/core"
 	"nexus/internal/expr"
@@ -63,6 +64,12 @@ type Runtime struct {
 	// plan executions.
 	Cache *ExprCache
 
+	// Trace, when non-nil, records per-node calls, output rows and
+	// inclusive wall time — the data behind EXPLAIN ANALYZE. Tracing
+	// costs a clock read and a map update per node evaluation, so it is
+	// attached per-query, never left on.
+	Trace *Trace
+
 	// Stats accumulate across Run calls; callers may reset between runs.
 	Stats Stats
 }
@@ -86,6 +93,22 @@ func (r *Runtime) Run(plan core.Node) (*table.Table, error) {
 
 // Eval evaluates a plan in an environment.
 func (r *Runtime) Eval(n core.Node, env *Env) (*table.Table, error) {
+	if r.Trace == nil {
+		return r.eval(n, env)
+	}
+	start := time.Now()
+	t, err := r.eval(n, env)
+	if err == nil && n != nil {
+		rows := 0
+		if t != nil {
+			rows = t.NumRows()
+		}
+		r.Trace.record(n, rows, time.Since(start))
+	}
+	return t, err
+}
+
+func (r *Runtime) eval(n core.Node, env *Env) (*table.Table, error) {
 	if n == nil {
 		return nil, fmt.Errorf("exec: nil plan")
 	}
@@ -99,6 +122,7 @@ func (r *Runtime) Eval(n core.Node, env *Env) (*table.Table, error) {
 			if t != nil {
 				atomic.AddInt64(&r.Stats.RowsProduced, int64(t.NumRows()))
 			}
+			countOp(n.Kind())
 			return t, nil
 		}
 	}
@@ -108,6 +132,7 @@ func (r *Runtime) Eval(n core.Node, env *Env) (*table.Table, error) {
 	}
 	atomic.AddInt64(&r.Stats.NodesExecuted, 1)
 	atomic.AddInt64(&r.Stats.RowsProduced, int64(t.NumRows()))
+	countOp(n.Kind())
 	return t, nil
 }
 

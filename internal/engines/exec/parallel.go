@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/expr"
 	"nexus/internal/schema"
@@ -45,8 +46,10 @@ func (c *ExprCache) Compile(e expr.Expr, sch schema.Schema) (*expr.Compiled, err
 	hit, ok := c.m[key]
 	c.mu.Unlock()
 	if ok && expr.Equal(hit.Expr(), e) && hit.Schema().Equal(sch) {
+		metExprCacheHit.Inc()
 		return hit, nil
 	}
+	metExprCacheMiss.Inc()
 	compiled, err := expr.Compile(e, sch)
 	if err != nil {
 		return nil, err
@@ -143,6 +146,9 @@ func forEachMorsel(workers, n int, fn func(m, lo, hi int) error) error {
 		first   error
 		wg      sync.WaitGroup
 	)
+	// Queue wait per morsel: time between fan-out and a worker picking
+	// the morsel up. One clock read per 4096 rows — noise-level cost.
+	fanOut := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -152,6 +158,7 @@ func forEachMorsel(workers, n int, fn func(m, lo, hi int) error) error {
 				if m >= nm || failed.Load() {
 					return
 				}
+				metMorselWait.ObserveSince(fanOut)
 				lo := m * morselRows
 				hi := min(lo+morselRows, n)
 				if err := fn(m, lo, hi); err != nil {

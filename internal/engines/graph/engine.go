@@ -138,6 +138,22 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	return t, nil
 }
 
+// ExecuteTraced is Execute with a per-operator trace attached: tr
+// records calls, output rows and inclusive wall time for every node of
+// this plan instance (subtrees a native kernel absorbed show as not
+// executed — the kernel's root carries their time).
+func (e *Engine) ExecuteTraced(plan core.Node, tr *exec.Trace) (*table.Table, error) {
+	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
+		return nil, fmt.Errorf("graph %q: operator %v not supported", e.name, missing)
+	}
+	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override, Cache: e.cache, Trace: tr}
+	t, err := rt.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("graph %q: %w", e.name, err)
+	}
+	return t, nil
+}
+
 // ExecuteGeneric runs the plan with kernel substitution disabled — the
 // baseline of the intent-preservation comparison.
 func (e *Engine) ExecuteGeneric(plan core.Node) (*table.Table, error) {

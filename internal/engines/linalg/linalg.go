@@ -119,6 +119,22 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	return t, nil
 }
 
+// ExecuteTraced is Execute with a per-operator trace attached: tr
+// records calls, output rows and inclusive wall time for every node of
+// this plan instance (subtrees a BLAS-style kernel absorbed show as not
+// executed — the kernel's root carries their time).
+func (e *Engine) ExecuteTraced(plan core.Node, tr *exec.Trace) (*table.Table, error) {
+	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
+		return nil, fmt.Errorf("linalg %q: operator %v not supported", e.name, missing)
+	}
+	rt := &exec.Runtime{Datasets: e.Dataset, Override: e.override, Cache: e.cache, Trace: tr}
+	t, err := rt.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("linalg %q: %w", e.name, err)
+	}
+	return t, nil
+}
+
 func (e *Engine) override(n core.Node, env *exec.Env, rec exec.RecFunc) (*table.Table, bool, error) {
 	mm, ok := n.(*core.MatMul)
 	if !ok {

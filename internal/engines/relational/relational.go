@@ -118,6 +118,21 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 	return t, nil
 }
 
+// ExecuteTraced is Execute with a per-operator trace attached: tr
+// records calls, output rows and inclusive wall time for every node of
+// this plan instance (see exec.ExplainAnalyze).
+func (e *Engine) ExecuteTraced(plan core.Node, tr *exec.Trace) (*table.Table, error) {
+	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
+		return nil, fmt.Errorf("relational %q: operator %v not supported", e.name, missing)
+	}
+	rt := &exec.Runtime{Datasets: e.Dataset, Cache: e.cache, Trace: tr}
+	t, err := rt.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("relational %q: %w", e.name, err)
+	}
+	return t, nil
+}
+
 // ExecuteWithStats evaluates the plan and also returns runtime counters,
 // used by the benchmark harness. Unlike Execute it does not enforce the
 // advertised capability set: it is the raw reference runtime, used by

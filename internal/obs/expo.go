@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in the
+// Prometheus text exposition format (version 0.0.4): counters and
+// gauges as single samples, histograms as cumulative _bucket series
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			m := f.children[k]
+			labels := renderLabels(f.labels, k)
+			var err error
+			switch x := m.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labels, x.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labels, x.Value())
+			case *Histogram:
+				err = writePromHistogram(w, f.name, f.labels, k, x)
+			}
+			if err != nil {
+				f.mu.Unlock()
+				return err
+			}
+		}
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, labelNames []string, key string, h *Histogram) error {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		labels := renderLabelsWith(labelNames, key, "le", le)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, cum); err != nil {
+			return err
+		}
+	}
+	labels := renderLabels(labelNames, key)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+	return err
+}
+
+// renderLabels renders {a="x",b="y"} from the family's label names and
+// a child key, or "" when unlabeled.
+func renderLabels(names []string, key string) string {
+	return renderLabelsWith(names, key, "", "")
+}
+
+func renderLabelsWith(names []string, key, extraName, extraVal string) string {
+	var vals []string
+	if key != "" {
+		vals = strings.Split(key, "\xff")
+	}
+	if len(vals) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		fmt.Fprintf(&b, "%s=%s", n, strconv.Quote(v))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", extraName, strconv.Quote(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// HistogramStats is the JSON summary of one histogram child.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Stats summarizes a histogram for JSON exposition and bench output.
+func (h *Histogram) Stats() HistogramStats {
+	p50, p95, p99, p999 := h.Quantiles()
+	return HistogramStats{Count: h.Count(), Sum: h.Sum(), P50: p50, P95: p95, P99: p99, P999: p999}
+}
+
+// MetricSnapshot is one family in a Snapshot. Values maps a rendered
+// label string (e.g. `{dataset="sales"}`, or "" for unlabeled) to an
+// int64 for counters/gauges or a HistogramStats for histograms.
+type MetricSnapshot struct {
+	Type   string         `json:"type"`
+	Help   string         `json:"help,omitempty"`
+	Values map[string]any `json:"values"`
+}
+
+// Snapshot captures every metric in the registry as plain data, the
+// payload of /debug/stats.
+func (r *Registry) Snapshot() map[string]MetricSnapshot {
+	out := make(map[string]MetricSnapshot)
+	for _, f := range r.sortedFamilies() {
+		ms := MetricSnapshot{Type: f.typ, Help: f.help, Values: make(map[string]any)}
+		f.mu.Lock()
+		for k, m := range f.children {
+			label := renderLabels(f.labels, k)
+			switch x := m.(type) {
+			case *Counter:
+				ms.Values[label] = x.Value()
+			case *Gauge:
+				ms.Values[label] = x.Value()
+			case *Histogram:
+				ms.Values[label] = x.Stats()
+			}
+		}
+		f.mu.Unlock()
+		out[f.name] = ms
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// HealthCheck probes one aspect of process health; nil means healthy.
+type HealthCheck func() error
+
+// Handler serves the observability endpoints for one registry:
+//
+//	/metrics      Prometheus text exposition
+//	/healthz      200 "ok" when every health check passes, else 503
+//	              with a JSON map of check name -> error
+//	/debug/stats  JSON snapshot of every metric
+type Handler struct {
+	reg    *Registry
+	checks map[string]HealthCheck
+}
+
+// NewHandler builds a Handler over reg with named health checks
+// (checks may be nil for a pure metrics endpoint).
+func NewHandler(reg *Registry, checks map[string]HealthCheck) *Handler {
+	return &Handler{reg: reg, checks: checks}
+}
+
+// ServeHTTP dispatches the three observability routes.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.reg.WritePrometheus(w)
+	case "/healthz":
+		h.serveHealth(w)
+	case "/debug/stats":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.reg.Snapshot())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) serveHealth(w http.ResponseWriter) {
+	failed := make(map[string]string)
+	names := make([]string, 0, len(h.checks))
+	for name := range h.checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := h.checks[name](); err != nil {
+			failed[name] = err.Error()
+		}
+	}
+	if len(failed) == 0 {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(failed)
+}
+
+// Serve binds addr (host:port; port 0 picks a free port) and serves
+// the Handler on it in a background goroutine. It returns the bound
+// address and a shutdown function.
+func Serve(addr string, reg *Registry, checks map[string]HealthCheck) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewHandler(reg, checks),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

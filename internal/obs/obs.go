@@ -1,0 +1,310 @@
+// Package obs is nexus's dependency-free observability core: atomic
+// counters, gauges, and fixed-bucket histograms behind a Registry that
+// every layer registers into. The hot-path cost of a metric update is
+// one (histogram: two) atomic adds — cheap enough to leave on in the
+// kernels the BENCH suites measure. Exposition (Prometheus text,
+// JSON snapshot, /healthz) lives in expo.go and http.go.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus contract; this is not
+// enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed, ascending buckets and
+// supports quantile extraction by linear interpolation within the
+// crossing bucket. Observe costs two atomic adds plus a CAS loop for
+// the float sum; all methods are safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (tens); linear scan beats binary search for the
+	// common small-latency case and branch-predicts well.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts, interpolating linearly within the bucket the quantile falls
+// in. Returns 0 with no observations. Samples beyond the last bound
+// are reported as the last finite bound (the histogram cannot see
+// further).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Quantiles returns the standard tail summary: p50, p95, p99, p999.
+func (h *Histogram) Quantiles() (p50, p95, p99, p999 float64) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Quantile(0.999)
+}
+
+// ExpBuckets returns n upper bounds starting at start, each factor
+// times the previous — the usual shape for latency and size
+// histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LatencyBuckets spans 10µs to ~80s in powers of two — wide enough
+// for an fsync and a slow compaction alike.
+func LatencyBuckets() []float64 { return ExpBuckets(10e-6, 2, 24) }
+
+// SizeBuckets spans 1 to ~4M in powers of four, for batch sizes and
+// byte counts per event.
+func SizeBuckets() []float64 { return ExpBuckets(1, 4, 12) }
+
+// metric is anything a family can hold.
+type metric interface{}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one named metric with help text, a type, and zero or more
+// labeled children.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string // label names, fixed at registration
+	bounds []float64
+
+	mu       sync.Mutex
+	children map[string]metric // key: rendered label values ("" when unlabeled)
+}
+
+func (f *family) child(labelVals []string, create func() metric) metric {
+	key := labelKey(labelVals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.children[key]
+	if !ok {
+		m = create()
+		f.children[key] = m
+	}
+	return m
+}
+
+// labelKey joins label values with a separator that cannot appear in
+// a rendered label (0xff); the exposition layer re-splits it.
+func labelKey(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	return strings.Join(vals, "\xff")
+}
+
+// Registry holds metric families. The zero value is not usable; use
+// NewRegistry. All registration methods are idempotent for the same
+// (name, type) pair and panic on a type conflict — metric names are
+// program constants, so a conflict is a programming error.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry every nexus layer registers
+// into; the nexus-server HTTP sidecar exposes it.
+var Default = NewRegistry()
+
+func (r *Registry) family(name, help, typ string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, labels: labels, bounds: bounds,
+			children: make(map[string]metric)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s(%d labels), was %s(%d labels)",
+			name, typ, len(labels), f.typ, len(f.labels)))
+	}
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, typeCounter, nil, nil)
+	return f.child(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, typeGauge, nil, nil)
+	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the
+// given bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.family(name, help, typeHistogram, nil, bounds)
+	return f.child(nil, func() metric { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// CounterVec is a counter family with labels; With resolves one child.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, typeCounter, labelNames, nil)}
+}
+
+// With returns the child counter for the given label values (one per
+// label name, in registration order). Children are created on first
+// use and cached; hot paths should hold on to the returned Counter.
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	return v.f.child(labelVals, func() metric { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, typeGauge, labelNames, nil)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(labelVals ...string) *Gauge {
+	return v.f.child(labelVals, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, typeHistogram, labelNames, bounds)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	return v.f.child(labelVals, func() metric { return newHistogram(v.f.bounds) }).(*Histogram)
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHammer drives counters, gauges, histograms and vec
+// lookups from many goroutines; run under -race this is the data-race
+// proof for the whole hot path, and the final totals prove no update
+// was lost.
+func TestConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "total ops")
+	g := reg.Gauge("hammer_inflight", "in flight")
+	h := reg.Histogram("hammer_seconds", "latency", LatencyBuckets())
+	cv := reg.CounterVec("hammer_by_kind_total", "per kind", "kind")
+	hv := reg.HistogramVec("hammer_by_kind_seconds", "per kind latency", LatencyBuckets(), "kind")
+
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			kind := []string{"append", "scan", "subscribe"}[id%3]
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(j%100) * 1e-4)
+				cv.With(kind).Inc()
+				hv.With(kind).Observe(1e-3)
+				g.Dec()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter lost updates: got %d want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge should settle at 0, got %d", got)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("histogram lost observations: got %d want %d", got, goroutines*perG)
+	}
+	var byKind int64
+	for _, k := range []string{"append", "scan", "subscribe"} {
+		byKind += cv.With(k).Value()
+	}
+	if byKind != goroutines*perG {
+		t.Fatalf("counter vec lost updates: got %d want %d", byKind, goroutines*perG)
+	}
+	// Concurrent float-sum accumulation must not lose additions.
+	wantSum := float64(goroutines*perG) * 1e-3
+	if got := hv.With("append").Sum() + hv.With("scan").Sum() + hv.With("subscribe").Sum(); !near(got, wantSum, 1e-9) {
+		t.Fatalf("histogram sum drifted: got %g want %g", got, wantSum)
+	}
+}
+
+func near(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps*(1+b)
+}
+
+// TestHistogramQuantileOracle checks bucket-interpolated quantiles
+// against exact quantiles of the sorted sample. The histogram can
+// only be as precise as its buckets, so the tolerance is one bucket
+// width (factor 2 exponential buckets -> estimate within [oracle/2,
+// oracle*2] plus interpolation slack).
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newHistogram(LatencyBuckets())
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies between 20µs and 1s — spans many buckets.
+		v := 20e-6 * pow(50000, rng.Float64())
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		oracle := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		if got < oracle/2.1 || got > oracle*2.1 {
+			t.Errorf("q=%v: histogram %g vs oracle %g outside one bucket width", q, got, oracle)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Fatalf("count %d want %d", h.Count(), len(samples))
+	}
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// TestHistogramQuantileEdges covers empty and overflow behavior.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(1000) // beyond the last bound -> overflow bucket
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("overflow quantile = %g, want last bound 4", got)
+	}
+	h2 := newHistogram([]float64{10})
+	for i := 0; i < 100; i++ {
+		h2.Observe(5)
+	}
+	q := h2.Quantile(0.5)
+	if q <= 0 || q > 10 {
+		t.Fatalf("interpolated quantile %g out of bucket [0,10]", q)
+	}
+}
+
+// TestPrometheusExposition checks the text format: HELP/TYPE headers,
+// label rendering, cumulative histogram buckets with +Inf, _sum and
+// _count series.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nexus_test_total", "a counter").Add(3)
+	reg.GaugeVec("nexus_test_subs", "a gauge", "dataset").With("sales").Set(2)
+	h := reg.Histogram("nexus_test_seconds", "a histogram", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP nexus_test_total a counter",
+		"# TYPE nexus_test_total counter",
+		"nexus_test_total 3",
+		`nexus_test_subs{dataset="sales"} 2`,
+		`nexus_test_seconds_bucket{le="0.001"} 1`,
+		`nexus_test_seconds_bucket{le="0.01"} 1`,
+		`nexus_test_seconds_bucket{le="+Inf"} 2`,
+		"nexus_test_seconds_sum 0.5005",
+		"nexus_test_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHandlerEndpoints exercises /metrics, /healthz and /debug/stats
+// through the HTTP handler, including a failing health check.
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nexus_up_total", "ups").Inc()
+	healthy := true
+	h := NewHandler(reg, map[string]HealthCheck{
+		"wal": func() error {
+			if !healthy {
+				return errUnhealthy
+			}
+			return nil
+		},
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "nexus_up_total 1") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/debug/stats"); code != 200 || !strings.Contains(body, "nexus_up_total") {
+		t.Fatalf("/debug/stats = %d %q", code, body)
+	}
+	healthy = false
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "wal") {
+		t.Fatalf("unhealthy /healthz = %d %q, want 503 naming the check", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+var errUnhealthy = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string { return "wal poisoned" }
+
+// TestServe binds an ephemeral port and round-trips /metrics.
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nexus_serve_total", "x").Inc()
+	addr, shutdown, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"nexus/internal/core"
+	"nexus/internal/obs"
+)
+
+// Server-layer metrics on the process-wide registry. Per-dataset labels
+// come from client requests, but datasets are created explicitly (Store/
+// Append), so cardinality stays bounded by the catalog. Push-source
+// subscriptions have no dataset and report under "(push)".
+var (
+	metConns = obs.Default.Gauge("nexus_server_connections",
+		"Connections currently being served (TCP and in-process).")
+	metSubs = obs.Default.GaugeVec("nexus_server_subscriptions",
+		"Active stream subscriptions by replayed dataset (\"(push)\" for push sources).",
+		"dataset")
+	metAppends = obs.Default.CounterVec("nexus_server_appends_total",
+		"Append requests committed, by dataset.", "dataset")
+	metAppendRows = obs.Default.CounterVec("nexus_server_append_rows_total",
+		"Rows committed by append requests, by dataset.", "dataset")
+	metScans = obs.Default.CounterVec("nexus_server_scans_total",
+		"Scan operators in executed plans, by dataset.", "dataset")
+	metCreditStall = obs.Default.Histogram("nexus_server_credit_stall_seconds",
+		"Time result emission spent blocked waiting for subscriber credit (only waits are observed).",
+		obs.LatencyBuckets())
+	metEmitSeconds = obs.Default.Histogram("nexus_server_window_emit_seconds",
+		"Wall time to deliver one result batch to a subscriber, credit wait included.",
+		obs.LatencyBuckets())
+	metSubGone = obs.Default.Counter("nexus_server_subscriber_gone_total",
+		"Subscriptions terminated because the subscriber's connection vanished.")
+	metStaleResume = obs.Default.Counter("nexus_server_stale_resume_total",
+		"Dataset-replay resume attempts refused because the dataset's order epoch moved.")
+)
+
+// countPlanScans bumps the per-dataset scan counter for every Scan
+// operator in an executed plan.
+func countPlanScans(n core.Node) {
+	if n == nil {
+		return
+	}
+	if sc, ok := n.(*core.Scan); ok {
+		metScans.With(sc.Dataset).Inc()
+	}
+	for _, c := range n.Children() {
+		countPlanScans(c)
+	}
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nexus/internal/obs"
+	"nexus/internal/storage"
+	"nexus/internal/wire"
+)
+
+// HTTP observability round trip against a genuinely separate process:
+// the test binary re-executes itself as a durable server that loads
+// itself (appends, compaction, one stalled subscription) and announces
+// its sidecar address on stdout; the parent then speaks plain HTTP to
+// it, the way curl or a Prometheus scraper would. In-process tests
+// cannot catch a sidecar that binds the wrong socket, double-registers
+// its mux, or reads registries that only look populated because the
+// client shares their process.
+
+// TestObsLiveHelper is the child entry point; skipped unless re-executed.
+func TestObsLiveHelper(t *testing.T) {
+	if os.Getenv("NEXUS_OBS_MODE") != "serve" {
+		t.Skip("obs live helper (only runs re-executed)")
+	}
+	dir := os.Getenv("NEXUS_OBS_DIR")
+	eng, err := storage.OpenEngine("live", dir)
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	// Durable appends, each flushed to its own segment: WAL fsync and
+	// flush histograms fill, and the fast compactor below has small
+	// segments to merge.
+	events := eventsTable(400)
+	for lo := 0; lo < 400; lo += 100 {
+		if err := eng.Append("events", events.Slice(lo, lo+100)); err != nil {
+			fmt.Println("ERR", err)
+			os.Exit(1)
+		}
+		if err := eng.Flush(); err != nil {
+			fmt.Println("ERR", err)
+			os.Exit(1)
+		}
+	}
+	stopCompactor := eng.StartCompactor(50*time.Millisecond,
+		storage.CompactOptions{ClusterBy: map[string]string{"events": "k"}}, nil)
+	defer stopCompactor()
+
+	srv, err := ServeWithCheckpoints(eng, "127.0.0.1:0", eng.Backing(), time.Second)
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	srv.Logf = func(string, ...any) {}
+	bound, _, err := obs.Serve("127.0.0.1:0", obs.Default, map[string]obs.HealthCheck{
+		"wal":       eng.Health,
+		"manifest":  eng.ManifestHealth,
+		"compactor": eng.CompactorHealth,
+	})
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+
+	// Server-level metrics need wire traffic: one append and one
+	// subscription that stays open (credit 1, never drained), so the
+	// parent sees a live per-dataset subscription gauge.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	if _, err := wire.WriteFrame(conn, wire.MsgAppend, wire.EncodeStore("events", eventsTable(50))); err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	if typ, _, _, err := wire.ReadFrame(conn); err != nil || typ != wire.MsgAck {
+		fmt.Println("ERR append reply", typ, err)
+		os.Exit(1)
+	}
+	sub := wire.StreamSub{
+		ID: 1, SourceKind: wire.StreamSrcDataset,
+		Dataset: "events", TimeCol: "ts",
+		Spec: windowedSpec(t), Credit: 1,
+	}
+	if typ, _ := subscribeDataset(t, conn, sub); typ != wire.MsgSubAck {
+		fmt.Println("ERR subscribe reply", typ)
+		os.Exit(1)
+	}
+
+	fmt.Println("HTTP", bound)
+	time.Sleep(5 * time.Minute) // parent kills us long before this
+}
+
+// TestMetricsHealthzLiveSubprocess scrapes a child nexus server over
+// real HTTP: /metrics must expose non-zero WAL fsync and compaction
+// activity plus the per-dataset server families, /healthz must pass all
+// durable checks, and /debug/stats must be well-formed JSON naming the
+// same families.
+func TestMetricsHealthzLiveSubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestObsLiveHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"NEXUS_OBS_MODE=serve", "NEXUS_OBS_DIR="+t.TempDir())
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	var addr string
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "ERR") {
+			t.Fatalf("child failed: %s", line)
+		}
+		if rest, ok := strings.CutPrefix(line, "HTTP "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("child never announced its sidecar address: %v", sc.Err())
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	// Compaction is asynchronous in the child; poll /metrics until a
+	// pass lands (or the deadline proves the compactor dead).
+	var body string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var code int
+		var ctype string
+		code, ctype, body = get("/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("/metrics status %d", code)
+		}
+		if !strings.HasPrefix(ctype, "text/plain") {
+			t.Fatalf("/metrics content type %q", ctype)
+		}
+		if metricValue(t, body, "nexus_storage_compactions_total") > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no compaction pass ever reported:\n%s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := metricValue(t, body, "nexus_wal_fsync_seconds_count"); n <= 0 {
+		t.Fatalf("WAL fsync histogram empty (count=%d)", n)
+	}
+	if n := metricValue(t, body, `nexus_server_appends_total{dataset="events"}`); n != 1 {
+		t.Fatalf("server append counter = %d, want 1", n)
+	}
+	if n := metricValue(t, body, `nexus_server_subscriptions{dataset="events"}`); n != 1 {
+		t.Fatalf("subscription gauge = %d, want 1 (child holds one open)", n)
+	}
+	if !strings.Contains(body, "# TYPE nexus_wal_fsync_seconds histogram") {
+		t.Fatalf("missing TYPE line for the fsync histogram:\n%s", body)
+	}
+
+	code, _, hbody := get("/healthz")
+	if code != http.StatusOK || strings.TrimSpace(hbody) != "ok" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, hbody)
+	}
+
+	code, ctype, sbody := get("/debug/stats")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/stats = %d %q", code, ctype)
+	}
+	var stats map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sbody), &stats); err != nil {
+		t.Fatalf("/debug/stats is not JSON: %v", err)
+	}
+	for _, fam := range []string{"nexus_wal_fsync_seconds", "nexus_server_subscriptions"} {
+		if _, ok := stats[fam]; !ok {
+			t.Fatalf("/debug/stats missing family %q", fam)
+		}
+	}
+}
+
+// metricValue extracts one sample's integer value from Prometheus text
+// exposition; series is the exact "name" or `name{labels}` prefix.
+func metricValue(t *testing.T, body, series string) int64 {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(series) + ` (-?\d+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatalf("series %s: %v", series, err)
+	}
+	return v
+}

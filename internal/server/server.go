@@ -102,13 +102,13 @@ func (s *Server) EnableCheckpoints(cs CheckpointStore, every time.Duration) {
 // stored checkpoints is returned to the caller, who must treat every
 // dataset as sensitive for this pass rather than compact blind.
 //
-// Known limitation: ResumeTokens of NON-durable detached dataset-replay
-// subscriptions live only on the client, so the server cannot see them
-// — compaction between such a detach and its resume can still reorder
-// the replay under the token's row offset. Resuming reliably across
-// compaction requires a Durable subscription (whose checkpoint is
-// visible here); making client-held tokens compaction-proof needs an
-// order epoch in the token itself (see the ROADMAP follow-up).
+// ResumeTokens of NON-durable detached dataset-replay subscriptions live
+// only on the client, so the server cannot see them here — compaction
+// between such a detach and its resume can still reorder the replay
+// under the token's row offset. That case is handled at resume time
+// instead: tokens carry the dataset's order epoch, and a resume whose
+// epoch no longer matches is refused cleanly rather than silently
+// replaying the wrong rows (see handleSubscribeStream).
 func (s *Server) ResumeSensitiveDatasets() (map[string]bool, error) {
 	out := map[string]bool{}
 	s.mu.Lock()
@@ -273,6 +273,7 @@ type connCtx struct {
 
 // noteSubErr records the first gone-subscriber error on the connection.
 func (cc *connCtx) noteSubErr(err error) {
+	metSubGone.Inc()
 	cc.mu.Lock()
 	if cc.subErr == nil {
 		cc.subErr = err
@@ -319,6 +320,8 @@ func (cc *connCtx) sub(id uint64) (*subSession, bool) {
 // still-running subscriptions. If the peer vanished while subscriptions
 // were live, the terminal error is ErrSubscriberGone.
 func (cc *connCtx) serve() error {
+	metConns.Inc()
+	defer metConns.Dec()
 	var readErr error
 	for {
 		typ, payload, _, err := wire.ReadFrame(cc.conn)
@@ -440,6 +443,7 @@ func (cc *connCtx) handleExecute(payload []byte) error {
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	countPlanScans(plan)
 	t, err := cc.prov.Execute(plan)
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
@@ -456,6 +460,7 @@ func (cc *connCtx) handleExecuteTo(payload []byte) error {
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	countPlanScans(plan)
 	t, err := cc.prov.Execute(plan)
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
@@ -479,6 +484,8 @@ func (cc *connCtx) handleAppend(payload []byte) error {
 	if err := provider.Append(cc.prov, name, t); err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	metAppends.With(name).Inc()
+	metAppendRows.With(name).Add(int64(t.NumRows()))
 	return cc.writeFrame(wire.MsgAck, wire.EncodeAck(0, int64(t.NumRows()), 0))
 }
 

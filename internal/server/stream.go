@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"nexus/internal/core"
+	"nexus/internal/obs"
 	"nexus/internal/schema"
 	"nexus/internal/stream"
 	"nexus/internal/table"
@@ -43,6 +45,17 @@ type subSession struct {
 	// Server.ResumeSensitiveDatasets.
 	dataset string
 
+	// epoch is the dataset's order epoch at subscribe time (0 for push
+	// sources and providers without epoch tracking). It is stamped into
+	// every state the session hands out, and a resume whose state
+	// carries a different epoch is refused — the row offset counts rows
+	// of an ordering that no longer exists.
+	epoch uint64
+
+	// subGauge is the per-dataset active-subscription gauge child; set
+	// once the subscription is acknowledged, decremented when run ends.
+	subGauge *obs.Gauge
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	credit    int64 // result batches the subscriber will still accept
@@ -76,6 +89,9 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 	s.cond = sync.NewCond(&s.mu)
 	if sub.SourceKind == wire.StreamSrcDataset {
 		s.dataset = sub.Dataset
+		if ep, ok := cc.prov.(orderEpochProvider); ok {
+			s.epoch = ep.DatasetOrderEpoch(sub.Dataset)
+		}
 	}
 
 	// A durable subscription with no explicit resume picks up from the
@@ -101,6 +117,18 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 		}
 	}
 
+	// A dataset replay's resume offset counts rows in the dataset's
+	// storage order, which compaction, replace and drop+recreate all
+	// change (each bumps the order epoch). A state captured under a
+	// different epoch would skip the wrong prefix, so it is refused
+	// cleanly — wherever the state came from, a client-held ResumeToken
+	// or this server's own checkpoint. Providers without epoch tracking
+	// report 0 on both sides and are never refused.
+	if sub.Resume != nil && sub.SourceKind == wire.StreamSrcDataset && sub.Resume.Epoch != s.epoch {
+		metStaleResume.Inc()
+		return refuse(fmt.Errorf("server: stale resume state for dataset %q: captured at order epoch %d, dataset is now at epoch %d (rows were re-ordered by compaction, replace or re-create); restart the stream from scratch", sub.Dataset, sub.Resume.Epoch, s.epoch))
+	}
+
 	src, err := cc.buildSource(sub, s, fromCkpt)
 	if err != nil {
 		return refuse(err)
@@ -116,6 +144,7 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 	if sub.Durable != "" && cc.ckpt != nil {
 		s.durable = &sub
 		p.WithCheckpoint(cc.ckptEvery, func(st *stream.State) error {
+			st.Epoch = s.epoch
 			return cc.saveSubCheckpoint(&sub, st)
 		})
 	}
@@ -131,8 +160,20 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 		cancel()
 		return err
 	}
+	label := s.dataset
+	if label == "" {
+		label = "(push)"
+	}
+	s.subGauge = metSubs.With(label)
+	s.subGauge.Inc()
 	go s.run(ctx, p, sub.Resume)
 	return nil
+}
+
+// orderEpochProvider is implemented by providers that track a per-dataset
+// order epoch (the durable engine); others leave every epoch at 0.
+type orderEpochProvider interface {
+	DatasetOrderEpoch(name string) uint64
 }
 
 // buildSource resolves the subscription's event source: a (possibly
@@ -209,8 +250,15 @@ func (cc *connCtx) saveSubCheckpoint(sub *wire.StreamSub, st *stream.State) erro
 func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream.State) {
 	defer close(s.done)
 	defer s.cc.removeSub(s.id)
+	defer s.subGauge.Dec()
 	sink := &subSink{s: s}
 	stats, state, err := p.RunState(ctx, sink, resume)
+	if state != nil {
+		// Stamp the order epoch before the state leaves the session — a
+		// resume under a re-ordered dataset must be refused, not let
+		// through to skip the wrong rows.
+		state.Epoch = s.epoch
+	}
 
 	s.mu.Lock()
 	mode := s.closeMode
@@ -343,10 +391,17 @@ type subSink struct {
 
 // Emit implements stream.Sink: wait for credit, then push the batch.
 func (k *subSink) Emit(t *table.Table) error {
+	emitStart := time.Now()
 	s := k.s
 	s.mu.Lock()
-	for s.credit <= 0 && !s.gone && s.closeMode == 0 {
-		s.cond.Wait()
+	if s.credit <= 0 && !s.gone && s.closeMode == 0 {
+		// Only actual waits are observed, so the histogram's count is
+		// "emissions that stalled on credit", not "emissions".
+		stallStart := time.Now()
+		for s.credit <= 0 && !s.gone && s.closeMode == 0 {
+			s.cond.Wait()
+		}
+		metCreditStall.ObserveSince(stallStart)
 	}
 	if s.gone {
 		s.mu.Unlock()
@@ -370,6 +425,7 @@ func (k *subSink) Emit(t *table.Table) error {
 		// yet.
 		return fmt.Errorf("%w: %v", ErrSubscriberGone, err)
 	}
+	metEmitSeconds.ObserveSince(emitStart)
 	return nil
 }
 

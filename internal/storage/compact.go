@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"nexus/internal/table"
 )
@@ -102,6 +103,7 @@ func (s *Store) Compact(opts CompactOptions) (CompactStats, error) {
 	}
 	s.mu.RUnlock()
 
+	start := time.Now()
 	var stats CompactStats
 	for _, name := range names {
 		if opts.Exclude != nil && opts.Exclude(name) {
@@ -118,6 +120,14 @@ func (s *Store) Compact(opts CompactOptions) (CompactStats, error) {
 			stats.BytesIn += in
 			stats.BytesOut += out
 		}
+	}
+	if stats.Merged > 0 {
+		metCompactions.Inc()
+		metCompactSeconds.ObserveSince(start)
+		metCompactMerged.Add(int64(stats.Merged))
+		metCompactCreated.Add(int64(stats.Created))
+		metCompactBytesIn.Add(stats.BytesIn)
+		metCompactBytesOut.Add(stats.BytesOut)
 	}
 	return stats, nil
 }
@@ -295,9 +305,12 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 	}
 	next := &Manifest{Gen: s.man.Gen + 1, WalGen: s.man.WalGen, NextSeg: s.nextSeg}
 	for _, dm := range s.man.Datasets {
-		cp := DatasetManifest{Name: dm.Name, Schema: dm.Schema}
+		cp := DatasetManifest{Name: dm.Name, Schema: dm.Schema, OrderEpoch: dm.OrderEpoch}
 		if dm.Name == name {
 			cp.Segments = newRefs
+			// The clustering sort rewrote the dataset's row order: stale
+			// row-offset resume tokens must stop matching.
+			cp.OrderEpoch++
 		} else {
 			cp.Segments = append([]SegmentRef(nil), dm.Segments...)
 		}
@@ -343,6 +356,7 @@ func (s *Store) readSegmentUncached(ref SegmentRef) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	metBytesReadFull.Add(seg.FileBytes)
 	s.mu.Lock()
 	s.bytesRead += seg.FileBytes
 	s.mu.Unlock()

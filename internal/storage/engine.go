@@ -38,6 +38,12 @@ type Engine struct {
 	// the pruning tests.
 	segmentsScanned atomic.Int64
 	segmentsSkipped atomic.Int64
+
+	// Compactor liveness: the interval StartCompactor runs at (0 when no
+	// compactor is running) and the wall time of the last completed pass,
+	// both unix nanos. The /healthz compactor check reads them.
+	compactorEvery atomic.Int64
+	compactorLast  atomic.Int64
 }
 
 var _ provider.Provider = (*Engine)(nil)
@@ -112,6 +118,8 @@ func (e *Engine) StartCompactor(every time.Duration, opts CompactOptions, logf f
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	e.compactorEvery.Store(int64(every))
+	e.compactorLast.Store(time.Now().UnixNano())
 	done := make(chan struct{})
 	var once sync.Once
 	go func() {
@@ -123,6 +131,7 @@ func (e *Engine) StartCompactor(every time.Duration, opts CompactOptions, logf f
 				return
 			case <-tick.C:
 				stats, err := e.Compact(opts)
+				e.compactorLast.Store(time.Now().UnixNano())
 				switch {
 				case err != nil:
 					logf("storage %q: compaction: %v", e.name, err)
@@ -133,8 +142,43 @@ func (e *Engine) StartCompactor(every time.Duration, opts CompactOptions, logf f
 			}
 		}
 	}()
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		once.Do(func() {
+			e.compactorEvery.Store(0)
+			close(done)
+		})
+	}
 }
+
+// Health reports whether the engine can still accept durable writes
+// (store open, WAL unpoisoned).
+func (e *Engine) Health() error { return e.st.Health() }
+
+// ManifestHealth re-reads the on-disk catalog end to end (see
+// Store.ManifestHealth).
+func (e *Engine) ManifestHealth() error { return e.st.ManifestHealth() }
+
+// CompactorHealth reports whether the background compactor, if one was
+// started, is still making passes: an error when the last completed
+// pass is more than three intervals old. With no compactor running it
+// is trivially healthy.
+func (e *Engine) CompactorHealth() error {
+	every := e.compactorEvery.Load()
+	if every == 0 {
+		return nil
+	}
+	age := time.Since(time.Unix(0, e.compactorLast.Load()))
+	if age > 3*time.Duration(every) {
+		return fmt.Errorf("storage %q: compactor stalled: last pass %v ago (interval %v)",
+			e.name, age.Round(time.Millisecond), time.Duration(every))
+	}
+	return nil
+}
+
+// DatasetOrderEpoch exposes the store's order epoch for a dataset (see
+// Store.OrderEpoch); the server stamps it into dataset-replay resume
+// tokens and refuses stale ones.
+func (e *Engine) DatasetOrderEpoch(name string) uint64 { return e.st.OrderEpoch(name) }
 
 // invalidate forgets the warm copy of a dataset after a mutation.
 func (e *Engine) invalidate(name string) {
@@ -235,6 +279,7 @@ func (e *Engine) dataset(name string) (*table.Table, bool) {
 			tables = append(tables, seg)
 		}
 		e.segmentsScanned.Add(int64(len(refs)))
+		metSegScanned.Add(int64(len(refs)))
 		tables = append(tables, parts...)
 		t, err := concatTables(sch, tables)
 		if err != nil {
@@ -265,6 +310,23 @@ func (e *Engine) Execute(plan core.Node) (*table.Table, error) {
 		return nil, fmt.Errorf("storage %q: operator %v not supported", e.name, missing)
 	}
 	rt := &exec.Runtime{Datasets: e.dataset, Override: e.override, Cache: e.cache}
+	t, err := rt.Run(plan)
+	if err != nil {
+		return nil, fmt.Errorf("storage %q: %w", e.name, err)
+	}
+	return t, nil
+}
+
+// ExecuteTraced is Execute with a per-operator trace attached: tr
+// records calls, output rows and inclusive wall time for every node of
+// this plan instance (Filter/Project stacks the pushdown kernel
+// absorbed show as not executed — the kernel's root carries their
+// time).
+func (e *Engine) ExecuteTraced(plan core.Node, tr *exec.Trace) (*table.Table, error) {
+	if ok, missing := e.Capabilities().SupportsPlan(plan); !ok {
+		return nil, fmt.Errorf("storage %q: operator %v not supported", e.name, missing)
+	}
+	rt := &exec.Runtime{Datasets: e.dataset, Override: e.override, Cache: e.cache, Trace: tr}
 	t, err := rt.Run(plan)
 	if err != nil {
 		return nil, fmt.Errorf("storage %q: %w", e.name, err)
@@ -383,6 +445,8 @@ func (e *Engine) accessTable(acc planner.ScanAccess) (*table.Table, bool, error)
 		}
 		e.segmentsScanned.Add(scanned)
 		e.segmentsSkipped.Add(skipped)
+		metSegScanned.Add(scanned)
+		metSegPruned.Add(skipped)
 		for _, p := range parts {
 			if positions != nil {
 				p = p.Project(positions)

@@ -19,7 +19,12 @@ import (
 // catalog (and its WAL) authoritative — there is no intermediate state
 // a crash can expose.
 
-var manMagic = []byte("NXMAN\x01\r\n")
+// Manifest magic: "NXMAN" + version byte + CRLF. v2 added the
+// per-dataset OrderEpoch; v1 files decode with every epoch at 0.
+var (
+	manMagic   = []byte("NXMAN\x02\r\n")
+	manMagicV1 = []byte("NXMAN\x01\r\n")
+)
 
 // SegmentRef is one segment file inside a dataset manifest. The zone
 // maps are duplicated from the segment footer so pruning decisions need
@@ -29,11 +34,15 @@ type SegmentRef struct {
 	Meta SegmentMeta
 }
 
-// DatasetManifest is one dataset's durable description.
+// DatasetManifest is one dataset's durable description. OrderEpoch
+// increments every time the dataset's row order restarts or is
+// rewritten (replace, drop + recreate, compaction re-sort); row-offset
+// resume tokens are only valid within the epoch they were minted in.
 type DatasetManifest struct {
-	Name     string
-	Schema   schema.Schema
-	Segments []SegmentRef
+	Name       string
+	Schema     schema.Schema
+	OrderEpoch uint64
+	Segments   []SegmentRef
 }
 
 // Rows sums the dataset's segment row counts.
@@ -74,6 +83,7 @@ func EncodeManifest(m *Manifest) []byte {
 	for _, ds := range m.Datasets {
 		body.Str(ds.Name)
 		wire.PutSchema(&body, ds.Schema)
+		body.U64(ds.OrderEpoch)
 		body.U32(uint32(len(ds.Segments)))
 		for _, s := range ds.Segments {
 			body.Str(s.File)
@@ -95,9 +105,18 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	if len(b) < len(manMagic)+8 {
 		return nil, fmt.Errorf("storage: manifest too short")
 	}
-	for i, c := range manMagic {
+	v1 := true
+	for i, c := range manMagicV1 {
 		if b[i] != c {
-			return nil, fmt.Errorf("storage: bad manifest magic")
+			v1 = false
+			break
+		}
+	}
+	if !v1 {
+		for i, c := range manMagic {
+			if b[i] != c {
+				return nil, fmt.Errorf("storage: bad manifest magic")
+			}
 		}
 	}
 	d := wire.NewDecoder(b[len(manMagic):])
@@ -121,6 +140,9 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	}
 	for i := 0; i < nd; i++ {
 		ds := DatasetManifest{Name: bd.Str(), Schema: wire.GetSchema(bd)}
+		if !v1 {
+			ds.OrderEpoch = bd.U64()
+		}
 		ns := int(bd.U32())
 		if bd.Err() != nil || ns > bd.Remaining() {
 			return nil, fmt.Errorf("storage: bad manifest segment count")

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"nexus/internal/schema"
 	"nexus/internal/table"
@@ -73,6 +74,13 @@ type tail struct {
 	sch      schema.Schema
 	parts    []*table.Table
 	replaced bool // dataset was replaced/created after the last flush: ignore manifest segments
+
+	// epochBump counts how many times the dataset's row order restarted
+	// since the last flush (replace, or drop + recreate). The dataset's
+	// effective order epoch is the manifest's OrderEpoch plus this bump;
+	// Flush folds it into the next manifest generation. WAL replay
+	// reproduces the same bumps, so the epoch is crash-stable.
+	epochBump uint64
 }
 
 // Open opens (or creates) a data directory, recovering committed state:
@@ -131,13 +139,23 @@ func (s *Store) applyAppend(name string, t *table.Table, replace bool) {
 	switch {
 	case tl == nil:
 		// First touch since the last flush: appends extend the manifest's
-		// segments, while a brand-new dataset starts from nothing.
-		tl = &tail{sch: t.Schema(), replaced: replace || s.man.dataset(name) == nil}
+		// segments, while a brand-new dataset starts from nothing. A
+		// replace of an existing dataset restarts its row order.
+		bump := uint64(0)
+		if replace && s.man.dataset(name) != nil {
+			bump = 1
+		}
+		tl = &tail{sch: t.Schema(), replaced: replace || s.man.dataset(name) == nil, epochBump: bump}
 		s.tails[name] = tl
 	case replace, tl.replaced && len(tl.parts) == 0:
 		// Replace, or the first append after a drop tombstone: restart the
-		// tail and keep the manifest's segments shadowed.
-		tl = &tail{sch: t.Schema(), replaced: true}
+		// tail and keep the manifest's segments shadowed. A replace starts
+		// a new row order; the post-drop restart already bumped at drop.
+		bump := tl.epochBump
+		if replace {
+			bump++
+		}
+		tl = &tail{sch: t.Schema(), replaced: true, epochBump: bump}
 		s.tails[name] = tl
 	}
 	tl.parts = append(tl.parts, t)
@@ -145,8 +163,58 @@ func (s *Store) applyAppend(name string, t *table.Table, replace bool) {
 
 func (s *Store) applyDrop(name string) {
 	// A drop tombstones the manifest's segments via an empty replaced
-	// tail with no schema; lookups treat it as absent.
-	s.tails[name] = &tail{replaced: true}
+	// tail with no schema; lookups treat it as absent. Dropping ends the
+	// current row order, so the epoch bump carries into any recreation.
+	bump := uint64(1)
+	if tl := s.tails[name]; tl != nil {
+		bump = tl.epochBump + 1
+	}
+	s.tails[name] = &tail{replaced: true, epochBump: bump}
+}
+
+// OrderEpoch returns the dataset's current order epoch: it increments
+// whenever the dataset's row order restarts or is rewritten (replace,
+// drop + recreate, compaction re-sort). Row-offset resume tokens carry
+// the epoch they were minted under; a mismatch means the offset no
+// longer addresses the same rows. Unknown datasets report 0.
+func (s *Store) OrderEpoch(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var epoch uint64
+	if dm := s.man.dataset(name); dm != nil {
+		epoch = dm.OrderEpoch
+	}
+	if tl := s.tails[name]; tl != nil {
+		epoch += tl.epochBump
+	}
+	return epoch
+}
+
+// Health reports whether the store can still accept durable writes:
+// nil when open with an unpoisoned WAL, an error otherwise.
+func (s *Store) Health() error {
+	s.mu.RLock()
+	closed, wal := s.closed, s.wal
+	s.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("storage: store is closed")
+	}
+	return wal.syncError()
+}
+
+// ManifestHealth probes the catalog on disk: it re-reads the manifest
+// CURRENT names, end to end, so a torn disk, a deleted file or a
+// corrupted checksum surfaces as an error rather than on the next
+// restart.
+func (s *Store) ManifestHealth() error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("storage: store is closed")
+	}
+	_, err := readCurrentManifest(s.dir)
+	return err
 }
 
 // exists reports whether the dataset currently exists (s.mu held).
@@ -360,12 +428,15 @@ func (s *Store) ReadSegment(ref SegmentRef) (*table.Table, error) {
 	gen := s.cacheGen
 	s.mu.RUnlock()
 	if ok {
+		metSegCacheHit.Inc()
 		return t, nil
 	}
+	metSegCacheMiss.Inc()
 	seg, err := ReadSegmentFile(filepath.Join(s.dir, ref.File))
 	if err != nil {
 		return nil, err
 	}
+	metBytesReadFull.Add(seg.FileBytes)
 	s.cacheInsert(ref.File, seg.Table, gen, seg.FileBytes)
 	return seg.Table, nil
 }
@@ -383,16 +454,19 @@ func (s *Store) ReadSegmentColumns(ref SegmentRef, positions []int) (*table.Tabl
 	full, fullOK := s.segs[ref.File]
 	gen := s.cacheGen
 	s.mu.RUnlock()
-	if ok {
-		return t, nil
-	}
-	if fullOK {
+	if ok || fullOK {
+		metSegCacheHit.Inc()
+		if ok {
+			return t, nil
+		}
 		return full.Project(positions), nil
 	}
+	metSegCacheMiss.Inc()
 	seg, err := ReadSegmentFileColumns(filepath.Join(s.dir, ref.File), positions)
 	if err != nil {
 		return nil, err
 	}
+	metBytesReadProjected.Add(seg.FileBytes)
 	s.cacheInsert(key, seg.Table, gen, seg.FileBytes)
 	return seg.Table, nil
 }
@@ -534,6 +608,11 @@ func (s *Store) Flush() error {
 	if !dirty {
 		return nil
 	}
+	flushStart := time.Now()
+	defer func() {
+		metFlushes.Inc()
+		metFlushSeconds.ObserveSince(flushStart)
+	}()
 
 	next := &Manifest{Gen: s.man.Gen + 1, WalGen: s.man.WalGen + 1, NextSeg: s.nextSeg}
 	// Carry forward untouched datasets and surviving segments.
@@ -567,6 +646,12 @@ func (s *Store) Flush() error {
 			continue // dropped
 		}
 		dm := DatasetManifest{Name: name, Schema: sch}
+		if prev := s.man.dataset(name); prev != nil {
+			dm.OrderEpoch = prev.OrderEpoch
+		}
+		if tl := s.tails[name]; tl != nil {
+			dm.OrderEpoch += tl.epochBump
+		}
 		dm.Segments = append(dm.Segments, s.liveSegmentsLocked(name)...)
 		if tl := s.tails[name]; tl != nil && len(tl.parts) > 0 {
 			t, err := concatTables(sch, tl.parts)

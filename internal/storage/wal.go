@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"nexus/internal/table"
 	"nexus/internal/wire"
@@ -93,6 +94,7 @@ func (w *WAL) Size() int64 {
 
 // Append writes one record and returns once it is durable (fsynced).
 func (w *WAL) Append(rec WalRecord) error {
+	start := time.Now()
 	payload := encodeWalRecord(rec)
 
 	w.mu.Lock()
@@ -110,7 +112,11 @@ func (w *WAL) Append(rec WalRecord) error {
 	seq := w.written
 	w.mu.Unlock()
 
-	return w.commit(seq)
+	metWalRecords.Inc()
+	metWalBytes.Add(int64(len(payload)))
+	err := w.commit(seq)
+	metWalAppendSeconds.ObserveSince(start)
+	return err
 }
 
 // commit blocks until record seq is fsynced, electing one goroutine as
@@ -130,13 +136,16 @@ func (w *WAL) commit(seq uint64) error {
 		w.mu.Lock()
 		target := w.written
 		w.mu.Unlock()
+		fsyncStart := time.Now()
 		err := w.f.Sync()
+		metWalFsyncSeconds.ObserveSince(fsyncStart)
 		w.smu.Lock()
 		w.syncing = false
 		if err != nil && w.syncErr == nil {
 			w.syncErr = fmt.Errorf("storage: wal fsync: %w", err)
 		}
 		if err == nil && target > w.synced {
+			metWalBatchRecords.Observe(float64(target - w.synced))
 			w.synced = target
 		}
 		w.scond.Broadcast()

@@ -53,6 +53,11 @@ type Pipeline struct {
 	// every batch). Servers use it for durable checkpoints.
 	ckptFn    func(*State) error
 	ckptEvery time.Duration
+
+	// trace, when set, records per-operator stats for every pre- and
+	// post-window evaluation (see exec.Trace); Calls accumulates across
+	// micro-batches.
+	trace *exec.Trace
 }
 
 // OutputSchema describes emitted result tables.
@@ -69,6 +74,21 @@ func (p *Pipeline) WithCache(c *exec.ExprCache) *Pipeline {
 	p.cache = c
 	return p
 }
+
+// WithTrace attaches a per-operator execution trace to the pipeline's
+// next run: every micro-batch evaluation of the pre-window plan and
+// every post-window evaluation records calls, output rows and wall time
+// per operator. Render with exec.ExplainAnalyze over StagePlans.
+func (p *Pipeline) WithTrace(tr *exec.Trace) *Pipeline {
+	p.trace = tr
+	return p
+}
+
+// StagePlans returns the pipeline's per-batch plan (over the micro-batch
+// variable) and its post-window plan (nil when the pipeline is not
+// windowed or has no post-window stages) — the node trees a trace
+// attached via WithTrace records against.
+func (p *Pipeline) StagePlans() (pre, post core.Node) { return p.pre, p.post }
 
 // WithCheckpoint installs a checkpoint callback. The pipeline calls fn
 // with a portable state snapshot at micro-batch boundaries — after the
@@ -135,7 +155,7 @@ func (p *Pipeline) RunState(ctx context.Context, sink Sink, resume *State) (Stat
 	// One runtime per run; the cache is shared across runs when the
 	// pipeline's owner installed one (a server hosting many subscriptions
 	// compiles each plan once, not once per subscriber).
-	rt := &exec.Runtime{Cache: p.cache}
+	rt := &exec.Runtime{Cache: p.cache, Trace: p.trace}
 	if rt.Cache == nil {
 		rt.Cache = exec.NewExprCache()
 	}

@@ -24,6 +24,14 @@ type State struct {
 	Watermark int64
 	// Seq is the arrival counter for count windows.
 	Seq int64
+	// Epoch is the order epoch of the replayed dataset at the time the
+	// state was captured (0 for push sources and epoch-unaware
+	// providers). Events is a row offset into the dataset's storage
+	// order, so the offset is only meaningful while the dataset is in
+	// the same epoch: compaction re-sorts, replace and drop+recreate
+	// all bump it, and the server refuses a resume whose epoch no
+	// longer matches instead of silently replaying the wrong rows.
+	Epoch uint64
 	// Windows holds every still-open window, in ascending start order.
 	Windows []WindowSnapshot
 }

@@ -335,6 +335,7 @@ func PutWindowState(e *Encoder, st *stream.State) {
 	e.I64(st.MaxTime)
 	e.I64(st.Watermark)
 	e.I64(st.Seq)
+	e.U64(st.Epoch)
 	e.U32(uint32(len(st.Windows)))
 	for _, w := range st.Windows {
 		e.I64(w.Start)
@@ -371,6 +372,7 @@ func GetWindowState(d *Decoder) *stream.State {
 		MaxTime:   d.I64(),
 		Watermark: d.I64(),
 		Seq:       d.I64(),
+		Epoch:     d.U64(),
 	}
 	nw := int(d.U32())
 	if d.err != nil || nw > d.Remaining() {

@@ -2,8 +2,10 @@ package nexus
 
 import (
 	"fmt"
+	"time"
 
 	"nexus/internal/core"
+	"nexus/internal/engines/exec"
 	"nexus/internal/federation"
 	"nexus/internal/planner"
 	"nexus/internal/schema"
@@ -401,6 +403,56 @@ func (q *Query) Explain() (string, error) {
 		return out, nil // single-engine sessions may lack providers for parts
 	}
 	return out + "fragments:\n" + pp.String(), nil
+}
+
+// tracedExecutor is the optional engine interface ExplainAnalyze uses:
+// every local engine implements it; remote providers do not (their
+// operators run in another process).
+type tracedExecutor interface {
+	ExecuteTraced(plan core.Node, tr *exec.Trace) (*table.Table, error)
+}
+
+// ExplainAnalyze executes the query with a per-operator trace and
+// renders the plan annotated with each operator's observed calls,
+// output rows and inclusive wall time. Plans that span fragments or run
+// on remote providers fall back to whole-query timing — per-operator
+// traces need a local runtime.
+func (q *Query) ExplainAnalyze() (string, error) {
+	if q.err != nil {
+		return "", q.err
+	}
+	opt, err := planner.Optimize(q.node, q.s.opts)
+	if err != nil {
+		return "", err
+	}
+	pp, err := planner.Partition(opt, q.s.reg, q.s.opts)
+	if err == nil && len(pp.Fragments) == 1 {
+		frag := pp.Root()
+		if p, ok := q.s.reg.Get(frag.Provider); ok {
+			if te, ok := p.(tracedExecutor); ok {
+				tr := exec.NewTrace()
+				start := time.Now()
+				t, err := te.ExecuteTraced(frag.Plan, tr)
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("plan (analyzed on %s):\n%stotal: %d rows in %s\n",
+					frag.Provider, exec.ExplainAnalyze(frag.Plan, tr),
+					t.NumRows(), time.Since(start).Round(time.Microsecond)), nil
+			}
+		}
+	}
+	start := time.Now()
+	t, m, err := q.CollectWithMetrics()
+	if err != nil {
+		return "", err
+	}
+	out, err := q.Explain()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%stotal: %d rows in %s across %d fragments (per-operator timing needs a single local fragment)\n",
+		out, t.NumRows(), time.Since(start).Round(time.Microsecond), m.Fragments), nil
 }
 
 // Collect optimizes, partitions and executes the query, returning the

@@ -3,8 +3,11 @@ package nexus
 import (
 	"context"
 	"fmt"
+	"strings"
+	"time"
 
 	"nexus/internal/core"
+	"nexus/internal/engines/exec"
 	"nexus/internal/schema"
 	"nexus/internal/stream"
 	"nexus/internal/table"
@@ -244,6 +247,38 @@ func (q *StreamQuery) CollectWithStats(ctx context.Context) (*Table, *StreamStat
 		return nil, &st, err
 	}
 	return wrapTable(t), &st, nil
+}
+
+// ExplainAnalyze runs the stream to completion with a per-operator
+// trace and renders both stage plans — the per-batch plan every
+// micro-batch evaluates and, for windowed queries, the post-window plan
+// every closed window runs through — annotated with observed calls,
+// output rows and inclusive wall time. Calls accumulate across
+// micro-batches, so a node's calls count is (roughly) the batch count.
+// Results are discarded; the context bounds unbounded sources.
+func (q *StreamQuery) ExplainAnalyze(ctx context.Context) (string, error) {
+	p, err := q.b.Build()
+	if err != nil {
+		return "", err
+	}
+	tr := exec.NewTrace()
+	p.WithTrace(tr)
+	start := time.Now()
+	st, err := p.Run(ctx, stream.Callback(func(*table.Table) error { return nil }))
+	if err != nil {
+		return "", err
+	}
+	pre, post := p.StagePlans()
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-batch plan (%d micro-batches):\n", st.Batches)
+	b.WriteString(exec.ExplainAnalyze(pre, tr))
+	if post != nil {
+		fmt.Fprintf(&b, "post-window plan (%d windows):\n", st.Windows)
+		b.WriteString(exec.ExplainAnalyze(post, tr))
+	}
+	fmt.Fprintf(&b, "total: %d events → %d output rows in %s (%d windows, %d late rows)\n",
+		st.Events, st.OutRows, time.Since(start).Round(time.Microsecond), st.Windows, st.Late)
+	return b.String(), nil
 }
 
 // Subscribe runs the stream, delivering every emitted result table to fn
