@@ -11,6 +11,7 @@
 //	nexus-bench -micro           # kernel micro-benchmarks -> BENCH_2.json
 //	nexus-bench -storage         # cold/warm/projected/pruned/compacted scans -> BENCH_5.json
 //	nexus-bench -load            # concurrent mixed-workload tail-latency run -> BENCH_6.json
+//	nexus-bench -failover        # SIGKILL-the-primary failover gap benchmark -> BENCH_7.json
 package main
 
 import (
@@ -32,10 +33,41 @@ func main() {
 	loadBench := flag.Bool("load", false, "run the concurrent mixed-workload tail-latency generator against a live durable server")
 	loadClients := flag.Int("load-clients", 12, "concurrent clients for -load")
 	loadDur := flag.Duration("load-duration", 5*time.Second, "wall-clock duration for -load")
+	failoverBench := flag.Bool("failover", false, "run the primary-SIGKILL failover benchmark (gap to first window served by the replica)")
+	failoverIters := flag.Int("failover-iters", 10, "kill-and-recover iterations for -failover")
+	failoverRows := flag.Int("failover-rows", 10000, "event rows per -failover iteration")
+	failoverPrimary := flag.String("failover-primary", "", "internal: run as the -failover benchmark's killable primary on this data dir")
 	benchOut := flag.String("bench-out", "", "output path for -micro (default BENCH_2.json) / -storage (default BENCH_5.json) / -load (default BENCH_6.json) results")
 	baseline := flag.String("baseline", "", "previous -micro report to compute speedups against")
 	flag.Parse()
 
+	if *failoverPrimary != "" {
+		if err := runFailoverPrimary(*failoverPrimary); err != nil {
+			fmt.Fprintf(os.Stderr, "failover primary FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *failoverBench {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_7.json"
+		}
+		iters, rows := *failoverIters, *failoverRows
+		if *quick {
+			if iters > 5 {
+				iters = 5
+			}
+			if rows > 5000 {
+				rows = 5000
+			}
+		}
+		if err := runFailoverBench(out, iters, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "failover benchmark FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *micro {
 		out := *benchOut
 		if out == "" {

@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"nexus/internal/engines/relational"
 	"nexus/internal/obs"
 	"nexus/internal/provider"
+	"nexus/internal/replication"
 	"nexus/internal/server"
 	"nexus/internal/storage"
 )
@@ -53,7 +55,19 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-interval", 2*time.Second, "how often hosted durable subscriptions checkpoint their state (with -data-dir)")
 	compactEvery := flag.Duration("compact-interval", time.Minute, "how often the background compactor merges small segments (with -data-dir; 0 disables)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP sidecar address for /metrics, /healthz and /debug/stats (empty disables)")
+	replicaOf := flag.String("replica-of", "", "primary server address to replicate from (requires -data-dir; makes this server a read-only follower)")
+	replicas := flag.String("replicas", "", "comma-separated follower addresses to monitor (primary side; unhealthy followers degrade /healthz)")
+	replEvery := flag.Duration("repl-interval", 500*time.Millisecond, "replication sync/probe interval (with -replica-of or -replicas)")
 	flag.Parse()
+
+	if *replicaOf != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "-replica-of requires -data-dir (replication ships segment files)")
+		os.Exit(2)
+	}
+	if *replicaOf != "" && *demo {
+		fmt.Fprintln(os.Stderr, "-replica-of is incompatible with -demo (a replica is read-only)")
+		os.Exit(2)
+	}
 
 	var prov provider.Provider
 	var durable *storage.Engine
@@ -108,8 +122,39 @@ func main() {
 		log.Printf("  dataset %s: %d rows %v", ds.Name, ds.Rows, ds.Schema)
 	}
 
+	// Replication wiring. A follower pulls segments + manifests from its
+	// primary, serves reads from them, refuses writes, and reports its
+	// sync status on the main port; a primary with -replicas probes its
+	// followers and folds their health into /healthz.
+	var repl *replication.Replicator
+	var mon *replication.Monitor
+	if *replicaOf != "" {
+		durable.SetReplica(true)
+		repl = replication.New(durable, replication.Config{
+			Primary:  *replicaOf,
+			Interval: *replEvery,
+			Logf:     log.Printf,
+		})
+		srv.SetReplStatus(repl.Status)
+		repl.Start()
+		log.Printf("  replicating from %s every %v (read-only follower)", *replicaOf, *replEvery)
+	}
+	if *replicas != "" {
+		var addrs []string
+		for _, a := range strings.Split(*replicas, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) > 0 {
+			mon = replication.NewMonitor(addrs, replication.Config{Interval: *replEvery, Logf: log.Printf})
+			mon.Start()
+			log.Printf("  monitoring %d replica(s): %v", len(addrs), addrs)
+		}
+	}
+
 	var stopCompactor func()
-	if durable != nil && *compactEvery > 0 {
+	if durable != nil && *compactEvery > 0 && repl == nil {
 		// Datasets that hosted dataset-replay streams resume by row
 		// offset must keep their storage order — the compactor's
 		// clustering sort would make stored offsets skip the wrong
@@ -152,6 +197,15 @@ func main() {
 			checks["manifest"] = durable.ManifestHealth
 			checks["compactor"] = durable.CompactorHealth
 		}
+		if repl != nil {
+			// Follower: degraded while it cannot sync from its primary.
+			checks["replication"] = repl.Health
+		}
+		if mon != nil {
+			// Primary: degraded while any follower is sick. Serving
+			// continues either way — the 503 is for operators and LBs.
+			checks["replicas"] = mon.Health
+		}
 		bound, stop, err := obs.Serve(*metricsAddr, obs.Default, checks)
 		if err != nil {
 			log.Fatalf("metrics sidecar: %v", err)
@@ -169,6 +223,12 @@ func main() {
 	}
 	if stopCompactor != nil {
 		stopCompactor()
+	}
+	if repl != nil {
+		repl.Stop()
+	}
+	if mon != nil {
+		mon.Stop()
 	}
 	srv.Close()
 	if durable != nil {

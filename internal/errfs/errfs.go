@@ -1,0 +1,200 @@
+// Package errfs is a deterministic fault-injection seam over the
+// storage layer's file I/O. In production every hook is a direct
+// passthrough to the os package — no locks taken, one nil check. Tests
+// Install a Faults plan under a directory prefix and the storage code
+// running against that directory starts seeing fsync failures, torn
+// writes and slow syncs, either forced (FailSync/FailWrites toggles for
+// scripted chaos scenarios) or by a seeded random schedule (the
+// randomized crash-consistency smoke), without a single test-only branch
+// in the storage code itself.
+package errfs
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is one injection plan. The zero value injects nothing; set the
+// probability fields (with NewFaults for a seeded schedule) or the
+// forced toggles. All methods are safe for concurrent use.
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// SyncFailProb / WriteFailProb make the seeded schedule fail that
+	// fraction of Sync / Write calls (0 = never, 1 = always).
+	SyncFailProb  float64
+	WriteFailProb float64
+	// TornWrites makes a failing Write land a prefix of its bytes first
+	// — the shape a crash mid-write leaves on disk.
+	TornWrites bool
+	// SyncDelay stalls every Sync (slow-disk simulation).
+	SyncDelay time.Duration
+
+	forcedSync  atomic.Pointer[error]
+	forcedWrite atomic.Pointer[error]
+
+	// Counters for assertions: how many faults actually fired.
+	SyncFaults  atomic.Int64
+	WriteFaults atomic.Int64
+}
+
+// NewFaults returns a plan whose random schedule draws from seed, so a
+// chaos run reproduces exactly from its printed seed.
+func NewFaults(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailSync forces every Sync under the plan to fail with err until
+// cleared with nil — the scripted "follower's disk stops accepting
+// fsync" scenario.
+func (f *Faults) FailSync(err error) {
+	if err == nil {
+		f.forcedSync.Store(nil)
+		return
+	}
+	f.forcedSync.Store(&err)
+}
+
+// FailWrites forces every Write under the plan to fail with err until
+// cleared with nil.
+func (f *Faults) FailWrites(err error) {
+	if err == nil {
+		f.forcedWrite.Store(nil)
+		return
+	}
+	f.forcedWrite.Store(&err)
+}
+
+// roll draws from the seeded schedule (false when no rng configured).
+func (f *Faults) roll(p float64) bool {
+	if p <= 0 || f.rng == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < p
+}
+
+func (f *Faults) syncErr() error {
+	if e := f.forcedSync.Load(); e != nil {
+		f.SyncFaults.Add(1)
+		return *e
+	}
+	if f.roll(f.SyncFailProb) {
+		f.SyncFaults.Add(1)
+		return &os.PathError{Op: "sync", Path: "(errfs)", Err: os.ErrInvalid}
+	}
+	return nil
+}
+
+func (f *Faults) writeErr() error {
+	if e := f.forcedWrite.Load(); e != nil {
+		f.WriteFaults.Add(1)
+		return *e
+	}
+	if f.roll(f.WriteFailProb) {
+		f.WriteFaults.Add(1)
+		return &os.PathError{Op: "write", Path: "(errfs)", Err: os.ErrInvalid}
+	}
+	return nil
+}
+
+// The registry maps directory prefixes to plans. Lookup is a single
+// atomic load plus a short scan of an immutable slice — installs copy
+// on write — so the production fast path (empty registry) costs one
+// pointer load.
+type entry struct {
+	prefix string
+	faults *Faults
+}
+
+var registry atomic.Pointer[[]entry]
+
+// Install activates a plan for every file whose path starts with
+// prefix, returning a function that removes it. Tests defer the
+// removal; overlapping prefixes resolve to the longest match.
+func Install(prefix string, f *Faults) (remove func()) {
+	for {
+		old := registry.Load()
+		var next []entry
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, entry{prefix: prefix, faults: f})
+		if registry.CompareAndSwap(old, &next) {
+			break
+		}
+	}
+	return func() {
+		for {
+			old := registry.Load()
+			if old == nil {
+				return
+			}
+			next := make([]entry, 0, len(*old))
+			for _, e := range *old {
+				if e.prefix == prefix && e.faults == f {
+					continue
+				}
+				next = append(next, e)
+			}
+			if registry.CompareAndSwap(old, &next) {
+				return
+			}
+		}
+	}
+}
+
+// lookup resolves the plan covering path (longest prefix wins), nil
+// when none.
+func lookup(path string) *Faults {
+	es := registry.Load()
+	if es == nil {
+		return nil
+	}
+	var best *Faults
+	bestLen := -1
+	for _, e := range *es {
+		if len(e.prefix) > bestLen && strings.HasPrefix(path, e.prefix) {
+			best, bestLen = e.faults, len(e.prefix)
+		}
+	}
+	return best
+}
+
+// Sync fsyncs f, injecting the plan covering its path first: an
+// injected failure returns without syncing, a configured delay stalls
+// before the real fsync.
+func Sync(f *os.File) error {
+	if fl := lookup(f.Name()); fl != nil {
+		if d := fl.SyncDelay; d > 0 {
+			time.Sleep(d)
+		}
+		if err := fl.syncErr(); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// Write writes b to f, injecting the plan covering its path first. A
+// torn-write fault lands the first half of b before failing — exactly
+// what a crash mid-write leaves behind — so recovery paths get
+// exercised against realistic debris.
+func Write(f *os.File, b []byte) (int, error) {
+	if fl := lookup(f.Name()); fl != nil {
+		if err := fl.writeErr(); err != nil {
+			n := 0
+			if fl.TornWrites && len(b) > 1 {
+				n, _ = f.Write(b[:len(b)/2])
+			}
+			return n, err
+		}
+	}
+	return f.Write(b)
+}

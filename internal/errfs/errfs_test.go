@@ -1,0 +1,132 @@
+package errfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tmpFile(t *testing.T, dir string) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestPassthroughWhenUninstalled: with no plan installed, the hooks are
+// the os package — writes land, syncs succeed.
+func TestPassthroughWhenUninstalled(t *testing.T) {
+	f := tmpFile(t, t.TempDir())
+	if n, err := Write(f, []byte("hello")); err != nil || n != 5 {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if err := Sync(f); err != nil {
+		t.Fatalf("Sync = %v", err)
+	}
+}
+
+// TestForcedFaultsByPrefix: a forced plan fails every call under its
+// prefix, leaves other paths alone, counts its firings and clears.
+func TestForcedFaultsByPrefix(t *testing.T) {
+	dir := t.TempDir()
+	other := tmpFile(t, t.TempDir())
+	f := tmpFile(t, dir)
+
+	boom := errors.New("boom")
+	fl := &Faults{}
+	fl.FailSync(boom)
+	fl.FailWrites(boom)
+	defer Install(dir, fl)()
+
+	if err := Sync(f); !errors.Is(err, boom) {
+		t.Fatalf("Sync under plan = %v, want boom", err)
+	}
+	if _, err := Write(f, []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("Write under plan = %v, want boom", err)
+	}
+	if err := Sync(other); err != nil {
+		t.Fatalf("Sync outside plan = %v", err)
+	}
+	if fl.SyncFaults.Load() != 1 || fl.WriteFaults.Load() != 1 {
+		t.Fatalf("fault counters = (%d, %d), want (1, 1)",
+			fl.SyncFaults.Load(), fl.WriteFaults.Load())
+	}
+
+	fl.FailSync(nil)
+	fl.FailWrites(nil)
+	if err := Sync(f); err != nil {
+		t.Fatalf("Sync after clear = %v", err)
+	}
+}
+
+// TestTornWriteLandsHalf: a torn-write fault flushes the first half of
+// the buffer before failing — the debris a crash mid-write leaves.
+func TestTornWriteLandsHalf(t *testing.T) {
+	dir := t.TempDir()
+	f := tmpFile(t, dir)
+	fl := &Faults{TornWrites: true}
+	fl.FailWrites(errors.New("torn"))
+	defer Install(dir, fl)()
+
+	payload := []byte("0123456789")
+	if n, err := Write(f, payload); err == nil || n != len(payload)/2 {
+		t.Fatalf("torn Write = (%d, %v), want (5, error)", n, err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("on-disk debris = %q, want the first half", got)
+	}
+}
+
+// TestSeededScheduleIsDeterministic: the same seed fails the same calls
+// in the same order — chaos runs replay exactly from their seed.
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		dir := t.TempDir()
+		f := tmpFile(t, dir)
+		fl := NewFaults(99)
+		fl.SyncFailProb = 0.5
+		defer Install(dir, fl)()
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Sync(f) != nil
+		}
+		if fl.SyncFaults.Load() == 0 {
+			t.Fatal("p=0.5 over 32 syncs fired no faults")
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at call %d across identical seeds", i)
+		}
+	}
+}
+
+// TestLongestPrefixWins: nested installs resolve to the most specific
+// plan.
+func TestLongestPrefixWins(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	outer, inner := &Faults{}, &Faults{}
+	outer.FailSync(errors.New("outer"))
+	inner.FailSync(errors.New("inner"))
+	defer Install(dir, outer)()
+	defer Install(sub, inner)()
+
+	f := tmpFile(t, sub)
+	if err := Sync(f); err == nil || err.Error() != "inner" {
+		t.Fatalf("Sync = %v, want the inner plan's error", err)
+	}
+}

@@ -1,0 +1,135 @@
+package federation
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a jittered exponential retry policy: each failure doubles
+// (by Multiplier) the base delay up to Max, each success after a healthy
+// period resets it. Jitter spreads simultaneous retriers (a fleet of
+// subscribers failing over off the same dead primary) so they do not
+// reconnect in lockstep. The zero value is not usable; use NewBackoff.
+type Backoff struct {
+	// Base is the first retry delay (default 50ms).
+	Base time.Duration
+	// Max caps the delay growth (default 5s).
+	Max time.Duration
+	// Multiplier scales the delay per consecutive failure (default 2).
+	Multiplier float64
+	// Jitter is the random fraction of the delay added on top, in
+	// [0, Jitter); 0.2 means "up to 20% longer" (default 0.2).
+	Jitter float64
+	// HealthyAfter is how long a connection must survive for the next
+	// failure to start from Base again rather than where the delay left
+	// off (default 30s). Zero keeps the default; negative disables the
+	// reset entirely.
+	HealthyAfter time.Duration
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cur      time.Duration
+	attempts int
+}
+
+// NewBackoff returns a policy with the given seed for deterministic
+// jitter (tests) and defaults for every unset field.
+func NewBackoff(seed int64) *Backoff {
+	b := &Backoff{}
+	b.rng = rand.New(rand.NewSource(seed))
+	return b
+}
+
+func (b *Backoff) defaults() {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	} else if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.HealthyAfter == 0 {
+		b.HealthyAfter = 30 * time.Second
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+}
+
+// Next returns the delay to wait before the next attempt and advances
+// the policy: the first call after a reset returns ~Base, each further
+// call multiplies up to Max (plus jitter; the cap applies before jitter,
+// so the worst case is Max*(1+Jitter)).
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.defaults()
+	if b.cur <= 0 {
+		b.cur = b.Base
+	}
+	d := b.cur
+	b.attempts++
+	next := time.Duration(float64(b.cur) * b.Multiplier)
+	if next > b.Max || next < b.cur { // < cur: overflow
+		next = b.Max
+	}
+	b.cur = next
+	if b.Jitter > 0 {
+		d += time.Duration(b.rng.Float64() * b.Jitter * float64(d))
+	}
+	return d
+}
+
+// Attempts returns how many delays Next has handed out since the last
+// reset.
+func (b *Backoff) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts
+}
+
+// Reset restarts the policy from Base (call after a confirmed-healthy
+// connection).
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.cur = 0
+	b.attempts = 0
+	b.mu.Unlock()
+}
+
+// Observe reports a connection that stayed up for alive before failing:
+// a healthy period resets the policy, so the retry schedule reflects the
+// current outage rather than one from an hour ago.
+func (b *Backoff) Observe(alive time.Duration) {
+	b.mu.Lock()
+	b.defaults()
+	healthy := b.HealthyAfter
+	b.mu.Unlock()
+	if healthy >= 0 && alive >= healthy {
+		b.Reset()
+	}
+}
+
+// Wait sleeps for Next()'s delay, honoring context cancellation: a
+// canceled context returns its error immediately without consuming the
+// remaining delay.
+func (b *Backoff) Wait(ctx context.Context) error {
+	d := b.Next()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,107 @@
+package federation
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowsAndCaps pins the schedule: each Next doubles from
+// Base, jitter adds at most the Jitter fraction, and the cap applies
+// before jitter — so the delay never exceeds Max*(1+Jitter).
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := NewBackoff(42)
+	b.Base = 10 * time.Millisecond
+	b.Max = 80 * time.Millisecond
+	b.Jitter = 0.2
+
+	wantLo := []time.Duration{10, 20, 40, 80, 80, 80} // ms, pre-jitter
+	for i, lo := range wantLo {
+		lo *= time.Millisecond
+		hi := time.Duration(float64(lo) * 1.2)
+		d := b.Next()
+		if d < lo || d > hi {
+			t.Fatalf("Next #%d = %v, want [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+	if got := b.Attempts(); got != len(wantLo) {
+		t.Fatalf("Attempts = %d, want %d", got, len(wantLo))
+	}
+
+	b.Reset()
+	if got := b.Attempts(); got != 0 {
+		t.Fatalf("Attempts after Reset = %d", got)
+	}
+	if d := b.Next(); d < 10*time.Millisecond || d > 12*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want ~Base", d)
+	}
+}
+
+// TestBackoffDeterministicSeed: the same seed yields the same jittered
+// schedule — chaos runs replay exactly.
+func TestBackoffDeterministicSeed(t *testing.T) {
+	mk := func() []time.Duration {
+		b := NewBackoff(7)
+		b.Base, b.Max = time.Millisecond, 8*time.Millisecond
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, c := mk(), mk()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("delay #%d differs across identical seeds: %v vs %v", i, a[i], c[i])
+		}
+	}
+}
+
+// TestBackoffObserveResetsAfterHealthyPeriod: a connection that
+// survived HealthyAfter resets the schedule; a shorter life does not;
+// negative HealthyAfter disables the reset entirely.
+func TestBackoffObserveResetsAfterHealthyPeriod(t *testing.T) {
+	b := NewBackoff(1)
+	b.Base = 10 * time.Millisecond
+	b.Max = 80 * time.Millisecond
+	b.HealthyAfter = time.Second
+
+	b.Next()
+	b.Next()
+	b.Next() // schedule now at 80ms
+	b.Observe(500 * time.Millisecond)
+	if got := b.Attempts(); got != 3 {
+		t.Fatalf("short life reset the schedule (attempts %d)", got)
+	}
+	b.Observe(time.Second)
+	if got := b.Attempts(); got != 0 {
+		t.Fatalf("healthy life did not reset the schedule (attempts %d)", got)
+	}
+	if d := b.Next(); d > 12*time.Millisecond {
+		t.Fatalf("Next after healthy reset = %v, want ~Base", d)
+	}
+
+	b2 := NewBackoff(1)
+	b2.HealthyAfter = -1
+	b2.Next()
+	b2.Observe(time.Hour)
+	if got := b2.Attempts(); got != 1 {
+		t.Fatalf("disabled reset still reset (attempts %d)", got)
+	}
+}
+
+// TestBackoffWaitHonorsCancellation: a canceled context aborts the wait
+// immediately instead of sleeping out the delay.
+func TestBackoffWaitHonorsCancellation(t *testing.T) {
+	b := NewBackoff(1)
+	b.Base = 10 * time.Second // would stall the test if ignored
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Wait(ctx); err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Wait slept %v past cancellation", elapsed)
+	}
+}

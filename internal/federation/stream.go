@@ -1,10 +1,12 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/schema"
 	"nexus/internal/server"
@@ -75,18 +77,37 @@ var subIDs atomic.Uint64
 // performs the subscribe/ack exchange, and starts the reader that
 // delivers batches and auto-grants credit.
 func SubscribeConn(conn net.Conn, sub wire.StreamSub) (*Subscription, error) {
+	return subscribeConnTimeout(conn, sub, 0)
+}
+
+// subscribeConnTimeout is SubscribeConn with a deadline on the
+// subscribe/ack handshake (0 = none). Once the ack is in, the deadline
+// is lifted — the subscription itself is long-running by design.
+func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Duration) (*Subscription, error) {
 	sub.ID = subIDs.Add(1)
 	if sub.Credit == 0 {
 		sub.Credit = DefaultCredit
 	}
+	if handshake > 0 {
+		_ = conn.SetDeadline(time.Now().Add(handshake))
+	}
+	timeoutErr := func(err error) error {
+		if handshake > 0 && isTimeout(err) {
+			return &TimeoutError{Op: "subscribe", Addr: conn.RemoteAddr().String(), Elapsed: handshake}
+		}
+		return err
+	}
 	if _, err := wire.WriteFrame(conn, wire.MsgSubscribeStream, wire.EncodeSubscribeStream(sub)); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, timeoutErr(err)
 	}
 	typ, payload, _, err := wire.ReadFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, timeoutErr(err)
+	}
+	if handshake > 0 {
+		_ = conn.SetDeadline(time.Time{})
 	}
 	switch typ {
 	case wire.MsgSubAck:
@@ -354,13 +375,23 @@ func (s *Subscription) Close() {
 
 // Subscribe implements StreamTransport for TCP: each subscription runs
 // on its own connection, so request/response traffic never interleaves
-// with stream frames.
+// with stream frames. The dial and the subscribe/ack handshake run
+// under the default timeouts (see DialOpts).
 func (t *TCP) Subscribe(sub wire.StreamSub) (*Subscription, error) {
-	conn, err := net.Dial("tcp", t.addr)
+	return t.SubscribeContext(context.Background(), sub, DialOpts{})
+}
+
+// SubscribeContext is Subscribe with a caller-supplied context and
+// network budgets: the per-subscription dial respects ctx and
+// opts.ConnectTimeout, and the subscribe/ack exchange runs under
+// opts.HandshakeTimeout. Budgets that run out surface as *TimeoutError.
+func (t *TCP) SubscribeContext(ctx context.Context, sub wire.StreamSub, opts DialOpts) (*Subscription, error) {
+	opts = opts.withDefaults()
+	conn, err := dialConn(ctx, t.addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("federation: dial %s: %w", t.addr, err)
+		return nil, err
 	}
-	return SubscribeConn(conn, sub)
+	return subscribeConnTimeout(conn, sub, opts.HandshakeTimeout)
 }
 
 // Subscribe implements StreamTransport for InProc: the subscription runs

@@ -1,9 +1,11 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"nexus/internal/core"
 	"nexus/internal/provider"
@@ -28,14 +30,26 @@ type TCP struct {
 var _ Transport = (*TCP)(nil)
 
 // DialTCP connects to a server and performs the hello exchange, learning
-// the provider's name, capabilities and datasets. A failure anywhere in
-// the handshake closes the connection before returning — the deferred
-// cleanup covers every exit path, so a mid-handshake error (short reply,
-// wrong frame, corrupt payload) cannot leak the socket.
+// the provider's name, capabilities and datasets, under the default
+// connect/handshake timeouts (see DialOpts).
 func DialTCP(addr string) (*TCP, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTCPContext(context.Background(), addr, DialOpts{})
+}
+
+// DialTCPContext is DialTCP with a caller-supplied context and network
+// budgets: the connect respects both ctx and opts.ConnectTimeout, and
+// the hello exchange runs under opts.HandshakeTimeout, so a peer that
+// accepts the connection but never answers cannot hang the caller. A
+// budget that runs out surfaces as a *TimeoutError (matches ErrTimeout).
+// A failure anywhere in the handshake closes the connection before
+// returning — the deferred cleanup covers every exit path, so a
+// mid-handshake error (short reply, wrong frame, corrupt payload)
+// cannot leak the socket.
+func DialTCPContext(ctx context.Context, addr string, opts DialOpts) (*TCP, error) {
+	opts = opts.withDefaults()
+	conn, err := dialConn(ctx, addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("federation: dial %s: %w", addr, err)
+		return nil, err
 	}
 	ok := false
 	defer func() {
@@ -44,13 +58,21 @@ func DialTCP(addr string) (*TCP, error) {
 		}
 	}()
 	t := &TCP{addr: addr, conn: conn}
+	_ = conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
 	if _, err := wire.WriteFrame(conn, wire.MsgHello, nil); err != nil {
+		if isTimeout(err) {
+			return nil, &TimeoutError{Op: "hello", Addr: addr, Elapsed: opts.HandshakeTimeout}
+		}
 		return nil, err
 	}
 	typ, payload, _, err := wire.ReadFrame(conn)
 	if err != nil {
+		if isTimeout(err) {
+			return nil, &TimeoutError{Op: "hello", Addr: addr, Elapsed: opts.HandshakeTimeout}
+		}
 		return nil, err
 	}
+	_ = conn.SetDeadline(time.Time{})
 	if typ != wire.MsgHelloAck {
 		return nil, fmt.Errorf("federation: server replied %v to hello", typ)
 	}

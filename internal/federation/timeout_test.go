@@ -1,0 +1,148 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"nexus/internal/core"
+	"nexus/internal/schema"
+	"nexus/internal/stream"
+	"nexus/internal/value"
+	"nexus/internal/wire"
+)
+
+// minimalSpec is the smallest encodable stream spec: the identity plan
+// over a one-column schema.
+func minimalSpec(t *testing.T) stream.Spec {
+	t.Helper()
+	v, err := core.NewVar(stream.BatchVar, schema.New(
+		schema.Attribute{Name: "ts", Kind: value.KindInt64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream.Spec{Pre: v, BatchSize: 16}
+}
+
+// silentListener accepts connections and never writes a byte — the
+// pathological peer the old deadline-free DialTCP would hang on
+// forever.
+func silentListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Read and ignore so the client's writes succeed; never reply.
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+// TestDialTCPContextHandshakeTimeout: a server that accepts but never
+// answers the hello surfaces a typed timeout instead of blocking
+// forever.
+func TestDialTCPContextHandshakeTimeout(t *testing.T) {
+	ln := silentListener(t)
+	start := time.Now()
+	_, err := DialTCPContext(context.Background(), ln.Addr().String(),
+		DialOpts{HandshakeTimeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial blocked %v; the deadline did not fire", elapsed)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T (%v), want *TimeoutError", err, err)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatal("timeout error does not match ErrTimeout")
+	}
+	if !te.Timeout() {
+		t.Fatal("TimeoutError.Timeout() = false")
+	}
+	if te.Op != "hello" {
+		t.Fatalf("Op = %q, want hello", te.Op)
+	}
+}
+
+// TestDialTCPContextHonorsCancellation: a canceled context aborts the
+// dial immediately.
+func TestDialTCPContextHonorsCancellation(t *testing.T) {
+	ln := silentListener(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialTCPContext(ctx, ln.Addr().String(), DialOpts{}); err == nil {
+		t.Fatal("dial with canceled context succeeded")
+	}
+}
+
+// TestSubscribeContextHandshakeTimeout: a server that accepts the
+// subscription frame but never acks surfaces the typed timeout.
+func TestSubscribeContextHandshakeTimeout(t *testing.T) {
+	ln := silentListener(t)
+	tr := &TCP{addr: ln.Addr().String()}
+	start := time.Now()
+	_, err := tr.SubscribeContext(context.Background(),
+		wire.StreamSub{SourceKind: wire.StreamSrcDataset, Dataset: "d", TimeCol: "ts", Spec: minimalSpec(t)},
+		DialOpts{HandshakeTimeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("subscribe to a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("subscribe blocked %v; the deadline did not fire", elapsed)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T (%v), want *TimeoutError", err, err)
+	}
+	if te.Op != "subscribe" {
+		t.Fatalf("Op = %q, want subscribe", te.Op)
+	}
+}
+
+// TestDialTCPDefaultHasDeadline pins the satellite fix itself: the
+// plain DialTCP entry point now carries the default handshake deadline,
+// so even legacy callers cannot hang forever on a silent peer.
+func TestDialTCPDefaultHasDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the default 5s handshake deadline")
+	}
+	ln := silentListener(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := DialTCP(ln.Addr().String())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dial to a silent server succeeded")
+		}
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("error %v, want ErrTimeout", err)
+		}
+	case <-time.After(DefaultConnectTimeout + 5*time.Second):
+		t.Fatal("DialTCP still hangs without a deadline")
+	}
+}

@@ -1,0 +1,151 @@
+// Package netfault injects deterministic network faults — dropped
+// connections, added latency, mid-frame cuts — by wrapping net.Conn.
+// Like errfs for storage I/O, it has two modes: forced switches for
+// tests that script an exact failure, and a seeded probability schedule
+// for randomized chaos runs whose seed is printed on failure, so any
+// run replays exactly.
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error surfaced by faulted connection operations.
+var ErrInjected = fmt.Errorf("netfault: injected connection failure")
+
+// Faults is one fault schedule. Shared by every connection wrapped with
+// it; all fields are adjusted through methods, safe for concurrent use.
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// dropProb is the per-Write probability the connection is cut
+	// instead (taking the data with it, or half of it with midFrame).
+	dropProb float64
+	// midFrame flushes the first half of the dropped write before the
+	// cut, so the peer sees a torn frame, not a clean close.
+	midFrame bool
+	// delay is added before every Write.
+	delay time.Duration
+	// cutAfter cuts the connection deterministically once the wrapped
+	// conns have written this many bytes in total (0 = disabled).
+	cutAfter atomic.Int64
+	written  atomic.Int64
+
+	// Cuts counts injected connection cuts.
+	Cuts atomic.Int64
+}
+
+// NewFaults builds a schedule driven by the given seed. The same seed
+// over the same operation sequence injects the same faults.
+func NewFaults(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// DropWrites sets the per-write drop probability; midFrame also leaks
+// the first half of the dropped write to the peer first.
+func (f *Faults) DropWrites(prob float64, midFrame bool) {
+	f.mu.Lock()
+	f.dropProb = prob
+	f.midFrame = midFrame
+	f.mu.Unlock()
+}
+
+// Delay adds latency before every write.
+func (f *Faults) Delay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// CutAfter cuts the next connection write once n total bytes have been
+// written across all wrapped connections — the deterministic way to
+// tear a specific frame. 0 disables.
+func (f *Faults) CutAfter(n int64) {
+	f.written.Store(0)
+	f.cutAfter.Store(n)
+}
+
+func (f *Faults) rollDrop() (drop, midFrame bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropProb > 0 && f.rng.Float64() < f.dropProb {
+		return true, f.midFrame
+	}
+	return false, false
+}
+
+func (f *Faults) delayNow() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delay
+}
+
+// Wrap returns c with this fault schedule applied to its writes.
+func (f *Faults) Wrap(c net.Conn) net.Conn {
+	return &conn{Conn: c, f: f}
+}
+
+// Dialer wraps a dial function so every connection it produces carries
+// the fault schedule. base nil defaults to net.DialTimeout.
+func (f *Faults) Dialer(base func(addr string, timeout time.Duration) (net.Conn, error)) func(addr string, timeout time.Duration) (net.Conn, error) {
+	if base == nil {
+		base = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := base(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return f.Wrap(c), nil
+	}
+}
+
+// conn applies the schedule to one connection. Only writes are faulted:
+// the requester's outbound frame is where a cut tears protocol state,
+// and a write-side cut makes the peer's read fail too.
+type conn struct {
+	net.Conn
+	f   *Faults
+	cut atomic.Bool
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	if c.cut.Load() {
+		return 0, ErrInjected
+	}
+	if d := c.f.delayNow(); d > 0 {
+		time.Sleep(d)
+	}
+	drop, midFrame := c.f.rollDrop()
+	if !drop {
+		if limit := c.f.cutAfter.Load(); limit > 0 && c.f.written.Add(int64(len(b))) > limit {
+			drop, midFrame = true, true
+			c.f.cutAfter.Store(0)
+		}
+	}
+	if drop {
+		if midFrame && len(b) > 1 {
+			c.Conn.Write(b[:len(b)/2])
+		}
+		c.cut.Store(true)
+		c.f.Cuts.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	if c.cut.Load() {
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(b)
+}

@@ -1,0 +1,149 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client side and the raw peer side of an
+// in-memory connection.
+func pipePair(t *testing.T, f *Faults) (client net.Conn, peer net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return f.Wrap(a), b
+}
+
+// readAll drains the peer until it sees EOF (or an error) and returns
+// the bytes that made it across.
+func readAll(peer net.Conn) []byte {
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := peer.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			return got
+		}
+	}
+}
+
+// TestCleanPassthrough: a schedule with nothing armed forwards bytes
+// untouched.
+func TestCleanPassthrough(t *testing.T) {
+	client, peer := pipePair(t, NewFaults(1))
+	go func() {
+		client.Write([]byte("hello"))
+		client.Close()
+	}()
+	if got := readAll(peer); string(got) != "hello" {
+		t.Fatalf("peer read %q, want hello", got)
+	}
+}
+
+// TestCutAfterTearsMidFrame: the deterministic cut fires on the write
+// that crosses the byte budget, leaks half the frame to the peer (a
+// torn frame, not a clean close), closes the connection, and counts.
+func TestCutAfterTearsMidFrame(t *testing.T) {
+	f := NewFaults(1)
+	f.CutAfter(4)
+	client, peer := pipePair(t, f)
+
+	done := make(chan []byte, 1)
+	go func() { done <- readAll(peer) }()
+
+	if _, err := client.Write([]byte("0123")); err != nil {
+		t.Fatalf("write inside the budget failed: %v", err)
+	}
+	if _, err := client.Write([]byte("456789")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past the budget = %v, want ErrInjected", err)
+	}
+	// The cut is sticky on this connection: reads and writes both fail.
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after cut = %v, want ErrInjected", err)
+	}
+	if _, err := client.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after cut = %v, want ErrInjected", err)
+	}
+	if got := string(<-done); got != "0123456" {
+		t.Fatalf("peer saw %q, want the full first frame plus half the torn one", got)
+	}
+	if f.Cuts.Load() != 1 {
+		t.Fatalf("Cuts = %d, want 1", f.Cuts.Load())
+	}
+}
+
+// TestDropWritesDeterministicSeed: the same seed drops the same write
+// in the same position, and the peer sees the close.
+func TestDropWritesDeterministicSeed(t *testing.T) {
+	run := func() int {
+		f := NewFaults(7)
+		f.DropWrites(0.3, false)
+		client, peer := pipePair(t, f)
+		go io.Copy(io.Discard, peer)
+		for i := 0; i < 100; i++ {
+			if _, err := client.Write([]byte("frame")); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("write %d failed with %v, want ErrInjected", i, err)
+				}
+				return i
+			}
+		}
+		t.Fatal("p=0.3 over 100 writes dropped nothing")
+		return -1
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("drop position diverged across identical seeds: %d vs %d", a, b)
+	}
+}
+
+// TestDelayStallsWrites: armed latency is observable on every write.
+func TestDelayStallsWrites(t *testing.T) {
+	f := NewFaults(1)
+	f.Delay(30 * time.Millisecond)
+	client, peer := pipePair(t, f)
+	go io.Copy(io.Discard, peer)
+	start := time.Now()
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("write returned in %v, want ≥30ms", elapsed)
+	}
+}
+
+// TestDialerWrapsConnections: connections from the wrapped dialer carry
+// the schedule.
+func TestDialerWrapsConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	f := NewFaults(1)
+	f.CutAfter(1)
+	dial := f.Dialer(nil)
+	c, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("yz")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dialed connection ignored the schedule: %v", err)
+	}
+}

@@ -1,0 +1,32 @@
+package replication
+
+import "nexus/internal/obs"
+
+// Replication metrics on the process-wide registry. The gauges make the
+// one number operators page on — how far behind is the follower —
+// directly scrapeable on both sides of the link.
+var (
+	// Follower side.
+	metFollowerGen = obs.Default.Gauge("nexus_repl_follower_gen",
+		"Manifest generation currently applied on this follower.")
+	metPrimaryGen = obs.Default.Gauge("nexus_repl_primary_gen",
+		"Primary's manifest generation as of the last sync round.")
+	metLag = obs.Default.Gauge("nexus_repl_lag_generations",
+		"Generations this follower is behind its primary (primary - follower).")
+	metLastSync = obs.Default.Gauge("nexus_repl_last_sync_timestamp_seconds",
+		"Unix time of the last successful sync round.")
+	metRounds = obs.Default.CounterVec("nexus_repl_sync_rounds_total",
+		"Sync rounds by result.", "result")
+	metSegsFetched = obs.Default.Counter("nexus_repl_segments_fetched_total",
+		"Segment files fetched from the primary.")
+	metFetchBytes = obs.Default.Counter("nexus_repl_fetch_bytes_total",
+		"Segment bytes fetched from the primary.")
+
+	// Primary side (monitor).
+	metProbes = obs.Default.CounterVec("nexus_repl_probes_total",
+		"Follower status probes by result.", "result")
+	metReplicaUp = obs.Default.GaugeVec("nexus_repl_replica_up",
+		"1 while the follower answers probes with a clean sync status, else 0.", "replica")
+	metReplicaLag = obs.Default.GaugeVec("nexus_repl_replica_lag_generations",
+		"Follower's self-reported generation lag, by replica.", "replica")
+)

@@ -1,0 +1,182 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nexus/internal/wire"
+)
+
+// ReplicaState is one follower's condition as last probed by the
+// primary's monitor.
+type ReplicaState struct {
+	Addr string
+	// Status is the follower's self-reported sync state (zero when the
+	// probe failed before a reply).
+	Status wire.ReplStatus
+	// ProbeErr is the probe failure ("" when the follower answered).
+	ProbeErr string
+	// LastOK is when the follower last answered a probe with a clean
+	// status (zero if never).
+	LastOK time.Time
+}
+
+// healthy reports whether the follower is reachable and syncing.
+func (s ReplicaState) healthy() bool {
+	return s.ProbeErr == "" && s.Status.Err == ""
+}
+
+// Monitor is the primary-side watchdog: it probes each configured
+// follower's main port for its replication status and folds the result
+// into a health check. A sick follower degrades the primary's /healthz
+// to 503 — the primary keeps serving; the signal is for operators and
+// load balancers — and recovers it when the follower returns.
+type Monitor struct {
+	replicas []string
+	cfg      Config
+
+	mu     sync.Mutex
+	states map[string]ReplicaState
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewMonitor builds a monitor probing the given follower addresses.
+// Config.Primary is unused here; Interval is the probe cadence.
+func NewMonitor(replicas []string, cfg Config) *Monitor {
+	m := &Monitor{
+		replicas: append([]string(nil), replicas...),
+		cfg:      cfg.withDefaults(),
+		states:   map[string]ReplicaState{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, addr := range m.replicas {
+		m.states[addr] = ReplicaState{Addr: addr, ProbeErr: "not probed yet"}
+	}
+	return m
+}
+
+// Start launches the background probe loop.
+func (m *Monitor) Start() {
+	m.startOnce.Do(func() { go m.loop() })
+}
+
+// Stop ends the loop. Safe to call without Start.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	select {
+	case <-m.done:
+	default:
+		m.startOnce.Do(func() { close(m.done) })
+	}
+	<-m.done
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	for {
+		m.ProbeAll()
+		select {
+		case <-m.stop:
+			return
+		case <-time.After(m.cfg.Interval):
+		}
+	}
+}
+
+// ProbeAll probes every follower once and updates the states.
+func (m *Monitor) ProbeAll() {
+	for _, addr := range m.replicas {
+		st, err := m.probe(addr)
+		now := time.Now()
+		m.mu.Lock()
+		cur := m.states[addr]
+		cur.Addr = addr
+		if err != nil {
+			cur.ProbeErr = err.Error()
+			cur.Status = wire.ReplStatus{}
+			metProbes.With("error").Inc()
+		} else {
+			cur.ProbeErr = ""
+			cur.Status = st
+			if st.Err == "" {
+				cur.LastOK = now
+			}
+			metProbes.With("ok").Inc()
+		}
+		m.states[addr] = cur
+		m.mu.Unlock()
+		if err != nil || st.Err != "" {
+			metReplicaUp.With(addr).Set(0)
+		} else {
+			metReplicaUp.With(addr).Set(1)
+		}
+		metReplicaLag.With(addr).Set(int64(st.PrimaryGen) - int64(st.Gen))
+	}
+}
+
+// probe asks one follower for its replication status over a one-shot
+// connection with connect and request deadlines.
+func (m *Monitor) probe(addr string) (wire.ReplStatus, error) {
+	conn, err := m.cfg.Dial(addr, m.cfg.ConnectTimeout)
+	if err != nil {
+		return wire.ReplStatus{}, fmt.Errorf("replication: probe dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(m.cfg.RequestTimeout))
+	if _, err := wire.WriteFrame(conn, wire.MsgReplStatus, nil); err != nil {
+		return wire.ReplStatus{}, fmt.Errorf("replication: probe %s: %w", addr, err)
+	}
+	rt, rp, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		return wire.ReplStatus{}, fmt.Errorf("replication: probe %s: %w", addr, err)
+	}
+	if rt == wire.MsgError {
+		_, msg, _ := wire.DecodeError(rp)
+		return wire.ReplStatus{}, fmt.Errorf("replication: probe %s refused: %s", addr, msg)
+	}
+	if rt != wire.MsgReplStatusData {
+		return wire.ReplStatus{}, fmt.Errorf("replication: probe %s replied %v", addr, rt)
+	}
+	return wire.DecodeReplStatus(rp)
+}
+
+// States snapshots every follower's last probed state, sorted by
+// address.
+func (m *Monitor) States() []ReplicaState {
+	m.mu.Lock()
+	out := make([]ReplicaState, 0, len(m.states))
+	for _, st := range m.states {
+		out = append(out, st)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Health implements an obs health check for the primary: failing while
+// any follower is unreachable or reporting a sync error. The primary
+// keeps serving regardless — the check degrades /healthz, it does not
+// gate requests.
+func (m *Monitor) Health() error {
+	var sick []string
+	for _, st := range m.States() {
+		switch {
+		case st.ProbeErr != "":
+			sick = append(sick, fmt.Sprintf("%s: %s", st.Addr, st.ProbeErr))
+		case st.Status.Err != "":
+			sick = append(sick, fmt.Sprintf("%s: sync error: %s", st.Addr, st.Status.Err))
+		}
+	}
+	if len(sick) > 0 {
+		return fmt.Errorf("replication: unhealthy replicas: %s", strings.Join(sick, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"nexus/internal/engines/relational"
+	"nexus/internal/wire"
+)
+
+// flakyCkpt is a checkpoint store whose saves can be made to fail —
+// the "checkpoint disk full / gone" scenario.
+type flakyCkpt struct {
+	mu        sync.Mutex
+	m         map[string][]byte
+	failSaves bool
+	fails     int
+}
+
+func (c *flakyCkpt) SaveCheckpoint(k string, d []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failSaves {
+		c.fails++
+		return errInjectedSave
+	}
+	if c.m == nil {
+		c.m = map[string][]byte{}
+	}
+	c.m[k] = append([]byte(nil), d...)
+	return nil
+}
+
+func (c *flakyCkpt) LoadCheckpoint(k string) ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.m[k]
+	return d, ok, nil
+}
+
+func (c *flakyCkpt) DeleteCheckpoint(k string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, k)
+	return nil
+}
+
+func (c *flakyCkpt) Checkpoints() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var keys []string
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+func (c *flakyCkpt) failCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fails
+}
+
+var errInjectedSave = &injectedErr{}
+
+type injectedErr struct{}
+
+func (*injectedErr) Error() string { return "injected: checkpoint store unavailable" }
+
+// TestCheckpointSaveErrorDoesNotKillStream pins the degraded mode: a
+// durable subscription whose periodic checkpoint saves all fail still
+// streams every window to a clean end — the failure is counted and
+// logged, and resume falls back to the last checkpoint that did land
+// (here: none, i.e. a from-scratch replay) instead of the stream dying.
+func TestCheckpointSaveErrorDoesNotKillStream(t *testing.T) {
+	eng := relational.New("srv")
+	if err := eng.Store("events", eventsTable(100)); err != nil {
+		t.Fatal(err)
+	}
+	cs := &flakyCkpt{failSaves: true}
+	s, err := ServeWithCheckpoints(eng, "127.0.0.1:0", cs, 0) // checkpoint every batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = func(string, ...any) {}
+	t.Cleanup(s.Close)
+
+	errsBefore := metCkptSaveErrs.Value()
+	conn := dial(t, s.Addr())
+	sub := wire.StreamSub{
+		ID: 1, SourceKind: wire.StreamSrcDataset,
+		Dataset: "events", TimeCol: "ts",
+		Spec: windowedSpec(t), Credit: 1000, Durable: "job",
+	}
+	if typ, _ := subscribeDataset(t, conn, sub); typ != wire.MsgSubAck {
+		t.Fatalf("subscribe answered %v", typ)
+	}
+	tabs, typ, _ := readUntilEnd(t, conn)
+	if typ != wire.MsgStreamEnd {
+		t.Fatalf("stream terminated with %v, want StreamEnd (save errors must not kill it)", typ)
+	}
+	if len(tabs) == 0 {
+		t.Fatal("stream delivered no windows")
+	}
+	if cs.failCount() == 0 {
+		t.Fatal("no checkpoint saves failed — the test exercised nothing")
+	}
+	if got := metCkptSaveErrs.Value(); got <= errsBefore {
+		t.Fatalf("checkpoint save errors were not counted (%d -> %d)", errsBefore, got)
+	}
+}

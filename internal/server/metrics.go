@@ -31,6 +31,12 @@ var (
 		"Subscriptions terminated because the subscriber's connection vanished.")
 	metStaleResume = obs.Default.Counter("nexus_server_stale_resume_total",
 		"Dataset-replay resume attempts refused because the dataset's order epoch moved.")
+	metCkptSaveErrs = obs.Default.Counter("nexus_server_checkpoint_save_errors_total",
+		"Durable subscription checkpoint saves that failed (the subscription keeps running on its previous checkpoint).")
+	metReplServed = obs.Default.CounterVec("nexus_server_repl_requests_total",
+		"Replication requests served as primary, by kind (manifest, segment, checkpoints).", "kind")
+	metReplBytesOut = obs.Default.Counter("nexus_server_repl_bytes_total",
+		"Segment bytes shipped to followers.")
 )
 
 // countPlanScans bumps the per-dataset scan counter for every Scan

@@ -30,6 +30,17 @@ type CheckpointStore interface {
 	Checkpoints() ([]string, error)
 }
 
+// ReplSource is a provider that can act as a replication primary:
+// it serves its encoded manifest (optionally after flushing dirty
+// tails), raw segment files by manifest name, and its durable stream
+// checkpoint set. storage.Engine implements it, so any durable server
+// — including test helpers — is a primary with no extra wiring.
+type ReplSource interface {
+	ReplManifest(flush bool) ([]byte, error)
+	ReplFile(name string) ([]byte, error)
+	ReplCheckpoints() (map[string][]byte, error)
+}
+
 // Server exposes one provider on a TCP address.
 type Server struct {
 	prov provider.Provider
@@ -49,6 +60,11 @@ type Server struct {
 	// arriving when EnableCheckpoints runs.
 	ckpt      CheckpointStore
 	ckptEvery time.Duration
+
+	// replStatus, when set, answers MsgReplStatus probes — a replica
+	// reports its sync state on its main port so a primary-side monitor
+	// needs no second listener. Guarded by mu.
+	replStatus func() wire.ReplStatus
 
 	// Logf receives diagnostics; defaults to log.Printf. Tests silence it.
 	Logf func(format string, args ...any)
@@ -88,6 +104,15 @@ func (s *Server) EnableCheckpoints(cs CheckpointStore, every time.Duration) {
 	s.mu.Lock()
 	s.ckpt = cs
 	s.ckptEvery = every
+	s.mu.Unlock()
+}
+
+// SetReplStatus installs the callback answering MsgReplStatus probes
+// (a replica's sync state). Connections established after the call see
+// it; install before replication starts.
+func (s *Server) SetReplStatus(fn func() wire.ReplStatus) {
+	s.mu.Lock()
+	s.replStatus = fn
 	s.mu.Unlock()
 }
 
@@ -199,13 +224,14 @@ func (s *Server) handle(conn net.Conn) {
 	// Logf is read lazily at log time: tests install their logger right
 	// after Serve returns, before any traffic arrives.
 	s.mu.Lock()
-	ckpt, ckptEvery := s.ckpt, s.ckptEvery
+	ckpt, ckptEvery, replStatus := s.ckpt, s.ckptEvery, s.replStatus
 	s.mu.Unlock()
 	cc := &connCtx{
 		prov: s.prov, conn: conn, cache: s.cache(),
 		ckpt: ckpt, ckptEvery: ckptEvery,
-		subs: map[uint64]*subSession{},
-		logf: func(format string, args ...any) { s.Logf(format, args...) },
+		replStatus: replStatus,
+		subs:       map[uint64]*subSession{},
+		logf:       func(format string, args ...any) { s.Logf(format, args...) },
 	}
 	s.mu.Lock()
 	if _, ok := s.conns[conn]; ok {
@@ -263,6 +289,10 @@ type connCtx struct {
 	// the host has no checkpoint store).
 	ckpt      CheckpointStore
 	ckptEvery time.Duration
+
+	// replStatus answers MsgReplStatus probes (nil when this server is
+	// not a replica).
+	replStatus func() wire.ReplStatus
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -412,8 +442,90 @@ func (cc *connCtx) dispatch(typ wire.MsgType, payload []byte) error {
 			s.close(mode)
 		}
 		return nil
+	case wire.MsgReplManifest:
+		return cc.handleReplManifest(payload)
+	case wire.MsgReplFetch:
+		return cc.handleReplFetch(payload)
+	case wire.MsgReplCkpts:
+		return cc.handleReplCkpts()
+	case wire.MsgReplStatus:
+		return cc.handleReplStatus()
 	}
 	return fmt.Errorf("unexpected message %v", typ)
+}
+
+// replSource returns the provider's replication interface, or an error
+// frame payload-ready message when the provider cannot act as a primary
+// (in-memory providers have no segments to ship).
+func (cc *connCtx) replSource() (ReplSource, error) {
+	if rs, ok := cc.prov.(ReplSource); ok {
+		return rs, nil
+	}
+	return nil, fmt.Errorf("server: provider %s is not a replication source (not durable)", cc.prov.Name())
+}
+
+// handleReplManifest serves the encoded current manifest, flushing
+// unflushed tails first when the follower asks (the normal case: the
+// replication granularity is the flush granularity).
+func (cc *connCtx) handleReplManifest(payload []byte) error {
+	flush, err := wire.DecodeReplManifest(payload)
+	if err != nil {
+		return err
+	}
+	rs, err := cc.replSource()
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	raw, err := rs.ReplManifest(flush)
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	metReplServed.With("manifest").Inc()
+	return cc.writeFrame(wire.MsgReplManifestData, raw)
+}
+
+// handleReplFetch serves one raw segment file by manifest name.
+func (cc *connCtx) handleReplFetch(payload []byte) error {
+	name, err := wire.DecodeReplFetch(payload)
+	if err != nil {
+		return err
+	}
+	rs, err := cc.replSource()
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	data, err := rs.ReplFile(name)
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	metReplServed.With("segment").Inc()
+	metReplBytesOut.Add(int64(len(data)))
+	return cc.writeFrame(wire.MsgReplFile, wire.EncodeReplFile(name, data))
+}
+
+// handleReplCkpts serves the durable stream checkpoint set so a
+// follower can adopt failed-over durable subscribers at the primary's
+// last persisted position.
+func (cc *connCtx) handleReplCkpts() error {
+	rs, err := cc.replSource()
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	set, err := rs.ReplCheckpoints()
+	if err != nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	metReplServed.With("checkpoints").Inc()
+	return cc.writeFrame(wire.MsgReplCkptData, wire.EncodeReplCkptData(set))
+}
+
+// handleReplStatus reports this server's replication sync state (only
+// meaningful on a replica; see Server.SetReplStatus).
+func (cc *connCtx) handleReplStatus() error {
+	if cc.replStatus == nil {
+		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, "server: not a replica"))
+	}
+	return cc.writeFrame(wire.MsgReplStatusData, wire.EncodeReplStatus(cc.replStatus()))
 }
 
 func (cc *connCtx) handleHello() error {

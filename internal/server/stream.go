@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nexus/internal/core"
@@ -55,6 +56,11 @@ type subSession struct {
 	// subGauge is the per-dataset active-subscription gauge child; set
 	// once the subscription is acknowledged, decremented when run ends.
 	subGauge *obs.Gauge
+
+	// ckptStale counts consecutive failed periodic checkpoint saves —
+	// nonzero means the durable checkpoint on disk lags the stream and a
+	// resume will replay the gap (at-least-once holds either way).
+	ckptStale atomic.Int64
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -145,7 +151,18 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 		s.durable = &sub
 		p.WithCheckpoint(cc.ckptEvery, func(st *stream.State) error {
 			st.Epoch = s.epoch
-			return cc.saveSubCheckpoint(&sub, st)
+			if err := cc.saveSubCheckpoint(&sub, st); err != nil {
+				// A failed periodic save must not kill a healthy stream:
+				// the previous checkpoint is intact (saves replace
+				// atomically), so a resume just replays a little more.
+				// Count it, log it, note the staleness, and keep going.
+				metCkptSaveErrs.Inc()
+				n := s.ckptStale.Add(1)
+				cc.logf("server: subscription %d: checkpoint save failed (%d consecutive, resume falls back to previous): %v", s.id, n, err)
+				return nil
+			}
+			s.ckptStale.Store(0)
+			return nil
 		})
 	}
 
@@ -279,6 +296,7 @@ func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream
 		switch {
 		case mode == wire.CloseDetach && state != nil:
 			if serr := s.cc.saveSubCheckpoint(s.durable, state); serr != nil {
+				metCkptSaveErrs.Inc()
 				s.cc.logf("server: subscription %d: save checkpoint: %v", s.id, serr)
 			}
 		case completed:
@@ -287,6 +305,7 @@ func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream
 			}
 		case state != nil:
 			if serr := s.cc.saveSubCheckpoint(s.durable, state); serr != nil {
+				metCkptSaveErrs.Inc()
 				s.cc.logf("server: subscription %d: save checkpoint: %v", s.id, serr)
 			}
 		}

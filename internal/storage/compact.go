@@ -97,6 +97,12 @@ func (s *Store) Compact(opts CompactOptions) (CompactStats, error) {
 		s.mu.RUnlock()
 		return CompactStats{}, fmt.Errorf("storage: store is closed")
 	}
+	if s.replica {
+		// A replica's generations belong to the primary; compacting
+		// locally would fork the catalog and break every future apply.
+		s.mu.RUnlock()
+		return CompactStats{}, nil
+	}
 	names := make([]string, 0, len(s.man.Datasets))
 	for _, dm := range s.man.Datasets {
 		names = append(names, dm.Name)

@@ -180,6 +180,62 @@ func (e *Engine) CompactorHealth() error {
 // tokens and refuses stale ones.
 func (e *Engine) DatasetOrderEpoch(name string) uint64 { return e.st.OrderEpoch(name) }
 
+// SetReplica switches the backing store into replica mode (local
+// mutations refused; manifests applied from a primary instead).
+func (e *Engine) SetReplica(on bool) { e.st.SetReplica(on) }
+
+// ReplManifest implements the server's replication source: the encoded
+// current manifest, optionally after flushing unflushed tails so the
+// snapshot covers every committed row.
+func (e *Engine) ReplManifest(flush bool) ([]byte, error) {
+	if flush {
+		if err := e.st.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	_, raw := e.st.EncodedManifest()
+	return raw, nil
+}
+
+// ReplFile serves one raw segment file for replication.
+func (e *Engine) ReplFile(name string) ([]byte, error) { return e.st.SegmentFileBytes(name) }
+
+// ReplCheckpoints serves the durable stream checkpoint set for
+// replication.
+func (e *Engine) ReplCheckpoints() (map[string][]byte, error) { return e.st.CheckpointSet() }
+
+// CurrentGen exposes the store's applied manifest generation.
+func (e *Engine) CurrentGen() uint64 { return e.st.CurrentGen() }
+
+// HasSegmentFile reports whether a replicated segment already exists
+// locally, so a follower only fetches what it is missing.
+func (e *Engine) HasSegmentFile(name string) bool { return e.st.HasSegmentFile(name) }
+
+// PutReplicatedSegment verifies and installs one fetched segment file.
+func (e *Engine) PutReplicatedSegment(name string, data []byte) error {
+	return e.st.PutReplicatedSegment(name, data)
+}
+
+// ApplyReplicatedCheckpoints mirrors the primary's durable stream
+// checkpoint set locally.
+func (e *Engine) ApplyReplicatedCheckpoints(set map[string][]byte) error {
+	return e.st.ApplyReplicatedCheckpoints(set)
+}
+
+// ApplyReplicated installs a replicated manifest (replica side) and
+// drops every warm table — the datasets under them may have changed
+// wholesale.
+func (e *Engine) ApplyReplicated(rawManifest []byte) error {
+	if err := e.st.ApplyReplicatedManifest(rawManifest); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.mat = map[string]*table.Table{}
+	e.matGen++
+	e.mu.Unlock()
+	return nil
+}
+
 // invalidate forgets the warm copy of a dataset after a mutation.
 func (e *Engine) invalidate(name string) {
 	e.mu.Lock()

@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"nexus/internal/errfs"
 	"nexus/internal/schema"
 	"nexus/internal/table"
 	"nexus/internal/value"
@@ -586,6 +587,8 @@ func projectSegment(seg *Segment, positions []int) (*Segment, error) {
 // atomicWriteFile writes data to path via a temp file in the same
 // directory, fsyncing the file before the rename and the directory
 // after, so the path never exposes a torn file — even across SIGKILL.
+// Write and fsync route through errfs, the deterministic
+// fault-injection seam the chaos suite drives.
 func atomicWriteFile(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
@@ -597,11 +600,11 @@ func atomicWriteFile(path string, data []byte) error {
 		tmp.Close()
 		os.Remove(tmpName)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := errfs.Write(tmp, data); err != nil {
 		cleanup()
 		return fmt.Errorf("storage: write %s: %w", path, err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := errfs.Sync(tmp); err != nil {
 		cleanup()
 		return fmt.Errorf("storage: sync %s: %w", path, err)
 	}

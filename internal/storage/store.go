@@ -36,6 +36,7 @@ type Store struct {
 	segs    map[string]*table.Table // decoded segment cache: file (full) or file+cols (projected)
 	nextSeg uint64                  // next segment file number (flushes and compactions share it)
 	closed  bool
+	replica bool // replica mode: local mutations refused, manifests applied from a primary
 
 	// cacheGen is bumped whenever compaction purges cache entries, so a
 	// read that raced the purge (decoded a file the swap just deleted)
@@ -337,6 +338,12 @@ func (s *Store) write(kind uint8, name string, t *table.Table) error {
 		lock.Unlock()
 		return fmt.Errorf("storage: store is closed")
 	}
+	if s.replica {
+		s.mu.Unlock()
+		s.rotmu.RUnlock()
+		lock.Unlock()
+		return ErrReplicaReadOnly
+	}
 	if kind == walAppend {
 		if sch, ok := s.schemaLocked(name); ok && !sch.Equal(t.Schema()) {
 			s.mu.Unlock()
@@ -392,6 +399,10 @@ func (s *Store) Drop(name string) error {
 	if s.closed {
 		s.mu.Unlock()
 		return fmt.Errorf("storage: store is closed")
+	}
+	if s.replica {
+		s.mu.Unlock()
+		return ErrReplicaReadOnly
 	}
 	wal := s.wal
 	s.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"nexus/internal/errfs"
 	"nexus/internal/table"
 	"nexus/internal/wire"
 )
@@ -102,7 +103,7 @@ func (w *WAL) Append(rec WalRecord) error {
 		w.mu.Unlock()
 		return err
 	}
-	if _, err := w.f.Write(payload); err != nil {
+	if _, err := errfs.Write(w.f, payload); err != nil {
 		w.mu.Unlock()
 		w.poison(err)
 		return fmt.Errorf("storage: wal write: %w", err)
@@ -137,7 +138,7 @@ func (w *WAL) commit(seq uint64) error {
 		target := w.written
 		w.mu.Unlock()
 		fsyncStart := time.Now()
-		err := w.f.Sync()
+		err := errfs.Sync(w.f)
 		metWalFsyncSeconds.ObserveSince(fsyncStart)
 		w.smu.Lock()
 		w.syncing = false

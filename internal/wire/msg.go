@@ -42,6 +42,22 @@ const (
 	// streaming-ingest path into durable providers. Payload is identical
 	// to MsgStore.
 	MsgAppend MsgType = 21 // any → server: dataset name, table
+
+	// Segment replication (internal/replication). A follower pulls the
+	// primary's catalog and the immutable files it names over the same
+	// connection protocol clients speak: request the current manifest,
+	// fetch the segment files it references (CRC-verified on arrival),
+	// mirror the durable stream checkpoints, and swap the manifest in
+	// atomically. Status lets a primary-side monitor ask any replica how
+	// far behind it is.
+	MsgReplManifest     MsgType = 22 // follower → primary: flush flag
+	MsgReplManifestData MsgType = 23 // primary → follower: encoded manifest
+	MsgReplFetch        MsgType = 24 // follower → primary: segment file name
+	MsgReplFile         MsgType = 25 // primary → follower: file name, raw bytes
+	MsgReplCkpts        MsgType = 26 // follower → primary: request checkpoint set
+	MsgReplCkptData     MsgType = 27 // primary → follower: key/payload pairs
+	MsgReplStatus       MsgType = 28 // monitor → replica: request replication status
+	MsgReplStatusData   MsgType = 29 // replica → monitor: applied gen, last sync, error
 )
 
 // String names the message type.
@@ -89,6 +105,22 @@ func (m MsgType) String() string {
 		return "streamend"
 	case MsgAppend:
 		return "append"
+	case MsgReplManifest:
+		return "replmanifest"
+	case MsgReplManifestData:
+		return "replmanifestdata"
+	case MsgReplFetch:
+		return "replfetch"
+	case MsgReplFile:
+		return "replfile"
+	case MsgReplCkpts:
+		return "replckpts"
+	case MsgReplCkptData:
+		return "replckptdata"
+	case MsgReplStatus:
+		return "replstatus"
+	case MsgReplStatusData:
+		return "replstatusdata"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(m))
 }

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Replication message payloads. The manifest itself crosses the wire in
+// its on-disk encoding (storage.EncodeManifest — magic, body, CRC), so
+// the follower verifies exactly the bytes it will trust; only the small
+// framing around it is defined here.
+
+// EncodeReplManifest encodes a manifest request. flush asks the primary
+// to flush its unflushed tails into segments first, so the returned
+// manifest covers every row committed so far.
+func EncodeReplManifest(flush bool) []byte {
+	var e Encoder
+	if flush {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	return e.Bytes()
+}
+
+// DecodeReplManifest parses a manifest request.
+func DecodeReplManifest(b []byte) (flush bool, err error) {
+	d := NewDecoder(b)
+	f := d.U8()
+	if err := d.Err(); err != nil {
+		return false, err
+	}
+	return f != 0, nil
+}
+
+// EncodeReplFetch encodes a segment-file fetch request.
+func EncodeReplFetch(name string) []byte {
+	var e Encoder
+	e.Str(name)
+	return e.Bytes()
+}
+
+// DecodeReplFetch parses a fetch request.
+func DecodeReplFetch(b []byte) (string, error) {
+	d := NewDecoder(b)
+	name := d.Str()
+	if err := d.Err(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// EncodeReplFile encodes a fetched file: its name echoed back plus the
+// raw bytes. The follower re-verifies the segment CRC before trusting
+// them.
+func EncodeReplFile(name string, data []byte) []byte {
+	var e Encoder
+	e.Str(name)
+	e.U32(uint32(len(data)))
+	e.Raw(data)
+	return e.Bytes()
+}
+
+// DecodeReplFile parses a fetched file.
+func DecodeReplFile(b []byte) (name string, data []byte, err error) {
+	d := NewDecoder(b)
+	name = d.Str()
+	n := int(d.U32())
+	if d.Err() != nil || n < 0 || n > d.Remaining() {
+		return "", nil, fmt.Errorf("wire: bad repl file payload")
+	}
+	data = append([]byte(nil), d.RawN(n)...)
+	if err := d.Err(); err != nil {
+		return "", nil, err
+	}
+	return name, data, nil
+}
+
+// EncodeReplCkptData encodes the primary's durable-checkpoint set (key
+// to opaque payload), sorted by key for a deterministic wire image.
+func EncodeReplCkptData(ckpts map[string][]byte) []byte {
+	keys := make([]string, 0, len(ckpts))
+	for k := range ckpts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var e Encoder
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Str(k)
+		e.U32(uint32(len(ckpts[k])))
+		e.Raw(ckpts[k])
+	}
+	return e.Bytes()
+}
+
+// DecodeReplCkptData parses a checkpoint set.
+func DecodeReplCkptData(b []byte) (map[string][]byte, error) {
+	d := NewDecoder(b)
+	n := int(d.U32())
+	if d.Err() != nil || n < 0 || n > d.Remaining() {
+		return nil, fmt.Errorf("wire: bad repl checkpoint count")
+	}
+	out := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := d.Str()
+		sz := int(d.U32())
+		if d.Err() != nil || sz < 0 || sz > d.Remaining() {
+			return nil, fmt.Errorf("wire: bad repl checkpoint payload")
+		}
+		out[k] = append([]byte(nil), d.RawN(sz)...)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplStatus is a replica's replication position, served to the
+// primary-side monitor: the manifest generation it has applied, the
+// primary generation it last saw, when the last successful sync round
+// finished, and the last sync error ("" when healthy).
+type ReplStatus struct {
+	Gen              uint64 // manifest generation applied locally
+	PrimaryGen       uint64 // primary generation observed on the last round
+	LastSyncUnixNano int64  // wall time of the last successful round (0: never)
+	Err              string // last round's error, "" when it succeeded
+}
+
+// EncodeReplStatus encodes a status reply.
+func EncodeReplStatus(st ReplStatus) []byte {
+	var e Encoder
+	e.U64(st.Gen)
+	e.U64(st.PrimaryGen)
+	e.I64(st.LastSyncUnixNano)
+	e.Str(st.Err)
+	return e.Bytes()
+}
+
+// DecodeReplStatus parses a status reply.
+func DecodeReplStatus(b []byte) (ReplStatus, error) {
+	d := NewDecoder(b)
+	st := ReplStatus{Gen: d.U64(), PrimaryGen: d.U64(), LastSyncUnixNano: d.I64(), Err: d.Str()}
+	if err := d.Err(); err != nil {
+		return ReplStatus{}, err
+	}
+	return st, nil
+}
