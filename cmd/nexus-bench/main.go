@@ -12,6 +12,7 @@
 //	nexus-bench -storage         # cold/warm/projected/pruned/compacted scans -> BENCH_5.json
 //	nexus-bench -load            # concurrent mixed-workload tail-latency run -> BENCH_6.json
 //	nexus-bench -failover        # SIGKILL-the-primary failover gap benchmark -> BENCH_7.json
+//	nexus-bench -load-mux        # multiplexed front door: conns vs subs vs tail latency -> BENCH_8.json
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	micro := flag.Bool("micro", false, "run the execution-kernel micro-benchmarks and emit machine-readable results")
 	storageBench := flag.Bool("storage", false, "run the durable-storage scan benchmarks (cold disk vs warm RAM vs zone-map pruned)")
 	loadBench := flag.Bool("load", false, "run the concurrent mixed-workload tail-latency generator against a live durable server")
+	loadMux := flag.Bool("load-mux", false, "run the multiplexed front-door benchmark (conns vs subscriptions vs tail latency)")
 	loadClients := flag.Int("load-clients", 12, "concurrent clients for -load")
 	loadDur := flag.Duration("load-duration", 5*time.Second, "wall-clock duration for -load")
 	failoverBench := flag.Bool("failover", false, "run the primary-SIGKILL failover benchmark (gap to first window served by the replica)")
@@ -86,6 +88,17 @@ func main() {
 		}
 		if err := runStorageBench(out, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "storage benchmarks FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadMux {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_8.json"
+		}
+		if err := runLoadMux(out, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "load-mux benchmark FAILED: %v\n", err)
 			os.Exit(1)
 		}
 		return

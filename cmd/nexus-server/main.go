@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -58,6 +59,20 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "primary server address to replicate from (requires -data-dir; makes this server a read-only follower)")
 	replicas := flag.String("replicas", "", "comma-separated follower addresses to monitor (primary side; unhealthy followers degrade /healthz)")
 	replEvery := flag.Duration("repl-interval", 500*time.Millisecond, "replication sync/probe interval (with -replica-of or -replicas)")
+	var admDefault server.TenantQuota
+	flag.IntVar(&admDefault.MaxSubscriptions, "max-subs-per-tenant", 0, "default per-tenant cap on concurrent stream subscriptions (0 = unlimited)")
+	flag.Float64Var(&admDefault.AppendRowsPerSec, "append-rows-per-sec", 0, "default per-tenant append rate budget in rows/sec (0 = unlimited)")
+	flag.Float64Var(&admDefault.ScanRowsPerSec, "scan-rows-per-sec", 0, "default per-tenant query-result rate budget in rows/sec (0 = unlimited)")
+	shedP99 := flag.Duration("shed-stall-p99", 0, "refuse NEW subscriptions while the 10s credit-stall p99 exceeds this (0 disables shedding)")
+	tenantQuotas := map[string]server.TenantQuota{}
+	flag.Func("tenant-quota", "per-tenant quota override, repeatable: name:subs=N,append=R,scan=R (see docs/FRONTDOOR.md)", func(v string) error {
+		name, q, err := parseTenantQuota(v)
+		if err != nil {
+			return err
+		}
+		tenantQuotas[name] = q
+		return nil
+	})
 	flag.Parse()
 
 	if *replicaOf != "" && *dataDir == "" {
@@ -109,6 +124,14 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if admDefault != (server.TenantQuota{}) || len(tenantQuotas) > 0 || *shedP99 > 0 {
+		srv.SetAdmission(server.AdmissionConfig{
+			Default:      admDefault,
+			Tenants:      tenantQuotas,
+			ShedStallP99: *shedP99,
+		})
+		log.Printf("  admission control: default quota %+v, %d named tenant(s), shed at stall p99 > %v", admDefault, len(tenantQuotas), *shedP99)
 	}
 	if durable != nil {
 		log.Printf("nexus durable server %q listening on %s (data dir %s)", prov.Name(), srv.Addr(), *dataDir)
@@ -236,6 +259,37 @@ func main() {
 			log.Printf("close data dir: %v", err)
 		}
 	}
+}
+
+// parseTenantQuota parses a -tenant-quota spec: "name:subs=N,append=R,scan=R"
+// (each key optional).
+func parseTenantQuota(spec string) (string, server.TenantQuota, error) {
+	var q server.TenantQuota
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok || name == "" {
+		return "", q, fmt.Errorf("tenant-quota %q: want name:subs=N,append=R,scan=R", spec)
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", q, fmt.Errorf("tenant-quota %q: bad field %q", spec, kv)
+		}
+		var err error
+		switch k {
+		case "subs":
+			q.MaxSubscriptions, err = strconv.Atoi(v)
+		case "append":
+			q.AppendRowsPerSec, err = strconv.ParseFloat(v, 64)
+		case "scan":
+			q.ScanRowsPerSec, err = strconv.ParseFloat(v, 64)
+		default:
+			err = fmt.Errorf("unknown key %q (want subs, append or scan)", k)
+		}
+		if err != nil {
+			return "", q, fmt.Errorf("tenant-quota %q: %v", spec, err)
+		}
+	}
+	return name, q, nil
 }
 
 func loadDemo(p provider.Provider, engine string) error {

@@ -51,17 +51,23 @@ func main() {
 	demo := flag.Bool("demo", false, "create local engines and load demo data")
 	connect := flag.String("connect", "", "comma-separated server addresses to attach")
 	metrics := flag.String("metrics", "", "default metrics sidecar address for \\stats (host:port)")
+	mux := flag.Bool("mux", false, "multiplex all traffic to each server (queries + subscriptions) over one TCP connection")
+	tenant := flag.String("tenant", "", "tenant token sent at connect for server-side admission control")
 	flag.Parse()
 
 	s := nexus.NewSession()
 	if *connect != "" {
 		for _, addr := range strings.Split(*connect, ",") {
-			name, err := s.ConnectTCP(strings.TrimSpace(addr))
+			name, err := s.Connect(strings.TrimSpace(addr), nexus.ConnectOptions{Mux: *mux, Tenant: *tenant})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "connect %s: %v\n", addr, err)
 				os.Exit(1)
 			}
-			fmt.Printf("connected to %s (%s)\n", addr, name)
+			mode := ""
+			if *mux {
+				mode = ", multiplexed"
+			}
+			fmt.Printf("connected to %s (%s%s)\n", addr, name, mode)
 		}
 	}
 	if *connect == "" || *demo {

@@ -31,6 +31,11 @@ type FailoverOpts struct {
 	// (across all addresses) before the stream fails. 0 means
 	// 4×len(addrs); negative means unlimited (bounded by ctx).
 	MaxAttempts int
+	// Mux subscribes over a multiplexed connection (DialMux) instead of
+	// a dedicated one. Each failover attempt dials a fresh mux owned by
+	// this failover subscription; it is closed when the inner
+	// subscription ends.
+	Mux bool
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -60,6 +65,7 @@ type FailoverSub struct {
 	mu      sync.Mutex
 	cur     *Subscription
 	curAddr string
+	curMux  *Mux // owns the current subscription's mux connection (Mux mode)
 	err     error
 }
 
@@ -93,14 +99,14 @@ func SubscribeFailover(ctx context.Context, addrs []string, sub wire.StreamSub, 
 		done:     make(chan struct{}),
 		closed:   make(chan struct{}),
 	}
-	inner, idx, err := f.connect(ctx, 0)
+	inner, mx, idx, err := f.connect(ctx, 0)
 	if err != nil {
 		return nil, err
 	}
 	// Any caller-supplied resume token is spent on the first subscribe;
 	// re-subscribes resume from the server-side durable checkpoint.
 	f.sub.Resume = nil
-	f.setCur(inner, f.addrs[idx])
+	f.setCur(inner, f.addrs[idx], mx)
 	go f.run(ctx, idx)
 	return f, nil
 }
@@ -143,10 +149,22 @@ func (f *FailoverSub) current() *Subscription {
 	return f.cur
 }
 
-func (f *FailoverSub) setCur(s *Subscription, addr string) {
+func (f *FailoverSub) setCur(s *Subscription, addr string, mx *Mux) {
 	f.mu.Lock()
-	f.cur, f.curAddr = s, addr
+	f.cur, f.curAddr, f.curMux = s, addr, mx
 	f.mu.Unlock()
+}
+
+// closeCurMux closes the mux owning the current subscription's
+// connection, if any (Mux mode dials one mux per attempt).
+func (f *FailoverSub) closeCurMux() {
+	f.mu.Lock()
+	mx := f.curMux
+	f.curMux = nil
+	f.mu.Unlock()
+	if mx != nil {
+		mx.Close()
+	}
 }
 
 func (f *FailoverSub) setErr(err error) {
@@ -162,6 +180,7 @@ func (f *FailoverSub) setErr(err error) {
 func (f *FailoverSub) run(ctx context.Context, idx int) {
 	defer close(f.done)
 	defer close(f.out)
+	defer f.closeCurMux()
 	for {
 		inner := f.current()
 		healthyStart := time.Now()
@@ -190,7 +209,8 @@ func (f *FailoverSub) run(ctx context.Context, idx int) {
 		// schedule — an isolated blip should not pay a grown delay.
 		f.opts.Backoff.Observe(time.Since(healthyStart))
 		f.opts.Logf("federation: subscription to %s lost (%v); failing over", f.Addr(), err)
-		next, nidx, cerr := f.connect(ctx, idx+1)
+		f.closeCurMux()
+		next, mx, nidx, cerr := f.connect(ctx, idx+1)
 		if cerr != nil {
 			f.setErr(fmt.Errorf("federation: failover exhausted: %w (stream lost: %v)", cerr, err))
 			return
@@ -198,39 +218,55 @@ func (f *FailoverSub) run(ctx context.Context, idx int) {
 		idx = nidx
 		f.failovers.Add(1)
 		metFailovers.Inc()
-		f.setCur(next, f.addrs[nidx])
+		f.setCur(next, f.addrs[nidx], mx)
 		f.opts.Logf("federation: resumed %q on %s", f.sub.Durable, f.addrs[nidx])
 	}
 }
 
 // connect tries addresses round-robin from start until a subscribe
-// succeeds, backing off between failed attempts.
-func (f *FailoverSub) connect(ctx context.Context, start int) (*Subscription, int, error) {
+// succeeds, backing off between failed attempts. In Mux mode the
+// subscription rides a fresh multiplexed connection (returned so the
+// failover loop can close it when the subscription dies).
+func (f *FailoverSub) connect(ctx context.Context, start int) (*Subscription, *Mux, int, error) {
 	attempts := 0
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		i := ((start % len(f.addrs)) + len(f.addrs)) % len(f.addrs)
 		addr := f.addrs[i]
 		metRedials.Inc()
 		var err error
-		conn, err := dialConn(ctx, addr, f.dialOpts)
-		if err == nil {
-			s, serr := subscribeConnTimeout(conn, f.sub, f.dialOpts.HandshakeTimeout)
-			if serr == nil {
-				return s, i, nil
+		if f.opts.Mux {
+			mx, merr := DialMuxContext(ctx, addr, f.dialOpts)
+			if merr == nil {
+				s, serr := mx.Subscribe(f.sub)
+				if serr == nil {
+					return s, mx, i, nil
+				}
+				mx.Close()
+				merr = serr
 			}
-			err = serr
+			err = merr
+		} else {
+			conn, derr := dialConn(ctx, addr, f.dialOpts)
+			if derr == nil {
+				s, serr := subscribeConnTimeout(conn, f.sub, f.dialOpts.HandshakeTimeout)
+				if serr == nil {
+					return s, nil, i, nil
+				}
+				derr = serr
+			}
+			err = derr
 		}
 		attempts++
 		f.opts.Logf("federation: failover attempt %d at %s: %v", attempts, addr, err)
 		if f.opts.MaxAttempts > 0 && attempts >= f.opts.MaxAttempts {
-			return nil, 0, fmt.Errorf("federation: %d connect attempts failed, last: %w", attempts, err)
+			return nil, nil, 0, fmt.Errorf("federation: %d connect attempts failed, last: %w", attempts, err)
 		}
 		start++
 		if werr := f.opts.Backoff.Wait(ctx); werr != nil {
-			return nil, 0, werr
+			return nil, nil, 0, werr
 		}
 	}
 }

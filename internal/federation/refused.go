@@ -1,0 +1,57 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+
+	"nexus/internal/wire"
+)
+
+// ErrRefused is the sentinel every admission-control refusal matches:
+// errors.Is(err, ErrRefused) holds whether the server shed the request
+// under load or the tenant's quota ran out. Refusals are not failures
+// of the request itself — retrying later, or at a lower rate, is the
+// intended reaction.
+var ErrRefused = errors.New("federation: refused by admission control")
+
+// RefusedError is the typed error for a request the server declined via
+// MsgRefused. Code distinguishes quota exhaustion from load shedding.
+type RefusedError struct {
+	Op   string // "subscribe", "execute", "append", "store"
+	Code uint32 // wire.RefusedOverQuota or wire.RefusedShedding
+	Msg  string // server-supplied reason
+}
+
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("federation: %s refused (%s): %s", e.Op, refusedCodeName(e.Code), e.Msg)
+}
+
+// Is makes errors.Is(err, ErrRefused) match.
+func (e *RefusedError) Is(target error) bool { return target == ErrRefused }
+
+// OverQuota reports whether the refusal was a per-tenant quota limit
+// (as opposed to server-wide load shedding).
+func (e *RefusedError) OverQuota() bool { return e.Code == wire.RefusedOverQuota }
+
+// Shedding reports whether the refusal was backpressure-driven load
+// shedding (the server's credit-stall tail crossed its bound).
+func (e *RefusedError) Shedding() bool { return e.Code == wire.RefusedShedding }
+
+func refusedCodeName(code uint32) string {
+	switch code {
+	case wire.RefusedOverQuota:
+		return "over quota"
+	case wire.RefusedShedding:
+		return "shedding load"
+	}
+	return fmt.Sprintf("code %d", code)
+}
+
+// decodeRefused turns a MsgRefused payload into the typed error.
+func decodeRefused(op string, payload []byte) error {
+	_, code, msg, err := wire.DecodeRefused(payload)
+	if err != nil {
+		return err
+	}
+	return &RefusedError{Op: op, Code: code, Msg: msg}
+}

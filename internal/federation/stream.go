@@ -47,8 +47,17 @@ type SubBatch struct {
 // Subscription is a live federated stream. Batches arrives results and
 // watermark progress; Publish/EndInput feed push-mode sources; Detach
 // retrieves the window state for resumption elsewhere.
+//
+// A subscription runs in one of two transport modes: over a dedicated
+// connection it owns (conn non-nil — the reader pulls frames off the
+// socket directly), or as one stream of a multiplexed connection (mx
+// non-nil — the Mux demultiplexes frames into this subscription's
+// inbox and the reader pulls from there). The frame semantics are
+// identical; only next() and the sever path differ.
 type Subscription struct {
-	conn   net.Conn
+	conn   net.Conn      // dedicated-connection mode; nil under a mux
+	mx     *Mux          // mux mode; nil on a dedicated connection
+	inbox  chan subFrame // mux mode: frames demultiplexed for this sub
 	id     uint64
 	outSch schema.Schema
 
@@ -70,6 +79,13 @@ type Subscription struct {
 	detaching bool       // a Detach handshake is in flight; Close must not sever it
 }
 
+// subFrame is one demultiplexed frame handed to a mux-mode
+// subscription's reader.
+type subFrame struct {
+	typ     wire.MsgType
+	payload []byte
+}
+
 var subIDs atomic.Uint64
 
 // SubscribeConn opens a subscription over an established connection
@@ -82,12 +98,22 @@ func SubscribeConn(conn net.Conn, sub wire.StreamSub) (*Subscription, error) {
 
 // subscribeConnTimeout is SubscribeConn with a deadline on the
 // subscribe/ack handshake (0 = none). Once the ack is in, the deadline
-// is lifted — the subscription itself is long-running by design.
+// is lifted — the subscription itself is long-running by design. Every
+// failure exit closes the dialed connection before returning: the
+// deferred cleanup covers each path (write failure, short reply,
+// refusal, corrupt ack), so a mid-handshake error can leak neither the
+// socket nor a reader goroutine.
 func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Duration) (*Subscription, error) {
 	sub.ID = subIDs.Add(1)
 	if sub.Credit == 0 {
 		sub.Credit = DefaultCredit
 	}
+	ok := false
+	defer func() {
+		if !ok {
+			conn.Close()
+		}
+	}()
 	if handshake > 0 {
 		_ = conn.SetDeadline(time.Now().Add(handshake))
 	}
@@ -98,12 +124,10 @@ func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Dura
 		return err
 	}
 	if _, err := wire.WriteFrame(conn, wire.MsgSubscribeStream, wire.EncodeSubscribeStream(sub)); err != nil {
-		conn.Close()
 		return nil, timeoutErr(err)
 	}
 	typ, payload, _, err := wire.ReadFrame(conn)
 	if err != nil {
-		conn.Close()
 		return nil, timeoutErr(err)
 	}
 	if handshake > 0 {
@@ -112,17 +136,19 @@ func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Dura
 	switch typ {
 	case wire.MsgSubAck:
 	case wire.MsgError:
-		conn.Close()
 		_, msg, _ := wire.DecodeError(payload)
 		return nil, fmt.Errorf("federation: subscribe: %s", msg)
+	case wire.MsgRefused:
+		return nil, decodeRefused("subscribe", payload)
 	default:
-		conn.Close()
 		return nil, fmt.Errorf("federation: server replied %v to subscribe", typ)
 	}
-	_, outSch, err := wire.DecodeSubAck(payload)
+	ackID, outSch, err := wire.DecodeSubAck(payload)
 	if err != nil {
-		conn.Close()
 		return nil, err
+	}
+	if ackID != sub.ID {
+		return nil, fmt.Errorf("federation: subscribe ack for id %d, want %d", ackID, sub.ID)
 	}
 	s := &Subscription{
 		conn:      conn,
@@ -134,6 +160,7 @@ func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Dura
 		pubCredit: server.PublishWindow,
 	}
 	s.pubCond = sync.NewCond(&s.mu)
+	ok = true
 	go s.readLoop()
 	return s, nil
 }
@@ -145,91 +172,118 @@ func (s *Subscription) OutputSchema() schema.Schema { return s.outSch }
 // terminates (channel close). Check Err afterwards.
 func (s *Subscription) Batches() <-chan SubBatch { return s.out }
 
-// readLoop is the single reader: it demultiplexes results, watermarks,
-// publish credits and the terminal frame.
+// readLoop is the subscription's single reader: it consumes frames from
+// its transport — the dedicated socket, or the mux-fed inbox — and
+// dispatches them until the terminal frame or a transport failure.
 func (s *Subscription) readLoop() {
 	defer close(s.done)
 	defer close(s.out)
-	defer s.conn.Close()
+	if s.mx != nil {
+		defer s.mx.forgetSub(s.id)
+	} else {
+		defer s.conn.Close()
+	}
 	// Release any Publish blocked on credit once the stream is over.
 	defer s.pubCond.Broadcast()
 	for {
-		typ, payload, _, err := wire.ReadFrame(s.conn)
+		typ, payload, err := s.next()
 		if err != nil {
 			s.fail(fmt.Errorf("federation: subscription read: %w", err))
 			return
 		}
-		switch typ {
-		case wire.MsgStreamBatch:
-			_, seq, mark, t, err := wire.DecodeStreamBatch(payload)
-			if err != nil {
-				s.fail(err)
-				return
-			}
-			select {
-			case s.out <- SubBatch{Table: t, Watermark: mark, Seq: seq}:
-				// Consumed (or buffered): hand the server its credit back.
-				s.writeFrame(wire.MsgCredit, wire.EncodeCredit(s.id, 1))
-			case <-s.closed:
-				// The subscriber stopped consuming mid-close. The server
-				// already counts this batch as delivered, so it is not in
-				// any handed-off state — keep it for Detach to return.
-				s.mu.Lock()
-				s.discards = append(s.discards, SubBatch{Table: t, Watermark: mark, Seq: seq})
-				s.mu.Unlock()
-			}
-		case wire.MsgWatermark:
-			_, mark, err := wire.DecodeWatermark(payload)
-			if err != nil {
-				s.fail(err)
-				return
-			}
-			select {
-			case s.out <- SubBatch{Table: nil, Watermark: mark}:
-			case <-s.closed:
-			default:
-				// Watermark-only updates are droppable if the consumer is
-				// behind; the next batch carries the mark anyway.
-			}
-		case wire.MsgCredit:
-			_, n, err := wire.DecodeCredit(payload)
-			if err != nil {
-				s.fail(err)
-				return
-			}
-			s.mu.Lock()
-			s.pubCredit += int64(n)
-			s.mu.Unlock()
-			s.pubCond.Broadcast()
-		case wire.MsgWindowState:
-			_, st, err := wire.DecodeWindowState(payload)
-			if err != nil {
-				s.fail(err)
-			} else {
-				s.mu.Lock()
-				s.state = st
-				s.mu.Unlock()
-			}
-			return
-		case wire.MsgStreamEnd:
-			_, stats, err := wire.DecodeStreamEnd(payload)
-			if err != nil {
-				s.fail(err)
-			} else {
-				s.mu.Lock()
-				s.stats = &stats
-				s.mu.Unlock()
-			}
-			return
-		case wire.MsgError:
-			_, msg, _ := wire.DecodeError(payload)
-			s.fail(fmt.Errorf("federation: subscription: %s", msg))
-			return
-		default:
-			s.fail(fmt.Errorf("federation: unexpected subscription frame %v", typ))
+		if s.handleFrame(typ, payload) {
 			return
 		}
 	}
+}
+
+// next delivers the subscription's next frame from its transport.
+func (s *Subscription) next() (wire.MsgType, []byte, error) {
+	if s.mx == nil {
+		typ, payload, _, err := wire.ReadFrame(s.conn)
+		return typ, payload, err
+	}
+	f, ok := <-s.inbox
+	if !ok {
+		return 0, nil, s.mx.subSeverErr()
+	}
+	return f.typ, f.payload, nil
+}
+
+// handleFrame dispatches one stream frame, reporting whether it was
+// terminal (the reader must stop).
+func (s *Subscription) handleFrame(typ wire.MsgType, payload []byte) (done bool) {
+	switch typ {
+	case wire.MsgStreamBatch:
+		_, seq, mark, t, err := wire.DecodeStreamBatch(payload)
+		if err != nil {
+			s.fail(err)
+			return true
+		}
+		select {
+		case s.out <- SubBatch{Table: t, Watermark: mark, Seq: seq}:
+			// Consumed (or buffered): hand the server its credit back.
+			s.writeFrame(wire.MsgCredit, wire.EncodeCredit(s.id, 1))
+		case <-s.closed:
+			// The subscriber stopped consuming mid-close. The server
+			// already counts this batch as delivered, so it is not in
+			// any handed-off state — keep it for Detach to return.
+			s.mu.Lock()
+			s.discards = append(s.discards, SubBatch{Table: t, Watermark: mark, Seq: seq})
+			s.mu.Unlock()
+		}
+	case wire.MsgWatermark:
+		_, mark, err := wire.DecodeWatermark(payload)
+		if err != nil {
+			s.fail(err)
+			return true
+		}
+		select {
+		case s.out <- SubBatch{Table: nil, Watermark: mark}:
+		case <-s.closed:
+		default:
+			// Watermark-only updates are droppable if the consumer is
+			// behind; the next batch carries the mark anyway.
+		}
+	case wire.MsgCredit:
+		_, n, err := wire.DecodeCredit(payload)
+		if err != nil {
+			s.fail(err)
+			return true
+		}
+		s.mu.Lock()
+		s.pubCredit += int64(n)
+		s.mu.Unlock()
+		s.pubCond.Broadcast()
+	case wire.MsgWindowState:
+		_, st, err := wire.DecodeWindowState(payload)
+		if err != nil {
+			s.fail(err)
+		} else {
+			s.mu.Lock()
+			s.state = st
+			s.mu.Unlock()
+		}
+		return true
+	case wire.MsgStreamEnd:
+		_, stats, err := wire.DecodeStreamEnd(payload)
+		if err != nil {
+			s.fail(err)
+		} else {
+			s.mu.Lock()
+			s.stats = &stats
+			s.mu.Unlock()
+		}
+		return true
+	case wire.MsgError:
+		_, msg, _ := wire.DecodeError(payload)
+		s.fail(fmt.Errorf("federation: subscription: %s", msg))
+		return true
+	default:
+		s.fail(fmt.Errorf("federation: unexpected subscription frame %v", typ))
+		return true
+	}
+	return false
 }
 
 func (s *Subscription) fail(err error) {
@@ -256,8 +310,12 @@ func (s *Subscription) State() *stream.State {
 	return s.state
 }
 
-// writeFrame sends one frame under the write lock.
+// writeFrame sends one frame under the write lock (the mux's shared
+// one, or this subscription's own in dedicated-connection mode).
 func (s *Subscription) writeFrame(t wire.MsgType, payload []byte) error {
+	if s.mx != nil {
+		return s.mx.writeRaw(t, payload)
+	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	_, err := wire.WriteFrame(s.conn, t, payload)
@@ -358,17 +416,26 @@ func (s *Subscription) Wait() (*stream.Stats, error) {
 	return s.stats, nil
 }
 
-// Close tears the connection down (abrupt; prefer Cancel/Detach). When
-// a Detach handshake is already in flight — a merge loop closing its
-// partitions while the caller detaches them — Close lets the handshake
-// finish instead of severing the connection under it.
+// Close tears the subscription down (abrupt; prefer Cancel/Detach).
+// When a Detach handshake is already in flight — a merge loop closing
+// its partitions while the caller detaches them — Close lets the
+// handshake finish instead of severing the connection under it. On a
+// dedicated connection the sever closes the socket; under a mux it
+// must not (siblings share it) — instead the server is asked to cancel
+// the stream best-effort and the subscription is cut loose from the
+// demultiplexer.
 func (s *Subscription) Close() {
 	s.closeOnce.Do(func() { close(s.closed) })
 	s.mu.Lock()
 	detaching := s.detaching
 	s.mu.Unlock()
 	if !detaching {
-		s.conn.Close()
+		if s.mx != nil {
+			_ = s.mx.writeRaw(wire.MsgStreamClose, wire.EncodeStreamClose(s.id, wire.CloseCancel))
+			s.mx.severSub(s.id)
+		} else {
+			s.conn.Close()
+		}
 	}
 	<-s.done
 }

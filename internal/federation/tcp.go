@@ -20,6 +20,7 @@ import (
 type TCP struct {
 	name string
 	addr string
+	opts DialOpts
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -57,9 +58,9 @@ func DialTCPContext(ctx context.Context, addr string, opts DialOpts) (*TCP, erro
 			conn.Close()
 		}
 	}()
-	t := &TCP{addr: addr, conn: conn}
+	t := &TCP{addr: addr, conn: conn, opts: opts}
 	_ = conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
-	if _, err := wire.WriteFrame(conn, wire.MsgHello, nil); err != nil {
+	if _, err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello(opts.Tenant)); err != nil {
 		if isTimeout(err) {
 			return nil, &TimeoutError{Op: "hello", Addr: addr, Elapsed: opts.HandshakeTimeout}
 		}
@@ -110,20 +111,40 @@ func (t *TCP) Capabilities() provider.Capabilities {
 	return provider.FromBits(t.hello.CapBits, t.hello.Kernels)
 }
 
-// call sends one frame and reads one reply, accounting bytes.
-func (t *TCP) call(msg wire.MsgType, payload []byte, m *Metrics) (wire.MsgType, []byte, error) {
+// call sends one frame and reads one reply, accounting bytes. Each
+// exchange runs under the transport's RequestTimeout: a server that
+// accepted the connection but stopped answering fails the call with a
+// typed *TimeoutError instead of hanging it forever. A timed-out (or
+// otherwise failed) exchange poisons the connection — the reply may
+// still arrive later and would desynchronize the framing, so the
+// socket is closed and every later call fails fast.
+func (t *TCP) call(op string, msg wire.MsgType, payload []byte, m *Metrics) (wire.MsgType, []byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.conn == nil {
 		return 0, nil, fmt.Errorf("federation: transport %s closed", t.name)
 	}
+	if t.opts.RequestTimeout > 0 {
+		_ = t.conn.SetDeadline(time.Now().Add(t.opts.RequestTimeout))
+	}
+	fail := func(err error) (wire.MsgType, []byte, error) {
+		t.conn.Close()
+		t.conn = nil
+		if isTimeout(err) {
+			return 0, nil, &TimeoutError{Op: op, Addr: t.addr, Elapsed: t.opts.RequestTimeout}
+		}
+		return 0, nil, err
+	}
 	out, err := wire.WriteFrame(t.conn, msg, payload)
 	if err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
 	typ, reply, in, err := wire.ReadFrame(t.conn)
 	if err != nil {
-		return 0, nil, err
+		return fail(err)
+	}
+	if t.opts.RequestTimeout > 0 {
+		_ = t.conn.SetDeadline(time.Time{})
 	}
 	if m != nil {
 		m.ClientBytesOut += int64(out)
@@ -139,7 +160,7 @@ func (t *TCP) Execute(plan core.Node, m *Metrics) (*table.Table, error) {
 	id := t.nextID
 	t.nextID++
 	t.mu.Unlock()
-	typ, reply, err := t.call(wire.MsgExecute, wire.EncodeExecute(id, plan), m)
+	typ, reply, err := t.call("execute", wire.MsgExecute, wire.EncodeExecute(id, plan), m)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +171,8 @@ func (t *TCP) Execute(plan core.Node, m *Metrics) (*table.Table, error) {
 	case wire.MsgError:
 		_, msg, _ := wire.DecodeError(reply)
 		return nil, fmt.Errorf("federation: server %s: %s", t.name, msg)
+	case wire.MsgRefused:
+		return nil, decodeRefused("execute", reply)
 	}
 	return nil, fmt.Errorf("federation: server %s replied %v to execute", t.name, typ)
 }
@@ -165,7 +188,7 @@ func (t *TCP) ExecuteTo(plan core.Node, peer Transport, storeAs string, m *Metri
 	id := t.nextID
 	t.nextID++
 	t.mu.Unlock()
-	typ, reply, err := t.call(wire.MsgExecuteTo, wire.EncodeExecuteTo(id, peerAddr, storeAs, plan), m)
+	typ, reply, err := t.call("executeto", wire.MsgExecuteTo, wire.EncodeExecuteTo(id, peerAddr, storeAs, plan), m)
 	if err != nil {
 		return err
 	}
@@ -182,13 +205,15 @@ func (t *TCP) ExecuteTo(plan core.Node, peer Transport, storeAs string, m *Metri
 	case wire.MsgError:
 		_, msg, _ := wire.DecodeError(reply)
 		return fmt.Errorf("federation: server %s: %s", t.name, msg)
+	case wire.MsgRefused:
+		return decodeRefused("executeto", reply)
 	}
 	return fmt.Errorf("federation: server %s replied %v to executeto", t.name, typ)
 }
 
 // Store implements Transport.
 func (t *TCP) Store(name string, tab *table.Table, m *Metrics) error {
-	typ, reply, err := t.call(wire.MsgStore, wire.EncodeStore(name, tab), m)
+	typ, reply, err := t.call("store", wire.MsgStore, wire.EncodeStore(name, tab), m)
 	if err != nil {
 		return err
 	}
@@ -198,20 +223,22 @@ func (t *TCP) Store(name string, tab *table.Table, m *Metrics) error {
 	case wire.MsgError:
 		_, msg, _ := wire.DecodeError(reply)
 		return fmt.Errorf("federation: server %s: %s", t.name, msg)
+	case wire.MsgRefused:
+		return decodeRefused("store", reply)
 	}
 	return fmt.Errorf("federation: server %s replied %v to store", t.name, typ)
 }
 
 // Drop implements Transport (best effort).
 func (t *TCP) Drop(name string, m *Metrics) {
-	_, _, _ = t.call(wire.MsgDrop, wire.EncodeDrop(name), m)
+	_, _, _ = t.call("drop", wire.MsgDrop, wire.EncodeDrop(name), m)
 }
 
 // Append adds rows to a remote dataset without replacing it. The ack
 // arrives only after the server committed the rows — on a durable
 // server, after the WAL fsync.
 func (t *TCP) Append(name string, tab *table.Table, m *Metrics) error {
-	typ, reply, err := t.call(wire.MsgAppend, wire.EncodeStore(name, tab), m)
+	typ, reply, err := t.call("append", wire.MsgAppend, wire.EncodeStore(name, tab), m)
 	if err != nil {
 		return err
 	}
@@ -221,6 +248,8 @@ func (t *TCP) Append(name string, tab *table.Table, m *Metrics) error {
 	case wire.MsgError:
 		_, msg, _ := wire.DecodeError(reply)
 		return fmt.Errorf("federation: server %s: %s", t.name, msg)
+	case wire.MsgRefused:
+		return decodeRefused("append", reply)
 	}
 	return fmt.Errorf("federation: server %s replied %v to append", t.name, typ)
 }

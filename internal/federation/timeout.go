@@ -33,14 +33,26 @@ func (e *TimeoutError) Timeout() bool { return true }
 // Is makes errors.Is(err, ErrTimeout) match.
 func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
 
-// DialOpts configures the network budgets of DialTCPContext and
-// SubscribeContext. The zero value gets the defaults.
+// DialOpts configures the network budgets of DialTCPContext, DialMux
+// and SubscribeContext. The zero value gets the defaults.
 type DialOpts struct {
 	// ConnectTimeout bounds the TCP connect (default 5s).
 	ConnectTimeout time.Duration
 	// HandshakeTimeout bounds the request/reply exchange that follows
 	// the connect — hello ack, subscribe ack (default: ConnectTimeout).
 	HandshakeTimeout time.Duration
+	// RequestTimeout bounds each request/reply exchange after the
+	// handshake — Execute, Store, Append, Drop (default 60s; negative
+	// disables). A server that accepts a request and then goes silent
+	// fails the call with a *TimeoutError instead of hanging it
+	// forever; the connection is poisoned afterwards, since a late
+	// reply would desynchronize the framing.
+	RequestTimeout time.Duration
+	// Tenant is the admission-control token sent in the hello exchange.
+	// Servers with per-tenant quotas account this connection's
+	// subscriptions, appends and scans against it; empty means the
+	// anonymous tenant.
+	Tenant string
 }
 
 // DefaultConnectTimeout bounds a federation dial when the caller did
@@ -48,12 +60,24 @@ type DialOpts struct {
 // hanging the coordinator on the kernel's connect timeout.
 const DefaultConnectTimeout = 5 * time.Second
 
+// DefaultRequestTimeout bounds a post-handshake request/reply exchange
+// when the caller did not choose one. Generous — a federated Execute
+// may scan a large dataset — but finite, so a hung server cannot stall
+// a coordinator forever.
+const DefaultRequestTimeout = 60 * time.Second
+
 func (o DialOpts) withDefaults() DialOpts {
 	if o.ConnectTimeout <= 0 {
 		o.ConnectTimeout = DefaultConnectTimeout
 	}
 	if o.HandshakeTimeout <= 0 {
 		o.HandshakeTimeout = o.ConnectTimeout
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
 	}
 	return o
 }

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nexus/internal/obs"
+	"nexus/internal/wire"
+)
+
+// Admission control: the server-side half of the production front
+// door. Each connection identifies a tenant in its hello exchange;
+// quotas bound what a tenant may hold open (subscriptions) and how fast
+// it may push and pull rows (append/scan token buckets), and a
+// backpressure signal — the credit-stall tail over a sliding window —
+// sheds NEW subscriptions while existing ones are already waiting on
+// their subscribers. Refusals travel as MsgRefused, which clients
+// surface as a typed *federation.RefusedError, distinct from request
+// errors.
+
+// TenantQuota bounds one tenant. Zero fields are unlimited.
+type TenantQuota struct {
+	// MaxSubscriptions caps concurrently active stream subscriptions.
+	MaxSubscriptions int
+	// AppendRowsPerSec refills the append token bucket; AppendBurst is
+	// its capacity (default 2× the rate). Appends are charged by row.
+	AppendRowsPerSec float64
+	AppendBurst      float64
+	// ScanRowsPerSec refills the scan token bucket; ScanBurst is its
+	// capacity (default 2× the rate). Executes are admitted while the
+	// bucket is positive and charged by result row afterwards — the row
+	// count is unknowable before running the plan, so a huge scan
+	// overdraws the bucket and later executes wait out the debt.
+	ScanRowsPerSec float64
+	ScanBurst      float64
+}
+
+// AdmissionConfig configures Server.SetAdmission.
+type AdmissionConfig struct {
+	// Default applies to tenants not named in Tenants — including the
+	// anonymous tenant (empty token).
+	Default TenantQuota
+	// Tenants maps tenant tokens to their quotas.
+	Tenants map[string]TenantQuota
+	// ShedStallP99 sheds new subscriptions while the p99 of credit
+	// stalls observed in the last ShedWindow exceeds it. Zero disables
+	// shedding. Existing streams keep running — they are the ones
+	// stalling; admission only stops the problem growing.
+	ShedStallP99 time.Duration
+	// ShedWindow is the sliding window for the stall tail (default 10s).
+	ShedWindow time.Duration
+}
+
+var (
+	metAdmAdmitted = obs.Default.CounterVec("nexus_server_admission_admitted_total",
+		"Requests admitted by admission control, by kind (subscribe, append, execute).", "kind")
+	metAdmRefused = obs.Default.CounterVec("nexus_server_admission_refused_total",
+		"Requests refused by admission control, by kind and reason (quota, shed).", "kind", "reason")
+	metAdmShedding = obs.Default.Gauge("nexus_server_admission_shedding",
+		"1 while the server is shedding new subscriptions (credit-stall p99 over its bound), else 0.")
+	metAdmTenantSubs = obs.Default.GaugeVec("nexus_server_admission_tenant_subscriptions",
+		"Active subscriptions per configured tenant (\"(other)\" aggregates unconfigured tokens).", "tenant")
+)
+
+// refusal is an admission decision against a request; it becomes a
+// MsgRefused frame.
+type refusal struct {
+	code uint32
+	msg  string
+}
+
+// admission is the server's admission controller, shared by every
+// connection.
+type admission struct {
+	cfg AdmissionConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	// stalls is a ring of recent credit-stall observations feeding the
+	// shed decision (the same waits nexus_server_credit_stall_seconds
+	// observes — the histogram itself is cumulative and cannot answer
+	// "p99 over the last ten seconds").
+	stalls  []stallSample
+	stallAt int
+
+	// now is the clock; tests pin it.
+	now func() time.Time
+}
+
+type stallSample struct {
+	at time.Time
+	d  time.Duration
+}
+
+// stallRing bounds remembered stall observations. At the default 10s
+// window this comfortably covers sustained stalling; overwriting the
+// oldest sample under overload only makes the p99 estimate fresher.
+const stallRing = 1024
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	token string
+	label string // metrics label: token if configured, else "(other)"
+	quota TenantQuota
+
+	mu     sync.Mutex
+	subs   int
+	append tokenBucket
+	scan   tokenBucket
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.ShedWindow <= 0 {
+		cfg.ShedWindow = 10 * time.Second
+	}
+	return &admission{
+		cfg:     cfg,
+		tenants: map[string]*tenantState{},
+		stalls:  make([]stallSample, 0, stallRing),
+		now:     time.Now,
+	}
+}
+
+// SetAdmission installs admission control: per-tenant quotas and
+// backpressure shedding. Connections established after the call see it;
+// install before clients are expected.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	s.mu.Lock()
+	s.adm = newAdmission(cfg)
+	s.mu.Unlock()
+}
+
+// tenant resolves a hello token to its accounting state, creating it on
+// first sight. Unknown tokens get the default quota; their metrics
+// aggregate under "(other)" so client-chosen tokens cannot explode
+// label cardinality.
+func (a *admission) tenant(token string) *tenantState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t, ok := a.tenants[token]; ok {
+		return t
+	}
+	quota, configured := a.cfg.Tenants[token]
+	if !configured {
+		quota = a.cfg.Default
+	}
+	label := "(other)"
+	if configured {
+		label = token
+	}
+	t := &tenantState{token: token, label: label, quota: quota}
+	t.append.init(quota.AppendRowsPerSec, quota.AppendBurst, a.now())
+	t.scan.init(quota.ScanRowsPerSec, quota.ScanBurst, a.now())
+	a.tenants[token] = t
+	return t
+}
+
+// noteStall records one completed credit-stall wait for the shed signal.
+func (a *admission) noteStall(d time.Duration) {
+	a.mu.Lock()
+	s := stallSample{at: a.now(), d: d}
+	if len(a.stalls) < stallRing {
+		a.stalls = append(a.stalls, s)
+	} else {
+		a.stalls[a.stallAt] = s
+		a.stallAt = (a.stallAt + 1) % stallRing
+	}
+	a.mu.Unlock()
+}
+
+// stallP99 estimates the p99 of credit stalls observed inside the
+// sliding window.
+func (a *admission) stallP99() time.Duration {
+	a.mu.Lock()
+	cutoff := a.now().Add(-a.cfg.ShedWindow)
+	var ds []time.Duration
+	for _, s := range a.stalls {
+		if s.at.After(cutoff) {
+			ds = append(ds, s.d)
+		}
+	}
+	a.mu.Unlock()
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := (len(ds)*99 + 99) / 100
+	if idx > len(ds) {
+		idx = len(ds)
+	}
+	return ds[idx-1]
+}
+
+// shedding reports whether new subscriptions should be refused, and
+// keeps the gauge current.
+func (a *admission) shedding() bool {
+	if a.cfg.ShedStallP99 <= 0 {
+		return false
+	}
+	shed := a.stallP99() > a.cfg.ShedStallP99
+	if shed {
+		metAdmShedding.Set(1)
+	} else {
+		metAdmShedding.Set(0)
+	}
+	return shed
+}
+
+// admitSubscription admits or refuses one new subscription for the
+// tenant. On admission the tenant's count is already incremented; the
+// caller MUST pair it with releaseSubscription when the subscription
+// ends (or never starts).
+func (a *admission) admitSubscription(t *tenantState) *refusal {
+	if a.shedding() {
+		metAdmRefused.With("subscribe", "shed").Inc()
+		return &refusal{code: wire.RefusedShedding,
+			msg: fmt.Sprintf("server shedding new subscriptions: credit-stall p99 over %v (subscribers are not keeping up); retry later", a.cfg.ShedStallP99)}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.quota.MaxSubscriptions > 0 && t.subs >= t.quota.MaxSubscriptions {
+		metAdmRefused.With("subscribe", "quota").Inc()
+		return &refusal{code: wire.RefusedOverQuota,
+			msg: fmt.Sprintf("tenant %q is at its subscription quota (%d)", t.token, t.quota.MaxSubscriptions)}
+	}
+	t.subs++
+	metAdmAdmitted.With("subscribe").Inc()
+	metAdmTenantSubs.With(t.label).Inc()
+	return nil
+}
+
+// releaseSubscription returns one subscription slot to the tenant.
+func (a *admission) releaseSubscription(t *tenantState) {
+	t.mu.Lock()
+	t.subs--
+	t.mu.Unlock()
+	metAdmTenantSubs.With(t.label).Dec()
+}
+
+// admitAppend charges rows against the tenant's append budget.
+func (a *admission) admitAppend(t *tenantState, rows int64) *refusal {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.append.take(float64(rows), a.now()) {
+		metAdmRefused.With("append", "quota").Inc()
+		return &refusal{code: wire.RefusedOverQuota,
+			msg: fmt.Sprintf("tenant %q is over its append quota (%.0f rows/s); lower the rate or batch smaller", t.token, t.quota.AppendRowsPerSec)}
+	}
+	metAdmAdmitted.With("append").Inc()
+	return nil
+}
+
+// admitScan admits an execute while the tenant's scan budget is
+// positive. The plan's row count is unknown before it runs, so
+// admission is optimistic and chargeScan settles the real cost after —
+// a huge result overdraws the bucket and later executes wait the debt
+// out.
+func (a *admission) admitScan(t *tenantState) *refusal {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.scan.positive(a.now()) {
+		metAdmRefused.With("execute", "quota").Inc()
+		return &refusal{code: wire.RefusedOverQuota,
+			msg: fmt.Sprintf("tenant %q is over its scan quota (%.0f rows/s); retry later", t.token, t.quota.ScanRowsPerSec)}
+	}
+	metAdmAdmitted.With("execute").Inc()
+	return nil
+}
+
+// chargeScan settles an executed plan's row cost.
+func (a *admission) chargeScan(t *tenantState, rows int64) {
+	t.mu.Lock()
+	t.scan.charge(float64(rows), a.now())
+	t.mu.Unlock()
+}
+
+// tokenBucket is a standard refill-on-read token bucket; rate 0 means
+// unlimited. Tokens may go negative through chargeScan's post-paid
+// settling — the refill works the debt off.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func (b *tokenBucket) init(rate, burst float64, now time.Time) {
+	if rate <= 0 {
+		return
+	}
+	if burst <= 0 {
+		burst = 2 * rate
+	}
+	b.rate, b.burst, b.tokens, b.last = rate, burst, burst, now
+}
+
+// refill advances the bucket to now.
+func (b *tokenBucket) refill(now time.Time) {
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// take admits a pre-known cost: the bucket must be positive, and the
+// cost is debited (possibly into debt, so one oversized batch is not
+// silently free).
+func (b *tokenBucket) take(n float64, now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.refill(now)
+	if b.tokens <= 0 {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// positive reports whether the bucket currently has budget.
+func (b *tokenBucket) positive(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.refill(now)
+	return b.tokens > 0
+}
+
+// charge debits an after-the-fact cost (post-paid admission).
+func (b *tokenBucket) charge(n float64, now time.Time) {
+	if b.rate <= 0 {
+		return
+	}
+	b.refill(now)
+	b.tokens -= n
+}

@@ -66,6 +66,10 @@ type Server struct {
 	// needs no second listener. Guarded by mu.
 	replStatus func() wire.ReplStatus
 
+	// adm, when set, applies per-tenant quotas and backpressure shedding
+	// to new work (see SetAdmission). Guarded by mu.
+	adm *admission
+
 	// Logf receives diagnostics; defaults to log.Printf. Tests silence it.
 	Logf func(format string, args ...any)
 }
@@ -224,14 +228,14 @@ func (s *Server) handle(conn net.Conn) {
 	// Logf is read lazily at log time: tests install their logger right
 	// after Serve returns, before any traffic arrives.
 	s.mu.Lock()
-	ckpt, ckptEvery, replStatus := s.ckpt, s.ckptEvery, s.replStatus
+	ckpt, ckptEvery, replStatus, adm := s.ckpt, s.ckptEvery, s.replStatus, s.adm
 	s.mu.Unlock()
 	cc := &connCtx{
 		prov: s.prov, conn: conn, cache: s.cache(),
 		ckpt: ckpt, ckptEvery: ckptEvery,
-		replStatus: replStatus,
-		subs:       map[uint64]*subSession{},
-		logf:       func(format string, args ...any) { s.Logf(format, args...) },
+		replStatus: replStatus, adm: adm,
+		subs: map[uint64]*subSession{},
+		logf: func(format string, args ...any) { s.Logf(format, args...) },
 	}
 	s.mu.Lock()
 	if _, ok := s.conns[conn]; ok {
@@ -294,11 +298,45 @@ type connCtx struct {
 	// not a replica).
 	replStatus func() wire.ReplStatus
 
+	// adm applies admission control (nil when the host has none).
+	adm *admission
+
 	wmu sync.Mutex // serializes frame writes
 
 	mu     sync.Mutex
 	subs   map[uint64]*subSession
 	subErr error // first gone-subscriber error (survives sub removal)
+
+	// tenant is the hello-declared tenant token ("" for anonymous or
+	// pre-hello traffic); admT caches its admission state. Guarded by mu.
+	tenant string
+	admT   *tenantState
+}
+
+// setTenant records the connection's hello-declared tenant token.
+func (cc *connCtx) setTenant(token string) {
+	cc.mu.Lock()
+	if token != cc.tenant {
+		cc.tenant = token
+		cc.admT = nil
+	}
+	cc.mu.Unlock()
+}
+
+// tenantState resolves this connection's admission accounting, lazily —
+// a client that never sent a tenant token is the anonymous tenant.
+func (cc *connCtx) tenantState() *tenantState {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.admT == nil {
+		cc.admT = cc.adm.tenant(cc.tenant)
+	}
+	return cc.admT
+}
+
+// refuseFrame writes the typed admission refusal for a request.
+func (cc *connCtx) refuseFrame(id uint64, r *refusal) error {
+	return cc.writeFrame(wire.MsgRefused, wire.EncodeRefused(id, r.code, r.msg))
 }
 
 // noteSubErr records the first gone-subscriber error on the connection.
@@ -391,7 +429,7 @@ func (cc *connCtx) serve() error {
 func (cc *connCtx) dispatch(typ wire.MsgType, payload []byte) error {
 	switch typ {
 	case wire.MsgHello:
-		return cc.handleHello()
+		return cc.handleHello(payload)
 	case wire.MsgExecute:
 		return cc.handleExecute(payload)
 	case wire.MsgExecuteTo:
@@ -408,7 +446,7 @@ func (cc *connCtx) dispatch(typ wire.MsgType, payload []byte) error {
 		cc.prov.Drop(name)
 		return cc.writeFrame(wire.MsgAck, wire.EncodeAck(0, 0, 0))
 	case wire.MsgList:
-		return cc.handleHello()
+		return cc.handleHello(nil)
 	case wire.MsgSubscribeStream:
 		return cc.handleSubscribeStream(payload)
 	case wire.MsgCredit:
@@ -528,7 +566,14 @@ func (cc *connCtx) handleReplStatus() error {
 	return cc.writeFrame(wire.MsgReplStatusData, wire.EncodeReplStatus(cc.replStatus()))
 }
 
-func (cc *connCtx) handleHello() error {
+func (cc *connCtx) handleHello(payload []byte) error {
+	if len(payload) > 0 {
+		tenant, err := wire.DecodeHello(payload)
+		if err != nil {
+			return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+		}
+		cc.setTenant(tenant)
+	}
 	caps := cc.prov.Capabilities()
 	h := wire.HelloInfo{
 		Name:    cc.prov.Name(),
@@ -555,10 +600,18 @@ func (cc *connCtx) handleExecute(payload []byte) error {
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	if cc.adm != nil {
+		if r := cc.adm.admitScan(cc.tenantState()); r != nil {
+			return cc.refuseFrame(id, r)
+		}
+	}
 	countPlanScans(plan)
 	t, err := cc.prov.Execute(plan)
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
+	}
+	if cc.adm != nil {
+		cc.adm.chargeScan(cc.tenantState(), int64(t.NumRows()))
 	}
 	return cc.writeFrame(wire.MsgResult, wire.EncodeResult(id, t))
 }
@@ -572,10 +625,18 @@ func (cc *connCtx) handleExecuteTo(payload []byte) error {
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	if cc.adm != nil {
+		if r := cc.adm.admitScan(cc.tenantState()); r != nil {
+			return cc.refuseFrame(id, r)
+		}
+	}
 	countPlanScans(plan)
 	t, err := cc.prov.Execute(plan)
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
+	}
+	if cc.adm != nil {
+		cc.adm.chargeScan(cc.tenantState(), int64(t.NumRows()))
 	}
 	shipped, err := PushTable(peerAddr, storeAs, t)
 	if err != nil {
@@ -592,6 +653,11 @@ func (cc *connCtx) handleAppend(payload []byte) error {
 	name, t, err := wire.DecodeStore(payload)
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
+	}
+	if cc.adm != nil {
+		if r := cc.adm.admitAppend(cc.tenantState(), int64(t.NumRows())); r != nil {
+			return cc.refuseFrame(0, r)
+		}
 	}
 	if err := provider.Append(cc.prov, name, t); err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))

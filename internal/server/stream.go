@@ -57,6 +57,11 @@ type subSession struct {
 	// once the subscription is acknowledged, decremented when run ends.
 	subGauge *obs.Gauge
 
+	// admRelease returns this subscription's quota slot to its tenant
+	// (nil when the host has no admission control). Called exactly once:
+	// by run's defer, or by handleSubscribeStream if run never starts.
+	admRelease func()
+
 	// ckptStale counts consecutive failed periodic checkpoint saves —
 	// nonzero means the durable checkpoint on disk lags the stream and a
 	// resume will replay the gap (at-least-once holds either way).
@@ -93,6 +98,23 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 
 	s := &subSession{id: sub.ID, cc: cc, done: make(chan struct{}), credit: int64(sub.Credit)}
 	s.cond = sync.NewCond(&s.mu)
+
+	// Admission: shedding and the tenant's subscription quota are checked
+	// before any pipeline work. The slot is held from here; every exit
+	// that does not hand the subscription to run must give it back.
+	if cc.adm != nil {
+		at := cc.tenantState()
+		if r := cc.adm.admitSubscription(at); r != nil {
+			return cc.refuseFrame(sub.ID, r)
+		}
+		s.admRelease = func() { cc.adm.releaseSubscription(at) }
+	}
+	started := false
+	defer func() {
+		if !started && s.admRelease != nil {
+			s.admRelease()
+		}
+	}()
 	if sub.SourceKind == wire.StreamSrcDataset {
 		s.dataset = sub.Dataset
 		if ep, ok := cc.prov.(orderEpochProvider); ok {
@@ -183,6 +205,7 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 	}
 	s.subGauge = metSubs.With(label)
 	s.subGauge.Inc()
+	started = true
 	go s.run(ctx, p, sub.Resume)
 	return nil
 }
@@ -268,6 +291,9 @@ func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream
 	defer close(s.done)
 	defer s.cc.removeSub(s.id)
 	defer s.subGauge.Dec()
+	if s.admRelease != nil {
+		defer s.admRelease()
+	}
 	sink := &subSink{s: s}
 	stats, state, err := p.RunState(ctx, sink, resume)
 	if state != nil {
@@ -317,7 +343,14 @@ func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream
 		s.cc.logf("server: subscription %d: %v", s.id, ErrSubscriberGone)
 	case mode == wire.CloseDetach:
 		// The subscriber detached: hand the window state over so it can
-		// resume here or migrate to another provider.
+		// resume here or migrate to another provider. A pipeline that
+		// never produced state (detached before consuming anything) still
+		// gets a real one — the empty state must carry this dataset's
+		// order epoch, or the client's ResumeToken would resume epoch 0
+		// against a dataset whose rows may have been re-ordered since.
+		if state == nil {
+			state = &stream.State{MaxTime: minInt64, Watermark: minInt64, Epoch: s.epoch}
+		}
 		s.cc.logf("server: subscription %d detached with %d open windows at event %d", s.id, len(state.Windows), state.Events)
 		s.fail(s.cc.writeFrame(wire.MsgWindowState, wire.EncodeWindowState(s.id, state)))
 	case mode == wire.CloseCancel:
@@ -421,6 +454,11 @@ func (k *subSink) Emit(t *table.Table) error {
 			s.cond.Wait()
 		}
 		metCreditStall.ObserveSince(stallStart)
+		if s.cc.adm != nil {
+			// The same wait feeds admission's sliding-window stall tail,
+			// which drives subscription shedding.
+			s.cc.adm.noteStall(time.Since(stallStart))
+		}
 	}
 	if s.gone {
 		s.mu.Unlock()

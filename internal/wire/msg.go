@@ -58,6 +58,13 @@ const (
 	MsgReplCkptData     MsgType = 27 // primary → follower: key/payload pairs
 	MsgReplStatus       MsgType = 28 // monitor → replica: request replication status
 	MsgReplStatusData   MsgType = 29 // replica → monitor: applied gen, last sync, error
+
+	// MsgRefused is the server declining a request for admission-control
+	// reasons (per-tenant quota exhausted, or the server shedding load
+	// under backpressure). Unlike MsgError it is typed: clients surface
+	// it as a *federation.RefusedError so callers can distinguish "try
+	// later / lower your rate" from "your request is broken".
+	MsgRefused MsgType = 30 // server → client: id, refusal code, message
 )
 
 // String names the message type.
@@ -121,6 +128,8 @@ func (m MsgType) String() string {
 		return "replstatus"
 	case MsgReplStatusData:
 		return "replstatusdata"
+	case MsgRefused:
+		return "refused"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(m))
 }

@@ -141,6 +141,59 @@ func DecodeDrop(b []byte) (string, error) {
 	return name, d.Err()
 }
 
+// Refusal codes carried by MsgRefused.
+const (
+	// RefusedOverQuota: the tenant's configured quota (subscriptions,
+	// append rows/sec, scan rows/sec) is exhausted.
+	RefusedOverQuota uint32 = 1
+	// RefusedShedding: the server is shedding new work because its
+	// credit-stall tail latency crossed the configured bound.
+	RefusedShedding uint32 = 2
+)
+
+// EncodeHello builds a MsgHello payload carrying the client's tenant
+// token. An empty payload (what pre-admission clients send) decodes as
+// the anonymous tenant, so old clients keep working unchanged.
+func EncodeHello(tenant string) []byte {
+	if tenant == "" {
+		return nil
+	}
+	var e Encoder
+	e.Str(tenant)
+	return e.Bytes()
+}
+
+// DecodeHello parses a MsgHello payload. Empty payloads are the
+// anonymous tenant.
+func DecodeHello(b []byte) (string, error) {
+	if len(b) == 0 {
+		return "", nil
+	}
+	d := NewDecoder(b)
+	tenant := d.Str()
+	return tenant, d.Err()
+}
+
+// EncodeRefused builds a MsgRefused payload: the request/subscription id
+// it answers (0 when the request carries none), a refusal code, and a
+// human-readable reason.
+func EncodeRefused(id uint64, code uint32, msg string) []byte {
+	var e Encoder
+	e.U64(id)
+	e.U32(code)
+	e.Str(msg)
+	return e.Bytes()
+}
+
+// DecodeRefused parses a MsgRefused payload.
+func DecodeRefused(b []byte) (id uint64, code uint32, msg string, err error) {
+	d := NewDecoder(b)
+	id = d.U64()
+	code = d.U32()
+	msg = d.Str()
+	return id, code, msg, d.Err()
+}
+
 // HelloInfo is the server identity exchanged at connection setup.
 type HelloInfo struct {
 	Name     string

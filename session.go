@@ -1,8 +1,10 @@
 package nexus
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"nexus/internal/datagen"
 	"nexus/internal/engines/array"
@@ -17,6 +19,7 @@ import (
 	"nexus/internal/storage"
 	"nexus/internal/stream"
 	"nexus/internal/table"
+	"nexus/internal/wire"
 )
 
 // EngineKind selects an in-process back-end engine type.
@@ -184,7 +187,42 @@ func (s *Session) Append(providerName, dataset string, t *Table) error {
 // ConnectTCP attaches a remote nexus server (started with cmd/nexus-server
 // or server.Serve) as a provider.
 func (s *Session) ConnectTCP(addr string) (string, error) {
-	tr, err := federation.DialTCP(addr)
+	return s.Connect(addr, ConnectOptions{})
+}
+
+// ConnectOptions configures Connect.
+type ConnectOptions struct {
+	// Tenant identifies this client to the server's admission control
+	// (per-tenant quotas; see server.AdmissionConfig). Empty is the
+	// anonymous tenant.
+	Tenant string
+	// Mux multiplexes everything the session sends to this server —
+	// queries, appends and any number of stream subscriptions — over ONE
+	// TCP connection with per-stream flow control, instead of opening a
+	// dedicated connection per subscription.
+	Mux bool
+	// ConnectTimeout and RequestTimeout override the network budgets
+	// (zero keeps the defaults; see federation.DialOpts).
+	ConnectTimeout time.Duration
+	RequestTimeout time.Duration
+}
+
+// Connect attaches a remote nexus server as a provider with explicit
+// front-door options: a tenant identity for admission control, request
+// budgets, and optionally a multiplexed connection.
+func (s *Session) Connect(addr string, o ConnectOptions) (string, error) {
+	opts := federation.DialOpts{
+		ConnectTimeout: o.ConnectTimeout,
+		RequestTimeout: o.RequestTimeout,
+		Tenant:         o.Tenant,
+	}
+	var tr remoteTransport
+	var err error
+	if o.Mux {
+		tr, err = federation.DialMux(addr, opts)
+	} else {
+		tr, err = federation.DialTCPContext(context.Background(), addr, opts)
+	}
 	if err != nil {
 		return "", err
 	}
@@ -195,6 +233,18 @@ func (s *Session) ConnectTCP(addr string) (string, error) {
 	}
 	s.transports = append(s.transports, tr)
 	return tr.ProviderName(), nil
+}
+
+// Close releases every network connection the session holds (remote
+// providers attached with Connect/ConnectTCP). In-process engines are
+// not touched. The session must not be used afterwards.
+func (s *Session) Close() {
+	for _, tr := range s.transports {
+		if c, ok := tr.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
+	s.transports = nil
 }
 
 // Store uploads a table to the named provider as a dataset.
@@ -325,10 +375,21 @@ func (s *Session) Query(src string) *Query {
 	return &Query{s: s, node: n, err: err}
 }
 
-// remoteProvider adapts a TCP transport into the provider interface so
-// the planner treats remote servers like local engines.
+// remoteTransport is the client half a remote provider rides on: both
+// the dedicated-connection TCP transport and the multiplexed Mux
+// satisfy it.
+type remoteTransport interface {
+	federation.StreamTransport
+	Hello() wire.HelloInfo
+	Capabilities() provider.Capabilities
+	Append(name string, t *table.Table, m *federation.Metrics) error
+	Close()
+}
+
+// remoteProvider adapts a remote transport into the provider interface
+// so the planner treats remote servers like local engines.
 type remoteProvider struct {
-	tr *federation.TCP
+	tr remoteTransport
 }
 
 var _ provider.Provider = (*remoteProvider)(nil)

@@ -1,0 +1,146 @@
+package nexus_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nexus"
+	"nexus/internal/schema"
+	"nexus/internal/server"
+	"nexus/internal/storage"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// internalEventTable builds the same (ts, sym, vol, price) rows as
+// eventTable, as an internal table the storage engine accepts directly.
+func internalEventTable(lo, hi int64) *table.Table {
+	sch := schema.New(
+		schema.Attribute{Name: "ts", Kind: value.KindInt64},
+		schema.Attribute{Name: "sym", Kind: value.KindString},
+		schema.Attribute{Name: "vol", Kind: value.KindInt64},
+		schema.Attribute{Name: "price", Kind: value.KindFloat64},
+	)
+	syms := []string{"AAA", "BBB", "CCC", "DDD"}
+	b := table.NewBuilder(sch, int(hi-lo))
+	for i := lo; i < hi; i++ {
+		b.MustAppend(value.NewInt(i), value.NewString(syms[i%4]), value.NewInt(i%100), value.NewFloat(float64(i%50)+0.5))
+	}
+	return b.Build()
+}
+
+// TestStaleResumeTokenRefusedAPI is the public-API regression for the
+// stale-resume corruption: a client detaches a dataset-replay
+// subscription and holds the ResumeToken while background compaction
+// re-sorts the dataset's rows. The token's row offset then addresses
+// different rows, so resuming it would silently skip the wrong prefix.
+// The token must resume cleanly while the row order holds and be
+// refused with a clear error once compaction bumps the order epoch.
+func TestStaleResumeTokenRefusedAPI(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := storage.OpenEngine("dur", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Several appends, each flushed to its own segment, so a compaction
+	// pass has segments to merge (and re-sort).
+	const totalRows = 20000
+	for lo := int64(0); lo < totalRows; lo += totalRows / 4 {
+		if err := eng.Append("events", internalEventTable(lo, lo+totalRows/4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := server.Serve(eng, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	defer srv.Close()
+
+	s := nexus.NewSession()
+	prov, err := s.ConnectTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkQuery := func() *nexus.StreamQuery {
+		return s.StreamScan("events", "ts").
+			Window(nexus.Tumbling(500)).
+			GroupBy("sym").
+			Agg(nexus.Count("n"), nexus.Sum("rev", nexus.Mul(nexus.Col("price"), nexus.Col("vol"))))
+	}
+
+	// Detach mid-replay: backpressure after the first windows keeps the
+	// server-side pipeline mid-stream while we capture the token.
+	var mu sync.Mutex
+	seen := 0
+	got2 := make(chan struct{})
+	rs, err := mkQuery().SubscribeRemoteDetachable(context.Background(), []string{prov}, func(*nexus.Table) error {
+		mu.Lock()
+		seen++
+		if seen == 2 {
+			close(got2)
+		}
+		n := seen
+		mu.Unlock()
+		if n >= 2 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-got2
+	tokens, err := rs.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 1 {
+		t.Fatalf("detach returned %d tokens for 1 provider", len(tokens))
+	}
+	if off := tokens[0].Offset(); off <= 0 || off >= totalRows {
+		t.Fatalf("token offset %d, want mid-stream", off)
+	}
+
+	// Positive control: while the dataset keeps its row order, the held
+	// token resumes and finishes the replay.
+	stats, err := mkQuery().ResumeFrom(tokens).SubscribeRemote(context.Background(), []string{prov}, func(*nexus.Table) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("same-epoch resume refused: %v", err)
+	}
+	if stats.Events != totalRows-tokens[0].Offset() {
+		t.Fatalf("resumed leg consumed %d events, want %d", stats.Events, totalRows-tokens[0].Offset())
+	}
+
+	// Compaction re-sorts the rows (cluster by sym) and bumps the
+	// dataset's order epoch; the held token now points into an ordering
+	// that no longer exists.
+	cstats, err := eng.Compact(storage.CompactOptions{ClusterBy: map[string]string{"events": "sym"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cstats.Merged == 0 {
+		t.Fatal("compaction merged nothing; the order epoch cannot have moved")
+	}
+
+	_, err = mkQuery().ResumeFrom(tokens).SubscribeRemote(context.Background(), []string{prov}, func(*nexus.Table) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("stale token resumed against a re-sorted dataset")
+	}
+	if !strings.Contains(err.Error(), "order epoch") || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("refusal does not explain the stale epoch: %v", err)
+	}
+}
