@@ -13,6 +13,7 @@
 //	nexus-bench -load            # concurrent mixed-workload tail-latency run -> BENCH_6.json
 //	nexus-bench -failover        # SIGKILL-the-primary failover gap benchmark -> BENCH_7.json
 //	nexus-bench -load-mux        # multiplexed front door: conns vs subs vs tail latency -> BENCH_8.json
+//	nexus-bench -trace-overhead  # tracing-disabled/enabled overhead on the BENCH_2 kernels -> BENCH_9.json
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	storageBench := flag.Bool("storage", false, "run the durable-storage scan benchmarks (cold disk vs warm RAM vs zone-map pruned)")
 	loadBench := flag.Bool("load", false, "run the concurrent mixed-workload tail-latency generator against a live durable server")
 	loadMux := flag.Bool("load-mux", false, "run the multiplexed front-door benchmark (conns vs subscriptions vs tail latency)")
+	traceOverhead := flag.Bool("trace-overhead", false, "run the distributed-tracing overhead smoke over the BENCH_2 kernels (raw vs untraced vs traced)")
 	loadClients := flag.Int("load-clients", 12, "concurrent clients for -load")
 	loadDur := flag.Duration("load-duration", 5*time.Second, "wall-clock duration for -load")
 	failoverBench := flag.Bool("failover", false, "run the primary-SIGKILL failover benchmark (gap to first window served by the replica)")
@@ -88,6 +90,17 @@ func main() {
 		}
 		if err := runStorageBench(out, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "storage benchmarks FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceOverhead {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_9.json"
+		}
+		if err := runTraceOverhead(out, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-overhead benchmark FAILED: %v\n", err)
 			os.Exit(1)
 		}
 		return

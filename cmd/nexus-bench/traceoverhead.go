@@ -1,0 +1,289 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"nexus"
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+	"nexus/internal/engines/exec"
+	"nexus/internal/expr"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Tracing-overhead smoke (-trace-overhead -> BENCH_9.json). The
+// distributed-tracing layer must be free when nobody asked for a trace:
+// this bench runs the BENCH_2 execution kernels three ways over the same
+// data — raw runtime (no query plumbing at all), the public query path
+// with tracing disabled (the production default), and the query path
+// with tracing enabled (per-operator spans into the ring) — and reports
+// the per-kernel and geomean overheads. The disabled/baseline geomean is
+// the number CI holds to the <=3% budget; it bounds tracing overhead
+// from above because it also includes the planner and partitioning work
+// that predates tracing.
+
+// TraceOverheadResult is one kernel measured in all three modes.
+type TraceOverheadResult struct {
+	Name             string  `json:"name"`
+	Rows             int     `json:"rows"`
+	BaselineNsPerOp  float64 `json:"baseline_ns_per_op"`
+	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
+	EnabledNsPerOp   float64 `json:"enabled_ns_per_op"`
+	DisabledOverhead float64 `json:"disabled_overhead"` // disabled / baseline
+	EnabledOverhead  float64 `json:"enabled_overhead"`  // enabled / disabled
+}
+
+// TraceOverheadReport is the BENCH_9.json shape.
+type TraceOverheadReport struct {
+	GeneratedAt             string                `json:"generated_at"`
+	GoMaxProcs              int                   `json:"gomaxprocs"`
+	DisabledOverheadGeomean float64               `json:"disabled_overhead_geomean"`
+	EnabledOverheadGeomean  float64               `json:"enabled_overhead_geomean"`
+	Kernels                 []TraceOverheadResult `json:"kernels"`
+}
+
+// pubTable converts an internal table into a public one row by row, so
+// the session-path kernels run over byte-identical data to the raw
+// runtime baseline.
+func pubTable(t *table.Table) (*nexus.Table, error) {
+	sch := t.Schema()
+	defs := make([]nexus.ColumnDef, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		a := sch.At(i)
+		defs[i] = nexus.ColumnDef{Name: a.Name, Type: a.Kind}
+	}
+	tb := nexus.NewTableBuilder(defs...)
+	row := make([]any, sch.Len())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < sch.Len(); c++ {
+			v := t.Value(r, c)
+			switch {
+			case v.IsNull():
+				row[c] = nil
+			case v.Kind() == value.KindBool:
+				row[c] = v.Bool()
+			case v.Kind() == value.KindInt64:
+				row[c] = v.Int()
+			case v.Kind() == value.KindFloat64:
+				row[c] = v.Float()
+			default:
+				row[c] = v.Str()
+			}
+		}
+		tb.Append(row...)
+	}
+	return tb.Build()
+}
+
+// measureInterleaved times a set of modes round-robin — one op of each
+// per round — so machine-load drift during the run lands on every mode
+// equally instead of biasing whichever ran last. Sequential per-mode
+// timing showed 2x swings between identical runs on shared hardware;
+// interleaving is what makes the overhead ratios comparable at all.
+// Returns the minimum ns/op per mode: contention and GC only ever add
+// time, so the per-mode best case is the stable estimate of true cost
+// and the ratio of minimums the stable estimate of overhead.
+func measureInterleaved(name string, modes []func() error) ([]float64, error) {
+	for _, fn := range modes { // warm-up (and populate plan caches)
+		if err := fn(); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	const (
+		minRounds = 9
+		minTime   = 1200 * time.Millisecond
+	)
+	samples := make([][]float64, len(modes))
+	var elapsed time.Duration
+	for round := 0; round < minRounds || elapsed < minTime; round++ {
+		for i, fn := range modes {
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			d := time.Since(t0)
+			samples[i] = append(samples[i], float64(d.Nanoseconds()))
+			elapsed += d
+		}
+	}
+	out := make([]float64, len(modes))
+	for i, s := range samples {
+		sort.Float64s(s)
+		out[i] = s[0]
+	}
+	return out, nil
+}
+
+// runTraceOverhead measures the kernels and writes BENCH_9.json.
+func runTraceOverhead(path string, quick bool) error {
+	scale := 1
+	if quick {
+		scale = 10
+	}
+
+	// The same generators, seeds and sizes as -micro (BENCH_2), so the
+	// baseline numbers are the BENCH_2 kernels.
+	bigRows := 1_000_000 / scale
+	smallRows := 100_000 / scale
+	salesF := datagen.Sales(41, bigRows, bigRows/10, 50)
+	salesE := datagen.Sales(42, bigRows, bigRows/10, 50)
+	salesJ := datagen.Sales(43, smallRows, smallRows/10, 50)
+	custJ := datagen.Customers(44, smallRows/10)
+	salesA := datagen.Sales(45, smallRows, 1000, 100)
+
+	s := nexus.NewSession()
+	// The baselines are hand-built plans with no rewrites; run the query
+	// path on the same naive plans, otherwise pushdown and column pruning
+	// make the "overhead" negative and hide the cost being measured.
+	s.DisableOptimizations()
+	prov, err := s.AddEngine(nexus.Relational, "bench")
+	if err != nil {
+		return err
+	}
+	for _, ds := range []struct {
+		name string
+		t    *table.Table
+	}{
+		{"sales_f", salesF}, {"sales_e", salesE}, {"sales_j", salesJ},
+		{"customers_j", custJ}, {"sales_a", salesA},
+	} {
+		pt, err := pubTable(ds.t)
+		if err != nil {
+			return err
+		}
+		if err := s.Store(prov, ds.name, pt); err != nil {
+			return err
+		}
+	}
+
+	type kernel struct {
+		name     string
+		rows     int
+		data     *table.Table // baseline scan target
+		extra    *table.Table // second baseline input (join build side)
+		baseline func() (core.Node, error)
+		query    *nexus.Query
+	}
+	kernels := []kernel{
+		{
+			name: "filter_vectorized", rows: bigRows, data: salesF,
+			baseline: func() (core.Node, error) {
+				sc, _ := core.NewScan("sales_f", salesF.Schema())
+				return core.NewFilter(sc, expr.And(
+					expr.Gt(expr.Column("qty"), expr.CInt(3)),
+					expr.Lt(expr.Column("price"), expr.CFloat(40)),
+				))
+			},
+			query: s.Scan("sales_f").Where(nexus.And(
+				nexus.Gt(nexus.Col("qty"), nexus.Int(3)),
+				nexus.Lt(nexus.Col("price"), nexus.Float(40)),
+			)),
+		},
+		{
+			name: "extend_parallel", rows: bigRows, data: salesE,
+			baseline: func() (core.Node, error) {
+				sc, _ := core.NewScan("sales_e", salesE.Schema())
+				return core.NewExtend(sc, []core.ColDef{
+					{Name: "notional", E: expr.Mul(expr.Column("price"), expr.Column("qty"))},
+					{Name: "rebate", E: expr.Mul(expr.Sub(expr.Column("price"), expr.CFloat(1)), expr.CFloat(0.05))},
+				})
+			},
+			query: s.Scan("sales_e").
+				Extend("notional", nexus.Mul(nexus.Col("price"), nexus.Col("qty"))).
+				Extend("rebate", nexus.Mul(nexus.Sub(nexus.Col("price"), nexus.Float(1)), nexus.Float(0.05))),
+		},
+		{
+			name: "hash_join", rows: smallRows, data: salesJ, extra: custJ,
+			baseline: func() (core.Node, error) {
+				sc, _ := core.NewScan("sales_j", salesJ.Schema())
+				cc, _ := core.NewScan("customers_j", custJ.Schema())
+				return core.NewJoin(sc, cc, core.JoinInner, []string{"cust_id"}, []string{"cust_id"}, nil)
+			},
+			query: s.Scan("sales_j").Join(s.Scan("customers_j"), nexus.Inner,
+				nexus.JoinKey{Left: "cust_id", Right: "cust_id"}),
+		},
+		{
+			name: "hash_aggregate", rows: smallRows, data: salesA,
+			baseline: func() (core.Node, error) {
+				sc, _ := core.NewScan("sales_a", salesA.Schema())
+				return core.NewGroupAgg(sc, []string{"cust_id"}, []core.AggSpec{
+					{Func: core.AggSum, Arg: expr.Mul(expr.Column("price"), expr.Column("qty")), As: "rev"},
+					{Func: core.AggCount, As: "n"},
+				})
+			},
+			query: s.Scan("sales_a").GroupBy("cust_id").Agg(
+				nexus.Sum("rev", nexus.Mul(nexus.Col("price"), nexus.Col("qty"))),
+				nexus.Count("n"),
+			),
+		},
+	}
+
+	var results []TraceOverheadResult
+	for _, k := range kernels {
+		plan, err := k.baseline()
+		if err != nil {
+			return err
+		}
+		rt := &exec.Runtime{Datasets: func(n string) (*table.Table, bool) {
+			if k.extra != nil && n != "sales_j" {
+				return k.extra, true
+			}
+			return k.data, true
+		}}
+		traced := k.query.Trace()
+		modes := []func() error{
+			func() error { _, err := rt.Run(plan); return err },
+			func() error { _, err := k.query.Collect(); return err },
+			func() error { _, err := traced.Collect(); return err },
+		}
+		ns, err := measureInterleaved(k.name, modes)
+		if err != nil {
+			return err
+		}
+		r := TraceOverheadResult{
+			Name:             k.name,
+			Rows:             k.rows,
+			BaselineNsPerOp:  ns[0],
+			DisabledNsPerOp:  ns[1],
+			EnabledNsPerOp:   ns[2],
+			DisabledOverhead: ns[1] / ns[0],
+			EnabledOverhead:  ns[2] / ns[1],
+		}
+		results = append(results, r)
+		fmt.Printf("%-20s %10.0f ns/op raw %10.0f ns/op untraced (%.3fx) %10.0f ns/op traced (%.3fx)\n",
+			r.Name, r.BaselineNsPerOp, r.DisabledNsPerOp, r.DisabledOverhead, r.EnabledNsPerOp, r.EnabledOverhead)
+	}
+
+	geomean := func(pick func(TraceOverheadResult) float64) float64 {
+		sum := 0.0
+		for _, r := range results {
+			sum += math.Log(pick(r))
+		}
+		return math.Exp(sum / float64(len(results)))
+	}
+	report := TraceOverheadReport{
+		GeneratedAt:             time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:              runtime.GOMAXPROCS(0),
+		DisabledOverheadGeomean: geomean(func(r TraceOverheadResult) float64 { return r.DisabledOverhead }),
+		EnabledOverheadGeomean:  geomean(func(r TraceOverheadResult) float64 { return r.EnabledOverhead }),
+		Kernels:                 results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("geomean overhead: untraced %.3fx, traced %.3fx\nwrote %s\n",
+		report.DisabledOverheadGeomean, report.EnabledOverheadGeomean, path)
+	return nil
+}

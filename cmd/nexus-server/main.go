@@ -41,11 +41,15 @@ import (
 	"nexus/internal/engines/linalg"
 	"nexus/internal/engines/relational"
 	"nexus/internal/obs"
+	"nexus/internal/obs/trace"
 	"nexus/internal/provider"
 	"nexus/internal/replication"
 	"nexus/internal/server"
 	"nexus/internal/storage"
 )
+
+// version labels nexus_build_info on the metrics sidecar.
+const version = "dev"
 
 func main() {
 	engine := flag.String("engine", "relational", "engine kind: relational, array, linalg, graph")
@@ -55,7 +59,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (crash-recoverable columnar store; implies a relational-class engine)")
 	ckptEvery := flag.Duration("checkpoint-interval", 2*time.Second, "how often hosted durable subscriptions checkpoint their state (with -data-dir)")
 	compactEvery := flag.Duration("compact-interval", time.Minute, "how often the background compactor merges small segments (with -data-dir; 0 disables)")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP sidecar address for /metrics, /healthz and /debug/stats (empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP sidecar address for /metrics, /healthz, /debug/stats, /debug/traces and /debug/ops (empty disables)")
+	traceOn := flag.Bool("trace", false, "open root spans for this server's background work (replication sync rounds); client-carried traces are always recorded")
+	slowOp := flag.Duration("slow-op-threshold", 0, "log a JSON line (rate-limited) for queries/appends/subscriptions slower than this (0 disables)")
 	replicaOf := flag.String("replica-of", "", "primary server address to replicate from (requires -data-dir; makes this server a read-only follower)")
 	replicas := flag.String("replicas", "", "comma-separated follower addresses to monitor (primary side; unhealthy followers degrade /healthz)")
 	replEvery := flag.Duration("repl-interval", 500*time.Millisecond, "replication sync/probe interval (with -replica-of or -replicas)")
@@ -113,6 +119,17 @@ func main() {
 		if err := loadDemo(prov, *engine); err != nil {
 			log.Fatalf("demo data: %v", err)
 		}
+	}
+
+	// Tracing identity: spans this process records carry the provider
+	// name, so a multi-node trace shows which server did what. The
+	// enabled flag only gates roots for background work — spans for
+	// requests that arrive with a trace context always record.
+	trace.Default.SetService(prov.Name())
+	trace.Default.SetEnabled(*traceOn)
+	if *slowOp > 0 {
+		trace.Ops().SetSlowOpThreshold(*slowOp)
+		log.Printf("  slow-op log: ops over %v (JSON lines on stderr, rate-limited)", *slowOp)
 	}
 
 	var srv *server.Server
@@ -229,12 +246,16 @@ func main() {
 			// continues either way — the 503 is for operators and LBs.
 			checks["replicas"] = mon.Health
 		}
-		bound, stop, err := obs.Serve(*metricsAddr, obs.Default, checks)
+		obs.RegisterBuildInfo(obs.Default, version)
+		h := obs.NewHandler(obs.Default, checks)
+		h.Handle("/debug/traces", trace.TraceHandler(trace.Default))
+		h.Handle("/debug/ops", trace.OpsHandler(trace.Ops()))
+		bound, stop, err := obs.ServeHandler(*metricsAddr, h)
 		if err != nil {
 			log.Fatalf("metrics sidecar: %v", err)
 		}
 		stopMetrics = stop
-		log.Printf("  metrics on http://%s/metrics (also /healthz, /debug/stats)", bound)
+		log.Printf("  metrics on http://%s/metrics (also /healthz, /debug/stats, /debug/traces, /debug/ops)", bound)
 	}
 
 	sig := make(chan os.Signal, 1)

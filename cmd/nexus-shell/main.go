@@ -22,6 +22,13 @@
 //	                     dataset's provider (federated streaming)
 //	\stats [host:port]   fetch and print /debug/stats from a server's
 //	                     metrics sidecar (default from -metrics)
+//	\trace on|off        trace subsequent queries end-to-end (each prints
+//	                     its trace id; -trace also traces the connect)
+//	\trace [host:port] [id]
+//	                     fetch /debug/traces from a metrics sidecar,
+//	                     optionally filtered to one trace id
+//	\ops [host:port]     fetch /debug/ops — live in-flight queries and
+//	                     subscriptions on that server
 //	\open <dir>          attach a durable data directory as a provider
 //	\save <dataset>      persist a dataset into the opened directory
 //	\mode direct|routed  switch intermediate shipping
@@ -53,12 +60,13 @@ func main() {
 	metrics := flag.String("metrics", "", "default metrics sidecar address for \\stats (host:port)")
 	mux := flag.Bool("mux", false, "multiplex all traffic to each server (queries + subscriptions) over one TCP connection")
 	tenant := flag.String("tenant", "", "tenant token sent at connect for server-side admission control")
+	traceFlag := flag.Bool("trace", false, "trace connects and queries end-to-end from the start (same as \\trace on, plus traced dial handshakes)")
 	flag.Parse()
 
 	s := nexus.NewSession()
 	if *connect != "" {
 		for _, addr := range strings.Split(*connect, ",") {
-			name, err := s.Connect(strings.TrimSpace(addr), nexus.ConnectOptions{Mux: *mux, Tenant: *tenant})
+			name, err := s.Connect(strings.TrimSpace(addr), nexus.ConnectOptions{Mux: *mux, Tenant: *tenant, Trace: *traceFlag})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "connect %s: %v\n", addr, err)
 				os.Exit(1)
@@ -86,6 +94,7 @@ func main() {
 	fmt.Println(`nexus shell — surface-language queries, \datasets, \explain <q>, \open <dir>, \save <ds>, \quit`)
 
 	durableProvider := "" // provider created by the last \open
+	tracing := *traceFlag // \trace on|off: run queries with end-to-end tracing
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -173,18 +182,34 @@ func main() {
 			if addr == "" {
 				addr = *metrics
 			}
-			runStats(addr)
+			fetchSidecar(addr, "/debug/stats", `\stats`)
+		case strings.HasPrefix(line, `\trace`):
+			args := strings.Fields(strings.TrimSpace(strings.TrimPrefix(line, `\trace`)))
+			runTrace(args, &tracing, *metrics)
+		case strings.HasPrefix(line, `\ops`):
+			addr := strings.TrimSpace(strings.TrimPrefix(line, `\ops`))
+			if addr == "" {
+				addr = *metrics
+			}
+			fetchSidecar(addr, "/debug/ops", `\ops`)
 		case strings.HasPrefix(line, `\`):
-			fmt.Println("unknown command; try \\datasets, \\providers, \\explain [analyze] <q>, \\subscribe, \\stats, \\open <dir>, \\save <ds>, \\mode, \\quit")
+			fmt.Println("unknown command; try \\datasets, \\providers, \\explain [analyze] <q>, \\subscribe, \\stats, \\trace, \\ops, \\open <dir>, \\save <ds>, \\mode, \\quit")
 		default:
 			t0 := time.Now()
-			res, m, err := s.Query(line).CollectWithMetrics()
+			q := s.Query(line)
+			if tracing {
+				q = q.Trace()
+			}
+			res, m, err := q.CollectWithMetrics()
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			fmt.Print(res.Format(25))
 			fmt.Printf("(%d rows, %v, %d fragment(s))\n", res.NumRows(), time.Since(t0).Round(time.Microsecond), m.Fragments)
+			if id := m.TraceID(); id != "" {
+				fmt.Printf("(trace %s — \\trace %s %s on any server the query touched)\n", id, "<host:port>", id)
+			}
 		}
 	}
 }
@@ -263,14 +288,51 @@ func runStreamAnalyze(s *nexus.Session, args []string) {
 	fmt.Print(out)
 }
 
-// runStats fetches a metrics sidecar's /debug/stats and prints the JSON.
-func runStats(addr string) {
+// runTrace implements \trace: "on"/"off" toggles query tracing in this
+// shell; anything else is a sidecar address (default -metrics) plus an
+// optional trace id, fetched from that server's /debug/traces.
+func runTrace(args []string, tracing *bool, defaultAddr string) {
+	if len(args) == 1 && (args[0] == "on" || args[0] == "off") {
+		*tracing = args[0] == "on"
+		if *tracing {
+			fmt.Println("tracing: on (each query prints its trace id)")
+		} else {
+			fmt.Println("tracing: off")
+		}
+		return
+	}
+	addr, id := defaultAddr, ""
+	switch len(args) {
+	case 0:
+	case 1:
+		// A lone 32-hex-char argument is a trace id for the default
+		// sidecar; anything else is an address.
+		if len(args[0]) == 32 && !strings.Contains(args[0], ":") {
+			id = args[0]
+		} else {
+			addr = args[0]
+		}
+	case 2:
+		addr, id = args[0], args[1]
+	default:
+		fmt.Println("usage: \\trace on|off  or  \\trace [host:port] [traceid]")
+		return
+	}
+	path := "/debug/traces"
+	if id != "" {
+		path += "?trace=" + id
+	}
+	fetchSidecar(addr, path, `\trace`)
+}
+
+// fetchSidecar GETs a path from a metrics sidecar and prints the body.
+func fetchSidecar(addr, path, cmd string) {
 	if addr == "" {
-		fmt.Println("usage: \\stats <host:port> (or start the shell with -metrics)")
+		fmt.Printf("usage: %s <host:port> (or start the shell with -metrics)\n", cmd)
 		return
 	}
 	cli := &http.Client{Timeout: 5 * time.Second}
-	resp, err := cli.Get("http://" + addr + "/debug/stats")
+	resp, err := cli.Get("http://" + addr + path)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nexus/internal/obs"
+	"nexus/internal/obs/trace"
 	"nexus/internal/schema"
 	"nexus/internal/wire"
 )
@@ -89,6 +90,12 @@ func SubscribeFailover(ctx context.Context, addrs []string, sub wire.StreamSub, 
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
+	}
+	// A traced subscription traces its dials too: every hello — the
+	// first connect and each failover redial — parents a handshake span
+	// under the same trace, on whichever server answered.
+	if sub.Trace.Valid() && !opts.DialOpts.Trace.Valid() {
+		opts.DialOpts.Trace = sub.Trace
 	}
 	f := &FailoverSub{
 		addrs:    append([]string(nil), addrs...),
@@ -236,16 +243,22 @@ func (f *FailoverSub) connect(ctx context.Context, start int) (*Subscription, *M
 		i := ((start % len(f.addrs)) + len(f.addrs)) % len(f.addrs)
 		addr := f.addrs[i]
 		metRedials.Inc()
-		var err error
+		attemptStart := time.Now()
+		var (
+			sub *Subscription
+			mux *Mux
+			err error
+		)
 		if f.opts.Mux {
 			mx, merr := DialMuxContext(ctx, addr, f.dialOpts)
 			if merr == nil {
 				s, serr := mx.Subscribe(f.sub)
 				if serr == nil {
-					return s, mx, i, nil
+					sub, mux = s, mx
+				} else {
+					mx.Close()
+					merr = serr
 				}
-				mx.Close()
-				merr = serr
 			}
 			err = merr
 		} else {
@@ -253,11 +266,26 @@ func (f *FailoverSub) connect(ctx context.Context, start int) (*Subscription, *M
 			if derr == nil {
 				s, serr := subscribeConnTimeout(conn, f.sub, f.dialOpts.HandshakeTimeout)
 				if serr == nil {
-					return s, nil, i, nil
+					sub = s
+				} else {
+					derr = serr
 				}
-				derr = serr
 			}
 			err = derr
+		}
+		// Each dial+subscribe attempt — first connects and failover
+		// redials alike — records a span under the subscription's trace,
+		// so an induced failover shows the redial inside the same trace
+		// the stream's windows belong to.
+		if f.sub.Trace.Valid() {
+			trace.Default.Emit(wireToTrace(f.sub.Trace), "client.redial",
+				attemptStart, time.Since(attemptStart), []trace.Attr{
+					trace.String("addr", addr),
+					trace.Int("attempt", int64(attempts+1)),
+				}, err)
+		}
+		if err == nil {
+			return sub, mux, i, nil
 		}
 		attempts++
 		f.opts.Logf("federation: failover attempt %d at %s: %v", attempts, addr, err)

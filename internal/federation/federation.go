@@ -43,6 +43,11 @@ func (m Mode) String() string {
 
 // Metrics accounts for all traffic during one federated execution.
 type Metrics struct {
+	// Trace, when valid, is an INPUT: transports record a client span
+	// under it for every exchange and propagate the span's context on
+	// the wire, so server-side spans stitch into the caller's trace.
+	Trace wire.TraceCtx
+
 	// ClientBytesOut counts bytes the client (application tier) sent:
 	// plans, and in routed mode re-uploaded intermediates.
 	ClientBytesOut int64
@@ -99,7 +104,15 @@ func NewCoordinator(transports ...Transport) *Coordinator {
 // Run executes a partitioned plan in the given mode, returning the root
 // fragment's result and the traffic metrics.
 func (c *Coordinator) Run(pp *planner.PartitionedPlan, mode Mode) (*table.Table, *Metrics, error) {
-	m := &Metrics{}
+	return c.RunTraced(pp, mode, wire.TraceCtx{})
+}
+
+// RunTraced is Run with a trace context: every fragment execution,
+// intermediate store, and cleanup drop records a client span under tc
+// and propagates it to the servers involved, so the whole partition
+// fan-out appears in one trace.
+func (c *Coordinator) RunTraced(pp *planner.PartitionedPlan, mode Mode, tc wire.TraceCtx) (*table.Table, *Metrics, error) {
+	m := &Metrics{Trace: tc}
 
 	// Each non-root fragment has exactly one consumer (the partitioner
 	// builds a tree); map producer fragment ID to its destination.

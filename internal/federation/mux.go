@@ -9,6 +9,7 @@ import (
 
 	"nexus/internal/core"
 	"nexus/internal/obs"
+	"nexus/internal/obs/trace"
 	"nexus/internal/provider"
 	"nexus/internal/server"
 	"nexus/internal/table"
@@ -116,8 +117,10 @@ func DialMux(addr string, opts DialOpts) (*Mux, error) {
 // and hello exchange run under the DialOpts budgets, surfacing
 // *TimeoutError like DialTCPContext; a mid-handshake failure closes the
 // connection before returning.
-func DialMuxContext(ctx context.Context, addr string, opts DialOpts) (*Mux, error) {
+func DialMuxContext(ctx context.Context, addr string, opts DialOpts) (mx *Mux, err error) {
 	opts = opts.withDefaults()
+	sp, htc := clientSpan(opts.Trace, "client.dial_mux", trace.String("addr", addr))
+	defer func() { sp.End(err) }()
 	conn, err := dialConn(ctx, addr, opts)
 	if err != nil {
 		return nil, err
@@ -129,7 +132,7 @@ func DialMuxContext(ctx context.Context, addr string, opts DialOpts) (*Mux, erro
 		}
 	}()
 	_ = conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
-	if _, err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello(opts.Tenant)); err != nil {
+	if _, err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHelloTrace(opts.Tenant, htc)); err != nil {
 		if isTimeout(err) {
 			return nil, &TimeoutError{Op: "hello", Addr: addr, Elapsed: opts.HandshakeTimeout}
 		}
@@ -467,9 +470,11 @@ func (m *Mux) Capabilities() provider.Capabilities {
 }
 
 // Execute implements Transport.
-func (m *Mux) Execute(plan core.Node, met *Metrics) (*table.Table, error) {
+func (m *Mux) Execute(plan core.Node, met *Metrics) (tab *table.Table, err error) {
 	id := m.allocID()
-	typ, reply, err := m.call("execute", id, wire.MsgExecute, wire.EncodeExecute(id, plan), met)
+	sp, tc := clientSpan(metricsTrace(met), "client.execute", trace.String("provider", m.name))
+	defer func() { sp.End(err) }()
+	typ, reply, err := m.call("execute", id, wire.MsgExecute, wire.EncodeExecuteTrace(id, plan, tc), met)
 	if err != nil {
 		return nil, err
 	}
@@ -487,12 +492,15 @@ func (m *Mux) Execute(plan core.Node, met *Metrics) (*table.Table, error) {
 }
 
 // ExecuteTo implements Transport.
-func (m *Mux) ExecuteTo(plan core.Node, peer Transport, storeAs string, met *Metrics) error {
+func (m *Mux) ExecuteTo(plan core.Node, peer Transport, storeAs string, met *Metrics) (err error) {
 	peerAddr := peer.PeerAddr()
 	if peerAddr == "" {
 		return fmt.Errorf("federation: peer %s has no dialable address", peer.ProviderName())
 	}
 	id := m.allocID()
+	sp, _ := clientSpan(metricsTrace(met), "client.executeto",
+		trace.String("provider", m.name), trace.String("peer", peer.ProviderName()))
+	defer func() { sp.End(err) }()
 	typ, reply, err := m.call("executeto", id, wire.MsgExecuteTo, wire.EncodeExecuteTo(id, peerAddr, storeAs, plan), met)
 	if err != nil {
 		return err
@@ -517,8 +525,11 @@ func (m *Mux) ExecuteTo(plan core.Node, peer Transport, storeAs string, met *Met
 }
 
 // Store implements Transport.
-func (m *Mux) Store(name string, tab *table.Table, met *Metrics) error {
-	typ, reply, err := m.call("store", 0, wire.MsgStore, wire.EncodeStore(name, tab), met)
+func (m *Mux) Store(name string, tab *table.Table, met *Metrics) (err error) {
+	sp, tc := clientSpan(metricsTrace(met), "client.store",
+		trace.String("provider", m.name), trace.String("dataset", name))
+	defer func() { sp.End(err) }()
+	typ, reply, err := m.call("store", 0, wire.MsgStore, wire.EncodeStoreTrace(name, tab, tc), met)
 	if err != nil {
 		return err
 	}
@@ -540,8 +551,11 @@ func (m *Mux) Drop(name string, met *Metrics) {
 }
 
 // Append adds rows to a remote dataset without replacing it.
-func (m *Mux) Append(name string, tab *table.Table, met *Metrics) error {
-	typ, reply, err := m.call("append", 0, wire.MsgAppend, wire.EncodeStore(name, tab), met)
+func (m *Mux) Append(name string, tab *table.Table, met *Metrics) (err error) {
+	sp, tc := clientSpan(metricsTrace(met), "client.append",
+		trace.String("provider", m.name), trace.String("dataset", name))
+	defer func() { sp.End(err) }()
+	typ, reply, err := m.call("append", 0, wire.MsgAppend, wire.EncodeStoreTrace(name, tab, tc), met)
 	if err != nil {
 		return err
 	}
@@ -563,11 +577,22 @@ func (m *Mux) Append(name string, tab *table.Table, met *Metrics) error {
 // credit-bound frames, plus a bounded slack for droppable watermarks,
 // so the demux loop can always route its frames without blocking —
 // one stalled consumer stalls only its own stream.
-func (m *Mux) Subscribe(sub wire.StreamSub) (*Subscription, error) {
+func (m *Mux) Subscribe(sub wire.StreamSub) (_ *Subscription, err error) {
 	sub.ID = m.allocID()
 	if sub.Credit == 0 {
 		sub.Credit = DefaultCredit
 	}
+	// A traced subscription gets a client span that lives as long as
+	// the stream; the server parents its subscription spans under it.
+	// The span ends with the stream (reader teardown) — or here, with
+	// the error, when the handshake never completes.
+	sp, tc := clientSpan(sub.Trace, "client.subscribe", trace.String("provider", m.name))
+	sub.Trace = tc
+	defer func() {
+		if err != nil {
+			sp.End(err)
+		}
+	}()
 	inbox := make(chan subFrame, int(sub.Credit)+server.PublishWindow+2+muxWMSlack)
 	ack := make(chan muxReply, 1)
 	m.wmu.Lock()
@@ -614,6 +639,7 @@ func (m *Mux) Subscribe(sub wire.StreamSub) (*Subscription, error) {
 				inbox:     inbox,
 				id:        sub.ID,
 				outSch:    outSch,
+				sp:        sp,
 				out:       make(chan SubBatch, 1),
 				done:      make(chan struct{}),
 				closed:    make(chan struct{}),

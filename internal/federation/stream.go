@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nexus/internal/obs/trace"
 	"nexus/internal/schema"
 	"nexus/internal/server"
 	"nexus/internal/stream"
@@ -60,6 +61,7 @@ type Subscription struct {
 	inbox  chan subFrame // mux mode: frames demultiplexed for this sub
 	id     uint64
 	outSch schema.Schema
+	sp     *trace.Span // client span covering the stream's lifetime; nil untraced
 
 	wmu sync.Mutex // serializes frame writes (publisher + control)
 
@@ -103,15 +105,21 @@ func SubscribeConn(conn net.Conn, sub wire.StreamSub) (*Subscription, error) {
 // deferred cleanup covers each path (write failure, short reply,
 // refusal, corrupt ack), so a mid-handshake error can leak neither the
 // socket nor a reader goroutine.
-func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Duration) (*Subscription, error) {
+func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Duration) (_ *Subscription, err error) {
 	sub.ID = subIDs.Add(1)
 	if sub.Credit == 0 {
 		sub.Credit = DefaultCredit
 	}
+	// Traced subscriptions carry a client span for the stream's whole
+	// life (see Mux.Subscribe); a failed handshake ends it here.
+	sp, tc := clientSpan(sub.Trace, "client.subscribe",
+		trace.String("addr", conn.RemoteAddr().String()))
+	sub.Trace = tc
 	ok := false
 	defer func() {
 		if !ok {
 			conn.Close()
+			sp.End(err)
 		}
 	}()
 	if handshake > 0 {
@@ -154,6 +162,7 @@ func subscribeConnTimeout(conn net.Conn, sub wire.StreamSub, handshake time.Dura
 		conn:      conn,
 		id:        sub.ID,
 		outSch:    outSch,
+		sp:        sp,
 		out:       make(chan SubBatch, 1),
 		done:      make(chan struct{}),
 		closed:    make(chan struct{}),
@@ -176,6 +185,10 @@ func (s *Subscription) Batches() <-chan SubBatch { return s.out }
 // its transport — the dedicated socket, or the mux-fed inbox — and
 // dispatches them until the terminal frame or a transport failure.
 func (s *Subscription) readLoop() {
+	// The client subscription span ends with the stream, carrying the
+	// terminal error (a severed transport or dropped connection closes
+	// it with error status — it never lingers open in the ring).
+	defer func() { s.sp.End(s.Err()) }()
 	defer close(s.done)
 	defer close(s.out)
 	if s.mx != nil {

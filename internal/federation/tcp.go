@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nexus/internal/core"
+	"nexus/internal/obs/trace"
 	"nexus/internal/provider"
 	"nexus/internal/table"
 	"nexus/internal/wire"
@@ -46,8 +47,10 @@ func DialTCP(addr string) (*TCP, error) {
 // returning — the deferred cleanup covers every exit path, so a
 // mid-handshake error (short reply, wrong frame, corrupt payload)
 // cannot leak the socket.
-func DialTCPContext(ctx context.Context, addr string, opts DialOpts) (*TCP, error) {
+func DialTCPContext(ctx context.Context, addr string, opts DialOpts) (tp *TCP, err error) {
 	opts = opts.withDefaults()
+	sp, htc := clientSpan(opts.Trace, "client.dial", trace.String("addr", addr))
+	defer func() { sp.End(err) }()
 	conn, err := dialConn(ctx, addr, opts)
 	if err != nil {
 		return nil, err
@@ -60,7 +63,7 @@ func DialTCPContext(ctx context.Context, addr string, opts DialOpts) (*TCP, erro
 	}()
 	t := &TCP{addr: addr, conn: conn, opts: opts}
 	_ = conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
-	if _, err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHello(opts.Tenant)); err != nil {
+	if _, err := wire.WriteFrame(conn, wire.MsgHello, wire.EncodeHelloTrace(opts.Tenant, htc)); err != nil {
 		if isTimeout(err) {
 			return nil, &TimeoutError{Op: "hello", Addr: addr, Elapsed: opts.HandshakeTimeout}
 		}
@@ -155,12 +158,14 @@ func (t *TCP) call(op string, msg wire.MsgType, payload []byte, m *Metrics) (wir
 }
 
 // Execute implements Transport.
-func (t *TCP) Execute(plan core.Node, m *Metrics) (*table.Table, error) {
+func (t *TCP) Execute(plan core.Node, m *Metrics) (tab *table.Table, err error) {
 	t.mu.Lock()
 	id := t.nextID
 	t.nextID++
 	t.mu.Unlock()
-	typ, reply, err := t.call("execute", wire.MsgExecute, wire.EncodeExecute(id, plan), m)
+	sp, tc := clientSpan(metricsTrace(m), "client.execute", trace.String("provider", t.name))
+	defer func() { sp.End(err) }()
+	typ, reply, err := t.call("execute", wire.MsgExecute, wire.EncodeExecuteTrace(id, plan, tc), m)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +184,7 @@ func (t *TCP) Execute(plan core.Node, m *Metrics) (*table.Table, error) {
 
 // ExecuteTo implements Transport: the remote server pushes the result to
 // the peer's address itself.
-func (t *TCP) ExecuteTo(plan core.Node, peer Transport, storeAs string, m *Metrics) error {
+func (t *TCP) ExecuteTo(plan core.Node, peer Transport, storeAs string, m *Metrics) (err error) {
 	peerAddr := peer.PeerAddr()
 	if peerAddr == "" {
 		return fmt.Errorf("federation: peer %s has no dialable address", peer.ProviderName())
@@ -188,6 +193,9 @@ func (t *TCP) ExecuteTo(plan core.Node, peer Transport, storeAs string, m *Metri
 	id := t.nextID
 	t.nextID++
 	t.mu.Unlock()
+	sp, _ := clientSpan(metricsTrace(m), "client.executeto",
+		trace.String("provider", t.name), trace.String("peer", peer.ProviderName()))
+	defer func() { sp.End(err) }()
 	typ, reply, err := t.call("executeto", wire.MsgExecuteTo, wire.EncodeExecuteTo(id, peerAddr, storeAs, plan), m)
 	if err != nil {
 		return err
@@ -212,8 +220,11 @@ func (t *TCP) ExecuteTo(plan core.Node, peer Transport, storeAs string, m *Metri
 }
 
 // Store implements Transport.
-func (t *TCP) Store(name string, tab *table.Table, m *Metrics) error {
-	typ, reply, err := t.call("store", wire.MsgStore, wire.EncodeStore(name, tab), m)
+func (t *TCP) Store(name string, tab *table.Table, m *Metrics) (err error) {
+	sp, tc := clientSpan(metricsTrace(m), "client.store",
+		trace.String("provider", t.name), trace.String("dataset", name))
+	defer func() { sp.End(err) }()
+	typ, reply, err := t.call("store", wire.MsgStore, wire.EncodeStoreTrace(name, tab, tc), m)
 	if err != nil {
 		return err
 	}
@@ -237,8 +248,11 @@ func (t *TCP) Drop(name string, m *Metrics) {
 // Append adds rows to a remote dataset without replacing it. The ack
 // arrives only after the server committed the rows — on a durable
 // server, after the WAL fsync.
-func (t *TCP) Append(name string, tab *table.Table, m *Metrics) error {
-	typ, reply, err := t.call("append", wire.MsgAppend, wire.EncodeStore(name, tab), m)
+func (t *TCP) Append(name string, tab *table.Table, m *Metrics) (err error) {
+	sp, tc := clientSpan(metricsTrace(m), "client.append",
+		trace.String("provider", t.name), trace.String("dataset", name))
+	defer func() { sp.End(err) }()
+	typ, reply, err := t.call("append", wire.MsgAppend, wire.EncodeStoreTrace(name, tab, tc), m)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"nexus/internal/wire"
 )
 
 // ErrTimeout is the sentinel every federation timeout matches:
@@ -53,6 +55,11 @@ type DialOpts struct {
 	// subscriptions, appends and scans against it; empty means the
 	// anonymous tenant.
 	Tenant string
+	// Trace, when valid, is propagated on the hello exchange: the dial
+	// records a client span under it and the server parents its
+	// handshake span there, so connection setup shows up inside the
+	// caller's trace. The zero value costs nothing.
+	Trace wire.TraceCtx
 }
 
 // DefaultConnectTimeout bounds a federation dial when the caller did

@@ -1,0 +1,56 @@
+package federation
+
+import (
+	"nexus/internal/obs/trace"
+	"nexus/internal/wire"
+)
+
+// Client-side half of distributed tracing. A caller that wants a
+// request traced hands the federation layer a wire.TraceCtx — on
+// DialOpts for the hello handshake, on Metrics for coordinator-driven
+// execution, on StreamSub for subscriptions. The transport wraps each
+// exchange in a client span recorded into the local tracer and sends
+// the client span's context on the wire, so server-side spans parent
+// under the client operation that caused them and the whole exchange
+// stitches into one trace id. A zero TraceCtx costs nothing.
+
+// wireToTrace converts the wire trace context to the tracer's.
+func wireToTrace(tc wire.TraceCtx) trace.Context {
+	return trace.Context{TraceID: trace.TraceID(tc.TraceID), SpanID: trace.SpanID(tc.SpanID)}
+}
+
+// traceToWire converts a tracer context to its wire form.
+func traceToWire(c trace.Context) wire.TraceCtx {
+	return wire.TraceCtx{TraceID: [16]byte(c.TraceID), SpanID: uint64(c.SpanID)}
+}
+
+// TraceID renders the execution's trace id as lowercase hex ("" when
+// untraced) — the value to paste into /debug/traces?trace= on any
+// node the execution touched.
+func (m *Metrics) TraceID() string {
+	if m == nil || !m.Trace.Valid() {
+		return ""
+	}
+	return trace.TraceID(m.Trace.TraceID).String()
+}
+
+// metricsTrace returns the trace context riding on a Metrics, zero
+// when the caller passed none.
+func metricsTrace(m *Metrics) wire.TraceCtx {
+	if m == nil {
+		return wire.TraceCtx{}
+	}
+	return m.Trace
+}
+
+// clientSpan starts a client span under tc (nil when tc carries no
+// trace) and returns the wire context the request should carry so the
+// server's spans parent under this one.
+func clientSpan(tc wire.TraceCtx, name string, attrs ...trace.Attr) (*trace.Span, wire.TraceCtx) {
+	if !tc.Valid() {
+		return nil, wire.TraceCtx{}
+	}
+	sp := trace.Default.StartChild(wireToTrace(tc), name)
+	sp.Set(attrs...)
+	return sp, traceToWire(sp.Context())
+}

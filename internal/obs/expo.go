@@ -32,6 +32,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labels, x.Value())
 			case *Gauge:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labels, x.Value())
+			case *FuncGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(x.Value()))
 			case *Histogram:
 				err = writePromHistogram(w, f.name, f.labels, k, x)
 			}
@@ -117,20 +119,43 @@ func (r *Registry) sortedFamilies() []*family {
 	return fams
 }
 
+// BucketCount is one cumulative histogram bucket in a JSON snapshot:
+// the count of observations at or under the upper bound LE ("+Inf"
+// for the terminal bucket). Buckets render in ascending bound order —
+// stable across processes and scrapes.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
 // HistogramStats is the JSON summary of one histogram child.
 type HistogramStats struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
-	P999  float64 `json:"p999"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+	P999    float64       `json:"p999"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Stats summarizes a histogram for JSON exposition and bench output.
+// Buckets are cumulative and sorted ascending by bound (bounds are
+// sorted once at construction, so iteration order is the sort order).
 func (h *Histogram) Stats() HistogramStats {
 	p50, p95, p99, p999 := h.Quantiles()
-	return HistogramStats{Count: h.Count(), Sum: h.Sum(), P50: p50, P95: p95, P99: p99, P999: p999}
+	buckets := make([]BucketCount, 0, len(h.counts))
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		buckets = append(buckets, BucketCount{LE: le, Count: cum})
+	}
+	return HistogramStats{Count: h.Count(), Sum: h.Sum(), P50: p50, P95: p95, P99: p99, P999: p999,
+		Buckets: buckets}
 }
 
 // MetricSnapshot is one family in a Snapshot. Values maps a rendered
@@ -155,6 +180,8 @@ func (r *Registry) Snapshot() map[string]MetricSnapshot {
 			case *Counter:
 				ms.Values[label] = x.Value()
 			case *Gauge:
+				ms.Values[label] = x.Value()
+			case *FuncGauge:
 				ms.Values[label] = x.Value()
 			case *Histogram:
 				ms.Values[label] = x.Stats()

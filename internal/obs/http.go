@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -21,6 +22,9 @@ type HealthCheck func() error
 type Handler struct {
 	reg    *Registry
 	checks map[string]HealthCheck
+
+	mu     sync.Mutex
+	routes map[string]http.Handler
 }
 
 // NewHandler builds a Handler over reg with named health checks
@@ -29,7 +33,21 @@ func NewHandler(reg *Registry, checks map[string]HealthCheck) *Handler {
 	return &Handler{reg: reg, checks: checks}
 }
 
-// ServeHTTP dispatches the three observability routes.
+// Handle mounts an extra route on the sidecar — the hook higher
+// layers (tracing, live ops) use to expose debug endpoints without
+// obs importing them. Exact-path match; later registrations of the
+// same path win.
+func (h *Handler) Handle(path string, handler http.Handler) {
+	h.mu.Lock()
+	if h.routes == nil {
+		h.routes = make(map[string]http.Handler)
+	}
+	h.routes[path] = handler
+	h.mu.Unlock()
+}
+
+// ServeHTTP dispatches the built-in observability routes plus any
+// extra routes mounted with Handle.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/metrics":
@@ -43,6 +61,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(h.reg.Snapshot())
 	default:
+		h.mu.Lock()
+		extra := h.routes[r.URL.Path]
+		h.mu.Unlock()
+		if extra != nil {
+			extra.ServeHTTP(w, r)
+			return
+		}
 		http.NotFound(w, r)
 	}
 }
@@ -73,12 +98,18 @@ func (h *Handler) serveHealth(w http.ResponseWriter) {
 // the Handler on it in a background goroutine. It returns the bound
 // address and a shutdown function.
 func Serve(addr string, reg *Registry, checks map[string]HealthCheck) (string, func() error, error) {
+	return ServeHandler(addr, NewHandler(reg, checks))
+}
+
+// ServeHandler is Serve for a pre-built Handler — use it when extra
+// routes (tracing, live ops) were mounted with Handle.
+func ServeHandler(addr string, h *Handler) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           NewHandler(reg, checks),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()

@@ -9,6 +9,7 @@ package obs
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -191,7 +192,13 @@ type family struct {
 
 	mu       sync.Mutex
 	children map[string]metric // key: rendered label values ("" when unlabeled)
+	maxCard  int               // 0 = unbounded; else overflow to "(other)"
 }
+
+// CardinalityOverflow is the label value that absorbs children beyond
+// a vec's cardinality cap, mirroring the admission layer's bucket for
+// unconfigured tenants.
+const CardinalityOverflow = "(other)"
 
 func (f *family) child(labelVals []string, create func() metric) metric {
 	key := labelKey(labelVals)
@@ -199,10 +206,30 @@ func (f *family) child(labelVals []string, create func() metric) metric {
 	defer f.mu.Unlock()
 	m, ok := f.children[key]
 	if !ok {
+		if f.maxCard > 0 && len(f.labels) > 0 && len(f.children) >= f.maxCard {
+			// At the cap, every unseen label set aggregates into one
+			// overflow child, so a tenant minting thousands of datasets
+			// cannot bloat /metrics.
+			over := make([]string, len(f.labels))
+			for i := range over {
+				over[i] = CardinalityOverflow
+			}
+			key = labelKey(over)
+			if m, ok = f.children[key]; ok {
+				return m
+			}
+		}
 		m = create()
 		f.children[key] = m
 	}
 	return m
+}
+
+// setCap bounds the number of distinct label sets the family tracks.
+func (f *family) setCap(n int) {
+	f.mu.Lock()
+	f.maxCard = n
+	f.mu.Unlock()
 }
 
 // labelKey joins label values with a separator that cannot appear in
@@ -237,6 +264,14 @@ func (r *Registry) family(name, help, typ string, labels []string, bounds []floa
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
+		// Sort bounds at registration so every child histogram and both
+		// exposition formats agree on one stable bucket order.
+		if len(bounds) > 0 {
+			b := make([]float64, len(bounds))
+			copy(b, bounds)
+			sort.Float64s(b)
+			bounds = b
+		}
 		f = &family{name: name, help: help, typ: typ, labels: labels, bounds: bounds,
 			children: make(map[string]metric)}
 		r.families[name] = f
@@ -283,6 +318,11 @@ func (v *CounterVec) With(labelVals ...string) *Counter {
 	return v.f.child(labelVals, func() metric { return &Counter{} }).(*Counter)
 }
 
+// Cap bounds the vec to n distinct label sets; label sets past the
+// cap aggregate under the "(other)" child. Returns the vec for
+// fluent registration.
+func (v *CounterVec) Cap(n int) *CounterVec { v.f.setCap(n); return v }
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
 
@@ -296,6 +336,9 @@ func (v *GaugeVec) With(labelVals ...string) *Gauge {
 	return v.f.child(labelVals, func() metric { return &Gauge{} }).(*Gauge)
 }
 
+// Cap bounds the vec to n distinct label sets (see CounterVec.Cap).
+func (v *GaugeVec) Cap(n int) *GaugeVec { v.f.setCap(n); return v }
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 
@@ -307,4 +350,42 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames 
 // With returns the child histogram for the given label values.
 func (v *HistogramVec) With(labelVals ...string) *Histogram {
 	return v.f.child(labelVals, func() metric { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// Cap bounds the vec to n distinct label sets (see CounterVec.Cap).
+func (v *HistogramVec) Cap(n int) *HistogramVec { v.f.setCap(n); return v }
+
+// FuncGauge is a gauge whose value is computed at collection time —
+// for values the process already knows (uptime, ring depth) where a
+// stored gauge would need a refresh goroutine.
+type FuncGauge struct {
+	fn func() float64
+}
+
+// Value evaluates the gauge.
+func (g *FuncGauge) Value() float64 { return g.fn() }
+
+// GaugeFunc registers an unlabeled gauge computed by fn at every
+// collection.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *FuncGauge {
+	f := r.family(name, help, typeGauge, nil, nil)
+	return f.child(nil, func() metric { return &FuncGauge{fn: fn} }).(*FuncGauge)
+}
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// RegisterBuildInfo registers the fleet-inventory gauges:
+// nexus_build_info{version,go} 1 and nexus_uptime_seconds. Idempotent
+// per registry.
+func RegisterBuildInfo(r *Registry, version string) {
+	if version == "" {
+		version = "dev"
+	}
+	r.GaugeVec("nexus_build_info",
+		"Build inventory; value is always 1, identity is in the labels.",
+		"version", "go").With(version, runtime.Version()).Set(1)
+	r.GaugeFunc("nexus_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
 }

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCardinalityCap: past a vec's cap, unseen label sets aggregate
+// under the "(other)" child instead of minting new series — a tenant
+// creating datasets in a loop cannot bloat /metrics.
+func TestCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("nexus_card_total", "per-dataset", "dataset").Cap(3)
+	for i := 0; i < 10; i++ {
+		v.With(fmt.Sprintf("ds%d", i)).Inc()
+	}
+	// Established children keep counting after the cap hits.
+	v.With("ds0").Inc()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	series := regexp.MustCompile(`nexus_card_total\{dataset="([^"]+)"\} (\d+)`).FindAllStringSubmatch(body, -1)
+	got := map[string]int{}
+	for _, m := range series {
+		n, _ := strconv.Atoi(m[2])
+		got[m[1]] = n
+	}
+	// Cap 3 = ds0..ds2 plus the overflow child ds3..ds9 share.
+	want := map[string]int{"ds0": 2, "ds1": 1, "ds2": 1, CardinalityOverflow: 7}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v, want %v", got, want)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("series %q = %d, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+
+	// The overflow child is shared: a repeat stranger lands on it too.
+	before := got[CardinalityOverflow]
+	v.With("ds7").Add(5)
+	sb.Reset()
+	_ = reg.WritePrometheus(&sb)
+	over := regexp.MustCompile(`nexus_card_total\{dataset="\(other\)"\} (\d+)`).FindStringSubmatch(sb.String())
+	if over == nil {
+		t.Fatal("overflow series vanished")
+	}
+	if n, _ := strconv.Atoi(over[1]); n != before+5 {
+		t.Fatalf("overflow = %d, want %d", n, before+5)
+	}
+}
+
+// TestCapOnGaugeAndHistogramVecs: the cap applies uniformly across vec
+// types (the heat metrics use all three).
+func TestCapOnGaugeAndHistogramVecs(t *testing.T) {
+	reg := NewRegistry()
+	gv := reg.GaugeVec("nexus_gcap", "g", "k").Cap(1)
+	gv.With("a").Set(1)
+	gv.With("b").Set(9) // overflow
+	hv := reg.HistogramVec("nexus_hcap", "h", []float64{1, 10}, "k").Cap(1)
+	hv.With("a").Observe(0.5)
+	hv.With("b").Observe(0.5) // overflow
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`nexus_gcap{k="(other)"} 9`,
+		`nexus_hcap_count{k="(other)"} 1`,
+		`nexus_hcap_count{k="a"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestBucketOrderStable: bucket bounds sort once at registration, so
+// Stats() and the Prometheus text agree on one ascending order even
+// when the caller registers bounds shuffled.
+func TestBucketOrderStable(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("nexus_shuffled_seconds", "x", []float64{5, 0.1, 1, 0.5})
+	for _, v := range []float64{0.05, 0.3, 0.7, 2, 10} {
+		h.Observe(v)
+	}
+
+	st := h.Stats()
+	wantLE := []string{"0.1", "0.5", "1", "5", "+Inf"}
+	if len(st.Buckets) != len(wantLE) {
+		t.Fatalf("got %d buckets, want %d", len(st.Buckets), len(wantLE))
+	}
+	prev := int64(-1)
+	for i, b := range st.Buckets {
+		if b.LE != wantLE[i] {
+			t.Fatalf("bucket[%d].LE = %q, want %q", i, b.LE, wantLE[i])
+		}
+		if b.Count < prev {
+			t.Fatalf("bucket counts not cumulative: %+v", st.Buckets)
+		}
+		prev = b.Count
+	}
+	if st.Buckets[len(st.Buckets)-1].Count != st.Count {
+		t.Fatal("terminal +Inf bucket must equal total count")
+	}
+
+	// The Prometheus text renders the same ascending le= order.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	les := regexp.MustCompile(`nexus_shuffled_seconds_bucket\{le="([^"]+)"\}`).FindAllStringSubmatch(sb.String(), -1)
+	if len(les) != len(wantLE) {
+		t.Fatalf("exposition has %d buckets, want %d:\n%s", len(les), len(wantLE), sb.String())
+	}
+	for i, m := range les {
+		if m[1] != wantLE[i] {
+			t.Fatalf("exposition bucket[%d] le=%q, want %q", i, m[1], wantLE[i])
+		}
+	}
+}
+
+// TestBuildInfoGauges: nexus_build_info carries identity in labels
+// with value 1, nexus_uptime_seconds advances on its own, and
+// registration is idempotent.
+func TestBuildInfoGauges(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "v1.2.3")
+	RegisterBuildInfo(reg, "v1.2.3") // idempotent
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	if !regexp.MustCompile(`nexus_build_info\{version="v1\.2\.3",go="go[^"]+"\} 1`).MatchString(body) {
+		t.Fatalf("build info missing or malformed:\n%s", body)
+	}
+	if c := strings.Count(body, `version="v1.2.3"`); c != 1 {
+		t.Fatalf("build info registered %d times, want 1", c)
+	}
+
+	up := regexp.MustCompile(`nexus_uptime_seconds ([0-9.e+-]+)`).FindStringSubmatch(body)
+	if up == nil {
+		t.Fatalf("uptime gauge missing:\n%s", body)
+	}
+	v1, err := strconv.ParseFloat(up[1], 64)
+	if err != nil || v1 < 0 {
+		t.Fatalf("uptime %q unparseable: %v", up[1], err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	sb.Reset()
+	_ = reg.WritePrometheus(&sb)
+	up = regexp.MustCompile(`nexus_uptime_seconds ([0-9.e+-]+)`).FindStringSubmatch(sb.String())
+	v2, _ := strconv.ParseFloat(up[1], 64)
+	if v2 <= v1 {
+		t.Fatalf("uptime did not advance: %v -> %v", v1, v2)
+	}
+
+	// Empty version defaults rather than rendering an empty label.
+	reg2 := NewRegistry()
+	RegisterBuildInfo(reg2, "")
+	snap := reg2.Snapshot()
+	if _, ok := snap["nexus_build_info"].Values[`{version="dev",go="`+goVersionLabel()+`"}`]; !ok {
+		t.Fatalf("empty version did not default to dev: %v", snap["nexus_build_info"].Values)
+	}
+}
+
+// goVersionLabel mirrors what RegisterBuildInfo stamps.
+func goVersionLabel() string {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "probe")
+	for label := range reg.Snapshot()["nexus_build_info"].Values {
+		m := regexp.MustCompile(`go="([^"]+)"`).FindStringSubmatch(label)
+		if m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// TestSidecarUnderConcurrentMutation scrapes every sidecar endpoint in
+// a loop while writers register new vec children, bump counters, and
+// observe histograms — the -race proof that exposition and mutation
+// can overlap, and that every scrape parses.
+func TestSidecarUnderConcurrentMutation(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "test")
+	cv := reg.CounterVec("nexus_mut_total", "c", "ds").Cap(8)
+	hv := reg.HistogramVec("nexus_mut_seconds", "h", LatencyBuckets(), "ds").Cap(8)
+	srv := httptest.NewServer(NewHandler(reg, map[string]HealthCheck{"ok": func() error { return nil }}))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ds := fmt.Sprintf("ds%d", (w*97+i)%16) // half land past the cap
+				cv.With(ds).Inc()
+				hv.With(ds).Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+
+	client := http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		for _, path := range []string{"/metrics", "/debug/stats", "/healthz"} {
+			resp, err := client.Get(srv.URL + path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			body := make([]byte, 0, 1<<16)
+			buf := make([]byte, 4096)
+			for {
+				n, rerr := resp.Body.Read(buf)
+				body = append(body, buf[:n]...)
+				if rerr != nil {
+					break
+				}
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s = %d during mutation", path, resp.StatusCode)
+			}
+			if path == "/metrics" {
+				checkScrapeConsistent(t, string(body))
+			}
+			scrapes++
+		}
+	}
+	close(stop)
+	writers.Wait()
+	if scrapes < 6 {
+		t.Fatalf("only %d scrapes completed", scrapes)
+	}
+
+	// The cap held under concurrency: at most 8 distinct ds labels plus
+	// the overflow child.
+	var sb strings.Builder
+	_ = reg.WritePrometheus(&sb)
+	labels := map[string]bool{}
+	for _, m := range regexp.MustCompile(`nexus_mut_total\{ds="([^"]+)"\}`).FindAllStringSubmatch(sb.String(), -1) {
+		labels[m[1]] = true
+	}
+	if len(labels) > 9 {
+		t.Fatalf("cap leaked: %d distinct children: %v", len(labels), labels)
+	}
+	if !labels[CardinalityOverflow] {
+		t.Fatalf("no overflow child after 16-dataset churn: %v", labels)
+	}
+}
+
+// checkScrapeConsistent asserts structural invariants of one scrape:
+// cumulative bucket counts ascend with their bounds.
+func checkScrapeConsistent(t *testing.T, body string) {
+	t.Helper()
+	series := regexp.MustCompile(`nexus_mut_seconds_bucket\{ds="([^"]+)",le="([^"]+)"\} (\d+)`).
+		FindAllStringSubmatch(body, -1)
+	type bk struct {
+		le    float64
+		count int64
+	}
+	perDS := map[string][]bk{}
+	for _, m := range series {
+		le := math.Inf(1)
+		if m[2] != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				t.Fatalf("bad le %q", m[2])
+			}
+		}
+		n, _ := strconv.ParseInt(m[3], 10, 64)
+		perDS[m[1]] = append(perDS[m[1]], bk{le, n})
+	}
+	for ds, bks := range perDS {
+		if !sort.SliceIsSorted(bks, func(i, j int) bool { return bks[i].le < bks[j].le }) {
+			t.Fatalf("%s: buckets out of bound order: %v", ds, bks)
+		}
+		for i := 1; i < len(bks); i++ {
+			if bks[i].count < bks[i-1].count {
+				t.Fatalf("%s: bucket counts not cumulative: %v", ds, bks)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// tracesPayload is the JSON shape of /debug/traces.
+type tracesPayload struct {
+	Service string     `json:"service,omitempty"`
+	Total   uint64     `json:"total_spans"`
+	Spans   []SpanData `json:"spans"`
+}
+
+// TraceHandler serves the tracer's finished-span ring as JSON.
+// `?trace=<hex id>` filters to one trace; unfiltered output is the
+// whole ring, oldest first. Spans within one response sort by start
+// time so a trace reads top-down as a tree walk.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spans []SpanData
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, ok := ParseTraceID(q)
+			if !ok {
+				http.Error(w, "bad trace id (want 32 hex chars)", http.StatusBadRequest)
+				return
+			}
+			spans = t.TraceSpans(id)
+		} else {
+			spans = t.Spans()
+		}
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tracesPayload{Service: t.Service(), Total: t.Total(), Spans: spans})
+	})
+}
+
+// opsPayload is the JSON shape of /debug/ops.
+type opsPayload struct {
+	Count int      `json:"count"`
+	Ops   []OpInfo `json:"ops"`
+}
+
+// OpsHandler serves the live in-flight operation listing as JSON.
+func OpsHandler(reg *OpsRegistry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ops := reg.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(opsPayload{Count: len(ops), Ops: ops})
+	})
+}

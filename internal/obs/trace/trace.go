@@ -1,0 +1,373 @@
+// Package trace is a dependency-free distributed-tracing core: a span
+// model (trace id, span id, parent, start/duration, typed attrs), a
+// bounded in-memory ring of finished spans per process, and JSON
+// export over the obs sidecar. Context propagates across the wire
+// protocol as a compact trailing field (see wire.TraceCtx), so one
+// trace id follows a query or stream window from the client session
+// through the mux handshake, server admission, exec kernels, storage
+// scans, partition fan-out, replication pulls, and failover redials.
+//
+// Everything is nil-safe: a nil *Span (tracing disabled, or a request
+// that carried no context) makes every method a no-op, so call sites
+// never branch on "is tracing on".
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across every process it
+// touches. Zero means "no trace".
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. Zero means "no span".
+type SpanID uint64
+
+// String renders the id as lowercase hex — the form used in JSON
+// export and in ?trace= queries against /debug/traces.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is the zero (no-trace) id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// ParseTraceID parses the lowercase-hex form produced by String.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// Context is the propagated half of a span: the trace it belongs to
+// and the span that becomes the parent of whatever happens next.
+type Context struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether the context carries a real trace.
+func (c Context) Valid() bool { return !c.TraceID.IsZero() }
+
+// Attr is one typed key/value attribute on a span. Value is one of
+// string, int64, float64, or bool.
+type Attr struct {
+	Key   string `json:"k"`
+	Value any    `json:"v"`
+}
+
+// String, Int, Float, and Bool build typed attrs.
+func String(k, v string) Attr        { return Attr{Key: k, Value: v} }
+func Int(k string, v int64) Attr     { return Attr{Key: k, Value: v} }
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr     { return Attr{Key: k, Value: v} }
+
+// SpanData is one finished span as it sits in the ring and as it
+// exports to JSON at /debug/traces.
+type SpanData struct {
+	TraceID  string        `json:"trace_id"`
+	SpanID   SpanID        `json:"span_id"`
+	ParentID SpanID        `json:"parent_id,omitempty"`
+	Service  string        `json:"service,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// DefaultRingSize bounds the per-process finished-span ring.
+const DefaultRingSize = 4096
+
+// Tracer owns a bounded ring of finished spans. The enabled flag
+// gates *root* span creation (client-side overhead control); spans
+// for requests that already carry a valid remote context are always
+// recorded, so a server with tracing "off" still contributes its part
+// of a trace some client started.
+type Tracer struct {
+	enabled atomic.Bool
+	service atomic.Pointer[string]
+
+	mu      sync.Mutex
+	ring    []SpanData
+	next    int
+	total   uint64 // finished spans ever, for drop accounting
+	nextSp  atomic.Uint64
+	ringCap int
+}
+
+// NewTracer builds a tracer with a ring of the given capacity
+// (DefaultRingSize if size <= 0).
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	t := &Tracer{ring: make([]SpanData, 0, size), ringCap: size}
+	t.nextSp.Store(1)
+	return t
+}
+
+// Default is the process-wide tracer, mirroring obs.Default.
+var Default = NewTracer(DefaultRingSize)
+
+// SetService names the process ("primary", "replica-1") on every span
+// it records.
+func (t *Tracer) SetService(name string) {
+	if t == nil {
+		return
+	}
+	t.service.Store(&name)
+}
+
+// Service returns the configured service name.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.service.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetEnabled turns root-span creation on or off.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether root-span creation is on.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// newTraceID draws a random 16-byte trace id.
+func newTraceID() TraceID {
+	var id TraceID
+	if _, err := rand.Read(id[:]); err != nil {
+		// crypto/rand failing is unrecoverable for uniqueness, but a
+		// trace id only needs to be distinct within one debug session;
+		// fall back to the span counter.
+		for i := range id {
+			id[i] = byte(i + 1)
+		}
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID { return SpanID(t.nextSp.Add(1)) }
+
+// StartRoot opens a new trace. Returns nil when the tracer is nil or
+// disabled — the nil span absorbs every later call.
+func (t *Tracer) StartRoot(name string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return &Span{
+		tr:    t,
+		ctx:   Context{TraceID: newTraceID(), SpanID: t.newSpanID()},
+		name:  name,
+		start: time.Now(),
+	}
+}
+
+// NewRoot opens a new trace regardless of the enabled flag — the
+// explicit opt-in path (Query.Trace, the shell's \trace) where the
+// caller asked for this specific trace by name, as opposed to the
+// ambient sampling StartRoot honors.
+func (t *Tracer) NewRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tr:    t,
+		ctx:   Context{TraceID: newTraceID(), SpanID: t.newSpanID()},
+		name:  name,
+		start: time.Now(),
+	}
+}
+
+// StartChild opens a span under a propagated context. Returns nil
+// when the context carries no trace — a request without a trace field
+// costs nothing. Child spans record regardless of the enabled flag:
+// the sampling decision was the root's to make.
+func (t *Tracer) StartChild(parent Context, name string) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return &Span{
+		tr:     t,
+		ctx:    Context{TraceID: parent.TraceID, SpanID: t.newSpanID()},
+		parent: parent.SpanID,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Emit records an already-measured child span — the bridge from
+// exec.Trace node stats, which are collected during execution and
+// converted to spans after the fact.
+func (t *Tracer) Emit(parent Context, name string, start time.Time, dur time.Duration, attrs []Attr, err error) SpanID {
+	if t == nil || !parent.Valid() {
+		return 0
+	}
+	id := t.newSpanID()
+	sd := SpanData{
+		TraceID:  parent.TraceID.String(),
+		SpanID:   id,
+		ParentID: parent.SpanID,
+		Service:  t.Service(),
+		Name:     name,
+		Start:    start,
+		Duration: dur,
+		Attrs:    attrs,
+	}
+	if err != nil {
+		sd.Error = err.Error()
+	}
+	t.record(sd)
+	return id
+}
+
+// record appends a finished span to the bounded ring, overwriting the
+// oldest entry once full.
+func (t *Tracer) record(sd SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < t.ringCap {
+		t.ring = append(t.ring, sd)
+		return
+	}
+	t.ring[t.next] = sd
+	t.next = (t.next + 1) % t.ringCap
+}
+
+// Spans snapshots every finished span in the ring, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// TraceSpans returns the ring's spans for one trace id, oldest first.
+func (t *Tracer) TraceSpans(id TraceID) []SpanData {
+	want := id.String()
+	var out []SpanData
+	for _, sd := range t.Spans() {
+		if sd.TraceID == want {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// Total reports how many spans have ever finished (ring drops are
+// Total - len(Spans())).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Span is one live operation. All methods are safe on a nil receiver.
+type Span struct {
+	tr     *Tracer
+	ctx    Context
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// Context returns the propagation context for children of this span.
+// A nil span returns the zero (no-trace) context.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return s.ctx
+}
+
+// TraceID returns the span's trace id (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.ctx.TraceID
+}
+
+// Start returns when the span opened.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Set appends typed attributes to the span.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// Child opens a sub-span of this span on the same tracer.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.StartChild(s.ctx, name)
+}
+
+// End finishes the span with the given error (nil for success) and
+// records it in the tracer's ring. End is idempotent: only the first
+// call records.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	sd := SpanData{
+		TraceID:  s.ctx.TraceID.String(),
+		SpanID:   s.ctx.SpanID,
+		ParentID: s.parent,
+		Service:  s.tr.Service(),
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    attrs,
+	}
+	if err != nil {
+		sd.Error = err.Error()
+	}
+	s.tr.record(sd)
+}

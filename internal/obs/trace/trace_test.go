@@ -1,0 +1,421 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nexus/internal/obs"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetService("svc-a")
+
+	root := tr.NewRoot("query")
+	if root == nil {
+		t.Fatal("NewRoot returned nil on an enabled-agnostic path")
+	}
+	root.Set(String("dataset", "sales"), Int("rows", 42))
+	child := root.Child("exec:scan")
+	if child == nil {
+		t.Fatal("Child returned nil under a live root")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace id %v != root %v", child.TraceID(), root.TraceID())
+	}
+	child.End(errors.New("boom"))
+	child.End(nil) // idempotent: second End must not record again
+	root.End(nil)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("ring holds %d spans, want 2 (End must be idempotent)", len(spans))
+	}
+	if tr.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", tr.Total())
+	}
+	// Oldest first: the child ended before the root.
+	c, r := spans[0], spans[1]
+	if c.Name != "exec:scan" || r.Name != "query" {
+		t.Fatalf("span order/names wrong: %q, %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Fatalf("trace ids differ: %s vs %s", c.TraceID, r.TraceID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent %d != root span id %d", c.ParentID, r.SpanID)
+	}
+	if c.Error != "boom" {
+		t.Fatalf("child error = %q, want boom", c.Error)
+	}
+	if c.Service != "svc-a" || r.Service != "svc-a" {
+		t.Fatalf("service not stamped: %q / %q", c.Service, r.Service)
+	}
+	var gotDS, gotRows bool
+	for _, a := range r.Attrs {
+		switch a.Key {
+		case "dataset":
+			gotDS = a.Value == "sales"
+		case "rows":
+			gotRows = a.Value == int64(42)
+		}
+	}
+	if !gotDS || !gotRows {
+		t.Fatalf("root attrs missing: %+v", r.Attrs)
+	}
+}
+
+func TestEnabledGatesRootsOnly(t *testing.T) {
+	tr := NewTracer(16)
+	if tr.Enabled() {
+		t.Fatal("tracer starts enabled")
+	}
+	if sp := tr.StartRoot("ambient"); sp != nil {
+		t.Fatal("StartRoot must return nil while disabled")
+	}
+	// Explicit opt-in roots and remote-context children ignore the flag.
+	root := tr.NewRoot("explicit")
+	if root == nil {
+		t.Fatal("NewRoot must work while disabled")
+	}
+	if sp := tr.StartChild(root.Context(), "child"); sp == nil {
+		t.Fatal("StartChild under a valid context must work while disabled")
+	}
+	if sp := tr.StartChild(Context{}, "orphan"); sp != nil {
+		t.Fatal("StartChild with no trace must return nil")
+	}
+	tr.SetEnabled(true)
+	if sp := tr.StartRoot("ambient"); sp == nil {
+		t.Fatal("StartRoot must work once enabled")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.SetService("x")
+	tr.SetEnabled(true)
+	if tr.Enabled() || tr.Service() != "" || tr.Total() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must read as empty")
+	}
+	if tr.StartRoot("a") != nil || tr.NewRoot("b") != nil || tr.StartChild(Context{}, "c") != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	if tr.Emit(Context{}, "d", time.Now(), 0, nil, nil) != 0 {
+		t.Fatal("nil tracer Emit must return 0")
+	}
+
+	var sp *Span
+	sp.Set(String("k", "v"))
+	sp.End(errors.New("ignored"))
+	if sp.Child("sub") != nil {
+		t.Fatal("nil span Child must be nil")
+	}
+	if sp.Context().Valid() || !sp.TraceID().IsZero() || !sp.Start().IsZero() {
+		t.Fatal("nil span must read as zero")
+	}
+}
+
+func TestEmit(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.NewRoot("root")
+	start := time.Now().Add(-time.Second)
+	id := tr.Emit(root.Context(), "exec:join", start, 250*time.Millisecond,
+		[]Attr{Int("calls", 3)}, errors.New("spill"))
+	if id == 0 {
+		t.Fatal("Emit under a valid context must record")
+	}
+	if got := tr.Emit(Context{}, "orphan", start, 0, nil, nil); got != 0 {
+		t.Fatalf("Emit with no trace recorded span %d", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("ring holds %d spans, want 1", len(spans))
+	}
+	sd := spans[0]
+	if sd.SpanID != id || sd.ParentID != root.Context().SpanID {
+		t.Fatalf("emit ids wrong: %+v", sd)
+	}
+	if sd.Duration != 250*time.Millisecond || !sd.Start.Equal(start) {
+		t.Fatalf("emit timing wrong: %+v", sd)
+	}
+	if sd.Error != "spill" {
+		t.Fatalf("emit error = %q", sd.Error)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.NewRoot("r")
+	ctx := root.Context()
+	for i := 0; i < 10; i++ {
+		tr.Emit(ctx, fmt.Sprintf("s%d", i), time.Now(), 0, nil, nil)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want cap 4", len(spans))
+	}
+	// Oldest first, and only the newest four survive.
+	for i, sd := range spans {
+		want := fmt.Sprintf("s%d", 6+i)
+		if sd.Name != want {
+			t.Fatalf("spans[%d] = %q, want %q", i, sd.Name, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10 (drops must still count)", tr.Total())
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	id := tr.StartRoot("r").TraceID()
+	back, ok := ParseTraceID(id.String())
+	if !ok || back != id {
+		t.Fatalf("round trip failed: %v -> %s -> %v", id, id.String(), back)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("g", 32), strings.Repeat("ab", 15)} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Fatalf("ParseTraceID(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetService("primary")
+	a := tr.NewRoot("trace-a")
+	b := tr.NewRoot("trace-b")
+	tr.Emit(a.Context(), "a-child", time.Now(), time.Millisecond, nil, nil)
+	a.End(nil)
+	b.End(nil)
+
+	h := TraceHandler(tr)
+	get := func(url string) (*httptest.ResponseRecorder, tracesPayload) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var p tracesPayload
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+				t.Fatalf("bad JSON from %s: %v", url, err)
+			}
+		}
+		return rec, p
+	}
+
+	rec, all := get("/debug/traces")
+	if rec.Code != 200 || all.Service != "primary" || all.Total != 3 || len(all.Spans) != 3 {
+		t.Fatalf("unfiltered: code=%d payload=%+v", rec.Code, all)
+	}
+	for i := 1; i < len(all.Spans); i++ {
+		if all.Spans[i].Start.Before(all.Spans[i-1].Start) {
+			t.Fatal("spans not sorted by start time")
+		}
+	}
+
+	rec, one := get("/debug/traces?trace=" + a.TraceID().String())
+	if rec.Code != 200 || len(one.Spans) != 2 {
+		t.Fatalf("filtered: code=%d spans=%d, want 2", rec.Code, len(one.Spans))
+	}
+	for _, sd := range one.Spans {
+		if sd.TraceID != a.TraceID().String() {
+			t.Fatalf("filter leaked foreign span %+v", sd)
+		}
+	}
+
+	rec, _ = get("/debug/traces?trace=nothex")
+	if rec.Code != 400 {
+		t.Fatalf("bad trace id served %d, want 400", rec.Code)
+	}
+}
+
+func TestOpsRegistrySnapshotAndHandler(t *testing.T) {
+	reg := NewOpsRegistry(obs.NewRegistry())
+	tr := NewTracer(4)
+	root := tr.NewRoot("sub")
+
+	q := reg.Begin("query", "acme", "sales", -1, Context{})
+	sub := reg.Begin("subscription", "acme", "events", 2, root.Context())
+	sub.AddRows(10)
+	sub.AddBytes(4096)
+	sub.SetCredit(7)
+	sub.SetWatermark(1000)
+	sub.SetWatermark(2000) // advance: staleness clock restarts
+
+	infos := reg.Snapshot()
+	if len(infos) != 2 {
+		t.Fatalf("snapshot holds %d ops, want 2", len(infos))
+	}
+	if infos[0].ID > infos[1].ID {
+		t.Fatal("snapshot not ordered oldest-first")
+	}
+	qi, si := infos[0], infos[1]
+	if qi.Kind != "query" || qi.Dataset != "sales" || qi.Partition != -1 || qi.Credit != -1 {
+		t.Fatalf("query op wrong: %+v", qi)
+	}
+	if qi.TraceID != "" || qi.Watermark != nil {
+		t.Fatalf("untraced query op leaked trace/watermark: %+v", qi)
+	}
+	if si.Kind != "subscription" || si.Rows != 10 || si.Bytes != 4096 || si.Credit != 7 {
+		t.Fatalf("sub op wrong: %+v", si)
+	}
+	if si.TraceID != root.TraceID().String() || si.SpanID != root.Context().SpanID {
+		t.Fatalf("sub op trace identity wrong: %+v", si)
+	}
+	if si.Watermark == nil || *si.Watermark != 2000 {
+		t.Fatalf("sub watermark = %v, want 2000", si.Watermark)
+	}
+	if got := sub.Context(); got != root.Context() {
+		t.Fatalf("op Context() = %+v, want %+v", got, root.Context())
+	}
+
+	rec := httptest.NewRecorder()
+	OpsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/ops", nil))
+	var p opsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("bad /debug/ops JSON: %v", err)
+	}
+	if p.Count != 2 || len(p.Ops) != 2 {
+		t.Fatalf("/debug/ops payload wrong: %+v", p)
+	}
+
+	q.End(nil)
+	sub.End(nil)
+	if left := reg.Snapshot(); len(left) != 0 {
+		t.Fatalf("%d ops leaked after End", len(left))
+	}
+}
+
+func TestSlowOpLog(t *testing.T) {
+	reg := NewOpsRegistry(obs.NewRegistry())
+	var buf bytes.Buffer
+	reg.SetSlowOpOutput(&buf)
+	reg.SetSlowOpThreshold(time.Nanosecond)
+	if reg.SlowOpThreshold() != time.Nanosecond {
+		t.Fatal("threshold not set")
+	}
+
+	op := reg.Begin("query", "acme", "sales", 3, Context{})
+	op.AddRows(5)
+	time.Sleep(time.Millisecond)
+	op.End(errors.New("deadline"))
+
+	line := strings.TrimSpace(buf.String())
+	var got slowOpLine
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("slow-op line is not JSON: %q (%v)", line, err)
+	}
+	if got.Kind != "query" || got.Tenant != "acme" || got.Dataset != "sales" ||
+		got.Partition != 3 || got.Rows != 5 || got.Error != "deadline" {
+		t.Fatalf("slow-op line wrong: %+v", got)
+	}
+	if got.DurationMs <= 0 {
+		t.Fatalf("slow-op duration %v not positive", got.DurationMs)
+	}
+
+	// Rate limit: a storm of slow ops logs at most the burst, and the
+	// next emitted line carries the suppressed count.
+	buf.Reset()
+	for i := 0; i < 50; i++ {
+		reg.Begin("query", "", "storm", -1, Context{}).End(nil)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) > slowBurst {
+		t.Fatalf("storm logged %d lines, burst cap is %v", len(lines), slowBurst)
+	}
+	if reg.slowDrops.Load() == 0 {
+		t.Fatal("storm recorded no drops")
+	}
+
+	// Off means off.
+	buf.Reset()
+	reg.SetSlowOpThreshold(0)
+	reg.Begin("query", "", "quiet", -1, Context{}).End(nil)
+	if buf.Len() != 0 {
+		t.Fatalf("disabled slow-op log still wrote %q", buf.String())
+	}
+}
+
+func TestNilOpsRegistry(t *testing.T) {
+	var reg *OpsRegistry
+	reg.SetSlowOpThreshold(time.Second)
+	if reg.SlowOpThreshold() != 0 || reg.Snapshot() != nil {
+		t.Fatal("nil registry must read as empty")
+	}
+	op := reg.Begin("query", "", "x", -1, Context{})
+	if op != nil {
+		t.Fatal("nil registry Begin must return nil op")
+	}
+	op.AddRows(1)
+	op.AddBytes(1)
+	op.SetCredit(1)
+	op.SetWatermark(1)
+	if op.Context().Valid() {
+		t.Fatal("nil op context must be zero")
+	}
+	op.End(nil)
+}
+
+// TestConcurrentTracerAndOps hammers the tracer ring and the ops
+// registry from many goroutines while readers snapshot — the -race
+// tripwire for the sidecar serving /debug/traces and /debug/ops during
+// live traffic.
+func TestConcurrentTracerAndOps(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetEnabled(true)
+	reg := NewOpsRegistry(obs.NewRegistry())
+	reg.SetSlowOpOutput(&bytes.Buffer{})
+	reg.SetSlowOpThreshold(time.Nanosecond)
+
+	const writers = 8
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.StartRoot("op")
+				root.Set(Int("i", int64(i)))
+				child := root.Child("child")
+				op := reg.Begin("query", "t", fmt.Sprintf("ds%d", w%3), int32(w), root.Context())
+				op.AddRows(1)
+				op.SetWatermark(int64(i))
+				tr.Emit(root.Context(), "emit", time.Now(), time.Microsecond, nil, nil)
+				child.End(nil)
+				op.End(nil)
+				root.End(nil)
+			}
+		}(w)
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Spans()
+			_ = tr.Total()
+			_ = reg.Snapshot()
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := len(tr.Spans()); got != 64 {
+		t.Fatalf("ring holds %d spans after hammer, want full cap 64", got)
+	}
+	if left := reg.Snapshot(); len(left) != 0 {
+		t.Fatalf("%d ops leaked after hammer", len(left))
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"nexus/internal/federation"
+	"nexus/internal/obs/trace"
 	"nexus/internal/storage"
 	"nexus/internal/wire"
 )
@@ -148,6 +149,11 @@ func (r *Replicator) loop() {
 // replicator's status (served to the primary's monitor via
 // wire.MsgReplStatus).
 func (r *Replicator) SyncOnce() error {
+	// Each sync round is its own root span when tracing is on — the
+	// provenance trail for "where did this segment come from". Rounds
+	// are background work, so they start fresh traces rather than
+	// joining any client's.
+	sp := trace.Default.StartRoot("repl.sync")
 	err := r.syncOnce()
 	r.mu.Lock()
 	if err != nil {
@@ -164,6 +170,10 @@ func (r *Replicator) SyncOnce() error {
 	metFollowerGen.Set(int64(st.Gen))
 	metPrimaryGen.Set(int64(st.PrimaryGen))
 	metLag.Set(int64(st.PrimaryGen) - int64(st.Gen))
+	sp.Set(trace.String("primary", r.cfg.Primary),
+		trace.Int("gen", int64(st.Gen)),
+		trace.Int("primary_gen", int64(st.PrimaryGen)))
+	sp.End(err)
 	return err
 }
 

@@ -5,22 +5,27 @@ import (
 	"nexus/internal/obs"
 )
 
+// datasetLabelCap bounds per-dataset metric cardinality: a tenant
+// minting thousands of datasets aggregates under "(other)" past it,
+// mirroring the admission gauges' bucket for unconfigured tenants.
+const datasetLabelCap = 512
+
 // Server-layer metrics on the process-wide registry. Per-dataset labels
-// come from client requests, but datasets are created explicitly (Store/
-// Append), so cardinality stays bounded by the catalog. Push-source
+// come from client requests; the cardinality cap keeps a hostile or
+// dataset-happy tenant from bloating /metrics. Push-source
 // subscriptions have no dataset and report under "(push)".
 var (
 	metConns = obs.Default.Gauge("nexus_server_connections",
 		"Connections currently being served (TCP and in-process).")
 	metSubs = obs.Default.GaugeVec("nexus_server_subscriptions",
 		"Active stream subscriptions by replayed dataset (\"(push)\" for push sources).",
-		"dataset")
+		"dataset").Cap(datasetLabelCap)
 	metAppends = obs.Default.CounterVec("nexus_server_appends_total",
-		"Append requests committed, by dataset.", "dataset")
+		"Append requests committed, by dataset.", "dataset").Cap(datasetLabelCap)
 	metAppendRows = obs.Default.CounterVec("nexus_server_append_rows_total",
-		"Rows committed by append requests, by dataset.", "dataset")
+		"Rows committed by append requests, by dataset.", "dataset").Cap(datasetLabelCap)
 	metScans = obs.Default.CounterVec("nexus_server_scans_total",
-		"Scan operators in executed plans, by dataset.", "dataset")
+		"Scan operators in executed plans, by dataset.", "dataset").Cap(datasetLabelCap)
 	metCreditStall = obs.Default.Histogram("nexus_server_credit_stall_seconds",
 		"Time result emission spent blocked waiting for subscriber credit (only waits are observed).",
 		obs.LatencyBuckets())

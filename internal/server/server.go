@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nexus/internal/engines/exec"
+	"nexus/internal/obs/trace"
 	"nexus/internal/provider"
 	"nexus/internal/table"
 	"nexus/internal/wire"
@@ -567,13 +568,17 @@ func (cc *connCtx) handleReplStatus() error {
 }
 
 func (cc *connCtx) handleHello(payload []byte) error {
+	var sp *trace.Span
 	if len(payload) > 0 {
-		tenant, err := wire.DecodeHello(payload)
+		tenant, tc, err := wire.DecodeHelloTrace(payload)
 		if err != nil {
 			return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 		}
 		cc.setTenant(tenant)
+		sp = trace.Default.StartChild(traceCtx(tc), "server.hello")
+		sp.Set(trace.String("tenant", tenant))
 	}
+	defer sp.End(nil)
 	caps := cc.prov.Capabilities()
 	h := wire.HelloInfo{
 		Name:    cc.prov.Name(),
@@ -596,24 +601,44 @@ func (cc *connCtx) handleHello(payload []byte) error {
 }
 
 func (cc *connCtx) handleExecute(payload []byte) error {
-	id, plan, err := wire.DecodeExecute(payload)
+	id, plan, tc, err := wire.DecodeExecuteTrace(payload)
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	sp := trace.Default.StartChild(traceCtx(tc), "server.execute")
+	op := trace.Ops().Begin("query", cc.tenantName(), firstScanDataset(plan), -1, sp.Context())
 	if cc.adm != nil {
-		if r := cc.adm.admitScan(cc.tenantState()); r != nil {
+		admStart := time.Now()
+		r := cc.adm.admitScan(cc.tenantState())
+		if sp != nil {
+			aerr := error(nil)
+			if r != nil {
+				aerr = errors.New(r.msg)
+			}
+			trace.Default.Emit(sp.Context(), "server.admission", admStart, time.Since(admStart), nil, aerr)
+		}
+		if r != nil {
+			op.End(errors.New(r.msg))
+			sp.End(errors.New(r.msg))
 			return cc.refuseFrame(id, r)
 		}
 	}
 	countPlanScans(plan)
-	t, err := cc.prov.Execute(plan)
+	t, err := cc.executeTraced(plan, sp)
 	if err != nil {
+		op.End(err)
+		sp.End(err)
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(id, err.Error()))
 	}
 	if cc.adm != nil {
 		cc.adm.chargeScan(cc.tenantState(), int64(t.NumRows()))
 	}
-	return cc.writeFrame(wire.MsgResult, wire.EncodeResult(id, t))
+	op.AddRows(int64(t.NumRows()))
+	werr := cc.writeFrame(wire.MsgResult, wire.EncodeResult(id, t))
+	op.End(werr)
+	sp.Set(trace.Int("rows", int64(t.NumRows())))
+	sp.End(werr)
+	return werr
 }
 
 // handleExecuteTo executes a plan and pushes the result to a peer server,
@@ -650,20 +675,30 @@ func (cc *connCtx) handleExecuteTo(payload []byte) error {
 // is only written once the rows are committed, so a client that saw it
 // may rely on them surviving a crash of a durable server.
 func (cc *connCtx) handleAppend(payload []byte) error {
-	name, t, err := wire.DecodeStore(payload)
+	name, t, tc, err := wire.DecodeStoreTrace(payload)
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	sp := trace.Default.StartChild(traceCtx(tc), "server.append")
+	sp.Set(trace.String("dataset", name), trace.Int("rows", int64(t.NumRows())))
+	op := trace.Ops().Begin("append", cc.tenantName(), name, -1, sp.Context())
 	if cc.adm != nil {
 		if r := cc.adm.admitAppend(cc.tenantState(), int64(t.NumRows())); r != nil {
+			op.End(errors.New(r.msg))
+			sp.End(errors.New(r.msg))
 			return cc.refuseFrame(0, r)
 		}
 	}
 	if err := provider.Append(cc.prov, name, t); err != nil {
+		op.End(err)
+		sp.End(err)
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
 	metAppends.With(name).Inc()
 	metAppendRows.With(name).Add(int64(t.NumRows()))
+	op.AddRows(int64(t.NumRows()))
+	op.End(nil)
+	sp.End(nil)
 	return cc.writeFrame(wire.MsgAck, wire.EncodeAck(0, int64(t.NumRows()), 0))
 }
 

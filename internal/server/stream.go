@@ -10,6 +10,7 @@ import (
 
 	"nexus/internal/core"
 	"nexus/internal/obs"
+	"nexus/internal/obs/trace"
 	"nexus/internal/schema"
 	"nexus/internal/stream"
 	"nexus/internal/table"
@@ -57,6 +58,13 @@ type subSession struct {
 	// once the subscription is acknowledged, decremented when run ends.
 	subGauge *obs.Gauge
 
+	// sp is the server-side subscription span (nil when the subscribe
+	// carried no trace context); op is the live-ops registry entry.
+	// Both stay open for the life of the subscription and close with
+	// its terminal status.
+	sp *trace.Span
+	op *trace.Op
+
 	// admRelease returns this subscription's quota slot to its tenant
 	// (nil when the host has no admission control). Called exactly once:
 	// by run's defer, or by handleSubscribeStream if run never starts.
@@ -86,7 +94,24 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 	if err != nil {
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(0, err.Error()))
 	}
+	sp := trace.Default.StartChild(traceCtx(sub.Trace), "server.subscribe")
+	part := int32(-1)
+	if sub.PartCnt > 1 {
+		part = int32(sub.PartIdx)
+	}
+	sp.Set(trace.String("dataset", sub.Dataset),
+		trace.Int("partition", int64(part)),
+		trace.String("durable", sub.Durable),
+		trace.Bool("resume", sub.Resume != nil))
+	dsLabel := sub.Dataset
+	if sub.SourceKind == wire.StreamSrcPush {
+		dsLabel = "(push)"
+	}
+	op := trace.Ops().Begin("subscription", cc.tenantName(), dsLabel, part, sp.Context())
+	op.SetCredit(int64(sub.Credit))
 	refuse := func(err error) error {
+		op.End(err)
+		sp.End(err)
 		return cc.writeFrame(wire.MsgError, wire.EncodeError(sub.ID, err.Error()))
 	}
 	cc.mu.Lock()
@@ -96,15 +121,26 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 		return refuse(fmt.Errorf("server: duplicate subscription id %d", sub.ID))
 	}
 
-	s := &subSession{id: sub.ID, cc: cc, done: make(chan struct{}), credit: int64(sub.Credit)}
+	s := &subSession{id: sub.ID, cc: cc, done: make(chan struct{}), credit: int64(sub.Credit), sp: sp, op: op}
 	s.cond = sync.NewCond(&s.mu)
 
 	// Admission: shedding and the tenant's subscription quota are checked
 	// before any pipeline work. The slot is held from here; every exit
 	// that does not hand the subscription to run must give it back.
 	if cc.adm != nil {
+		admStart := time.Now()
 		at := cc.tenantState()
-		if r := cc.adm.admitSubscription(at); r != nil {
+		r := cc.adm.admitSubscription(at)
+		if sp != nil {
+			aerr := error(nil)
+			if r != nil {
+				aerr = errors.New(r.msg)
+			}
+			trace.Default.Emit(sp.Context(), "server.admission", admStart, time.Since(admStart), nil, aerr)
+		}
+		if r != nil {
+			op.End(errors.New(r.msg))
+			sp.End(errors.New(r.msg))
 			return cc.refuseFrame(sub.ID, r)
 		}
 		s.admRelease = func() { cc.adm.releaseSubscription(at) }
@@ -197,6 +233,8 @@ func (cc *connCtx) handleSubscribeStream(payload []byte) error {
 	if err := cc.writeFrame(wire.MsgSubAck, wire.EncodeSubAck(sub.ID, p.OutputSchema())); err != nil {
 		cc.removeSub(sub.ID)
 		cancel()
+		op.End(err)
+		sp.End(err)
 		return err
 	}
 	label := s.dataset
@@ -362,6 +400,17 @@ func (s *subSession) run(ctx context.Context, p *stream.Pipeline, resume *stream
 	default:
 		s.fail(s.cc.writeFrame(wire.MsgStreamEnd, wire.EncodeStreamEnd(s.id, stats)))
 	}
+
+	// Close the live-ops entry and the subscription span with the
+	// terminal status: a vanished subscriber ends the span with
+	// ErrSubscriberGone rather than leaking it open in the ring.
+	terr := s.Err()
+	s.op.End(terr)
+	s.sp.Set(trace.Int("events", stats.Events),
+		trace.Int("windows", stats.Windows),
+		trace.Int("out_rows", stats.OutRows),
+		trace.Bool("detached", mode == wire.CloseDetach))
+	s.sp.End(terr)
 }
 
 // fail records the session's terminal error (first one wins). Gone-
@@ -476,14 +525,28 @@ func (k *subSink) Emit(t *table.Table) error {
 		mark = minInt64
 	}
 	k.seq++
-	if err := s.cc.writeFrame(wire.MsgStreamBatch, wire.EncodeStreamBatch(s.id, k.seq, mark, t)); err != nil {
+	payload := wire.EncodeStreamBatch(s.id, k.seq, mark, t)
+	if err := s.cc.writeFrame(wire.MsgStreamBatch, payload); err != nil {
 		// A result we could not deliver means the subscriber is gone —
 		// whether or not the read loop has noticed the dead connection
 		// yet.
 		return fmt.Errorf("%w: %v", ErrSubscriberGone, err)
 	}
+	s.op.AddRows(int64(t.NumRows()))
+	s.op.AddBytes(int64(len(payload)))
+	s.op.SetCredit(s.creditLeft())
+	if k.haveWM {
+		s.op.SetWatermark(mark)
+	}
 	metEmitSeconds.ObserveSince(emitStart)
 	return nil
+}
+
+// creditLeft reads the subscriber's remaining credit for introspection.
+func (s *subSession) creditLeft() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.credit
 }
 
 // Progress implements stream.ProgressSink: watermark advances reach the
@@ -492,6 +555,7 @@ func (k *subSink) Emit(t *table.Table) error {
 func (k *subSink) Progress(mark int64) error {
 	k.mark = mark
 	k.haveWM = true
+	k.s.op.SetWatermark(mark)
 	if _, gone := k.s.stopping(); gone {
 		return ErrSubscriberGone
 	}

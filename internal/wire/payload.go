@@ -13,21 +13,35 @@ import (
 
 // EncodeExecute builds a MsgExecute payload.
 func EncodeExecute(id uint64, plan core.Node) []byte {
+	return EncodeExecuteTrace(id, plan, TraceCtx{})
+}
+
+// EncodeExecuteTrace is EncodeExecute with a trailing trace-context
+// field (omitted when tc is zero; old servers ignore it).
+func EncodeExecuteTrace(id uint64, plan core.Node, tc TraceCtx) []byte {
 	var e Encoder
 	e.U64(id)
 	PutPlan(&e, plan)
+	PutTraceCtx(&e, tc)
 	return e.Bytes()
 }
 
 // DecodeExecute parses a MsgExecute payload.
 func DecodeExecute(b []byte) (uint64, core.Node, error) {
+	id, plan, _, err := DecodeExecuteTrace(b)
+	return id, plan, err
+}
+
+// DecodeExecuteTrace parses a MsgExecute payload including the
+// optional trace context (zero when the client sent none).
+func DecodeExecuteTrace(b []byte) (uint64, core.Node, TraceCtx, error) {
 	d := NewDecoder(b)
 	id := d.U64()
 	plan, err := GetPlan(d)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, TraceCtx{}, err
 	}
-	return id, plan, nil
+	return id, plan, GetTraceCtx(d), nil
 }
 
 // EncodeResult builds a MsgResult payload.
@@ -65,23 +79,37 @@ func DecodeError(b []byte) (uint64, string, error) {
 	return id, msg, d.Err()
 }
 
-// EncodeStore builds a MsgStore payload.
+// EncodeStore builds a MsgStore (or MsgAppend) payload.
 func EncodeStore(name string, t *table.Table) []byte {
+	return EncodeStoreTrace(name, t, TraceCtx{})
+}
+
+// EncodeStoreTrace is EncodeStore with a trailing trace-context field
+// — the append-path propagation (omitted when tc is zero).
+func EncodeStoreTrace(name string, t *table.Table, tc TraceCtx) []byte {
 	var e Encoder
 	e.Str(name)
 	PutTable(&e, t)
+	PutTraceCtx(&e, tc)
 	return e.Bytes()
 }
 
-// DecodeStore parses a MsgStore payload.
+// DecodeStore parses a MsgStore/MsgAppend payload.
 func DecodeStore(b []byte) (string, *table.Table, error) {
+	name, t, _, err := DecodeStoreTrace(b)
+	return name, t, err
+}
+
+// DecodeStoreTrace parses a MsgStore/MsgAppend payload including the
+// optional trace context.
+func DecodeStoreTrace(b []byte) (string, *table.Table, TraceCtx, error) {
 	d := NewDecoder(b)
 	name := d.Str()
 	t := GetTable(d)
 	if d.Err() != nil {
-		return "", nil, d.Err()
+		return "", nil, TraceCtx{}, d.Err()
 	}
-	return name, t, nil
+	return name, t, GetTraceCtx(d), nil
 }
 
 // EncodeAck builds a MsgAck payload: rows produced and payload bytes
@@ -155,23 +183,39 @@ const (
 // token. An empty payload (what pre-admission clients send) decodes as
 // the anonymous tenant, so old clients keep working unchanged.
 func EncodeHello(tenant string) []byte {
-	if tenant == "" {
+	return EncodeHelloTrace(tenant, TraceCtx{})
+}
+
+// EncodeHelloTrace is EncodeHello with a trailing trace-context field
+// for the handshake span. A traced anonymous hello encodes the empty
+// tenant explicitly — the trace field needs the tenant field in front
+// of it to keep its trailing position.
+func EncodeHelloTrace(tenant string, tc TraceCtx) []byte {
+	if tenant == "" && !tc.Valid() {
 		return nil
 	}
 	var e Encoder
 	e.Str(tenant)
+	PutTraceCtx(&e, tc)
 	return e.Bytes()
 }
 
 // DecodeHello parses a MsgHello payload. Empty payloads are the
 // anonymous tenant.
 func DecodeHello(b []byte) (string, error) {
+	tenant, _, err := DecodeHelloTrace(b)
+	return tenant, err
+}
+
+// DecodeHelloTrace parses a MsgHello payload including the optional
+// trace context.
+func DecodeHelloTrace(b []byte) (string, TraceCtx, error) {
 	if len(b) == 0 {
-		return "", nil
+		return "", TraceCtx{}, nil
 	}
 	d := NewDecoder(b)
 	tenant := d.Str()
-	return tenant, d.Err()
+	return tenant, GetTraceCtx(d), d.Err()
 }
 
 // EncodeRefused builds a MsgRefused payload: the request/subscription id

@@ -74,6 +74,12 @@ type StreamSub struct {
 	// no explicit Resume) picks up from the last checkpoint — this is
 	// how a killed server's hosted streams resume where they left off.
 	Durable string
+
+	// Trace carries the subscriber's trace context (zero = untraced).
+	// It is the LAST encoded field, so peers that predate it ignore it
+	// — and it survives a failover redial, which is what stitches the
+	// replica's spans into the client's original trace.
+	Trace TraceCtx
 }
 
 // EncodeSubscribeStream builds a MsgSubscribeStream payload.
@@ -96,6 +102,7 @@ func EncodeSubscribeStream(s StreamSub) []byte {
 		PutWindowState(&e, s.Resume)
 	}
 	e.Str(s.Durable)
+	PutTraceCtx(&e, s.Trace)
 	return e.Bytes()
 }
 
@@ -124,6 +131,7 @@ func DecodeSubscribeStream(b []byte) (StreamSub, error) {
 		}
 	}
 	s.Durable = d.Str()
+	s.Trace = GetTraceCtx(d)
 	if d.Err() != nil {
 		return s, d.Err()
 	}

@@ -1,0 +1,54 @@
+package wire
+
+// TraceCtx is the compact trace-context field appended to request
+// frames (hello, execute, append, subscribe) so a trace started at a
+// client session follows the request across processes. It is always a
+// TRAILING field: the mux demultiplexer peeks the leading u64 of
+// every payload for routing, and old peers ignore bytes past the
+// fields they know, so absent field = no trace and version skew is
+// harmless in both directions.
+//
+// Encoding: u8 version (1) + 16 trace-id bytes + u64 span id.
+type TraceCtx struct {
+	TraceID [16]byte
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a real trace.
+func (c TraceCtx) Valid() bool { return c.TraceID != [16]byte{} }
+
+// traceCtxVersion tags the field layout; readers skip versions they
+// do not know.
+const traceCtxVersion = 1
+
+// traceCtxLen is the encoded field size.
+const traceCtxLen = 1 + 16 + 8
+
+// PutTraceCtx appends the trace-context field. Invalid (zero)
+// contexts encode nothing — the absent field IS the "no trace"
+// representation.
+func PutTraceCtx(e *Encoder, c TraceCtx) {
+	if !c.Valid() {
+		return
+	}
+	e.U8(traceCtxVersion)
+	e.Raw(c.TraceID[:])
+	e.U64(c.SpanID)
+}
+
+// GetTraceCtx reads an optional trailing trace-context field. No
+// remaining bytes, a short field, or an unknown version all decode as
+// the zero (no-trace) context without failing the decoder — the field
+// is advisory and must never break an otherwise-good frame.
+func GetTraceCtx(d *Decoder) TraceCtx {
+	if d.Err() != nil || d.Remaining() < traceCtxLen {
+		return TraceCtx{}
+	}
+	if d.U8() != traceCtxVersion {
+		return TraceCtx{}
+	}
+	var c TraceCtx
+	copy(c.TraceID[:], d.RawN(16))
+	c.SpanID = d.U64()
+	return c
+}

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/datagen"
+)
+
+func testTraceCtx() TraceCtx {
+	var c TraceCtx
+	for i := range c.TraceID {
+		c.TraceID[i] = byte(i + 1)
+	}
+	c.SpanID = 0xdeadbeefcafe
+	return c
+}
+
+func TestTraceCtxFieldRoundTrip(t *testing.T) {
+	want := testTraceCtx()
+	var e Encoder
+	PutTraceCtx(&e, want)
+	if e.Len() != traceCtxLen {
+		t.Fatalf("encoded %d bytes, want %d", e.Len(), traceCtxLen)
+	}
+	d := NewDecoder(e.Bytes())
+	got := GetTraceCtx(d)
+	if d.Err() != nil || got != want {
+		t.Fatalf("round trip: %+v -> %+v (err %v)", want, got, d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestTraceCtxZeroEncodesNothing(t *testing.T) {
+	var e Encoder
+	PutTraceCtx(&e, TraceCtx{})
+	if e.Len() != 0 {
+		t.Fatalf("zero context encoded %d bytes; absence IS the no-trace form", e.Len())
+	}
+	if (TraceCtx{}).Valid() {
+		t.Fatal("zero context claims validity")
+	}
+	if !testTraceCtx().Valid() {
+		t.Fatal("non-zero context claims invalidity")
+	}
+}
+
+// TestTraceCtxAdvisoryDecode: the field is advisory — absent, short,
+// or unknown-version bytes decode as "no trace" without failing the
+// decoder. This is the property that makes trace context safe to bolt
+// onto existing frames: an old peer's frame (no field) and a future
+// peer's frame (unknown version) are both fine.
+func TestTraceCtxAdvisoryDecode(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"absent", nil},
+		{"short", []byte{traceCtxVersion, 1, 2, 3}},
+		{"unknown version", func() []byte {
+			var e Encoder
+			PutTraceCtx(&e, testTraceCtx())
+			b := e.Bytes()
+			b[0] = 99
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		d := NewDecoder(tc.buf)
+		if got := GetTraceCtx(d); got.Valid() {
+			t.Fatalf("%s: decoded a trace from garbage: %+v", tc.name, got)
+		}
+		if d.Err() != nil {
+			t.Fatalf("%s: advisory field failed the decoder: %v", tc.name, d.Err())
+		}
+	}
+}
+
+func TestHelloTraceVersionTolerance(t *testing.T) {
+	want := testTraceCtx()
+
+	// New peer -> new peer: tenant and trace both survive.
+	tenant, tc, err := DecodeHelloTrace(EncodeHelloTrace("acme", want))
+	if err != nil || tenant != "acme" || tc != want {
+		t.Fatalf("traced hello round trip: %q %+v %v", tenant, tc, err)
+	}
+
+	// Old frame -> new peer: no field decodes as no trace.
+	tenant, tc, err = DecodeHelloTrace(EncodeHello("acme"))
+	if err != nil || tenant != "acme" || tc.Valid() {
+		t.Fatalf("legacy hello through new decoder: %q %+v %v", tenant, tc, err)
+	}
+
+	// New frame -> old peer: the legacy decoder ignores the trailer.
+	tenant, err = DecodeHello(EncodeHelloTrace("acme", want))
+	if err != nil || tenant != "acme" {
+		t.Fatalf("traced hello through legacy decoder: %q %v", tenant, err)
+	}
+
+	// The empty hello (no payload at all) still decodes.
+	if tenant, tc, err = DecodeHelloTrace(nil); err != nil || tenant != "" || tc.Valid() {
+		t.Fatalf("empty hello: %q %+v %v", tenant, tc, err)
+	}
+}
+
+func TestExecuteTraceVersionTolerance(t *testing.T) {
+	sc, err := core.NewScan("sales", datagen.SalesSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testTraceCtx()
+
+	id, plan, tc, err := DecodeExecuteTrace(EncodeExecuteTrace(7, sc, want))
+	if err != nil || id != 7 || plan == nil || tc != want {
+		t.Fatalf("traced execute round trip: id=%d plan=%v tc=%+v err=%v", id, plan, tc, err)
+	}
+
+	id, plan, tc, err = DecodeExecuteTrace(EncodeExecute(7, sc))
+	if err != nil || id != 7 || plan == nil || tc.Valid() {
+		t.Fatalf("legacy execute through new decoder: id=%d tc=%+v err=%v", id, tc, err)
+	}
+
+	id, plan, err = DecodeExecute(EncodeExecuteTrace(7, sc, want))
+	if err != nil || id != 7 || plan == nil {
+		t.Fatalf("traced execute through legacy decoder: id=%d err=%v", id, err)
+	}
+}
+
+func TestStoreTraceVersionTolerance(t *testing.T) {
+	tbl := datagen.Sales(1, 8, 4, 2)
+	want := testTraceCtx()
+
+	name, got, tc, err := DecodeStoreTrace(EncodeStoreTrace("sales", tbl, want))
+	if err != nil || name != "sales" || got.NumRows() != tbl.NumRows() || tc != want {
+		t.Fatalf("traced store round trip: %q rows=%d tc=%+v err=%v", name, got.NumRows(), tc, err)
+	}
+
+	name, got, tc, err = DecodeStoreTrace(EncodeStore("sales", tbl))
+	if err != nil || name != "sales" || got.NumRows() != tbl.NumRows() || tc.Valid() {
+		t.Fatalf("legacy store through new decoder: %q tc=%+v err=%v", name, tc, err)
+	}
+
+	name, got, err = DecodeStore(EncodeStoreTrace("sales", tbl, want))
+	if err != nil || name != "sales" || got.NumRows() != tbl.NumRows() {
+		t.Fatalf("traced store through legacy decoder: %q err=%v", name, err)
+	}
+}
+
+func TestSubscribeStreamCarriesTrace(t *testing.T) {
+	sch := testEventSchema()
+	sub := StreamSub{
+		ID:         3,
+		SourceKind: StreamSrcDataset,
+		Dataset:    "events",
+		TimeCol:    "ts",
+		Spec:       streamSpecForTest(t, sch),
+		Credit:     4,
+		Durable:    "job",
+		Trace:      testTraceCtx(),
+	}
+	got, err := DecodeSubscribeStream(EncodeSubscribeStream(sub))
+	if err != nil || got.Trace != sub.Trace {
+		t.Fatalf("subscribe trace round trip: %+v %v", got.Trace, err)
+	}
+	reencodeSub(t, sub)
+
+	sub.Trace = TraceCtx{}
+	got, err = DecodeSubscribeStream(EncodeSubscribeStream(sub))
+	if err != nil || got.Trace.Valid() {
+		t.Fatalf("untraced subscribe grew a trace: %+v %v", got.Trace, err)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"nexus/internal/core"
 	"nexus/internal/engines/exec"
 	"nexus/internal/federation"
+	"nexus/internal/obs/trace"
 	"nexus/internal/planner"
 	"nexus/internal/schema"
+	"nexus/internal/server"
 	"nexus/internal/table"
 	"nexus/internal/value"
 	"nexus/internal/wire"
@@ -31,9 +33,10 @@ func decodeSchema(b []byte) (schema.Schema, error) {
 // algebra. Every method returns a new Query; the first construction error
 // sticks and is reported by Collect, so chains need a single check.
 type Query struct {
-	s    *Session
-	node core.Node
-	err  error
+	s      *Session
+	node   core.Node
+	err    error
+	traced bool
 }
 
 func (q *Query) derive(n core.Node, err error) *Query {
@@ -41,9 +44,22 @@ func (q *Query) derive(n core.Node, err error) *Query {
 		return q
 	}
 	if err != nil {
-		return &Query{s: q.s, err: err}
+		return &Query{s: q.s, err: err, traced: q.traced}
 	}
-	return &Query{s: q.s, node: n}
+	return &Query{s: q.s, node: n, traced: q.traced}
+}
+
+// Trace marks the query for end-to-end distributed tracing: Collect
+// opens a span — under the session's trace when a connection was made
+// with ConnectOptions.Trace, else a fresh root — and propagates its
+// context to every server a fragment runs on, so admission, exec
+// kernels and storage scans there join this query's trace. The trace
+// id is reported by Metrics.TraceID (CollectWithMetrics) and at each
+// node's /debug/traces endpoint.
+func (q *Query) Trace() *Query {
+	nq := *q
+	nq.traced = true
+	return &nq
 }
 
 // Err returns the first construction error, if any.
@@ -476,22 +492,45 @@ func (q *Query) CollectWithMetrics() (*Table, *Metrics, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// A traced query gets a span under the session trace (or a fresh
+	// root), whose context rides on every fragment request.
+	var sp *trace.Span
+	if q.traced {
+		if q.s.root != nil {
+			sp = q.s.root.Child("query")
+		} else {
+			sp = trace.Default.NewRoot("query")
+		}
+	}
 	// Single local fragment: skip the coordinator (and its wire codec
 	// round trip) entirely.
 	if len(pp.Fragments) == 1 {
 		frag := pp.Root()
 		if p, ok := q.s.reg.Get(frag.Provider); ok {
 			if _, isRemote := p.(*remoteProvider); !isRemote {
-				t, err := p.Execute(frag.Plan)
+				var t *table.Table
+				if te, ok := p.(tracedExecutor); ok && sp != nil {
+					// Trace the local execution the same way a server
+					// traces a remote one: per-operator exec spans.
+					tr := exec.NewTrace()
+					start := time.Now()
+					t, err = te.ExecuteTraced(frag.Plan, tr)
+					server.EmitPlanSpans(sp.Context(), frag.Plan, tr, start)
+				} else {
+					t, err = p.Execute(frag.Plan)
+				}
+				sp.Set(trace.String("provider", frag.Provider))
+				sp.End(err)
 				if err != nil {
 					return nil, nil, err
 				}
-				return wrapTable(t), &Metrics{Fragments: 1}, nil
+				return wrapTable(t), &Metrics{Fragments: 1, Trace: toWireTrace(sp.Context())}, nil
 			}
 		}
 	}
 	coord := federation.NewCoordinator(q.s.transports...)
-	t, m, err := coord.Run(pp, q.s.mode)
+	t, m, err := coord.RunTraced(pp, q.s.mode, toWireTrace(sp.Context()))
+	sp.End(err)
 	if err != nil {
 		return nil, m, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nexus/internal/federation"
+	"nexus/internal/obs/trace"
 	"nexus/internal/stream"
 	"nexus/internal/table"
 	"nexus/internal/wire"
@@ -95,10 +96,28 @@ type RemoteStream struct {
 	// exited on cancellation), so Detach can never deadlock.
 	doDetach func()
 
+	sp *trace.Span // stream span; nil untraced
+
 	mu     sync.Mutex
 	stats  *StreamStats
 	tokens []ResumeToken
 	err    error
+}
+
+// TraceID returns the stream's trace id as lowercase hex ("" when the
+// query was not marked with Trace).
+func (r *RemoteStream) TraceID() string {
+	if r.sp == nil {
+		return ""
+	}
+	return r.sp.TraceID().String()
+}
+
+// terminalErr returns the stream's terminal error so far.
+func (r *RemoteStream) terminalErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 // Wait blocks until the stream completes and returns its summed stats.
@@ -189,6 +208,19 @@ func (q *StreamQuery) SubscribeRemoteDetachable(ctx context.Context, providers [
 		}
 	}
 
+	// A traced stream gets a span covering its whole life; each
+	// partition's subscribe carries its context so every server's
+	// subscription spans parent here.
+	var tsp *trace.Span
+	if q.traced {
+		if q.s.root != nil {
+			tsp = q.s.root.Child("stream")
+		} else {
+			tsp = trace.Default.NewRoot("stream")
+		}
+		tsp.Set(trace.Int("partitions", int64(n)))
+	}
+
 	// Open one subscription per provider.
 	subs := make([]*federation.Subscription, 0, n)
 	closeAll := func() {
@@ -203,7 +235,7 @@ func (q *StreamQuery) SubscribeRemoteDetachable(ctx context.Context, providers [
 			closeAll()
 			return nil, err
 		}
-		sub := wire.StreamSub{Spec: sp, PartIdx: uint32(i), PartCnt: uint32(n)}
+		sub := wire.StreamSub{Spec: sp, PartIdx: uint32(i), PartCnt: uint32(n), Trace: toWireTrace(tsp.Context())}
 		if n > 1 {
 			sub.PartKey = q.partKey
 		}
@@ -234,7 +266,7 @@ func (q *StreamQuery) SubscribeRemoteDetachable(ctx context.Context, providers [
 		subs = append(subs, s)
 	}
 
-	rs := &RemoteStream{detachCh: make(chan struct{}), done: make(chan struct{})}
+	rs := &RemoteStream{detachCh: make(chan struct{}), done: make(chan struct{}), sp: tsp}
 
 	// Push-mode queries need a publisher moving local events upstream.
 	var wg sync.WaitGroup
@@ -285,6 +317,9 @@ func (q *StreamQuery) SubscribeRemoteDetachable(ctx context.Context, providers [
 	go func() {
 		defer close(watchDone)
 		defer close(rs.done)
+		// The stream span ends with the stream; every finish path below
+		// sets the terminal error before this goroutine returns.
+		defer func() { tsp.End(rs.terminalErr()) }()
 
 		emit := func(t *table.Table) error { return fn(wrapTable(t)) }
 		var stats stream.Stats

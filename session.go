@@ -13,6 +13,7 @@ import (
 	"nexus/internal/engines/relational"
 	"nexus/internal/federation"
 	"nexus/internal/lang"
+	"nexus/internal/obs/trace"
 	"nexus/internal/planner"
 	"nexus/internal/provider"
 	"nexus/internal/schema"
@@ -71,6 +72,7 @@ type Session struct {
 	transports []federation.Transport
 	opts       planner.Options
 	mode       ShipMode
+	root       *trace.Span // session trace root; nil until traced (see tracing.go)
 }
 
 // NewSession returns an empty session with all optimizations enabled and
@@ -205,6 +207,12 @@ type ConnectOptions struct {
 	// (zero keeps the defaults; see federation.DialOpts).
 	ConnectTimeout time.Duration
 	RequestTimeout time.Duration
+	// Trace puts the connection under the session's trace: the dial and
+	// hello handshake record client spans, the server parents its
+	// handshake span there, and Session.TraceID reports the id to look
+	// up at /debug/traces. Queries and subscriptions marked with Trace
+	// join the same session trace.
+	Trace bool
 }
 
 // Connect attaches a remote nexus server as a provider with explicit
@@ -215,6 +223,9 @@ func (s *Session) Connect(addr string, o ConnectOptions) (string, error) {
 		ConnectTimeout: o.ConnectTimeout,
 		RequestTimeout: o.RequestTimeout,
 		Tenant:         o.Tenant,
+	}
+	if o.Trace {
+		opts.Trace = toWireTrace(s.traceRoot().Context())
 	}
 	var tr remoteTransport
 	var err error
@@ -245,6 +256,10 @@ func (s *Session) Close() {
 		}
 	}
 	s.transports = nil
+	// The session root span records on close — until then only its
+	// finished children sit in the trace ring.
+	s.root.End(nil)
+	s.root = nil
 }
 
 // Store uploads a table to the named provider as a dataset.

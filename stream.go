@@ -143,6 +143,21 @@ type StreamQuery struct {
 	// per-partition resume tokens (ResumeFrom).
 	durable string
 	resume  []ResumeToken
+	// traced marks the subscription for end-to-end tracing (Trace).
+	traced bool
+}
+
+// Trace marks the subscription for end-to-end distributed tracing:
+// SubscribeRemote opens a span — under the session's trace when a
+// connection was made with ConnectOptions.Trace, else a fresh root —
+// and every partition's subscribe carries its context, so server-side
+// admission, window evaluation and (for failover subscriptions) the
+// redial onto a replica all join this stream's trace. The trace id is
+// reported by RemoteStream.TraceID and at /debug/traces on each node.
+func (q *StreamQuery) Trace() *StreamQuery {
+	nq := *q
+	nq.traced = true
+	return &nq
 }
 
 // Err returns the first construction error, if any.

@@ -1,0 +1,40 @@
+package nexus
+
+import (
+	"nexus/internal/obs/trace"
+	"nexus/internal/wire"
+)
+
+// End-to-end tracing at the public API: a Session opened with
+// ConnectOptions.Trace (or a Query/StreamQuery marked with Trace)
+// records client spans into the process tracer and propagates the
+// trace context to every server the work touches, so one trace id
+// follows the request through the mux handshake, server admission,
+// exec kernels, storage scans, partition fan-out and — for failover
+// subscriptions — the redial onto a replica. Inspect the assembled
+// trace at each node's /debug/traces sidecar endpoint.
+
+// toWireTrace converts a tracer context to its wire form.
+func toWireTrace(c trace.Context) wire.TraceCtx {
+	return wire.TraceCtx{TraceID: [16]byte(c.TraceID), SpanID: uint64(c.SpanID)}
+}
+
+// traceRoot lazily opens the session's root span. Everything traced
+// through this session — connects, queries, subscriptions — parents
+// under it, so the whole session shares one trace id.
+func (s *Session) traceRoot() *trace.Span {
+	if s.root == nil {
+		s.root = trace.Default.NewRoot("session")
+	}
+	return s.root
+}
+
+// TraceID returns the session's trace id as lowercase hex, "" when
+// nothing traced through this session yet. Paste it into a node's
+// /debug/traces?trace= endpoint to see the session's spans there.
+func (s *Session) TraceID() string {
+	if s.root == nil {
+		return ""
+	}
+	return s.root.TraceID().String()
+}
