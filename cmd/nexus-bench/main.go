@@ -9,7 +9,7 @@
 //	nexus-bench -quick           # smaller sizes (CI-friendly)
 //	nexus-bench -tcp             # E4 over real TCP loopback servers
 //	nexus-bench -micro           # kernel micro-benchmarks -> BENCH_2.json
-//	nexus-bench -storage         # cold/warm/projected/pruned/compacted scans -> BENCH_5.json
+//	nexus-bench -storage         # cold/warm/projected/pruned/encoded scans -> BENCH_10.json
 //	nexus-bench -load            # concurrent mixed-workload tail-latency run -> BENCH_6.json
 //	nexus-bench -failover        # SIGKILL-the-primary failover gap benchmark -> BENCH_7.json
 //	nexus-bench -load-mux        # multiplexed front door: conns vs subs vs tail latency -> BENCH_8.json
@@ -41,7 +41,7 @@ func main() {
 	failoverIters := flag.Int("failover-iters", 10, "kill-and-recover iterations for -failover")
 	failoverRows := flag.Int("failover-rows", 10000, "event rows per -failover iteration")
 	failoverPrimary := flag.String("failover-primary", "", "internal: run as the -failover benchmark's killable primary on this data dir")
-	benchOut := flag.String("bench-out", "", "output path for -micro (default BENCH_2.json) / -storage (default BENCH_5.json) / -load (default BENCH_6.json) results")
+	benchOut := flag.String("bench-out", "", "output path for -micro (default BENCH_2.json) / -storage (default BENCH_10.json) / -load (default BENCH_6.json) results")
 	baseline := flag.String("baseline", "", "previous -micro report to compute speedups against")
 	flag.Parse()
 
@@ -86,7 +86,7 @@ func main() {
 	if *storageBench {
 		out := *benchOut
 		if out == "" {
-			out = "BENCH_5.json"
+			out = "BENCH_10.json"
 		}
 		if err := runStorageBench(out, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "storage benchmarks FAILED: %v\n", err)

@@ -50,12 +50,14 @@ type StorageExtras struct {
 	SegmentsScanned     int64   `json:"segments_scanned"`
 }
 
-// StorageReport is the BENCH_5.json shape: timings plus the extras.
+// StorageReport is the BENCH_10.json shape (formerly BENCH_5): timings
+// plus the storage and encoded-execution extras.
 type StorageReport struct {
 	GeneratedAt string        `json:"generated_at"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
 	Benchmarks  []MicroResult `json:"benchmarks"`
 	Storage     StorageExtras `json:"storage"`
+	Encoded     EncodedExtras `json:"encoded"`
 }
 
 func runStorageBench(path string, quick bool) error {
@@ -227,6 +229,18 @@ func runStorageBench(path string, quick bool) error {
 	}
 	extras.PrunedNsPostCompact = postPruned.NsPerOp
 
+	// Encoded execution over the compacted, clustered store: the
+	// selective pruned+projected query and the grouped aggregate, cold
+	// with the encoded kernels vs cold decoding vs warm RAM, then the
+	// per-encoding filter kernels in isolation.
+	encoded, err := runEncodedExec(eng, sales.Schema(), rows, quick, add)
+	if err != nil {
+		return err
+	}
+	if encoded.FilterKernelSpeedup, err = filterKernels(quick, add); err != nil {
+		return err
+	}
+
 	// Durable append+fsync throughput: one group-committed WAL append
 	// per op.
 	batch := shuffled.Slice(0, 1000)
@@ -260,6 +274,7 @@ func runStorageBench(path string, quick bool) error {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Benchmarks:  results,
 		Storage:     extras,
+		Encoded:     encoded,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

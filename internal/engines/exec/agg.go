@@ -62,6 +62,44 @@ func (a *Accumulator) Add(v value.Value) {
 	}
 }
 
+// AddN folds the same value n times — exactly equivalent to n sequential
+// Add calls. Run-length encoded inputs fold whole runs through it in
+// O(1) per run: count(*)-style counts and integer sums collapse to one
+// multiply, min/max and count-distinct to a single Add. Float sums are
+// the exception and loop n scalar additions: float addition is not
+// associative, and an encoded fold must stay bit-identical to the
+// row-at-a-time path it replaces.
+func (a *Accumulator) AddN(v value.Value, n int) {
+	if n <= 0 || v.IsNull() {
+		return
+	}
+	switch a.fn {
+	case core.AggCount:
+		a.count += int64(n)
+	case core.AggCountDistinct, core.AggMin, core.AggMax:
+		a.Add(v)
+	case core.AggSum, core.AggAvg:
+		a.count += int64(n)
+		switch v.Kind() {
+		case value.KindInt64:
+			a.sumInt += v.Int() * int64(n)
+		case value.KindFloat64:
+			a.isFloat = true
+			f := v.Float()
+			for i := 0; i < n; i++ {
+				a.sumFloat += f
+			}
+		}
+	}
+}
+
+// AddRows counts n rows regardless of value — the count(*) feed, where
+// a row's existence is what is counted (groupAggregate's nil-column
+// fold does the same count++ per row).
+func (a *Accumulator) AddRows(n int) {
+	a.count += int64(n)
+}
+
 // Result returns the aggregate value, coerced to the statically inferred
 // kind.
 func (a *Accumulator) Result(want value.Kind) value.Value {

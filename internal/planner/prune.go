@@ -62,6 +62,47 @@ func ScanPreds(e expr.Expr) []ScanPred {
 	return out
 }
 
+// ExactConjuncts is the strict sibling of ScanPreds: it succeeds only
+// when the predicate is nothing but an AND-tree of column-vs-constant
+// comparisons, i.e. when the returned conjuncts are not merely implied
+// by the predicate but equivalent to it. Encoded execution needs the
+// distinction — a storage engine may evaluate an exact conjunction
+// directly over encoded pages and skip the generic filter entirely,
+// whereas an inexact extraction still requires the residual predicate
+// to run downstream.
+func ExactConjuncts(e expr.Expr) ([]ScanPred, bool) {
+	b, ok := e.(*expr.Bin)
+	if !ok {
+		return nil, false
+	}
+	if b.Op == value.OpAnd {
+		l, okL := ExactConjuncts(b.L)
+		if !okL {
+			return nil, false
+		}
+		r, okR := ExactConjuncts(b.R)
+		if !okR {
+			return nil, false
+		}
+		return append(l, r...), true
+	}
+	if !b.Op.Comparison() {
+		return nil, false
+	}
+	if col, okL := b.L.(*expr.Col); okL {
+		if c, okR := b.R.(*expr.Const); okR {
+			return []ScanPred{{Col: col.Name, Op: b.Op, Val: c.Val}}, true
+		}
+		return nil, false
+	}
+	if c, okL := b.L.(*expr.Const); okL {
+		if col, okR := b.R.(*expr.Col); okR {
+			return []ScanPred{{Col: col.Name, Op: flipCmp(b.Op), Val: c.Val}}, true
+		}
+	}
+	return nil, false
+}
+
 // ScanAccess describes how a storage engine may serve a plan fragment
 // straight from its files: which scan feeds it, which columns of the
 // scanned dataset must actually be read (segment-level column
@@ -79,6 +120,13 @@ type ScanAccess struct {
 	// fragment's filters, so a segment failing any of them under its
 	// zone maps holds no useful rows.
 	Preds []ScanPred
+	// Exact reports that Preds is not merely implied by the fragment's
+	// filters but equivalent to them: every filter predicate was an
+	// AND-tree of column-vs-constant comparisons, all captured. An
+	// engine may then treat "row passes every pred" as the complete
+	// filter decision (e.g. aggregate encoded pages directly) instead
+	// of only using Preds to discard rows ahead of a re-run.
+	Exact bool
 }
 
 // AnalyzeScanAccess matches the narrow plan shapes a column store can
@@ -96,11 +144,17 @@ func AnalyzeScanAccess(n core.Node) (ScanAccess, bool) {
 		need[name] = true
 	}
 	var acc ScanAccess
+	acc.Exact = true
 	cur := n
 	for {
 		switch x := cur.(type) {
 		case *core.Filter:
-			acc.Preds = append(acc.Preds, ScanPreds(x.Pred)...)
+			if preds, exact := ExactConjuncts(x.Pred); exact {
+				acc.Preds = append(acc.Preds, preds...)
+			} else {
+				acc.Preds = append(acc.Preds, ScanPreds(x.Pred)...)
+				acc.Exact = false
+			}
 			addCols(need, x.Pred)
 			cur = x.Children()[0]
 		case *core.Project:
@@ -118,6 +172,92 @@ func AnalyzeScanAccess(n core.Node) (ScanAccess, bool) {
 			return acc, true
 		default:
 			return ScanAccess{}, false
+		}
+	}
+}
+
+// AggAccess describes a grouped aggregation a storage engine may run
+// directly over encoded segment pages: a GroupAgg whose input is a
+// Filter/Project stack over one scan, whose filters are an exact
+// conjunction of column-vs-constant comparisons, and whose aggregate
+// arguments are plain column references. Cols is always populated (the
+// aggregation touches only keys, arguments and predicate columns —
+// never the whole row).
+type AggAccess struct {
+	ScanAccess
+	// Keys are the group-by columns, in GroupAgg order.
+	Keys []string
+	// Aggs are the aggregate specs; each Arg is nil (count(*)) or a
+	// column reference into the scan schema.
+	Aggs []core.AggSpec
+	// Args holds, per aggregate, the referenced column's name ("" for
+	// count(*)) — resolved here so the engine needs no expression
+	// inspection of its own.
+	Args []string
+}
+
+// AnalyzeAggAccess matches the plan shape the encoded group-aggregate
+// kernel can serve. ok=false means some part of the fragment needs the
+// generic runtime: a non-exact filter (its residual must re-run over
+// materialized rows), a computed aggregate argument, or an unexpected
+// operator in the stack.
+func AnalyzeAggAccess(n core.Node) (AggAccess, bool) {
+	g, ok := n.(*core.GroupAgg)
+	if !ok {
+		return AggAccess{}, false
+	}
+	var acc AggAccess
+	acc.Exact = true
+	acc.Keys = g.Keys
+	acc.Aggs = g.Aggs
+	need := map[string]bool{}
+	for _, k := range g.Keys {
+		need[k] = true
+	}
+	acc.Args = make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		if a.Arg == nil {
+			continue // count(*)
+		}
+		c, ok := a.Arg.(*expr.Col)
+		if !ok {
+			return AggAccess{}, false
+		}
+		acc.Args[i] = c.Name
+		need[c.Name] = true
+	}
+	cur := g.Children()[0]
+	for {
+		switch x := cur.(type) {
+		case *core.Filter:
+			preds, exact := ExactConjuncts(x.Pred)
+			if !exact {
+				return AggAccess{}, false
+			}
+			acc.Preds = append(acc.Preds, preds...)
+			addCols(need, x.Pred)
+			cur = x.Children()[0]
+		case *core.Project:
+			cur = x.Children()[0]
+		case *core.Scan:
+			acc.Scan = x
+			sch := x.Schema()
+			if len(need) == 0 {
+				// Pure count(*) with no filters still needs row counts;
+				// the cheapest honest source is one column.
+				need[sch.At(0).Name] = true
+			}
+			for i := 0; i < sch.Len(); i++ {
+				if name := sch.At(i).Name; need[name] {
+					acc.Cols = append(acc.Cols, name)
+				}
+			}
+			if len(acc.Cols) != len(need) {
+				return AggAccess{}, false // something referenced outside the scan
+			}
+			return acc, true
+		default:
+			return AggAccess{}, false
 		}
 	}
 }

@@ -1,12 +1,15 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"nexus/internal/schema"
 	"nexus/internal/table"
 )
 
@@ -138,10 +141,29 @@ func (s *Store) Compact(opts CompactOptions) (CompactStats, error) {
 	return stats, nil
 }
 
-// compactDataset merges one dataset's small segments. Returns how many
-// input segments were replaced (0 = nothing to do or lost a benign
-// race), how many merged segments were written in their place, and the
-// input/output file bytes.
+// cand is one compaction input segment and its file size.
+type cand struct {
+	ref  SegmentRef
+	size int64
+}
+
+// compactDataset merges one dataset's small segments under a leveled,
+// size-tiered policy. When every live segment is below the size target,
+// the dataset is rewritten whole — one merge group — which is also the
+// only moment the shared dictionaries may be rebuilt (codes reassigned
+// compactly in the new sort order, epoch bumped). Once target-sized
+// segments exist, sustained ingest keeps spraying small flush segments
+// next to them; those are grouped into size tiers (tier k holds files in
+// [target/4^(k+1), target/4^k)) and each tier merges independently, so a
+// fresh 100KB segment is never re-merged with a 3MB one just to reach
+// the target — the 100KB tier rolls up into the 400KB tier, that one
+// into the 1.6MB tier, and so on. Each merge costs I/O proportional to
+// its tier, which keeps total write amplification logarithmic under
+// sustained ingest while clustering (and the shared dictionary) survive.
+//
+// Returns how many input segments were replaced (0 = nothing to do or
+// lost a benign race), how many merged segments were written in their
+// place, and the input/output file bytes.
 func (s *Store) compactDataset(name string, opts CompactOptions) (merged, created int, bytesIn, bytesOut int64, err error) {
 	s.mu.RLock()
 	if s.closed {
@@ -155,21 +177,67 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 		return 0, 0, 0, 0, nil
 	}
 
-	// Candidates: live segments below the size target.
-	type cand struct {
-		ref  SegmentRef
-		size int64
-	}
+	target := opts.targetBytes()
+	allSmall := true
 	var cands []cand
 	for _, ref := range refs {
 		fi, err := os.Stat(filepath.Join(s.dir, ref.File))
 		if err != nil {
 			return 0, 0, 0, 0, nil // raced a concurrent swap; try next pass
 		}
-		if fi.Size() < opts.targetBytes() {
-			cands = append(cands, cand{ref: ref, size: fi.Size()})
+		if fi.Size() >= target {
+			allSmall = false
+			continue
+		}
+		cands = append(cands, cand{ref: ref, size: fi.Size()})
+	}
+
+	var groups [][]cand
+	if allSmall {
+		groups = [][]cand{cands} // whole-dataset rewrite, dicts may rebuild
+	} else {
+		// Size tiers, deepest (smallest files) first so one pass can roll
+		// a tier up and the next pass continues from there.
+		tierOf := func(size int64) int {
+			t, bound := 0, target/4
+			for t < 7 && size < bound {
+				bound /= 4
+				t++
+			}
+			return t
+		}
+		byTier := map[int][]cand{}
+		for _, c := range cands {
+			k := tierOf(c.size)
+			byTier[k] = append(byTier[k], c)
+		}
+		for k := 7; k >= 0; k-- {
+			if g := byTier[k]; len(g) > 0 {
+				groups = append(groups, g)
+			}
 		}
 	}
+
+	for _, g := range groups {
+		gm, gc, gin, gout, err := s.compactGroup(name, sch, g, opts, allSmall)
+		if err != nil {
+			return merged, created, bytesIn, bytesOut, err
+		}
+		merged += gm
+		created += gc
+		bytesIn += gin
+		bytesOut += gout
+	}
+	return merged, created, bytesIn, bytesOut, nil
+}
+
+// compactGroup merges one group of a dataset's segments and commits the
+// swap. rebuild marks a whole-dataset rewrite: the shared dictionaries
+// are rebuilt from scratch (fresh codes in the new sort order) under
+// bumped epochs, and the commit insists the group still covers every
+// live segment — otherwise codes from the surviving old segments would
+// dangle.
+func (s *Store) compactGroup(name string, sch schema.Schema, cands []cand, opts CompactOptions, rebuild bool) (merged, created int, bytesIn, bytesOut int64, err error) {
 	for _, c := range cands {
 		bytesIn += c.size
 	}
@@ -187,14 +255,35 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 		return 0, 0, 0, 0, nil
 	}
 
+	// Resolve the dictionaries the inputs decode through and the set the
+	// outputs encode against. A partial (tiered) merge must not touch the
+	// dictionary — uncovered values simply fall back to private
+	// encodings — while a whole-dataset rewrite starts fresh dictionaries
+	// whose epochs supersede the old ones.
+	s.mu.RLock()
+	oldDicts := s.dictsLocked(name)
+	s.mu.RUnlock()
+	outDicts := oldDicts
+	grow := false
+	if rebuild {
+		outDicts = DictSet{}
+		for col, d := range oldDicts {
+			outDicts[col] = &SharedDict{Col: col, Epoch: d.Epoch + 1}
+		}
+		grow = true
+	}
+
 	// Merge and sort outside the lock — segments are immutable, so the
 	// reads need no coordination with writers. Inputs are read WITHOUT
 	// populating the decoded-segment cache: a background pass over a
 	// never-queried dataset must not pin the whole dataset in RAM.
 	parts := make([]*table.Table, 0, len(cands))
 	for _, c := range cands {
-		t, err := s.readSegmentUncached(c.ref)
+		t, err := s.readSegmentUncached(name, c.ref)
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) || isStaleDict(err) {
+				return 0, 0, 0, 0, nil // raced a concurrent swap; try next pass
+			}
 			return 0, 0, 0, 0, err
 		}
 		parts = append(parts, t)
@@ -245,7 +334,7 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 		file := segName(s.nextSeg)
 		s.nextSeg++
 		s.mu.Unlock()
-		meta, err := WriteSegmentFile(s.dir, file, chunk)
+		meta, err := WriteSegmentFileDict(s.dir, file, chunk, outDicts, grow)
 		if err != nil {
 			removeOuts()
 			return 0, 0, 0, 0, err
@@ -294,6 +383,32 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 			return 0, 0, 0, 0, nil
 		}
 	}
+	if rebuild {
+		// A dictionary rebuild is only sound as a whole-dataset rewrite:
+		// every live segment must be among the inputs, or the survivors'
+		// codes would reference the dictionary being thrown away. A Flush
+		// that slipped in a new segment (or grew the dictionary) since the
+		// snapshot aborts the rebuild; the next pass retries.
+		if len(liveSet) != len(candSet) {
+			removeOuts()
+			return 0, 0, 0, 0, nil
+		}
+		cur := s.dictsLocked(name)
+		stale := len(cur) != len(oldDicts)
+		if !stale {
+			for col, d := range oldDicts {
+				c, ok := cur[col]
+				if !ok || c.Epoch != d.Epoch || len(c.Vals) != len(d.Vals) {
+					stale = true
+					break
+				}
+			}
+		}
+		if stale {
+			removeOuts()
+			return 0, 0, 0, 0, nil
+		}
+	}
 
 	var newRefs []SegmentRef
 	inserted := false
@@ -312,11 +427,18 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 	next := &Manifest{Gen: s.man.Gen + 1, WalGen: s.man.WalGen, NextSeg: s.nextSeg}
 	for _, dm := range s.man.Datasets {
 		cp := DatasetManifest{Name: dm.Name, Schema: dm.Schema, OrderEpoch: dm.OrderEpoch}
+		cp.Dicts = append([]*SharedDict(nil), dm.Dicts...)
 		if dm.Name == name {
 			cp.Segments = newRefs
 			// The clustering sort rewrote the dataset's row order: stale
 			// row-offset resume tokens must stop matching.
 			cp.OrderEpoch++
+			if rebuild {
+				// The rebuilt dictionaries (fresh codes, bumped epochs)
+				// replace the old set in the same generation as the
+				// segments written against them.
+				cp.setDicts(outDicts)
+			}
 		} else {
 			cp.Segments = append([]SegmentRef(nil), dm.Segments...)
 		}
@@ -340,6 +462,11 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 				delete(s.segs, k)
 			}
 		}
+		for k := range s.encs {
+			if strings.HasPrefix(k, c.ref.File+"?") {
+				delete(s.encs, k)
+			}
+		}
 		os.Remove(filepath.Join(s.dir, c.ref.File))
 	}
 	if next.Gen > 1 {
@@ -351,14 +478,15 @@ func (s *Store) compactDataset(name string, opts CompactOptions) (merged, create
 // readSegmentUncached materializes a segment, reusing a cached table if
 // one exists but never inserting into the cache (compaction's read
 // path: the inputs are about to be deleted).
-func (s *Store) readSegmentUncached(ref SegmentRef) (*table.Table, error) {
+func (s *Store) readSegmentUncached(name string, ref SegmentRef) (*table.Table, error) {
 	s.mu.RLock()
 	t, ok := s.segs[ref.File]
+	dicts := s.dictsLocked(name)
 	s.mu.RUnlock()
 	if ok {
 		return t, nil
 	}
-	seg, err := ReadSegmentFile(filepath.Join(s.dir, ref.File))
+	seg, err := ReadSegmentFileDicts(filepath.Join(s.dir, ref.File), dicts)
 	if err != nil {
 		return nil, err
 	}

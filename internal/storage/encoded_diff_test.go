@@ -1,0 +1,485 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nexus/internal/core"
+	"nexus/internal/engines/relational"
+	"nexus/internal/expr"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// The encoded-vs-decoded differential suite: every result the encoded
+// kernels produce must be byte-identical to materialize-then-evaluate.
+// Three layers:
+//
+//   - page level: AndMatches / Materialize / MaterializeRows against a
+//     row-at-a-time oracle over the decoded column, for every encoding a
+//     column admits (plain, RLE, dict, shared dict), across NULLs, row
+//     counts straddling the encoder thresholds, and all six operators;
+//   - engine level: filtered+projected scans with encoded execution on
+//     vs off vs the in-memory relational engine;
+//   - aggregate level: GroupAgg plans served by the encoded fold vs the
+//     generic runtime.
+
+// diffSchema is the column mix the differential tables use: something
+// for every encoding to win on.
+func diffSchema() schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "id", Kind: value.KindInt64},      // unique: plain
+		schema.Attribute{Name: "bucket", Kind: value.KindInt64},  // long runs: RLE
+		schema.Attribute{Name: "tier", Kind: value.KindString},   // few distinct + NULLs: dict/shared
+		schema.Attribute{Name: "score", Kind: value.KindFloat64}, // few distinct + NULLs
+		schema.Attribute{Name: "wide", Kind: value.KindString},   // unique: plain
+		schema.Attribute{Name: "flag", Kind: value.KindBool},
+	)
+}
+
+var diffTiers = []string{"gold", "silver", "bronze", "iron"}
+
+// genDiffTable generates rows rows of diffSchema. next numbers rows
+// across calls so "id"/"wide" stay unique across batches.
+func genDiffTable(rng *rand.Rand, rows int, next *int64) *table.Table {
+	b := table.NewBuilder(diffSchema(), rows)
+	for i := 0; i < rows; i++ {
+		id := *next
+		*next++
+		tier := value.Value(value.Null)
+		if rng.Intn(8) != 0 {
+			tier = value.NewString(diffTiers[rng.Intn(len(diffTiers))])
+		}
+		score := value.Value(value.Null)
+		if rng.Intn(8) != 0 {
+			score = value.NewFloat(float64(rng.Intn(5)) + 0.25)
+		}
+		b.MustAppend(
+			value.NewInt(id),
+			value.NewInt(id/17), // runs of 17: RLE wins at >=68 rows
+			tier,
+			score,
+			value.NewString(fmt.Sprintf("w-%06d", id)),
+			value.NewBool(id%3 == 0),
+		)
+	}
+	return b.Build()
+}
+
+// opHolds is the test's own spelling of the comparison semantics, kept
+// deliberately independent of cmpHoldsEnc.
+func opHolds(op value.BinOp, l, r value.Value) bool {
+	c := value.Compare(l, r)
+	switch op {
+	case value.OpEq:
+		return c == 0
+	case value.OpNe:
+		return c != 0
+	case value.OpLt:
+		return c < 0
+	case value.OpLe:
+		return c <= 0
+	case value.OpGt:
+		return c > 0
+	case value.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func colEq(t *testing.T, want, got *table.Column, what string) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: %d rows, want %d", what, got.Len(), want.Len())
+	}
+	for r := 0; r < want.Len(); r++ {
+		if value.Compare(want.Value(r), got.Value(r)) != 0 {
+			t.Fatalf("%s: row %d = %v, want %v", what, r, got.Value(r), want.Value(r))
+		}
+	}
+}
+
+var diffOps = []value.BinOp{value.OpEq, value.OpNe, value.OpLt, value.OpLe, value.OpGt, value.OpGe}
+
+// TestEncodedPageDifferential drives every page encoding a column
+// admits through parse/filter/materialize and compares row by row
+// against the decoded column. Row counts straddle the encoder
+// thresholds (64-row plain floor, run-density and distinct-count
+// cutoffs) so run boundaries land on and around batch edges.
+func TestEncodedPageDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var next int64
+	for _, rows := range []int{1, 2, 63, 64, 65, 127, 128, 200, 256} {
+		tbl := genDiffTable(rng, rows, &next)
+		for c := 0; c < tbl.NumCols(); c++ {
+			col := tbl.Col(c)
+			name := tbl.Schema().At(c).Name
+			kind := col.Kind()
+
+			encs := []uint8{PageEncPlain, PageEncRLE}
+			if kind != value.KindBool {
+				encs = append(encs, PageEncDict)
+			}
+			var dict *SharedDict
+			if kind == value.KindString {
+				dict = &SharedDict{Col: name, Epoch: dictEpochFirst}
+				full := true
+				for r := 0; r < col.Len(); r++ {
+					v := col.Value(r)
+					if v.IsNull() {
+						continue
+					}
+					if _, ok := dict.Add(v.Str()); !ok {
+						full = false
+						break
+					}
+				}
+				if full {
+					encs = append(encs, PageEncDictShared)
+				}
+			}
+
+			for _, enc := range encs {
+				ctx := pageCtx{col: name, dict: dict}
+				page := encodePage(col, enc, dict)
+				dec, err := decodePage(page, kind, ctx)
+				if err != nil {
+					t.Fatalf("%s/%s rows=%d: decode: %v", name, encodingName(enc), rows, err)
+				}
+				ec, err := parsePageEncoded(page, kind, ctx)
+				if err != nil {
+					t.Fatalf("%s/%s rows=%d: parse encoded: %v", name, encodingName(enc), rows, err)
+				}
+				if ec.Encoding() != enc || ec.Rows() != rows {
+					t.Fatalf("%s/%s: parsed enc=%d rows=%d", name, encodingName(enc), ec.Encoding(), ec.Rows())
+				}
+
+				mat, err := ec.Materialize()
+				if err != nil {
+					t.Fatalf("%s/%s: materialize: %v", name, encodingName(enc), err)
+				}
+				colEq(t, dec, mat, name+"/"+encodingName(enc)+" materialize")
+
+				// Constants: present values, absent values, NULL, and
+				// cross-kind (numeric columns vs a string constant and
+				// vice versa — the total order must agree everywhere).
+				consts := []value.Value{value.Null, col.Value(rng.Intn(rows))}
+				switch kind {
+				case value.KindInt64:
+					consts = append(consts, value.NewInt(-1), value.NewFloat(2.5), value.NewString("x"))
+				case value.KindFloat64:
+					consts = append(consts, value.NewFloat(-1.5), value.NewInt(2), value.NewString("x"))
+				case value.KindString:
+					consts = append(consts, value.NewString("zzz"), value.NewString(""), value.NewInt(3))
+				case value.KindBool:
+					consts = append(consts, value.NewBool(true), value.NewInt(0))
+				}
+				for _, cv := range consts {
+					for _, op := range diffOps {
+						// Random pre-mask: AndMatches may only clear bits.
+						pre := make([]bool, rows)
+						for i := range pre {
+							pre[i] = rng.Intn(4) != 0
+						}
+						got := append([]bool(nil), pre...)
+						ec.AndMatches(op, cv, got)
+						for r := 0; r < rows; r++ {
+							want := pre[r] && opHolds(op, dec.Value(r), cv)
+							if got[r] != want {
+								t.Fatalf("%s/%s: row %d (%v %v %v) = %v, want %v",
+									name, encodingName(enc), r, dec.Value(r), op, cv, got[r], want)
+							}
+						}
+					}
+				}
+
+				// Selective materialization: empty, full, and random
+				// ascending subsets.
+				sels := [][]int{{}, allRows(rows)}
+				for trial := 0; trial < 3; trial++ {
+					var sel []int
+					for r := 0; r < rows; r++ {
+						if rng.Intn(3) == 0 {
+							sel = append(sel, r)
+						}
+					}
+					sels = append(sels, sel)
+				}
+				for _, sel := range sels {
+					got, err := ec.MaterializeRows(sel)
+					if err != nil {
+						t.Fatalf("%s/%s: materialize rows: %v", name, encodingName(enc), err)
+					}
+					if got.Len() != len(sel) {
+						t.Fatalf("%s/%s: materialized %d of %d selected", name, encodingName(enc), got.Len(), len(sel))
+					}
+					for i, r := range sel {
+						if value.Compare(dec.Value(r), got.Value(i)) != 0 {
+							t.Fatalf("%s/%s: sel[%d]=row %d = %v, want %v",
+								name, encodingName(enc), i, r, got.Value(i), dec.Value(r))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func allRows(n int) []int {
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = i
+	}
+	return sel
+}
+
+// buildDiffDataset appends batches sized to hit every encoder
+// threshold, flushing between them (one segment per batch, so v3
+// shared-dict pages appear and the dictionary grows across flushes) and
+// leaving the last batch in the unflushed tail. Returns the
+// concatenated whole for the in-memory oracle.
+func buildDiffDataset(t *testing.T, eng *Engine, rng *rand.Rand) *table.Table {
+	t.Helper()
+	var next int64
+	batches := []int{63, 80, 64, 130, 5}
+	var parts []*table.Table
+	for i, n := range batches {
+		p := genDiffTable(rng, n, &next)
+		parts = append(parts, p)
+		if err := eng.Append("d", p); err != nil {
+			t.Fatal(err)
+		}
+		if i < len(batches)-1 {
+			if err := eng.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	whole, err := parts[0].Concat(parts[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return whole
+}
+
+func diffPreds() []expr.Expr {
+	nullConst := &expr.Const{Val: value.Null}
+	return []expr.Expr{
+		expr.Eq(expr.Column("tier"), expr.CStr("gold")),
+		expr.Ne(expr.Column("tier"), expr.CStr("iron")),
+		expr.Lt(expr.Column("tier"), expr.CStr("gold")), // NULL sorts first: NULL rows match
+		expr.Ge(expr.Column("tier"), nullConst),         // everything matches
+		expr.Gt(expr.Column("bucket"), expr.CInt(3)),
+		expr.Le(expr.Column("bucket"), expr.CInt(1)),
+		expr.Eq(expr.Column("bucket"), expr.CFloat(2)), // cross-kind numeric
+		expr.Lt(expr.Column("score"), expr.CFloat(2.0)),
+		expr.Gt(expr.Column("score"), nullConst),
+		expr.Gt(expr.Column("id"), expr.CInt(200)), // zone-prunes early segments
+		expr.Eq(expr.Column("flag"), expr.CBool(true)),
+		expr.And(
+			expr.Eq(expr.Column("tier"), expr.CStr("silver")),
+			expr.Gt(expr.Column("bucket"), expr.CInt(2))),
+		expr.And(
+			expr.Ge(expr.Column("id"), expr.CInt(64)),
+			expr.And(
+				expr.Lt(expr.Column("id"), expr.CInt(208)),
+				expr.Ne(expr.Column("tier"), nullConst))),
+		// Not an exact conjunction: the encoded pre-filter may only use
+		// the captured half, the residual must still re-run.
+		expr.And(
+			expr.Gt(expr.Column("bucket"), expr.CInt(1)),
+			expr.Or(
+				expr.Eq(expr.Column("tier"), expr.CStr("gold")),
+				expr.Lt(expr.Column("score"), expr.CFloat(1.0)))),
+	}
+}
+
+// TestEncodedScanDifferential holds filtered+projected cold scans
+// byte-identical across encoded execution on, off, and the in-memory
+// relational engine.
+func TestEncodedScanDifferential(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := OpenEngine("disk", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(11))
+	whole := buildDiffDataset(t, eng, rng)
+	mem := relational.New("mem")
+	if err := mem.Store("d", whole); err != nil {
+		t.Fatal(err)
+	}
+
+	projections := [][]string{
+		{"id", "tier"},
+		{"tier", "score", "bucket"},
+		{"wide"},
+		nil, // full width
+	}
+	for pi, pred := range diffPreds() {
+		for ci, cols := range projections {
+			mkPlan := func() core.Node {
+				sc, _ := core.NewScan("d", whole.Schema())
+				f, err := core.NewFilter(sc, pred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cols == nil {
+					return f
+				}
+				p, err := core.NewProject(f, cols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			want, err := mem.Execute(mkPlan())
+			if err != nil {
+				t.Fatalf("pred %d proj %d: mem: %v", pi, ci, err)
+			}
+			eng.SetEncodedExec(false)
+			eng.DropCache()
+			off, err := eng.Execute(mkPlan())
+			if err != nil {
+				t.Fatalf("pred %d proj %d: encoded off: %v", pi, ci, err)
+			}
+			eng.SetEncodedExec(true)
+			eng.DropCache()
+			on, err := eng.Execute(mkPlan())
+			if err != nil {
+				t.Fatalf("pred %d proj %d: encoded on: %v", pi, ci, err)
+			}
+			if !table.EqualRows(want, off) {
+				t.Fatalf("pred %d proj %d: encoded-off differs from memory oracle", pi, ci)
+			}
+			if !table.EqualRows(want, on) {
+				t.Fatalf("pred %d proj %d: encoded-on differs from oracle", pi, ci)
+			}
+		}
+	}
+	if eng.EncodedScans() == 0 {
+		t.Fatal("encoded pre-filter never served a segment — the differential ran vacuously")
+	}
+}
+
+// TestEncodedAggDifferential holds grouped aggregations over cold scans
+// byte-identical across the encoded fold, the generic runtime, and the
+// in-memory engine — global and keyed, filtered and not, every
+// aggregate function, keys on dict, RLE and plain columns.
+func TestEncodedAggDifferential(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := OpenEngine("disk", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(13))
+	whole := buildDiffDataset(t, eng, rng)
+	mem := relational.New("mem")
+	if err := mem.Store("d", whole); err != nil {
+		t.Fatal(err)
+	}
+
+	aggSets := [][]core.AggSpec{
+		{{Func: core.AggCount, As: "n"}},
+		{
+			{Func: core.AggCount, As: "n"},
+			{Func: core.AggSum, Arg: expr.Column("bucket"), As: "sb"},
+			{Func: core.AggSum, Arg: expr.Column("score"), As: "ss"},
+			{Func: core.AggAvg, Arg: expr.Column("score"), As: "avg"},
+		},
+		{
+			{Func: core.AggMin, Arg: expr.Column("tier"), As: "lo"},
+			{Func: core.AggMax, Arg: expr.Column("wide"), As: "hi"},
+			{Func: core.AggCountDistinct, Arg: expr.Column("tier"), As: "dt"},
+			{Func: core.AggCount, Arg: expr.Column("score"), As: "ns"},
+		},
+	}
+	keySets := [][]string{nil, {"tier"}, {"bucket"}, {"id"}}
+	filters := []expr.Expr{
+		nil,
+		expr.Gt(expr.Column("bucket"), expr.CInt(2)),
+		expr.And(
+			expr.Ne(expr.Column("tier"), expr.CStr("iron")),
+			expr.Lt(expr.Column("id"), expr.CInt(250))),
+		expr.Eq(expr.Column("tier"), expr.CStr("no-such-tier")), // empty result
+	}
+
+	for ki, keys := range keySets {
+		for ai, aggs := range aggSets {
+			for fi, pred := range filters {
+				mkPlan := func() core.Node {
+					sc, _ := core.NewScan("d", whole.Schema())
+					var child core.Node = sc
+					if pred != nil {
+						f, err := core.NewFilter(child, pred)
+						if err != nil {
+							t.Fatal(err)
+						}
+						child = f
+					}
+					g, err := core.NewGroupAgg(child, keys, aggs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return g
+				}
+				want, err := mem.Execute(mkPlan())
+				if err != nil {
+					t.Fatalf("keys %d aggs %d filter %d: mem: %v", ki, ai, fi, err)
+				}
+				eng.SetEncodedExec(false)
+				eng.DropCache()
+				off, err := eng.Execute(mkPlan())
+				if err != nil {
+					t.Fatalf("keys %d aggs %d filter %d: encoded off: %v", ki, ai, fi, err)
+				}
+				eng.SetEncodedExec(true)
+				eng.DropCache()
+				on, err := eng.Execute(mkPlan())
+				if err != nil {
+					t.Fatalf("keys %d aggs %d filter %d: encoded on: %v", ki, ai, fi, err)
+				}
+				if !table.EqualRows(want, off) {
+					t.Fatalf("keys %d aggs %d filter %d: generic differs from memory oracle", ki, ai, fi)
+				}
+				if !table.EqualRows(want, on) {
+					t.Fatalf("keys %d aggs %d filter %d: encoded fold differs from oracle", ki, ai, fi)
+				}
+			}
+		}
+	}
+	if eng.EncodedAggs() == 0 {
+		t.Fatal("encoded aggregate kernel never served — the differential ran vacuously")
+	}
+}
+
+// TestEncodedReadV1Fallback pins the encoded read's v1 path: a legacy
+// segment has no pages to stay encoded in, so it decodes whole and
+// wraps — and must still answer identically.
+func TestEncodedReadV1Fallback(t *testing.T) {
+	dir := t.TempDir()
+	tbl := rowsTable(0, 50)
+	if err := atomicWriteFile(dir+"/seg-v1.nxs", EncodeSegmentV1(tbl)); err != nil {
+		t.Fatal(err)
+	}
+	positions := []int{0, 2}
+	es, err := ReadSegmentFileColumnsEncoded(dir+"/seg-v1.nxs", positions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadSegmentFileColumns(dir+"/seg-v1.nxs", positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ec := range es.Cols {
+		mat, err := ec.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		colEq(t, dec.Table.Col(i), mat, "v1 fallback col")
+	}
+}

@@ -1,0 +1,448 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"nexus/internal/core"
+	"nexus/internal/engines/exec"
+	"nexus/internal/planner"
+	"nexus/internal/schema"
+	"nexus/internal/table"
+	"nexus/internal/value"
+)
+
+// Encoded execution, engine side. Two kernels run over EncodedColumn
+// views instead of materialized rows:
+//
+//   - The scan pre-filter (encodedFilterTable): every captured conjunct
+//     is ANDed over the encoded pages — one comparison per RLE run, one
+//     per distinct dictionary entry — and only surviving rows are
+//     materialized. Safe even when the conjuncts are not the whole
+//     filter, because the generic runtime re-runs the full predicate
+//     stack over the result; the pre-filter only drops rows that stack
+//     would drop anyway.
+//
+//   - The grouped-aggregate kernel (encAggState): a GroupAgg whose
+//     filters are an exact conjunction and whose arguments are plain
+//     columns folds directly over pages — group ids resolved once per
+//     RLE run or dictionary code, whole runs folded through
+//     Accumulator.AddN. Nothing re-runs downstream here, so the shape
+//     gate (planner.AnalyzeAggAccess) is strict, and every fold mirrors
+//     exec's groupAggregate exactly: same group order (first
+//     occurrence in dataset row order), same accumulator arithmetic
+//     (float sums stay sequential), same NULL handling. The
+//     differential suite holds the two paths byte-identical.
+
+// SetEncodedExec toggles encoded execution (on by default). Turning it
+// off forces every scan and aggregate through the materialize-first
+// paths — the oracle the differential tests compare against.
+func (e *Engine) SetEncodedExec(on bool) { e.encodedOff.Store(!on) }
+
+func (e *Engine) encodedOn() bool { return !e.encodedOff.Load() }
+
+// EncodedScans returns how many segment reads the encoded pre-filter
+// served.
+func (e *Engine) EncodedScans() int64 { return e.encodedScans.Load() }
+
+// EncodedAggs returns how many grouped aggregations the encoded kernel
+// served without materializing the dataset.
+func (e *Engine) EncodedAggs() int64 { return e.encodedAggs.Load() }
+
+// encodedMatches ANDs every conjunct over the part's encoded columns.
+// ok=false means a predicate column is missing from the projected
+// schema — the caller must fall back, never silently skip a conjunct.
+func encodedMatches(sch schema.Schema, cols []*EncodedColumn, preds []planner.ScanPred) ([]bool, bool) {
+	if len(cols) == 0 {
+		return nil, false
+	}
+	match := make([]bool, cols[0].Rows())
+	for i := range match {
+		match[i] = true
+	}
+	for _, p := range preds {
+		i := sch.IndexOf(p.Col)
+		if i < 0 {
+			return nil, false
+		}
+		cols[i].AndMatches(p.Op, p.Val, match)
+	}
+	return match, true
+}
+
+// encodedFilterTable materializes only the rows of an encoded segment
+// that pass every conjunct. ok=false falls back to the decoding read.
+func encodedFilterTable(es *EncodedSegment, preds []planner.ScanPred) (*table.Table, bool, error) {
+	match, ok := encodedMatches(es.Schema, es.Cols, preds)
+	if !ok {
+		return nil, false, nil
+	}
+	n := 0
+	for _, m := range match {
+		if m {
+			n++
+		}
+	}
+	cols := make([]*table.Column, len(es.Cols))
+	var err error
+	if n == len(match) {
+		for i, ec := range es.Cols {
+			if cols[i], err = ec.Materialize(); err != nil {
+				return nil, false, err
+			}
+		}
+	} else {
+		sel := make([]int, 0, n)
+		for r, m := range match {
+			if m {
+				sel = append(sel, r)
+			}
+		}
+		for i, ec := range es.Cols {
+			if cols[i], err = ec.MaterializeRows(sel); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	t, err := table.New(es.Schema, cols)
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+// encodedAgg serves a GroupAgg over a cold scan directly from encoded
+// pages. ok=false means the fragment (or the engine's state) wants the
+// generic path.
+func (e *Engine) encodedAgg(n core.Node) (*table.Table, bool, error) {
+	if !e.encodedOn() {
+		return nil, false, nil
+	}
+	agg, ok := planner.AnalyzeAggAccess(n)
+	if !ok || len(agg.Keys) > 1 {
+		return nil, false, nil
+	}
+	e.mu.Lock()
+	_, warm := e.mat[agg.Scan.Dataset]
+	e.mu.Unlock()
+	if warm {
+		return nil, false, nil // RAM scan: the generic fold is already cheap
+	}
+	return e.aggTable(agg, n.Schema())
+}
+
+// aggTable runs the encoded grouped-aggregate kernel over one
+// consistent snapshot of the dataset: manifest segments in order (zone
+// pruning applies — the conjunction is exact, so an excluded segment
+// contributes no rows), then the unflushed tail.
+func (e *Engine) aggTable(agg planner.AggAccess, outSchema schema.Schema) (*table.Table, bool, error) {
+	name := agg.Scan.Dataset
+	var out *table.Table
+	unservable := false
+	err := e.st.readSnapshot(name, func(refs []SegmentRef, parts []*table.Table) error {
+		sch, _ := e.st.Schema(name)
+		if !sch.Equal(agg.Scan.Schema()) {
+			unservable = true
+			return nil
+		}
+		positions := make([]int, 0, len(agg.Cols))
+		for _, c := range agg.Cols {
+			i := sch.IndexOf(c)
+			if i < 0 {
+				unservable = true
+				return nil
+			}
+			positions = append(positions, i)
+		}
+		proj := sch.Project(positions)
+		keyIdx := -1
+		if len(agg.Keys) == 1 {
+			if keyIdx = proj.IndexOf(agg.Keys[0]); keyIdx < 0 {
+				unservable = true
+				return nil
+			}
+		}
+		argIdx := make([]int, len(agg.Aggs))
+		for i, arg := range agg.Args {
+			argIdx[i] = -1
+			if arg != "" {
+				if argIdx[i] = proj.IndexOf(arg); argIdx[i] < 0 {
+					unservable = true
+					return nil
+				}
+			}
+		}
+
+		st := newEncAggState(agg.Aggs, keyIdx >= 0)
+		scanned, skipped := int64(0), int64(0)
+		for _, ref := range refs {
+			if !segMayMatch(sch, ref, agg.Preds) {
+				skipped++
+				continue
+			}
+			es, err := e.st.ReadSegmentEncoded(name, ref, positions)
+			if err != nil {
+				return err
+			}
+			if !st.addPart(proj, es.Cols, keyIdx, argIdx, agg.Preds) {
+				unservable = true
+				return nil
+			}
+			scanned++
+		}
+		e.segmentsScanned.Add(scanned)
+		e.segmentsSkipped.Add(skipped)
+		metSegScanned.Add(scanned)
+		metSegPruned.Add(skipped)
+		for _, p := range parts {
+			p = p.Project(positions)
+			ecols := make([]*EncodedColumn, p.NumCols())
+			for i := range ecols {
+				ecols[i] = encodedFromColumn(p.Col(i))
+			}
+			if !st.addPart(proj, ecols, keyIdx, argIdx, agg.Preds) {
+				unservable = true
+				return nil
+			}
+		}
+		t, err := st.build(outSchema, len(agg.Keys))
+		if err != nil {
+			return err
+		}
+		out = t
+		return nil
+	})
+	if errors.Is(err, errNoDataset) || unservable {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	e.encodedAggs.Add(1)
+	metEncodedAggs.Inc()
+	return out, true, nil
+}
+
+// encAggState accumulates groups across parts. Group ids are dense,
+// assigned at first occurrence in dataset row order — exactly the order
+// exec's groupAggregate assigns them over the concatenated table, so
+// output rows land in the same order.
+type encAggState struct {
+	aggs []core.AggSpec
+	gids map[string]int32      // canonical key encoding -> group id
+	keys []value.Value         // first-occurrence key value per group
+	accs [][]*exec.Accumulator // per group, per aggregate
+	buf  []byte                // AppendKey scratch
+}
+
+func newEncAggState(aggs []core.AggSpec, hasKey bool) *encAggState {
+	st := &encAggState{aggs: aggs, gids: map[string]int32{}}
+	if !hasKey {
+		// Global aggregate: exactly one group, present even over an
+		// empty input (SQL's one-row global aggregate).
+		st.addGroup(value.Null)
+	}
+	return st
+}
+
+func (st *encAggState) addGroup(key value.Value) int32 {
+	g := int32(len(st.keys))
+	st.keys = append(st.keys, key)
+	row := make([]*exec.Accumulator, len(st.aggs))
+	for i, a := range st.aggs {
+		row[i] = exec.NewAccumulator(a.Func)
+	}
+	st.accs = append(st.accs, row)
+	return g
+}
+
+// group resolves a key value to its dense group id, creating the group
+// on first occurrence. Grouping equivalence is the canonical key
+// encoding — the same equivalence groupAggregate's general case uses.
+func (st *encAggState) group(key value.Value) int32 {
+	st.buf = value.AppendKey(st.buf[:0], key)
+	g, ok := st.gids[string(st.buf)]
+	if !ok {
+		g = st.addGroup(key)
+		st.gids[string(st.buf)] = g
+	}
+	return g
+}
+
+// addPart folds one part (segment or tail chunk) into the running
+// groups: filter via encoded conjuncts, assign group ids at run/code
+// granularity, fold each aggregate column. false means a predicate
+// column was missing — the caller falls back to the generic path.
+func (st *encAggState) addPart(sch schema.Schema, cols []*EncodedColumn, keyIdx int, argIdx []int, preds []planner.ScanPred) bool {
+	if len(cols) == 0 {
+		return false
+	}
+	rows := cols[0].Rows()
+	if rows == 0 {
+		return true
+	}
+	match, ok := encodedMatches(sch, cols, preds)
+	if !ok {
+		return false
+	}
+	// Per-row group ids; -1 marks rows the filter removed.
+	gids := make([]int32, rows)
+	if keyIdx < 0 {
+		for r, m := range match {
+			if m {
+				gids[r] = 0
+			} else {
+				gids[r] = -1
+			}
+		}
+	} else {
+		st.assignGids(cols[keyIdx], match, gids)
+	}
+	for j, ai := range argIdx {
+		if ai < 0 {
+			// count(*): every surviving row counts, NULL or not.
+			for _, g := range gids {
+				if g >= 0 {
+					st.accs[g][j].AddRows(1)
+				}
+			}
+			continue
+		}
+		st.fold(cols[ai], gids, j)
+	}
+	return true
+}
+
+// assignGids computes each surviving row's group id from the key
+// column: one key resolution per RLE run, one per dictionary code, one
+// per row on plain pages. Resolution happens at the first *surviving*
+// occurrence, so group creation order matches the filtered row order
+// the generic path sees.
+func (st *encAggState) assignGids(key *EncodedColumn, match []bool, gids []int32) {
+	const unresolved = int32(-2)
+	switch key.Encoding() {
+	case PageEncRLE:
+		at := 0
+		for i, n := range key.runLens {
+			g := unresolved
+			for r := at; r < at+n; r++ {
+				if !match[r] {
+					gids[r] = -1
+					continue
+				}
+				if g == unresolved {
+					g = st.group(key.runVals[i])
+				}
+				gids[r] = g
+			}
+			at += n
+		}
+	case PageEncDict, PageEncDictShared:
+		codeGid := make([]int32, key.dict.Len())
+		for i := range codeGid {
+			codeGid[i] = unresolved
+		}
+		nullGid := unresolved
+		for r := range gids {
+			if !match[r] {
+				gids[r] = -1
+				continue
+			}
+			if key.valid != nil && !key.valid[r] {
+				if nullGid == unresolved {
+					nullGid = st.group(value.Null)
+				}
+				gids[r] = nullGid
+				continue
+			}
+			c := key.codes[r]
+			if codeGid[c] == unresolved {
+				codeGid[c] = st.group(key.dict.Value(int(c)))
+			}
+			gids[r] = codeGid[c]
+		}
+	default:
+		for r := range gids {
+			if !match[r] {
+				gids[r] = -1
+				continue
+			}
+			gids[r] = st.group(key.col.Value(r))
+		}
+	}
+}
+
+// fold accumulates one aggregate's argument column. RLE runs fold
+// through AddN (one call per consecutive same-group stretch — for float
+// sums AddN itself loops, keeping the arithmetic order identical to
+// row-at-a-time). Dictionary pages box each distinct entry once.
+func (st *encAggState) fold(col *EncodedColumn, gids []int32, j int) {
+	switch col.Encoding() {
+	case PageEncRLE:
+		at := 0
+		for i, n := range col.runLens {
+			v := col.runVals[i]
+			end := at + n
+			for r := at; r < end; {
+				g := gids[r]
+				if g < 0 {
+					r++
+					continue
+				}
+				stretch := r + 1
+				for stretch < end && gids[stretch] == g {
+					stretch++
+				}
+				st.accs[g][j].AddN(v, stretch-r)
+				r = stretch
+			}
+			at = end
+		}
+	case PageEncDict, PageEncDictShared:
+		var entries []value.Value // boxed lazily, once per distinct entry
+		for r, g := range gids {
+			if g < 0 {
+				continue
+			}
+			if col.valid != nil && !col.valid[r] {
+				continue // NULL: Add would ignore it anyway
+			}
+			if entries == nil {
+				entries = make([]value.Value, col.dict.Len())
+				for c := range entries {
+					entries[c] = col.dict.Value(c)
+				}
+			}
+			st.accs[g][j].Add(entries[col.codes[r]])
+		}
+	default:
+		for r, g := range gids {
+			if g < 0 {
+				continue
+			}
+			st.accs[g][j].Add(col.col.Value(r))
+		}
+	}
+}
+
+// build emits one row per group in creation order: the key value at
+// first occurrence, then each aggregate's Result coerced to the output
+// schema's kind — the same construction groupAggregate performs.
+func (st *encAggState) build(outSchema schema.Schema, nKeys int) (*table.Table, error) {
+	b := table.NewBuilder(outSchema, len(st.keys))
+	rowBuf := make([]value.Value, 0, outSchema.Len())
+	for g := range st.keys {
+		rowBuf = rowBuf[:0]
+		if nKeys == 1 {
+			rowBuf = append(rowBuf, st.keys[g])
+		}
+		for i := range st.aggs {
+			want := outSchema.At(nKeys + i).Kind
+			rowBuf = append(rowBuf, st.accs[g][i].Result(want))
+		}
+		if err := b.Append(rowBuf...); err != nil {
+			return nil, fmt.Errorf("storage: encoded groupagg: %w", err)
+		}
+	}
+	return b.Build(), nil
+}

@@ -40,9 +40,10 @@ const pageVersion = 1
 
 // Page encodings (the `encoding` byte of a column-page header).
 const (
-	PageEncPlain = 0 // validity bitmap + raw values (v1 layout)
-	PageEncDict  = 1 // dictionary + u32 codes per row
-	PageEncRLE   = 2 // run-length (length, validity, value) runs
+	PageEncPlain      = 0 // validity bitmap + raw values (v1 layout)
+	PageEncDict       = 1 // dictionary + u32 codes per row
+	PageEncRLE        = 2 // run-length (length, validity, value) runs
+	PageEncDictShared = 3 // u32 codes into the dataset's shared dictionary (v3 segments only)
 )
 
 // pageHeaderLen is the fixed prefix of a column page before the payload:
@@ -85,6 +86,8 @@ func encodingName(enc uint8) string {
 		return "dict"
 	case PageEncRLE:
 		return "rle"
+	case PageEncDictShared:
+		return "dict-shared"
 	}
 	return fmt.Sprintf("enc%d", enc)
 }
@@ -198,8 +201,23 @@ func b2i(b bool) int {
 	return 0
 }
 
-// encodePage frames one column as a page with the given encoding.
-func encodePage(col *table.Column, enc uint8) []byte {
+// pageCtx carries the per-column context page decoding may need beyond
+// the raw bytes: the column's name (error messages, dictionary lookup),
+// the shared dictionary its PageEncDictShared codes resolve through (nil
+// when the dataset has none — such pages then fail to decode), and the
+// structural flag (verify-only: shared pages are bounds-checked but not
+// materialized, so replication can verify a fetched segment before the
+// manifest carrying its dictionary has been applied).
+type pageCtx struct {
+	col        string
+	dict       *SharedDict
+	structural bool
+}
+
+// encodePage frames one column as a page with the given encoding. A
+// PageEncDictShared page needs the shared dictionary the codes index;
+// every value of the column must already be present in it.
+func encodePage(col *table.Column, enc uint8, dict *SharedDict) []byte {
 	var payload wire.Encoder
 	switch enc {
 	case PageEncPlain:
@@ -208,6 +226,8 @@ func encodePage(col *table.Column, enc uint8) []byte {
 		putDictPayload(&payload, col)
 	case PageEncRLE:
 		putRLEPayload(&payload, col)
+	case PageEncDictShared:
+		putDictSharedPayload(&payload, col, dict)
 	default:
 		panic(fmt.Sprintf("storage: encodePage with unknown encoding %d", enc))
 	}
@@ -221,39 +241,69 @@ func encodePage(col *table.Column, enc uint8) []byte {
 	return e.Bytes()
 }
 
-// decodePage parses and verifies one column page of the given kind. The
-// whole page (header through trailing CRC) must be the input; every
+// parsePageHeader verifies a page's CRC and framing and returns its
+// encoding, row count, and a decoder positioned at the payload. Every
 // malformed input is an error, never a panic (FuzzSegment feeds this
 // arbitrary bytes via segments).
-func decodePage(b []byte, kind value.Kind) (*table.Column, error) {
+func parsePageHeader(b []byte) (enc uint8, rows int, payload *wire.Decoder, err error) {
 	if len(b) < pageHeaderLen+4 {
-		return nil, fmt.Errorf("storage: column page too short (%d bytes)", len(b))
+		return 0, 0, nil, fmt.Errorf("storage: column page too short (%d bytes)", len(b))
 	}
 	crcOff := len(b) - 4
 	want := uint32(b[crcOff])<<24 | uint32(b[crcOff+1])<<16 | uint32(b[crcOff+2])<<8 | uint32(b[crcOff+3])
 	if got := crc32.ChecksumIEEE(b[:crcOff]); got != want {
-		return nil, fmt.Errorf("storage: column page crc mismatch (got %08x, want %08x)", got, want)
+		return 0, 0, nil, fmt.Errorf("storage: column page crc mismatch (got %08x, want %08x)", got, want)
 	}
 	d := wire.NewDecoder(b[:crcOff])
 	ver := d.U8()
 	if ver == 0 || ver > pageVersion {
-		return nil, fmt.Errorf("storage: unsupported column page version %d", ver)
+		return 0, 0, nil, fmt.Errorf("storage: unsupported column page version %d", ver)
 	}
-	enc := d.U8()
-	rows := int(d.U32())
+	enc = d.U8()
+	rows = int(d.U32())
 	payloadLen := int(d.U32())
 	if d.Err() != nil || rows < 0 || payloadLen != d.Remaining() {
-		return nil, fmt.Errorf("storage: column page header disagrees with page size")
+		return 0, 0, nil, fmt.Errorf("storage: column page header disagrees with page size")
+	}
+	return enc, rows, d, nil
+}
+
+// decodePage parses and verifies one column page of the given kind,
+// materializing it as a plain column. The whole page (header through
+// trailing CRC) must be the input. In structural mode a shared-dict page
+// returns a nil column after its framing and code bounds are verified.
+func decodePage(b []byte, kind value.Kind, ctx pageCtx) (*table.Column, error) {
+	enc, rows, d, err := parsePageHeader(b)
+	if err != nil {
+		return nil, err
 	}
 	var col *table.Column
-	var err error
 	switch enc {
 	case PageEncPlain:
 		col, err = getPlainPayload(d, kind, rows)
 	case PageEncDict:
-		col, err = getDictPayload(d, kind, rows)
+		var dict *table.Column
+		var codes []uint32
+		var valid []bool
+		dict, codes, valid, err = getDictEncoded(d, kind, rows)
+		if err == nil {
+			col = materializeDict(dict, codes, valid)
+		}
 	case PageEncRLE:
-		col, err = getRLEPayload(d, kind, rows)
+		var lens []int
+		var vals []value.Value
+		lens, vals, err = getRLERuns(d, kind, rows)
+		if err == nil {
+			col, err = fillRuns(kind, lens, vals, rows)
+		}
+	case PageEncDictShared:
+		var entries *table.Column
+		var codes []uint32
+		var valid []bool
+		entries, codes, valid, err = getDictSharedEncoded(d, kind, rows, ctx)
+		if err == nil && !ctx.structural {
+			col = materializeDict(entries, codes, valid)
+		}
 	default:
 		return nil, fmt.Errorf("storage: unknown column page encoding %d", enc)
 	}
@@ -265,6 +315,9 @@ func decodePage(b []byte, kind value.Kind) (*table.Column, error) {
 	}
 	if d.Remaining() != 0 {
 		return nil, fmt.Errorf("storage: %s page has %d trailing bytes", encodingName(enc), d.Remaining())
+	}
+	if col == nil {
+		return nil, nil // structural shared-dict page: verified, not materialized
 	}
 	if col.Len() != rows {
 		return nil, fmt.Errorf("storage: %s page decoded %d rows, header says %d", encodingName(enc), col.Len(), rows)
@@ -425,81 +478,178 @@ func putDictPayload(e *wire.Encoder, col *table.Column) {
 	}
 }
 
-func getDictPayload(d *wire.Decoder, kind value.Kind, rows int) (*table.Column, error) {
-	valid, err := getValidity(d, rows)
+// getDictEncoded parses a dict payload into its encoded parts: the
+// dictionary entries (a column indexed by code), the per-row codes, and
+// the validity. Codes of non-null rows are bounds-checked here, so every
+// consumer — materializing or not — sees only in-range codes.
+func getDictEncoded(d *wire.Decoder, kind value.Kind, rows int) (dict *table.Column, codes []uint32, valid []bool, err error) {
+	valid, err = getValidity(d, rows)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	n := int(d.U32())
 	if d.Err() != nil || n < 0 || n > d.Remaining() {
-		return nil, fmt.Errorf("storage: dict page dictionary length %d exceeds page", n)
+		return nil, nil, nil, fmt.Errorf("storage: dict page dictionary length %d exceeds page", n)
 	}
 	// Codes are 4 bytes per row; the dictionary itself costs at least
 	// minValueWidth per entry. Bound both before allocating.
 	if int64(n)*minValueWidth(kind)+int64(rows)*4 > int64(d.Remaining()) {
-		return nil, fmt.Errorf("storage: dict page claims %d rows over %d entries in %d payload bytes", rows, n, d.Remaining())
+		return nil, nil, nil, fmt.Errorf("storage: dict page claims %d rows over %d entries in %d payload bytes", rows, n, d.Remaining())
 	}
-	isNull := func(r int) bool { return valid != nil && !valid[r] }
-	var col *table.Column
 	switch kind {
 	case value.KindInt64:
-		dict := make([]int64, n)
-		for i := range dict {
-			dict[i] = d.I64()
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = d.I64()
 		}
+		dict = table.IntColumn(vals)
+	case value.KindFloat64:
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = d.F64()
+		}
+		dict = table.FloatColumn(vals)
+	case value.KindString:
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = d.Str()
+		}
+		dict = table.StringColumn(vals)
+	default:
+		return nil, nil, nil, fmt.Errorf("storage: dict page of kind %v", kind)
+	}
+	codes = make([]uint32, rows)
+	for r := 0; r < rows; r++ {
+		c := d.U32()
+		codes[r] = c
+		if valid != nil && !valid[r] {
+			continue // NULL rows carry a placeholder code; never dereferenced
+		}
+		if int(c) >= n {
+			return nil, nil, nil, fmt.Errorf("storage: dict code %d out of range %d", c, n)
+		}
+	}
+	return dict, codes, valid, nil
+}
+
+// materializeDict gathers dictionary entries into a plain column (codes
+// of non-null rows are already bounds-checked by the parser).
+func materializeDict(dict *table.Column, codes []uint32, valid []bool) *table.Column {
+	rows := len(codes)
+	isNull := func(r int) bool { return valid != nil && !valid[r] }
+	var col *table.Column
+	switch dict.Kind() {
+	case value.KindInt64:
+		dv := dict.Ints()
 		vals := make([]int64, rows)
-		for r := 0; r < rows; r++ {
-			c := int(d.U32())
-			if isNull(r) {
-				continue
+		for r, c := range codes {
+			if !isNull(r) {
+				vals[r] = dv[c]
 			}
-			if c < 0 || c >= n {
-				return nil, fmt.Errorf("storage: dict code %d out of range %d", c, n)
-			}
-			vals[r] = dict[c]
 		}
 		col = table.IntColumn(vals)
 	case value.KindFloat64:
-		dict := make([]float64, n)
-		for i := range dict {
-			dict[i] = d.F64()
-		}
+		dv := dict.Floats()
 		vals := make([]float64, rows)
-		for r := 0; r < rows; r++ {
-			c := int(d.U32())
-			if isNull(r) {
-				continue
+		for r, c := range codes {
+			if !isNull(r) {
+				vals[r] = dv[c]
 			}
-			if c < 0 || c >= n {
-				return nil, fmt.Errorf("storage: dict code %d out of range %d", c, n)
-			}
-			vals[r] = dict[c]
 		}
 		col = table.FloatColumn(vals)
-	case value.KindString:
-		dict := make([]string, n)
-		for i := range dict {
-			dict[i] = d.Str()
-		}
+	default:
+		dv := dict.Strs()
 		vals := make([]string, rows)
-		for r := 0; r < rows; r++ {
-			c := int(d.U32())
-			if isNull(r) {
-				continue
+		for r, c := range codes {
+			if !isNull(r) {
+				vals[r] = dv[c]
 			}
-			if c < 0 || c >= n {
-				return nil, fmt.Errorf("storage: dict code %d out of range %d", c, n)
-			}
-			vals[r] = dict[c]
 		}
 		col = table.StringColumn(vals)
-	default:
-		return nil, fmt.Errorf("storage: dict page of kind %v", kind)
 	}
 	if valid != nil {
 		col = col.WithValidity(valid)
 	}
-	return col, nil
+	return col
+}
+
+// ---------------------------------------------------------------------------
+// Shared dict: bool hasNulls | [validity] | u64 epoch | u32 usedLen |
+// rows × u32 code. The dictionary itself lives in the manifest
+// (SharedDict); the page records the epoch its codes were assigned under
+// and the dictionary prefix length it was written against, so the page
+// stays decodable while the dictionary grows and is refused loudly after
+// a rebuild reassigns codes.
+
+func putDictSharedPayload(e *wire.Encoder, col *table.Column, dict *SharedDict) {
+	if col.Kind() != value.KindString {
+		panic(fmt.Sprintf("storage: shared-dict page of kind %v", col.Kind()))
+	}
+	putValidity(e, col)
+	e.U64(dict.Epoch)
+	e.U32(uint32(len(dict.Vals)))
+	vals := col.Strs()
+	for r := 0; r < col.Len(); r++ {
+		if col.IsNull(r) {
+			e.U32(0)
+			continue
+		}
+		c, ok := dict.Code(vals[r])
+		if !ok {
+			// The writer checks coverage (or grows the dictionary) before
+			// choosing this encoding; a miss here is a programming error.
+			panic(fmt.Sprintf("storage: value missing from shared dictionary %q", dict.Col))
+		}
+		e.U32(c)
+	}
+}
+
+// getDictSharedEncoded parses a shared-dict payload: per-row codes plus
+// the dictionary prefix they index (resolved through ctx.dict). In
+// structural mode no dictionary is needed — framing and code bounds are
+// still fully verified, entries comes back nil.
+func getDictSharedEncoded(d *wire.Decoder, kind value.Kind, rows int, ctx pageCtx) (entries *table.Column, codes []uint32, valid []bool, err error) {
+	if kind != value.KindString {
+		return nil, nil, nil, fmt.Errorf("storage: shared-dict page of kind %v", kind)
+	}
+	valid, err = getValidity(d, rows)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	epoch := d.U64()
+	used := int(d.U32())
+	if d.Err() != nil || used < 0 {
+		return nil, nil, nil, fmt.Errorf("storage: shared-dict page header truncated")
+	}
+	if int64(rows)*4 > int64(d.Remaining()) {
+		return nil, nil, nil, fmt.Errorf("storage: shared-dict page claims %d rows in %d payload bytes", rows, d.Remaining())
+	}
+	if !ctx.structural {
+		if ctx.dict == nil {
+			return nil, nil, nil, fmt.Errorf("storage: column %q needs a shared dictionary the catalog does not carry", ctx.col)
+		}
+		if epoch != ctx.dict.Epoch {
+			return nil, nil, nil, staleDictErr(ctx.col, epoch, ctx.dict.Epoch)
+		}
+		if used > len(ctx.dict.Vals) {
+			return nil, nil, nil, fmt.Errorf("storage: column %q codes index a %d-entry prefix, dictionary has %d", ctx.col, used, len(ctx.dict.Vals))
+		}
+	}
+	codes = make([]uint32, rows)
+	for r := 0; r < rows; r++ {
+		c := d.U32()
+		codes[r] = c
+		if valid != nil && !valid[r] {
+			continue
+		}
+		if int(c) >= used {
+			return nil, nil, nil, fmt.Errorf("storage: shared-dict code %d out of range %d", c, used)
+		}
+	}
+	if !ctx.structural {
+		entries = table.StringColumn(ctx.dict.Vals[:used])
+	}
+	return entries, codes, valid, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -572,159 +722,142 @@ func putRLEPayload(e *wire.Encoder, col *table.Column) {
 	}
 }
 
-func getRLEPayload(d *wire.Decoder, kind value.Kind, rows int) (*table.Column, error) {
+// getRLERuns parses an RLE payload into validated run lengths and run
+// values (value.Null for null runs). Lengths are positive and sum to
+// exactly rows, so consumers can fold whole runs without re-checking.
+func getRLERuns(d *wire.Decoder, kind value.Kind, rows int) (lens []int, vals []value.Value, err error) {
 	nRuns := int(d.U32())
 	if d.Err() != nil || nRuns < 0 || nRuns > d.Remaining() {
-		return nil, fmt.Errorf("storage: rle page run count %d exceeds page", nRuns)
+		return nil, nil, fmt.Errorf("storage: rle page run count %d exceeds page", nRuns)
 	}
 	// A run legitimately covers many rows in few bytes, so the payload
 	// cannot bound the row count the way plain/dict payloads do; the
 	// absolute cap (which the writer honors) rejects hostile claims
 	// before any materialization.
 	if rows > maxRLERows {
-		return nil, fmt.Errorf("storage: rle page claims %d rows (cap %d)", rows, maxRLERows)
+		return nil, nil, fmt.Errorf("storage: rle page claims %d rows (cap %d)", rows, maxRLERows)
 	}
-	// Decode run headers first (cheap, bounded by the payload), then
-	// bulk-fill typed slices — like the encoder, this path handles whole
-	// compacted segments and must not box a value per row.
-	type run struct {
-		length int
-		valid  bool
-	}
-	runs := make([]run, nRuns)
-	// Cap the upfront capacity: hostile headers must not buy a huge
-	// allocation before the run lengths prove the rows are real.
-	capRows := rows
-	if capRows > 1<<16 {
-		capRows = 1 << 16
-	}
-	var (
-		bools  []bool
-		ints   []int64
-		floats []float64
-		strs   []string
-		valid  []bool
-	)
+	lens = make([]int, 0, nRuns)
+	vals = make([]value.Value, 0, nRuns)
 	total := 0
-	fill := func(i int, appendVal func(length int)) error {
-		length := runs[i].length
-		if !runs[i].valid {
-			if valid == nil {
-				valid = make([]bool, 0, capRows)
-				for j := 0; j < total; j++ {
-					valid = append(valid, true)
-				}
-			}
-			for j := 0; j < length; j++ {
-				valid = append(valid, false)
-			}
-		} else if valid != nil {
-			for j := 0; j < length; j++ {
-				valid = append(valid, true)
-			}
-		}
-		appendVal(length)
-		total += length
-		return nil
-	}
 	for i := 0; i < nRuns; i++ {
-		runs[i].length = int(d.U32())
-		runs[i].valid = d.Bool()
+		length := int(d.U32())
+		rvalid := d.Bool()
 		if d.Err() != nil {
-			return nil, d.Err()
+			return nil, nil, d.Err()
 		}
-		if runs[i].length <= 0 || total+runs[i].length > rows {
-			return nil, fmt.Errorf("storage: rle run %d of length %d overflows %d rows", i, runs[i].length, rows)
+		if length <= 0 || total+length > rows {
+			return nil, nil, fmt.Errorf("storage: rle run %d of length %d overflows %d rows", i, length, rows)
 		}
-		var err error
-		switch kind {
-		case value.KindBool:
-			if bools == nil {
-				bools = make([]bool, 0, capRows)
+		v := value.Null
+		if rvalid {
+			switch kind {
+			case value.KindBool:
+				v = value.NewBool(d.Bool())
+			case value.KindInt64:
+				v = value.NewInt(d.I64())
+			case value.KindFloat64:
+				v = value.NewFloat(d.F64())
+			case value.KindString:
+				v = value.NewString(d.Str())
+			default:
+				return nil, nil, fmt.Errorf("storage: rle page of kind %v", kind)
 			}
-			v := false
-			if runs[i].valid {
-				v = d.Bool()
+			if d.Err() != nil {
+				return nil, nil, d.Err()
 			}
-			err = fill(i, func(n int) {
-				for j := 0; j < n; j++ {
-					bools = append(bools, v)
-				}
-			})
-		case value.KindInt64:
-			if ints == nil {
-				ints = make([]int64, 0, capRows)
-			}
-			var v int64
-			if runs[i].valid {
-				v = d.I64()
-			}
-			err = fill(i, func(n int) {
-				for j := 0; j < n; j++ {
-					ints = append(ints, v)
-				}
-			})
-		case value.KindFloat64:
-			if floats == nil {
-				floats = make([]float64, 0, capRows)
-			}
-			var v float64
-			if runs[i].valid {
-				v = d.F64()
-			}
-			err = fill(i, func(n int) {
-				for j := 0; j < n; j++ {
-					floats = append(floats, v)
-				}
-			})
-		case value.KindString:
-			if strs == nil {
-				strs = make([]string, 0, capRows)
-			}
-			var v string
-			if runs[i].valid {
-				v = d.Str()
-			}
-			err = fill(i, func(n int) {
-				for j := 0; j < n; j++ {
-					strs = append(strs, v)
-				}
-			})
-		default:
-			return nil, fmt.Errorf("storage: rle page of kind %v", kind)
 		}
-		if err != nil {
-			return nil, err
-		}
-		if d.Err() != nil {
-			return nil, d.Err()
-		}
+		lens = append(lens, length)
+		vals = append(vals, v)
+		total += length
 	}
 	if total != rows {
-		return nil, fmt.Errorf("storage: rle runs cover %d of %d rows", total, rows)
+		return nil, nil, fmt.Errorf("storage: rle runs cover %d of %d rows", total, rows)
+	}
+	return lens, vals, nil
+}
+
+// fillRuns expands validated runs into a plain column with one typed
+// bulk fill per run — this path handles whole compacted segments and
+// must not box a value per row.
+func fillRuns(kind value.Kind, lens []int, vals []value.Value, rows int) (*table.Column, error) {
+	var valid []bool
+	for _, v := range vals {
+		if v.IsNull() {
+			valid = make([]bool, rows)
+			for r := range valid {
+				valid[r] = true
+			}
+			break
+		}
+	}
+	if valid != nil {
+		at := 0
+		for i, n := range lens {
+			if vals[i].IsNull() {
+				for j := 0; j < n; j++ {
+					valid[at+j] = false
+				}
+			}
+			at += n
+		}
 	}
 	var col *table.Column
 	switch kind {
 	case value.KindBool:
-		if bools == nil {
-			bools = []bool{}
+		out := make([]bool, rows)
+		at := 0
+		for i, n := range lens {
+			if !vals[i].IsNull() {
+				v := vals[i].Bool()
+				for j := 0; j < n; j++ {
+					out[at+j] = v
+				}
+			}
+			at += n
 		}
-		col = table.BoolColumn(bools)
+		col = table.BoolColumn(out)
 	case value.KindInt64:
-		if ints == nil {
-			ints = []int64{}
+		out := make([]int64, rows)
+		at := 0
+		for i, n := range lens {
+			if !vals[i].IsNull() {
+				v := vals[i].Int()
+				for j := 0; j < n; j++ {
+					out[at+j] = v
+				}
+			}
+			at += n
 		}
-		col = table.IntColumn(ints)
+		col = table.IntColumn(out)
 	case value.KindFloat64:
-		if floats == nil {
-			floats = []float64{}
+		out := make([]float64, rows)
+		at := 0
+		for i, n := range lens {
+			if !vals[i].IsNull() {
+				v := vals[i].Float()
+				for j := 0; j < n; j++ {
+					out[at+j] = v
+				}
+			}
+			at += n
 		}
-		col = table.FloatColumn(floats)
+		col = table.FloatColumn(out)
 	case value.KindString:
-		if strs == nil {
-			strs = []string{}
+		out := make([]string, rows)
+		at := 0
+		for i, n := range lens {
+			if !vals[i].IsNull() {
+				v := vals[i].Str()
+				for j := 0; j < n; j++ {
+					out[at+j] = v
+				}
+			}
+			at += n
 		}
-		col = table.StringColumn(strs)
+		col = table.StringColumn(out)
+	default:
+		return nil, fmt.Errorf("storage: rle page of kind %v", kind)
 	}
 	if valid != nil {
 		col = col.WithValidity(valid)

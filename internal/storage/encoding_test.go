@@ -61,8 +61,8 @@ func TestPageEncodingRoundtrip(t *testing.T) {
 
 func checkPageRoundtrip(t *testing.T, name string, col *table.Column, enc uint8) {
 	t.Helper()
-	page := encodePage(col, enc)
-	got, err := decodePage(page, col.Kind())
+	page := encodePage(col, enc, nil)
+	got, err := decodePage(page, col.Kind(), pageCtx{})
 	if err != nil {
 		t.Fatalf("%s/%s: decode: %v", name, encodingName(enc), err)
 	}
@@ -77,7 +77,7 @@ func checkPageRoundtrip(t *testing.T, name string, col *table.Column, enc uint8)
 	// Corrupt any byte: the page CRC must catch it.
 	bad := append([]byte(nil), page...)
 	bad[len(bad)/2] ^= 0x20
-	if _, err := decodePage(bad, col.Kind()); err == nil {
+	if _, err := decodePage(bad, col.Kind(), pageCtx{}); err == nil {
 		t.Fatalf("%s/%s: corrupted page decoded successfully", name, encodingName(enc))
 	}
 }
@@ -277,7 +277,7 @@ func TestRLEPageRowCap(t *testing.T) {
 	e.U32(uint32(payload.Len()))
 	e.Raw(payload.Bytes())
 	e.U32(crc32.ChecksumIEEE(e.Bytes()))
-	if _, err := decodePage(e.Bytes(), value.KindInt64); err == nil {
+	if _, err := decodePage(e.Bytes(), value.KindInt64, pageCtx{}); err == nil {
 		t.Fatal("hostile RLE row count decoded successfully")
 	}
 	// The writer never chooses RLE above the cap either (synthetic check

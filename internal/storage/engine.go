@@ -39,6 +39,14 @@ type Engine struct {
 	segmentsScanned atomic.Int64
 	segmentsSkipped atomic.Int64
 
+	// Encoded execution (see encodedexec.go): encodedOff disables the
+	// encoded kernels (they are on by default — the flag is inverted so
+	// the zero value enables them); the counters report how often each
+	// kernel served a query.
+	encodedOff   atomic.Bool
+	encodedScans atomic.Int64
+	encodedAggs  atomic.Int64
+
 	// Compactor liveness: the interval StartCompactor runs at (0 when no
 	// compactor is running) and the wall time of the last completed pass,
 	// both unix nanos. The /healthz compactor check reads them.
@@ -328,7 +336,7 @@ func (e *Engine) dataset(name string) (*table.Table, bool) {
 		sch, _ := e.st.Schema(name)
 		tables := make([]*table.Table, 0, len(refs)+len(parts))
 		for _, ref := range refs {
-			seg, err := e.st.ReadSegment(ref)
+			seg, err := e.st.ReadSegment(name, ref)
 			if err != nil {
 				return err
 			}
@@ -395,6 +403,9 @@ func (e *Engine) ExecuteTraced(plan core.Node, tr *exec.Trace) (*table.Table, er
 // Everything else — and anything already warm in RAM — falls through to
 // the generic runtime.
 func (e *Engine) override(n core.Node, env *exec.Env, rec exec.RecFunc) (*table.Table, bool, error) {
+	if t, ok, err := e.encodedAgg(n); ok || err != nil {
+		return t, ok, err
+	}
 	acc, ok := planner.AnalyzeScanAccess(n)
 	if !ok {
 		return nil, false, nil
@@ -488,10 +499,27 @@ func (e *Engine) accessTable(acc planner.ScanAccess) (*table.Table, bool, error)
 			}
 			var t *table.Table
 			var err error
-			if positions != nil {
-				t, err = e.st.ReadSegmentColumns(ref, positions)
-			} else {
-				t, err = e.st.ReadSegment(ref)
+			switch {
+			case positions != nil && len(acc.Preds) > 0 && e.encodedOn():
+				// Encoded pre-filter: evaluate the conjuncts over the
+				// pages and materialize only survivors. The stack above
+				// re-runs the full predicates, so this is safe even when
+				// acc.Preds is not the whole filter.
+				var es *EncodedSegment
+				if es, err = e.st.ReadSegmentEncoded(name, ref, positions); err == nil {
+					var served bool
+					t, served, err = encodedFilterTable(es, acc.Preds)
+					if err == nil && served {
+						e.encodedScans.Add(1)
+						metEncodedScans.Inc()
+					} else if err == nil {
+						t, err = e.st.ReadSegmentColumns(name, ref, positions)
+					}
+				}
+			case positions != nil:
+				t, err = e.st.ReadSegmentColumns(name, ref, positions)
+			default:
+				t, err = e.st.ReadSegment(name, ref)
 			}
 			if err != nil {
 				return err

@@ -28,6 +28,18 @@ func FuzzSegment(f *testing.F) {
 	if repeated, err := small.Concat(parts...); err == nil {
 		f.Add(EncodeSegment(repeated))
 	}
+	// v3 seeds: segments whose string pages resolve through a shared
+	// dictionary. fuzzDicts below carries the same dictionary into the
+	// fuzz body, so mutations reach the code-bounds and epoch armor
+	// rather than dying at "no dictionary".
+	fuzzDicts := DictSet{}
+	v3 := EncodeSegmentDict(lowCardTable(130), fuzzDicts, true)
+	f.Add(v3)
+	f.Add(v3[:len(v3)-3])
+	hostileCode := append([]byte(nil), v3...)
+	hostileCode[len(hostileCode)-6] ^= 0xff // codes sit at the tail of the last page
+	f.Add(hostileCode)
+
 	// A few structurally-broken seeds steer the fuzzer at the armor.
 	trunc := EncodeSegment(rowsTable(0, 3))
 	f.Add(trunc[:len(trunc)-2])
@@ -36,6 +48,15 @@ func FuzzSegment(f *testing.F) {
 	f.Add(flip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The structural verifier and the dictionary-aware decoder see
+		// every input too: error or success, never a panic. A segment
+		// that decodes must agree with itself on the row count.
+		_ = VerifySegment(data)
+		if dseg, err := DecodeSegmentDicts(data, fuzzDicts); err == nil {
+			if int64(dseg.Table.NumRows()) != dseg.Meta.Rows {
+				t.Fatalf("dict decode claims %d rows, table has %d", dseg.Meta.Rows, dseg.Table.NumRows())
+			}
+		}
 		seg, err := DecodeSegment(data)
 		if err != nil {
 			return

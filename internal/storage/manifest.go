@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"nexus/internal/schema"
@@ -20,9 +21,11 @@ import (
 // a crash can expose.
 
 // Manifest magic: "NXMAN" + version byte + CRLF. v2 added the
-// per-dataset OrderEpoch; v1 files decode with every epoch at 0.
+// per-dataset OrderEpoch (v1 files decode with every epoch at 0); v3
+// added per-dataset shared dictionaries (v2 files decode with none).
 var (
-	manMagic   = []byte("NXMAN\x02\r\n")
+	manMagic   = []byte("NXMAN\x03\r\n")
+	manMagicV2 = []byte("NXMAN\x02\r\n")
 	manMagicV1 = []byte("NXMAN\x01\r\n")
 )
 
@@ -43,6 +46,33 @@ type DatasetManifest struct {
 	Schema     schema.Schema
 	OrderEpoch uint64
 	Segments   []SegmentRef
+	// Dicts are the dataset's shared dictionaries (sorted by column name
+	// for a deterministic encoding), which v3 segments' PageEncDictShared
+	// pages resolve codes through. Persisting them in the manifest means
+	// a dictionary extension commits atomically with the segments that
+	// reference it, and replicas receive dictionaries with the catalog.
+	Dicts []*SharedDict
+}
+
+// DictSet builds the column-indexed view of the dataset's dictionaries.
+func (dm *DatasetManifest) DictSet() DictSet {
+	if len(dm.Dicts) == 0 {
+		return nil
+	}
+	ds := make(DictSet, len(dm.Dicts))
+	for _, d := range dm.Dicts {
+		ds[d.Col] = d
+	}
+	return ds
+}
+
+// setDicts installs a dict set as the sorted slice the encoder wants.
+func (dm *DatasetManifest) setDicts(ds DictSet) {
+	dm.Dicts = dm.Dicts[:0]
+	for _, d := range ds {
+		dm.Dicts = append(dm.Dicts, d)
+	}
+	sort.Slice(dm.Dicts, func(i, j int) bool { return dm.Dicts[i].Col < dm.Dicts[j].Col })
 }
 
 // Rows sums the dataset's segment row counts.
@@ -91,6 +121,15 @@ func EncodeManifest(m *Manifest) []byte {
 			body.I64(s.Meta.Rows)
 			putZones(&body, s.Meta.Zones)
 		}
+		body.U32(uint32(len(ds.Dicts)))
+		for _, d := range ds.Dicts {
+			body.Str(d.Col)
+			body.U64(d.Epoch)
+			body.U32(uint32(len(d.Vals)))
+			for _, v := range d.Vals {
+				body.Str(v)
+			}
+		}
 	}
 	var e wire.Encoder
 	e.Raw(manMagic)
@@ -105,19 +144,18 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	if len(b) < len(manMagic)+8 {
 		return nil, fmt.Errorf("storage: manifest too short")
 	}
-	v1 := true
-	for i, c := range manMagicV1 {
-		if b[i] != c {
-			v1 = false
-			break
-		}
-	}
-	if !v1 {
-		for i, c := range manMagic {
+	matches := func(magic []byte) bool {
+		for i, c := range magic {
 			if b[i] != c {
-				return nil, fmt.Errorf("storage: bad manifest magic")
+				return false
 			}
 		}
+		return true
+	}
+	v1 := matches(manMagicV1)
+	v2 := matches(manMagicV2)
+	if !v1 && !v2 && !matches(manMagic) {
+		return nil, fmt.Errorf("storage: bad manifest magic")
 	}
 	d := wire.NewDecoder(b[len(manMagic):])
 	bodyLen := int(d.U32())
@@ -153,6 +191,27 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 			ref.Meta.Rows = bd.I64()
 			ref.Meta.Zones = getZones(bd)
 			ds.Segments = append(ds.Segments, ref)
+		}
+		if !v1 && !v2 {
+			nDicts := int(bd.U32())
+			if bd.Err() != nil || nDicts < 0 || nDicts > bd.Remaining() {
+				return nil, fmt.Errorf("storage: bad manifest dictionary count")
+			}
+			for j := 0; j < nDicts; j++ {
+				dict := &SharedDict{Col: bd.Str(), Epoch: bd.U64()}
+				nVals := int(bd.U32())
+				if bd.Err() != nil || nVals < 0 || nVals > bd.Remaining() {
+					return nil, fmt.Errorf("storage: dictionary %q length %d exceeds manifest", dict.Col, nVals)
+				}
+				dict.Vals = make([]string, nVals)
+				for k := range dict.Vals {
+					dict.Vals[k] = bd.Str()
+				}
+				if bd.Err() != nil {
+					return nil, fmt.Errorf("storage: dictionary %q truncated", dict.Col)
+				}
+				ds.Dicts = append(ds.Dicts, dict)
+			}
 		}
 		m.Datasets = append(m.Datasets, ds)
 	}

@@ -50,6 +50,13 @@ var (
 		"mode")
 	metBytesReadFull      = metBytesRead.With("full")
 	metBytesReadProjected = metBytesRead.With("projected")
+	metBytesReadEncoded   = metBytesRead.With("encoded")
+
+	metEncodedScans = obs.Default.Counter("nexus_storage_encoded_scans_total",
+		"Cold scans answered by the encoded path: predicates evaluated over "+
+			"runs and dictionary codes, survivors materialized selectively.")
+	metEncodedAggs = obs.Default.Counter("nexus_storage_encoded_aggs_total",
+		"Grouped aggregations folded directly over encoded pages.")
 
 	metSegScanned = obs.Default.Counter("nexus_storage_segments_scanned_total",
 		"Segments materialized by scans.")

@@ -90,14 +90,17 @@ func (s *Store) HasSegmentFile(name string) bool {
 }
 
 // PutReplicatedSegment verifies a fetched segment end to end — magic,
-// version, page checksums, footer CRC — and writes it atomically under
-// its manifest name. A corrupt or truncated transfer is rejected before
-// a single byte lands under the name.
+// version, page checksums, footer CRC, code bounds — and writes it
+// atomically under its manifest name. A corrupt or truncated transfer
+// is rejected before a single byte lands under the name. Verification
+// is structural: a v3 segment's shared-dict pages are checked without
+// their dictionary, which arrives later inside the manifest generation
+// that references both.
 func (s *Store) PutReplicatedSegment(name string, data []byte) error {
 	if !validSegName(name) {
 		return fmt.Errorf("storage: bad replicated segment name %q", name)
 	}
-	if _, err := DecodeSegment(data); err != nil {
+	if err := VerifySegment(data); err != nil {
 		return fmt.Errorf("storage: replicated segment %s failed verification: %w", name, err)
 	}
 	return atomicWriteFile(filepath.Join(s.dir, name), data)
@@ -228,6 +231,7 @@ func (s *Store) ApplyReplicatedManifest(raw []byte) error {
 	// primary retires files this cache may still hold, and nothing would
 	// ever evict them.
 	s.segs = map[string]*table.Table{}
+	s.encs = map[string]*EncodedSegment{}
 	s.cacheGen++
 	if m.Gen > 0 && oldMan.Gen > 0 {
 		os.Remove(filepath.Join(s.dir, manifestName(oldMan.Gen)))

@@ -52,6 +52,12 @@ const (
 	// independently CRC-armored page per column — so a projected read
 	// fetches only the pages it needs and still verifies every byte.
 	segVersion = 2
+	// segVersionV3 is byte-for-byte the v2 layout, but at least one page
+	// uses PageEncDictShared — its codes only resolve through the
+	// dataset's shared dictionary in the manifest, so the version byte is
+	// bumped to keep pre-v3 readers from half-decoding the file. The
+	// writer emits 3 only when a shared page is actually present.
+	segVersionV3 = 3
 )
 
 // segHeaderLen is the fixed file prefix before the meta block: magic,
@@ -206,11 +212,31 @@ type pageRef struct {
 // without reading the rest of the file. Page encodings are chosen per
 // column by choosePageEncoding.
 func EncodeSegment(t *table.Table) []byte {
+	return EncodeSegmentDict(t, nil, false)
+}
+
+// EncodeSegmentDict is EncodeSegment with a shared-dictionary set:
+// string columns whose private-dict encoding would win are written as
+// PageEncDictShared pages when the dataset's dictionary covers their
+// values — or, with grow set, can be extended to cover them (the caller
+// must commit the grown dictionaries in the same manifest generation as
+// the segment, which Flush does under the store lock). The version byte
+// is 3 iff at least one shared page was emitted, so dictionary-free
+// tables keep producing plain v2 files.
+func EncodeSegmentDict(t *table.Table, dicts DictSet, grow bool) []byte {
 	ncols := t.NumCols()
 	pages := make([][]byte, ncols)
+	shared := false
 	for c := 0; c < ncols; c++ {
 		col := t.Col(c)
-		pages[c] = encodePage(col, choosePageEncoding(col))
+		enc := choosePageEncoding(col)
+		var dict *SharedDict
+		if enc == PageEncDict && col.Kind() == value.KindString {
+			if d := sharedDictFor(dicts, t.Schema().At(c).Name, col, grow); d != nil {
+				enc, dict, shared = PageEncDictShared, d, true
+			}
+		}
+		pages[c] = encodePage(col, enc, dict)
 	}
 
 	var pre wire.Encoder
@@ -234,9 +260,13 @@ func EncodeSegment(t *table.Table) []byte {
 	}
 	meta.Raw(foot.Bytes())
 
+	ver := uint8(segVersion)
+	if shared {
+		ver = segVersionV3
+	}
 	var e wire.Encoder
 	e.Raw(segMagic)
-	e.U8(segVersion)
+	e.U8(ver)
 	e.U32(uint32(meta.Len()))
 	e.Raw(meta.Bytes())
 	e.U32(crc32.ChecksumIEEE(meta.Bytes()))
@@ -244,6 +274,37 @@ func EncodeSegment(t *table.Table) []byte {
 		e.Raw(p)
 	}
 	return e.Bytes()
+}
+
+// sharedDictFor resolves (and with grow, extends) the shared dictionary
+// one string column's page would encode against, or nil when shared
+// encoding is not possible — no dictionary and no license to create one,
+// values the dictionary does not cover, or a dictionary at capacity.
+func sharedDictFor(dicts DictSet, name string, col *table.Column, grow bool) *SharedDict {
+	if dicts == nil {
+		return nil
+	}
+	d := dicts[name]
+	if !grow {
+		if d == nil || !d.Covers(col.Strs(), col.Validity()) {
+			return nil
+		}
+		return d
+	}
+	if d == nil {
+		d = &SharedDict{Col: name, Epoch: dictEpochFirst}
+		dicts[name] = d
+	}
+	vals := col.Strs()
+	for r := 0; r < col.Len(); r++ {
+		if col.IsNull(r) {
+			continue
+		}
+		if _, ok := d.Add(vals[r]); !ok {
+			return nil // dictionary full — fall back to a private encoding
+		}
+	}
+	return d
 }
 
 // EncodeSegmentV1 serializes a table in the legacy v1 layout:
@@ -276,6 +337,14 @@ func EncodeSegmentV1(t *table.Table) []byte {
 // mismatch, footer disagreeing with the pages — is an error, never a
 // panic: the fuzz target FuzzSegment feeds this arbitrary bytes.
 func DecodeSegment(b []byte) (*Segment, error) {
+	return DecodeSegmentDicts(b, nil)
+}
+
+// DecodeSegmentDicts decodes a segment resolving PageEncDictShared pages
+// through dicts (the dataset's shared dictionaries). A nil set decodes
+// every pre-v3 segment; v3 segments then fail with a descriptive error
+// rather than misread.
+func DecodeSegmentDicts(b []byte, dicts DictSet) (*Segment, error) {
 	ver, err := segmentVersion(b)
 	if err != nil {
 		return nil, err
@@ -283,10 +352,77 @@ func DecodeSegment(b []byte) (*Segment, error) {
 	switch ver {
 	case segVersionV1:
 		return decodeSegmentV1(b)
-	case segVersion:
-		return decodeSegmentV2(b)
+	case segVersion, segVersionV3:
+		return decodeSegmentV2(b, dicts)
 	}
 	return nil, fmt.Errorf("storage: unsupported segment version %d", ver)
+}
+
+// VerifySegment structurally verifies a segment encoding without needing
+// shared dictionaries: every CRC, every framing rule, and every code
+// bound is checked, but PageEncDictShared pages are not materialized (and
+// their epoch is not compared — the dictionary may not have arrived yet).
+// Replication uses this to vet a fetched segment file before the manifest
+// generation carrying its dictionary has been applied.
+func VerifySegment(b []byte) error {
+	ver, err := segmentVersion(b)
+	if err != nil {
+		return err
+	}
+	if ver == segVersionV1 {
+		_, err := decodeSegmentV1(b)
+		return err
+	}
+	if ver != segVersion && ver != segVersionV3 {
+		return fmt.Errorf("storage: unsupported segment version %d", ver)
+	}
+	sch, meta, refs, err := decodeSegmentMetaV2(b[segHeaderLen:], headerMetaLen(b))
+	if err != nil {
+		return err
+	}
+	for c, ref := range refs {
+		if ref.off < 0 || ref.length < 0 || ref.off > int64(len(b)) || int64(ref.length) > int64(len(b))-ref.off {
+			return fmt.Errorf("storage: column %d page [%d,+%d) exceeds file of %d bytes", c, ref.off, ref.length, len(b))
+		}
+		ctx := pageCtx{col: sch.At(c).Name, structural: true}
+		col, err := decodePage(b[ref.off:ref.off+int64(ref.length)], sch.At(c).Kind, ctx)
+		if err != nil {
+			return fmt.Errorf("storage: column %d (%s): %w", c, sch.At(c).Name, err)
+		}
+		if col != nil && int64(col.Len()) != meta.Rows {
+			return fmt.Errorf("storage: column %d holds %d rows, footer says %d", c, col.Len(), meta.Rows)
+		}
+	}
+	return nil
+}
+
+// SegmentPageEncodings reports the page encoding of every column of a
+// v2/v3 segment encoding, in schema order (tests and the storage bench
+// use it to assert what a writer actually chose).
+func SegmentPageEncodings(b []byte) ([]uint8, error) {
+	ver, err := segmentVersion(b)
+	if err != nil {
+		return nil, err
+	}
+	if ver != segVersion && ver != segVersionV3 {
+		return nil, fmt.Errorf("storage: segment version %d has no page directory", ver)
+	}
+	_, _, refs, err := decodeSegmentMetaV2(b[segHeaderLen:], headerMetaLen(b))
+	if err != nil {
+		return nil, err
+	}
+	encs := make([]uint8, len(refs))
+	for c, ref := range refs {
+		if ref.off < 0 || ref.length < 0 || ref.off > int64(len(b)) || int64(ref.length) > int64(len(b))-ref.off {
+			return nil, fmt.Errorf("storage: column %d page [%d,+%d) exceeds file of %d bytes", c, ref.off, ref.length, len(b))
+		}
+		enc, _, _, err := parsePageHeader(b[ref.off : ref.off+int64(ref.length)])
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %d: %w", c, err)
+		}
+		encs[c] = enc
+	}
+	return encs, nil
 }
 
 // segmentVersion checks the magic and returns the version byte.
@@ -340,8 +476,10 @@ func decodeSegmentV1(b []byte) (*Segment, error) {
 	return &Segment{Table: t, Meta: meta, FileBytes: int64(len(b))}, nil
 }
 
-// decodeSegmentV2 parses the paged layout from a fully-read file.
-func decodeSegmentV2(b []byte) (*Segment, error) {
+// decodeSegmentV2 parses the paged layout (v2 and v3 — same bytes, v3
+// may hold shared-dict pages resolved through dicts) from a fully-read
+// file.
+func decodeSegmentV2(b []byte, dicts DictSet) (*Segment, error) {
 	sch, meta, refs, err := decodeSegmentMetaV2(b[segHeaderLen:], headerMetaLen(b))
 	if err != nil {
 		return nil, err
@@ -353,7 +491,8 @@ func decodeSegmentV2(b []byte) (*Segment, error) {
 		if ref.off < 0 || ref.length < 0 || ref.off > int64(len(b)) || int64(ref.length) > int64(len(b))-ref.off {
 			return nil, fmt.Errorf("storage: column %d page [%d,+%d) exceeds file of %d bytes", c, ref.off, ref.length, len(b))
 		}
-		col, err := decodePage(b[ref.off:ref.off+int64(ref.length)], sch.At(c).Kind)
+		ctx := pageCtx{col: sch.At(c).Name, dict: dicts[sch.At(c).Name]}
+		col, err := decodePage(b[ref.off:ref.off+int64(ref.length)], sch.At(c).Kind, ctx)
 		if err != nil {
 			return nil, fmt.Errorf("storage: column %d (%s): %w", c, sch.At(c).Name, err)
 		}
@@ -448,7 +587,13 @@ func checkSegmentMeta(meta SegmentMeta, t *table.Table) error {
 // WriteSegmentFile writes a table as a segment under dir, atomically
 // (temp file + fsync + rename), returning the metadata for the catalog.
 func WriteSegmentFile(dir, name string, t *table.Table) (SegmentMeta, error) {
-	data := EncodeSegment(t)
+	return WriteSegmentFileDict(dir, name, t, nil, false)
+}
+
+// WriteSegmentFileDict is WriteSegmentFile encoding against (and, with
+// grow, extending) the dataset's shared dictionaries.
+func WriteSegmentFileDict(dir, name string, t *table.Table, dicts DictSet, grow bool) (SegmentMeta, error) {
+	data := EncodeSegmentDict(t, dicts, grow)
 	if err := atomicWriteFile(filepath.Join(dir, name), data); err != nil {
 		return SegmentMeta{}, err
 	}
@@ -461,11 +606,17 @@ func WriteSegmentFile(dir, name string, t *table.Table) (SegmentMeta, error) {
 
 // ReadSegmentFile reads and fully verifies one segment file.
 func ReadSegmentFile(path string) (*Segment, error) {
+	return ReadSegmentFileDicts(path, nil)
+}
+
+// ReadSegmentFileDicts is ReadSegmentFile resolving shared-dict pages
+// through the dataset's dictionaries.
+func ReadSegmentFileDicts(path string, dicts DictSet) (*Segment, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: read segment: %w", err)
 	}
-	seg, err := DecodeSegment(data)
+	seg, err := DecodeSegmentDicts(data, dicts)
 	if err != nil {
 		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
 	}
@@ -482,6 +633,40 @@ func ReadSegmentFile(path string) (*Segment, error) {
 // returned Segment's Table and Meta.Zones cover only the selected
 // columns, in the given order.
 func ReadSegmentFileColumns(path string, positions []int) (*Segment, error) {
+	return ReadSegmentFileColumnsDicts(path, positions, nil)
+}
+
+// ReadSegmentFileColumnsDicts is ReadSegmentFileColumns resolving
+// shared-dict pages through the dataset's dictionaries. It is the
+// materializing wrapper over the encoded read: every page is decoded to
+// a plain column.
+func ReadSegmentFileColumnsDicts(path string, positions []int, dicts DictSet) (*Segment, error) {
+	es, err := ReadSegmentFileColumnsEncoded(path, positions, dicts)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*table.Column, len(es.Cols))
+	for i, ec := range es.Cols {
+		if cols[i], err = ec.Materialize(); err != nil {
+			return nil, fmt.Errorf("storage: %s: column %s: %w", filepath.Base(path), es.Schema.At(i).Name, err)
+		}
+	}
+	t, err := table.New(es.Schema, cols)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
+	}
+	return &Segment{Table: t, Meta: es.Meta, FileBytes: es.FileBytes}, nil
+}
+
+// ReadSegmentFileColumnsEncoded reads only the named column positions of
+// a segment file, leaving each page in its encoded form (see
+// EncodedColumn) — the entry point of encoded execution, where
+// predicates run over runs and dictionary codes before any row is
+// materialized. Framing, CRCs and code bounds are verified exactly as a
+// decoding read would. A v1 segment has no page directory and no
+// compressed pages, so it is read whole and its projected columns
+// wrapped as plain views.
+func ReadSegmentFileColumnsEncoded(path string, positions []int, dicts DictSet) (*EncodedSegment, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: read segment: %w", err)
@@ -502,9 +687,22 @@ func ReadSegmentFileColumns(path string, positions []int) (*Segment, error) {
 		if err != nil {
 			return nil, err
 		}
-		return projectSegment(seg, positions)
+		proj, err := projectSegment(seg, positions)
+		if err != nil {
+			return nil, err
+		}
+		ecols := make([]*EncodedColumn, proj.Table.NumCols())
+		for i := range ecols {
+			ecols[i] = encodedFromColumn(proj.Table.Col(i))
+		}
+		return &EncodedSegment{
+			Schema:    proj.Table.Schema(),
+			Cols:      ecols,
+			Meta:      proj.Meta,
+			FileBytes: proj.FileBytes,
+		}, nil
 	}
-	if ver != segVersion {
+	if ver != segVersion && ver != segVersionV3 {
 		return nil, fmt.Errorf("storage: %s: unsupported segment version %d", filepath.Base(path), ver)
 	}
 
@@ -526,7 +724,7 @@ func ReadSegmentFileColumns(path string, positions []int) (*Segment, error) {
 		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
 	}
 	bytesRead := int64(segHeaderLen + len(metaBuf))
-	cols := make([]*table.Column, len(positions))
+	cols := make([]*EncodedColumn, len(positions))
 	zones := make([]ZoneMap, len(positions))
 	for i, c := range positions {
 		if c < 0 || c >= len(refs) {
@@ -544,22 +742,20 @@ func ReadSegmentFileColumns(path string, positions []int) (*Segment, error) {
 			return nil, fmt.Errorf("storage: %s: column %d page: %w", filepath.Base(path), c, err)
 		}
 		bytesRead += int64(ref.length)
-		col, err := decodePage(page, sch.At(c).Kind)
+		ctx := pageCtx{col: sch.At(c).Name, dict: dicts[sch.At(c).Name]}
+		col, err := parsePageEncoded(page, sch.At(c).Kind, ctx)
 		if err != nil {
 			return nil, fmt.Errorf("storage: %s: column %d (%s): %w", filepath.Base(path), c, sch.At(c).Name, err)
 		}
-		if int64(col.Len()) != meta.Rows {
-			return nil, fmt.Errorf("storage: %s: column %d holds %d rows, footer says %d", filepath.Base(path), c, col.Len(), meta.Rows)
+		if int64(col.Rows()) != meta.Rows {
+			return nil, fmt.Errorf("storage: %s: column %d holds %d rows, footer says %d", filepath.Base(path), c, col.Rows(), meta.Rows)
 		}
 		cols[i] = col
 		zones[i] = meta.Zones[c]
 	}
-	t, err := table.New(sch.Project(positions), cols)
-	if err != nil {
-		return nil, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
-	}
-	return &Segment{
-		Table:     t,
+	return &EncodedSegment{
+		Schema:    sch.Project(positions),
+		Cols:      cols,
 		Meta:      SegmentMeta{SchemaHash: meta.SchemaHash, Rows: meta.Rows, Zones: zones},
 		FileBytes: bytesRead,
 	}, nil

@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Shared (per-dataset) dictionaries: the cross-segment code space behind
+// the v3 segment format. A v2 dictionary page carries its own private
+// dictionary, so the same string gets a different code in every segment
+// and every encoded comparison has to re-translate. A shared dictionary
+// lives in the manifest instead — one ordered value list per (dataset,
+// column) — and v3 segments store only codes into it (PageEncDictShared
+// pages). Codes are stable across segments, so a constant is translated
+// once per query, group-by keys can run on codes, and the dictionary
+// replicates for free with the manifest.
+//
+// Growth is append-only within an epoch: Flush extends the dictionary
+// with values it has not seen and commits the extension in the same
+// manifest generation as the segments referencing them. Every page
+// records the dictionary prefix length it was written against, so a
+// segment stays decodable no matter how much the dictionary grows after
+// it. Only a full rewrite (compaction merging every live segment) may
+// rebuild the dictionary — reassigning codes compactly in the new sort
+// order — and that bumps Epoch, exactly like OrderEpoch: anything that
+// cached code-based state (a translated constant, a code-keyed plan)
+// must revalidate against the epoch and is refused when stale.
+
+// dictEpochFirst is the epoch a freshly created shared dictionary
+// starts at; 0 means "no dictionary" in stale-plan checks.
+const dictEpochFirst = 1
+
+// SharedDict is one column's shared dictionary: the ordered value list
+// codes index, plus the epoch guarding code-based state. Only string
+// columns get shared dictionaries — they are where repeating a value
+// per segment costs the most and where comparing codes instead of
+// bytes wins the most.
+type SharedDict struct {
+	Col   string
+	Epoch uint64
+	Vals  []string
+
+	// index is the reverse lookup, built lazily exactly once (readers
+	// translating query constants hit it concurrently; mutation beyond
+	// the build happens only on writer-private clones under the store
+	// lock).
+	indexOnce sync.Once
+	index     map[string]uint32
+}
+
+// Len returns the number of entries.
+func (d *SharedDict) Len() int { return len(d.Vals) }
+
+// Code returns the code of v, if present.
+func (d *SharedDict) Code(v string) (uint32, bool) {
+	d.ensureIndex()
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// Add returns the code of v, appending it if new. ok=false means the
+// dictionary is full (dictMaxEntries) and v was not added — the caller
+// must fall back to a non-shared encoding for that page.
+func (d *SharedDict) Add(v string) (code uint32, ok bool) {
+	d.ensureIndex()
+	if c, ok := d.index[v]; ok {
+		return c, true
+	}
+	if len(d.Vals) >= dictMaxEntries {
+		return 0, false
+	}
+	c := uint32(len(d.Vals))
+	d.Vals = append(d.Vals, v)
+	d.index[v] = c
+	return c, true
+}
+
+// Covers reports whether every value of vals is already in the
+// dictionary (the no-growth writer check compaction uses).
+func (d *SharedDict) Covers(vals []string, valid []bool) bool {
+	d.ensureIndex()
+	for i, v := range vals {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		if _, ok := d.index[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *SharedDict) ensureIndex() {
+	d.indexOnce.Do(func() {
+		d.index = make(map[string]uint32, len(d.Vals))
+		for i, v := range d.Vals {
+			d.index[v] = uint32(i)
+		}
+	})
+}
+
+// clone returns a writer-private copy whose appends never disturb the
+// original's view (the value slice is shared up to its length; appends
+// under the store lock only ever write beyond every published length).
+func (d *SharedDict) clone() *SharedDict {
+	return &SharedDict{Col: d.Col, Epoch: d.Epoch, Vals: d.Vals}
+}
+
+// DictSet maps column names to the shared dictionaries a segment's
+// PageEncDictShared pages resolve codes through. nil is a valid set
+// (no shared dictionaries; shared pages fail to decode).
+type DictSet map[string]*SharedDict
+
+// cloneDictSet deep-clones a dict set for a writer.
+func cloneDictSet(ds DictSet) DictSet {
+	if ds == nil {
+		return nil
+	}
+	out := make(DictSet, len(ds))
+	for k, d := range ds {
+		out[k] = d.clone()
+	}
+	return out
+}
+
+// errStaleDict marks decode failures caused by a shared-dictionary
+// epoch mismatch: the segment's codes belong to a dictionary generation
+// that no longer exists (a full-rewrite compaction rebuilt it). Readers
+// holding a pre-rebuild snapshot retry on it exactly like they retry on
+// a deleted segment file — the fresh snapshot references the rebuilt
+// files and dictionary together.
+type errStaleDictT struct{ msg string }
+
+func (e *errStaleDictT) Error() string { return e.msg }
+
+// staleDictErr builds an epoch-mismatch error.
+func staleDictErr(col string, pageEpoch, dictEpoch uint64) error {
+	return &errStaleDictT{msg: fmt.Sprintf(
+		"storage: column %q codes are epoch %d, shared dictionary is epoch %d (stale)", col, pageEpoch, dictEpoch)}
+}
+
+// isStaleDict reports whether err is (or wraps) an epoch mismatch.
+func isStaleDict(err error) bool {
+	for err != nil {
+		if _, ok := err.(*errStaleDictT); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

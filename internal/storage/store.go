@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,9 +33,10 @@ type Store struct {
 	mu      sync.RWMutex
 	man     *Manifest
 	wal     *WAL
-	tails   map[string]*tail        // unflushed rows per dataset
-	segs    map[string]*table.Table // decoded segment cache: file (full) or file+cols (projected)
-	nextSeg uint64                  // next segment file number (flushes and compactions share it)
+	tails   map[string]*tail           // unflushed rows per dataset
+	segs    map[string]*table.Table    // decoded segment cache: file (full) or file+cols (projected)
+	encs    map[string]*EncodedSegment // encoded-view cache: file+cols, pages parsed but not materialized
+	nextSeg uint64                     // next segment file number (flushes and compactions share it)
 	closed  bool
 	replica bool // replica mode: local mutations refused, manifests applied from a primary
 
@@ -104,6 +106,7 @@ func Open(dir string) (*Store, error) {
 		man:     man,
 		tails:   map[string]*tail{},
 		segs:    map[string]*table.Table{},
+		encs:    map[string]*EncodedSegment{},
 		nextSeg: man.NextSeg,
 	}
 	walPath := filepath.Join(dir, walName(man.WalGen))
@@ -430,20 +433,45 @@ func (s *Store) Segments(name string) (refs []SegmentRef, tailParts []*table.Tab
 	return refs, tailParts, true
 }
 
+// SharedDicts returns the dataset's live shared dictionaries (nil when
+// it has none). The returned dictionaries are immutable — growth and
+// rebuilds publish new objects via the manifest — so callers may hold
+// them across queries, revalidating code-based state by Epoch.
+func (s *Store) SharedDicts(name string) DictSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dictsLocked(name)
+}
+
+// dictsLocked resolves the dataset's dict set (s.mu held). A tombstoned
+// dataset (replace/drop since last flush) has no live dictionaries: its
+// unflushed rows live in the tail, and its old segments are shadowed.
+func (s *Store) dictsLocked(name string) DictSet {
+	if tl, ok := s.tails[name]; ok && tl.replaced {
+		return nil
+	}
+	if dm := s.man.dataset(name); dm != nil {
+		return dm.DictSet()
+	}
+	return nil
+}
+
 // ReadSegment materializes one segment by manifest reference, serving
 // repeat reads from an in-memory cache (the warm path). The cache is
-// sound because segments are immutable.
-func (s *Store) ReadSegment(ref SegmentRef) (*table.Table, error) {
+// sound because segments are immutable. The dataset name resolves the
+// shared dictionaries v3 pages decode through.
+func (s *Store) ReadSegment(dataset string, ref SegmentRef) (*table.Table, error) {
 	s.mu.RLock()
 	t, ok := s.segs[ref.File]
 	gen := s.cacheGen
+	dicts := s.dictsLocked(dataset)
 	s.mu.RUnlock()
 	if ok {
 		metSegCacheHit.Inc()
 		return t, nil
 	}
 	metSegCacheMiss.Inc()
-	seg, err := ReadSegmentFile(filepath.Join(s.dir, ref.File))
+	seg, err := ReadSegmentFileDicts(filepath.Join(s.dir, ref.File), dicts)
 	if err != nil {
 		return nil, err
 	}
@@ -458,12 +486,13 @@ func (s *Store) ReadSegment(ref SegmentRef) (*table.Table, error) {
 // whole and projected. Projections are cached separately from full
 // reads — both are immutable — and a cached full table short-circuits
 // to an in-memory projection.
-func (s *Store) ReadSegmentColumns(ref SegmentRef, positions []int) (*table.Table, error) {
+func (s *Store) ReadSegmentColumns(dataset string, ref SegmentRef, positions []int) (*table.Table, error) {
 	key := ref.File + "?" + colsKey(positions)
 	s.mu.RLock()
 	t, ok := s.segs[key]
 	full, fullOK := s.segs[ref.File]
 	gen := s.cacheGen
+	dicts := s.dictsLocked(dataset)
 	s.mu.RUnlock()
 	if ok || fullOK {
 		metSegCacheHit.Inc()
@@ -473,13 +502,44 @@ func (s *Store) ReadSegmentColumns(ref SegmentRef, positions []int) (*table.Tabl
 		return full.Project(positions), nil
 	}
 	metSegCacheMiss.Inc()
-	seg, err := ReadSegmentFileColumns(filepath.Join(s.dir, ref.File), positions)
+	seg, err := ReadSegmentFileColumnsDicts(filepath.Join(s.dir, ref.File), positions, dicts)
 	if err != nil {
 		return nil, err
 	}
 	metBytesReadProjected.Add(seg.FileBytes)
 	s.cacheInsert(key, seg.Table, gen, seg.FileBytes)
 	return seg.Table, nil
+}
+
+// ReadSegmentEncoded reads only the given column positions of a segment
+// in encoded form — pages parsed and verified but not materialized, so
+// predicates can run over runs and dictionary codes first. Encoded views
+// are immutable (dictionary growth is append-only within an epoch, and a
+// rebuild deletes the referencing files) and cached like decoded ones.
+func (s *Store) ReadSegmentEncoded(dataset string, ref SegmentRef, positions []int) (*EncodedSegment, error) {
+	key := ref.File + "?" + colsKey(positions)
+	s.mu.RLock()
+	es, ok := s.encs[key]
+	gen := s.cacheGen
+	dicts := s.dictsLocked(dataset)
+	s.mu.RUnlock()
+	if ok {
+		metSegCacheHit.Inc()
+		return es, nil
+	}
+	metSegCacheMiss.Inc()
+	es, err := ReadSegmentFileColumnsEncoded(filepath.Join(s.dir, ref.File), positions, dicts)
+	if err != nil {
+		return nil, err
+	}
+	metBytesReadEncoded.Add(es.FileBytes)
+	s.mu.Lock()
+	if s.cacheGen == gen {
+		s.encs[key] = es
+	}
+	s.bytesRead += es.FileBytes
+	s.mu.Unlock()
+	return es, nil
 }
 
 // cacheInsert adds a decoded segment under key unless a compaction
@@ -522,6 +582,7 @@ func (s *Store) BytesRead() int64 {
 func (s *Store) DropSegmentCache() {
 	s.mu.Lock()
 	s.segs = map[string]*table.Table{}
+	s.encs = map[string]*EncodedSegment{}
 	s.cacheGen++
 	s.mu.Unlock()
 }
@@ -535,11 +596,13 @@ var errNoDataset = errors.New("storage: no such dataset")
 
 // readSnapshot hands run one consistent (segments, tail) snapshot of a
 // dataset. A concurrent compaction swap can delete a snapshotted
-// segment file before run reads it; when run surfaces that as an
-// fs.ErrNotExist, the whole body re-runs over a fresh snapshot (the new
-// generation references the merged files) up to maxSwapRetries times.
-// Every reader of segment files goes through this, so the retry policy
-// lives in exactly one place.
+// segment file before run reads it (surfacing as fs.ErrNotExist), or a
+// full rewrite can rebuild the shared dictionary out from under the
+// snapshot's v3 segments (surfacing as a stale-dictionary epoch
+// mismatch); either way the whole body re-runs over a fresh snapshot
+// (the new generation references the merged files and their dictionary
+// together) up to maxSwapRetries times. Every reader of segment files
+// goes through this, so the retry policy lives in exactly one place.
 func (s *Store) readSnapshot(name string, run func(refs []SegmentRef, parts []*table.Table) error) error {
 	for attempt := 0; ; attempt++ {
 		refs, parts, ok := s.Segments(name)
@@ -547,7 +610,7 @@ func (s *Store) readSnapshot(name string, run func(refs []SegmentRef, parts []*t
 			return errNoDataset
 		}
 		err := run(refs, parts)
-		if err != nil && errors.Is(err, fs.ErrNotExist) && attempt < maxSwapRetries {
+		if err != nil && attempt < maxSwapRetries && (errors.Is(err, fs.ErrNotExist) || isStaleDict(err)) {
 			continue
 		}
 		return err
@@ -562,7 +625,7 @@ func (s *Store) Dataset(name string) (*table.Table, bool, error) {
 		sch, _ := s.Schema(name)
 		tables := make([]*table.Table, 0, len(refs)+len(parts))
 		for _, ref := range refs {
-			t, err := s.ReadSegment(ref)
+			t, err := s.ReadSegment(name, ref)
 			if err != nil {
 				return err
 			}
@@ -657,14 +720,39 @@ func (s *Store) Flush() error {
 			continue // dropped
 		}
 		dm := DatasetManifest{Name: name, Schema: sch}
-		if prev := s.man.dataset(name); prev != nil {
+		prev := s.man.dataset(name)
+		tl := s.tails[name]
+		if prev != nil {
 			dm.OrderEpoch = prev.OrderEpoch
 		}
-		if tl := s.tails[name]; tl != nil {
+		if tl != nil {
 			dm.OrderEpoch += tl.epochBump
 		}
+		// Shared dictionaries: grow a writer-private clone of the live set
+		// while encoding the new segment, then commit the grown set in
+		// this same manifest generation — a reader either sees neither the
+		// new codes nor the new entries, or both. A tombstoned dataset
+		// (replace, drop + recreate) restarts with empty dictionaries
+		// whose epochs supersede the old ones, so a stale reader of the
+		// shadowed v3 files gets a loud epoch mismatch, never a silent
+		// decode against the wrong value list.
+		var dicts DictSet
+		switch {
+		case prev != nil && (tl == nil || !tl.replaced):
+			dicts = cloneDictSet(prev.DictSet())
+			if dicts == nil {
+				dicts = DictSet{}
+			}
+		case prev != nil:
+			dicts = DictSet{}
+			for _, d := range prev.Dicts {
+				dicts[d.Col] = &SharedDict{Col: d.Col, Epoch: d.Epoch + 1}
+			}
+		default:
+			dicts = DictSet{}
+		}
 		dm.Segments = append(dm.Segments, s.liveSegmentsLocked(name)...)
-		if tl := s.tails[name]; tl != nil && len(tl.parts) > 0 {
+		if tl != nil && len(tl.parts) > 0 {
 			t, err := concatTables(sch, tl.parts)
 			if err != nil {
 				return err
@@ -673,7 +761,7 @@ func (s *Store) Flush() error {
 				file := segName(s.nextSeg)
 				s.nextSeg++
 				next.NextSeg = s.nextSeg
-				meta, err := WriteSegmentFile(s.dir, file, t)
+				meta, err := WriteSegmentFileDict(s.dir, file, t, dicts, true)
 				if err != nil {
 					return err
 				}
@@ -681,6 +769,7 @@ func (s *Store) Flush() error {
 				newSegCache[file] = t
 			}
 		}
+		dm.setDicts(dicts)
 		next.Datasets = append(next.Datasets, dm)
 	}
 
@@ -696,6 +785,7 @@ func (s *Store) Flush() error {
 		return err
 	}
 	// The swap succeeded: the new generation is authoritative.
+	old := s.man
 	oldWal := s.wal
 	s.wal = newWal
 	s.man = next
@@ -707,6 +797,42 @@ func (s *Store) Flush() error {
 	os.Remove(filepath.Join(s.dir, walName(next.WalGen-1)))
 	if next.Gen > 1 {
 		os.Remove(filepath.Join(s.dir, manifestName(next.Gen-1)))
+	}
+	// Segments the new generation no longer references (replace/drop
+	// tombstones just committed) are dead: delete them now instead of
+	// waiting for the next open's garbage collection, so a stale reader
+	// fails fast with not-exist and re-snapshots.
+	liveFiles := map[string]bool{}
+	for _, dm := range next.Datasets {
+		for _, ref := range dm.Segments {
+			liveFiles[ref.File] = true
+		}
+	}
+	purged := false
+	for _, dm := range old.Datasets {
+		for _, ref := range dm.Segments {
+			if !liveFiles[ref.File] {
+				os.Remove(filepath.Join(s.dir, ref.File))
+				purged = true
+			}
+		}
+	}
+	if purged {
+		// Drop dead decoded tables and stop in-flight reads from
+		// re-inserting them.
+		for key := range s.segs {
+			file, _, _ := strings.Cut(key, "?")
+			if !liveFiles[file] {
+				delete(s.segs, key)
+			}
+		}
+		for key := range s.encs {
+			file, _, _ := strings.Cut(key, "?")
+			if !liveFiles[file] {
+				delete(s.encs, key)
+			}
+		}
+		s.cacheGen++
 	}
 	return nil
 }
